@@ -1,0 +1,290 @@
+// Ablations over the design choices DESIGN.md §5 calls out: how much each
+// mechanism contributes, and where each knob's cliff sits.
+//
+//   A1  bus table-update engine speed  -> E2-style control throughput
+//   A2  SSD-DRAM read cache size       -> KVS GET throughput
+//   A3  IOMMU TLB geometry             -> DMA-loop time on the data plane
+//   A4  discovery window               -> Figure-2 init latency
+//   A5  file-service queue depth       -> KVS throughput (concurrency cap)
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/ssddev/file_client.h"
+
+namespace lastcpu {
+namespace {
+
+using benchutil::ControlLoadRunner;
+using benchutil::StubDevice;
+
+// A1: sweep the bus's privileged table-update cost; 8 contending devices.
+void Ablation_BusTableEngine(benchmark::State& state) {
+  auto update_ns = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    core::MachineConfig config;
+    config.bus.table_update_latency = sim::Duration::Nanos(update_ns);
+    core::Machine machine(config);
+    auto& memctrl = machine.AddMemoryController();
+    std::vector<StubDevice*> stubs;
+    for (int i = 0; i < 8; ++i) {
+      stubs.push_back(&machine.Emplace<StubDevice>("dev" + std::to_string(i)));
+    }
+    machine.Boot();
+    std::vector<std::unique_ptr<core::BusControlClient>> clients;
+    std::vector<ControlLoadRunner::PerClient> per_client;
+    for (size_t i = 0; i < stubs.size(); ++i) {
+      clients.push_back(std::make_unique<core::BusControlClient>(stubs[i], memctrl.id()));
+      per_client.push_back({clients.back().get(), Pasid(static_cast<uint32_t>(i + 1))});
+    }
+    sim::SimTime start = machine.simulator().Now();
+    ControlLoadRunner runner(&machine.simulator(), std::move(per_client), 100);
+    runner.Run();
+    sim::Duration elapsed = machine.simulator().Now() - start;
+    state.SetIterationTime(elapsed.seconds());
+    state.counters["ops_per_sec"] = static_cast<double>(runner.completed()) / elapsed.seconds();
+  }
+  state.counters["table_update_ns"] = static_cast<double>(update_ns);
+}
+
+// A2: sweep the FTL read cache; GET-only Zipf workload.
+void Ablation_FtlReadCache(benchmark::State& state) {
+  auto cache_pages = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto machine = std::make_unique<core::Machine>();
+    machine->AddMemoryController();
+    ssddev::SmartSsdConfig ssd_config;
+    ssd_config.host_auth_service = false;
+    ssd_config.ftl.read_cache_pages = cache_pages;
+    auto& ssd = machine->AddSmartSsd(ssd_config);
+    auto& nic = machine->AddSmartNic();
+    ssd.ProvisionFile("kv.log", {});
+    Pasid pasid = machine->NewApplication("kvs");
+    auto app = std::make_unique<kvs::KvsApp>(&nic, pasid);
+    kvs::KvsApp* kvs_app = app.get();
+    nic.LoadApp(std::move(app));
+    machine->Boot();
+    for (uint64_t i = 0; i < 200; ++i) {
+      kvs_app->engine().Put(kvs::WorkloadGenerator::KeyFor(i), std::vector<uint8_t>(256, 1),
+                            [](Status s) { LASTCPU_CHECK(s.ok(), "preload"); });
+      machine->RunUntilIdle();
+    }
+    kvs::WorkloadConfig workload;
+    workload.num_keys = 200;
+    workload.get_fraction = 1.0;
+    kvs::LoadClient client(&machine->simulator(), &machine->network(), nic.endpoint(), workload,
+                           32);
+    bool finished = false;
+    sim::SimTime start = machine->simulator().Now();
+    client.Start(3000, [&] { finished = true; });
+    machine->RunUntilIdle();
+    LASTCPU_CHECK(finished, "workload stalled");
+    sim::Duration elapsed = machine->simulator().Now() - start;
+    state.SetIterationTime(elapsed.seconds());
+    state.counters["ops_per_sec"] = static_cast<double>(client.completed()) / elapsed.seconds();
+    uint64_t hits = ssd.ftl().cache_hits();
+    uint64_t misses = ssd.ftl().cache_misses();
+    state.counters["hit_rate"] =
+        hits + misses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+  state.counters["cache_pages"] = static_cast<double>(cache_pages);
+}
+
+// A3: TLB geometry on the data plane — 4096 single-page DMA reads over a
+// 256-page working set.
+void Ablation_TlbSize(benchmark::State& state) {
+  auto sets = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    mem::PhysicalMemory memory(16 << 20);
+    fabric::Fabric fabric(&simulator, &memory);
+    iommu::Iommu unit(DeviceId(1), iommu::TlbConfig{sets, 4});
+    fabric.AttachDevice(DeviceId(1), &unit);
+    auto key = iommu::ProgrammingKey::CreateForTesting();
+    constexpr uint64_t kPages = 256;
+    for (uint64_t v = 0; v < kPages; ++v) {
+      (void)unit.Map(key, Pasid(1), v, v, Access::kReadWrite);
+    }
+    sim::Rng rng(11);
+    sim::SimTime start = simulator.Now();
+    int outstanding = 0;
+    for (int i = 0; i < 4096; ++i) {
+      ++outstanding;
+      fabric.DmaRead(DeviceId(1), Pasid(1), VirtAddr(rng.NextBelow(kPages) << kPageShift), 64,
+                     [&](Result<std::vector<uint8_t>> r) {
+                       LASTCPU_CHECK(r.ok(), "dma failed");
+                       --outstanding;
+                     });
+    }
+    simulator.Run();
+    LASTCPU_CHECK(outstanding == 0, "dma lost");
+    state.SetIterationTime((simulator.Now() - start).seconds());
+    state.counters["tlb_hit_rate"] = unit.tlb().HitRate();
+  }
+  state.counters["tlb_entries"] = static_cast<double>(sets * 4);
+}
+
+// A4: discovery-window policy vs Figure-2 init latency.
+void Ablation_DiscoveryWindow(benchmark::State& state) {
+  auto window_us = static_cast<uint64_t>(state.range(0));
+  core::Machine machine;
+  machine.AddMemoryController();
+  ssddev::SmartSsdConfig ssd_config;
+  ssd_config.host_auth_service = false;
+  auto& ssd = machine.AddSmartSsd(ssd_config);
+  ssd.ProvisionFile("kv.log", {});
+  auto& stub = machine.Emplace<StubDevice>("client");
+  machine.Boot();
+  uint32_t pasid_seq = 1;
+  for (auto _ : state) {
+    ssddev::FileClientConfig client_config;
+    client_config.discover_window = sim::Duration::Micros(window_us);
+    ssddev::FileClient client(&stub, Pasid(pasid_seq++), client_config);
+    stub.doorbell_sink = &client;
+    sim::SimTime start = machine.simulator().Now();
+    bool done = false;
+    client.Open("kv.log", 0, [&](Status s) {
+      LASTCPU_CHECK(s.ok(), "open failed: %s", s.ToString().c_str());
+      done = true;
+    });
+    machine.RunUntilIdle();
+    LASTCPU_CHECK(done, "open stalled");
+    state.SetIterationTime((machine.simulator().Now() - start).seconds());
+    client.Close([](Status) {});
+    machine.RunUntilIdle();
+  }
+  state.counters["window_us"] = static_cast<double>(window_us);
+}
+
+// A5: file-service queue depth (bounds per-session concurrency).
+void Ablation_QueueDepth(benchmark::State& state) {
+  auto depth = static_cast<uint16_t>(state.range(0));
+  for (auto _ : state) {
+    auto machine = std::make_unique<core::Machine>();
+    machine->AddMemoryController();
+    ssddev::SmartSsdConfig ssd_config;
+    ssd_config.host_auth_service = false;
+    ssd_config.file_service.queue_depth = depth;
+    auto& ssd = machine->AddSmartSsd(ssd_config);
+    auto& nic = machine->AddSmartNic();
+    ssd.ProvisionFile("kv.log", {});
+    Pasid pasid = machine->NewApplication("kvs");
+    auto app = std::make_unique<kvs::KvsApp>(&nic, pasid);
+    kvs::KvsApp* kvs_app = app.get();
+    nic.LoadApp(std::move(app));
+    machine->Boot();
+    for (uint64_t i = 0; i < 100; ++i) {
+      kvs_app->engine().Put(kvs::WorkloadGenerator::KeyFor(i), std::vector<uint8_t>(128, 1),
+                            [](Status s) { LASTCPU_CHECK(s.ok(), "preload"); });
+      machine->RunUntilIdle();
+    }
+    kvs::WorkloadConfig workload;
+    workload.num_keys = 100;
+    workload.get_fraction = 1.0;
+    workload.zipf_theta = 0.0;  // uniform: stress the NAND dies, not the cache
+    kvs::LoadClient client(&machine->simulator(), &machine->network(), nic.endpoint(), workload,
+                           64);
+    bool finished = false;
+    sim::SimTime start = machine->simulator().Now();
+    client.Start(2000, [&] { finished = true; });
+    machine->RunUntilIdle();
+    LASTCPU_CHECK(finished, "workload stalled");
+    sim::Duration elapsed = machine->simulator().Now() - start;
+    state.SetIterationTime(elapsed.seconds());
+    state.counters["ops_per_sec"] = static_cast<double>(client.completed()) / elapsed.seconds();
+  }
+  state.counters["depth"] = static_cast<double>(depth);
+}
+
+// A6: log compaction on/off under an overwrite-heavy workload — how much
+// flash the generational GC reclaims and what it costs.
+void Ablation_KvsCompaction(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  for (auto _ : state) {
+    auto machine = std::make_unique<core::Machine>();
+    machine->AddMemoryController();
+    ssddev::SmartSsdConfig ssd_config;
+    ssd_config.host_auth_service = false;
+    auto& ssd = machine->AddSmartSsd(ssd_config);
+    auto& nic = machine->AddSmartNic();
+    ssd.ProvisionFile("kv.log", {});
+    Pasid pasid = machine->NewApplication("kvs");
+    kvs::KvsAppConfig app_config;
+    if (enabled) {
+      app_config.engine.compact_garbage_ratio = 0.5;
+      app_config.engine.min_compact_bytes = 16 << 10;
+    }
+    auto app = std::make_unique<kvs::KvsApp>(&nic, pasid, app_config);
+    kvs::KvsApp* kvs_app = app.get();
+    nic.LoadApp(std::move(app));
+    machine->Boot();
+    // Overwrite-heavy: 40 keys x 60 rounds of 256-byte values.
+    sim::SimTime start = machine->simulator().Now();
+    for (int round = 0; round < 60; ++round) {
+      for (int i = 0; i < 40; ++i) {
+        kvs_app->engine().Put(kvs::WorkloadGenerator::KeyFor(static_cast<uint64_t>(i)),
+                              std::vector<uint8_t>(256, static_cast<uint8_t>(round)),
+                              [](Status s) { LASTCPU_CHECK(s.ok(), "put failed"); });
+        machine->RunUntilIdle();
+      }
+    }
+    state.SetIterationTime((machine->simulator().Now() - start).seconds());
+    state.counters["log_bytes"] = static_cast<double>(kvs_app->engine().log_tail_bytes());
+    state.counters["live_bytes"] = static_cast<double>(kvs_app->engine().live_bytes());
+    state.counters["compactions"] =
+        static_cast<double>(kvs_app->engine().stats().GetCounter("compactions_completed").value());
+    state.counters["generation"] = static_cast<double>(kvs_app->engine().generation());
+  }
+  state.counters["enabled"] = enabled ? 1 : 0;
+}
+
+BENCHMARK(Ablation_KvsCompaction)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1);
+
+BENCHMARK(Ablation_BusTableEngine)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(60)
+    ->Arg(120)
+    ->Arg(480)
+    ->Arg(1920);
+BENCHMARK(Ablation_FtlReadCache)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(64)
+    ->Arg(1024);
+BENCHMARK(Ablation_TlbSize)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(128);
+BENCHMARK(Ablation_DiscoveryWindow)
+    ->UseManualTime()
+    ->Iterations(10)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(50);
+BENCHMARK(Ablation_QueueDepth)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128);
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

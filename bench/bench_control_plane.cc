@@ -1,0 +1,115 @@
+// E2: control-plane operation throughput and latency under contention.
+//
+// N devices each run a closed loop of (alloc 16 KiB -> free) operations.
+// Decentralized: requests ride the bus to the memory controller; mappings are
+// programmed by the bus's table engine. Centralized: every operation is an
+// interrupt + syscall on a CPU with a fixed core count.
+//
+// Expected shape (paper claim: "control tasks ... can be handled in other
+// hardware"): at 1 device the centralized kernel is competitive; as devices
+// grow, the kernel's run queue serializes while the decentralized path's
+// specialized hardware pipeline keeps per-op latency near-flat until the
+// memory controller's firmware saturates.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace lastcpu {
+namespace {
+
+using benchutil::ControlLoadRunner;
+using benchutil::StubDevice;
+
+constexpr uint64_t kOpsPerDevice = 200;
+
+void ControlPlane_Decentralized(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    core::Machine machine;
+    auto& memctrl = machine.AddMemoryController();
+    std::vector<StubDevice*> stubs;
+    for (size_t i = 0; i < devices; ++i) {
+      stubs.push_back(&machine.Emplace<StubDevice>("dev" + std::to_string(i)));
+    }
+    machine.Boot();
+
+    std::vector<std::unique_ptr<core::BusControlClient>> clients;
+    std::vector<ControlLoadRunner::PerClient> per_client;
+    for (size_t i = 0; i < devices; ++i) {
+      clients.push_back(std::make_unique<core::BusControlClient>(stubs[i], memctrl.id()));
+      per_client.push_back({clients.back().get(), Pasid(static_cast<uint32_t>(i + 1))});
+    }
+    sim::SimTime start = machine.simulator().Now();
+    ControlLoadRunner runner(&machine.simulator(), std::move(per_client), kOpsPerDevice);
+    runner.Run();
+    sim::Duration elapsed = machine.simulator().Now() - start;
+    state.SetIterationTime(elapsed.seconds());
+    state.counters["ops_per_sec"] =
+        static_cast<double>(runner.completed()) / elapsed.seconds();
+    benchutil::ReportLatency(state, runner.latency());
+  }
+  state.counters["devices"] = static_cast<double>(devices);
+  state.counters["design"] = 0;
+}
+
+void ControlPlane_Centralized(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  auto cores = static_cast<uint32_t>(state.range(1));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    mem::PhysicalMemory memory(256 << 20);
+    baseline::CentralKernelConfig config;
+    config.cores = cores;
+    baseline::CentralKernel kernel(&simulator, &memory, config);
+    std::vector<std::unique_ptr<iommu::Iommu>> iommus;
+    std::vector<std::unique_ptr<core::KernelControlClient>> clients;
+    std::vector<ControlLoadRunner::PerClient> per_client;
+    for (size_t i = 0; i < devices; ++i) {
+      DeviceId id(static_cast<uint32_t>(i + 1));
+      iommus.push_back(std::make_unique<iommu::Iommu>(id));
+      kernel.RegisterDevice(id, iommus.back().get());
+      clients.push_back(std::make_unique<core::KernelControlClient>(&kernel, id));
+      per_client.push_back({clients.back().get(), Pasid(static_cast<uint32_t>(i + 1))});
+    }
+    sim::SimTime start = simulator.Now();
+    ControlLoadRunner runner(&simulator, std::move(per_client), kOpsPerDevice);
+    runner.Run();
+    sim::Duration elapsed = simulator.Now() - start;
+    state.SetIterationTime(elapsed.seconds());
+    state.counters["ops_per_sec"] =
+        static_cast<double>(runner.completed()) / elapsed.seconds();
+    benchutil::ReportLatency(state, runner.latency());
+  }
+  state.counters["devices"] = static_cast<double>(devices);
+  state.counters["cores"] = static_cast<double>(cores);
+  state.counters["design"] = 1;
+}
+
+BENCHMARK(ControlPlane_Decentralized)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16);
+
+BENCHMARK(ControlPlane_Centralized)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({16, 1})
+    ->Args({16, 4});
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,149 @@
+// E6: error handling without a CPU (paper Sec. 4).
+//
+// Kills the smart SSD under a live KVS application and measures, on the
+// decentralized machine: (a) failure-notification latency (bus broadcast to
+// all survivors) and (b) full application recovery — reset line, self-test,
+// re-announce, session re-open, log re-scan, first successful GET.
+// The centralized comparator pays kernel mediation for the notification
+// fan-out and for every step of the re-initialization sequence.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "bench/bench_util.h"
+
+namespace lastcpu {
+namespace {
+
+using benchutil::KvsRig;
+
+// Steps the simulator until `predicate` holds; returns false on queue-drain.
+bool StepUntil(sim::Simulator& simulator, const std::function<bool()>& predicate) {
+  while (!predicate()) {
+    if (!simulator.Step()) {
+      return predicate();
+    }
+  }
+  return true;
+}
+
+void Failure_DecentralizedNotification(benchmark::State& state) {
+  for (auto _ : state) {
+    KvsRig rig = KvsRig::Build();
+    rig.Preload(10, 64);
+    sim::SimTime start = rig.machine->simulator().Now();
+    rig.ssd->InjectFailure();
+    rig.machine->bus().ReportDeviceFailure(rig.ssd->id());
+    // Notification has landed once the NIC's app observed the peer failure
+    // (the engine stops).
+    bool notified = StepUntil(rig.machine->simulator(),
+                              [&] { return !rig.app->engine().running(); });
+    LASTCPU_CHECK(notified, "NIC never learned of the failure");
+    state.SetIterationTime((rig.machine->simulator().Now() - start).seconds());
+  }
+  state.counters["design"] = 0;
+}
+
+void Failure_DecentralizedFullRecovery(benchmark::State& state) {
+  for (auto _ : state) {
+    KvsRig rig = KvsRig::Build();
+    rig.Preload(50, 128);
+    sim::SimTime start = rig.machine->simulator().Now();
+    rig.ssd->InjectFailure();
+    rig.machine->bus().ReportDeviceFailure(rig.ssd->id());
+    // First the failure notice lands (engine stops), then recovery completes.
+    bool stopped = StepUntil(rig.machine->simulator(),
+                             [&] { return !rig.app->engine().running(); });
+    LASTCPU_CHECK(stopped, "NIC never learned of the failure");
+    bool recovered = StepUntil(rig.machine->simulator(),
+                               [&] { return rig.app->engine().running(); });
+    LASTCPU_CHECK(recovered, "app never recovered");
+    bool got = false;
+    rig.app->engine().Get(kvs::WorkloadGenerator::KeyFor(7),
+                          [&](Result<std::vector<uint8_t>> r) {
+                            got = r.ok();
+                            if (!r.ok()) {
+                              std::fprintf(stderr, "GET failed: %s\n", r.status().ToString().c_str());
+                            }
+                          });
+    rig.machine->RunUntilIdle();
+    LASTCPU_CHECK(got, "data lost across recovery");
+    state.SetIterationTime((rig.machine->simulator().Now() - start).seconds());
+    state.counters["recoveries"] = static_cast<double>(rig.app->recoveries());
+  }
+  state.counters["design"] = 0;
+}
+
+void Failure_CentralizedRecovery(benchmark::State& state) {
+  // The kernel hears the failure interrupt, notifies `consumers` one by one,
+  // then re-runs the centralized init sequence (E1) plus the same device-side
+  // re-scan time the decentralized app pays.
+  auto consumers = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    mem::PhysicalMemory memory(64 << 20);
+    baseline::CentralKernel kernel(&simulator, &memory);
+    iommu::Iommu nic_iommu(DeviceId(1));
+    iommu::Iommu ssd_iommu(DeviceId(2));
+    kernel.RegisterDevice(DeviceId(1), &nic_iommu);
+    kernel.RegisterDevice(DeviceId(2), &ssd_iommu);
+
+    constexpr sim::Duration kSelfTest = sim::Duration::Micros(50);
+    constexpr sim::Duration kLogScan = sim::Duration::Micros(120);
+    const uint64_t session_bytes = ssddev::SessionLayout::BytesRequired(64);
+
+    sim::SimTime start = simulator.Now();
+    bool done = false;
+    // Recursive notifier shared across scheduled steps (a plain local would
+    // be destroyed before the simulator runs the continuations).
+    auto notify = std::make_shared<std::function<void(size_t)>>();
+    *notify = [&, notify](size_t remaining) {
+      if (remaining == 0) {
+        // Device self-test, then kernel-driven re-init + re-scan.
+        simulator.Schedule(kSelfTest, [&] {
+          kernel.MediateIo(sim::Duration::Nanos(600), [&] {  // re-open
+            kernel.AllocMemory(DeviceId(1), Pasid(1), session_bytes,
+                               [&](Result<VirtAddr> vaddr) {
+                                 kernel.Grant(DeviceId(1), Pasid(1), *vaddr, session_bytes,
+                                              DeviceId(2), Access::kReadWrite, [&](Status) {
+                                                simulator.Schedule(kLogScan,
+                                                                   [&] { done = true; });
+                                              });
+                               });
+          });
+        });
+        return;
+      }
+      kernel.MediateIo(sim::Duration::Nanos(700),
+                       [notify, remaining] { (*notify)(remaining - 1); });
+    };
+    // Failure interrupt kicks the fan-out.
+    kernel.MediateIo(sim::Duration::Micros(1), [notify, consumers] { (*notify)(consumers); });
+    simulator.Run();
+    LASTCPU_CHECK(done, "centralized recovery never completed");
+    state.SetIterationTime((simulator.Now() - start).seconds());
+  }
+  state.counters["consumers"] = static_cast<double>(consumers);
+  state.counters["design"] = 1;
+}
+
+BENCHMARK(Failure_DecentralizedNotification)
+    ->UseManualTime()
+    ->Iterations(5)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(Failure_DecentralizedFullRecovery)
+    ->UseManualTime()
+    ->Iterations(5)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(Failure_CentralizedRecovery)
+    ->UseManualTime()
+    ->Iterations(5)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32);
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// E1 (paper Figure 2): the KVS initialization sequence.
+//
+// Measures the full seven-step handshake — discover the file's owner, open
+// the service instance, allocate shared memory, bus-program the IOMMU, grant
+// to the provider, attach the VIRTIO queue — on the decentralized machine,
+// against the same logical sequence mediated by a centralized kernel.
+//
+// Reported time is SIMULATED time (manual-time mode).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/ssddev/file_client.h"
+
+namespace lastcpu {
+namespace {
+
+using benchutil::StubDevice;
+
+struct InitRig {
+  core::Machine machine;
+  ssddev::SmartSsd* ssd;
+  StubDevice* client_device;
+
+  InitRig() {
+    machine.AddMemoryController();
+    ssddev::SmartSsdConfig ssd_config;
+    ssd_config.host_auth_service = false;
+    ssd = &machine.AddSmartSsd(ssd_config);
+    ssd->ProvisionFile("kv.log", {});
+    client_device = &machine.Emplace<StubDevice>("nic-stub");
+    machine.Boot();
+  }
+};
+
+void Fig2Init_Decentralized(benchmark::State& state) {
+  InitRig rig;
+  uint32_t pasid_seq = 1;
+  for (auto _ : state) {
+    // Fresh application each round (fresh PASID, fresh session).
+    Pasid pasid(pasid_seq++);
+    ssddev::FileClient client(rig.client_device, pasid);
+    rig.client_device->doorbell_sink = &client;
+    sim::SimTime start = rig.machine.simulator().Now();
+    bool done = false;
+    client.Open("kv.log", 0, [&](Status s) {
+      LASTCPU_CHECK(s.ok(), "open failed: %s", s.ToString().c_str());
+      done = true;
+    });
+    rig.machine.RunUntilIdle();
+    LASTCPU_CHECK(done, "open never completed");
+    sim::Duration elapsed = rig.machine.simulator().Now() - start;
+    state.SetIterationTime(elapsed.seconds());
+    // Tear the session down outside the measured region.
+    client.Close([](Status) {});
+    rig.machine.RunUntilIdle();
+    rig.machine.TeardownApplication(pasid);
+    rig.machine.RunUntilIdle();
+  }
+  state.counters["design"] = 0;  // 0 = decentralized
+}
+
+void Fig2Init_Centralized(benchmark::State& state) {
+  // The same logical steps, but every one is a kernel entry on a CPU with
+  // state.range(0) cores: lookup (discovery is a kernel table), open
+  // (mediated), alloc+map, grant+map, attach (mediated).
+  sim::Simulator simulator;
+  mem::PhysicalMemory memory(64 << 20);
+  baseline::CentralKernelConfig config;
+  config.cores = static_cast<uint32_t>(state.range(0));
+  baseline::CentralKernel kernel(&simulator, &memory, config);
+  iommu::Iommu nic_iommu(DeviceId(1));
+  iommu::Iommu ssd_iommu(DeviceId(2));
+  kernel.RegisterDevice(DeviceId(1), &nic_iommu);
+  kernel.RegisterDevice(DeviceId(2), &ssd_iommu);
+
+  uint32_t pasid_seq = 1;
+  const uint64_t session_bytes = ssddev::SessionLayout::BytesRequired(64);
+  for (auto _ : state) {
+    Pasid pasid(pasid_seq++);
+    sim::SimTime start = simulator.Now();
+    bool done = false;
+    // discover -> open -> alloc -> grant -> attach, each through the kernel.
+    kernel.MediateIo(sim::Duration::Nanos(400), [&] {       // discovery lookup
+      kernel.MediateIo(sim::Duration::Nanos(600), [&] {     // open, relayed to SSD
+        kernel.AllocMemory(DeviceId(1), pasid, session_bytes, [&](Result<VirtAddr> vaddr) {
+          LASTCPU_CHECK(vaddr.ok(), "alloc failed");
+          kernel.Grant(DeviceId(1), pasid, *vaddr, session_bytes, DeviceId(2), Access::kReadWrite,
+                       [&](Status granted) {
+                         LASTCPU_CHECK(granted.ok(), "grant failed");
+                         kernel.MediateIo(sim::Duration::Nanos(400), [&] {  // attach
+                           done = true;
+                         });
+                       });
+        });
+      });
+    });
+    simulator.Run();
+    LASTCPU_CHECK(done, "sequence never completed");
+    state.SetIterationTime((simulator.Now() - start).seconds());
+    kernel.Teardown(pasid, [](Status) {});
+    simulator.Run();
+  }
+  state.counters["design"] = 1;  // 1 = centralized
+  state.counters["cores"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(Fig2Init_Decentralized)->UseManualTime()->Iterations(30)->Unit(benchmark::kMicrosecond);
+BENCHMARK(Fig2Init_Centralized)
+    ->UseManualTime()
+    ->Iterations(30)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(1)
+    ->Arg(4);
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

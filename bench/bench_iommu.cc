@@ -1,0 +1,124 @@
+// E7: address-translation costs — the mechanism the whole design leans on
+// (paper Sec. 2.2: "address translation remains the cornerstone of data
+// isolation").
+//
+// These are host-time microbenchmarks of the actual IOMMU data structures:
+// TLB-hit and table-walk translation rates, fault delivery, map/unmap rates,
+// and TLB-geometry sensitivity (hit rate under working sets that do and do
+// not fit).
+#include <benchmark/benchmark.h>
+
+#include "src/iommu/iommu.h"
+#include "src/sim/rng.h"
+
+namespace lastcpu {
+namespace {
+
+using iommu::Iommu;
+using iommu::ProgrammingKey;
+using iommu::TlbConfig;
+
+void Iommu_TranslateTlbHit(benchmark::State& state) {
+  Iommu unit(DeviceId(1), TlbConfig{64, 8});
+  ProgrammingKey key = ProgrammingKey::CreateForTesting();
+  for (uint64_t v = 0; v < 16; ++v) {
+    (void)unit.Map(key, Pasid(1), v, 100 + v, Access::kReadWrite);
+  }
+  uint64_t v = 0;
+  for (auto _ : state) {
+    auto t = unit.Translate(Pasid(1), VirtAddr((v & 15) << kPageShift), Access::kRead);
+    benchmark::DoNotOptimize(t);
+    ++v;
+  }
+  state.counters["hit_rate"] = unit.tlb().HitRate();
+}
+
+void Iommu_TranslateTableWalk(benchmark::State& state) {
+  // Working set far larger than the TLB: almost every access walks.
+  Iommu unit(DeviceId(1), TlbConfig{16, 4});
+  ProgrammingKey key = ProgrammingKey::CreateForTesting();
+  constexpr uint64_t kPages = 8192;
+  for (uint64_t v = 0; v < kPages; ++v) {
+    (void)unit.Map(key, Pasid(1), v * 512, 100 + v, Access::kReadWrite);
+  }
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    uint64_t v = rng.NextBelow(kPages) * 512;
+    auto t = unit.Translate(Pasid(1), VirtAddr(v << kPageShift), Access::kRead);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["hit_rate"] = unit.tlb().HitRate();
+}
+
+void Iommu_FaultDelivery(benchmark::State& state) {
+  Iommu unit(DeviceId(1));
+  uint64_t faults_seen = 0;
+  unit.SetFaultHandler([&](const iommu::FaultInfo&) { ++faults_seen; });
+  for (auto _ : state) {
+    auto t = unit.Translate(Pasid(1), VirtAddr(0x123000), Access::kRead);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["faults"] = static_cast<double>(faults_seen);
+}
+
+void Iommu_MapUnmap(benchmark::State& state) {
+  Iommu unit(DeviceId(1));
+  ProgrammingKey key = ProgrammingKey::CreateForTesting();
+  uint64_t v = 0;
+  for (auto _ : state) {
+    (void)unit.Map(key, Pasid(1), v, v, Access::kReadWrite);
+    (void)unit.Unmap(key, Pasid(1), v);
+    v = (v + 1) & 0xFFFFF;
+  }
+}
+
+void Iommu_TlbGeometrySweep(benchmark::State& state) {
+  // Fixed 512-page working set against a growing TLB.
+  auto sets = static_cast<uint32_t>(state.range(0));
+  Iommu unit(DeviceId(1), TlbConfig{sets, 4});
+  ProgrammingKey key = ProgrammingKey::CreateForTesting();
+  constexpr uint64_t kWorkingSet = 512;
+  for (uint64_t v = 0; v < kWorkingSet; ++v) {
+    (void)unit.Map(key, Pasid(1), v, v, Access::kReadWrite);
+  }
+  sim::Rng rng(9);
+  for (auto _ : state) {
+    uint64_t v = rng.NextBelow(kWorkingSet);
+    auto t = unit.Translate(Pasid(1), VirtAddr(v << kPageShift), Access::kRead);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["tlb_entries"] = static_cast<double>(sets * 4);
+  state.counters["hit_rate"] = unit.tlb().HitRate();
+}
+
+void Iommu_PasidSwitching(benchmark::State& state) {
+  // Interleaved accesses across N address spaces (devices serve many apps).
+  auto pasids = static_cast<uint32_t>(state.range(0));
+  Iommu unit(DeviceId(1), TlbConfig{64, 8});
+  ProgrammingKey key = ProgrammingKey::CreateForTesting();
+  for (uint32_t p = 1; p <= pasids; ++p) {
+    for (uint64_t v = 0; v < 8; ++v) {
+      (void)unit.Map(key, Pasid(p), v, p * 100 + v, Access::kReadWrite);
+    }
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    Pasid pasid(static_cast<uint32_t>(i % pasids) + 1);
+    auto t = unit.Translate(pasid, VirtAddr((i & 7) << kPageShift), Access::kRead);
+    benchmark::DoNotOptimize(t);
+    ++i;
+  }
+  state.counters["hit_rate"] = unit.tlb().HitRate();
+}
+
+BENCHMARK(Iommu_TranslateTlbHit);
+BENCHMARK(Iommu_TranslateTableWalk);
+BENCHMARK(Iommu_FaultDelivery);
+BENCHMARK(Iommu_MapUnmap);
+BENCHMARK(Iommu_TlbGeometrySweep)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(Iommu_PasidSwitching)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

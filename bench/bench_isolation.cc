@@ -1,0 +1,185 @@
+// E3: performance isolation (the paper's claim that "decentralized control
+// ... can improve performance isolation").
+//
+// A victim application reads records from the SSD file service while M noisy
+// tenants hammer the control plane with alloc/free storms.
+//   Decentralized: the victim's data path (virtqueues + fabric + SSD) never
+//   touches the bus or the memory controller, so its tail latency stays flat.
+//   Centralized: every victim I/O needs kernel mediation (submit syscall +
+//   completion interrupt) on the same cores the noise is grinding, so the
+//   victim's p99 grows with M.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace lastcpu {
+namespace {
+
+using benchutil::StubDevice;
+
+constexpr int kVictimOps = 200;
+
+// Noise tenant: endless alloc/free loop until *stop becomes true.
+template <typename AllocFn, typename FreeFn>
+void NoiseLoop(AllocFn alloc, FreeFn free_fn, const bool* stop,
+               std::shared_ptr<uint64_t> noise_ops) {
+  if (*stop) {
+    return;
+  }
+  alloc([=](Result<VirtAddr> r) {
+    if (!r.ok()) {
+      return;
+    }
+    free_fn(*r, [=](Status) {
+      ++*noise_ops;
+      NoiseLoop(alloc, free_fn, stop, noise_ops);
+    });
+  });
+}
+
+void Isolation_Decentralized(benchmark::State& state) {
+  auto noisy_tenants = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    core::Machine machine;
+    auto& memctrl = machine.AddMemoryController();
+    ssddev::SmartSsdConfig ssd_config;
+    ssd_config.host_auth_service = false;
+    auto& ssd = machine.AddSmartSsd(ssd_config);
+    ssd.ProvisionFile("victim.dat", std::vector<uint8_t>(64 << 10, 0x42));
+    auto& victim = machine.Emplace<StubDevice>("victim");
+    std::vector<StubDevice*> noisy;
+    for (size_t i = 0; i < noisy_tenants; ++i) {
+      noisy.push_back(&machine.Emplace<StubDevice>("noise" + std::to_string(i)));
+    }
+    machine.Boot();
+
+    // Victim opens its file session (unmeasured bring-up).
+    ssddev::FileClient file(&victim, Pasid(1));
+    victim.doorbell_sink = &file;
+    file.Open("victim.dat", 0, [](Status s) { LASTCPU_CHECK(s.ok(), "open failed"); });
+    machine.RunUntilIdle();
+
+    // Noise: alloc/free storms through the bus to the memory controller.
+    bool stop = false;
+    auto noise_ops = std::make_shared<uint64_t>(0);
+    std::vector<std::unique_ptr<core::BusControlClient>> clients;
+    for (size_t i = 0; i < noisy_tenants; ++i) {
+      clients.push_back(std::make_unique<core::BusControlClient>(noisy[i], memctrl.id()));
+      core::BusControlClient* client = clients.back().get();
+      Pasid pasid(static_cast<uint32_t>(100 + i));
+      NoiseLoop(
+          [client, pasid](auto cb) { client->Alloc(pasid, 4 * kPageSize, cb); },
+          [client, pasid](VirtAddr va, auto cb) { client->Free(pasid, va, 4 * kPageSize, cb); },
+          &stop, noise_ops);
+    }
+
+    // Victim: closed-loop 256-byte reads; measure tail latency.
+    sim::Histogram latency;
+    int remaining = kVictimOps;
+    sim::SimTime start = machine.simulator().Now();
+    std::function<void()> read_next = [&] {
+      if (remaining-- == 0) {
+        stop = true;
+        return;
+      }
+      sim::SimTime t0 = machine.simulator().Now();
+      file.ReadAt(static_cast<uint64_t>(remaining % 200) * 256, 256,
+                  [&, t0](Result<std::vector<uint8_t>> r) {
+                    LASTCPU_CHECK(r.ok(), "victim read failed");
+                    latency.Record(machine.simulator().Now() - t0);
+                    read_next();
+                  });
+    };
+    read_next();
+    machine.RunUntilIdle();
+    state.SetIterationTime((machine.simulator().Now() - start).seconds());
+    benchutil::ReportLatency(state, latency, "victim_");
+    state.counters["noise_ops"] = static_cast<double>(*noise_ops);
+  }
+  state.counters["noisy_tenants"] = static_cast<double>(noisy_tenants);
+  state.counters["design"] = 0;
+}
+
+void Isolation_Centralized(benchmark::State& state) {
+  auto noisy_tenants = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    mem::PhysicalMemory memory(256 << 20);
+    baseline::CentralKernel kernel(&simulator, &memory);  // 1 core
+    std::vector<std::unique_ptr<iommu::Iommu>> iommus;
+    for (uint32_t i = 0; i < noisy_tenants + 1; ++i) {
+      DeviceId id(i + 1);
+      iommus.push_back(std::make_unique<iommu::Iommu>(id));
+      kernel.RegisterDevice(id, iommus.back().get());
+    }
+
+    bool stop = false;
+    auto noise_ops = std::make_shared<uint64_t>(0);
+    std::vector<std::unique_ptr<core::KernelControlClient>> clients;
+    for (size_t i = 0; i < noisy_tenants; ++i) {
+      clients.push_back(
+          std::make_unique<core::KernelControlClient>(&kernel, DeviceId(2 + static_cast<uint32_t>(i))));
+      core::KernelControlClient* client = clients.back().get();
+      Pasid pasid(static_cast<uint32_t>(100 + i));
+      NoiseLoop(
+          [client, pasid](auto cb) { client->Alloc(pasid, 4 * kPageSize, cb); },
+          [client, pasid](VirtAddr va, auto cb) { client->Free(pasid, va, 4 * kPageSize, cb); },
+          &stop, noise_ops);
+    }
+
+    // Victim: each I/O = submit syscall -> device time (NAND-read-ish) ->
+    // completion interrupt, all sharing the kernel's core with the noise.
+    sim::Histogram latency;
+    int remaining = kVictimOps;
+    constexpr sim::Duration kDeviceTime = sim::Duration::Micros(55);
+    sim::SimTime start = simulator.Now();
+    std::function<void()> read_next = [&] {
+      if (remaining-- == 0) {
+        stop = true;
+        return;
+      }
+      sim::SimTime t0 = simulator.Now();
+      kernel.MediateIo(sim::Duration::Nanos(500), [&, t0] {  // submit path
+        simulator.Schedule(kDeviceTime, [&, t0] {            // the device works
+          kernel.MediateIo(sim::Duration::Nanos(500), [&, t0] {  // completion irq
+            latency.Record(simulator.Now() - t0);
+            read_next();
+          });
+        });
+      });
+    };
+    read_next();
+    simulator.Run();
+    state.SetIterationTime((simulator.Now() - start).seconds());
+    benchutil::ReportLatency(state, latency, "victim_");
+    state.counters["noise_ops"] = static_cast<double>(*noise_ops);
+  }
+  state.counters["noisy_tenants"] = static_cast<double>(noisy_tenants);
+  state.counters["design"] = 1;
+}
+
+BENCHMARK(Isolation_Decentralized)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8);
+
+BENCHMARK(Isolation_Centralized)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8);
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

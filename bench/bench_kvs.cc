@@ -1,0 +1,177 @@
+// E4: the Section-3 KVS application end to end.
+//
+// Sweeps value size and GET fraction, decentralized vs CPU-mediated. In the
+// CPU-mediated variant every network request must be dispatched by the
+// kernel before the NIC's engine may process it (the traditional
+// kernel-owned network stack); the data path below is identical, which is
+// exactly the paper's point — once the data plane is device-to-device, the
+// CPU only adds a toll booth.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace lastcpu {
+namespace {
+
+using benchutil::KvsRig;
+
+constexpr uint64_t kKeys = 500;
+constexpr uint64_t kOpsPerClient = 1200;
+constexpr int kClients = 8;
+constexpr uint32_t kConcurrency = 16;
+// Kernel network-stack work per packet direction in the mediated design
+// (interrupt handling, skb processing, socket wakeup — classic numbers).
+constexpr sim::Duration kStackWork = sim::Duration::Micros(8);
+
+// Wraps the KVS app so every request first pays a kernel mediation.
+class MediatedKvsApp : public nicdev::AppEngine {
+ public:
+  MediatedKvsApp(std::unique_ptr<kvs::KvsApp> inner, baseline::CentralKernel* kernel)
+      : inner_(std::move(inner)), kernel_(kernel) {}
+
+  void Start(std::function<void(Status)> done) override { inner_->Start(std::move(done)); }
+
+  void HandleRequest(std::vector<uint8_t> payload,
+                     std::function<void(std::vector<uint8_t>)> respond) override {
+    kernel_->MediateIo(kStackWork,
+                       [this, payload = std::move(payload),
+                        respond = std::move(respond)]() mutable {
+                         inner_->HandleRequest(std::move(payload),
+                                               [this, respond = std::move(respond)](
+                                                   std::vector<uint8_t> response) mutable {
+                                                 // Completion also interrupts the CPU.
+                                                 kernel_->MediateIo(
+                                                     kStackWork,
+                                                     [respond = std::move(respond),
+                                                      response = std::move(response)]() mutable {
+                                                       respond(std::move(response));
+                                                     });
+                                               });
+                       });
+  }
+
+  bool HandleDoorbell(DeviceId from, uint64_t value) override {
+    return inner_->HandleDoorbell(from, value);
+  }
+  void OnPeerFailed(DeviceId device) override { inner_->OnPeerFailed(device); }
+
+  kvs::KvsApp* inner() { return inner_.get(); }
+
+ private:
+  std::unique_ptr<kvs::KvsApp> inner_;
+  baseline::CentralKernel* kernel_;
+};
+
+void RunWorkload(benchmark::State& state, core::Machine& machine, nicdev::SmartNic& nic,
+                 kvs::KvsApp& app, uint32_t value_bytes, double get_fraction) {
+  // Preload.
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    app.engine().Put(kvs::WorkloadGenerator::KeyFor(i),
+                     std::vector<uint8_t>(value_bytes, static_cast<uint8_t>(i)),
+                     [](Status s) { LASTCPU_CHECK(s.ok(), "preload failed"); });
+    machine.RunUntilIdle();
+  }
+  std::vector<std::unique_ptr<kvs::LoadClient>> clients;
+  int finished = 0;
+  sim::SimTime start = machine.simulator().Now();
+  for (int c = 0; c < kClients; ++c) {
+    kvs::WorkloadConfig workload;
+    workload.num_keys = kKeys;
+    workload.get_fraction = get_fraction;
+    workload.value_bytes = value_bytes;
+    workload.seed = static_cast<uint64_t>(c) + 1;
+    clients.push_back(std::make_unique<kvs::LoadClient>(
+        &machine.simulator(), &machine.network(), nic.endpoint(), workload, kConcurrency));
+    clients.back()->Start(kOpsPerClient, [&finished] { ++finished; });
+  }
+  machine.RunUntilIdle();
+  LASTCPU_CHECK(finished == kClients, "workload never finished");
+  sim::Duration elapsed = machine.simulator().Now() - start;
+  state.SetIterationTime(elapsed.seconds());
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  sim::Histogram latency;
+  sim::Histogram get_latency;
+  sim::Histogram put_latency;
+  for (const auto& client : clients) {
+    completed += client->completed();
+    errors += client->errors();
+    latency.Merge(client->latency());
+    get_latency.Merge(client->get_latency());
+    put_latency.Merge(client->put_latency());
+  }
+  state.counters["ops_per_sec"] = static_cast<double>(completed) / elapsed.seconds();
+  benchutil::ReportLatency(state, latency);
+  state.counters["get_p99_us"] = static_cast<double>(get_latency.p99()) / 1e3;
+  state.counters["put_p99_us"] = static_cast<double>(put_latency.p99()) / 1e3;
+  state.counters["errors"] = static_cast<double>(errors);
+}
+
+void Kvs_Decentralized(benchmark::State& state) {
+  auto value_bytes = static_cast<uint32_t>(state.range(0));
+  double get_fraction = static_cast<double>(state.range(1)) / 100.0;
+  for (auto _ : state) {
+    KvsRig rig = KvsRig::Build();
+    RunWorkload(state, *rig.machine, *rig.nic, *rig.app, value_bytes, get_fraction);
+  }
+  state.counters["value_bytes"] = static_cast<double>(value_bytes);
+  state.counters["design"] = 0;
+}
+
+void Kvs_CpuMediated(benchmark::State& state) {
+  auto value_bytes = static_cast<uint32_t>(state.range(0));
+  double get_fraction = static_cast<double>(state.range(1)) / 100.0;
+  for (auto _ : state) {
+    // Same machine, plus a 1-core kernel that must bless every request.
+    auto machine = std::make_unique<core::Machine>();
+    machine->AddMemoryController();
+    ssddev::SmartSsdConfig ssd_config;
+    ssd_config.host_auth_service = false;
+    auto& ssd = machine->AddSmartSsd(ssd_config);
+    auto& nic = machine->AddSmartNic();
+    ssd.ProvisionFile("kv.log", {});
+    Pasid pasid = machine->NewApplication("kvs");
+    baseline::CentralKernel kernel(&machine->simulator(), &machine->memory());
+
+    auto inner = std::make_unique<kvs::KvsApp>(&nic, pasid);
+    auto mediated = std::make_unique<MediatedKvsApp>(std::move(inner), &kernel);
+    MediatedKvsApp* app = mediated.get();
+    nic.LoadApp(std::move(mediated));
+    machine->Boot();
+    RunWorkload(state, *machine, nic, *app->inner(), value_bytes, get_fraction);
+  }
+  state.counters["value_bytes"] = static_cast<double>(value_bytes);
+  state.counters["design"] = 1;
+}
+
+// Value-size sweep at YCSB-B-like 95% GET.
+BENCHMARK(Kvs_Decentralized)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({64, 95})
+    ->Args({256, 95})
+    ->Args({1024, 95})
+    ->Args({2048, 95})
+    // Mix sweep at 256-byte values: YCSB-C (100% GET), B (95%), A (50%).
+    ->Args({256, 100})
+    ->Args({256, 50});
+
+BENCHMARK(Kvs_CpuMediated)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({64, 95})
+    ->Args({256, 95})
+    ->Args({1024, 95})
+    ->Args({2048, 95})
+    ->Args({256, 100})
+    ->Args({256, 50});
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// E5: scalability with device count.
+//
+// Measures (a) cold boot — power-on to every device alive and announced —
+// and (b) system-wide discovery: one device broadcasting and collecting
+// responders, as devices scale 2..64. The decentralized design's boot is
+// embarrassingly parallel (every device self-tests concurrently and the bus
+// records liveness); discovery cost grows with responder count but stays
+// microseconds.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace lastcpu {
+namespace {
+
+using benchutil::StubDevice;
+
+// A stub that also exposes a discoverable compute service.
+class ServiceStub : public dev::Device {
+ public:
+  ServiceStub(DeviceId id, const dev::DeviceContext& context, std::string name)
+      : dev::Device(id, name, context) {
+    class TinyService : public dev::Service {
+     public:
+      TinyService(DeviceId provider, std::string service_name)
+          : Service(proto::ServiceDescriptor{provider, proto::ServiceType::kCompute,
+                                             std::move(service_name), 0}) {}
+      Result<proto::OpenResponse> Open(DeviceId client,
+                                       const proto::OpenRequest& request) override {
+        auto instance = CreateInstance(client, request.pasid, request.resource);
+        if (!instance.ok()) {
+          return instance.status();
+        }
+        return proto::OpenResponse{*instance, 0, 0};
+      }
+    };
+    AddService(std::make_unique<TinyService>(id, name + "-svc"));
+  }
+};
+
+void Scalability_Boot(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    core::Machine machine;
+    machine.AddMemoryController();
+    for (size_t i = 0; i < devices; ++i) {
+      machine.Emplace<ServiceStub>("dev" + std::to_string(i));
+    }
+    sim::SimTime start = machine.simulator().Now();
+    machine.Boot();
+    state.SetIterationTime((machine.simulator().Now() - start).seconds());
+    // Verify: everything is alive.
+    uint64_t alive = 0;
+    for (const auto& [id, entry] : machine.bus().LivenessSnapshot()) {
+      alive += entry.alive ? 1 : 0;
+    }
+    state.counters["alive"] = static_cast<double>(alive);
+  }
+  state.counters["devices"] = static_cast<double>(devices);
+}
+
+void Scalability_Discovery(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  core::Machine machine;
+  machine.AddMemoryController();
+  auto& seeker = machine.Emplace<StubDevice>("seeker");
+  for (size_t i = 0; i < devices; ++i) {
+    machine.Emplace<ServiceStub>("dev" + std::to_string(i));
+  }
+  machine.Boot();
+  for (auto _ : state) {
+    sim::SimTime start = machine.simulator().Now();
+    size_t found = 0;
+    seeker.Discover(proto::ServiceType::kCompute, "", sim::Duration::Micros(50),
+                    [&](std::vector<proto::ServiceDescriptor> services) {
+                      found = services.size();
+                    });
+    machine.RunUntilIdle();
+    state.SetIterationTime((machine.simulator().Now() - start).seconds());
+    state.counters["responders"] = static_cast<double>(found);
+  }
+  state.counters["devices"] = static_cast<double>(devices);
+}
+
+// Steady-state control throughput as requester count scales (companion to
+// E2's offered-load sweep, here with discovery-grade device counts).
+void Scalability_ControlOps(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    core::Machine machine;
+    auto& memctrl = machine.AddMemoryController();
+    std::vector<StubDevice*> stubs;
+    for (size_t i = 0; i < devices; ++i) {
+      stubs.push_back(&machine.Emplace<StubDevice>("dev" + std::to_string(i)));
+    }
+    machine.Boot();
+    std::vector<std::unique_ptr<core::BusControlClient>> clients;
+    std::vector<benchutil::ControlLoadRunner::PerClient> per_client;
+    for (size_t i = 0; i < devices; ++i) {
+      clients.push_back(std::make_unique<core::BusControlClient>(stubs[i], memctrl.id()));
+      per_client.push_back({clients.back().get(), Pasid(static_cast<uint32_t>(i + 1))});
+    }
+    sim::SimTime start = machine.simulator().Now();
+    benchutil::ControlLoadRunner runner(&machine.simulator(), std::move(per_client), 50);
+    runner.Run();
+    sim::Duration elapsed = machine.simulator().Now() - start;
+    state.SetIterationTime(elapsed.seconds());
+    state.counters["ops_per_sec"] = static_cast<double>(runner.completed()) / elapsed.seconds();
+  }
+  state.counters["devices"] = static_cast<double>(devices);
+}
+
+BENCHMARK(Scalability_Boot)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+BENCHMARK(Scalability_Discovery)
+    ->UseManualTime()
+    ->Iterations(5)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64);
+
+BENCHMARK(Scalability_ControlOps)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(64);
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

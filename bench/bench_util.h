@@ -1,0 +1,144 @@
+// Shared scaffolding for the experiment benchmarks (DESIGN.md E1-E8).
+//
+// Simulated metrics vs wall-clock: every experiment runs inside the
+// discrete-event simulator, so benchmarks report *simulated* time through
+// google-benchmark's manual-time mode (SetIterationTime), plus counters for
+// throughput and tail latency. Wall time of the process is irrelevant.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/control_plane.h"
+#include "src/core/machine.h"
+#include "src/kvs/kvs_app.h"
+#include "src/kvs/workload.h"
+#include "src/ssddev/file_client.h"
+
+namespace lastcpu::benchutil {
+
+// A plain self-managing device for issuing control-plane traffic; forwards
+// doorbells into an optional FileClient session.
+class StubDevice : public dev::Device {
+ public:
+  StubDevice(DeviceId id, const dev::DeviceContext& context, std::string name)
+      : dev::Device(id, std::move(name), context) {}
+
+  ssddev::FileClient* doorbell_sink = nullptr;
+
+ protected:
+  void OnDoorbell(DeviceId from, uint64_t value) override {
+    if (doorbell_sink != nullptr) {
+      (void)doorbell_sink->HandleDoorbell(from, value);
+    }
+  }
+};
+
+// Runs `total_ops` alloc+free pairs from each client with `concurrency`
+// outstanding per client; records per-op latency. Works over either control
+// plane via the ControlClient interface. Returns when all clients finish.
+class ControlLoadRunner {
+ public:
+  struct PerClient {
+    core::ControlClient* client;
+    Pasid pasid;
+  };
+
+  ControlLoadRunner(sim::Simulator* simulator, std::vector<PerClient> clients, uint64_t ops_each)
+      : simulator_(simulator), clients_(std::move(clients)), ops_each_(ops_each) {}
+
+  void Run() {
+    remaining_.assign(clients_.size(), ops_each_);
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      IssueNext(i);
+    }
+    simulator_->Run();
+  }
+
+  const sim::Histogram& latency() const { return latency_; }
+  uint64_t completed() const { return completed_; }
+
+ private:
+  void IssueNext(size_t index) {
+    if (remaining_[index] == 0) {
+      return;
+    }
+    --remaining_[index];
+    sim::SimTime start = simulator_->Now();
+    PerClient& pc = clients_[index];
+    pc.client->Alloc(pc.pasid, 4 * kPageSize, [this, index, start, &pc](Result<VirtAddr> r) {
+      if (!r.ok()) {
+        ++failures_;
+        IssueNext(index);
+        return;
+      }
+      pc.client->Free(pc.pasid, *r, 4 * kPageSize, [this, index, start](Status) {
+        latency_.Record(simulator_->Now() - start);
+        ++completed_;
+        IssueNext(index);
+      });
+    });
+  }
+
+  sim::Simulator* simulator_;
+  std::vector<PerClient> clients_;
+  uint64_t ops_each_;
+  std::vector<uint64_t> remaining_;
+  sim::Histogram latency_;
+  uint64_t completed_ = 0;
+  uint64_t failures_ = 0;
+};
+
+// Standard KVS machine for the application benchmarks: memctrl + SSD
+// (pre-provisioned log, no auth for benchmark brevity) + NIC + KvsApp.
+struct KvsRig {
+  std::unique_ptr<core::Machine> machine;
+  ssddev::SmartSsd* ssd = nullptr;
+  nicdev::SmartNic* nic = nullptr;
+  kvs::KvsApp* app = nullptr;
+  Pasid pasid;
+
+  static KvsRig Build() {
+    KvsRig rig;
+    rig.machine = std::make_unique<core::Machine>();
+    rig.machine->AddMemoryController();
+    ssddev::SmartSsdConfig ssd_config;
+    ssd_config.host_auth_service = false;
+    rig.ssd = &rig.machine->AddSmartSsd(ssd_config);
+    rig.nic = &rig.machine->AddSmartNic();
+    rig.ssd->ProvisionFile("kv.log", {});
+    rig.pasid = rig.machine->NewApplication("kvs");
+    auto app = std::make_unique<kvs::KvsApp>(rig.nic, rig.pasid);
+    rig.app = app.get();
+    rig.nic->LoadApp(std::move(app));
+    rig.machine->Boot();
+    return rig;
+  }
+
+  // Synchronously preloads `keys` with values of `value_bytes`.
+  void Preload(uint64_t keys, uint32_t value_bytes) {
+    for (uint64_t i = 0; i < keys; ++i) {
+      app->engine().Put(kvs::WorkloadGenerator::KeyFor(i),
+                        std::vector<uint8_t>(value_bytes, static_cast<uint8_t>(i)),
+                        [](Status s) { LASTCPU_CHECK(s.ok(), "preload failed"); });
+      machine->RunUntilIdle();
+    }
+  }
+};
+
+// Publishes a latency histogram as benchmark counters.
+inline void ReportLatency(benchmark::State& state, const sim::Histogram& histogram,
+                          const std::string& prefix = "") {
+  state.counters[prefix + "p50_us"] = static_cast<double>(histogram.p50()) / 1e3;
+  state.counters[prefix + "p99_us"] = static_cast<double>(histogram.p99()) / 1e3;
+  state.counters[prefix + "mean_us"] = histogram.mean() / 1e3;
+}
+
+}  // namespace lastcpu::benchutil
+
+#endif  // BENCH_BENCH_UTIL_H_

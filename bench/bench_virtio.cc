@@ -1,0 +1,134 @@
+// E8: VIRTIO as the universal service interface (paper Sec. 2.1).
+//
+// Measures virtqueue round-trip latency and throughput over IOMMU-translated
+// shared memory as queue depth and batch size vary — the cost floor under
+// every service session in the machine.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+
+#include "src/fabric/fabric.h"
+#include "src/iommu/iommu.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/simulator.h"
+#include "src/virtio/virtqueue.h"
+
+namespace lastcpu {
+namespace {
+
+constexpr DeviceId kClient{1};
+constexpr DeviceId kServer{2};
+constexpr Pasid kApp{1};
+
+struct QueueRig {
+  sim::Simulator simulator;
+  mem::PhysicalMemory memory{32 << 20};
+  fabric::Fabric fabric{&simulator, &memory};
+  iommu::Iommu client_iommu{kClient};
+  iommu::Iommu server_iommu{kServer};
+  std::optional<virtio::VirtqueueDriver> driver;
+  std::optional<virtio::VirtqueueDevice> device;
+  VirtAddr data_va;
+
+  explicit QueueRig(uint16_t depth) {
+    fabric.AttachDevice(kClient, &client_iommu);
+    fabric.AttachDevice(kServer, &server_iommu);
+    auto key = iommu::ProgrammingKey::CreateForTesting();
+    uint64_t ring_pages = PagesForBytes(virtio::VirtqueueLayout::BytesRequired(depth));
+    uint64_t total_pages = ring_pages + 64;
+    for (uint64_t i = 0; i < total_pages; ++i) {
+      (void)client_iommu.Map(key, kApp, i, 16 + i, Access::kReadWrite);
+      (void)server_iommu.Map(key, kApp, i, 16 + i, Access::kReadWrite);
+    }
+    data_va = VirtAddr(ring_pages << kPageShift);
+    driver.emplace(&fabric, kClient, kApp, VirtAddr(0), depth);
+    device.emplace(&fabric, kServer, kApp, VirtAddr(0), depth);
+    LASTCPU_CHECK(driver->Initialize().ok(), "queue init failed");
+  }
+};
+
+// One request round trip: submit -> device pops -> device completes ->
+// driver polls. Simulated cost comes from the accrued ring-access model.
+void Virtio_RoundTrip(benchmark::State& state) {
+  auto depth = static_cast<uint16_t>(state.range(0));
+  QueueRig rig(depth);
+  for (auto _ : state) {
+    sim::Duration cost = sim::Duration::Zero();
+    auto head = rig.driver->Submit({virtio::BufferDesc{rig.data_va, 256, false},
+                                    virtio::BufferDesc{rig.data_va + 256, 256, true}});
+    LASTCPU_CHECK(head.ok(), "submit failed");
+    auto chain = rig.device->PopAvail();
+    LASTCPU_CHECK(chain.ok() && chain->has_value(), "pop failed");
+    LASTCPU_CHECK(rig.device->PushUsed((*chain)->head, 256).ok(), "push failed");
+    auto used = rig.driver->PollUsed();
+    LASTCPU_CHECK(used.ok() && used->has_value(), "poll failed");
+    cost += rig.driver->TakeAccruedCost();
+    cost += rig.device->TakeAccruedCost();
+    state.SetIterationTime(cost.seconds());
+  }
+  state.counters["depth"] = static_cast<double>(depth);
+}
+
+// Batched: submit B chains, drain all, complete all, poll all. Per-op cost
+// amortizes the avail/used index reads.
+void Virtio_Batched(benchmark::State& state) {
+  constexpr uint16_t kDepth = 256;
+  auto batch = static_cast<uint16_t>(state.range(0));
+  QueueRig rig(kDepth);
+  for (auto _ : state) {
+    sim::Duration cost = sim::Duration::Zero();
+    for (uint16_t i = 0; i < batch; ++i) {
+      auto head = rig.driver->Submit({virtio::BufferDesc{rig.data_va, 64, false}});
+      LASTCPU_CHECK(head.ok(), "submit failed");
+    }
+    for (uint16_t i = 0; i < batch; ++i) {
+      auto chain = rig.device->PopAvail();
+      LASTCPU_CHECK(chain.ok() && chain->has_value(), "pop failed");
+      LASTCPU_CHECK(rig.device->PushUsed((*chain)->head, 0).ok(), "push failed");
+    }
+    for (uint16_t i = 0; i < batch; ++i) {
+      auto used = rig.driver->PollUsed();
+      LASTCPU_CHECK(used.ok() && used->has_value(), "poll failed");
+    }
+    cost += rig.driver->TakeAccruedCost();
+    cost += rig.device->TakeAccruedCost();
+    // Report per-operation cost.
+    state.SetIterationTime(cost.seconds() / batch);
+  }
+  state.counters["batch"] = static_cast<double>(batch);
+}
+
+// Host-time microbenchmark of the ring machinery itself.
+void Virtio_HostOverhead(benchmark::State& state) {
+  QueueRig rig(64);
+  for (auto _ : state) {
+    auto head = rig.driver->Submit({virtio::BufferDesc{rig.data_va, 64, false}});
+    auto chain = rig.device->PopAvail();
+    (void)rig.device->PushUsed((*chain)->head, 0);
+    auto used = rig.driver->PollUsed();
+    benchmark::DoNotOptimize(used);
+    benchmark::DoNotOptimize(head);
+  }
+}
+
+BENCHMARK(Virtio_RoundTrip)
+    ->UseManualTime()
+    ->Iterations(2000)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256);
+BENCHMARK(Virtio_Batched)
+    ->UseManualTime()
+    ->Iterations(500)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128);
+BENCHMARK(Virtio_HostOverhead);
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Section-4 "System Maintenance": a data-center operator manages a CPU-less
+// machine remotely. There is no local console — a management device (here, a
+// small console endpoint on the NIC side of the bus) authenticates against
+// the SSD-hosted auth service, uploads a new application image through the
+// loader, reads the application's log file, and inspects bus liveness.
+//
+//   $ remote_console
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/machine.h"
+#include "src/ssddev/file_client.h"
+
+using namespace lastcpu;  // NOLINT: example brevity
+
+namespace {
+
+// The remote-access service endpoint: a bus device the operator drives over
+// the network (the network hop itself is modeled in the kvstore example; the
+// point here is that *management* is just another service consumer).
+class ConsoleDevice : public dev::Device {
+ public:
+  ConsoleDevice(DeviceId id, const dev::DeviceContext& context)
+      : dev::Device(id, "console", context), log_(this, Pasid(999)) {}
+
+  ssddev::FileClient& log() { return log_; }
+
+ protected:
+  void OnDoorbell(DeviceId from, uint64_t value) override {
+    (void)log_.HandleDoorbell(from, value);
+  }
+
+ private:
+  ssddev::FileClient log_;
+};
+
+}  // namespace
+
+int main() {
+  core::Machine machine;
+  machine.AddMemoryController();
+  auto& ssd = machine.AddSmartSsd();
+  auto& console = machine.Emplace<ConsoleDevice>();
+
+  // The machine ships with an operator account and an application log.
+  ssd.auth()->AddUser("operator", "correct-horse");
+  ssddev::FileAcl acl;
+  acl.owner = "operator";
+  std::string boot_log =
+      "[0.000] kvs: started\n[0.132] kvs: 1000 keys loaded\n[0.490] kvs: serving\n";
+  ssd.ProvisionFile("kvs.log", std::vector<uint8_t>(boot_log.begin(), boot_log.end()), acl);
+  machine.Boot();
+
+  // 1. Authenticate (Sec. 4: "user authentication can be performed by an
+  //    authentication service running on any device").
+  uint64_t token = 0;
+  console.SendRequest(ssd.id(), proto::AuthRequest{"operator", "correct-horse"},
+                      [&](const proto::Message& m) {
+                        token = m.As<proto::AuthResponse>().token;
+                      });
+  machine.RunUntilIdle();
+  std::printf("operator logged in, token=%llx\n", static_cast<unsigned long long>(token));
+
+  // A wrong password is rejected without leaking which part was wrong.
+  console.SendRequest(ssd.id(), proto::AuthRequest{"operator", "wrong"},
+                      [](const proto::Message& m) {
+                        std::printf("bad login: %s\n",
+                                    m.As<proto::ErrorResponse>().message.c_str());
+                      });
+  machine.RunUntilIdle();
+
+  // 2. Inspect liveness — the operator's view of the machine.
+  std::printf("\ndevice liveness (from the bus):\n");
+  for (const auto& [id, entry] : machine.bus().LivenessSnapshot()) {
+    std::printf("  device %2u  %-12s %s\n", id.value(), entry.name.c_str(),
+                entry.alive ? "alive" : "down");
+  }
+
+  // 3. Remote 'ls' through the file service, then read the application log.
+  ssddev::ListRemoteFiles(&console, ssd.id(), token,
+                          [](Result<std::vector<std::string>> names) {
+                            std::printf("\nfiles on the smart SSD:\n");
+                            for (const auto& name : *names) {
+                              std::printf("  %s\n", name.c_str());
+                            }
+                          });
+  machine.RunUntilIdle();
+
+  console.log().Open("kvs.log", token, [&](Status s) {
+    LASTCPU_CHECK(s.ok(), "log open failed: %s", s.ToString().c_str());
+    console.log().ReadAt(0, 4096, [](Result<std::vector<uint8_t>> data) {
+      std::string text(data->begin(), data->end());
+      std::printf("\n--- kvs.log (read over the file service) ---\n%s", text.c_str());
+    });
+  });
+  machine.RunUntilIdle();
+
+  // 4. Upload a new application image through the loader service — gated by
+  //    the same token (Sec. 4: loaders authenticate "before replacing
+  //    sensitive data").
+  std::vector<uint8_t> image(2048, 0xC0);
+  console.SendRequest(ssd.id(), proto::LoadImage{"kvs-v2", image, token},
+                      [](const proto::Message& m) {
+                        std::printf("\nimage upload: %s\n",
+                                    m.Is<proto::LoadImageResponse>() ? "accepted" : "rejected");
+                      });
+  // An unauthorized upload is refused.
+  console.SendRequest(ssd.id(), proto::LoadImage{"rootkit", image, 0xBAD},
+                      [](const proto::Message& m) {
+                        std::printf("forged upload: %s\n",
+                                    m.Is<proto::ErrorResponse>() ? "rejected (good)" : "ACCEPTED?!");
+                      });
+  machine.RunUntilIdle();
+  std::printf("loader now stores %zu image(s)\n", ssd.loader().image_count());
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "src/base/check.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lastcpu {
+
+void CheckFailed(const char* file, int line, const char* condition, const char* format, ...) {
+  std::fprintf(stderr, "[lastcpu fatal] %s:%d: check failed: %s\n  ", file, line, condition);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lastcpu

@@ -1,0 +1,29 @@
+// Invariant checking. LASTCPU_CHECK aborts with a message on violation; it is
+// active in all build types because the simulator's correctness claims rest on
+// these invariants holding during benchmarks too.
+#ifndef SRC_BASE_CHECK_H_
+#define SRC_BASE_CHECK_H_
+
+#include <cstdarg>
+
+namespace lastcpu {
+
+// Prints a formatted fatal message (with source location) and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* condition, const char* format,
+                              ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace lastcpu
+
+// Aborts the process with a diagnostic if `condition` is false. `...` is a
+// printf-style message giving context.
+#define LASTCPU_CHECK(condition, ...)                                       \
+  do {                                                                      \
+    if (!(condition)) [[unlikely]] {                                        \
+      ::lastcpu::CheckFailed(__FILE__, __LINE__, #condition, __VA_ARGS__);  \
+    }                                                                       \
+  } while (false)
+
+// Marks unreachable code paths.
+#define LASTCPU_UNREACHABLE(msg) ::lastcpu::CheckFailed(__FILE__, __LINE__, "unreachable", msg)
+
+#endif  // SRC_BASE_CHECK_H_

@@ -1,0 +1,142 @@
+// Error handling primitives: Status and Result<T>.
+//
+// The emulator does not throw in the simulated-hardware paths: devices report
+// failures the way hardware does, as explicit condition codes. Status carries
+// a code plus a human-readable detail; Result<T> is a Status-or-value union.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/base/check.h"
+
+namespace lastcpu {
+
+// Condition codes shared across the whole system. These double as the error
+// codes carried inside bus protocol messages, so they are stable small ints.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kPermissionDenied = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kUnavailable = 7,       // target device not alive / link down
+  kTimedOut = 8,          // request deadline expired
+  kAborted = 9,           // operation cancelled mid-flight (reset, teardown)
+  kDataLoss = 10,         // uncorrectable media error
+  kUnimplemented = 11,
+  kInternal = 12,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A condition code with optional detail text. Cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  StatusCode code() const { return code_; }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status TimedOut(std::string msg) { return Status(StatusCode::kTimedOut, std::move(msg)); }
+inline Status Aborted(std::string msg) { return Status(StatusCode::kAborted, std::move(msg)); }
+inline Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+// Holds either a value of T or a non-OK Status. Accessing the value of a
+// failed Result is a programming error and aborts (hardware models must check
+// condition codes, exactly like a driver checks a completion status).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status)                          // NOLINT(google-explicit-constructor)
+      : state_(std::move(status)) {
+    LASTCPU_CHECK(!std::get<Status>(state_).ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    LASTCPU_CHECK(ok(), "Result::value() on error: %s", status().ToString().c_str());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    LASTCPU_CHECK(ok(), "Result::value() on error: %s", status().ToString().c_str());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    LASTCPU_CHECK(ok(), "Result::value() on error: %s", status().ToString().c_str());
+    return std::move(std::get<T>(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define LASTCPU_RETURN_IF_ERROR(expr)           \
+  do {                                          \
+    ::lastcpu::Status lastcpu_status_ = (expr); \
+    if (!lastcpu_status_.ok()) {                \
+      return lastcpu_status_;                   \
+    }                                           \
+  } while (false)
+
+}  // namespace lastcpu
+
+#endif  // SRC_BASE_STATUS_H_

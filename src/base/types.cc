@@ -1,0 +1,13 @@
+#include "src/base/types.h"
+
+namespace lastcpu {
+
+std::string ToString(Access access) {
+  std::string out;
+  out += AccessCovers(access, Access::kRead) ? 'r' : '-';
+  out += AccessCovers(access, Access::kWrite) ? 'w' : '-';
+  out += AccessCovers(access, Access::kExecute) ? 'x' : '-';
+  return out;
+}
+
+}  // namespace lastcpu

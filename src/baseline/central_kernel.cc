@@ -1,0 +1,282 @@
+#include "src/baseline/central_kernel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::baseline {
+
+CentralKernel::CentralKernel(sim::Simulator* simulator, mem::PhysicalMemory* memory,
+                             CentralKernelConfig config)
+    : simulator_(simulator),
+      allocator_(memory->num_frames()),
+      memory_(memory),
+      config_(config),
+      core_busy_until_(config.cores) {
+  LASTCPU_CHECK(simulator != nullptr && memory != nullptr, "kernel needs simulator and memory");
+  LASTCPU_CHECK(config.cores > 0, "kernel needs at least one core");
+}
+
+void CentralKernel::RegisterDevice(DeviceId device, iommu::Iommu* iommu) {
+  LASTCPU_CHECK(iommu != nullptr, "registering device without IOMMU");
+  devices_[device] = iommu;
+}
+
+iommu::Iommu* CentralKernel::FindIommu(DeviceId device) {
+  auto it = devices_.find(device);
+  return it == devices_.end() ? nullptr : it->second;
+}
+
+void CentralKernel::RunOnCpu(sim::Duration service, std::function<void()> handler) {
+  // The device raises an interrupt; after delivery the op joins the run
+  // queue of the least-loaded core.
+  sim::SimTime arrival = simulator_->Now() + config_.interrupt_cost;
+  auto core = std::min_element(core_busy_until_.begin(), core_busy_until_.end());
+  sim::SimTime start = std::max(arrival, *core);
+  sim::SimTime done = start + config_.syscall_entry + service;
+  *core = done;
+  stats_.GetHistogram("queue_wait").Record(start - arrival);
+  op_latency_.Record(done - simulator_->Now());
+  simulator_->ScheduleAt(done, [this, handler = std::move(handler)] {
+    ++ops_completed_;
+    handler();
+  });
+}
+
+bool CentralKernel::Overlaps(const Table& table, uint64_t vpage, uint64_t pages) {
+  auto next = table.lower_bound(vpage);
+  if (next != table.end() && next->first < vpage + pages) {
+    return true;
+  }
+  if (next != table.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.pages > vpage) {
+      return true;
+    }
+  }
+  return false;
+}
+
+CentralKernel::Allocation* CentralKernel::FindCovering(Pasid pasid, VirtAddr vaddr,
+                                                       uint64_t bytes) {
+  auto table_it = tables_.find(pasid);
+  if (table_it == tables_.end()) {
+    return nullptr;
+  }
+  auto next = table_it->second.upper_bound(vaddr.page());
+  if (next == table_it->second.begin()) {
+    return nullptr;
+  }
+  auto it = std::prev(next);
+  uint64_t want_end = PageCeil(vaddr.raw + bytes) >> kPageShift;
+  if (vaddr.page() >= it->first && want_end <= it->first + it->second.pages) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+Status CentralKernel::MapRange(DeviceId device, Pasid pasid, uint64_t vpage, uint64_t pframe,
+                               uint64_t pages, Access access) {
+  iommu::Iommu* iommu = FindIommu(device);
+  if (iommu == nullptr) {
+    return NotFound("unknown device");
+  }
+  iommu::ProgrammingKey key;  // the kernel is the privileged mapper here
+  for (uint64_t i = 0; i < pages; ++i) {
+    Status mapped = iommu->Map(key, pasid, vpage + i, pframe + i, access);
+    if (!mapped.ok()) {
+      return mapped;
+    }
+  }
+  return OkStatus();
+}
+
+void CentralKernel::UnmapRange(DeviceId device, Pasid pasid, uint64_t vpage, uint64_t pages) {
+  iommu::Iommu* iommu = FindIommu(device);
+  if (iommu == nullptr) {
+    return;
+  }
+  iommu::ProgrammingKey key;
+  for (uint64_t i = 0; i < pages; ++i) {
+    (void)iommu->Unmap(key, pasid, vpage + i);
+  }
+}
+
+uint64_t CentralKernel::AllocatedBytes(Pasid pasid) const {
+  auto it = bytes_allocated_.find(pasid);
+  return it == bytes_allocated_.end() ? 0 : it->second;
+}
+
+void CentralKernel::AllocMemory(DeviceId requester, Pasid pasid, uint64_t bytes,
+                                AllocCallback done) {
+  LASTCPU_CHECK(done != nullptr, "alloc without callback");
+  uint64_t pages = PagesForBytes(bytes);
+  sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  RunOnCpu(service, [this, requester, pasid, bytes, pages, done = std::move(done)] {
+    if (bytes == 0) {
+      done(InvalidArgument("zero-byte allocation"));
+      return;
+    }
+    Table& table = tables_[pasid];
+    auto [bump, inserted] = next_vpage_.try_emplace(pasid, config_.va_bump_base >> kPageShift);
+    (void)inserted;
+    uint64_t vpage = bump->second;
+    while (Overlaps(table, vpage, pages)) {
+      vpage += pages;
+    }
+    auto frame = allocator_.Allocate(pages);
+    if (!frame.ok()) {
+      done(frame.status());
+      return;
+    }
+    bump->second = vpage + pages;
+    for (uint64_t i = 0; i < pages; ++i) {
+      memory_->ZeroFrame(*frame + i);
+    }
+    Status mapped = MapRange(requester, pasid, vpage, *frame, pages, Access::kReadWrite);
+    if (!mapped.ok()) {
+      LASTCPU_CHECK(allocator_.Free(*frame, pages).ok(), "allocator out of sync");
+      done(mapped);
+      return;
+    }
+    Allocation allocation;
+    allocation.vaddr = VirtAddr(vpage << kPageShift);
+    allocation.pages = pages;
+    allocation.first_frame = *frame;
+    allocation.owner = requester;
+    table.emplace(vpage, allocation);
+    bytes_allocated_[pasid] += pages * kPageSize;
+    stats_.GetCounter("allocations").Increment();
+    done(allocation.vaddr);
+  });
+}
+
+void CentralKernel::FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                               StatusCallback done) {
+  LASTCPU_CHECK(done != nullptr, "free without callback");
+  uint64_t pages = PagesForBytes(bytes);
+  sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  RunOnCpu(service, [this, requester, pasid, vaddr, pages, done = std::move(done)] {
+    auto table_it = tables_.find(pasid);
+    if (table_it == tables_.end()) {
+      done(NotFound("no allocations for PASID"));
+      return;
+    }
+    auto it = table_it->second.find(vaddr.page());
+    if (it == table_it->second.end() || it->second.pages != pages) {
+      done(NotFound("no matching allocation"));
+      return;
+    }
+    if (it->second.owner != requester) {
+      done(PermissionDenied("only the owner may free an allocation"));
+      return;
+    }
+    UnmapRange(it->second.owner, pasid, it->first, pages);
+    for (const auto& [grantee, access] : it->second.grants) {
+      UnmapRange(grantee, pasid, it->first, pages);
+    }
+    LASTCPU_CHECK(allocator_.Free(it->second.first_frame, pages).ok(), "allocator out of sync");
+    bytes_allocated_[pasid] -= pages * kPageSize;
+    table_it->second.erase(it);
+    stats_.GetCounter("frees").Increment();
+    done(OkStatus());
+  });
+}
+
+void CentralKernel::Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                          DeviceId grantee, Access access, StatusCallback done) {
+  LASTCPU_CHECK(done != nullptr, "grant without callback");
+  uint64_t pages = PagesForBytes(bytes);
+  sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  RunOnCpu(service, [this, owner, pasid, vaddr, bytes, pages, grantee, access,
+                     done = std::move(done)] {
+    Allocation* allocation = FindCovering(pasid, vaddr, bytes);
+    if (allocation == nullptr) {
+      done(NotFound("grant range is not an allocated region"));
+      return;
+    }
+    if (allocation->owner != owner) {
+      done(PermissionDenied("only the owner may grant a region"));
+      return;
+    }
+    if (!AccessCovers(allocation->owner_access, access)) {
+      done(PermissionDenied("grant exceeds the owner's access"));
+      return;
+    }
+    uint64_t page_delta = vaddr.page() - allocation->vaddr.page();
+    Status mapped = MapRange(grantee, pasid, vaddr.page(),
+                             allocation->first_frame + page_delta, pages, access);
+    if (!mapped.ok()) {
+      done(mapped);
+      return;
+    }
+    allocation->grants.emplace_back(grantee, access);
+    stats_.GetCounter("grants").Increment();
+    done(OkStatus());
+  });
+}
+
+void CentralKernel::Revoke(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                           DeviceId grantee, StatusCallback done) {
+  LASTCPU_CHECK(done != nullptr, "revoke without callback");
+  uint64_t pages = PagesForBytes(bytes);
+  sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  RunOnCpu(service, [this, owner, pasid, vaddr, bytes, pages, grantee, done = std::move(done)] {
+    Allocation* allocation = FindCovering(pasid, vaddr, bytes);
+    if (allocation == nullptr) {
+      done(NotFound("revoke range is not an allocated region"));
+      return;
+    }
+    if (allocation->owner != owner) {
+      done(PermissionDenied("only the owner may revoke a grant"));
+      return;
+    }
+    auto it = std::find_if(allocation->grants.begin(), allocation->grants.end(),
+                           [&](const auto& grant) { return grant.first == grantee; });
+    if (it == allocation->grants.end()) {
+      done(NotFound("no such grant"));
+      return;
+    }
+    allocation->grants.erase(it);
+    UnmapRange(grantee, pasid, vaddr.page(), pages);
+    done(OkStatus());
+  });
+}
+
+void CentralKernel::Teardown(Pasid pasid, StatusCallback done) {
+  LASTCPU_CHECK(done != nullptr, "teardown without callback");
+  uint64_t pages = 0;
+  auto table_it = tables_.find(pasid);
+  if (table_it != tables_.end()) {
+    for (const auto& [vpage, allocation] : table_it->second) {
+      pages += allocation.pages * (1 + allocation.grants.size());
+    }
+  }
+  sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  RunOnCpu(service, [this, pasid, done = std::move(done)] {
+    auto it = tables_.find(pasid);
+    if (it != tables_.end()) {
+      for (auto& [vpage, allocation] : it->second) {
+        UnmapRange(allocation.owner, pasid, vpage, allocation.pages);
+        for (const auto& [grantee, access] : allocation.grants) {
+          UnmapRange(grantee, pasid, vpage, allocation.pages);
+        }
+        LASTCPU_CHECK(allocator_.Free(allocation.first_frame, allocation.pages).ok(),
+                      "allocator out of sync");
+      }
+      tables_.erase(it);
+    }
+    bytes_allocated_.erase(pasid);
+    next_vpage_.erase(pasid);
+    stats_.GetCounter("teardowns").Increment();
+    done(OkStatus());
+  });
+}
+
+void CentralKernel::MediateIo(sim::Duration work, std::function<void()> done) {
+  LASTCPU_CHECK(done != nullptr, "mediation without callback");
+  RunOnCpu(config_.io_service + work, std::move(done));
+}
+
+}  // namespace lastcpu::baseline

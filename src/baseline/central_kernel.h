@@ -1,0 +1,123 @@
+// CentralKernel: the system the paper argues against, as a baseline.
+//
+// Models a conventional accelerator-centric machine (Omni-X / M3X / IX
+// style): devices run the data plane, but every control operation — memory
+// allocation, mapping, grants, teardown, and any event needing privileged
+// attention — must be mediated by software on a general-purpose CPU. The
+// costs modeled are the ones the decentralized design eliminates:
+//   * interrupt delivery / kernel entry when a device needs the CPU,
+//   * serialization on K CPU cores (the run queue),
+//   * a software handler per operation.
+// The kernel holds the machine's only mapping privilege (it is the second
+// legal holder of iommu::ProgrammingKey) and the same allocation-table
+// semantics as the memory controller, so both designs enforce identical
+// policy — only *where* control runs differs.
+#ifndef SRC_BASELINE_CENTRAL_KERNEL_H_
+#define SRC_BASELINE_CENTRAL_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/iommu/iommu.h"
+#include "src/mem/buddy_allocator.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace lastcpu::baseline {
+
+struct CentralKernelConfig {
+  uint32_t cores = 1;
+  // Device -> CPU notification: interrupt delivery + context switch.
+  sim::Duration interrupt_cost = sim::Duration::Micros(2);
+  // Trap + syscall dispatch on entry.
+  sim::Duration syscall_entry = sim::Duration::Nanos(300);
+  // Handler body for memory-management operations.
+  sim::Duration mm_service = sim::Duration::Micros(1);
+  // Extra handler time per page mapped/unmapped.
+  sim::Duration per_page_cost = sim::Duration::Nanos(60);
+  // Handler body for generic I/O mediation (completion processing, wakeups).
+  sim::Duration io_service = sim::Duration::Nanos(800);
+  uint64_t va_bump_base = uint64_t{1} << 32;
+};
+
+class CentralKernel {
+ public:
+  using AllocCallback = std::function<void(Result<VirtAddr>)>;
+  using StatusCallback = std::function<void(Status)>;
+
+  CentralKernel(sim::Simulator* simulator, mem::PhysicalMemory* memory,
+                CentralKernelConfig config = {});
+
+  // The kernel knows every device and programs their IOMMUs directly.
+  void RegisterDevice(DeviceId device, iommu::Iommu* iommu);
+
+  // --- the control-plane "syscalls" (identical policy to MemoryController) --
+
+  void AllocMemory(DeviceId requester, Pasid pasid, uint64_t bytes, AllocCallback done);
+  void FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                  StatusCallback done);
+  void Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
+             Access access, StatusCallback done);
+  void Revoke(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
+              StatusCallback done);
+  void Teardown(Pasid pasid, StatusCallback done);
+
+  // Generic privileged mediation of a device event costing `work` of handler
+  // time (interrupt path + run queue + handler). Models the per-I/O kernel
+  // involvement of a traditional stack.
+  void MediateIo(sim::Duration work, std::function<void()> done);
+
+  // --- observability ---------------------------------------------------------
+
+  // Completed control operations.
+  uint64_t ops_completed() const { return ops_completed_; }
+  // Time an operation spends from device signal to completion.
+  const sim::Histogram& op_latency() const { return op_latency_; }
+  // Run-queue depth right now (scheduled, not yet started).
+  uint64_t AllocatedBytes(Pasid pasid) const;
+  sim::StatsRegistry& stats() { return stats_; }
+
+ private:
+  struct Allocation {
+    VirtAddr vaddr;
+    uint64_t pages = 0;
+    uint64_t first_frame = 0;
+    DeviceId owner;
+    Access owner_access = Access::kReadWrite;
+    std::vector<std::pair<DeviceId, Access>> grants;
+  };
+  using Table = std::map<uint64_t, Allocation>;
+
+  // Queues `handler` on the CPU: interrupt -> least-loaded core -> entry +
+  // service time -> handler runs (at completion time).
+  void RunOnCpu(sim::Duration service, std::function<void()> handler);
+
+  iommu::Iommu* FindIommu(DeviceId device);
+  static bool Overlaps(const Table& table, uint64_t vpage, uint64_t pages);
+  Allocation* FindCovering(Pasid pasid, VirtAddr vaddr, uint64_t bytes);
+  Status MapRange(DeviceId device, Pasid pasid, uint64_t vpage, uint64_t pframe, uint64_t pages,
+                  Access access);
+  void UnmapRange(DeviceId device, Pasid pasid, uint64_t vpage, uint64_t pages);
+
+  sim::Simulator* simulator_;
+  mem::BuddyAllocator allocator_;
+  mem::PhysicalMemory* memory_;
+  CentralKernelConfig config_;
+  std::map<DeviceId, iommu::Iommu*> devices_;
+  std::map<Pasid, Table> tables_;
+  std::map<Pasid, uint64_t> next_vpage_;
+  std::map<Pasid, uint64_t> bytes_allocated_;
+  std::vector<sim::SimTime> core_busy_until_;
+  uint64_t ops_completed_ = 0;
+  sim::Histogram op_latency_;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace lastcpu::baseline
+
+#endif  // SRC_BASELINE_CENTRAL_KERNEL_H_

@@ -1,0 +1,343 @@
+#include "src/bus/system_bus.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/proto/codec.h"
+
+namespace lastcpu::bus {
+
+void BusPort::Send(proto::Message message) { bus_->SendFromPort(id_, std::move(message)); }
+
+SystemBus::SystemBus(sim::Simulator* simulator, BusConfig config, sim::TraceLog* trace)
+    : simulator_(simulator), config_(config), trace_(trace) {
+  LASTCPU_CHECK(simulator != nullptr, "bus needs a simulator");
+  if (config_.heartbeat_timeout > sim::Duration::Zero()) {
+    simulator_->ScheduleDaemon(config_.heartbeat_timeout / 2, [this] { WatchdogSweep(); });
+  }
+}
+
+void SystemBus::WatchdogSweep() {
+  std::vector<DeviceId> dead;
+  for (const auto& [id, endpoint] : endpoints_) {
+    if (!endpoint.liveness.alive || !endpoint.liveness.heartbeats_seen) {
+      continue;
+    }
+    sim::SimTime last_seen =
+        std::max(endpoint.liveness.last_heartbeat, endpoint.liveness.alive_since);
+    if (simulator_->Now() > last_seen + config_.heartbeat_timeout) {
+      dead.push_back(id);
+    }
+  }
+  for (DeviceId id : dead) {
+    stats_.GetCounter("watchdog_failures").Increment();
+    Trace("watchdog", "device " + std::to_string(id.value()) + " missed heartbeats");
+    ReportDeviceFailure(id);
+  }
+  simulator_->ScheduleDaemon(config_.heartbeat_timeout / 2, [this] { WatchdogSweep(); });
+}
+
+void SystemBus::Trace(const std::string& event, const std::string& detail) {
+  if (trace_ != nullptr) {
+    trace_->Emit(simulator_->Now(), "bus", event, detail);
+  }
+}
+
+SystemBus::Endpoint* SystemBus::FindEndpoint(DeviceId device) {
+  auto it = endpoints_.find(device);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+BusPort* SystemBus::Attach(DeviceId device, std::string name, Receiver receiver,
+                           iommu::Iommu* iommu) {
+  LASTCPU_CHECK(!endpoints_.contains(device), "device %u attached twice", device.value());
+  LASTCPU_CHECK(receiver != nullptr, "device %u attached without receiver", device.value());
+  Endpoint endpoint;
+  endpoint.name = name;
+  endpoint.receiver = std::move(receiver);
+  endpoint.iommu = iommu;
+  endpoint.port.reset(new BusPort(this, device));
+  endpoint.liveness.name = std::move(name);
+  endpoint.liveness.attached_at = simulator_->Now();
+  auto [it, inserted] = endpoints_.emplace(device, std::move(endpoint));
+  (void)inserted;
+  Trace("attach", it->second.name);
+  return it->second.port.get();
+}
+
+void SystemBus::Detach(DeviceId device) {
+  if (memory_controller_ == device) {
+    memory_controller_ = DeviceId::Invalid();
+  }
+  endpoints_.erase(device);
+}
+
+bool SystemBus::IsAlive(DeviceId device) const {
+  auto it = endpoints_.find(device);
+  return it != endpoints_.end() && it->second.liveness.alive;
+}
+
+std::map<DeviceId, LivenessEntry> SystemBus::LivenessSnapshot() const {
+  std::map<DeviceId, LivenessEntry> out;
+  for (const auto& [id, endpoint] : endpoints_) {
+    out.emplace(id, endpoint.liveness);
+  }
+  return out;
+}
+
+void SystemBus::SendFromPort(DeviceId src, proto::Message message) {
+  Endpoint* endpoint = FindEndpoint(src);
+  LASTCPU_CHECK(endpoint != nullptr, "send from detached device %u", src.value());
+  // The port is the identity: stamp src so devices cannot spoof each other.
+  message.src = src;
+
+  stats_.GetCounter("messages_sent").Increment();
+  size_t wire_bytes = proto::EncodedSize(message);
+  stats_.GetCounter("bytes_sent").Increment(wire_bytes);
+
+  auto wire_time = config_.base_latency +
+                   sim::Duration::Nanos(static_cast<uint64_t>(
+                       static_cast<double>(wire_bytes) / config_.bytes_per_nano));
+  sim::SimTime start = std::max(simulator_->Now(), endpoint->tx_busy_until);
+  sim::SimTime arrival = start + wire_time;
+  endpoint->tx_busy_until = arrival;
+  stats_.GetHistogram("wire_latency").Record(arrival - simulator_->Now());
+
+  simulator_->ScheduleAt(arrival, [this, message = std::move(message)] { Route(message); });
+}
+
+void SystemBus::Route(proto::Message message) {
+  if (message.dst == kBusDevice) {
+    HandleBusMessage(message);
+    return;
+  }
+  if (message.dst == kBroadcastDevice) {
+    stats_.GetCounter("broadcasts").Increment();
+    // Deterministic delivery order: ascending device id.
+    std::vector<DeviceId> targets;
+    targets.reserve(endpoints_.size());
+    for (const auto& [id, endpoint] : endpoints_) {
+      if (id != message.src && endpoint.liveness.alive) {
+        targets.push_back(id);
+      }
+    }
+    std::sort(targets.begin(), targets.end());
+    for (DeviceId id : targets) {
+      proto::Message copy = message;
+      copy.dst = id;
+      Deliver(copy);
+    }
+    return;
+  }
+  Endpoint* target = FindEndpoint(message.dst);
+  if (target == nullptr || !target->liveness.alive) {
+    stats_.GetCounter("undeliverable").Increment();
+    // Bounce an error so the requester does not hang on a dead device.
+    if (message.request_id.valid()) {
+      proto::Message bounce = proto::MakeError(message, kBusDevice,
+                                               Unavailable("destination not alive"));
+      Deliver(bounce);
+    }
+    return;
+  }
+  Deliver(message);
+}
+
+void SystemBus::Deliver(const proto::Message& message) {
+  Endpoint* target = FindEndpoint(message.dst);
+  if (target == nullptr) {
+    stats_.GetCounter("undeliverable").Increment();
+    return;
+  }
+  stats_.GetCounter("messages_delivered").Increment();
+  if (trace_ != nullptr && trace_->enabled()) {
+    Trace("deliver", std::string(proto::MessageTypeName(message.type())) + " -> " + target->name);
+  }
+  target->receiver(message);
+}
+
+void SystemBus::HandleBusMessage(const proto::Message& message) {
+  switch (message.type()) {
+    case proto::MessageType::kAliveAnnounce: {
+      Endpoint* endpoint = FindEndpoint(message.src);
+      if (endpoint == nullptr) {
+        return;
+      }
+      const auto& announce = message.As<proto::AliveAnnounce>();
+      endpoint->liveness.alive = true;
+      endpoint->liveness.alive_since = simulator_->Now();
+      endpoint->liveness.last_heartbeat = simulator_->Now();
+      if (!announce.device_name.empty()) {
+        endpoint->liveness.name = announce.device_name;
+      }
+      // A device announcing a memory service becomes the memory resource
+      // controller the bus consults for mapping authorization.
+      for (const auto& service : announce.services) {
+        if (service.type == proto::ServiceType::kMemory) {
+          memory_controller_ = message.src;
+        }
+      }
+      stats_.GetCounter("alive_announcements").Increment();
+      Trace("alive", endpoint->liveness.name);
+      return;
+    }
+    case proto::MessageType::kMapDirective: {
+      // Privileged: only the controller of the resource may direct mappings.
+      if (message.src != memory_controller_) {
+        stats_.GetCounter("rejected_directives").Increment();
+        Trace("map-rejected", "src is not the memory controller");
+        proto::Message error =
+            proto::MakeError(message, kBusDevice,
+                             PermissionDenied("only the resource controller may direct mappings"));
+        Deliver(error);
+        return;
+      }
+      const auto& directive = message.As<proto::MapDirective>();
+      // Table updates serialize on the bus's single update engine.
+      auto cost = config_.table_update_latency +
+                  config_.per_entry_latency * static_cast<uint64_t>(directive.entries.size());
+      sim::SimTime start = std::max(simulator_->Now(), table_engine_busy_until_);
+      sim::SimTime done = start + cost;
+      table_engine_busy_until_ = done;
+      stats_.GetHistogram("table_update_latency").Record(done - simulator_->Now());
+      proto::Message copy = message;
+      simulator_->ScheduleAt(done, [this, copy = std::move(copy)] { ExecuteMapDirective(copy); });
+      return;
+    }
+    case proto::MessageType::kGrantRequest:
+    case proto::MessageType::kRevokeRequest:
+    case proto::MessageType::kMemFreeRequest: {
+      // Mechanism, not policy: authorization belongs to the resource
+      // controller, so forward there.
+      if (!memory_controller_.valid() || !IsAlive(memory_controller_)) {
+        proto::Message error =
+            proto::MakeError(message, kBusDevice, Unavailable("no memory controller"));
+        Deliver(error);
+        return;
+      }
+      proto::Message forward = message;
+      forward.dst = memory_controller_;
+      stats_.GetCounter("forwarded_to_controller").Increment();
+      Deliver(forward);
+      return;
+    }
+    case proto::MessageType::kHeartbeat: {
+      Endpoint* endpoint = FindEndpoint(message.src);
+      if (endpoint != nullptr) {
+        endpoint->liveness.last_heartbeat = simulator_->Now();
+        endpoint->liveness.heartbeats_seen = true;
+        stats_.GetCounter("heartbeats").Increment();
+      }
+      return;
+    }
+    case proto::MessageType::kTeardownApp: {
+      // Lifecycle: tell every device to drop the application's contexts; the
+      // memory controller additionally frees its allocations (and issues the
+      // unmap directives).
+      const auto& teardown = message.As<proto::TeardownApp>();
+      Trace("teardown", "pasid=" + std::to_string(teardown.pasid.value()));
+      for (auto& [id, endpoint] : endpoints_) {
+        if (endpoint.liveness.alive) {
+          proto::Message copy = message;
+          copy.dst = id;
+          Deliver(copy);
+        }
+      }
+      return;
+    }
+    default:
+      stats_.GetCounter("unhandled_bus_messages").Increment();
+      if (message.request_id.valid()) {
+        proto::Message error = proto::MakeError(
+            message, kBusDevice, Unimplemented("bus does not handle this message type"));
+        Deliver(error);
+      }
+      return;
+  }
+}
+
+void SystemBus::ExecuteMapDirective(const proto::Message& message) {
+  const auto& directive = message.As<proto::MapDirective>();
+  Endpoint* target = FindEndpoint(directive.target);
+  if (target == nullptr || target->iommu == nullptr) {
+    proto::Message error =
+        proto::MakeError(message, kBusDevice, NotFound("map target not attached"));
+    Deliver(error);
+    return;
+  }
+  iommu::ProgrammingKey key;  // only the bus can mint this
+  Status status = OkStatus();
+  for (const auto& entry : directive.entries) {
+    if (directive.unmap) {
+      status = target->iommu->Unmap(key, directive.pasid, entry.vpage);
+    } else {
+      status = target->iommu->Map(key, directive.pasid, entry.vpage, entry.pframe, entry.access);
+    }
+    if (!status.ok()) {
+      break;
+    }
+  }
+  stats_.GetCounter(directive.unmap ? "unmap_directives" : "map_directives").Increment();
+  stats_.GetCounter("pages_programmed").Increment(directive.entries.size());
+  Trace(directive.unmap ? "unmap" : "map",
+        "target=" + target->name + " pages=" + std::to_string(directive.entries.size()));
+  if (status.ok()) {
+    Deliver(proto::MakeResponse(message, kBusDevice,
+                                proto::MapConfirm{directive.target, directive.pasid}));
+  } else {
+    Deliver(proto::MakeError(message, kBusDevice, status));
+  }
+}
+
+void SystemBus::AdminSend(proto::Message message) {
+  message.src = kBusDevice;
+  stats_.GetCounter("admin_messages").Increment();
+  simulator_->Schedule(config_.base_latency,
+                       [this, message = std::move(message)] { Route(message); });
+}
+
+void SystemBus::ReportDeviceFailure(DeviceId device) {
+  Endpoint* failed = FindEndpoint(device);
+  if (failed == nullptr) {
+    return;
+  }
+  failed->liveness.alive = false;
+  if (memory_controller_ == device) {
+    memory_controller_ = DeviceId::Invalid();
+  }
+  // Scrub the failed device's translations: its restarted firmware must not
+  // inherit access to application memory it no longer legitimately holds.
+  if (failed->iommu != nullptr) {
+    iommu::ProgrammingKey key;
+    failed->iommu->Reset(key);
+  }
+  stats_.GetCounter("device_failures").Increment();
+  Trace("device-failed", failed->name);
+
+  // Notify all surviving devices (Sec. 4: "the resource bus must send
+  // messages to all other devices in the system").
+  for (auto& [id, endpoint] : endpoints_) {
+    if (id == device || !endpoint.liveness.alive) {
+      continue;
+    }
+    proto::Message notice;
+    notice.src = kBusDevice;
+    notice.dst = id;
+    notice.payload = proto::DeviceFailed{device};
+    simulator_->Schedule(config_.base_latency, [this, notice] { Deliver(notice); });
+  }
+  // Pulse the reset line "in an attempt to restart it".
+  proto::Message reset;
+  reset.src = kBusDevice;
+  reset.dst = device;
+  reset.payload = proto::ResetSignal{};
+  simulator_->Schedule(config_.base_latency, [this, reset, device] {
+    Endpoint* endpoint = FindEndpoint(device);
+    if (endpoint != nullptr) {
+      endpoint->receiver(reset);
+    }
+  });
+}
+
+}  // namespace lastcpu::bus

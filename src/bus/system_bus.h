@@ -1,0 +1,172 @@
+// The system management bus: the control plane of the CPU-less machine
+// (paper Sec. 2.2).
+//
+// The bus is a privileged hardware message switch. It:
+//   * routes unicast control messages between devices and broadcasts
+//     discovery messages (SSDP/USB-attach style);
+//   * records which devices are alive (and nothing else — "no entity sees the
+//     entire system and there is no global state replication");
+//   * performs the only privileged operation in the machine: programming a
+//     device's IOMMU, and only when instructed to by the controller of the
+//     resource being mapped (MapDirective from the memory controller);
+//   * forwards authorization-required requests (grant/revoke/teardown) to the
+//     resource controller — the bus supplies mechanism, never policy;
+//   * on device failure, notifies every other device and pulses the failed
+//     device's reset line (Sec. 4).
+//
+// Cost model: routing is crossbar-parallel (each source port serializes its
+// own sends), while privileged table updates serialize on the bus's single
+// table-update engine — it is simple hardware, which is the paper's point.
+#ifndef SRC_BUS_SYSTEM_BUS_H_
+#define SRC_BUS_SYSTEM_BUS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/iommu/iommu.h"
+#include "src/proto/message.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+
+namespace lastcpu::bus {
+
+struct BusConfig {
+  // Per-message wire latency: base + size * per_byte.
+  sim::Duration base_latency = sim::Duration::Nanos(250);
+  double bytes_per_nano = 2.0;  // ~2 GB/s management bus; it need not be fast
+  // Cost of one privileged table update (IOMMU map/unmap entry batch).
+  sim::Duration table_update_latency = sim::Duration::Nanos(120);
+  // Per-entry increment for large map batches.
+  sim::Duration per_entry_latency = sim::Duration::Nanos(15);
+  // Watchdog: an alive, heartbeat-participating device whose last heartbeat
+  // is older than this is declared failed. Zero disables monitoring. Devices
+  // opt in by sending heartbeats at a period comfortably below the timeout.
+  sim::Duration heartbeat_timeout = sim::Duration::Zero();
+};
+
+// A device's attachment point on the control plane. Obtained from
+// SystemBus::Attach; all sends are stamped with the owning device's id, so a
+// device cannot spoof another's identity (the port *is* the identity).
+class BusPort {
+ public:
+  BusPort(const BusPort&) = delete;
+  BusPort& operator=(const BusPort&) = delete;
+
+  DeviceId id() const { return id_; }
+
+  // Enqueues a control message. src is overwritten with this port's id.
+  void Send(proto::Message message);
+
+ private:
+  friend class SystemBus;
+  BusPort(class SystemBus* bus, DeviceId id) : bus_(bus), id_(id) {}
+
+  class SystemBus* bus_;
+  DeviceId id_;
+};
+
+// Liveness record for one attached device.
+struct LivenessEntry {
+  std::string name;
+  bool alive = false;
+  sim::SimTime attached_at;
+  sim::SimTime alive_since;
+  sim::SimTime last_heartbeat;
+  // Devices opt into watchdog monitoring by heartbeating at least once;
+  // silent (non-participating) devices are never declared dead by timeout.
+  bool heartbeats_seen = false;
+};
+
+class SystemBus {
+ public:
+  using Receiver = std::function<void(const proto::Message&)>;
+
+  SystemBus(sim::Simulator* simulator, BusConfig config = {}, sim::TraceLog* trace = nullptr);
+  SystemBus(const SystemBus&) = delete;
+  SystemBus& operator=(const SystemBus&) = delete;
+
+  // Attaches a device. `receiver` gets every message addressed (or broadcast)
+  // to it; `iommu` is the translation unit the bus programs on directives.
+  // The returned port remains owned by the bus.
+  BusPort* Attach(DeviceId device, std::string name, Receiver receiver, iommu::Iommu* iommu);
+
+  // Removes a device (clean detach, no failure notifications).
+  void Detach(DeviceId device);
+
+  bool IsAttached(DeviceId device) const { return endpoints_.contains(device); }
+  bool IsAlive(DeviceId device) const;
+
+  // Administrative / fault-injection entry point: marks the device failed,
+  // broadcasts DeviceFailed to all other devices, and pulses the reset line.
+  void ReportDeviceFailure(DeviceId device);
+
+  // Operator/BMC path: injects a control message that originates at the bus
+  // itself (e.g. application teardown issued from a remote console). Routed
+  // after one base latency.
+  void AdminSend(proto::Message message);
+
+  // Snapshot of the liveness table (for operators and tests).
+  std::map<DeviceId, LivenessEntry> LivenessSnapshot() const;
+
+  // The device currently acting as memory resource controller (announced a
+  // kMemory service), or Invalid() if none.
+  DeviceId memory_controller() const { return memory_controller_; }
+
+  sim::StatsRegistry& stats() { return stats_; }
+  sim::Simulator* simulator() { return simulator_; }
+
+ private:
+  friend class BusPort;
+
+  struct Endpoint {
+    std::string name;
+    Receiver receiver;
+    iommu::Iommu* iommu = nullptr;
+    std::unique_ptr<BusPort> port;
+    LivenessEntry liveness;
+    sim::SimTime tx_busy_until;  // source-port serialization
+  };
+
+  // Entry from ports.
+  void SendFromPort(DeviceId src, proto::Message message);
+
+  // Computes wire delay and schedules delivery/processing.
+  void Route(proto::Message message);
+
+  // Delivers to one endpoint (already past the wire delay).
+  void Deliver(const proto::Message& message);
+
+  // Handles messages addressed to the bus itself (kBusDevice).
+  void HandleBusMessage(const proto::Message& message);
+
+  // Privileged: executes a MapDirective on the target's IOMMU.
+  void ExecuteMapDirective(const proto::Message& message);
+
+  void Trace(const std::string& event, const std::string& detail);
+
+  // Periodic watchdog sweep (armed when heartbeat_timeout > 0).
+  void WatchdogSweep();
+
+  Endpoint* FindEndpoint(DeviceId device);
+
+  sim::Simulator* simulator_;
+  BusConfig config_;
+  sim::TraceLog* trace_;
+  std::unordered_map<DeviceId, Endpoint> endpoints_;
+  DeviceId memory_controller_ = DeviceId::Invalid();
+  // Serializes privileged table updates (single update engine).
+  sim::SimTime table_engine_busy_until_;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace lastcpu::bus
+
+#endif  // SRC_BUS_SYSTEM_BUS_H_

@@ -1,0 +1,76 @@
+#include "src/core/control_plane.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::core {
+namespace {
+
+Status StatusFromError(const proto::Message& message) {
+  const auto& error = message.As<proto::ErrorResponse>();
+  return Status(error.code, error.message);
+}
+
+}  // namespace
+
+BusControlClient::BusControlClient(dev::Device* requester, DeviceId memctrl)
+    : requester_(requester), memctrl_(memctrl) {
+  LASTCPU_CHECK(requester != nullptr, "bus control client needs a device");
+}
+
+void BusControlClient::Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) {
+  requester_->SendRequest(memctrl_,
+                          proto::MemAllocRequest{pasid, bytes, VirtAddr(0), Access::kReadWrite},
+                          [done = std::move(done)](const proto::Message& response) {
+                            if (response.Is<proto::ErrorResponse>()) {
+                              done(StatusFromError(response));
+                              return;
+                            }
+                            done(response.As<proto::MemAllocResponse>().vaddr);
+                          });
+}
+
+void BusControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
+                             Access access, StatusCallback done) {
+  requester_->SendRequest(kBusDevice,
+                          proto::GrantRequest{pasid, vaddr, bytes, grantee, access},
+                          [done = std::move(done)](const proto::Message& response) {
+                            if (response.Is<proto::ErrorResponse>()) {
+                              done(StatusFromError(response));
+                              return;
+                            }
+                            done(OkStatus());
+                          });
+}
+
+void BusControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) {
+  requester_->SendRequest(kBusDevice, proto::MemFreeRequest{pasid, vaddr, bytes},
+                          [done = std::move(done)](const proto::Message& response) {
+                            if (response.Is<proto::ErrorResponse>()) {
+                              done(StatusFromError(response));
+                              return;
+                            }
+                            done(OkStatus());
+                          });
+}
+
+KernelControlClient::KernelControlClient(baseline::CentralKernel* kernel, DeviceId self)
+    : kernel_(kernel), self_(self) {
+  LASTCPU_CHECK(kernel != nullptr, "kernel control client needs a kernel");
+}
+
+void KernelControlClient::Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) {
+  kernel_->AllocMemory(self_, pasid, bytes, std::move(done));
+}
+
+void KernelControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
+                                Access access, StatusCallback done) {
+  kernel_->Grant(self_, pasid, vaddr, bytes, grantee, access, std::move(done));
+}
+
+void KernelControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) {
+  kernel_->FreeMemory(self_, pasid, vaddr, bytes, std::move(done));
+}
+
+}  // namespace lastcpu::core

@@ -1,0 +1,71 @@
+// ControlClient: one interface over both control-plane designs.
+//
+// The benchmarks issue the same logical operations (allocate, grant, free)
+// against either the decentralized bus (BusControlClient — the paper's
+// design) or the centralized kernel (KernelControlClient — the baseline), so
+// every measured difference comes from *where* control runs, not what it
+// does.
+#ifndef SRC_CORE_CONTROL_PLANE_H_
+#define SRC_CORE_CONTROL_PLANE_H_
+
+#include <functional>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/baseline/central_kernel.h"
+#include "src/dev/device.h"
+
+namespace lastcpu::core {
+
+class ControlClient {
+ public:
+  using AllocCallback = std::function<void(Result<VirtAddr>)>;
+  using StatusCallback = std::function<void(Status)>;
+
+  virtual ~ControlClient() = default;
+
+  // Allocates and maps `bytes` into `pasid` for this client's device.
+  virtual void Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) = 0;
+  // Grants an owned region to another device.
+  virtual void Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee, Access access,
+                     StatusCallback done) = 0;
+  // Releases an owned allocation.
+  virtual void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) = 0;
+};
+
+// Decentralized: operations travel the system bus from `requester` to the
+// memory controller; the bus programs IOMMUs on the controller's directives.
+class BusControlClient : public ControlClient {
+ public:
+  // `memctrl` is the memory controller's device id (from discovery).
+  BusControlClient(dev::Device* requester, DeviceId memctrl);
+
+  void Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) override;
+  void Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee, Access access,
+             StatusCallback done) override;
+  void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) override;
+
+ private:
+  dev::Device* requester_;
+  DeviceId memctrl_;
+};
+
+// Centralized: operations are syscalls into the one kernel, on behalf of
+// device `self`.
+class KernelControlClient : public ControlClient {
+ public:
+  KernelControlClient(baseline::CentralKernel* kernel, DeviceId self);
+
+  void Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) override;
+  void Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee, Access access,
+             StatusCallback done) override;
+  void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) override;
+
+ private:
+  baseline::CentralKernel* kernel_;
+  DeviceId self_;
+};
+
+}  // namespace lastcpu::core
+
+#endif  // SRC_CORE_CONTROL_PLANE_H_

@@ -1,0 +1,72 @@
+#include "src/core/machine.h"
+
+namespace lastcpu::core {
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      memory_(config.memory_bytes),
+      fabric_(&simulator_, &memory_, config.fabric),
+      bus_(&simulator_, config.bus, &trace_),
+      network_(&simulator_, config.network) {
+  if (config.enable_trace) {
+    trace_.Enable();
+  }
+}
+
+memdev::MemoryController& Machine::AddMemoryController(memdev::MemoryControllerConfig config) {
+  auto device =
+      std::make_unique<memdev::MemoryController>(NextDeviceId(), Context(), &memory_, config);
+  auto& ref = *device;
+  devices_.push_back(std::move(device));
+  return ref;
+}
+
+ssddev::SmartSsd& Machine::AddSmartSsd(ssddev::SmartSsdConfig config) {
+  auto device = std::make_unique<ssddev::SmartSsd>(NextDeviceId(), Context(), config);
+  auto& ref = *device;
+  devices_.push_back(std::move(device));
+  return ref;
+}
+
+nicdev::SmartNic& Machine::AddSmartNic(nicdev::SmartNicConfig config) {
+  auto device = std::make_unique<nicdev::SmartNic>(NextDeviceId(), Context(), &network_, config);
+  auto& ref = *device;
+  devices_.push_back(std::move(device));
+  return ref;
+}
+
+void Machine::Boot() {
+  for (auto& device : devices_) {
+    if (device->state() == dev::Device::State::kPoweredOff) {
+      device->PowerOn();
+    }
+  }
+  simulator_.Run();
+}
+
+Pasid Machine::NewApplication(const std::string& name) {
+  Pasid pasid(next_pasid_++);
+  applications_.emplace_back(pasid, name);
+  return pasid;
+}
+
+void Machine::TeardownApplication(Pasid pasid) {
+  proto::Message message;
+  message.dst = kBusDevice;
+  message.payload = proto::TeardownApp{pasid};
+  bus_.AdminSend(std::move(message));
+}
+
+std::string Machine::StatsReport() {
+  std::string out;
+  out += "== bus ==\n" + bus_.stats().Report("  ");
+  out += "== fabric ==\n" + fabric_.stats().Report("  ");
+  out += "== network ==\n" + network_.stats().Report("  ");
+  for (auto& device : devices_) {
+    out += "== " + device->name() + " (id " + std::to_string(device->id().value()) + ") ==\n";
+    out += device->stats().Report("  ");
+  }
+  return out;
+}
+
+}  // namespace lastcpu::core

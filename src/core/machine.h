@@ -1,0 +1,119 @@
+// Machine: the top-level public API of the lastcpu library.
+//
+// Assembles one CPU-less machine: simulated clock, physical memory, the
+// data-plane fabric, the system management bus (the control plane — the OS
+// that no longer runs on a CPU), an external network, and the self-managing
+// devices. Figure 1 of the paper, in code:
+//
+//   core::Machine machine;
+//   auto& memctrl = machine.AddMemoryController();
+//   auto& ssd = machine.AddSmartSsd();
+//   auto& nic = machine.AddSmartNic();
+//   machine.Boot();                       // self-test + alive announcements
+//   Pasid app = machine.NewApplication("kvs");
+//   ... run ...
+//   machine.TeardownApplication(app);     // bus-driven task teardown
+#ifndef SRC_CORE_MACHINE_H_
+#define SRC_CORE_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/bus/system_bus.h"
+#include "src/dev/device.h"
+#include "src/fabric/fabric.h"
+#include "src/mem/physical_memory.h"
+#include "src/memdev/memory_controller.h"
+#include "src/net/network.h"
+#include "src/nicdev/smart_nic.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/ssddev/smart_ssd.h"
+
+namespace lastcpu::core {
+
+struct MachineConfig {
+  uint64_t memory_bytes = 256 << 20;
+  bus::BusConfig bus;
+  fabric::FabricConfig fabric;
+  net::NetworkConfig network;
+  bool enable_trace = false;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config = {});
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // --- substrate access -------------------------------------------------------
+
+  sim::Simulator& simulator() { return simulator_; }
+  sim::TraceLog& trace() { return trace_; }
+  mem::PhysicalMemory& memory() { return memory_; }
+  fabric::Fabric& fabric() { return fabric_; }
+  bus::SystemBus& bus() { return bus_; }
+  net::Network& network() { return network_; }
+  dev::DeviceContext Context() { return dev::DeviceContext{&simulator_, &bus_, &fabric_, &trace_}; }
+
+  // --- device assembly --------------------------------------------------------
+
+  DeviceId NextDeviceId() { return DeviceId(next_device_id_++); }
+
+  memdev::MemoryController& AddMemoryController(memdev::MemoryControllerConfig config = {});
+  ssddev::SmartSsd& AddSmartSsd(ssddev::SmartSsdConfig config = {});
+  nicdev::SmartNic& AddSmartNic(nicdev::SmartNicConfig config = {});
+
+  // Adds a custom device type; T's constructor must be (DeviceId,
+  // DeviceContext, extra args...).
+  template <typename T, typename... Args>
+  T& Emplace(Args&&... args) {
+    auto device = std::make_unique<T>(NextDeviceId(), Context(), std::forward<Args>(args)...);
+    T& ref = *device;
+    devices_.push_back(std::move(device));
+    return ref;
+  }
+
+  const std::vector<std::unique_ptr<dev::Device>>& devices() const { return devices_; }
+
+  // --- lifecycle ---------------------------------------------------------------
+
+  // Powers on every device and runs the simulator until the boot traffic
+  // settles (all devices alive, applications started).
+  void Boot();
+
+  void RunFor(sim::Duration d) { simulator_.RunFor(d); }
+  void RunUntilIdle() { simulator_.Run(); }
+
+  // --- applications --------------------------------------------------------------
+
+  // Registers a distributed application; what identifies it is its virtual
+  // address space (paper Sec. 2.2), so this hands out a fresh PASID.
+  Pasid NewApplication(const std::string& name);
+  // Bus-driven task teardown: every device drops the app's contexts and the
+  // memory controller reclaims its memory.
+  void TeardownApplication(Pasid pasid);
+  const std::vector<std::pair<Pasid, std::string>>& applications() const { return applications_; }
+
+  // Aggregated human-readable statistics from every component.
+  std::string StatsReport();
+
+ private:
+  MachineConfig config_;
+  sim::Simulator simulator_;
+  sim::TraceLog trace_;
+  mem::PhysicalMemory memory_;
+  fabric::Fabric fabric_;
+  bus::SystemBus bus_;
+  net::Network network_;
+  std::vector<std::unique_ptr<dev::Device>> devices_;
+  uint32_t next_device_id_ = 1;
+  uint32_t next_pasid_ = 1;
+  std::vector<std::pair<Pasid, std::string>> applications_;
+};
+
+}  // namespace lastcpu::core
+
+#endif  // SRC_CORE_MACHINE_H_

@@ -1,0 +1,417 @@
+#include "src/dev/device.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/dev/service.h"
+
+namespace lastcpu::dev {
+namespace {
+
+// Response kinds complete a pending request; request kinds dispatch to
+// handlers even when they carry a request id.
+bool IsResponseType(proto::MessageType type) {
+  switch (type) {
+    case proto::MessageType::kDiscoverResponse:
+    case proto::MessageType::kOpenResponse:
+    case proto::MessageType::kCloseResponse:
+    case proto::MessageType::kMemAllocResponse:
+    case proto::MessageType::kMemFreeResponse:
+    case proto::MessageType::kGrantResponse:
+    case proto::MessageType::kRevokeResponse:
+    case proto::MessageType::kLoadImageResponse:
+    case proto::MessageType::kAuthResponse:
+    case proto::MessageType::kErrorResponse:
+    case proto::MessageType::kMapConfirm:
+    case proto::MessageType::kAttachQueueResponse:
+    case proto::MessageType::kFileAdminResponse:
+    case proto::MessageType::kFileListResponse:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Device::Device(DeviceId id, std::string name, const DeviceContext& context, DeviceConfig config)
+    : id_(id),
+      name_(std::move(name)),
+      context_(context),
+      config_(config),
+      iommu_(id, config.tlb) {
+  LASTCPU_CHECK(context.simulator != nullptr, "device without simulator");
+  LASTCPU_CHECK(context.bus != nullptr, "device without bus");
+  LASTCPU_CHECK(context.fabric != nullptr, "device without fabric");
+
+  port_ = context_.bus->Attach(id_, name_, [this](const proto::Message& m) { ReceiveFromBus(m); },
+                               &iommu_);
+  context_.fabric->AttachDevice(id_, &iommu_, config_.link);
+  context_.fabric->SetDoorbellHandler(
+      id_, [this](DeviceId from, uint64_t value) {
+        if (state_ == State::kAlive) {
+          OnDoorbell(from, value);
+        }
+      });
+  iommu_.SetFaultHandler([this](const iommu::FaultInfo& fault) { OnFault(fault); });
+}
+
+Device::~Device() {
+  context_.fabric->DetachDevice(id_);
+  context_.bus->Detach(id_);
+}
+
+void Device::TraceEvent(const std::string& event, const std::string& detail) {
+  if (context_.trace != nullptr) {
+    context_.trace->Emit(context_.simulator->Now(), name_, event, detail);
+  }
+}
+
+void Device::PowerOn() {
+  LASTCPU_CHECK(state_ == State::kPoweredOff, "PowerOn from state %d", static_cast<int>(state_));
+  state_ = State::kSelfTest;
+  TraceEvent("self-test");
+  context_.simulator->Schedule(config_.self_test_duration, [this] {
+    if (state_ != State::kSelfTest) {
+      return;  // failed mid self-test
+    }
+    state_ = State::kAlive;
+    AnnounceAlive();
+    TraceEvent("alive");
+    if (config_.heartbeat_period > sim::Duration::Zero()) {
+      context_.simulator->ScheduleDaemon(config_.heartbeat_period, [this] { SendHeartbeat(); });
+    }
+    OnAlive();
+  });
+}
+
+void Device::SendHeartbeat() {
+  if (state_ != State::kAlive) {
+    return;  // dead silicon sends no heartbeats; the watchdog notices
+  }
+  proto::Message message;
+  message.dst = kBusDevice;
+  message.payload = proto::Heartbeat{};
+  port_->Send(std::move(message));
+  stats_.GetCounter("heartbeats_sent").Increment();
+  context_.simulator->ScheduleDaemon(config_.heartbeat_period, [this] { SendHeartbeat(); });
+}
+
+void Device::AnnounceAlive() {
+  proto::AliveAnnounce announce;
+  announce.device_name = name_;
+  for (const auto& service : services_) {
+    announce.services.push_back(service->descriptor());
+  }
+  proto::Message message;
+  message.dst = kBusDevice;
+  message.payload = std::move(announce);
+  port_->Send(std::move(message));
+}
+
+void Device::InjectFailure() {
+  state_ = State::kFailed;
+  TraceEvent("failed");
+  // Outstanding requests will never complete; fail them locally so app logic
+  // can observe its own device dying.
+  for (auto& [id, pending] : pending_) {
+    context_.simulator->Cancel(pending.timeout);
+  }
+  pending_.clear();
+}
+
+void Device::AddService(std::unique_ptr<Service> service) {
+  LASTCPU_CHECK(service != nullptr, "null service");
+  services_.push_back(std::move(service));
+}
+
+Service* Device::FindServiceByName(const std::string& service_name) {
+  for (const auto& service : services_) {
+    if (service->descriptor().name == service_name) {
+      return service.get();
+    }
+  }
+  return nullptr;
+}
+
+RequestId Device::NextRequestId() {
+  // Device id in the high bits keeps ids globally unique across devices.
+  return RequestId((static_cast<uint64_t>(id_.value()) << 40) | next_request_++);
+}
+
+RequestId Device::SendRequest(DeviceId dst, proto::Payload payload,
+                              ResponseCallback on_response) {
+  LASTCPU_CHECK(on_response != nullptr, "request without response callback");
+  RequestId request_id = NextRequestId();
+  sim::EventId timeout = context_.simulator->Schedule(config_.request_timeout, [this, request_id] {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) {
+      return;
+    }
+    ResponseCallback callback = std::move(it->second.callback);
+    pending_.erase(it);
+    stats_.GetCounter("request_timeouts").Increment();
+    proto::Message synthetic;
+    synthetic.src = kBusDevice;
+    synthetic.dst = id_;
+    synthetic.request_id = request_id;
+    synthetic.payload = proto::ErrorResponse{StatusCode::kTimedOut, "request timed out"};
+    callback(synthetic);
+  });
+  pending_.emplace(request_id, PendingRequest{std::move(on_response), timeout});
+
+  proto::Message message;
+  message.dst = dst;
+  message.request_id = request_id;
+  message.payload = std::move(payload);
+  port_->Send(std::move(message));
+  stats_.GetCounter("requests_sent").Increment();
+  return request_id;
+}
+
+void Device::SendOneWay(DeviceId dst, proto::Payload payload) {
+  proto::Message message;
+  message.dst = dst;
+  message.payload = std::move(payload);
+  port_->Send(std::move(message));
+}
+
+void Device::Discover(proto::ServiceType type, const std::string& resource, sim::Duration window,
+                      DiscoveryCallback on_done) {
+  LASTCPU_CHECK(on_done != nullptr, "discover without callback");
+  // Responses correlate by the broadcast's request id; collect until the
+  // window closes (SSDP-style: responders answer when they see the query).
+  RequestId request_id = NextRequestId();
+  auto found = std::make_shared<std::vector<proto::ServiceDescriptor>>();
+  pending_.emplace(request_id,
+                   PendingRequest{[found](const proto::Message& response) {
+                                    if (response.Is<proto::DiscoverResponse>()) {
+                                      found->push_back(
+                                          response.As<proto::DiscoverResponse>().descriptor);
+                                    }
+                                  },
+                                  sim::EventId()});
+  context_.simulator->Schedule(window, [this, request_id, found, on_done = std::move(on_done)] {
+    pending_.erase(request_id);
+    on_done(*found);
+  });
+
+  proto::Message message;
+  message.dst = kBroadcastDevice;
+  message.request_id = request_id;
+  message.payload = proto::DiscoverRequest{type, resource};
+  port_->Send(std::move(message));
+  stats_.GetCounter("discoveries").Increment();
+}
+
+void Device::ReceiveFromBus(const proto::Message& message) {
+  if (state_ == State::kFailed || state_ == State::kPoweredOff) {
+    // Dead silicon — except the reset line, which revives it.
+    if (message.Is<proto::ResetSignal>() && state_ == State::kFailed) {
+      OnReset();
+    }
+    return;
+  }
+  // Control messages are handled by the device's (single) firmware engine:
+  // each costs control_processing and they serialize, which is what bounds a
+  // single device's control-plane throughput under contention.
+  proto::Message copy = message;
+  sim::SimTime start = std::max(context_.simulator->Now(), firmware_busy_until_);
+  sim::SimTime done = start + config_.control_processing;
+  firmware_busy_until_ = done;
+  context_.simulator->ScheduleAt(done, [this, copy = std::move(copy)] { Dispatch(copy); });
+}
+
+void Device::Dispatch(const proto::Message& message) {
+  if (state_ != State::kAlive && state_ != State::kSelfTest) {
+    return;  // failed while the message was in flight
+  }
+  stats_.GetCounter("messages_received").Increment();
+
+  // Responses to our outstanding requests.
+  if (message.request_id.valid() && IsResponseType(message.type())) {
+    auto it = pending_.find(message.request_id);
+    if (it == pending_.end()) {
+      stats_.GetCounter("orphan_responses").Increment();
+      return;
+    }
+    // Discovery collectors stay pending for their whole window.
+    bool is_discovery = message.Is<proto::DiscoverResponse>();
+    if (is_discovery) {
+      it->second.callback(message);
+      return;
+    }
+    ResponseCallback callback = std::move(it->second.callback);
+    context_.simulator->Cancel(it->second.timeout);
+    pending_.erase(it);
+    callback(message);
+    return;
+  }
+
+  switch (message.type()) {
+    case proto::MessageType::kDiscoverRequest:
+      HandleDiscover(message);
+      return;
+    case proto::MessageType::kOpenRequest:
+      HandleOpen(message);
+      return;
+    case proto::MessageType::kCloseRequest:
+      HandleClose(message);
+      return;
+    case proto::MessageType::kResetSignal:
+      OnReset();
+      return;
+    case proto::MessageType::kDeviceFailed: {
+      DeviceId failed = message.As<proto::DeviceFailed>().device;
+      for (const auto& service : services_) {
+        service->TeardownClient(failed);
+      }
+      OnPeerFailed(failed);
+      return;
+    }
+    case proto::MessageType::kTeardownApp: {
+      Pasid pasid = message.As<proto::TeardownApp>().pasid;
+      for (const auto& service : services_) {
+        service->TeardownPasid(pasid);
+      }
+      OnTeardown(pasid);
+      return;
+    }
+    case proto::MessageType::kNotify:
+      OnNotify(message);
+      return;
+    default: {
+      // Single-exchange service messages (image loads, auth logins).
+      for (const auto& service : services_) {
+        auto handled = service->HandleMessage(message);
+        if (!handled.has_value()) {
+          continue;
+        }
+        if (handled->ok()) {
+          Reply(message, *std::move(*handled));
+        } else {
+          ReplyError(message, handled->status());
+        }
+        return;
+      }
+      OnMessage(message);
+      return;
+    }
+  }
+}
+
+void Device::HandleDiscover(const proto::Message& message) {
+  const auto& query = message.As<proto::DiscoverRequest>();
+  for (const auto& service : services_) {
+    if (service->Matches(query)) {
+      Reply(message, proto::DiscoverResponse{service->descriptor()});
+      TraceEvent("discover-hit", service->descriptor().name);
+      return;
+    }
+  }
+  // No match: stay silent, like SSDP — the requester's window just closes.
+}
+
+void Device::HandleOpen(const proto::Message& message) {
+  const auto& request = message.As<proto::OpenRequest>();
+  Service* service = FindServiceByName(request.service_name);
+  if (service == nullptr) {
+    ReplyError(message, NotFound("no service '" + request.service_name + "'"));
+    return;
+  }
+  auto response = service->Open(message.src, request);
+  if (!response.ok()) {
+    ReplyError(message, response.status());
+    stats_.GetCounter("opens_rejected").Increment();
+    return;
+  }
+  instance_owner_[response->instance] = service;
+  stats_.GetCounter("opens_accepted").Increment();
+  TraceEvent("open", request.service_name + ":" + request.resource);
+  Reply(message, *response);
+}
+
+void Device::HandleClose(const proto::Message& message) {
+  const auto& request = message.As<proto::CloseRequest>();
+  auto it = instance_owner_.find(request.instance);
+  if (it == instance_owner_.end()) {
+    ReplyError(message, NotFound("no such instance"));
+    return;
+  }
+  Status closed = it->second->Close(request.instance);
+  instance_owner_.erase(it);
+  if (!closed.ok()) {
+    ReplyError(message, closed);
+    return;
+  }
+  Reply(message, proto::CloseResponse{});
+}
+
+void Device::OnMessage(const proto::Message& message) {
+  stats_.GetCounter("unhandled_messages").Increment();
+  if (message.request_id.valid() && !IsResponseType(message.type())) {
+    ReplyError(message, Unimplemented(name_ + " does not handle " +
+                                      std::string(proto::MessageTypeName(message.type()))));
+  }
+}
+
+void Device::OnReset() {
+  TraceEvent("reset");
+  // Drop all volatile state: instances, pending requests.
+  instance_owner_.clear();
+  for (const auto& service : services_) {
+    for (auto snapshot = service->instances(); const auto& [id, instance] : snapshot) {
+      (void)service->Close(id);
+      (void)instance;
+    }
+  }
+  for (auto& [id, pending] : pending_) {
+    context_.simulator->Cancel(pending.timeout);
+  }
+  pending_.clear();
+  state_ = State::kSelfTest;
+  context_.simulator->Schedule(config_.self_test_duration, [this] {
+    if (state_ != State::kSelfTest) {
+      return;
+    }
+    state_ = State::kAlive;
+    AnnounceAlive();
+    TraceEvent("alive", "after reset");
+    if (config_.heartbeat_period > sim::Duration::Zero()) {
+      context_.simulator->ScheduleDaemon(config_.heartbeat_period, [this] { SendHeartbeat(); });
+    }
+    OnAlive();
+  });
+}
+
+void Device::OnPeerFailed(DeviceId device) { (void)device; }
+
+void Device::OnTeardown(Pasid pasid) {
+  // Mappings are removed by the bus via unmap directives from the memory
+  // controller; the base device has nothing further to drop.
+  (void)pasid;
+}
+
+void Device::OnFault(const iommu::FaultInfo& fault) {
+  stats_.GetCounter("iommu_faults").Increment();
+  TraceEvent("iommu-fault", fault.ToString());
+}
+
+void Device::Reply(const proto::Message& request, proto::Payload payload) {
+  proto::Message response;
+  response.dst = request.src;
+  response.request_id = request.request_id;
+  response.payload = std::move(payload);
+  port_->Send(std::move(response));
+}
+
+void Device::ReplyError(const proto::Message& request, Status status) {
+  proto::Message response;
+  response.dst = request.src;
+  response.request_id = request.request_id;
+  response.payload = proto::ErrorResponse{status.code(), status.message()};
+  port_->Send(std::move(response));
+}
+
+}  // namespace lastcpu::dev

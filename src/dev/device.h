@@ -1,0 +1,178 @@
+// Device: base class for every self-managing hardware component.
+//
+// A device (paper Sec. 2.1) manages its own internal state, exposes services,
+// multiplexes them into isolated instances, discovers and consumes services
+// from other devices over the system bus, and handles its own errors —
+// including IOMMU faults delivered to it (Sec. 4). The CPU appears nowhere.
+//
+// Lifecycle: PoweredOff -> (PowerOn) -> SelfTest -> Alive (announces itself
+// and its services on the bus) -> [Failed -> reset pulse -> SelfTest -> ...].
+#ifndef SRC_DEV_DEVICE_H_
+#define SRC_DEV_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/bus/system_bus.h"
+#include "src/fabric/fabric.h"
+#include "src/iommu/iommu.h"
+#include "src/proto/message.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+
+namespace lastcpu::dev {
+
+class Service;
+
+// Wiring shared by all devices in one machine.
+struct DeviceContext {
+  sim::Simulator* simulator = nullptr;
+  bus::SystemBus* bus = nullptr;
+  fabric::Fabric* fabric = nullptr;
+  sim::TraceLog* trace = nullptr;  // optional
+};
+
+struct DeviceConfig {
+  sim::Duration self_test_duration = sim::Duration::Micros(50);
+  // Modeled per-message handling cost of the device's control firmware.
+  sim::Duration control_processing = sim::Duration::Nanos(200);
+  fabric::LinkConfig link;
+  iommu::TlbConfig tlb;
+  sim::Duration request_timeout = sim::Duration::Millis(100);
+  // Liveness-proof period for the bus watchdog. Zero disables heartbeats.
+  sim::Duration heartbeat_period = sim::Duration::Zero();
+};
+
+class Device {
+ public:
+  enum class State : uint8_t { kPoweredOff, kSelfTest, kAlive, kFailed };
+
+  Device(DeviceId id, std::string name, const DeviceContext& context, DeviceConfig config = {});
+  virtual ~Device();
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  DeviceId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  iommu::Iommu& iommu() { return iommu_; }
+
+  // Powers the device: runs self-test, then announces itself alive on the
+  // bus with every registered service, then calls OnAlive().
+  void PowerOn();
+
+  // Fault injection: the device dies. It stops processing messages; the bus
+  // must be told separately (a real bus would notice via timeouts).
+  void InjectFailure();
+
+  // Registers a service before (or after) PowerOn. If after, callers should
+  // re-announce (services are also announced lazily via discovery).
+  void AddService(std::unique_ptr<Service> service);
+  Service* FindServiceByName(const std::string& name);
+
+  sim::StatsRegistry& stats() { return stats_; }
+
+  // --- client-side helpers (consuming other devices' services) -------------
+
+  using ResponseCallback = std::function<void(const proto::Message&)>;
+  using DiscoveryCallback = std::function<void(std::vector<proto::ServiceDescriptor>)>;
+
+  // Sends a request and registers `on_response` for the correlated reply.
+  // On timeout the callback receives a synthesized ErrorResponse(kTimedOut).
+  RequestId SendRequest(DeviceId dst, proto::Payload payload, ResponseCallback on_response);
+
+  // Fire-and-forget message.
+  void SendOneWay(DeviceId dst, proto::Payload payload);
+
+  // Broadcasts a DiscoverRequest and collects DiscoverResponses for
+  // `window`; then invokes the callback with everything that answered.
+  void Discover(proto::ServiceType type, const std::string& resource, sim::Duration window,
+                DiscoveryCallback on_done);
+
+  // Substrate access for service/client helpers hosted on this device.
+  sim::Simulator* simulator() { return context_.simulator; }
+  fabric::Fabric* fabric() { return context_.fabric; }
+  const DeviceConfig& config() const { return config_; }
+
+  // Sends a response correlated with `request`.
+  void Reply(const proto::Message& request, proto::Payload payload);
+  void ReplyError(const proto::Message& request, Status status);
+
+ protected:
+  // --- hooks for concrete devices -------------------------------------------
+
+  // Called when the device reaches Alive (load applications here).
+  virtual void OnAlive() {}
+  // Unhandled message kinds land here.
+  virtual void OnMessage(const proto::Message& message);
+  // Reset line pulsed by the bus: default re-runs self-test and re-announces.
+  virtual void OnReset();
+  // Another device failed; drop instances it held, recover app logic.
+  virtual void OnPeerFailed(DeviceId device);
+  // An application is being torn down.
+  virtual void OnTeardown(Pasid pasid);
+  // IOMMU fault delivered to this device (Sec. 4 error handling).
+  virtual void OnFault(const iommu::FaultInfo& fault);
+  // Doorbell rung by another device on the data plane.
+  virtual void OnDoorbell(DeviceId from, uint64_t value) {
+    (void)from;
+    (void)value;
+  }
+  // Notify message on the control plane.
+  virtual void OnNotify(const proto::Message& message) { (void)message; }
+
+  // Announce (again) on the bus; used after reset.
+  void AnnounceAlive();
+
+  void TraceEvent(const std::string& event, const std::string& detail = "");
+
+  bus::SystemBus* bus_handle() { return context_.bus; }
+
+ private:
+  // Receives every bus message; applies firmware processing delay then
+  // dispatches.
+  void ReceiveFromBus(const proto::Message& message);
+  void Dispatch(const proto::Message& message);
+
+  // Periodic heartbeat to the bus watchdog (armed when configured).
+  void SendHeartbeat();
+
+  // Built-in dispatch for the service protocol.
+  void HandleDiscover(const proto::Message& message);
+  void HandleOpen(const proto::Message& message);
+  void HandleClose(const proto::Message& message);
+
+  RequestId NextRequestId();
+
+  struct PendingRequest {
+    ResponseCallback callback;
+    sim::EventId timeout;
+  };
+
+  DeviceId id_;
+  std::string name_;
+  DeviceContext context_;
+  DeviceConfig config_;
+  State state_ = State::kPoweredOff;
+  iommu::Iommu iommu_;
+  bus::BusPort* port_ = nullptr;
+  std::vector<std::unique_ptr<Service>> services_;
+  // Instance routing: which service owns each open instance.
+  std::map<InstanceId, Service*> instance_owner_;
+  std::map<RequestId, PendingRequest> pending_;
+  uint64_t next_request_ = 1;
+  // Serializes control-message handling on the device's firmware engine.
+  sim::SimTime firmware_busy_until_;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace lastcpu::dev
+
+#endif  // SRC_DEV_DEVICE_H_

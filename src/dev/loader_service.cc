@@ -1,0 +1,49 @@
+#include "src/dev/loader_service.h"
+
+#include <utility>
+
+namespace lastcpu::dev {
+
+LoaderService::LoaderService(DeviceId provider, std::function<bool(uint64_t)> validate_token)
+    : Service(proto::ServiceDescriptor{provider, proto::ServiceType::kLoader, "loader", 1}),
+      validate_token_(std::move(validate_token)) {}
+
+Result<proto::OpenResponse> LoaderService::Open(DeviceId client,
+                                                const proto::OpenRequest& request) {
+  (void)client;
+  (void)request;
+  return Unimplemented("loader accepts LoadImage messages, not open");
+}
+
+std::optional<Result<proto::Payload>> LoaderService::HandleMessage(
+    const proto::Message& message) {
+  if (!message.Is<proto::LoadImage>()) {
+    return std::nullopt;
+  }
+  auto loaded = HandleLoad(message.As<proto::LoadImage>());
+  if (!loaded.ok()) {
+    return Result<proto::Payload>(loaded.status());
+  }
+  return Result<proto::Payload>(proto::Payload(*loaded));
+}
+
+Result<proto::LoadImageResponse> LoaderService::HandleLoad(const proto::LoadImage& load) {
+  if (load.app_name.empty()) {
+    return InvalidArgument("image without a name");
+  }
+  if (load.image.empty()) {
+    return InvalidArgument("empty image");
+  }
+  if (validate_token_ && !validate_token_(load.auth_token)) {
+    return PermissionDenied("loader rejected auth token");
+  }
+  images_[load.app_name] = load.image;
+  return proto::LoadImageResponse{};
+}
+
+const std::vector<uint8_t>* LoaderService::FindImage(const std::string& app_name) const {
+  auto it = images_.find(app_name);
+  return it == images_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lastcpu::dev

@@ -1,0 +1,47 @@
+// Loader service (paper Sec. 2.1): "devices that store their applications
+// internally (i.e., on-board flash) must expose a loader service that can be
+// used to upload a new binary image." Gated by an auth token validator
+// (Sec. 4: loader services use the authentication service before replacing
+// sensitive data).
+#ifndef SRC_DEV_LOADER_SERVICE_H_
+#define SRC_DEV_LOADER_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dev/service.h"
+
+namespace lastcpu::dev {
+
+class LoaderService : public Service {
+ public:
+  // `validate_token` decides whether an upload is authorized; nullptr accepts
+  // everything (pre-auth bring-up).
+  LoaderService(DeviceId provider, std::function<bool(uint64_t token)> validate_token);
+
+  // Loader has no streaming instances; Open is rejected — uploads go through
+  // HandleLoad (kLoadImage messages).
+  Result<proto::OpenResponse> Open(DeviceId client, const proto::OpenRequest& request) override;
+
+  // Accepts kLoadImage messages routed by the hosting device.
+  std::optional<Result<proto::Payload>> HandleMessage(const proto::Message& message) override;
+
+  // Stores (or replaces) an application image.
+  Result<proto::LoadImageResponse> HandleLoad(const proto::LoadImage& load);
+
+  bool HasImage(const std::string& app_name) const { return images_.contains(app_name); }
+  const std::vector<uint8_t>* FindImage(const std::string& app_name) const;
+  size_t image_count() const { return images_.size(); }
+
+ private:
+  std::function<bool(uint64_t)> validate_token_;
+  std::map<std::string, std::vector<uint8_t>> images_;
+};
+
+}  // namespace lastcpu::dev
+
+#endif  // SRC_DEV_LOADER_SERVICE_H_

@@ -1,0 +1,216 @@
+#include "src/fabric/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::fabric {
+
+Fabric::Fabric(sim::Simulator* simulator, mem::PhysicalMemory* memory, FabricConfig config)
+    : simulator_(simulator), memory_(memory), config_(config) {
+  LASTCPU_CHECK(simulator != nullptr && memory != nullptr, "fabric needs simulator and memory");
+}
+
+void Fabric::AttachDevice(DeviceId device, iommu::Iommu* iommu, LinkConfig link) {
+  LASTCPU_CHECK(iommu != nullptr, "device %u attached without IOMMU", device.value());
+  LASTCPU_CHECK(!ports_.contains(device), "device %u already attached", device.value());
+  Port port;
+  port.iommu = iommu;
+  port.link = link;
+  ports_.emplace(device, std::move(port));
+}
+
+void Fabric::SetDoorbellHandler(DeviceId device,
+                                std::function<void(DeviceId, uint64_t)> fn) {
+  Port* port = FindPort(device);
+  LASTCPU_CHECK(port != nullptr, "doorbell handler for unattached device %u", device.value());
+  port->doorbell = std::move(fn);
+}
+
+void Fabric::DetachDevice(DeviceId device) { ports_.erase(device); }
+
+Fabric::Port* Fabric::FindPort(DeviceId device) {
+  auto it = ports_.find(device);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+Status Fabric::TranslateRange(Port& port, Pasid pasid, VirtAddr addr, uint64_t length,
+                              Access wanted, std::vector<std::pair<PhysAddr, uint64_t>>& out,
+                              sim::Duration& cost) {
+  uint64_t remaining = length;
+  VirtAddr cursor = addr;
+  while (remaining > 0) {
+    auto translation = port.iommu->Translate(pasid, cursor, wanted);
+    if (!translation.ok()) {
+      return translation.status();
+    }
+    if (!translation->tlb_hit) {
+      cost += config_.walk_latency_per_level * static_cast<uint64_t>(translation->levels_walked);
+    }
+    uint64_t chunk = std::min(remaining, kPageSize - cursor.offset());
+    out.emplace_back(translation->paddr, chunk);
+    cursor = cursor + chunk;
+    remaining -= chunk;
+  }
+  return OkStatus();
+}
+
+sim::SimTime Fabric::ScheduleTransfer(Port& port, uint64_t bytes, sim::Duration extra) {
+  auto wire_time = sim::Duration::Nanos(
+      static_cast<uint64_t>(static_cast<double>(bytes) / port.link.bytes_per_nano));
+  sim::SimTime start = std::max(simulator_->Now(), port.link_busy_until);
+  sim::SimTime done = start + port.link.base_latency + wire_time + extra;
+  port.link_busy_until = done;
+  return done;
+}
+
+void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector<uint8_t> data,
+                      DmaCallback done) {
+  Port* port = FindPort(initiator);
+  LASTCPU_CHECK(port != nullptr, "DMA from unattached device %u", initiator.value());
+  LASTCPU_CHECK(done != nullptr, "DMA without completion callback");
+
+  std::vector<std::pair<PhysAddr, uint64_t>> segments;
+  sim::Duration walk_cost = sim::Duration::Zero();
+  Status translated =
+      TranslateRange(*port, pasid, dst, data.size(), Access::kWrite, segments, walk_cost);
+  if (!translated.ok()) {
+    stats_.GetCounter("dma_faults").Increment();
+    // Hardware reports the abort asynchronously, after the failed bus cycle.
+    simulator_->Schedule(port->link.base_latency,
+                         [done = std::move(done), translated] { done(translated); });
+    return;
+  }
+
+  sim::SimTime completion = ScheduleTransfer(*port, data.size(), walk_cost);
+  stats_.GetCounter("dma_writes").Increment();
+  stats_.GetCounter("dma_bytes_written").Increment(data.size());
+  stats_.GetHistogram("dma_write_latency").Record(completion - simulator_->Now());
+
+  simulator_->ScheduleAt(
+      completion, [this, segments = std::move(segments), data = std::move(data),
+                   done = std::move(done)] {
+        uint64_t offset = 0;
+        for (const auto& [paddr, len] : segments) {
+          memory_->Write(paddr, std::span<const uint8_t>(data.data() + offset, len));
+          offset += len;
+        }
+        done(OkStatus());
+      });
+}
+
+void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t length,
+                     DmaReadCallback done) {
+  Port* port = FindPort(initiator);
+  LASTCPU_CHECK(port != nullptr, "DMA from unattached device %u", initiator.value());
+  LASTCPU_CHECK(done != nullptr, "DMA without completion callback");
+
+  std::vector<std::pair<PhysAddr, uint64_t>> segments;
+  sim::Duration walk_cost = sim::Duration::Zero();
+  Status translated = TranslateRange(*port, pasid, src, length, Access::kRead, segments, walk_cost);
+  if (!translated.ok()) {
+    stats_.GetCounter("dma_faults").Increment();
+    simulator_->Schedule(port->link.base_latency,
+                         [done = std::move(done), translated] { done(translated); });
+    return;
+  }
+
+  sim::SimTime completion = ScheduleTransfer(*port, length, walk_cost);
+  stats_.GetCounter("dma_reads").Increment();
+  stats_.GetCounter("dma_bytes_read").Increment(length);
+  stats_.GetHistogram("dma_read_latency").Record(completion - simulator_->Now());
+
+  simulator_->ScheduleAt(completion,
+                         [this, segments = std::move(segments), length, done = std::move(done)] {
+                           std::vector<uint8_t> data(length);
+                           uint64_t offset = 0;
+                           for (const auto& [paddr, len] : segments) {
+                             memory_->Read(paddr, std::span<uint8_t>(data.data() + offset, len));
+                             offset += len;
+                           }
+                           done(std::move(data));
+                         });
+}
+
+AccessResult Fabric::MemWrite(DeviceId initiator, Pasid pasid, VirtAddr dst,
+                              std::span<const uint8_t> data) {
+  Port* port = FindPort(initiator);
+  LASTCPU_CHECK(port != nullptr, "access from unattached device %u", initiator.value());
+  std::vector<std::pair<PhysAddr, uint64_t>> segments;
+  sim::Duration cost = config_.mmio_latency;
+  Status translated =
+      TranslateRange(*port, pasid, dst, data.size(), Access::kWrite, segments, cost);
+  if (!translated.ok()) {
+    return AccessResult{translated, cost};
+  }
+  uint64_t offset = 0;
+  for (const auto& [paddr, len] : segments) {
+    memory_->Write(paddr, data.subspan(offset, len));
+    offset += len;
+  }
+  stats_.GetCounter("mmio_writes").Increment();
+  return AccessResult{OkStatus(), cost};
+}
+
+AccessResult Fabric::MemRead(DeviceId initiator, Pasid pasid, VirtAddr src,
+                             std::span<uint8_t> out) {
+  Port* port = FindPort(initiator);
+  LASTCPU_CHECK(port != nullptr, "access from unattached device %u", initiator.value());
+  std::vector<std::pair<PhysAddr, uint64_t>> segments;
+  sim::Duration cost = config_.mmio_latency;
+  Status translated = TranslateRange(*port, pasid, src, out.size(), Access::kRead, segments, cost);
+  if (!translated.ok()) {
+    return AccessResult{translated, cost};
+  }
+  uint64_t offset = 0;
+  for (const auto& [paddr, len] : segments) {
+    memory_->Read(paddr, out.subspan(offset, len));
+    offset += len;
+  }
+  stats_.GetCounter("mmio_reads").Increment();
+  return AccessResult{OkStatus(), cost};
+}
+
+AccessResult Fabric::WriteU64(DeviceId initiator, Pasid pasid, VirtAddr dst, uint64_t value) {
+  uint8_t buf[8];
+  uint64_t v = value;
+  for (auto& b : buf) {
+    b = static_cast<uint8_t>(v);
+    v >>= 8;
+  }
+  return MemWrite(initiator, pasid, dst, buf);
+}
+
+AccessResult Fabric::ReadU64(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t* value) {
+  uint8_t buf[8] = {};
+  AccessResult result = MemRead(initiator, pasid, src, buf);
+  if (result.status.ok()) {
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | buf[i];
+    }
+    *value = v;
+  }
+  return result;
+}
+
+void Fabric::RingDoorbell(DeviceId from, DeviceId to, uint64_t value) {
+  Port* port = FindPort(to);
+  if (port == nullptr || !port->doorbell) {
+    stats_.GetCounter("doorbells_dropped").Increment();
+    return;
+  }
+  stats_.GetCounter("doorbells").Increment();
+  simulator_->Schedule(config_.doorbell_latency, [this, from, to, value] {
+    // Re-resolve: the target may have detached (device failure) in flight.
+    Port* target = FindPort(to);
+    if (target != nullptr && target->doorbell) {
+      target->doorbell(from, value);
+    } else {
+      stats_.GetCounter("doorbells_dropped").Increment();
+    }
+  });
+}
+
+}  // namespace lastcpu::fabric

@@ -1,0 +1,111 @@
+#include "src/iommu/iommu.h"
+
+#include <cstdio>
+
+namespace lastcpu::iommu {
+
+std::string FaultInfo::ToString() const {
+  const char* kind_name = "not-mapped";
+  if (kind == Kind::kPermission) {
+    kind_name = "permission";
+  } else if (kind == Kind::kBadAddress) {
+    kind_name = "bad-address";
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "fault(%s pasid=%u vaddr=0x%llx access=%s)", kind_name,
+                pasid.value(), static_cast<unsigned long long>(vaddr.raw),
+                lastcpu::ToString(attempted).c_str());
+  return buf;
+}
+
+Iommu::Iommu(DeviceId owner, TlbConfig tlb_config) : owner_(owner), tlb_(tlb_config) {}
+
+PageTable* Iommu::FindTable(Pasid pasid) const {
+  auto it = tables_.find(pasid);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Iommu::Map(const ProgrammingKey& key, Pasid pasid, uint64_t vpage, uint64_t pframe,
+                  Access access) {
+  (void)key;
+  auto& table = tables_[pasid];
+  if (!table) {
+    table = std::make_unique<PageTable>();
+  }
+  return table->Map(vpage, pframe, access);
+}
+
+Status Iommu::Unmap(const ProgrammingKey& key, Pasid pasid, uint64_t vpage) {
+  (void)key;
+  PageTable* table = FindTable(pasid);
+  if (table == nullptr) {
+    return NotFound("no such address space");
+  }
+  Status status = table->Unmap(vpage);
+  if (status.ok()) {
+    tlb_.InvalidatePage(pasid, vpage);
+    if (table->mapped_pages() == 0) {
+      tables_.erase(pasid);
+    }
+  }
+  return status;
+}
+
+void Iommu::RemoveAddressSpace(const ProgrammingKey& key, Pasid pasid) {
+  (void)key;
+  tables_.erase(pasid);
+  tlb_.InvalidatePasid(pasid);
+}
+
+void Iommu::Reset(const ProgrammingKey& key) {
+  (void)key;
+  tables_.clear();
+  tlb_.InvalidateAll();
+}
+
+Result<Translation> Iommu::Translate(Pasid pasid, VirtAddr vaddr, Access wanted) {
+  ++translations_;
+  uint64_t vpage = vaddr.page();
+
+  auto fault = [&](FaultInfo::Kind kind) -> Status {
+    ++faults_;
+    FaultInfo info{kind, pasid, vaddr, wanted};
+    if (fault_handler_) {
+      fault_handler_(info);
+    }
+    return PermissionDenied(info.ToString());
+  };
+
+  if (vpage > PageTable::kMaxVpage) {
+    return fault(FaultInfo::Kind::kBadAddress);
+  }
+
+  if (auto cached = tlb_.Lookup(pasid, vpage)) {
+    if (!AccessCovers(cached->access, wanted)) {
+      return fault(FaultInfo::Kind::kPermission);
+    }
+    return Translation{PhysAddr((cached->pframe << kPageShift) | vaddr.offset()), true, 0};
+  }
+
+  PageTable* table = FindTable(pasid);
+  if (table == nullptr) {
+    return fault(FaultInfo::Kind::kNotMapped);
+  }
+  auto pte = table->Lookup(vpage);
+  if (!pte.ok()) {
+    return fault(FaultInfo::Kind::kNotMapped);
+  }
+  tlb_.Insert(pasid, vpage, *pte);
+  if (!AccessCovers(pte->access, wanted)) {
+    return fault(FaultInfo::Kind::kPermission);
+  }
+  return Translation{PhysAddr((pte->pframe << kPageShift) | vaddr.offset()), false,
+                     PageTable::kLevels};
+}
+
+uint64_t Iommu::mapped_pages(Pasid pasid) const {
+  PageTable* table = FindTable(pasid);
+  return table == nullptr ? 0 : table->mapped_pages();
+}
+
+}  // namespace lastcpu::iommu

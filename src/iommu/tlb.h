@@ -1,0 +1,63 @@
+// Set-associative translation lookaside buffer for the IOMMU, keyed by
+// (PASID, virtual page). LRU replacement within each set.
+#ifndef SRC_IOMMU_TLB_H_
+#define SRC_IOMMU_TLB_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/iommu/page_table.h"
+
+namespace lastcpu::iommu {
+
+struct TlbConfig {
+  uint32_t num_sets = 16;
+  uint32_t ways = 4;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(TlbConfig config);
+
+  // Returns the cached translation and refreshes its recency.
+  std::optional<PteValue> Lookup(Pasid pasid, uint64_t vpage);
+
+  // Inserts (possibly evicting the set's LRU entry).
+  void Insert(Pasid pasid, uint64_t vpage, PteValue value);
+
+  // Invalidation: single page, whole address space, or everything. The bus
+  // shoots down TLBs on unmap/revoke, exactly like an IOTLB invalidation
+  // command in a real IOMMU.
+  void InvalidatePage(Pasid pasid, uint64_t vpage);
+  void InvalidatePasid(Pasid pasid);
+  void InvalidateAll();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const;
+
+  uint32_t capacity() const { return config_.num_sets * config_.ways; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    Pasid pasid;
+    uint64_t vpage = 0;
+    PteValue value;
+    uint64_t last_used = 0;
+  };
+
+  size_t SetBase(Pasid pasid, uint64_t vpage) const;
+
+  TlbConfig config_;
+  std::vector<Entry> entries_;
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace lastcpu::iommu
+
+#endif  // SRC_IOMMU_TLB_H_

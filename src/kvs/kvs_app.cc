@@ -1,0 +1,53 @@
+#include "src/kvs/kvs_app.h"
+
+#include <utility>
+
+namespace lastcpu::kvs {
+
+KvsApp::KvsApp(dev::Device* host, Pasid pasid, KvsAppConfig config)
+    : host_(host), config_(config), engine_(host, pasid, config.engine) {}
+
+void KvsApp::Start(std::function<void(Status)> done) {
+  engine_.Start(std::move(done));
+}
+
+void KvsApp::HandleRequest(std::vector<uint8_t> payload,
+                           std::function<void(std::vector<uint8_t>)> respond) {
+  engine_.HandleRequest(std::move(payload), std::move(respond));
+}
+
+bool KvsApp::HandleDoorbell(DeviceId from, uint64_t value) {
+  return engine_.HandleDoorbell(from, value);
+}
+
+void KvsApp::OnPeerFailed(DeviceId device) {
+  if (!engine_.running() || device != engine_.file().provider()) {
+    return;
+  }
+  // Sec. 4: "It is the responsibility of the application logic running on the
+  // consumer to recover from this scenario."
+  engine_.Stop(Unavailable("storage device failed"));
+  Retry(0);
+}
+
+void KvsApp::Retry(uint32_t attempt) {
+  if (attempt >= config_.max_retries) {
+    host_->stats().GetCounter("kvs_recovery_abandoned").Increment();
+    return;
+  }
+  host_->simulator()->Schedule(config_.retry_delay, [this, attempt] {
+    if (engine_.running()) {
+      return;
+    }
+    engine_.Start([this, attempt](Status s) {
+      if (s.ok()) {
+        ++recoveries_;
+        host_->stats().GetCounter("kvs_recoveries").Increment();
+        return;
+      }
+      Retry(attempt + 1);
+    });
+  });
+}
+
+}  // namespace lastcpu::kvs

@@ -1,0 +1,45 @@
+// KvsApp: packages the KVS engine as a smart-NIC AppEngine, including the
+// Sec. 4 error-handling story — when the SSD hosting the log dies, the app
+// drops its session and keeps retrying bring-up until the device returns.
+#ifndef SRC_KVS_KVS_APP_H_
+#define SRC_KVS_KVS_APP_H_
+
+#include <memory>
+
+#include "src/kvs/kvs_engine.h"
+#include "src/nicdev/smart_nic.h"
+
+namespace lastcpu::kvs {
+
+struct KvsAppConfig {
+  KvsEngineConfig engine;
+  // Delay between bring-up retries after the storage device fails.
+  sim::Duration retry_delay = sim::Duration::Micros(500);
+  uint32_t max_retries = 20;
+};
+
+class KvsApp : public nicdev::AppEngine {
+ public:
+  KvsApp(dev::Device* host, Pasid pasid, KvsAppConfig config = {});
+
+  void Start(std::function<void(Status)> done) override;
+  void HandleRequest(std::vector<uint8_t> payload,
+                     std::function<void(std::vector<uint8_t>)> respond) override;
+  bool HandleDoorbell(DeviceId from, uint64_t value) override;
+  void OnPeerFailed(DeviceId device) override;
+
+  KvsEngine& engine() { return engine_; }
+  uint32_t recoveries() const { return recoveries_; }
+
+ private:
+  void Retry(uint32_t attempt);
+
+  dev::Device* host_;
+  KvsAppConfig config_;
+  KvsEngine engine_;
+  uint32_t recoveries_ = 0;
+};
+
+}  // namespace lastcpu::kvs
+
+#endif  // SRC_KVS_KVS_APP_H_

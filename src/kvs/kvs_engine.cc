@@ -1,0 +1,590 @@
+#include "src/kvs/kvs_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::kvs {
+
+void HashIndex::Put(const std::string& key, Location location) {
+  auto [it, inserted] = map_.insert_or_assign(key, location);
+  (void)it;
+  if (inserted) {
+    memory_bytes_ += key.size() + sizeof(Location) + 16;  // entry overhead estimate
+  }
+}
+
+bool HashIndex::Get(const std::string& key, Location* out) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void HashIndex::Remove(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return;
+  }
+  memory_bytes_ -= key.size() + sizeof(Location) + 16;
+  map_.erase(it);
+}
+
+KvsEngine::KvsEngine(dev::Device* host, Pasid pasid, KvsEngineConfig config)
+    : host_(host),
+      pasid_(pasid),
+      config_(std::move(config)),
+      file_(std::make_unique<ssddev::FileClient>(host, pasid)) {
+  LASTCPU_CHECK(host != nullptr, "engine needs a host device");
+  file_->SetSlotAvailableCallback([this] { PumpWaiting(); });
+}
+
+const std::string& KvsEngine::CommitMarkerKey() {
+  static const std::string kKey = std::string(1, '\x01') + "__compaction_commit__";
+  return kKey;
+}
+
+std::string KvsEngine::GenName(uint32_t generation) const {
+  if (generation == 0) {
+    return config_.log_file;
+  }
+  return config_.log_file + "." + std::to_string(generation);
+}
+
+std::optional<uint32_t> KvsEngine::GenOf(const std::string& name) const {
+  if (name == config_.log_file) {
+    return 0;
+  }
+  const std::string prefix = config_.log_file + ".";
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+    return std::nullopt;
+  }
+  uint32_t generation = 0;
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return std::nullopt;
+    }
+    generation = generation * 10 + static_cast<uint32_t>(name[i] - '0');
+  }
+  return generation;
+}
+
+void KvsEngine::RunOrQueue(std::function<void()> op) {
+  if (!compacting_ && file_->HasFreeSlot() && waiting_.empty()) {
+    op();
+    return;
+  }
+  stats_.GetCounter("ops_queued").Increment();
+  waiting_.push_back(std::move(op));
+}
+
+void KvsEngine::PumpWaiting() {
+  while (!compacting_ && !waiting_.empty() && file_->HasFreeSlot()) {
+    auto op = std::move(waiting_.front());
+    waiting_.pop_front();
+    op();
+  }
+}
+
+// --- bring-up / recovery -------------------------------------------------------
+
+void KvsEngine::Start(StartCallback done) {
+  LASTCPU_CHECK(done != nullptr, "start without callback");
+  // The index is volatile device state; the log is the durable truth. Start
+  // always rebuilds from the log so restart == crash recovery.
+  index_ = HashIndex();
+  log_tail_ = 0;
+  live_bytes_ = 0;
+  // Find a file-service provider, then choose the generation to adopt.
+  host_->Discover(proto::ServiceType::kFile, config_.log_file, sim::Duration::Micros(20),
+                  [this, done = std::move(done)](
+                      std::vector<proto::ServiceDescriptor> services) mutable {
+                    if (!services.empty()) {
+                      StartWithProvider(services[0].provider, std::move(done));
+                      return;
+                    }
+                    // The base file may be gone after a compaction; ask any
+                    // file service.
+                    host_->Discover(
+                        proto::ServiceType::kFile, "", sim::Duration::Micros(20),
+                        [this, done = std::move(done)](
+                            std::vector<proto::ServiceDescriptor> any) mutable {
+                          if (any.empty()) {
+                            done(NotFound("no file service on the bus"));
+                            return;
+                          }
+                          StartWithProvider(any[0].provider, std::move(done));
+                        });
+                  });
+}
+
+void KvsEngine::StartWithProvider(DeviceId provider, StartCallback done) {
+  ssddev::ListRemoteFiles(
+      host_, provider, config_.auth_token,
+      [this, provider, done = std::move(done)](Result<std::vector<std::string>> names) mutable {
+        if (!names.ok()) {
+          done(names.status());
+          return;
+        }
+        std::vector<uint32_t> candidates;
+        for (const auto& name : *names) {
+          if (auto generation = GenOf(name)) {
+            candidates.push_back(*generation);
+          }
+        }
+        if (candidates.empty()) {
+          done(NotFound("no log file for " + config_.log_file));
+          return;
+        }
+        // Newest generation first; adopt the first committed one (or the
+        // oldest as the uncompacted base case).
+        std::sort(candidates.rbegin(), candidates.rend());
+        TryCandidate(provider, std::move(candidates), 0, std::move(done));
+      });
+}
+
+void KvsEngine::TryCandidate(DeviceId provider, std::vector<uint32_t> candidates, size_t index,
+                             StartCallback done) {
+  LASTCPU_CHECK(index < candidates.size(), "candidate walk out of range");
+  uint32_t generation = candidates[index];
+  std::string name = GenName(generation);
+  index_ = HashIndex();
+  log_tail_ = 0;
+  commit_seen_ = false;
+  file_ = std::make_unique<ssddev::FileClient>(host_, pasid_);
+  file_->SetSlotAvailableCallback([this] { PumpWaiting(); });
+  file_->Open(name, config_.auth_token,
+              [this, provider, candidates = std::move(candidates), index, generation, name,
+               done = std::move(done)](Status opened) mutable {
+                if (!opened.ok()) {
+                  if (index + 1 < candidates.size()) {
+                    // Races with our own debris cleanup are survivable. Defer
+                    // off this FileClient's stack before replacing it.
+                    host_->simulator()->Schedule(
+                        sim::Duration::Nanos(100),
+                        [this, provider, candidates = std::move(candidates), index,
+                         done = std::move(done)]() mutable {
+                          TryCandidate(provider, std::move(candidates), index + 1,
+                                       std::move(done));
+                        });
+                    return;
+                  }
+                  done(opened);
+                  return;
+                }
+                RecoverFrom(0, [this, provider, candidates = std::move(candidates), index,
+                                generation, name, done = std::move(done)](Status s) mutable {
+                  if (!s.ok()) {
+                    done(s);
+                    return;
+                  }
+                  bool is_last = index + 1 == candidates.size();
+                  // A generation > 0 without a commit marker is half-copied
+                  // compaction debris: skip (and clean it up).
+                  if (generation != 0 && !commit_seen_ && !is_last) {
+                    stats_.GetCounter("debris_generations_skipped").Increment();
+                    ssddev::DeleteRemoteFile(host_, provider, name, config_.auth_token,
+                                             [](Status) {});
+                    // Defer off this FileClient's completion stack: the next
+                    // TryCandidate destroys it.
+                    host_->simulator()->Schedule(
+                        sim::Duration::Nanos(100),
+                        [this, provider, candidates = std::move(candidates), index,
+                         done = std::move(done)]() mutable {
+                          file_->Reset(Aborted("uncommitted generation"));
+                          TryCandidate(provider, std::move(candidates), index + 1,
+                                       std::move(done));
+                        });
+                    return;
+                  }
+                  // Adopt this generation; clean up every other candidate.
+                  generation_ = generation;
+                  active_file_ = name;
+                  live_bytes_ = 0;
+                  for (const auto& [key, location] : index_.entries()) {
+                    live_bytes_ += location.length;
+                  }
+                  for (size_t i = 0; i < candidates.size(); ++i) {
+                    if (i == index) {
+                      continue;
+                    }
+                    ssddev::DeleteRemoteFile(host_, provider, GenName(candidates[i]),
+                                             config_.auth_token, [](Status) {});
+                  }
+                  running_ = true;
+                  stats_.GetCounter("recovery_complete").Increment();
+                  done(OkStatus());
+                });
+              });
+}
+
+void KvsEngine::RecoverFrom(uint64_t offset, std::function<void(Status)> done) {
+  // Read the log in response-slot-sized chunks and replay whole records.
+  constexpr uint32_t kChunk = static_cast<uint32_t>(ssddev::kMaxReadBytes);
+  file_->ReadAt(
+      offset, kChunk,
+      [this, offset, done = std::move(done)](Result<std::vector<uint8_t>> data) mutable {
+        if (!data.ok()) {
+          done(data.status());
+          return;
+        }
+        if (data->empty()) {
+          done(OkStatus());
+          return;
+        }
+        uint64_t consumed = 0;
+        std::span<const uint8_t> window(*data);
+        while (true) {
+          auto record = LogRecord::Decode(window.subspan(consumed));
+          if (!record.ok()) {
+            break;  // partial record at chunk edge; next read realigns
+          }
+          const auto& [rec, bytes] = *record;
+          if (rec.key == CommitMarkerKey()) {
+            commit_seen_ = true;
+          } else if (rec.tombstone) {
+            index_.Remove(rec.key);
+          } else {
+            index_.Put(rec.key,
+                       HashIndex::Location{offset + consumed, static_cast<uint32_t>(bytes)});
+          }
+          consumed += bytes;
+          stats_.GetCounter("recovered_records").Increment();
+        }
+        log_tail_ = offset + consumed;
+        if (consumed == 0) {
+          // Cannot make progress: corrupt or trailing garbage.
+          done(OkStatus());
+          return;
+        }
+        RecoverFrom(offset + consumed, std::move(done));
+      });
+}
+
+void KvsEngine::Stop(Status reason) {
+  running_ = false;
+  compacting_ = false;
+  compact_file_.reset();
+  // Fail queued work before dropping the session (their callbacks expect an
+  // answer), then reset the session itself.
+  auto waiting = std::move(waiting_);
+  waiting_.clear();
+  file_->Reset(std::move(reason));
+  // Queued thunks re-issue against the dead session; the FileClient fails
+  // them fast with FailedPrecondition, which is the right signal.
+  for (auto& op : waiting) {
+    op();
+  }
+}
+
+bool KvsEngine::HandleDoorbell(DeviceId from, uint64_t value) {
+  if (file_->HandleDoorbell(from, value)) {
+    return true;
+  }
+  return compact_file_ != nullptr && compact_file_->HandleDoorbell(from, value);
+}
+
+// --- operations -----------------------------------------------------------------
+
+void KvsEngine::Get(const std::string& key, GetCallback done) {
+  LASTCPU_CHECK(done != nullptr, "get without callback");
+  stats_.GetCounter("gets").Increment();
+  // Queue behind a compaction swap so reads never straddle the generation
+  // switch. The index lookup happens when the op actually runs.
+  RunOrQueue([this, key, done = std::move(done)]() mutable {
+    HashIndex::Location location;
+    if (!index_.Get(key, &location)) {
+      stats_.GetCounter("get_misses").Increment();
+      done(NotFound("no such key"));
+      return;
+    }
+    file_->ReadAt(location.offset, location.length,
+                  [done = std::move(done)](Result<std::vector<uint8_t>> data) {
+                    if (!data.ok()) {
+                      done(data.status());
+                      return;
+                    }
+                    auto record = LogRecord::Decode(*data);
+                    if (!record.ok()) {
+                      done(DataLoss("corrupt log record"));
+                      return;
+                    }
+                    done(std::move(record->first.value));
+                  });
+  });
+}
+
+void KvsEngine::Put(const std::string& key, std::vector<uint8_t> value, PutCallback done) {
+  LASTCPU_CHECK(done != nullptr, "put without callback");
+  stats_.GetCounter("puts").Increment();
+  LogRecord record;
+  record.key = key;
+  record.value = std::move(value);
+  auto bytes = record.Encode();
+  auto length = static_cast<uint32_t>(bytes.size());
+  RunOrQueue([this, key, length, bytes = std::move(bytes), done = std::move(done)]() mutable {
+    file_->Append(std::move(bytes),
+                  [this, key, length, done = std::move(done)](Result<uint64_t> at) {
+                    if (!at.ok()) {
+                      done(at.status());
+                      return;
+                    }
+                    HashIndex::Location old;
+                    if (index_.Get(key, &old)) {
+                      live_bytes_ -= old.length;
+                    }
+                    live_bytes_ += length;
+                    log_tail_ = std::max(log_tail_, *at + length);
+                    index_.Put(key, HashIndex::Location{*at, length});
+                    done(OkStatus());
+                    MaybeCompact();
+                  });
+  });
+}
+
+void KvsEngine::Delete(const std::string& key, PutCallback done) {
+  LASTCPU_CHECK(done != nullptr, "delete without callback");
+  stats_.GetCounter("deletes").Increment();
+  LogRecord record;
+  record.key = key;
+  record.tombstone = true;
+  RunOrQueue([this, key, bytes = record.Encode(), done = std::move(done)]() mutable {
+    HashIndex::Location location;
+    if (!index_.Get(key, &location)) {
+      done(NotFound("no such key"));
+      return;
+    }
+    auto length = static_cast<uint32_t>(bytes.size());
+    file_->Append(std::move(bytes),
+                  [this, key, length, done = std::move(done)](Result<uint64_t> at) {
+                    if (!at.ok()) {
+                      done(at.status());
+                      return;
+                    }
+                    HashIndex::Location old;
+                    if (index_.Get(key, &old)) {
+                      live_bytes_ -= old.length;
+                    }
+                    log_tail_ = std::max(log_tail_, *at + length);
+                    index_.Remove(key);
+                    done(OkStatus());
+                    MaybeCompact();
+                  });
+  });
+}
+
+// --- compaction -----------------------------------------------------------------
+
+void KvsEngine::MaybeCompact() {
+  if (!running_ || compacting_ || config_.compact_garbage_ratio <= 0.0) {
+    return;
+  }
+  if (log_tail_ < config_.min_compact_bytes) {
+    return;
+  }
+  double garbage =
+      static_cast<double>(log_tail_ - live_bytes_) / static_cast<double>(log_tail_);
+  if (garbage < config_.compact_garbage_ratio) {
+    return;
+  }
+  CompactNow([](Status) {});
+}
+
+void KvsEngine::CompactNow(StartCallback done) {
+  LASTCPU_CHECK(done != nullptr, "compact without callback");
+  if (!running_ || compacting_) {
+    done(FailedPrecondition("engine not in a compactable state"));
+    return;
+  }
+  compacting_ = true;
+  stats_.GetCounter("compactions").Increment();
+  uint32_t target_gen = generation_ + 1;
+  std::string target = GenName(target_gen);
+  DeviceId provider = file_->provider();
+
+  ssddev::CreateRemoteFile(
+      host_, provider, target, config_.auth_token,
+      [this, target, done = std::move(done)](Status created) mutable {
+        if (!created.ok()) {
+          AbortCompaction(created, std::move(done));
+          return;
+        }
+        compact_file_ = std::make_unique<ssddev::FileClient>(host_, pasid_);
+        compact_file_->Open(target, config_.auth_token,
+                            [this, done = std::move(done)](Status opened) mutable {
+                              if (!opened.ok()) {
+                                AbortCompaction(opened, std::move(done));
+                                return;
+                              }
+                              auto live = std::make_shared<
+                                  std::vector<std::pair<std::string, HashIndex::Location>>>(
+                                  index_.entries().begin(), index_.entries().end());
+                              auto new_index = std::make_shared<HashIndex>();
+                              auto new_tail = std::make_shared<uint64_t>(0);
+                              CopyNext(live, 0, new_index, new_tail, std::move(done));
+                            });
+      });
+}
+
+void KvsEngine::CopyNext(
+    std::shared_ptr<std::vector<std::pair<std::string, HashIndex::Location>>> live, size_t index,
+    std::shared_ptr<HashIndex> new_index, std::shared_ptr<uint64_t> new_tail,
+    StartCallback done) {
+  if (index >= live->size()) {
+    // Seal the generation with the commit marker.
+    LogRecord marker;
+    marker.key = CommitMarkerKey();
+    marker.tombstone = true;
+    auto bytes = marker.Encode();
+    auto length = static_cast<uint64_t>(bytes.size());
+    compact_file_->Append(std::move(bytes),
+                          [this, new_index, new_tail, length,
+                           done = std::move(done)](Result<uint64_t> at) mutable {
+                            if (!at.ok()) {
+                              AbortCompaction(at.status(), std::move(done));
+                              return;
+                            }
+                            FinishCompaction(new_index, *new_tail + length, std::move(done));
+                          });
+    return;
+  }
+  const auto& [key, location] = (*live)[index];
+  file_->ReadAt(
+      location.offset, location.length,
+      [this, live, index, new_index, new_tail, key = key,
+       done = std::move(done)](Result<std::vector<uint8_t>> data) mutable {
+        if (!data.ok()) {
+          AbortCompaction(data.status(), std::move(done));
+          return;
+        }
+        auto length = static_cast<uint32_t>(data->size());
+        compact_file_->Append(*std::move(data),
+                              [this, live, index, new_index, new_tail, key = std::move(key),
+                               length, done = std::move(done)](Result<uint64_t> at) mutable {
+                                if (!at.ok()) {
+                                  AbortCompaction(at.status(), std::move(done));
+                                  return;
+                                }
+                                new_index->Put(key, HashIndex::Location{*at, length});
+                                *new_tail = std::max(*new_tail, *at + length);
+                                stats_.GetCounter("compacted_records").Increment();
+                                CopyNext(live, index + 1, new_index, new_tail, std::move(done));
+                              });
+      });
+}
+
+void KvsEngine::FinishCompaction(std::shared_ptr<HashIndex> new_index, uint64_t new_tail,
+                                 StartCallback done) {
+  // Let requests that were in flight on the old session before compaction
+  // started finish cleanly rather than aborting them at the swap.
+  if (file_->InFlight() > 0) {
+    host_->simulator()->Schedule(sim::Duration::Micros(10),
+                                 [this, new_index, new_tail, done = std::move(done)]() mutable {
+                                   FinishCompaction(new_index, new_tail, std::move(done));
+                                 });
+    return;
+  }
+  // Swap: the new generation becomes the store; the old file is deleted via
+  // the control plane. Queued operations resume against the new session.
+  std::string old_name = active_file_;
+  DeviceId provider = compact_file_->provider();
+  uint32_t target_gen = generation_ + 1;
+
+  file_->Reset(Aborted("superseded by compaction"));
+  file_ = std::move(compact_file_);
+  file_->SetSlotAvailableCallback([this] { PumpWaiting(); });
+  index_ = *new_index;
+  live_bytes_ = 0;
+  for (const auto& [key, location] : index_.entries()) {
+    live_bytes_ += location.length;
+  }
+  log_tail_ = new_tail;
+  generation_ = target_gen;
+  active_file_ = GenName(target_gen);
+  compacting_ = false;
+  stats_.GetCounter("compactions_completed").Increment();
+
+  ssddev::DeleteRemoteFile(host_, provider, old_name, config_.auth_token,
+                           [done = std::move(done)](Status deleted) {
+                             // Best effort: leftover debris is cleaned at the
+                             // next recovery.
+                             (void)deleted;
+                             done(OkStatus());
+                           });
+  PumpWaiting();
+}
+
+void KvsEngine::AbortCompaction(Status reason, StartCallback done) {
+  stats_.GetCounter("compactions_aborted").Increment();
+  if (compact_file_ != nullptr) {
+    DeviceId provider = compact_file_->provider();
+    std::string target = GenName(generation_ + 1);
+    compact_file_->Reset(reason);
+    compact_file_.reset();
+    if (provider.valid()) {
+      ssddev::DeleteRemoteFile(host_, provider, target, config_.auth_token, [](Status) {});
+    }
+  }
+  compacting_ = false;
+  PumpWaiting();
+  done(reason);
+}
+
+// --- network protocol -------------------------------------------------------------
+
+void KvsEngine::HandleRequest(std::vector<uint8_t> wire, Responder respond) {
+  LASTCPU_CHECK(respond != nullptr, "request without responder");
+  auto request = KvsRequest::Decode(wire);
+  if (!request.ok()) {
+    stats_.GetCounter("malformed_requests").Increment();
+    KvsResponse response;
+    response.status = StatusCode::kInvalidArgument;
+    respond(response.Encode());
+    return;
+  }
+  if (!running_) {
+    KvsResponse response;
+    response.status = StatusCode::kUnavailable;
+    response.sequence = request->sequence;
+    respond(response.Encode());
+    return;
+  }
+  uint64_t sequence = request->sequence;
+  switch (request->op) {
+    case KvsOp::kGet:
+      Get(request->key, [sequence, respond = std::move(respond)](
+                            Result<std::vector<uint8_t>> value) {
+        KvsResponse response;
+        response.sequence = sequence;
+        if (value.ok()) {
+          response.value = *std::move(value);
+        } else {
+          response.status = value.status().code();
+        }
+        respond(response.Encode());
+      });
+      return;
+    case KvsOp::kPut:
+      Put(request->key, std::move(request->value),
+          [sequence, respond = std::move(respond)](Status s) {
+            KvsResponse response;
+            response.sequence = sequence;
+            response.status = s.code();
+            respond(response.Encode());
+          });
+      return;
+    case KvsOp::kDelete:
+      Delete(request->key, [sequence, respond = std::move(respond)](Status s) {
+        KvsResponse response;
+        response.sequence = sequence;
+        response.status = s.code();
+        respond(response.Encode());
+      });
+      return;
+  }
+}
+
+}  // namespace lastcpu::kvs

@@ -1,0 +1,166 @@
+// KvsEngine: the paper's Sec. 3 application logic, running on the smart NIC.
+//
+// "The data (keys and values) are stored in a file hosted by a smart SSD,
+// while the operations (get, insert, update, etc.) are processed in a
+// smart-NIC." The engine keeps a hash index (key -> log offset) in NIC
+// memory, appends puts/deletes to the SSD log through the file service, and
+// serves gets by reading the log at the indexed offset — a KV-Direct/
+// LightStore-style log-structured store with zero CPU involvement.
+//
+// Log compaction (implemented future work): overwrites and deletes leave dead
+// bytes in the log. When the garbage ratio crosses a threshold the engine
+// rewrites live records into a fresh generation file ("kv.log.N"), seals it
+// with a commit-marker record, atomically swaps its index/session over, and
+// deletes the old generation — entirely via the remote file service.
+// Recovery lists the provider's files and adopts the newest *committed*
+// generation (an uncommitted one is half-copied debris and is deleted).
+#ifndef SRC_KVS_KVS_ENGINE_H_
+#define SRC_KVS_KVS_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dev/device.h"
+#include "src/kvs/kvs_protocol.h"
+#include "src/ssddev/file_client.h"
+
+namespace lastcpu::kvs {
+
+// In-memory index: key -> location of its newest log record.
+class HashIndex {
+ public:
+  struct Location {
+    uint64_t offset = 0;
+    uint32_t length = 0;  // full record bytes
+  };
+
+  void Put(const std::string& key, Location location);
+  bool Get(const std::string& key, Location* out) const;
+  void Remove(const std::string& key);
+
+  size_t size() const { return map_.size(); }
+  // Approximate NIC-DRAM footprint (keys + entries).
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  const std::unordered_map<std::string, Location>& entries() const { return map_; }
+
+ private:
+  std::unordered_map<std::string, Location> map_;
+  uint64_t memory_bytes_ = 0;
+};
+
+struct KvsEngineConfig {
+  std::string log_file = "kv.log";
+  uint64_t auth_token = 0;
+  // Compaction trigger: dead-byte fraction of the log (0 disables) and the
+  // minimum log size before compaction is considered.
+  double compact_garbage_ratio = 0.0;
+  uint64_t min_compact_bytes = 64 << 10;
+};
+
+class KvsEngine {
+ public:
+  using GetCallback = std::function<void(Result<std::vector<uint8_t>>)>;
+  using PutCallback = std::function<void(Status)>;
+  using StartCallback = std::function<void(Status)>;
+  using Responder = std::function<void(std::vector<uint8_t>)>;
+
+  // Runs on `host` (the NIC) in application address space `pasid`.
+  KvsEngine(dev::Device* host, Pasid pasid, KvsEngineConfig config = {});
+
+  // Brings the store up: discovers the file service, picks the newest
+  // committed log generation, opens its session, and rebuilds the index by
+  // scanning the log (crash recovery — the index is volatile NIC state).
+  void Start(StartCallback done);
+  bool running() const { return running_; }
+
+  // --- the KVS operations ----------------------------------------------------
+
+  void Get(const std::string& key, GetCallback done);
+  void Put(const std::string& key, std::vector<uint8_t> value, PutCallback done);
+  void Delete(const std::string& key, PutCallback done);
+
+  // Decodes one network request, executes it, and encodes the response.
+  void HandleRequest(std::vector<uint8_t> wire, Responder respond);
+
+  // Wiring: the host forwards matching doorbells here.
+  bool HandleDoorbell(DeviceId from, uint64_t value);
+
+  // Recovery/teardown: drop the session (e.g. the SSD died); Start() again
+  // re-opens and re-scans.
+  void Stop(Status reason);
+
+  // Rewrites live records into the next log generation now (normally driven
+  // automatically by the garbage-ratio trigger).
+  void CompactNow(StartCallback done);
+  bool compacting() const { return compacting_; }
+  uint32_t generation() const { return generation_; }
+  uint64_t log_tail_bytes() const { return log_tail_; }
+  uint64_t live_bytes() const { return live_bytes_; }
+
+  const HashIndex& index() const { return index_; }
+  ssddev::FileClient& file() { return *file_; }
+  sim::StatsRegistry& stats() { return stats_; }
+
+  // Operations queued while every session slot is in flight (backpressure
+  // instead of rejection under burst load).
+  size_t queued_ops() const { return waiting_.size(); }
+
+ private:
+  // The commit-marker record sealing a compacted generation. The leading
+  // control byte keeps it out of the application keyspace.
+  static const std::string& CommitMarkerKey();
+
+  std::string GenName(uint32_t generation) const;
+  // Parses a generation number out of a candidate file name; nullopt if the
+  // name does not belong to this store.
+  std::optional<uint32_t> GenOf(const std::string& name) const;
+
+  // Start pipeline: list provider files -> try candidates newest-first.
+  void StartWithProvider(DeviceId provider, StartCallback done);
+  void TryCandidate(DeviceId provider, std::vector<uint32_t> candidates, size_t index,
+                    StartCallback done);
+  // Recovery scan of the open session's log into the index.
+  void RecoverFrom(uint64_t offset, std::function<void(Status)> done);
+
+  // Compaction pipeline.
+  void CopyNext(std::shared_ptr<std::vector<std::pair<std::string, HashIndex::Location>>> live,
+                size_t index, std::shared_ptr<HashIndex> new_index,
+                std::shared_ptr<uint64_t> new_tail, StartCallback done);
+  void FinishCompaction(std::shared_ptr<HashIndex> new_index, uint64_t new_tail,
+                        StartCallback done);
+  void AbortCompaction(Status reason, StartCallback done);
+  void MaybeCompact();
+
+  // Runs `op` now if the session has a free slot (and no compaction swap is
+  // in progress), else queues it.
+  void RunOrQueue(std::function<void()> op);
+  void PumpWaiting();
+
+  dev::Device* host_;
+  Pasid pasid_;
+  KvsEngineConfig config_;
+  std::unique_ptr<ssddev::FileClient> file_;
+  HashIndex index_;
+  bool running_ = false;
+  std::string active_file_;
+  uint32_t generation_ = 0;
+  uint64_t log_tail_ = 0;    // high-water mark of appended bytes
+  uint64_t live_bytes_ = 0;  // bytes of records the index still references
+  bool commit_seen_ = false;
+
+  bool compacting_ = false;
+  std::unique_ptr<ssddev::FileClient> compact_file_;
+
+  std::deque<std::function<void()>> waiting_;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace lastcpu::kvs
+
+#endif  // SRC_KVS_KVS_ENGINE_H_

@@ -1,0 +1,109 @@
+#include "src/kvs/workload.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::kvs {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed) {
+  LASTCPU_CHECK(config.num_keys > 0, "workload needs keys");
+  if (config.zipf_theta > 0.0) {
+    zipf_ = std::make_unique<sim::ZipfGenerator>(config.num_keys, config.zipf_theta);
+  }
+}
+
+std::string WorkloadGenerator::KeyFor(uint64_t index) {
+  return "user" + std::to_string(1000000 + index);
+}
+
+KvsRequest WorkloadGenerator::Next() {
+  KvsRequest request;
+  request.sequence = ++sequence_;
+  uint64_t key_index =
+      zipf_ ? zipf_->Next(rng_) : rng_.NextBelow(config_.num_keys);
+  request.key = KeyFor(key_index);
+  if (rng_.NextDouble() < config_.get_fraction) {
+    request.op = KvsOp::kGet;
+  } else {
+    request.op = KvsOp::kPut;
+    request.value.resize(config_.value_bytes);
+    rng_.Fill(request.value);
+  }
+  return request;
+}
+
+LoadClient::LoadClient(sim::Simulator* simulator, net::Network* network, net::EndpointId server,
+                       WorkloadConfig workload, uint32_t concurrency)
+    : simulator_(simulator),
+      network_(network),
+      server_(server),
+      generator_(workload),
+      concurrency_(concurrency) {
+  LASTCPU_CHECK(simulator != nullptr && network != nullptr, "load client needs substrate");
+  LASTCPU_CHECK(concurrency > 0, "zero concurrency");
+  self_ = network_->Attach([this](net::EndpointId from, std::vector<uint8_t> payload) {
+    (void)from;
+    OnResponse(std::move(payload));
+  });
+}
+
+void LoadClient::Start(uint64_t target_ops, std::function<void()> on_done) {
+  LASTCPU_CHECK(on_done != nullptr, "load client without completion callback");
+  target_ops_ = target_ops;
+  on_done_ = std::move(on_done);
+  uint64_t initial = std::min<uint64_t>(concurrency_, target_ops);
+  for (uint64_t i = 0; i < initial; ++i) {
+    IssueOne();
+  }
+}
+
+void LoadClient::IssueOne() {
+  if (issued_ >= target_ops_) {
+    return;
+  }
+  ++issued_;
+  KvsRequest request = generator_.Next();
+  in_flight_[request.sequence] = InFlight{simulator_->Now(), request.op};
+  network_->Send(self_, server_, request.Encode());
+}
+
+void LoadClient::OnResponse(std::vector<uint8_t> wire) {
+  auto response = KvsResponse::Decode(wire);
+  if (!response.ok()) {
+    ++errors_;
+    return;
+  }
+  auto it = in_flight_.find(response->sequence);
+  if (it == in_flight_.end()) {
+    ++errors_;
+    return;
+  }
+  sim::Duration elapsed = simulator_->Now() - it->second.sent_at;
+  latency_.Record(elapsed);
+  if (it->second.op == KvsOp::kGet) {
+    get_latency_.Record(elapsed);
+  } else {
+    put_latency_.Record(elapsed);
+  }
+  ++status_counts_[response->status];
+  // NotFound on a get is a legitimate miss, not an error.
+  if (response->status != StatusCode::kOk && response->status != StatusCode::kNotFound) {
+    ++errors_;
+  }
+  in_flight_.erase(it);
+  ++completed_;
+  if (completed_ >= target_ops_) {
+    if (on_done_) {
+      auto done = std::move(on_done_);
+      on_done_ = nullptr;
+      done();
+    }
+    return;
+  }
+  IssueOne();
+}
+
+}  // namespace lastcpu::kvs

@@ -1,0 +1,92 @@
+// Workload generation and closed-loop load clients for the KVS benchmarks
+// (YCSB-style: Zipfian key popularity, configurable read/write mix and value
+// size).
+#ifndef SRC_KVS_WORKLOAD_H_
+#define SRC_KVS_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/kvs/kvs_protocol.h"
+#include "src/net/network.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace lastcpu::kvs {
+
+struct WorkloadConfig {
+  uint64_t num_keys = 10000;
+  double zipf_theta = 0.99;  // <= 0 selects uniform key popularity
+  double get_fraction = 0.95;
+  uint32_t value_bytes = 128;
+  uint64_t seed = 1;
+};
+
+// Deterministic request stream.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  KvsRequest Next();
+
+  // Stable key naming, also used to preload the store.
+  static std::string KeyFor(uint64_t index);
+
+ private:
+  WorkloadConfig config_;
+  sim::Rng rng_;
+  std::unique_ptr<sim::ZipfGenerator> zipf_;
+  uint64_t sequence_ = 0;
+};
+
+// A remote machine running a closed-loop KVS client against one NIC endpoint:
+// keeps `concurrency` requests outstanding, records per-request latency.
+class LoadClient {
+ public:
+  LoadClient(sim::Simulator* simulator, net::Network* network, net::EndpointId server,
+             WorkloadConfig workload, uint32_t concurrency);
+
+  // Issues until `target_ops` complete, then calls `on_done`.
+  void Start(uint64_t target_ops, std::function<void()> on_done);
+
+  uint64_t completed() const { return completed_; }
+  uint64_t errors() const { return errors_; }
+  // Response status distribution (debuggability: what kind of errors?).
+  const std::map<StatusCode, uint64_t>& status_counts() const { return status_counts_; }
+  const sim::Histogram& latency() const { return latency_; }
+  const sim::Histogram& get_latency() const { return get_latency_; }
+  const sim::Histogram& put_latency() const { return put_latency_; }
+
+ private:
+  void IssueOne();
+  void OnResponse(std::vector<uint8_t> wire);
+
+  sim::Simulator* simulator_;
+  net::Network* network_;
+  net::EndpointId server_;
+  net::EndpointId self_ = 0;
+  WorkloadGenerator generator_;
+  uint32_t concurrency_;
+  uint64_t target_ops_ = 0;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t errors_ = 0;
+  std::function<void()> on_done_;
+  struct InFlight {
+    sim::SimTime sent_at;
+    KvsOp op;
+  };
+  std::map<uint64_t, InFlight> in_flight_;  // by sequence
+  std::map<StatusCode, uint64_t> status_counts_;
+  sim::Histogram latency_;
+  sim::Histogram get_latency_;
+  sim::Histogram put_latency_;
+};
+
+}  // namespace lastcpu::kvs
+
+#endif  // SRC_KVS_WORKLOAD_H_

@@ -1,0 +1,113 @@
+#include "src/mem/buddy_allocator.h"
+
+#include <bit>
+
+#include "src/base/check.h"
+
+namespace lastcpu::mem {
+
+BuddyAllocator::BuddyAllocator(uint64_t num_frames)
+    : num_frames_(num_frames), free_frames_(num_frames), free_lists_(kMaxOrder + 1) {
+  LASTCPU_CHECK(num_frames > 0, "empty buddy allocator");
+  LASTCPU_CHECK(num_frames < (uint64_t{1} << kMaxOrder), "buddy range too large");
+  // Tile [0, num_frames) with maximal naturally-aligned power-of-two blocks.
+  uint64_t frame = 0;
+  while (frame < num_frames_) {
+    int align_order = frame == 0 ? kMaxOrder : std::countr_zero(frame);
+    uint64_t remaining = num_frames_ - frame;
+    int fit_order = 63 - std::countl_zero(remaining);
+    int order = std::min(align_order, fit_order);
+    if (order > kMaxOrder) {
+      order = kMaxOrder;
+    }
+    free_lists_[static_cast<size_t>(order)].insert(frame);
+    frame += uint64_t{1} << order;
+  }
+}
+
+int BuddyAllocator::OrderForCount(uint64_t count) {
+  LASTCPU_CHECK(count > 0, "allocating zero frames");
+  return std::bit_width(count - 1);
+}
+
+Result<uint64_t> BuddyAllocator::AllocateOrder(int order) {
+  int available = order;
+  while (available <= kMaxOrder && free_lists_[static_cast<size_t>(available)].empty()) {
+    ++available;
+  }
+  if (available > kMaxOrder) {
+    return ResourceExhausted("out of physical memory");
+  }
+  // Pop the lowest-address block of the available order.
+  auto it = free_lists_[static_cast<size_t>(available)].begin();
+  uint64_t frame = *it;
+  free_lists_[static_cast<size_t>(available)].erase(it);
+  // Split down to the requested order, returning upper halves to free lists.
+  while (available > order) {
+    --available;
+    uint64_t buddy = frame + (uint64_t{1} << available);
+    free_lists_[static_cast<size_t>(available)].insert(buddy);
+  }
+  return frame;
+}
+
+Result<uint64_t> BuddyAllocator::Allocate(uint64_t count) {
+  int order = OrderForCount(count);
+  if (order > kMaxOrder || (uint64_t{1} << order) > num_frames_) {
+    return ResourceExhausted("request exceeds memory size");
+  }
+  auto frame = AllocateOrder(order);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  allocated_[*frame] = order;
+  free_frames_ -= uint64_t{1} << order;
+  return *frame;
+}
+
+Status BuddyAllocator::Free(uint64_t first_frame, uint64_t count) {
+  auto it = allocated_.find(first_frame);
+  if (it == allocated_.end()) {
+    return InvalidArgument("freeing unallocated block");
+  }
+  int order = it->second;
+  if (OrderForCount(count) != order) {
+    return InvalidArgument("free size does not match allocation");
+  }
+  allocated_.erase(it);
+  free_frames_ += uint64_t{1} << order;
+
+  // Coalesce with the buddy while it is free and within range.
+  uint64_t frame = first_frame;
+  while (order < kMaxOrder) {
+    uint64_t buddy = frame ^ (uint64_t{1} << order);
+    auto& list = free_lists_[static_cast<size_t>(order)];
+    auto buddy_it = list.find(buddy);
+    if (buddy_it == list.end() || buddy + (uint64_t{1} << order) > num_frames_) {
+      break;
+    }
+    list.erase(buddy_it);
+    frame = std::min(frame, buddy);
+    ++order;
+  }
+  free_lists_[static_cast<size_t>(order)].insert(frame);
+  return OkStatus();
+}
+
+uint64_t BuddyAllocator::LargestFreeBlock() const {
+  for (int order = kMaxOrder; order >= 0; --order) {
+    if (!free_lists_[static_cast<size_t>(order)].empty()) {
+      return uint64_t{1} << order;
+    }
+  }
+  return 0;
+}
+
+double BuddyAllocator::FragmentationRatio() const {
+  if (free_frames_ == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(LargestFreeBlock()) / static_cast<double>(free_frames_);
+}
+
+}  // namespace lastcpu::mem

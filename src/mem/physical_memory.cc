@@ -1,0 +1,62 @@
+#include "src/mem/physical_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/check.h"
+
+namespace lastcpu::mem {
+
+PhysicalMemory::PhysicalMemory(uint64_t bytes) : storage_(PageCeil(bytes), 0) {
+  LASTCPU_CHECK(bytes > 0, "zero-size physical memory");
+}
+
+void PhysicalMemory::Write(PhysAddr addr, std::span<const uint8_t> data) {
+  LASTCPU_CHECK(addr.raw + data.size() <= storage_.size(),
+                "physical write out of range: addr=%llx len=%zu",
+                static_cast<unsigned long long>(addr.raw), data.size());
+  std::memcpy(storage_.data() + addr.raw, data.data(), data.size());
+}
+
+void PhysicalMemory::Read(PhysAddr addr, std::span<uint8_t> out) const {
+  LASTCPU_CHECK(addr.raw + out.size() <= storage_.size(),
+                "physical read out of range: addr=%llx len=%zu",
+                static_cast<unsigned long long>(addr.raw), out.size());
+  std::memcpy(out.data(), storage_.data() + addr.raw, out.size());
+}
+
+void PhysicalMemory::ZeroFrame(uint64_t frame) {
+  LASTCPU_CHECK(frame < num_frames(), "zeroing frame out of range");
+  std::memset(storage_.data() + (frame << kPageShift), 0, kPageSize);
+}
+
+uint8_t PhysicalMemory::ReadByte(PhysAddr addr) const {
+  LASTCPU_CHECK(addr.raw < storage_.size(), "byte read out of range");
+  return storage_[addr.raw];
+}
+
+void PhysicalMemory::WriteByte(PhysAddr addr, uint8_t value) {
+  LASTCPU_CHECK(addr.raw < storage_.size(), "byte write out of range");
+  storage_[addr.raw] = value;
+}
+
+uint64_t PhysicalMemory::ReadU64(PhysAddr addr) const {
+  uint8_t buf[8];
+  Read(addr, buf);
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | buf[i];
+  }
+  return v;
+}
+
+void PhysicalMemory::WriteU64(PhysAddr addr, uint64_t value) {
+  uint8_t buf[8];
+  for (auto& b : buf) {
+    b = static_cast<uint8_t>(value);
+    value >>= 8;
+  }
+  Write(addr, buf);
+}
+
+}  // namespace lastcpu::mem

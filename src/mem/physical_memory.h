@@ -1,0 +1,47 @@
+// The machine's DRAM: a flat physical address space with byte-level access.
+//
+// All data-plane traffic (VIRTIO rings, file contents, KVS records) ultimately
+// lands here, always via IOMMU-translated accesses — no component other than
+// the memory controller touches physical addresses directly.
+#ifndef SRC_MEM_PHYSICAL_MEMORY_H_
+#define SRC_MEM_PHYSICAL_MEMORY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace lastcpu::mem {
+
+class PhysicalMemory {
+ public:
+  // Size is rounded up to whole pages.
+  explicit PhysicalMemory(uint64_t bytes);
+
+  uint64_t size_bytes() const { return storage_.size(); }
+  uint64_t num_frames() const { return storage_.size() >> kPageShift; }
+
+  // Bounds-checked raw access. Out-of-range is a wiring bug, so it aborts
+  // rather than returning a status: hardware cannot address past the DIMMs.
+  void Write(PhysAddr addr, std::span<const uint8_t> data);
+  void Read(PhysAddr addr, std::span<uint8_t> out) const;
+
+  // Zero-fills a frame (done on allocation so applications never observe
+  // another application's stale data).
+  void ZeroFrame(uint64_t frame);
+
+  uint8_t ReadByte(PhysAddr addr) const;
+  void WriteByte(PhysAddr addr, uint8_t value);
+
+  uint64_t ReadU64(PhysAddr addr) const;
+  void WriteU64(PhysAddr addr, uint64_t value);
+
+ private:
+  std::vector<uint8_t> storage_;
+};
+
+}  // namespace lastcpu::mem
+
+#endif  // SRC_MEM_PHYSICAL_MEMORY_H_

@@ -1,0 +1,402 @@
+#include "src/memdev/memory_controller.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/dev/service.h"
+
+namespace lastcpu::memdev {
+
+MemoryController::MemoryController(DeviceId id, const dev::DeviceContext& context,
+                                   mem::PhysicalMemory* memory, MemoryControllerConfig config,
+                                   dev::DeviceConfig device_config)
+    : dev::Device(id, "memctrl", context, device_config),
+      allocator_(memory->num_frames()),
+      memory_(memory),
+      config_(config) {
+  // Announce the memory service: this is what makes the bus treat this device
+  // as the memory resource controller.
+  class MemoryService : public dev::Service {
+   public:
+    explicit MemoryService(DeviceId provider)
+        : Service(proto::ServiceDescriptor{provider, proto::ServiceType::kMemory, "dram", 0}) {}
+    Result<proto::OpenResponse> Open(DeviceId, const proto::OpenRequest&) override {
+      return Unimplemented("memory is requested via MemAllocRequest messages");
+    }
+  };
+  AddService(std::make_unique<MemoryService>(id));
+}
+
+uint64_t MemoryController::AllocatedBytes(Pasid pasid) const {
+  auto it = bytes_allocated_.find(pasid);
+  return it == bytes_allocated_.end() ? 0 : it->second;
+}
+
+uint64_t MemoryController::allocation_count() const {
+  uint64_t count = 0;
+  for (const auto& [pasid, table] : tables_) {
+    count += table.size();
+  }
+  return count;
+}
+
+void MemoryController::OnMessage(const proto::Message& message) {
+  switch (message.type()) {
+    case proto::MessageType::kMemAllocRequest:
+      HandleAlloc(message);
+      return;
+    case proto::MessageType::kMemFreeRequest:
+      HandleFree(message);
+      return;
+    case proto::MessageType::kGrantRequest:
+      HandleGrant(message);
+      return;
+    case proto::MessageType::kRevokeRequest:
+      HandleRevoke(message);
+      return;
+    default:
+      dev::Device::OnMessage(message);
+      return;
+  }
+}
+
+bool MemoryController::Overlaps(const Table& table, uint64_t vpage, uint64_t pages) {
+  // Candidate allocation at or after vpage.
+  auto next = table.lower_bound(vpage);
+  if (next != table.end() && next->first < vpage + pages) {
+    return true;
+  }
+  // Allocation starting before vpage may still cover it.
+  if (next != table.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second.pages > vpage) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<uint64_t> MemoryController::PlaceVirtual(Pasid pasid, uint64_t pages, VirtAddr hint) {
+  Table& table = tables_[pasid];
+  if (hint.raw != 0) {
+    if (hint.offset() != 0) {
+      return InvalidArgument("vaddr hint not page-aligned");
+    }
+    if (Overlaps(table, hint.page(), pages)) {
+      return AlreadyExists("hinted region overlaps an existing allocation");
+    }
+    return hint.page();
+  }
+  auto [it, inserted] = next_vpage_.try_emplace(pasid, config_.va_bump_base >> kPageShift);
+  (void)inserted;
+  uint64_t vpage = it->second;
+  while (Overlaps(table, vpage, pages)) {
+    vpage += pages;
+  }
+  it->second = vpage + pages;
+  return vpage;
+}
+
+Allocation* MemoryController::FindCovering(Pasid pasid, VirtAddr vaddr, uint64_t bytes) {
+  auto table_it = tables_.find(pasid);
+  if (table_it == tables_.end()) {
+    return nullptr;
+  }
+  Table& table = table_it->second;
+  auto next = table.upper_bound(vaddr.page());
+  if (next == table.begin()) {
+    return nullptr;
+  }
+  auto it = std::prev(next);
+  Allocation& allocation = it->second;
+  uint64_t end_vpage = it->first + allocation.pages;
+  uint64_t want_end = PageCeil(vaddr.raw + bytes) >> kPageShift;
+  if (vaddr.page() >= it->first && want_end <= end_vpage) {
+    return &allocation;
+  }
+  return nullptr;
+}
+
+std::vector<proto::MapEntry> MemoryController::EntriesFor(const Allocation& allocation,
+                                                          uint64_t from_vpage, uint64_t pages,
+                                                          Access access) {
+  std::vector<proto::MapEntry> entries;
+  entries.reserve(pages);
+  uint64_t page_delta = from_vpage - allocation.vaddr.page();
+  for (uint64_t i = 0; i < pages; ++i) {
+    entries.push_back(
+        proto::MapEntry{from_vpage + i, allocation.first_frame + page_delta + i, access});
+  }
+  return entries;
+}
+
+void MemoryController::SendDirective(DeviceId target, Pasid pasid,
+                                     std::vector<proto::MapEntry> entries, bool unmap,
+                                     ResponseCallback done) {
+  proto::MapDirective directive;
+  directive.target = target;
+  directive.pasid = pasid;
+  directive.entries = std::move(entries);
+  directive.unmap = unmap;
+  SendRequest(kBusDevice, std::move(directive), std::move(done));
+}
+
+void MemoryController::HandleAlloc(const proto::Message& message) {
+  const auto& request = message.As<proto::MemAllocRequest>();
+  if (request.bytes == 0) {
+    ReplyError(message, InvalidArgument("zero-byte allocation"));
+    return;
+  }
+  if (!request.pasid.valid()) {
+    ReplyError(message, InvalidArgument("allocation without a PASID"));
+    return;
+  }
+  uint64_t pages = PagesForBytes(request.bytes);
+  if (config_.max_bytes_per_pasid != 0 &&
+      AllocatedBytes(request.pasid) + pages * kPageSize > config_.max_bytes_per_pasid) {
+    stats().GetCounter("quota_rejections").Increment();
+    ReplyError(message, ResourceExhausted("application memory quota exceeded"));
+    return;
+  }
+
+  auto vpage = PlaceVirtual(request.pasid, pages, request.vaddr_hint);
+  if (!vpage.ok()) {
+    ReplyError(message, vpage.status());
+    return;
+  }
+  auto frame = allocator_.Allocate(pages);
+  if (!frame.ok()) {
+    stats().GetCounter("oom_rejections").Increment();
+    ReplyError(message, frame.status());
+    return;
+  }
+  // Zero-fill so no application ever sees another's stale data.
+  for (uint64_t i = 0; i < pages; ++i) {
+    memory_->ZeroFrame(*frame + i);
+  }
+
+  Allocation allocation;
+  allocation.vaddr = VirtAddr(*vpage << kPageShift);
+  allocation.pages = pages;
+  allocation.first_frame = *frame;
+  allocation.owner = message.src;
+  allocation.owner_access = request.access;
+  tables_[request.pasid].emplace(*vpage, allocation);
+  bytes_allocated_[request.pasid] += pages * kPageSize;
+  stats().GetCounter("allocations").Increment();
+  stats().GetCounter("pages_allocated").Increment(pages);
+  TraceEvent("alloc", "pasid=" + std::to_string(request.pasid.value()) +
+                          " pages=" + std::to_string(pages));
+
+  // Direct the bus to program the requester's IOMMU; reply only once the
+  // mapping is live (Fig. 2 step 6 precedes the response).
+  auto entries = EntriesFor(allocation, *vpage, pages, request.access);
+  proto::Message original = message;
+  VirtAddr vaddr = allocation.vaddr;
+  uint64_t bytes = pages * kPageSize;
+  SendDirective(message.src, request.pasid, std::move(entries), /*unmap=*/false,
+                [this, original, vaddr, bytes, vpage = *vpage,
+                 pasid = request.pasid](const proto::Message& response) {
+                  if (response.Is<proto::ErrorResponse>()) {
+                    // Roll back the allocation the mapping never activated.
+                    auto table_it = tables_.find(pasid);
+                    if (table_it != tables_.end()) {
+                      auto it = table_it->second.find(vpage);
+                      if (it != table_it->second.end()) {
+                        ReleaseAllocation(pasid, it);
+                      }
+                    }
+                    const auto& error = response.As<proto::ErrorResponse>();
+                    ReplyError(original, Status(error.code, error.message));
+                    return;
+                  }
+                  Reply(original, proto::MemAllocResponse{vaddr, bytes});
+                });
+}
+
+void MemoryController::ReleaseAllocation(Pasid pasid, Table::iterator it) {
+  const Allocation& allocation = it->second;
+  LASTCPU_CHECK(allocator_.Free(allocation.first_frame, allocation.pages).ok(),
+                "allocator table out of sync");
+  bytes_allocated_[pasid] -= allocation.pages * kPageSize;
+  stats().GetCounter("frees").Increment();
+  tables_[pasid].erase(it);
+}
+
+void MemoryController::HandleFree(const proto::Message& message) {
+  const auto& request = message.As<proto::MemFreeRequest>();
+  auto table_it = tables_.find(request.pasid);
+  if (table_it == tables_.end()) {
+    ReplyError(message, NotFound("no allocations for PASID"));
+    return;
+  }
+  auto it = table_it->second.find(request.vaddr.page());
+  if (it == table_it->second.end() || it->second.pages != PagesForBytes(request.bytes)) {
+    ReplyError(message, NotFound("no matching allocation"));
+    return;
+  }
+  if (it->second.owner != message.src) {
+    stats().GetCounter("authorization_failures").Increment();
+    ReplyError(message, PermissionDenied("only the owner may free an allocation"));
+    return;
+  }
+
+  // Unmap from the owner and every grantee, then release the frames.
+  Allocation allocation = it->second;
+  uint64_t vpage = it->first;
+  struct FreeState {
+    int outstanding = 0;
+    proto::Message original;
+  };
+  auto state = std::make_shared<FreeState>();
+  state->original = message;
+
+  auto finish = [this, state, pasid = request.pasid, vpage] {
+    if (--state->outstanding > 0) {
+      return;
+    }
+    auto table = tables_.find(pasid);
+    if (table != tables_.end()) {
+      auto alloc_it = table->second.find(vpage);
+      if (alloc_it != table->second.end()) {
+        ReleaseAllocation(pasid, alloc_it);
+      }
+    }
+    Reply(state->original, proto::MemFreeResponse{});
+  };
+
+  std::vector<DeviceId> targets{allocation.owner};
+  for (const auto& [grantee, access] : allocation.grants) {
+    targets.push_back(grantee);
+  }
+  state->outstanding = static_cast<int>(targets.size());
+  for (DeviceId target : targets) {
+    auto entries = EntriesFor(allocation, vpage, allocation.pages, Access::kNone);
+    for (auto& entry : entries) {
+      entry.access = Access::kRead;  // access ignored on unmap; keep valid bits
+    }
+    SendDirective(target, request.pasid, std::move(entries), /*unmap=*/true,
+                  [finish](const proto::Message&) { finish(); });
+  }
+}
+
+void MemoryController::HandleGrant(const proto::Message& message) {
+  const auto& request = message.As<proto::GrantRequest>();
+  Allocation* allocation = FindCovering(request.pasid, request.vaddr, request.bytes);
+  if (allocation == nullptr) {
+    ReplyError(message, NotFound("grant range is not an allocated region"));
+    return;
+  }
+  // Authorization (Sec. 3): only the owner of a region may grant it.
+  if (allocation->owner != message.src) {
+    stats().GetCounter("authorization_failures").Increment();
+    ReplyError(message, PermissionDenied("only the owner may grant a region"));
+    return;
+  }
+  if (request.grantee == message.src) {
+    ReplyError(message, InvalidArgument("cannot grant a region to its owner"));
+    return;
+  }
+  // The grantee may not receive more rights than the owner holds.
+  if (!AccessCovers(allocation->owner_access, request.access)) {
+    stats().GetCounter("authorization_failures").Increment();
+    ReplyError(message, PermissionDenied("grant requests more access than the owner holds"));
+    return;
+  }
+
+  uint64_t pages = PagesForBytes(request.bytes);
+  auto entries = EntriesFor(*allocation, request.vaddr.page(), pages, request.access);
+  allocation->grants.emplace_back(request.grantee, request.access);
+  stats().GetCounter("grants").Increment();
+  TraceEvent("grant", "to=" + std::to_string(request.grantee.value()) +
+                          " pages=" + std::to_string(pages));
+
+  proto::Message original = message;
+  SendDirective(request.grantee, request.pasid, std::move(entries), /*unmap=*/false,
+                [this, original](const proto::Message& response) {
+                  if (response.Is<proto::ErrorResponse>()) {
+                    const auto& error = response.As<proto::ErrorResponse>();
+                    ReplyError(original, Status(error.code, error.message));
+                    return;
+                  }
+                  Reply(original, proto::GrantResponse{});
+                });
+}
+
+void MemoryController::HandleRevoke(const proto::Message& message) {
+  const auto& request = message.As<proto::RevokeRequest>();
+  Allocation* allocation = FindCovering(request.pasid, request.vaddr, request.bytes);
+  if (allocation == nullptr) {
+    ReplyError(message, NotFound("revoke range is not an allocated region"));
+    return;
+  }
+  if (allocation->owner != message.src) {
+    stats().GetCounter("authorization_failures").Increment();
+    ReplyError(message, PermissionDenied("only the owner may revoke a grant"));
+    return;
+  }
+  auto grant_it =
+      std::find_if(allocation->grants.begin(), allocation->grants.end(),
+                   [&](const auto& grant) { return grant.first == request.grantee; });
+  if (grant_it == allocation->grants.end()) {
+    ReplyError(message, NotFound("no such grant"));
+    return;
+  }
+  allocation->grants.erase(grant_it);
+  stats().GetCounter("revokes").Increment();
+
+  uint64_t pages = PagesForBytes(request.bytes);
+  auto entries = EntriesFor(*allocation, request.vaddr.page(), pages, Access::kRead);
+  proto::Message original = message;
+  SendDirective(request.grantee, request.pasid, std::move(entries), /*unmap=*/true,
+                [this, original](const proto::Message& response) {
+                  if (response.Is<proto::ErrorResponse>()) {
+                    const auto& error = response.As<proto::ErrorResponse>();
+                    ReplyError(original, Status(error.code, error.message));
+                    return;
+                  }
+                  Reply(original, proto::RevokeResponse{});
+                });
+}
+
+void MemoryController::OnTeardown(Pasid pasid) {
+  auto table_it = tables_.find(pasid);
+  if (table_it == tables_.end()) {
+    return;
+  }
+  // Direct unmaps for every allocation and grant, then release the frames.
+  for (auto& [vpage, allocation] : table_it->second) {
+    std::vector<DeviceId> targets{allocation.owner};
+    for (const auto& [grantee, access] : allocation.grants) {
+      targets.push_back(grantee);
+    }
+    for (DeviceId target : targets) {
+      auto entries = EntriesFor(allocation, vpage, allocation.pages, Access::kRead);
+      SendDirective(target, pasid, std::move(entries), /*unmap=*/true,
+                    [](const proto::Message&) {});
+    }
+    LASTCPU_CHECK(allocator_.Free(allocation.first_frame, allocation.pages).ok(),
+                  "allocator table out of sync during teardown");
+  }
+  stats().GetCounter("teardowns").Increment();
+  bytes_allocated_.erase(pasid);
+  next_vpage_.erase(pasid);
+  tables_.erase(table_it);
+}
+
+void MemoryController::OnPeerFailed(DeviceId device) {
+  // A device died: revoke its grants everywhere. Its *owned* allocations stay
+  // until the application is torn down (consumers may still hold grants and
+  // the data may be recoverable), matching Sec. 4's consumer-driven recovery.
+  for (auto& [pasid, table] : tables_) {
+    for (auto& [vpage, allocation] : table) {
+      auto removed = std::remove_if(allocation.grants.begin(), allocation.grants.end(),
+                                    [&](const auto& grant) { return grant.first == device; });
+      allocation.grants.erase(removed, allocation.grants.end());
+    }
+  }
+}
+
+}  // namespace lastcpu::memdev

@@ -1,0 +1,103 @@
+// The memory controller: a self-managing device that owns DRAM (paper
+// Sec. 2.2 "Memory management", modeled on LegoOS's mComponent).
+//
+// It is the *policy* side of memory: it runs the physical allocator and the
+// per-application allocation tables, and decides who may map what. The
+// *mechanism* — programming IOMMUs — belongs to the system bus, which acts
+// only on this controller's MapDirectives. The controller cannot touch
+// another device's IOMMU directly, and no other device can direct mappings.
+//
+// Protocol, matching Figure 2:
+//   MemAllocRequest  (device -> controller)   allocate + map into requester
+//   GrantRequest     (owner -> bus -> here)   map an owned region into grantee
+//   RevokeRequest    (owner -> bus -> here)   unmap it again
+//   MemFreeRequest   (owner -> bus -> here)   release an allocation
+//   TeardownApp      (bus broadcast)          drop everything for a PASID
+#ifndef SRC_MEMDEV_MEMORY_CONTROLLER_H_
+#define SRC_MEMDEV_MEMORY_CONTROLLER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/dev/device.h"
+#include "src/mem/buddy_allocator.h"
+#include "src/mem/physical_memory.h"
+
+namespace lastcpu::memdev {
+
+struct MemoryControllerConfig {
+  // Per-application quota; 0 = unlimited.
+  uint64_t max_bytes_per_pasid = 0;
+  // Where per-application virtual address assignment starts when no hint is
+  // given (low VA space is left to the application's own layout).
+  uint64_t va_bump_base = uint64_t{1} << 32;
+};
+
+// One live allocation in the table.
+struct Allocation {
+  VirtAddr vaddr;
+  uint64_t pages = 0;
+  uint64_t first_frame = 0;
+  DeviceId owner;        // the device that requested it (may grant it onward)
+  Access owner_access = Access::kReadWrite;
+  std::vector<std::pair<DeviceId, Access>> grants;
+};
+
+class MemoryController : public dev::Device {
+ public:
+  MemoryController(DeviceId id, const dev::DeviceContext& context, mem::PhysicalMemory* memory,
+                   MemoryControllerConfig config = {}, dev::DeviceConfig device_config = {});
+
+  // Introspection for tests and reports.
+  uint64_t AllocatedBytes(Pasid pasid) const;
+  uint64_t allocation_count() const;
+  const mem::BuddyAllocator& allocator() const { return allocator_; }
+
+ protected:
+  void OnMessage(const proto::Message& message) override;
+  void OnTeardown(Pasid pasid) override;
+  void OnPeerFailed(DeviceId device) override;
+
+ private:
+  using Table = std::map<uint64_t, Allocation>;  // keyed by start vpage
+
+  void HandleAlloc(const proto::Message& message);
+  void HandleFree(const proto::Message& message);
+  void HandleGrant(const proto::Message& message);
+  void HandleRevoke(const proto::Message& message);
+
+  // Picks a virtual placement for `pages` in `pasid`'s table, honoring the
+  // hint when it does not overlap an existing allocation.
+  Result<uint64_t> PlaceVirtual(Pasid pasid, uint64_t pages, VirtAddr hint);
+
+  // True if [vpage, vpage+pages) overlaps any allocation in the table.
+  static bool Overlaps(const Table& table, uint64_t vpage, uint64_t pages);
+
+  // Finds the allocation containing [vaddr, vaddr+bytes), or null.
+  Allocation* FindCovering(Pasid pasid, VirtAddr vaddr, uint64_t bytes);
+
+  // Emits a MapDirective to the bus and invokes `done` with the confirm or
+  // error response.
+  void SendDirective(DeviceId target, Pasid pasid, std::vector<proto::MapEntry> entries,
+                     bool unmap, ResponseCallback done);
+
+  // Builds identity-ish map entries for an allocation subrange.
+  static std::vector<proto::MapEntry> EntriesFor(const Allocation& allocation, uint64_t from_vpage,
+                                                 uint64_t pages, Access access);
+
+  // Releases an allocation's frames and erases it from the table. Any IOMMU
+  // unmapping must already have been directed.
+  void ReleaseAllocation(Pasid pasid, Table::iterator it);
+
+  mem::BuddyAllocator allocator_;
+  mem::PhysicalMemory* memory_;
+  MemoryControllerConfig config_;
+  std::map<Pasid, Table> tables_;
+  std::map<Pasid, uint64_t> next_vpage_;
+  std::map<Pasid, uint64_t> bytes_allocated_;
+};
+
+}  // namespace lastcpu::memdev
+
+#endif  // SRC_MEMDEV_MEMORY_CONTROLLER_H_

@@ -1,0 +1,59 @@
+// Simulated external network: remote clients <-> smart-NIC endpoints.
+//
+// This models the paper's Sec. 3 setting — "The NIC exposes a KVS interface
+// to other machines over the network" — as a latency/bandwidth-modeled
+// message fabric between endpoints. It is distinct from both the system bus
+// (control plane) and the memory fabric (data plane): it is the outside
+// world.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace lastcpu::net {
+
+using EndpointId = uint32_t;
+
+struct NetworkConfig {
+  sim::Duration base_latency = sim::Duration::Micros(5);  // one-way wire+switch
+  double bytes_per_nano = 10.0;                           // ~10 GB/s links
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(EndpointId from, std::vector<uint8_t> payload)>;
+
+  explicit Network(sim::Simulator* simulator, NetworkConfig config = {});
+
+  // Attaches an endpoint; `handler` receives every datagram addressed to it.
+  EndpointId Attach(Handler handler);
+  void Detach(EndpointId endpoint);
+
+  // Sends a datagram. Egress is serialized per source endpoint (one link per
+  // machine); delivery is dropped silently if the target detached (like UDP).
+  void Send(EndpointId from, EndpointId to, std::vector<uint8_t> payload);
+
+  sim::StatsRegistry& stats() { return stats_; }
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    sim::SimTime tx_busy_until;
+  };
+
+  sim::Simulator* simulator_;
+  NetworkConfig config_;
+  std::unordered_map<EndpointId, Endpoint> endpoints_;
+  EndpointId next_id_ = 1;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace lastcpu::net
+
+#endif  // SRC_NET_NETWORK_H_

@@ -1,0 +1,675 @@
+#include "src/proto/codec.h"
+
+#include <utility>
+
+namespace lastcpu::proto {
+namespace {
+
+// Wire magic: "LC" + protocol version 1.
+constexpr uint8_t kMagic0 = 0x4C;
+constexpr uint8_t kMagic1 = 0x43;
+constexpr uint8_t kVersion = 1;
+
+void PutAccess(ByteWriter& w, Access access) { w.PutU8(static_cast<uint8_t>(access)); }
+
+Result<Access> GetAccess(ByteReader& r) {
+  auto v = r.GetU8();
+  if (!v.ok()) {
+    return v.status();
+  }
+  if (*v > 0x7) {
+    return InvalidArgument("bad access bits");
+  }
+  return static_cast<Access>(*v);
+}
+
+void PutServiceDescriptor(ByteWriter& w, const ServiceDescriptor& d) {
+  w.PutU32(d.provider.value());
+  w.PutU8(static_cast<uint8_t>(d.type));
+  w.PutString(d.name);
+  w.PutU32(d.max_instances);
+}
+
+Result<ServiceDescriptor> GetServiceDescriptor(ByteReader& r) {
+  ServiceDescriptor d;
+  auto provider = r.GetU32();
+  if (!provider.ok()) {
+    return provider.status();
+  }
+  d.provider = DeviceId(*provider);
+  auto type = r.GetU8();
+  if (!type.ok()) {
+    return type.status();
+  }
+  if (*type > static_cast<uint8_t>(ServiceType::kKeyValue)) {
+    return InvalidArgument("bad service type");
+  }
+  d.type = static_cast<ServiceType>(*type);
+  auto name = r.GetString();
+  if (!name.ok()) {
+    return name.status();
+  }
+  d.name = *std::move(name);
+  auto max_instances = r.GetU32();
+  if (!max_instances.ok()) {
+    return max_instances.status();
+  }
+  d.max_instances = *max_instances;
+  return d;
+}
+
+void PutMapEntries(ByteWriter& w, const std::vector<MapEntry>& entries) {
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const MapEntry& e : entries) {
+    w.PutU64(e.vpage);
+    w.PutU64(e.pframe);
+    PutAccess(w, e.access);
+  }
+}
+
+Result<std::vector<MapEntry>> GetMapEntries(ByteReader& r) {
+  auto n = r.GetU32();
+  if (!n.ok()) {
+    return n.status();
+  }
+  // 17 bytes per entry; reject counts the buffer cannot possibly hold.
+  if (static_cast<size_t>(*n) * 17 > r.remaining()) {
+    return InvalidArgument("map entry count exceeds buffer");
+  }
+  std::vector<MapEntry> entries;
+  entries.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    MapEntry e;
+    auto vpage = r.GetU64();
+    if (!vpage.ok()) {
+      return vpage.status();
+    }
+    e.vpage = *vpage;
+    auto pframe = r.GetU64();
+    if (!pframe.ok()) {
+      return pframe.status();
+    }
+    e.pframe = *pframe;
+    auto access = GetAccess(r);
+    if (!access.ok()) {
+      return access.status();
+    }
+    e.access = *access;
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+// --- per-payload encoders --------------------------------------------------
+
+struct PayloadEncoder {
+  ByteWriter& w;
+
+  void operator()(const AliveAnnounce& p) {
+    w.PutString(p.device_name);
+    w.PutU32(static_cast<uint32_t>(p.services.size()));
+    for (const auto& s : p.services) {
+      PutServiceDescriptor(w, s);
+    }
+  }
+  void operator()(const DiscoverRequest& p) {
+    w.PutU8(static_cast<uint8_t>(p.type));
+    w.PutString(p.resource);
+  }
+  void operator()(const DiscoverResponse& p) { PutServiceDescriptor(w, p.descriptor); }
+  void operator()(const OpenRequest& p) {
+    w.PutString(p.service_name);
+    w.PutString(p.resource);
+    w.PutU64(p.auth_token);
+    w.PutU32(p.pasid.value());
+  }
+  void operator()(const OpenResponse& p) {
+    w.PutU64(p.instance.value());
+    w.PutU64(p.shared_bytes_required);
+    w.PutU16(p.queue_depth);
+  }
+  void operator()(const CloseRequest& p) { w.PutU64(p.instance.value()); }
+  void operator()(const CloseResponse&) {}
+  void operator()(const MemAllocRequest& p) {
+    w.PutU32(p.pasid.value());
+    w.PutU64(p.bytes);
+    w.PutU64(p.vaddr_hint.raw);
+    PutAccess(w, p.access);
+  }
+  void operator()(const MemAllocResponse& p) {
+    w.PutU64(p.vaddr.raw);
+    w.PutU64(p.bytes);
+  }
+  void operator()(const MapDirective& p) {
+    w.PutU32(p.target.value());
+    w.PutU32(p.pasid.value());
+    PutMapEntries(w, p.entries);
+    w.PutU8(p.unmap ? 1 : 0);
+  }
+  void operator()(const MemFreeRequest& p) {
+    w.PutU32(p.pasid.value());
+    w.PutU64(p.vaddr.raw);
+    w.PutU64(p.bytes);
+  }
+  void operator()(const MemFreeResponse&) {}
+  void operator()(const GrantRequest& p) {
+    w.PutU32(p.pasid.value());
+    w.PutU64(p.vaddr.raw);
+    w.PutU64(p.bytes);
+    w.PutU32(p.grantee.value());
+    PutAccess(w, p.access);
+  }
+  void operator()(const GrantResponse&) {}
+  void operator()(const RevokeRequest& p) {
+    w.PutU32(p.pasid.value());
+    w.PutU64(p.vaddr.raw);
+    w.PutU64(p.bytes);
+    w.PutU32(p.grantee.value());
+  }
+  void operator()(const RevokeResponse&) {}
+  void operator()(const Notify& p) {
+    w.PutU64(p.instance.value());
+    w.PutU64(p.payload);
+  }
+  void operator()(const ResourceFailed& p) {
+    w.PutString(p.service_name);
+    w.PutU64(p.instance.value());
+    w.PutString(p.reason);
+  }
+  void operator()(const DeviceFailed& p) { w.PutU32(p.device.value()); }
+  void operator()(const ResetSignal&) {}
+  void operator()(const TeardownApp& p) { w.PutU32(p.pasid.value()); }
+  void operator()(const LoadImage& p) {
+    w.PutString(p.app_name);
+    w.PutBytes(p.image);
+    w.PutU64(p.auth_token);
+  }
+  void operator()(const LoadImageResponse&) {}
+  void operator()(const AuthRequest& p) {
+    w.PutString(p.user);
+    w.PutString(p.secret);
+  }
+  void operator()(const AuthResponse& p) {
+    w.PutU64(p.token);
+    w.PutU64(p.expiry_nanos);
+  }
+  void operator()(const ErrorResponse& p) {
+    w.PutU8(static_cast<uint8_t>(p.code));
+    w.PutString(p.message);
+  }
+  void operator()(const MapConfirm& p) {
+    w.PutU32(p.target.value());
+    w.PutU32(p.pasid.value());
+  }
+  void operator()(const AttachQueue& p) {
+    w.PutU64(p.instance.value());
+    w.PutU64(p.base.raw);
+  }
+  void operator()(const AttachQueueResponse&) {}
+  void operator()(const Heartbeat&) {}
+  void operator()(const FileCreate& p) {
+    w.PutString(p.name);
+    w.PutU64(p.auth_token);
+  }
+  void operator()(const FileDelete& p) {
+    w.PutString(p.name);
+    w.PutU64(p.auth_token);
+  }
+  void operator()(const FileAdminResponse&) {}
+  void operator()(const FileList& p) { w.PutU64(p.auth_token); }
+  void operator()(const FileListResponse& p) {
+    w.PutU32(static_cast<uint32_t>(p.names.size()));
+    for (const auto& name : p.names) {
+      w.PutString(name);
+    }
+  }
+};
+
+// --- per-payload decoders --------------------------------------------------
+//
+// Each returns Result<Payload>. A macro would obscure the bounds checks, so
+// these are spelled out; the round-trip tests cover every branch.
+
+#define LASTCPU_READ(var, expr)  \
+  auto var = (expr);             \
+  if (!var.ok()) {               \
+    return var.status();         \
+  }
+
+Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
+  switch (type) {
+    case MessageType::kAliveAnnounce: {
+      AliveAnnounce p;
+      LASTCPU_READ(name, r.GetString());
+      p.device_name = *std::move(name);
+      LASTCPU_READ(n, r.GetU32());
+      if (static_cast<size_t>(*n) * 10 > r.remaining()) {
+        return InvalidArgument("service count exceeds buffer");
+      }
+      for (uint32_t i = 0; i < *n; ++i) {
+        LASTCPU_READ(d, GetServiceDescriptor(r));
+        p.services.push_back(*std::move(d));
+      }
+      return Payload(std::move(p));
+    }
+    case MessageType::kDiscoverRequest: {
+      DiscoverRequest p;
+      LASTCPU_READ(t, r.GetU8());
+      if (*t > static_cast<uint8_t>(ServiceType::kKeyValue)) {
+        return InvalidArgument("bad service type");
+      }
+      p.type = static_cast<ServiceType>(*t);
+      LASTCPU_READ(resource, r.GetString());
+      p.resource = *std::move(resource);
+      return Payload(std::move(p));
+    }
+    case MessageType::kDiscoverResponse: {
+      LASTCPU_READ(d, GetServiceDescriptor(r));
+      return Payload(DiscoverResponse{*std::move(d)});
+    }
+    case MessageType::kOpenRequest: {
+      OpenRequest p;
+      LASTCPU_READ(service, r.GetString());
+      p.service_name = *std::move(service);
+      LASTCPU_READ(resource, r.GetString());
+      p.resource = *std::move(resource);
+      LASTCPU_READ(token, r.GetU64());
+      p.auth_token = *token;
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      return Payload(std::move(p));
+    }
+    case MessageType::kOpenResponse: {
+      OpenResponse p;
+      LASTCPU_READ(instance, r.GetU64());
+      p.instance = InstanceId(*instance);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.shared_bytes_required = *bytes;
+      LASTCPU_READ(depth, r.GetU16());
+      p.queue_depth = *depth;
+      return Payload(p);
+    }
+    case MessageType::kCloseRequest: {
+      LASTCPU_READ(instance, r.GetU64());
+      return Payload(CloseRequest{InstanceId(*instance)});
+    }
+    case MessageType::kCloseResponse:
+      return Payload(CloseResponse{});
+    case MessageType::kMemAllocRequest: {
+      MemAllocRequest p;
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.bytes = *bytes;
+      LASTCPU_READ(hint, r.GetU64());
+      p.vaddr_hint = VirtAddr(*hint);
+      LASTCPU_READ(access, GetAccess(r));
+      p.access = *access;
+      return Payload(p);
+    }
+    case MessageType::kMemAllocResponse: {
+      MemAllocResponse p;
+      LASTCPU_READ(vaddr, r.GetU64());
+      p.vaddr = VirtAddr(*vaddr);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.bytes = *bytes;
+      return Payload(p);
+    }
+    case MessageType::kMapDirective: {
+      MapDirective p;
+      LASTCPU_READ(target, r.GetU32());
+      p.target = DeviceId(*target);
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      LASTCPU_READ(entries, GetMapEntries(r));
+      p.entries = *std::move(entries);
+      LASTCPU_READ(unmap, r.GetU8());
+      p.unmap = (*unmap != 0);
+      return Payload(std::move(p));
+    }
+    case MessageType::kMemFreeRequest: {
+      MemFreeRequest p;
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      LASTCPU_READ(vaddr, r.GetU64());
+      p.vaddr = VirtAddr(*vaddr);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.bytes = *bytes;
+      return Payload(p);
+    }
+    case MessageType::kMemFreeResponse:
+      return Payload(MemFreeResponse{});
+    case MessageType::kGrantRequest: {
+      GrantRequest p;
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      LASTCPU_READ(vaddr, r.GetU64());
+      p.vaddr = VirtAddr(*vaddr);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.bytes = *bytes;
+      LASTCPU_READ(grantee, r.GetU32());
+      p.grantee = DeviceId(*grantee);
+      LASTCPU_READ(access, GetAccess(r));
+      p.access = *access;
+      return Payload(p);
+    }
+    case MessageType::kGrantResponse:
+      return Payload(GrantResponse{});
+    case MessageType::kRevokeRequest: {
+      RevokeRequest p;
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      LASTCPU_READ(vaddr, r.GetU64());
+      p.vaddr = VirtAddr(*vaddr);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.bytes = *bytes;
+      LASTCPU_READ(grantee, r.GetU32());
+      p.grantee = DeviceId(*grantee);
+      return Payload(p);
+    }
+    case MessageType::kRevokeResponse:
+      return Payload(RevokeResponse{});
+    case MessageType::kNotify: {
+      Notify p;
+      LASTCPU_READ(instance, r.GetU64());
+      p.instance = InstanceId(*instance);
+      LASTCPU_READ(payload, r.GetU64());
+      p.payload = *payload;
+      return Payload(p);
+    }
+    case MessageType::kResourceFailed: {
+      ResourceFailed p;
+      LASTCPU_READ(service, r.GetString());
+      p.service_name = *std::move(service);
+      LASTCPU_READ(instance, r.GetU64());
+      p.instance = InstanceId(*instance);
+      LASTCPU_READ(reason, r.GetString());
+      p.reason = *std::move(reason);
+      return Payload(std::move(p));
+    }
+    case MessageType::kDeviceFailed: {
+      LASTCPU_READ(device, r.GetU32());
+      return Payload(DeviceFailed{DeviceId(*device)});
+    }
+    case MessageType::kResetSignal:
+      return Payload(ResetSignal{});
+    case MessageType::kTeardownApp: {
+      LASTCPU_READ(pasid, r.GetU32());
+      return Payload(TeardownApp{Pasid(*pasid)});
+    }
+    case MessageType::kLoadImage: {
+      LoadImage p;
+      LASTCPU_READ(name, r.GetString());
+      p.app_name = *std::move(name);
+      LASTCPU_READ(image, r.GetBytes());
+      p.image = *std::move(image);
+      LASTCPU_READ(token, r.GetU64());
+      p.auth_token = *token;
+      return Payload(std::move(p));
+    }
+    case MessageType::kLoadImageResponse:
+      return Payload(LoadImageResponse{});
+    case MessageType::kAuthRequest: {
+      AuthRequest p;
+      LASTCPU_READ(user, r.GetString());
+      p.user = *std::move(user);
+      LASTCPU_READ(secret, r.GetString());
+      p.secret = *std::move(secret);
+      return Payload(std::move(p));
+    }
+    case MessageType::kAuthResponse: {
+      AuthResponse p;
+      LASTCPU_READ(token, r.GetU64());
+      p.token = *token;
+      LASTCPU_READ(expiry, r.GetU64());
+      p.expiry_nanos = *expiry;
+      return Payload(p);
+    }
+    case MessageType::kErrorResponse: {
+      ErrorResponse p;
+      LASTCPU_READ(code, r.GetU8());
+      if (*code > static_cast<uint8_t>(StatusCode::kInternal)) {
+        return InvalidArgument("bad status code");
+      }
+      p.code = static_cast<StatusCode>(*code);
+      LASTCPU_READ(message, r.GetString());
+      p.message = *std::move(message);
+      return Payload(std::move(p));
+    }
+    case MessageType::kMapConfirm: {
+      MapConfirm p;
+      LASTCPU_READ(target, r.GetU32());
+      p.target = DeviceId(*target);
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      return Payload(p);
+    }
+    case MessageType::kAttachQueue: {
+      AttachQueue p;
+      LASTCPU_READ(instance, r.GetU64());
+      p.instance = InstanceId(*instance);
+      LASTCPU_READ(base, r.GetU64());
+      p.base = VirtAddr(*base);
+      return Payload(p);
+    }
+    case MessageType::kAttachQueueResponse:
+      return Payload(AttachQueueResponse{});
+    case MessageType::kHeartbeat:
+      return Payload(Heartbeat{});
+    case MessageType::kFileCreate: {
+      FileCreate p;
+      LASTCPU_READ(name, r.GetString());
+      p.name = *std::move(name);
+      LASTCPU_READ(token, r.GetU64());
+      p.auth_token = *token;
+      return Payload(std::move(p));
+    }
+    case MessageType::kFileDelete: {
+      FileDelete p;
+      LASTCPU_READ(name, r.GetString());
+      p.name = *std::move(name);
+      LASTCPU_READ(token, r.GetU64());
+      p.auth_token = *token;
+      return Payload(std::move(p));
+    }
+    case MessageType::kFileAdminResponse:
+      return Payload(FileAdminResponse{});
+    case MessageType::kFileList: {
+      FileList p;
+      LASTCPU_READ(token, r.GetU64());
+      p.auth_token = *token;
+      return Payload(p);
+    }
+    case MessageType::kFileListResponse: {
+      FileListResponse p;
+      LASTCPU_READ(n, r.GetU32());
+      if (static_cast<size_t>(*n) * 4 > r.remaining()) {
+        return InvalidArgument("name count exceeds buffer");
+      }
+      for (uint32_t i = 0; i < *n; ++i) {
+        LASTCPU_READ(name, r.GetString());
+        p.names.push_back(*std::move(name));
+      }
+      return Payload(std::move(p));
+    }
+  }
+  return InvalidArgument("unknown message type");
+}
+
+#undef LASTCPU_READ
+
+}  // namespace
+
+void ByteWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  PutU16(static_cast<uint16_t>(v));
+  PutU16(static_cast<uint16_t>(v >> 16));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::PutBytes(std::span<const uint8_t> data) {
+  PutU32(static_cast<uint32_t>(data.size()));
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  if (pos_ >= data_.size()) {
+    return InvalidArgument("truncated message");
+  }
+  return data_[pos_++];
+}
+
+Result<uint16_t> ByteReader::GetU16() {
+  if (remaining() < 2) {
+    return InvalidArgument("truncated message");
+  }
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) | static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  if (remaining() < 4) {
+    return InvalidArgument("truncated message");
+  }
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  if (remaining() < 8) {
+    return InvalidArgument("truncated message");
+  }
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | data_[pos_ + static_cast<size_t>(i)];
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> ByteReader::GetString() {
+  auto len = GetU32();
+  if (!len.ok()) {
+    return len.status();
+  }
+  if (remaining() < *len) {
+    return InvalidArgument("truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Result<std::vector<uint8_t>> ByteReader::GetBytes() {
+  auto len = GetU32();
+  if (!len.ok()) {
+    return len.status();
+  }
+  if (remaining() < *len) {
+    return InvalidArgument("truncated bytes");
+  }
+  std::vector<uint8_t> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                           data_.begin() + static_cast<ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+std::vector<uint8_t> EncodeMessage(const Message& message) {
+  ByteWriter payload_writer;
+  std::visit(PayloadEncoder{payload_writer}, message.payload);
+
+  ByteWriter w;
+  w.PutU8(kMagic0);
+  w.PutU8(kMagic1);
+  w.PutU8(kVersion);
+  w.PutU16(static_cast<uint16_t>(message.type()));
+  w.PutU32(message.src.value());
+  w.PutU32(message.dst.value());
+  w.PutU64(message.request_id.value());
+  w.PutBytes(payload_writer.bytes());
+  return w.Take();
+}
+
+Result<Message> DecodeMessage(std::span<const uint8_t> wire) {
+  ByteReader r(wire);
+  auto m0 = r.GetU8();
+  auto m1 = r.GetU8();
+  auto version = r.GetU8();
+  if (!m0.ok() || !m1.ok() || !version.ok()) {
+    return InvalidArgument("truncated header");
+  }
+  if (*m0 != kMagic0 || *m1 != kMagic1) {
+    return InvalidArgument("bad magic");
+  }
+  if (*version != kVersion) {
+    return InvalidArgument("unsupported protocol version");
+  }
+  auto type = r.GetU16();
+  if (!type.ok()) {
+    return type.status();
+  }
+  if (*type > static_cast<uint16_t>(MessageType::kFileListResponse)) {
+    return InvalidArgument("unknown message type");
+  }
+  auto src = r.GetU32();
+  if (!src.ok()) {
+    return src.status();
+  }
+  auto dst = r.GetU32();
+  if (!dst.ok()) {
+    return dst.status();
+  }
+  auto request_id = r.GetU64();
+  if (!request_id.ok()) {
+    return request_id.status();
+  }
+  auto payload_bytes = r.GetBytes();
+  if (!payload_bytes.ok()) {
+    return payload_bytes.status();
+  }
+  if (!r.AtEnd()) {
+    return InvalidArgument("trailing bytes after message");
+  }
+  ByteReader pr(*payload_bytes);
+  auto payload = DecodePayload(static_cast<MessageType>(*type), pr);
+  if (!payload.ok()) {
+    return payload.status();
+  }
+  if (!pr.AtEnd()) {
+    return InvalidArgument("trailing bytes after payload");
+  }
+  Message message;
+  message.src = DeviceId(*src);
+  message.dst = DeviceId(*dst);
+  message.request_id = RequestId(*request_id);
+  message.payload = *std::move(payload);
+  return message;
+}
+
+size_t EncodedSize(const Message& message) {
+  // Header: magic(2) + version(1) + type(2) + src(4) + dst(4) + reqid(8) +
+  // payload length prefix(4).
+  ByteWriter payload_writer;
+  std::visit(PayloadEncoder{payload_writer}, message.payload);
+  return 25 + payload_writer.size();
+}
+
+}  // namespace lastcpu::proto

@@ -1,0 +1,120 @@
+#include "src/proto/message.h"
+
+#include <utility>
+
+namespace lastcpu::proto {
+
+std::string_view ServiceTypeName(ServiceType type) {
+  switch (type) {
+    case ServiceType::kMemory:
+      return "memory";
+    case ServiceType::kFile:
+      return "file";
+    case ServiceType::kBlock:
+      return "block";
+    case ServiceType::kNetwork:
+      return "network";
+    case ServiceType::kCompute:
+      return "compute";
+    case ServiceType::kLoader:
+      return "loader";
+    case ServiceType::kAuth:
+      return "auth";
+    case ServiceType::kLog:
+      return "log";
+    case ServiceType::kKeyValue:
+      return "key-value";
+  }
+  return "unknown";
+}
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kAliveAnnounce:
+      return "AliveAnnounce";
+    case MessageType::kDiscoverRequest:
+      return "DiscoverRequest";
+    case MessageType::kDiscoverResponse:
+      return "DiscoverResponse";
+    case MessageType::kOpenRequest:
+      return "OpenRequest";
+    case MessageType::kOpenResponse:
+      return "OpenResponse";
+    case MessageType::kCloseRequest:
+      return "CloseRequest";
+    case MessageType::kCloseResponse:
+      return "CloseResponse";
+    case MessageType::kMemAllocRequest:
+      return "MemAllocRequest";
+    case MessageType::kMemAllocResponse:
+      return "MemAllocResponse";
+    case MessageType::kMapDirective:
+      return "MapDirective";
+    case MessageType::kMemFreeRequest:
+      return "MemFreeRequest";
+    case MessageType::kMemFreeResponse:
+      return "MemFreeResponse";
+    case MessageType::kGrantRequest:
+      return "GrantRequest";
+    case MessageType::kGrantResponse:
+      return "GrantResponse";
+    case MessageType::kRevokeRequest:
+      return "RevokeRequest";
+    case MessageType::kRevokeResponse:
+      return "RevokeResponse";
+    case MessageType::kNotify:
+      return "Notify";
+    case MessageType::kResourceFailed:
+      return "ResourceFailed";
+    case MessageType::kDeviceFailed:
+      return "DeviceFailed";
+    case MessageType::kResetSignal:
+      return "ResetSignal";
+    case MessageType::kTeardownApp:
+      return "TeardownApp";
+    case MessageType::kLoadImage:
+      return "LoadImage";
+    case MessageType::kLoadImageResponse:
+      return "LoadImageResponse";
+    case MessageType::kAuthRequest:
+      return "AuthRequest";
+    case MessageType::kAuthResponse:
+      return "AuthResponse";
+    case MessageType::kErrorResponse:
+      return "ErrorResponse";
+    case MessageType::kMapConfirm:
+      return "MapConfirm";
+    case MessageType::kAttachQueue:
+      return "AttachQueue";
+    case MessageType::kAttachQueueResponse:
+      return "AttachQueueResponse";
+    case MessageType::kHeartbeat:
+      return "Heartbeat";
+    case MessageType::kFileCreate:
+      return "FileCreate";
+    case MessageType::kFileDelete:
+      return "FileDelete";
+    case MessageType::kFileAdminResponse:
+      return "FileAdminResponse";
+    case MessageType::kFileList:
+      return "FileList";
+    case MessageType::kFileListResponse:
+      return "FileListResponse";
+  }
+  return "Unknown";
+}
+
+Message MakeRequest(DeviceId src, DeviceId dst, RequestId id, Payload payload) {
+  return Message{src, dst, id, std::move(payload)};
+}
+
+Message MakeResponse(const Message& request, DeviceId src, Payload payload) {
+  return Message{src, request.src, request.request_id, std::move(payload)};
+}
+
+Message MakeError(const Message& request, DeviceId src, Status status) {
+  return Message{src, request.src, request.request_id,
+                 ErrorResponse{status.code(), status.message()}};
+}
+
+}  // namespace lastcpu::proto

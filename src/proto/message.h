@@ -1,0 +1,417 @@
+// The system-management-bus protocol (control plane).
+//
+// Every control operation in the CPU-less machine — discovery, service open,
+// memory allocation, IOMMU mapping directives, grants, failure notification,
+// task lifecycle — is one of these messages. The paper (Sec. 2.2) requires the
+// protocol to be "not more computationally intensive ... than many existing
+// control protocols such as AHCI/EHCI"; all payloads here are plain data with
+// a compact binary codec (see codec.h).
+#ifndef SRC_PROTO_MESSAGE_H_
+#define SRC_PROTO_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+
+namespace lastcpu::proto {
+
+// Kinds of resources a self-managing device can expose as services (paper
+// Sec. 2.1: "physical memory, FPGA blocks, GPU cores, storage space, etc.").
+enum class ServiceType : uint8_t {
+  kMemory = 0,    // physical memory allocation (the memory controller)
+  kFile = 1,      // filesystem on a smart SSD
+  kBlock = 2,     // raw block access on a smart SSD
+  kNetwork = 3,   // packet / socket endpoints on a smart NIC
+  kCompute = 4,   // offload engine (FPGA blocks, embedded cores)
+  kLoader = 5,    // binary image upload (paper Sec. 2.1)
+  kAuth = 6,      // access-control / login service (paper Sec. 4)
+  kLog = 7,       // append-only log for system maintenance (paper Sec. 4)
+  kKeyValue = 8,  // application-level KVS endpoint (paper Sec. 3)
+};
+
+std::string_view ServiceTypeName(ServiceType type);
+
+// Advertises one service offered by a device, returned by discovery.
+struct ServiceDescriptor {
+  DeviceId provider;
+  ServiceType type = ServiceType::kMemory;
+  std::string name;           // e.g. "flashfs", "kv-frontend"
+  uint32_t max_instances = 0; // 0 = unlimited
+
+  friend bool operator==(const ServiceDescriptor&, const ServiceDescriptor&) = default;
+};
+
+// One virtual->physical page mapping, as programmed into an IOMMU.
+struct MapEntry {
+  uint64_t vpage = 0;   // virtual page number
+  uint64_t pframe = 0;  // physical frame number
+  Access access = Access::kNone;
+
+  friend bool operator==(const MapEntry&, const MapEntry&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Payloads. Groups follow the paper's lifecycle: init -> discovery -> open ->
+// memory/grant -> run -> errors -> teardown.
+// ---------------------------------------------------------------------------
+
+// Device -> bus after self-test (Sec. 2.2 "System Initialization").
+struct AliveAnnounce {
+  std::string device_name;
+  std::vector<ServiceDescriptor> services;
+
+  friend bool operator==(const AliveAnnounce&, const AliveAnnounce&) = default;
+};
+
+// Broadcast: "which device offers a service of this type / owning this
+// resource?" (Fig. 2 step 1; SSDP-like).
+struct DiscoverRequest {
+  ServiceType type = ServiceType::kMemory;
+  std::string resource;  // optional, e.g. a file name the service must own
+
+  friend bool operator==(const DiscoverRequest&, const DiscoverRequest&) = default;
+};
+
+// Unicast answer from a device that can provide the service (Fig. 2 step 2).
+struct DiscoverResponse {
+  ServiceDescriptor descriptor;
+
+  friend bool operator==(const DiscoverResponse&, const DiscoverResponse&) = default;
+};
+
+// Open an instance (context) of a service (Fig. 2 step 3). Carries the
+// authorization token (Sec. 3: "including an authorization token").
+struct OpenRequest {
+  std::string service_name;
+  std::string resource;
+  uint64_t auth_token = 0;
+  Pasid pasid;
+
+  friend bool operator==(const OpenRequest&, const OpenRequest&) = default;
+};
+
+// Connection details (Fig. 2 step 4): how much shared memory the provider
+// needs for the VIRTIO queues plus data buffers, and the queue shape.
+struct OpenResponse {
+  InstanceId instance;
+  uint64_t shared_bytes_required = 0;
+  uint16_t queue_depth = 0;
+
+  friend bool operator==(const OpenResponse&, const OpenResponse&) = default;
+};
+
+struct CloseRequest {
+  InstanceId instance;
+
+  friend bool operator==(const CloseRequest&, const CloseRequest&) = default;
+};
+
+struct CloseResponse {
+  friend bool operator==(const CloseResponse&, const CloseResponse&) = default;
+};
+
+// Device -> memory controller (Fig. 2 step 5): allocate physical memory and
+// map it at `vaddr_hint` in address space `pasid`.
+struct MemAllocRequest {
+  Pasid pasid;
+  uint64_t bytes = 0;
+  VirtAddr vaddr_hint;
+  Access access = Access::kReadWrite;
+
+  friend bool operator==(const MemAllocRequest&, const MemAllocRequest&) = default;
+};
+
+// Memory controller -> requesting device: the allocation result. The actual
+// IOMMU programming travels separately as a MapDirective to the bus.
+struct MemAllocResponse {
+  VirtAddr vaddr;
+  uint64_t bytes = 0;
+
+  friend bool operator==(const MemAllocResponse&, const MemAllocResponse&) = default;
+};
+
+// Resource controller -> bus (privileged): program `target`'s IOMMU. Only the
+// controller of a resource may direct mappings for it (Sec. 2.2 "the system
+// bus updates the page tables of a device only when it is instructed to do so
+// by the controller of that particular resource").
+struct MapDirective {
+  DeviceId target;
+  Pasid pasid;
+  std::vector<MapEntry> entries;
+  bool unmap = false;
+
+  friend bool operator==(const MapDirective&, const MapDirective&) = default;
+};
+
+struct MemFreeRequest {
+  Pasid pasid;
+  VirtAddr vaddr;
+  uint64_t bytes = 0;
+
+  friend bool operator==(const MemFreeRequest&, const MemFreeRequest&) = default;
+};
+
+struct MemFreeResponse {
+  friend bool operator==(const MemFreeResponse&, const MemFreeResponse&) = default;
+};
+
+// Owner device -> bus (Fig. 2 step 7): give `grantee` access to a region the
+// owner allocated. The bus forwards to the memory controller for
+// authorization before programming the grantee's IOMMU.
+struct GrantRequest {
+  Pasid pasid;
+  VirtAddr vaddr;
+  uint64_t bytes = 0;
+  DeviceId grantee;
+  Access access = Access::kReadWrite;
+
+  friend bool operator==(const GrantRequest&, const GrantRequest&) = default;
+};
+
+struct GrantResponse {
+  friend bool operator==(const GrantResponse&, const GrantResponse&) = default;
+};
+
+struct RevokeRequest {
+  Pasid pasid;
+  VirtAddr vaddr;
+  uint64_t bytes = 0;
+  DeviceId grantee;
+
+  friend bool operator==(const RevokeRequest&, const RevokeRequest&) = default;
+};
+
+struct RevokeResponse {
+  friend bool operator==(const RevokeResponse&, const RevokeResponse&) = default;
+};
+
+// Doorbell-style attention signal (Sec. 2.3 "Notifications"): data-plane
+// events ride the fabric, but devices may also signal over the control plane.
+struct Notify {
+  InstanceId instance;
+  uint64_t payload = 0;
+
+  friend bool operator==(const Notify&, const Notify&) = default;
+};
+
+// Owner -> consumers: a resource died but the device survived (Sec. 4 "Error
+// Handling"); consumers must recover, the owner resets the resource.
+struct ResourceFailed {
+  std::string service_name;
+  InstanceId instance;
+  std::string reason;
+
+  friend bool operator==(const ResourceFailed&, const ResourceFailed&) = default;
+};
+
+// Bus -> all devices: an entire device failed; anyone using its resources
+// must recover (Sec. 4).
+struct DeviceFailed {
+  DeviceId device;
+
+  friend bool operator==(const DeviceFailed&, const DeviceFailed&) = default;
+};
+
+// Bus -> device: reset line, "in an attempt to restart it" (Sec. 4).
+struct ResetSignal {
+  friend bool operator==(const ResetSignal&, const ResetSignal&) = default;
+};
+
+// Tear down every resource belonging to an application address space
+// (task life cycle management, Sec. 1).
+struct TeardownApp {
+  Pasid pasid;
+
+  friend bool operator==(const TeardownApp&, const TeardownApp&) = default;
+};
+
+// Upload a new application image to a device's loader service (Sec. 2.1
+// "devices that store their applications internally ... must expose a loader
+// service"). Gated by the auth service (Sec. 4).
+struct LoadImage {
+  std::string app_name;
+  std::vector<uint8_t> image;
+  uint64_t auth_token = 0;
+
+  friend bool operator==(const LoadImage&, const LoadImage&) = default;
+};
+
+struct LoadImageResponse {
+  friend bool operator==(const LoadImageResponse&, const LoadImageResponse&) = default;
+};
+
+// Login: user + secret -> token (Sec. 4 "Access Control", the 'login'
+// program / 'passwd' file equivalent).
+struct AuthRequest {
+  std::string user;
+  std::string secret;
+
+  friend bool operator==(const AuthRequest&, const AuthRequest&) = default;
+};
+
+struct AuthResponse {
+  uint64_t token = 0;
+  uint64_t expiry_nanos = 0;
+
+  friend bool operator==(const AuthResponse&, const AuthResponse&) = default;
+};
+
+// Generic failure answer to any request.
+struct ErrorResponse {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  friend bool operator==(const ErrorResponse&, const ErrorResponse&) = default;
+};
+
+// Bus -> resource controller: acknowledges that a MapDirective's programming
+// completed, so the controller can release the dependent response.
+struct MapConfirm {
+  DeviceId target;
+  Pasid pasid;
+
+  friend bool operator==(const MapConfirm&, const MapConfirm&) = default;
+};
+
+// Client -> service provider: after allocating and granting the session's
+// shared memory, tells the provider where the virtqueue session lives in the
+// application's address space (completes the Fig. 2 handshake: "programming
+// the VIRTIO queues ... using virtual addresses").
+struct AttachQueue {
+  InstanceId instance;
+  VirtAddr base;
+
+  friend bool operator==(const AttachQueue&, const AttachQueue&) = default;
+};
+
+struct AttachQueueResponse {
+  friend bool operator==(const AttachQueueResponse&, const AttachQueueResponse&) = default;
+};
+
+// Device -> bus: periodic liveness proof. A bus with watchdog monitoring
+// enabled declares a device failed when its heartbeats stop (Sec. 2.2's
+// liveness record, made continuous).
+struct Heartbeat {
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+// Client -> file service: create a file. The token's user becomes the owner
+// when the service enforces access control.
+struct FileCreate {
+  std::string name;
+  uint64_t auth_token = 0;
+
+  friend bool operator==(const FileCreate&, const FileCreate&) = default;
+};
+
+// Client -> file service: delete a file (owner-only under access control).
+struct FileDelete {
+  std::string name;
+  uint64_t auth_token = 0;
+
+  friend bool operator==(const FileDelete&, const FileDelete&) = default;
+};
+
+// Success answer to FileCreate/FileDelete.
+struct FileAdminResponse {
+  friend bool operator==(const FileAdminResponse&, const FileAdminResponse&) = default;
+};
+
+// Client -> file service: list files (remote 'ls'; Sec. 4 maintenance).
+struct FileList {
+  uint64_t auth_token = 0;
+
+  friend bool operator==(const FileList&, const FileList&) = default;
+};
+
+struct FileListResponse {
+  std::vector<std::string> names;
+
+  friend bool operator==(const FileListResponse&, const FileListResponse&) = default;
+};
+
+using Payload =
+    std::variant<AliveAnnounce, DiscoverRequest, DiscoverResponse, OpenRequest, OpenResponse,
+                 CloseRequest, CloseResponse, MemAllocRequest, MemAllocResponse, MapDirective,
+                 MemFreeRequest, MemFreeResponse, GrantRequest, GrantResponse, RevokeRequest,
+                 RevokeResponse, Notify, ResourceFailed, DeviceFailed, ResetSignal, TeardownApp,
+                 LoadImage, LoadImageResponse, AuthRequest, AuthResponse, ErrorResponse,
+                 MapConfirm, AttachQueue, AttachQueueResponse, Heartbeat, FileCreate, FileDelete,
+                 FileAdminResponse, FileList, FileListResponse>;
+
+// Message kind; the numeric value doubles as the variant index of Payload and
+// the on-wire type tag, so keep both in sync.
+enum class MessageType : uint16_t {
+  kAliveAnnounce = 0,
+  kDiscoverRequest = 1,
+  kDiscoverResponse = 2,
+  kOpenRequest = 3,
+  kOpenResponse = 4,
+  kCloseRequest = 5,
+  kCloseResponse = 6,
+  kMemAllocRequest = 7,
+  kMemAllocResponse = 8,
+  kMapDirective = 9,
+  kMemFreeRequest = 10,
+  kMemFreeResponse = 11,
+  kGrantRequest = 12,
+  kGrantResponse = 13,
+  kRevokeRequest = 14,
+  kRevokeResponse = 15,
+  kNotify = 16,
+  kResourceFailed = 17,
+  kDeviceFailed = 18,
+  kResetSignal = 19,
+  kTeardownApp = 20,
+  kLoadImage = 21,
+  kLoadImageResponse = 22,
+  kAuthRequest = 23,
+  kAuthResponse = 24,
+  kErrorResponse = 25,
+  kMapConfirm = 26,
+  kAttachQueue = 27,
+  kAttachQueueResponse = 28,
+  kHeartbeat = 29,
+  kFileCreate = 30,
+  kFileDelete = 31,
+  kFileAdminResponse = 32,
+  kFileList = 33,
+  kFileListResponse = 34,
+};
+
+std::string_view MessageTypeName(MessageType type);
+
+// The control-plane message envelope.
+struct Message {
+  DeviceId src;
+  DeviceId dst;  // kBroadcastDevice for discovery, kBusDevice for bus-handled ops
+  RequestId request_id;  // correlates responses with requests; Invalid() for one-way
+  Payload payload;
+
+  MessageType type() const { return static_cast<MessageType>(payload.index()); }
+
+  // Typed accessors: abort if the payload kind is wrong (protocol violation).
+  template <typename T>
+  const T& As() const {
+    return std::get<T>(payload);
+  }
+  template <typename T>
+  bool Is() const {
+    return std::holds_alternative<T>(payload);
+  }
+};
+
+// Builds a request envelope.
+Message MakeRequest(DeviceId src, DeviceId dst, RequestId id, Payload payload);
+// Builds the response envelope for `request` with the given payload.
+Message MakeResponse(const Message& request, DeviceId src, Payload payload);
+// Builds an ErrorResponse envelope for `request`.
+Message MakeError(const Message& request, DeviceId src, Status status);
+
+}  // namespace lastcpu::proto
+
+#endif  // SRC_PROTO_MESSAGE_H_

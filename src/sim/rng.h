@@ -1,0 +1,67 @@
+// Deterministic random numbers for workloads and hardware-timing jitter.
+//
+// xoshiro256** generator plus the distributions the benchmarks need (uniform,
+// exponential inter-arrivals, Zipfian key popularity). Seeded explicitly so a
+// run is reproducible bit-for-bit.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lastcpu::sim {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p);
+
+  // Exponentially distributed value with the given mean (Poisson arrivals).
+  double NextExponential(double mean);
+
+  // Fills `out` with uniformly random bytes.
+  void Fill(std::vector<uint8_t>& out);
+
+ private:
+  uint64_t state_[4];
+};
+
+// Zipfian distribution over [0, n) with skew theta, using the rejection-free
+// computation from Gray et al. ("Quickly generating billion-record synthetic
+// databases"), as used by YCSB. Models hot-key skew for the KVS benchmarks.
+class ZipfGenerator {
+ public:
+  // theta in (0, 1); 0.99 is the YCSB default.
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_RNG_H_

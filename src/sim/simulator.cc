@@ -1,0 +1,100 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::sim {
+
+EventId Simulator::Schedule(Duration delay, Callback callback) {
+  return ScheduleInternal(now_ + delay, std::move(callback), /*daemon=*/false);
+}
+
+EventId Simulator::ScheduleAt(SimTime when, Callback callback) {
+  return ScheduleInternal(when, std::move(callback), /*daemon=*/false);
+}
+
+EventId Simulator::ScheduleDaemon(Duration delay, Callback callback) {
+  return ScheduleInternal(now_ + delay, std::move(callback), /*daemon=*/true);
+}
+
+EventId Simulator::ScheduleInternal(SimTime when, Callback callback, bool daemon) {
+  LASTCPU_CHECK(when >= now_, "scheduling into the past: %lu < %lu",
+                static_cast<unsigned long>(when.nanos()),
+                static_cast<unsigned long>(now_.nanos()));
+  LASTCPU_CHECK(callback != nullptr, "null event callback");
+  uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq, std::move(callback), daemon});
+  pending_.insert(seq);
+  if (daemon) {
+    daemon_seqs_.insert(seq);
+  } else {
+    ++live_events_;
+  }
+  return EventId(seq);
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (pending_.erase(id.seq()) == 0) {
+    return false;  // already ran, already cancelled, or never scheduled
+  }
+  if (daemon_seqs_.erase(id.seq()) == 0) {
+    --live_events_;
+  }
+  // Lazy deletion: the heap entry is skipped when it surfaces at the top.
+  cancelled_.insert(id.seq());
+  return true;
+}
+
+void Simulator::SkimCancelled() {
+  while (!queue_.empty()) {
+    auto node = cancelled_.find(queue_.top().seq);
+    if (node == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(node);
+    queue_.pop();
+  }
+}
+
+void Simulator::RunTop() {
+  // The callback may schedule or cancel; copy out before popping.
+  Entry top = queue_.top();
+  queue_.pop();
+  pending_.erase(top.seq);
+  if (daemon_seqs_.erase(top.seq) == 0) {
+    --live_events_;
+  }
+  now_ = top.when;
+  ++events_executed_;
+  top.callback();
+}
+
+void Simulator::Run() {
+  // Daemons alone do not sustain the run; they execute only while real work
+  // remains ahead of them.
+  for (SkimCancelled(); !queue_.empty() && live_events_ > 0; SkimCancelled()) {
+    RunTop();
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  LASTCPU_CHECK(deadline >= now_, "RunUntil into the past");
+  for (SkimCancelled(); !queue_.empty() && queue_.top().when <= deadline; SkimCancelled()) {
+    RunTop();
+  }
+  now_ = deadline;
+}
+
+void Simulator::RunFor(Duration delta) { RunUntil(now_ + delta); }
+
+bool Simulator::Step() {
+  SkimCancelled();
+  if (queue_.empty()) {
+    return false;
+  }
+  RunTop();
+  return true;
+}
+
+}  // namespace lastcpu::sim

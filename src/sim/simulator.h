@@ -1,0 +1,121 @@
+// The discrete-event simulation core.
+//
+// Every hardware component in the emulator (bus, fabric, devices, NAND dies,
+// embedded cores) is driven by callbacks scheduled on one Simulator. Events at
+// equal timestamps run in scheduling order, which keeps runs deterministic for
+// a fixed seed — a property the tests rely on.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lastcpu::sim {
+
+// Handle for a scheduled event, usable to cancel it before it fires.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr explicit EventId(uint64_t seq) : seq_(seq) {}
+
+  constexpr uint64_t seq() const { return seq_; }
+  constexpr bool valid() const { return seq_ != 0; }
+
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+
+ private:
+  uint64_t seq_ = 0;
+};
+
+// Single-threaded discrete-event scheduler with a monotonically advancing
+// virtual clock.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time. Only advances inside Run*().
+  SimTime Now() const { return now_; }
+
+  // Schedules `callback` to run at Now() + delay. Returns a handle that can
+  // cancel the event while it is still pending.
+  EventId Schedule(Duration delay, Callback callback);
+
+  // Schedules at an absolute time, which must not be in the past.
+  EventId ScheduleAt(SimTime when, Callback callback);
+
+  // Daemon events (heartbeats, watchdog sweeps) do not keep Run() alive:
+  // Run() returns once only daemons remain. RunUntil/RunFor still execute
+  // daemons up to the deadline, and Step() executes them like any event.
+  EventId ScheduleDaemon(Duration delay, Callback callback);
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs events until no non-daemon events remain.
+  void Run();
+
+  // Runs events with timestamp <= deadline; leaves Now() == deadline if the
+  // queue drained earlier, so follow-up scheduling stays consistent.
+  void RunUntil(SimTime deadline);
+
+  // Convenience: RunUntil(Now() + delta).
+  void RunFor(Duration delta);
+
+  // Executes the single earliest pending event. Returns false if none.
+  bool Step();
+
+  // Number of events executed since construction.
+  uint64_t events_executed() const { return events_executed_; }
+  // Number of events currently pending (excluding cancelled ones).
+  size_t pending_events() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    Callback callback;
+    bool daemon = false;
+
+    // Min-heap on (when, seq): FIFO among simultaneous events.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  EventId ScheduleInternal(SimTime when, Callback callback, bool daemon);
+
+  // Pops and runs the top entry. Precondition: queue non-empty and top not
+  // cancelled.
+  void RunTop();
+  // Drops cancelled entries from the top of the heap.
+  void SkimCancelled();
+
+  SimTime now_ = SimTime::Zero();
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Seqs scheduled but not yet run or cancelled.
+  std::unordered_set<uint64_t> pending_;
+  // Non-daemon events outstanding (what Run() waits on).
+  uint64_t live_events_ = 0;
+  // Daemon seqs still pending (to maintain live_events_ on cancel).
+  std::unordered_set<uint64_t> daemon_seqs_;
+  // Seqs cancelled but still physically in the heap (lazy deletion).
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_SIMULATOR_H_

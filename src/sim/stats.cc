@@ -1,0 +1,120 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace lastcpu::sim {
+
+Histogram::Histogram() : buckets_(static_cast<size_t>(kRanges) * kSubBuckets, 0) {}
+
+int Histogram::BucketIndex(uint64_t value) {
+  // Values below kSubBuckets land in range 0, linearly.
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  int msb = 63 - std::countl_zero(value);
+  int range = msb - kSubBucketBits + 1;
+  // Sub-bucket: the kSubBucketBits bits below the MSB.
+  int sub = static_cast<int>((value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  return range * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketMidpoint(int index) {
+  int range = index / kSubBuckets;
+  int sub = index % kSubBuckets;
+  if (range == 0) {
+    return static_cast<uint64_t>(sub);
+  }
+  int msb = range + kSubBucketBits - 1;
+  uint64_t base = (uint64_t{1} << msb) | (static_cast<uint64_t>(sub) << (msb - kSubBucketBits));
+  uint64_t width = uint64_t{1} << (msb - kSubBucketBits);
+  return base + width / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  int index = BucketIndex(value);
+  LASTCPU_CHECK(index >= 0 && index < static_cast<int>(buckets_.size()), "bucket out of range");
+  ++buckets_[static_cast<size_t>(index)];
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(count_);
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Clamp the representative into the observed range for tidy output.
+      return std::clamp(BucketMidpoint(static_cast<int>(i)), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+  sum_ = 0.0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  LASTCPU_CHECK(buckets_.size() == other.buckets_.size(), "histogram shape mismatch");
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2fus p50=%.2fus p99=%.2fus p99.9=%.2fus max=%.2fus",
+                static_cast<unsigned long long>(count_), mean() / 1e3,
+                static_cast<double>(p50()) / 1e3, static_cast<double>(p99()) / 1e3,
+                static_cast<double>(p999()) / 1e3, static_cast<double>(max()) / 1e3);
+  return buf;
+}
+
+std::string StatsRegistry::Report(const std::string& prefix) const {
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += prefix + name + ": " + std::to_string(counter.value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += prefix + name + ": " + histogram.Summary() + "\n";
+  }
+  return out;
+}
+
+void StatsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) {
+    counter.Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram.Reset();
+  }
+}
+
+}  // namespace lastcpu::sim

@@ -1,0 +1,97 @@
+// Measurement primitives: counters and latency histograms.
+//
+// Every experiment in EXPERIMENTS.md is produced from these. Histogram uses
+// log-linear buckets (HdrHistogram-style) so p99 at nanosecond scale and
+// multi-millisecond tails coexist with bounded error.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lastcpu::sim {
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Log-linear histogram over non-negative 64-bit values (we record
+// nanoseconds). Each power-of-two range is split into kSubBuckets linear
+// sub-buckets, bounding relative quantile error to ~1/kSubBuckets.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void Record(Duration d) { Record(d.nanos()); }
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const;
+  double sum() const { return sum_; }
+
+  // Value at quantile q in [0, 1]; returns a bucket-representative value.
+  uint64_t ValueAtQuantile(double q) const;
+  uint64_t p50() const { return ValueAtQuantile(0.50); }
+  uint64_t p90() const { return ValueAtQuantile(0.90); }
+  uint64_t p99() const { return ValueAtQuantile(0.99); }
+  uint64_t p999() const { return ValueAtQuantile(0.999); }
+
+  void Reset();
+
+  // Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  // "count=… mean=…us p50=… p99=… max=…" for logs and bench output.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets -> ~3% error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kRanges = 64 - kSubBucketBits + 1;
+
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketMidpoint(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+// A named bag of counters and histograms owned by one component; the machine
+// aggregates registries for reporting.
+class StatsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name) { return counters_[name]; }
+  Histogram& GetHistogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  // Multi-line human-readable dump.
+  std::string Report(const std::string& prefix = "") const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_STATS_H_

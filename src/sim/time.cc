@@ -1,0 +1,28 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace lastcpu::sim {
+namespace {
+
+std::string FormatNanos(uint64_t nanos) {
+  char buf[48];
+  if (nanos < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%luns", static_cast<unsigned long>(nanos));
+  } else if (nanos < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(nanos) / 1e3);
+  } else if (nanos < 10'000'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(nanos) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(nanos) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::ToString() const { return FormatNanos(nanos_); }
+
+std::string SimTime::ToString() const { return FormatNanos(nanos_); }
+
+}  // namespace lastcpu::sim

@@ -1,0 +1,76 @@
+// Simulated time. The whole emulator advances a single virtual clock with
+// nanosecond resolution; wall-clock time never appears in simulated results.
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace lastcpu::sim {
+
+// A span of simulated time, in nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(uint64_t n) { return Duration(n); }
+  static constexpr Duration Micros(uint64_t n) { return Duration(n * 1000); }
+  static constexpr Duration Millis(uint64_t n) { return Duration(n * 1000 * 1000); }
+  static constexpr Duration Seconds(uint64_t n) { return Duration(n * 1000 * 1000 * 1000); }
+  static constexpr Duration Zero() { return Duration(0); }
+
+  constexpr uint64_t nanos() const { return nanos_; }
+  constexpr double micros() const { return static_cast<double>(nanos_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(nanos_ + other.nanos_); }
+  constexpr Duration operator-(Duration other) const { return Duration(nanos_ - other.nanos_); }
+  constexpr Duration operator*(uint64_t k) const { return Duration(nanos_ * k); }
+  constexpr Duration operator/(uint64_t k) const { return Duration(nanos_ / k); }
+  Duration& operator+=(Duration other) {
+    nanos_ += other.nanos_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit Duration(uint64_t nanos) : nanos_(nanos) {}
+
+  uint64_t nanos_ = 0;
+};
+
+// An instant on the simulated clock (nanoseconds since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromNanos(uint64_t n) { return SimTime(n); }
+  static constexpr SimTime Zero() { return SimTime(0); }
+
+  constexpr uint64_t nanos() const { return nanos_; }
+  constexpr double micros() const { return static_cast<double>(nanos_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(nanos_ + d.nanos()); }
+  constexpr Duration operator-(SimTime other) const {
+    return Duration::Nanos(nanos_ - other.nanos_);
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  std::string ToString() const;
+
+ private:
+  constexpr explicit SimTime(uint64_t nanos) : nanos_(nanos) {}
+
+  uint64_t nanos_ = 0;
+};
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_TIME_H_

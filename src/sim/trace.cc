@@ -1,0 +1,47 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace lastcpu::sim {
+
+void TraceLog::Emit(SimTime when, std::string component, std::string event, std::string detail) {
+  if (!enabled_) {
+    return;
+  }
+  records_.push_back(TraceRecord{when, std::move(component), std::move(event), std::move(detail)});
+}
+
+std::vector<TraceRecord> TraceLog::FindByEvent(const std::string& event) const {
+  std::vector<TraceRecord> out;
+  for (const auto& record : records_) {
+    if (record.event == event) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+bool TraceLog::ContainsSequence(const std::vector<std::string>& events) const {
+  size_t next = 0;
+  for (const auto& record : records_) {
+    if (next < events.size() && record.event == events[next]) {
+      ++next;
+    }
+  }
+  return next == events.size();
+}
+
+void TraceLog::Dump(std::ostream& os) const {
+  for (const auto& record : records_) {
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%12.3fus", record.when.micros());
+    os << ts << "  " << record.component << "  " << record.event;
+    if (!record.detail.empty()) {
+      os << "  (" << record.detail << ")";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace lastcpu::sim

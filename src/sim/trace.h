@@ -1,0 +1,53 @@
+// Structured trace of simulated activity.
+//
+// Components emit (time, component, event, detail) records; tests assert on
+// sequences (e.g. the Figure-2 handshake order) and examples print them as a
+// narrative of what the machine did.
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lastcpu::sim {
+
+struct TraceRecord {
+  SimTime when;
+  std::string component;
+  std::string event;
+  std::string detail;
+};
+
+// Append-only trace log. Disabled by default so benchmarks pay ~nothing.
+class TraceLog {
+ public:
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Emit(SimTime when, std::string component, std::string event, std::string detail);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  // Records whose event name matches exactly, in emission order.
+  std::vector<TraceRecord> FindByEvent(const std::string& event) const;
+
+  // True if events appear in the trace in the given relative order (other
+  // events may be interleaved). Used by the Figure-2 sequence tests.
+  bool ContainsSequence(const std::vector<std::string>& events) const;
+
+  void Dump(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_TRACE_H_

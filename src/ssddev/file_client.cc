@@ -1,0 +1,402 @@
+#include "src/ssddev/file_client.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::ssddev {
+
+FileClient::FileClient(dev::Device* host, Pasid pasid, FileClientConfig config)
+    : host_(host), pasid_(pasid), config_(config) {
+  LASTCPU_CHECK(host != nullptr, "file client needs a host device");
+}
+
+void FileClient::Open(const std::string& file, uint64_t auth_token, OpenCallback done) {
+  LASTCPU_CHECK(done != nullptr, "open without callback");
+  LASTCPU_CHECK(queue_ == nullptr, "session already open");
+  auto done_ptr = std::make_shared<OpenCallback>(std::move(done));
+
+  // Step 1 (Fig. 2): broadcast — who owns this file?
+  host_->Discover(
+      proto::ServiceType::kFile, file, config_.discover_window,
+      [this, file, auth_token, done_ptr](std::vector<proto::ServiceDescriptor> services) {
+        if (services.empty()) {
+          (*done_ptr)(NotFound("no file service owns " + file));
+          return;
+        }
+        provider_ = services[0].provider;
+        const std::string service_name = services[0].name;
+
+        // Locate the memory controller too (usually cached by real firmware).
+        host_->Discover(
+            proto::ServiceType::kMemory, "", config_.discover_window,
+            [this, file, auth_token, service_name, done_ptr](
+                std::vector<proto::ServiceDescriptor> memory_services) {
+              if (memory_services.empty()) {
+                (*done_ptr)(Unavailable("no memory controller on the bus"));
+                return;
+              }
+              memctrl_ = memory_services[0].provider;
+
+              // Step 3: open the service instance with the auth token.
+              host_->SendRequest(
+                  provider_, proto::OpenRequest{service_name, file, auth_token, pasid_},
+                  [this, done_ptr](const proto::Message& response) {
+                    if (response.Is<proto::ErrorResponse>()) {
+                      const auto& error = response.As<proto::ErrorResponse>();
+                      (*done_ptr)(Status(error.code, error.message));
+                      return;
+                    }
+                    const auto& open = response.As<proto::OpenResponse>();
+                    instance_ = open.instance;
+                    session_bytes_ = open.shared_bytes_required;
+                    depth_ = open.queue_depth;
+
+                    // Step 5: allocate the shared session memory.
+                    host_->SendRequest(
+                        memctrl_,
+                        proto::MemAllocRequest{pasid_, session_bytes_, VirtAddr(0),
+                                               Access::kReadWrite},
+                        [this, done_ptr](const proto::Message& alloc_response) {
+                          if (alloc_response.Is<proto::ErrorResponse>()) {
+                            const auto& error = alloc_response.As<proto::ErrorResponse>();
+                            (*done_ptr)(Status(error.code, error.message));
+                            return;
+                          }
+                          session_base_ = alloc_response.As<proto::MemAllocResponse>().vaddr;
+
+                          // Step 7: grant the region to the provider.
+                          host_->SendRequest(
+                              kBusDevice,
+                              proto::GrantRequest{pasid_, session_base_, session_bytes_,
+                                                  provider_, Access::kReadWrite},
+                              [this, done_ptr](const proto::Message& grant_response) {
+                                if (grant_response.Is<proto::ErrorResponse>()) {
+                                  const auto& error =
+                                      grant_response.As<proto::ErrorResponse>();
+                                  (*done_ptr)(Status(error.code, error.message));
+                                  return;
+                                }
+                                // Final step: hand the queue location to the
+                                // provider, then initialize our end.
+                                host_->SendRequest(
+                                    provider_, proto::AttachQueue{instance_, session_base_},
+                                    [this, done_ptr](const proto::Message& attach_response) {
+                                      if (attach_response.Is<proto::ErrorResponse>()) {
+                                        const auto& error =
+                                            attach_response.As<proto::ErrorResponse>();
+                                        (*done_ptr)(Status(error.code, error.message));
+                                        return;
+                                      }
+                                      layout_.emplace(session_base_, depth_);
+                                      queue_ = std::make_unique<virtio::VirtqueueDriver>(
+                                          host_->fabric(), host_->id(), pasid_, session_base_,
+                                          depth_);
+                                      Status init = queue_->Initialize();
+                                      if (!init.ok()) {
+                                        queue_.reset();
+                                        (*done_ptr)(init);
+                                        return;
+                                      }
+                                      free_slots_.clear();
+                                      for (uint16_t s = depth_ / 2; s > 0; --s) {
+                                        free_slots_.push_back(static_cast<uint16_t>(s - 1));
+                                      }
+                                      (*done_ptr)(OkStatus());
+                                    });
+                              });
+                        });
+                  });
+            });
+      });
+}
+
+void FileClient::Issue(FileRequestHeader header, std::vector<uint8_t> payload, Pending pending) {
+  if (queue_ == nullptr) {
+    Fail(pending, FailedPrecondition("session not open"));
+    return;
+  }
+  if (free_slots_.empty()) {
+    Fail(pending, ResourceExhausted("all request slots in flight"));
+    return;
+  }
+  uint16_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  pending.slot = slot;
+
+  std::vector<uint8_t> wire(FileRequestHeader::kWireBytes + payload.size());
+  header.EncodeTo(wire);
+  std::copy(payload.begin(), payload.end(), wire.begin() + FileRequestHeader::kWireBytes);
+  VirtAddr request_slot = layout_->RequestSlot(slot);
+  VirtAddr response_slot = layout_->ResponseSlot(slot);
+  uint32_t request_len = static_cast<uint32_t>(wire.size());
+
+  host_->fabric()->DmaWrite(
+      host_->id(), pasid_, request_slot, std::move(wire),
+      [this, slot, request_slot, response_slot, request_len,
+       pending = std::move(pending)](Status wrote) mutable {
+        if (queue_ == nullptr) {
+          // The session was reset (provider died) while the request DMA was
+          // in flight; the slot pool was rebuilt, so do not return the slot.
+          Fail(pending, Aborted("session reset during submit"));
+          return;
+        }
+        if (!wrote.ok()) {
+          ReleaseSlot(slot);
+          Fail(pending, wrote);
+          return;
+        }
+        auto head = queue_->Submit(
+            {virtio::BufferDesc{request_slot, request_len, false},
+             virtio::BufferDesc{response_slot, static_cast<uint32_t>(kResponseSlotBytes), true}});
+        if (!head.ok()) {
+          ReleaseSlot(slot);
+          Fail(pending, head.status());
+          return;
+        }
+        in_flight_.emplace(*head, std::move(pending));
+        host_->stats().GetCounter("file_client_requests").Increment();
+        host_->fabric()->RingDoorbell(host_->id(), provider_, instance_.value());
+      });
+}
+
+void FileClient::ReadAt(uint64_t offset, uint32_t length, ReadCallback done) {
+  LASTCPU_CHECK(done != nullptr, "read without callback");
+  Pending pending;
+  pending.op = FileOp::kRead;
+  pending.on_read = std::move(done);
+  Issue(FileRequestHeader{FileOp::kRead, offset, length}, {}, std::move(pending));
+}
+
+void FileClient::WriteAt(uint64_t offset, std::vector<uint8_t> data, WriteCallback done) {
+  LASTCPU_CHECK(done != nullptr, "write without callback");
+  if (data.size() > kMaxWriteBytes) {
+    done(InvalidArgument("write exceeds per-request limit"));
+    return;
+  }
+  Pending pending;
+  pending.op = FileOp::kWrite;
+  pending.on_write = std::move(done);
+  FileRequestHeader header{FileOp::kWrite, offset, static_cast<uint32_t>(data.size())};
+  Issue(header, std::move(data), std::move(pending));
+}
+
+void FileClient::Append(std::vector<uint8_t> data, AppendCallback done) {
+  LASTCPU_CHECK(done != nullptr, "append without callback");
+  if (data.size() > kMaxWriteBytes) {
+    done(InvalidArgument("append exceeds per-request limit"));
+    return;
+  }
+  Pending pending;
+  pending.op = FileOp::kAppend;
+  pending.on_append = std::move(done);
+  FileRequestHeader header{FileOp::kAppend, 0, static_cast<uint32_t>(data.size())};
+  Issue(header, std::move(data), std::move(pending));
+}
+
+void FileClient::Stat(StatCallback done) {
+  LASTCPU_CHECK(done != nullptr, "stat without callback");
+  Pending pending;
+  pending.op = FileOp::kStat;
+  pending.on_stat = std::move(done);
+  Issue(FileRequestHeader{FileOp::kStat, 0, 0}, {}, std::move(pending));
+}
+
+bool FileClient::HandleDoorbell(DeviceId from, uint64_t value) {
+  if (from != provider_ || value != instance_.value() || queue_ == nullptr) {
+    return false;
+  }
+  DrainCompletions();
+  return true;
+}
+
+void FileClient::DrainCompletions() {
+  for (;;) {
+    auto used = queue_->PollUsed();
+    if (!used.ok() || !used->has_value()) {
+      return;
+    }
+    auto it = in_flight_.find((*used)->head);
+    if (it == in_flight_.end()) {
+      host_->stats().GetCounter("orphan_completions").Increment();
+      continue;
+    }
+    Pending pending = std::move(it->second);
+    in_flight_.erase(it);
+    CompleteOne((*used)->head, std::move(pending));
+  }
+}
+
+void FileClient::CompleteOne(uint16_t head, Pending pending) {
+  (void)head;
+  uint16_t slot = pending.slot;
+  VirtAddr response_slot = layout_->ResponseSlot(slot);
+  uint8_t header_bytes[FileResponseHeader::kWireBytes];
+  fabric::AccessResult read =
+      host_->fabric()->MemRead(host_->id(), pasid_, response_slot, header_bytes);
+  if (!read.status.ok()) {
+    ReleaseSlot(slot);
+    Fail(pending, read.status);
+    return;
+  }
+  auto header = FileResponseHeader::DecodeFrom(header_bytes);
+  if (!header.ok()) {
+    ReleaseSlot(slot);
+    Fail(pending, header.status());
+    return;
+  }
+  if (header->status != StatusCode::kOk) {
+    ReleaseSlot(slot);
+    Fail(pending, Status(header->status, "file service error"));
+    return;
+  }
+  switch (pending.op) {
+    case FileOp::kRead: {
+      if (header->length == 0) {
+        ReleaseSlot(slot);
+        pending.on_read(std::vector<uint8_t>());
+        return;
+      }
+      host_->fabric()->DmaRead(
+          host_->id(), pasid_, response_slot + FileResponseHeader::kWireBytes, header->length,
+          [this, slot, pending = std::move(pending)](Result<std::vector<uint8_t>> data) mutable {
+            ReleaseSlot(slot);
+            pending.on_read(std::move(data));
+          });
+      return;
+    }
+    case FileOp::kWrite:
+      ReleaseSlot(slot);
+      pending.on_write(OkStatus());
+      return;
+    case FileOp::kAppend:
+      ReleaseSlot(slot);
+      pending.on_append(header->file_size);
+      return;
+    case FileOp::kStat:
+      ReleaseSlot(slot);
+      pending.on_stat(header->file_size);
+      return;
+  }
+}
+
+void FileClient::ReleaseSlot(uint16_t slot) {
+  free_slots_.push_back(slot);
+  if (on_slot_available_) {
+    on_slot_available_();
+  }
+}
+
+void FileClient::Fail(Pending& pending, Status status) {
+  host_->stats().GetCounter("file_client_failures").Increment();
+  switch (pending.op) {
+    case FileOp::kRead:
+      pending.on_read(status);
+      return;
+    case FileOp::kWrite:
+      pending.on_write(status);
+      return;
+    case FileOp::kAppend:
+      pending.on_append(status);
+      return;
+    case FileOp::kStat:
+      pending.on_stat(status);
+      return;
+  }
+}
+
+void FileClient::AbortAll(Status reason) {
+  auto doomed = std::move(in_flight_);
+  in_flight_.clear();
+  for (auto& [head, pending] : doomed) {
+    free_slots_.push_back(pending.slot);
+    Fail(pending, reason);
+  }
+}
+
+void FileClient::Reset(Status reason) {
+  AbortAll(std::move(reason));
+  queue_.reset();
+  layout_.reset();
+  free_slots_.clear();
+  provider_ = DeviceId::Invalid();
+  instance_ = InstanceId::Invalid();
+  session_base_ = VirtAddr(0);
+  session_bytes_ = 0;
+  depth_ = 0;
+}
+
+void FileClient::Close(std::function<void(Status)> done) {
+  LASTCPU_CHECK(done != nullptr, "close without callback");
+  if (queue_ == nullptr) {
+    done(FailedPrecondition("session not open"));
+    return;
+  }
+  AbortAll(Aborted("session closing"));
+  queue_.reset();
+  auto done_ptr = std::make_shared<std::function<void(Status)>>(std::move(done));
+  host_->SendRequest(provider_, proto::CloseRequest{instance_},
+                     [this, done_ptr](const proto::Message& response) {
+                       // Free the session memory regardless of close outcome.
+                       host_->SendRequest(
+                           kBusDevice,
+                           proto::MemFreeRequest{pasid_, session_base_, session_bytes_},
+                           [done_ptr, closed = !response.Is<proto::ErrorResponse>()](
+                               const proto::Message& free_response) {
+                             if (!closed) {
+                               (*done_ptr)(Internal("close failed"));
+                               return;
+                             }
+                             if (free_response.Is<proto::ErrorResponse>()) {
+                               const auto& error = free_response.As<proto::ErrorResponse>();
+                               (*done_ptr)(Status(error.code, error.message));
+                               return;
+                             }
+                             (*done_ptr)(OkStatus());
+                           });
+                     });
+}
+
+namespace {
+
+void SendFileAdmin(dev::Device* host, DeviceId provider, proto::Payload payload,
+                   std::function<void(Status)> done) {
+  LASTCPU_CHECK(host != nullptr && done != nullptr, "file admin needs host and callback");
+  host->SendRequest(provider, std::move(payload),
+                    [done = std::move(done)](const proto::Message& response) {
+                      if (response.Is<proto::ErrorResponse>()) {
+                        const auto& error = response.As<proto::ErrorResponse>();
+                        done(Status(error.code, error.message));
+                        return;
+                      }
+                      done(OkStatus());
+                    });
+}
+
+}  // namespace
+
+void CreateRemoteFile(dev::Device* host, DeviceId provider, const std::string& name,
+                      uint64_t auth_token, std::function<void(Status)> done) {
+  SendFileAdmin(host, provider, proto::FileCreate{name, auth_token}, std::move(done));
+}
+
+void DeleteRemoteFile(dev::Device* host, DeviceId provider, const std::string& name,
+                      uint64_t auth_token, std::function<void(Status)> done) {
+  SendFileAdmin(host, provider, proto::FileDelete{name, auth_token}, std::move(done));
+}
+
+void ListRemoteFiles(dev::Device* host, DeviceId provider, uint64_t auth_token,
+                     std::function<void(Result<std::vector<std::string>>)> done) {
+  LASTCPU_CHECK(host != nullptr && done != nullptr, "file list needs host and callback");
+  host->SendRequest(provider, proto::FileList{auth_token},
+                    [done = std::move(done)](const proto::Message& response) {
+                      if (response.Is<proto::ErrorResponse>()) {
+                        const auto& error = response.As<proto::ErrorResponse>();
+                        done(Status(error.code, error.message));
+                        return;
+                      }
+                      done(response.As<proto::FileListResponse>().names);
+                    });
+}
+
+}  // namespace lastcpu::ssddev

@@ -1,0 +1,127 @@
+// FileClient: the consumer-side library for the SSD file service.
+//
+// This is the paper's Sec. 4 "Programmability" artifact: "the development
+// environment for the smartNIC would include a library that encapsulates the
+// functionality of the system bus, and provide functions for service
+// discovery, resource allocation, etc." FileClient runs inside any device
+// (the smart NIC's app engine, or an example harness) and performs the full
+// Figure-2 bring-up: discover -> open -> allocate -> grant -> attach, then
+// virtqueue I/O with doorbells.
+#ifndef SRC_SSDDEV_FILE_CLIENT_H_
+#define SRC_SSDDEV_FILE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dev/device.h"
+#include "src/ssddev/file_protocol.h"
+#include "src/virtio/virtqueue.h"
+
+namespace lastcpu::ssddev {
+
+struct FileClientConfig {
+  sim::Duration discover_window = sim::Duration::Micros(20);
+};
+
+class FileClient {
+ public:
+  using OpenCallback = std::function<void(Status)>;
+  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
+  using WriteCallback = std::function<void(Status)>;
+  using AppendCallback = std::function<void(Result<uint64_t>)>;
+  using StatCallback = std::function<void(Result<uint64_t>)>;
+
+  // `host` is the device this client runs on; `pasid` the application's
+  // address space. The host must forward doorbells via HandleDoorbell.
+  FileClient(dev::Device* host, Pasid pasid, FileClientConfig config = {});
+
+  // Runs the full session bring-up for `file`. Requires a live memory
+  // controller and a file service owning the file somewhere on the bus.
+  void Open(const std::string& file, uint64_t auth_token, OpenCallback done);
+
+  bool ready() const { return queue_ != nullptr; }
+  // True when a request can be issued right now without being rejected.
+  bool HasFreeSlot() const { return queue_ != nullptr && !free_slots_.empty(); }
+  // Requests submitted and not yet completed.
+  size_t InFlight() const { return in_flight_.size(); }
+  // Invoked whenever a request slot frees up (completion or failure), so
+  // callers can implement backpressure queues.
+  void SetSlotAvailableCallback(std::function<void()> fn) { on_slot_available_ = std::move(fn); }
+  DeviceId provider() const { return provider_; }
+  InstanceId instance() const { return instance_; }
+  VirtAddr session_base() const { return session_base_; }
+
+  // --- I/O (session must be ready) ------------------------------------------
+
+  void ReadAt(uint64_t offset, uint32_t length, ReadCallback done);
+  void WriteAt(uint64_t offset, std::vector<uint8_t> data, WriteCallback done);
+  void Append(std::vector<uint8_t> data, AppendCallback done);
+  void Stat(StatCallback done);
+
+  // Closes the instance and frees the session memory.
+  void Close(std::function<void(Status)> done);
+
+  // The host device must call this from its OnDoorbell for doorbells whose
+  // value equals this session's instance id. Returns true when consumed.
+  bool HandleDoorbell(DeviceId from, uint64_t value);
+
+  // Fails every outstanding request (e.g. the provider died).
+  void AbortAll(Status reason);
+
+  // Drops all session state without any protocol exchange (the provider is
+  // gone). A subsequent Open() re-runs the full bring-up; the application's
+  // old session memory is reclaimed at app teardown.
+  void Reset(Status reason);
+
+ private:
+  struct Pending {
+    uint16_t slot = 0;
+    FileOp op = FileOp::kRead;
+    ReadCallback on_read;
+    WriteCallback on_write;
+    AppendCallback on_append;
+    StatCallback on_stat;
+  };
+
+  // Issues one request: writes the slot, submits the chain, rings the bell.
+  void Issue(FileRequestHeader header, std::vector<uint8_t> payload, Pending pending);
+  void DrainCompletions();
+  void CompleteOne(uint16_t head, Pending pending);
+  void Fail(Pending& pending, Status status);
+  // Returns a slot to the free pool and fires the availability callback.
+  void ReleaseSlot(uint16_t slot);
+
+  dev::Device* host_;
+  Pasid pasid_;
+  FileClientConfig config_;
+
+  DeviceId provider_;
+  DeviceId memctrl_;
+  InstanceId instance_;
+  VirtAddr session_base_;
+  uint64_t session_bytes_ = 0;
+  uint16_t depth_ = 0;
+  std::optional<SessionLayout> layout_;
+  std::unique_ptr<virtio::VirtqueueDriver> queue_;
+  std::vector<uint16_t> free_slots_;
+  std::map<uint16_t, Pending> in_flight_;  // keyed by chain head
+  std::function<void()> on_slot_available_;
+};
+
+// Session-less file administration from any device: create or delete a file
+// on a file-service provider (used e.g. by the KVS compactor to roll logs).
+void CreateRemoteFile(dev::Device* host, DeviceId provider, const std::string& name,
+                      uint64_t auth_token, std::function<void(Status)> done);
+void DeleteRemoteFile(dev::Device* host, DeviceId provider, const std::string& name,
+                      uint64_t auth_token, std::function<void(Status)> done);
+void ListRemoteFiles(dev::Device* host, DeviceId provider, uint64_t auth_token,
+                     std::function<void(Result<std::vector<std::string>>)> done);
+
+}  // namespace lastcpu::ssddev
+
+#endif  // SRC_SSDDEV_FILE_CLIENT_H_

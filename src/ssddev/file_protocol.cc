@@ -1,0 +1,101 @@
+#include "src/ssddev/file_protocol.h"
+
+#include "src/base/check.h"
+
+namespace lastcpu::ssddev {
+namespace {
+
+void PutU32At(std::span<uint8_t> out, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[at + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void PutU64At(std::span<uint8_t> out, size_t at, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[at + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t GetU32At(std::span<const uint8_t> in, size_t at) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | in[at + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+uint64_t GetU64At(std::span<const uint8_t> in, size_t at) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | in[at + static_cast<size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace
+
+void FileRequestHeader::EncodeTo(std::span<uint8_t> out) const {
+  LASTCPU_CHECK(out.size() >= kWireBytes, "request header buffer too small");
+  out[0] = static_cast<uint8_t>(op);
+  out[1] = out[2] = out[3] = 0;
+  PutU64At(out, 4, offset);
+  PutU32At(out, 12, length);
+}
+
+Result<FileRequestHeader> FileRequestHeader::DecodeFrom(std::span<const uint8_t> in) {
+  if (in.size() < kWireBytes) {
+    return InvalidArgument("truncated file request header");
+  }
+  if (in[0] < static_cast<uint8_t>(FileOp::kRead) || in[0] > static_cast<uint8_t>(FileOp::kStat)) {
+    return InvalidArgument("unknown file op");
+  }
+  FileRequestHeader header;
+  header.op = static_cast<FileOp>(in[0]);
+  header.offset = GetU64At(in, 4);
+  header.length = GetU32At(in, 12);
+  return header;
+}
+
+void FileResponseHeader::EncodeTo(std::span<uint8_t> out) const {
+  LASTCPU_CHECK(out.size() >= kWireBytes, "response header buffer too small");
+  out[0] = static_cast<uint8_t>(status);
+  out[1] = out[2] = out[3] = 0;
+  PutU32At(out, 4, length);
+  PutU64At(out, 8, file_size);
+}
+
+Result<FileResponseHeader> FileResponseHeader::DecodeFrom(std::span<const uint8_t> in) {
+  if (in.size() < kWireBytes) {
+    return InvalidArgument("truncated file response header");
+  }
+  FileResponseHeader header;
+  header.status = static_cast<StatusCode>(in[0]);
+  header.length = GetU32At(in, 4);
+  header.file_size = GetU64At(in, 8);
+  return header;
+}
+
+SessionLayout::SessionLayout(VirtAddr base, uint16_t queue_depth)
+    : ring_base(base), depth(queue_depth) {
+  uint64_t ring_bytes = PageCeil(virtio::VirtqueueLayout::BytesRequired(queue_depth));
+  request_area_ = base + ring_bytes;
+  response_area_ = request_area_ + kRequestSlotBytes * queue_depth;
+}
+
+uint64_t SessionLayout::BytesRequired(uint16_t depth) {
+  return PageCeil(virtio::VirtqueueLayout::BytesRequired(depth)) +
+         depth * (kRequestSlotBytes + kResponseSlotBytes);
+}
+
+VirtAddr SessionLayout::RequestSlot(uint16_t index) const {
+  LASTCPU_CHECK(index < depth, "slot index out of range");
+  return request_area_ + static_cast<uint64_t>(index) * kRequestSlotBytes;
+}
+
+VirtAddr SessionLayout::ResponseSlot(uint16_t index) const {
+  LASTCPU_CHECK(index < depth, "slot index out of range");
+  return response_area_ + static_cast<uint64_t>(index) * kResponseSlotBytes;
+}
+
+}  // namespace lastcpu::ssddev

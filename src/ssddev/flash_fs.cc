@@ -1,0 +1,287 @@
+#include "src/ssddev/flash_fs.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::ssddev {
+
+FlashFs::FlashFs(Ftl* ftl) : ftl_(ftl) { LASTCPU_CHECK(ftl != nullptr, "filesystem needs an FTL"); }
+
+Status FlashFs::Create(const std::string& name, FileAcl acl) {
+  if (name.empty()) {
+    return InvalidArgument("empty file name");
+  }
+  if (files_.contains(name)) {
+    return AlreadyExists("file exists: " + name);
+  }
+  Inode inode;
+  inode.acl = std::move(acl);
+  files_.emplace(name, std::move(inode));
+  return OkStatus();
+}
+
+Status FlashFs::Delete(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return NotFound("no such file: " + name);
+  }
+  for (uint64_t lpn : it->second.lpns) {
+    ftl_->Trim(lpn);
+    free_lpns_.push_back(lpn);
+  }
+  files_.erase(it);
+  return OkStatus();
+}
+
+bool FlashFs::Exists(const std::string& name) const { return files_.contains(name); }
+
+Result<FileInfo> FlashFs::Stat(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return NotFound("no such file: " + name);
+  }
+  return FileInfo{it->second.size, it->second.lpns.size(), it->second.acl};
+}
+
+std::vector<std::string> FlashFs::List() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, inode] : files_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Status FlashFs::SetAcl(const std::string& name, FileAcl acl) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return NotFound("no such file: " + name);
+  }
+  it->second.acl = std::move(acl);
+  return OkStatus();
+}
+
+uint64_t FlashFs::free_pages() const {
+  uint64_t used = next_lpn_ - free_lpns_.size();
+  return ftl_->logical_pages() - used;
+}
+
+Result<uint64_t> FlashFs::AllocLpn() {
+  if (!free_lpns_.empty()) {
+    uint64_t lpn = free_lpns_.front();
+    free_lpns_.pop_front();
+    return lpn;
+  }
+  if (next_lpn_ >= ftl_->logical_pages()) {
+    return ResourceExhausted("filesystem full");
+  }
+  return next_lpn_++;
+}
+
+Status FlashFs::EnsureCapacity(Inode& inode, uint64_t end) {
+  uint64_t page_bytes = ftl_->page_bytes();
+  uint64_t pages_needed = (end + page_bytes - 1) / page_bytes;
+  while (inode.lpns.size() < pages_needed) {
+    auto lpn = AllocLpn();
+    if (!lpn.ok()) {
+      return lpn.status();
+    }
+    inode.lpns.push_back(*lpn);
+  }
+  return OkStatus();
+}
+
+void FlashFs::Write(const std::string& name, uint64_t offset, std::vector<uint8_t> data,
+                    WriteCallback done) {
+  LASTCPU_CHECK(done != nullptr, "write without callback");
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    done(NotFound("no such file: " + name));
+    return;
+  }
+  if (data.empty()) {
+    done(OkStatus());
+    return;
+  }
+  Inode& inode = it->second;
+  Status capacity = EnsureCapacity(inode, offset + data.size());
+  if (!capacity.ok()) {
+    done(capacity);
+    return;
+  }
+  // Reserve the byte range now so concurrent appends see the new EOF.
+  inode.size = std::max(inode.size, offset + data.size());
+  // Serialize the page writes per file (lost-update protection), completing
+  // the caller when this write's turn finishes.
+  auto data_holder = std::make_shared<std::vector<uint8_t>>(std::move(data));
+  auto done_holder = std::make_shared<WriteCallback>(std::move(done));
+  EnqueueWrite(name, [this, name, offset, data_holder, done_holder] {
+    WritePages(name, offset, std::move(*data_holder), 0, [this, name, done_holder](Status s) {
+      (*done_holder)(s);
+      write_active_.erase(name);
+      PumpWrites(name);
+    });
+  });
+}
+
+void FlashFs::EnqueueWrite(const std::string& name, std::function<void()> thunk) {
+  write_queues_[name].push_back(std::move(thunk));
+  if (!write_active_.contains(name)) {
+    PumpWrites(name);
+  }
+}
+
+void FlashFs::PumpWrites(const std::string& name) {
+  auto it = write_queues_.find(name);
+  if (it == write_queues_.end() || it->second.empty()) {
+    if (it != write_queues_.end()) {
+      write_queues_.erase(it);
+    }
+    return;
+  }
+  auto thunk = std::move(it->second.front());
+  it->second.pop_front();
+  write_active_.insert(name);
+  thunk();
+}
+
+void FlashFs::WritePages(const std::string& name, uint64_t offset, std::vector<uint8_t> data,
+                         size_t page_index, WriteCallback done) {
+  auto file_it = files_.find(name);
+  if (file_it == files_.end()) {
+    done(Aborted("file deleted during write"));
+    return;
+  }
+  Inode* inode = &file_it->second;
+  uint64_t page_bytes = ftl_->page_bytes();
+  uint64_t first_page = offset / page_bytes;
+  uint64_t last_page = (offset + data.size() - 1) / page_bytes;
+  if (first_page + page_index > last_page) {
+    done(OkStatus());
+    return;
+  }
+  uint64_t page = first_page + page_index;
+  uint64_t page_start = page * page_bytes;
+  uint64_t slice_begin = std::max(offset, page_start);
+  uint64_t slice_end = std::min(offset + data.size(), page_start + page_bytes);
+  uint64_t lpn = inode->lpns[page];
+
+  auto write_page = [this, name, offset, lpn, page_index,
+                     slice_begin, slice_end, page_start](std::vector<uint8_t> page_data,
+                                                         std::vector<uint8_t> all_data,
+                                                         WriteCallback cb) mutable {
+    page_data.resize(ftl_->page_bytes(), 0);
+    std::memcpy(page_data.data() + (slice_begin - page_start),
+                all_data.data() + (slice_begin - offset), slice_end - slice_begin);
+    auto all = std::make_shared<std::vector<uint8_t>>(std::move(all_data));
+    auto next = std::make_shared<WriteCallback>(std::move(cb));
+    ftl_->Write(lpn, std::move(page_data),
+                [this, name, offset, page_index, all, next](Status s) {
+                  if (!s.ok()) {
+                    (*next)(s);
+                    return;
+                  }
+                  WritePages(name, offset, std::move(*all), page_index + 1, std::move(*next));
+                });
+  };
+
+  bool full_page = slice_begin == page_start && slice_end == page_start + page_bytes;
+  if (full_page || !ftl_->IsMapped(lpn)) {
+    // Fresh or fully-covered page: no read-modify-write needed.
+    write_page(std::vector<uint8_t>(), std::move(data), std::move(done));
+    return;
+  }
+  // Partial overwrite of existing data: read-modify-write.
+  auto data_holder = std::make_shared<std::vector<uint8_t>>(std::move(data));
+  auto done_holder = std::make_shared<WriteCallback>(std::move(done));
+  ftl_->Read(lpn, [write_page = std::move(write_page), data_holder,
+                   done_holder](Result<std::vector<uint8_t>> existing) mutable {
+    std::vector<uint8_t> base;
+    if (existing.ok()) {
+      base = *std::move(existing);
+    }
+    write_page(std::move(base), std::move(*data_holder), std::move(*done_holder));
+  });
+}
+
+void FlashFs::Append(const std::string& name, std::vector<uint8_t> data,
+                     std::function<void(Result<uint64_t>)> done) {
+  LASTCPU_CHECK(done != nullptr, "append without callback");
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    done(NotFound("no such file: " + name));
+    return;
+  }
+  uint64_t offset = it->second.size;
+  Write(name, offset, std::move(data), [offset, done = std::move(done)](Status s) {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    done(offset);
+  });
+}
+
+void FlashFs::Read(const std::string& name, uint64_t offset, uint64_t length, ReadCallback done) {
+  LASTCPU_CHECK(done != nullptr, "read without callback");
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    done(NotFound("no such file: " + name));
+    return;
+  }
+  const Inode& inode = it->second;
+  uint64_t end = std::min(offset + length, inode.size);
+  if (offset >= end) {
+    done(std::vector<uint8_t>());
+    return;
+  }
+  auto out = std::make_shared<std::vector<uint8_t>>(end - offset, 0);
+  ReadPages(name, offset, end - offset, out, 0, std::move(done));
+}
+
+void FlashFs::ReadPages(const std::string& name, uint64_t offset, uint64_t length,
+                        std::shared_ptr<std::vector<uint8_t>> out, size_t page_index,
+                        ReadCallback done) {
+  auto file_it = files_.find(name);
+  if (file_it == files_.end()) {
+    done(Aborted("file deleted during read"));
+    return;
+  }
+  const Inode* inode = &file_it->second;
+  uint64_t page_bytes = ftl_->page_bytes();
+  uint64_t first_page = offset / page_bytes;
+  uint64_t last_page = (offset + length - 1) / page_bytes;
+  if (first_page + page_index > last_page) {
+    done(std::move(*out));
+    return;
+  }
+  uint64_t page = first_page + page_index;
+  uint64_t page_start = page * page_bytes;
+  uint64_t slice_begin = std::max(offset, page_start);
+  uint64_t slice_end = std::min(offset + length, page_start + page_bytes);
+  uint64_t lpn = inode->lpns[page];
+  auto next = std::make_shared<ReadCallback>(std::move(done));
+  ftl_->Read(lpn, [this, name, offset, length, out, page_index, next, slice_begin, slice_end,
+                   page_start](Result<std::vector<uint8_t>> page_data) {
+    if (page_data.ok()) {
+      const auto& bytes = *page_data;
+      uint64_t copy_len = slice_end - slice_begin;
+      uint64_t src_off = slice_begin - page_start;
+      if (src_off < bytes.size()) {
+        copy_len = std::min(copy_len, bytes.size() - src_off);
+        std::memcpy(out->data() + (slice_begin - offset), bytes.data() + src_off, copy_len);
+      }
+    } else if (page_data.status().code() != StatusCode::kNotFound) {
+      // Real media error: surface it. (NotFound = sparse hole, reads as 0s.)
+      (*next)(page_data.status());
+      return;
+    }
+    ReadPages(name, offset, length, out, page_index + 1, std::move(*next));
+  });
+}
+
+}  // namespace lastcpu::ssddev

@@ -1,0 +1,112 @@
+// FlashFs: the flat-namespace filesystem a smart SSD exposes as a service
+// (paper Sec. 2.1: "a smart SSD that exposes a file system").
+//
+// Files are page-extent lists over the FTL's logical space. Per-file ACLs
+// implement Sec. 4's access control ("access control to an individual file is
+// implemented by the file system service"). Metadata lives in SSD DRAM
+// (in-memory here); data pages live in flash and pay full NAND latencies.
+#ifndef SRC_SSDDEV_FLASH_FS_H_
+#define SRC_SSDDEV_FLASH_FS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ssddev/ftl.h"
+
+namespace lastcpu::ssddev {
+
+// Per-file access control list. Empty sets mean "owner only".
+struct FileAcl {
+  std::string owner;
+  std::set<std::string> readers;
+  std::set<std::string> writers;
+
+  bool MayRead(const std::string& user) const {
+    return user == owner || readers.contains(user);
+  }
+  bool MayWrite(const std::string& user) const {
+    return user == owner || writers.contains(user);
+  }
+};
+
+struct FileInfo {
+  uint64_t size = 0;
+  uint64_t pages = 0;
+  FileAcl acl;
+};
+
+class FlashFs {
+ public:
+  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
+  using WriteCallback = std::function<void(Status)>;
+
+  explicit FlashFs(Ftl* ftl);
+
+  // --- metadata (SSD-DRAM resident, synchronous) ----------------------------
+
+  Status Create(const std::string& name, FileAcl acl = {});
+  Status Delete(const std::string& name);
+  bool Exists(const std::string& name) const;
+  Result<FileInfo> Stat(const std::string& name) const;
+  std::vector<std::string> List() const;
+  Status SetAcl(const std::string& name, FileAcl acl);
+
+  // --- data (flash resident, asynchronous) ----------------------------------
+
+  // Reads [offset, offset+length) clamped to the file size; reading entirely
+  // past EOF yields an empty buffer.
+  void Read(const std::string& name, uint64_t offset, uint64_t length, ReadCallback done);
+
+  // Writes at `offset`, extending the file as needed (sparse gaps read as
+  // zeros). Partial-page writes read-modify-write the underlying page.
+  void Write(const std::string& name, uint64_t offset, std::vector<uint8_t> data,
+             WriteCallback done);
+
+  // Appends atomically at the current EOF; reports the offset written.
+  void Append(const std::string& name, std::vector<uint8_t> data,
+              std::function<void(Result<uint64_t>)> done);
+
+  uint64_t free_pages() const;
+  uint64_t total_pages() const { return ftl_->logical_pages(); }
+
+ private:
+  struct Inode {
+    uint64_t size = 0;
+    std::vector<uint64_t> lpns;  // one per page-sized extent
+    FileAcl acl;
+  };
+
+  Result<uint64_t> AllocLpn();
+  // Ensures the inode has backing pages through byte `end`.
+  Status EnsureCapacity(Inode& inode, uint64_t end);
+
+  // Sequential page-by-page writer shared by Write/Append. Looks the inode
+  // up by name at every step so mid-flight deletion aborts cleanly.
+  void WritePages(const std::string& name, uint64_t offset, std::vector<uint8_t> data,
+                  size_t page_index, WriteCallback done);
+  void ReadPages(const std::string& name, uint64_t offset, uint64_t length,
+                 std::shared_ptr<std::vector<uint8_t>> out, size_t page_index, ReadCallback done);
+
+  // Writes to one file execute strictly in submission order: concurrent
+  // read-modify-writes of a shared tail page would otherwise lose updates.
+  void EnqueueWrite(const std::string& name, std::function<void()> thunk);
+  void PumpWrites(const std::string& name);
+
+  Ftl* ftl_;
+  std::map<std::string, Inode> files_;
+  std::deque<uint64_t> free_lpns_;
+  uint64_t next_lpn_ = 0;
+  std::map<std::string, std::deque<std::function<void()>>> write_queues_;
+  std::set<std::string> write_active_;
+};
+
+}  // namespace lastcpu::ssddev
+
+#endif  // SRC_SSDDEV_FLASH_FS_H_

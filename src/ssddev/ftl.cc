@@ -1,0 +1,328 @@
+#include "src/ssddev/ftl.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::ssddev {
+
+Ftl::Ftl(sim::Simulator* simulator, NandArray* nand, FtlConfig config)
+    : simulator_(simulator), nand_(nand), config_(config) {
+  LASTCPU_CHECK(simulator != nullptr && nand != nullptr, "FTL needs simulator and NAND");
+  LASTCPU_CHECK(config.over_provisioning > 0.0 && config.over_provisioning < 0.9,
+                "over-provisioning must be in (0, 0.9)");
+  const NandGeometry& geometry = nand->geometry();
+  logical_pages_ =
+      static_cast<uint64_t>(static_cast<double>(geometry.total_pages()) *
+                            (1.0 - config.over_provisioning));
+  mapping_.resize(logical_pages_);
+  write_epoch_.assign(logical_pages_, 0);
+  dies_.resize(geometry.dies);
+  for (auto& die : dies_) {
+    die.blocks.resize(geometry.blocks_per_die);
+    for (uint32_t b = 0; b < geometry.blocks_per_die; ++b) {
+      die.blocks[b].lpn_of_page.assign(geometry.pages_per_block, -1);
+      die.free_blocks.push_back(b);
+    }
+  }
+}
+
+bool Ftl::IsMapped(uint64_t lpn) const {
+  return lpn < logical_pages_ && mapping_[lpn].has_value();
+}
+
+double Ftl::WriteAmplification() const {
+  if (host_writes_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(nand_writes_) / static_cast<double>(host_writes_);
+}
+
+bool Ftl::CacheLookup(uint64_t lpn, std::vector<uint8_t>* out) {
+  auto it = cache_index_.find(lpn);
+  if (it == cache_index_.end()) {
+    return false;
+  }
+  cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+  *out = it->second->second;
+  return true;
+}
+
+void Ftl::CacheInsert(uint64_t lpn, uint32_t epoch, std::vector<uint8_t> data) {
+  if (config_.read_cache_pages == 0) {
+    return;
+  }
+  if (write_epoch_[lpn] != epoch) {
+    stats_.GetCounter("cache_stale_fills_dropped").Increment();
+    return;  // a write raced this fill; its data is stale
+  }
+  auto it = cache_index_.find(lpn);
+  if (it != cache_index_.end()) {
+    it->second->second = std::move(data);
+    cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
+    return;
+  }
+  cache_lru_.emplace_front(lpn, std::move(data));
+  cache_index_[lpn] = cache_lru_.begin();
+  while (cache_lru_.size() > config_.read_cache_pages) {
+    cache_index_.erase(cache_lru_.back().first);
+    cache_lru_.pop_back();
+  }
+}
+
+void Ftl::CacheInvalidate(uint64_t lpn) {
+  auto it = cache_index_.find(lpn);
+  if (it != cache_index_.end()) {
+    cache_lru_.erase(it->second);
+    cache_index_.erase(it);
+  }
+}
+
+void Ftl::Read(uint64_t lpn, ReadCallback done) {
+  LASTCPU_CHECK(done != nullptr, "FTL read without callback");
+  if (lpn >= logical_pages_) {
+    simulator_->Schedule(sim::Duration::Nanos(100), [done = std::move(done)] {
+      done(InvalidArgument("logical page out of range"));
+    });
+    return;
+  }
+  if (!mapping_[lpn].has_value()) {
+    simulator_->Schedule(sim::Duration::Nanos(100), [done = std::move(done)] {
+      done(NotFound("unwritten logical page"));
+    });
+    return;
+  }
+  stats_.GetCounter("host_reads").Increment();
+  // Device-DRAM read cache: hot pages skip the NAND dies entirely.
+  std::vector<uint8_t> cached;
+  if (CacheLookup(lpn, &cached)) {
+    ++cache_hits_;
+    stats_.GetCounter("cache_hits").Increment();
+    simulator_->Schedule(config_.read_cache_latency,
+                         [done = std::move(done), cached = std::move(cached)]() mutable {
+                           done(std::move(cached));
+                         });
+    return;
+  }
+  ++cache_misses_;
+  uint32_t epoch = write_epoch_[lpn];
+  nand_->ReadPage(*mapping_[lpn], [this, lpn, epoch, done = std::move(done)](
+                                      Result<std::vector<uint8_t>> data) {
+    if (data.ok()) {
+      CacheInsert(lpn, epoch, *data);
+    }
+    done(std::move(data));
+  });
+}
+
+Result<Ppa> Ftl::ClaimSlot() {
+  const NandGeometry& geometry = nand_->geometry();
+  // Round-robin across dies for striping; skip dies with nothing available.
+  for (uint32_t attempt = 0; attempt < geometry.dies; ++attempt) {
+    uint32_t d = next_die_;
+    next_die_ = (next_die_ + 1) % geometry.dies;
+    DieState& die = dies_[d];
+    if (die.active_block.has_value()) {
+      BlockInfo& active = die.blocks[*die.active_block];
+      if (active.next_page < geometry.pages_per_block) {
+        return Ppa{d, *die.active_block, active.next_page};
+      }
+      active.is_active = false;
+      die.active_block.reset();
+    }
+    if (!die.free_blocks.empty()) {
+      uint32_t b = die.free_blocks.front();
+      die.free_blocks.pop_front();
+      BlockInfo& block = die.blocks[b];
+      block.is_free = false;
+      block.is_active = true;
+      block.next_page = 0;
+      block.valid = 0;
+      std::fill(block.lpn_of_page.begin(), block.lpn_of_page.end(), -1);
+      die.active_block = b;
+      return Ppa{d, b, 0};
+    }
+  }
+  return ResourceExhausted("no free NAND blocks");
+}
+
+void Ftl::InvalidateCurrent(uint64_t lpn) {
+  if (!mapping_[lpn].has_value()) {
+    return;
+  }
+  Ppa old = *mapping_[lpn];
+  BlockInfo& block = dies_[old.die].blocks[old.block];
+  LASTCPU_CHECK(block.lpn_of_page[old.page] == static_cast<int64_t>(lpn),
+                "reverse map out of sync");
+  block.lpn_of_page[old.page] = -1;
+  LASTCPU_CHECK(block.valid > 0, "invalidating page in empty block");
+  --block.valid;
+  mapping_[lpn].reset();
+}
+
+void Ftl::CommitMapping(uint64_t lpn, Ppa ppa) {
+  InvalidateCurrent(lpn);
+  mapping_[lpn] = ppa;
+  BlockInfo& block = dies_[ppa.die].blocks[ppa.block];
+  block.lpn_of_page[ppa.page] = static_cast<int64_t>(lpn);
+  ++block.valid;
+}
+
+void Ftl::Write(uint64_t lpn, std::vector<uint8_t> data, WriteCallback done) {
+  LASTCPU_CHECK(done != nullptr, "FTL write without callback");
+  if (lpn >= logical_pages_) {
+    simulator_->Schedule(sim::Duration::Nanos(100), [done = std::move(done)] {
+      done(InvalidArgument("logical page out of range"));
+    });
+    return;
+  }
+  auto slot = ClaimSlot();
+  if (!slot.ok()) {
+    stats_.GetCounter("write_failures").Increment();
+    simulator_->Schedule(sim::Duration::Nanos(100),
+                         [done = std::move(done), status = slot.status()] { done(status); });
+    return;
+  }
+  Ppa ppa = *slot;
+  // Advance the program cursor immediately so concurrent writes take
+  // successive pages.
+  dies_[ppa.die].blocks[ppa.block].next_page = ppa.page + 1;
+  ++write_epoch_[lpn];
+  CacheInvalidate(lpn);
+  ++host_writes_;
+  ++nand_writes_;
+  stats_.GetCounter("host_writes").Increment();
+  nand_->ProgramPage(ppa, std::move(data), [this, lpn, ppa, done = std::move(done)](Status s) {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    CommitMapping(lpn, ppa);
+    // A read that started inside the program window walked the *old* mapping
+    // under the already-bumped epoch and may have landed in the cache before
+    // this commit; bump the epoch again and purge any such fill.
+    ++write_epoch_[lpn];
+    CacheInvalidate(lpn);
+    done(OkStatus());
+    MaybeStartGc();
+  });
+}
+
+void Ftl::Trim(uint64_t lpn) {
+  if (lpn >= logical_pages_) {
+    return;
+  }
+  ++write_epoch_[lpn];
+  CacheInvalidate(lpn);
+  InvalidateCurrent(lpn);
+  stats_.GetCounter("trims").Increment();
+  MaybeStartGc();
+}
+
+void Ftl::MaybeStartGc() {
+  if (gc_in_progress_) {
+    return;
+  }
+  // Find the die most in need and its best victim: a full, inactive block
+  // with the fewest valid pages (greedy), strictly fewer than full.
+  const NandGeometry& geometry = nand_->geometry();
+  std::optional<std::pair<uint32_t, uint32_t>> victim;
+  uint32_t best_valid = geometry.pages_per_block;
+  bool any_die_low = false;
+  for (uint32_t d = 0; d < geometry.dies; ++d) {
+    if (dies_[d].free_blocks.size() < config_.gc_free_block_threshold) {
+      any_die_low = true;
+    }
+  }
+  if (!any_die_low) {
+    return;
+  }
+  for (uint32_t d = 0; d < geometry.dies; ++d) {
+    for (uint32_t b = 0; b < geometry.blocks_per_die; ++b) {
+      const BlockInfo& block = dies_[d].blocks[b];
+      if (block.is_free || block.is_active || block.next_page < geometry.pages_per_block) {
+        continue;  // only reclaim fully-programmed, inactive blocks
+      }
+      if (block.valid < best_valid) {
+        best_valid = block.valid;
+        victim = {d, b};
+      }
+    }
+  }
+  if (!victim.has_value()) {
+    return;
+  }
+  gc_in_progress_ = true;
+  ++gc_runs_;
+  stats_.GetCounter("gc_runs").Increment();
+  auto [die, block] = *victim;
+  std::vector<uint64_t> live_lpns;
+  for (int64_t lpn : dies_[die].blocks[block].lpn_of_page) {
+    if (lpn >= 0) {
+      live_lpns.push_back(static_cast<uint64_t>(lpn));
+    }
+  }
+  RelocateNext(die, block, std::move(live_lpns), 0);
+}
+
+void Ftl::RelocateNext(uint32_t die, uint32_t block, std::vector<uint64_t> lpns, size_t index) {
+  if (index >= lpns.size()) {
+    FinishGc(die, block);
+    return;
+  }
+  uint64_t lpn = lpns[index];
+  // The page may have been invalidated by a host write racing the GC.
+  if (!mapping_[lpn].has_value() || mapping_[lpn]->die != die || mapping_[lpn]->block != block) {
+    RelocateNext(die, block, std::move(lpns), index + 1);
+    return;
+  }
+  Ppa source = *mapping_[lpn];
+  nand_->ReadPage(source, [this, die, block, lpns = std::move(lpns), index,
+                           lpn](Result<std::vector<uint8_t>> data) mutable {
+    if (!data.ok()) {
+      // Media error during relocation: the page is lost; drop the mapping so
+      // readers see the failure rather than stale data.
+      InvalidateCurrent(lpn);
+      stats_.GetCounter("gc_relocation_failures").Increment();
+      RelocateNext(die, block, std::move(lpns), index + 1);
+      return;
+    }
+    auto slot = ClaimSlot();
+    if (!slot.ok()) {
+      // Nowhere to relocate: abort this GC round (shouldn't happen with sane
+      // over-provisioning).
+      stats_.GetCounter("gc_aborts").Increment();
+      gc_in_progress_ = false;
+      return;
+    }
+    Ppa target = *slot;
+    dies_[target.die].blocks[target.block].next_page = target.page + 1;
+    ++nand_writes_;
+    stats_.GetCounter("gc_relocations").Increment();
+    nand_->ProgramPage(target, *std::move(data),
+                       [this, die, block, lpns = std::move(lpns), index, lpn,
+                        target](Status s) mutable {
+                         if (s.ok()) {
+                           CommitMapping(lpn, target);
+                         }
+                         RelocateNext(die, block, std::move(lpns), index + 1);
+                       });
+  });
+}
+
+void Ftl::FinishGc(uint32_t die, uint32_t block) {
+  nand_->EraseBlock(die, block, [this, die, block](Status s) {
+    BlockInfo& info = dies_[die].blocks[block];
+    LASTCPU_CHECK(s.ok(), "erase failed during GC");
+    LASTCPU_CHECK(info.valid == 0, "erasing block with valid pages");
+    std::fill(info.lpn_of_page.begin(), info.lpn_of_page.end(), -1);
+    info.next_page = 0;
+    info.is_free = true;
+    dies_[die].free_blocks.push_back(block);
+    gc_in_progress_ = false;
+    MaybeStartGc();  // other dies may still be low
+  });
+}
+
+}  // namespace lastcpu::ssddev

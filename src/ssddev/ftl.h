@@ -1,0 +1,121 @@
+// Flash translation layer: page-mapped, with greedy garbage collection.
+//
+// Exposes a flat logical-page space (the usable capacity after
+// over-provisioning) on top of the NAND constraints: out-of-place writes,
+// per-die striping for parallelism, invalidation tracking, and background GC
+// that relocates valid pages out of the emptiest victim block before erasing
+// it. Write amplification is measured, not assumed.
+#ifndef SRC_SSDDEV_FTL_H_
+#define SRC_SSDDEV_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/ssddev/nand.h"
+
+namespace lastcpu::ssddev {
+
+struct FtlConfig {
+  double over_provisioning = 0.25;  // fraction of raw capacity reserved
+  uint32_t gc_free_block_threshold = 2;  // per die, start GC below this
+  // SSD-DRAM read cache (pages). Hot logical pages are served from device
+  // DRAM without occupying a NAND die. 0 disables.
+  uint32_t read_cache_pages = 1024;
+  sim::Duration read_cache_latency = sim::Duration::Micros(1);
+};
+
+class Ftl {
+ public:
+  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
+  using WriteCallback = std::function<void(Status)>;
+
+  Ftl(sim::Simulator* simulator, NandArray* nand, FtlConfig config = {});
+
+  // Host-visible logical pages.
+  uint64_t logical_pages() const { return logical_pages_; }
+  uint32_t page_bytes() const { return nand_->geometry().page_bytes; }
+
+  // Reads a logical page. Unwritten pages return NotFound.
+  void Read(uint64_t lpn, ReadCallback done);
+
+  // Writes a logical page out of place; old data is invalidated.
+  void Write(uint64_t lpn, std::vector<uint8_t> data, WriteCallback done);
+
+  // Discards a logical page (file deletion path).
+  void Trim(uint64_t lpn);
+
+  bool IsMapped(uint64_t lpn) const;
+
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
+
+  // nand-writes / host-writes; 0 when nothing written yet.
+  double WriteAmplification() const;
+  uint64_t gc_runs() const { return gc_runs_; }
+  sim::StatsRegistry& stats() { return stats_; }
+
+ private:
+  struct BlockInfo {
+    std::vector<int64_t> lpn_of_page;  // -1 = invalid / erased
+    uint32_t valid = 0;
+    uint32_t next_page = 0;  // program cursor; == pages_per_block when full
+    bool is_active = false;
+    bool is_free = true;
+  };
+
+  struct DieState {
+    std::vector<BlockInfo> blocks;
+    std::deque<uint32_t> free_blocks;
+    std::optional<uint32_t> active_block;
+  };
+
+  // Claims the next programmable PPA, opening a fresh block when needed.
+  Result<Ppa> ClaimSlot();
+
+  // Records that `ppa` now holds `lpn` (and invalidates any prior location).
+  void CommitMapping(uint64_t lpn, Ppa ppa);
+  void InvalidateCurrent(uint64_t lpn);
+
+  // Read-cache (LRU over logical pages backed by SSD DRAM). Inserts carry
+  // the write epoch observed when the miss started; a write/trim in between
+  // bumps the epoch and the stale fill is dropped.
+  bool CacheLookup(uint64_t lpn, std::vector<uint8_t>* out);
+  void CacheInsert(uint64_t lpn, uint32_t epoch, std::vector<uint8_t> data);
+  void CacheInvalidate(uint64_t lpn);
+
+  // Kicks GC if any die runs low on free blocks. One collection at a time.
+  void MaybeStartGc();
+  void RelocateNext(uint32_t die, uint32_t block, std::vector<uint64_t> lpns, size_t index);
+  void FinishGc(uint32_t die, uint32_t block);
+
+  sim::Simulator* simulator_;
+  NandArray* nand_;
+  FtlConfig config_;
+  uint64_t logical_pages_;
+  std::vector<std::optional<Ppa>> mapping_;
+  std::vector<DieState> dies_;
+  uint32_t next_die_ = 0;
+  bool gc_in_progress_ = false;
+  uint64_t host_writes_ = 0;
+  uint64_t nand_writes_ = 0;
+  uint64_t gc_runs_ = 0;
+  // LRU read cache: list front = most recent; map lpn -> list iterator.
+  std::list<std::pair<uint64_t, std::vector<uint8_t>>> cache_lru_;
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, std::vector<uint8_t>>>::iterator>
+      cache_index_;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+  std::vector<uint32_t> write_epoch_;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace lastcpu::ssddev
+
+#endif  // SRC_SSDDEV_FTL_H_

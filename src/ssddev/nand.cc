@@ -1,0 +1,120 @@
+#include "src/ssddev/nand.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::ssddev {
+
+NandArray::NandArray(sim::Simulator* simulator, NandGeometry geometry, NandTiming timing,
+                     uint64_t seed)
+    : simulator_(simulator), geometry_(geometry), timing_(timing), rng_(seed) {
+  LASTCPU_CHECK(simulator != nullptr, "NAND needs a simulator");
+  LASTCPU_CHECK(geometry.dies > 0 && geometry.blocks_per_die > 0 && geometry.pages_per_block > 0,
+                "degenerate NAND geometry");
+  dies_.resize(geometry.dies);
+  for (auto& die : dies_) {
+    die.blocks.resize(geometry.blocks_per_die);
+    for (auto& block : die.blocks) {
+      block.pages.assign(geometry.pages_per_block, PageState::kErased);
+      block.data.resize(geometry.pages_per_block);
+    }
+  }
+}
+
+Status NandArray::CheckAddress(const Ppa& ppa) const {
+  if (ppa.die >= geometry_.dies || ppa.block >= geometry_.blocks_per_die ||
+      ppa.page >= geometry_.pages_per_block) {
+    return InvalidArgument("physical page address out of range");
+  }
+  return OkStatus();
+}
+
+sim::SimTime NandArray::OccupyDie(uint32_t die, sim::Duration latency) {
+  Die& d = dies_[die];
+  sim::SimTime start = std::max(simulator_->Now(), d.busy_until);
+  sim::SimTime done = start + latency;
+  d.busy_until = done;
+  return done;
+}
+
+void NandArray::ReadPage(Ppa ppa, ReadCallback done) {
+  LASTCPU_CHECK(done != nullptr, "NAND read without callback");
+  Status valid = CheckAddress(ppa);
+  if (!valid.ok()) {
+    simulator_->Schedule(sim::Duration::Nanos(100),
+                         [done = std::move(done), valid] { done(valid); });
+    return;
+  }
+  sim::SimTime completion = OccupyDie(ppa.die, timing_.read_latency);
+  stats_.GetCounter("reads").Increment();
+  bool inject_error = read_error_rate_ > 0.0 && rng_.NextBool(read_error_rate_);
+  simulator_->ScheduleAt(completion, [this, ppa, inject_error, done = std::move(done)] {
+    if (inject_error) {
+      stats_.GetCounter("read_errors").Increment();
+      done(DataLoss("uncorrectable ECC error"));
+      return;
+    }
+    const Block& block = dies_[ppa.die].blocks[ppa.block];
+    if (block.pages[ppa.page] != PageState::kWritten) {
+      done(FailedPrecondition("reading an unwritten page"));
+      return;
+    }
+    done(block.data[ppa.page]);
+  });
+}
+
+void NandArray::ProgramPage(Ppa ppa, std::vector<uint8_t> data, OpCallback done) {
+  LASTCPU_CHECK(done != nullptr, "NAND program without callback");
+  Status valid = CheckAddress(ppa);
+  if (valid.ok() && data.size() > geometry_.page_bytes) {
+    valid = InvalidArgument("program larger than a page");
+  }
+  if (!valid.ok()) {
+    simulator_->Schedule(sim::Duration::Nanos(100),
+                         [done = std::move(done), valid] { done(valid); });
+    return;
+  }
+  sim::SimTime completion = OccupyDie(ppa.die, timing_.program_latency);
+  stats_.GetCounter("programs").Increment();
+  simulator_->ScheduleAt(completion,
+                         [this, ppa, data = std::move(data), done = std::move(done)]() mutable {
+                           Block& block = dies_[ppa.die].blocks[ppa.block];
+                           if (block.pages[ppa.page] != PageState::kErased) {
+                             done(FailedPrecondition("program of a non-erased page"));
+                             return;
+                           }
+                           block.pages[ppa.page] = PageState::kWritten;
+                           block.data[ppa.page] = std::move(data);
+                           done(OkStatus());
+                         });
+}
+
+void NandArray::EraseBlock(uint32_t die, uint32_t block, OpCallback done) {
+  LASTCPU_CHECK(done != nullptr, "NAND erase without callback");
+  if (die >= geometry_.dies || block >= geometry_.blocks_per_die) {
+    simulator_->Schedule(sim::Duration::Nanos(100), [done = std::move(done)] {
+      done(InvalidArgument("erase address out of range"));
+    });
+    return;
+  }
+  sim::SimTime completion = OccupyDie(die, timing_.erase_latency);
+  stats_.GetCounter("erases").Increment();
+  simulator_->ScheduleAt(completion, [this, die, block, done = std::move(done)] {
+    Block& b = dies_[die].blocks[block];
+    b.pages.assign(geometry_.pages_per_block, PageState::kErased);
+    for (auto& page : b.data) {
+      page.clear();
+    }
+    ++b.erase_count;
+    done(OkStatus());
+  });
+}
+
+uint32_t NandArray::EraseCount(uint32_t die, uint32_t block) const {
+  LASTCPU_CHECK(die < geometry_.dies && block < geometry_.blocks_per_die, "bad block address");
+  return dies_[die].blocks[block].erase_count;
+}
+
+}  // namespace lastcpu::ssddev

@@ -1,0 +1,101 @@
+// NAND flash array model: the raw media inside the smart SSD.
+//
+// Models the constraints that make flash management interesting — erase
+// before program, page-granular programs, block-granular erases, asymmetric
+// latencies, per-die parallelism with per-die serialization, and wear. The
+// FTL above this hides all of it behind a logical block interface.
+#ifndef SRC_SSDDEV_NAND_H_
+#define SRC_SSDDEV_NAND_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace lastcpu::ssddev {
+
+struct NandGeometry {
+  uint32_t dies = 4;
+  uint32_t blocks_per_die = 64;
+  uint32_t pages_per_block = 64;
+  uint32_t page_bytes = 4096;
+
+  uint64_t total_pages() const {
+    return static_cast<uint64_t>(dies) * blocks_per_die * pages_per_block;
+  }
+  uint64_t total_bytes() const { return total_pages() * page_bytes; }
+};
+
+struct NandTiming {
+  sim::Duration read_latency = sim::Duration::Micros(50);
+  sim::Duration program_latency = sim::Duration::Micros(400);
+  sim::Duration erase_latency = sim::Duration::Millis(3);
+};
+
+// Physical page address.
+struct Ppa {
+  uint32_t die = 0;
+  uint32_t block = 0;
+  uint32_t page = 0;
+
+  friend constexpr auto operator<=>(const Ppa&, const Ppa&) = default;
+};
+
+class NandArray {
+ public:
+  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
+  using OpCallback = std::function<void(Status)>;
+
+  NandArray(sim::Simulator* simulator, NandGeometry geometry = {}, NandTiming timing = {},
+            uint64_t seed = 1);
+
+  const NandGeometry& geometry() const { return geometry_; }
+
+  // Asynchronous media operations; completion runs after the die frees up
+  // plus the operation latency. Invalid addresses and constraint violations
+  // (program of a non-erased page, read of an unwritten page) fail.
+  void ReadPage(Ppa ppa, ReadCallback done);
+  void ProgramPage(Ppa ppa, std::vector<uint8_t> data, OpCallback done);
+  void EraseBlock(uint32_t die, uint32_t block, OpCallback done);
+
+  // Probability that a read returns an uncorrectable error (DataLoss), for
+  // failure-injection experiments. Default 0.
+  void SetReadErrorRate(double rate) { read_error_rate_ = rate; }
+
+  uint32_t EraseCount(uint32_t die, uint32_t block) const;
+  sim::StatsRegistry& stats() { return stats_; }
+
+ private:
+  enum class PageState : uint8_t { kErased, kWritten };
+
+  struct Block {
+    std::vector<PageState> pages;
+    std::vector<std::vector<uint8_t>> data;
+    uint32_t erase_count = 0;
+  };
+
+  struct Die {
+    std::vector<Block> blocks;
+    sim::SimTime busy_until;
+  };
+
+  Status CheckAddress(const Ppa& ppa) const;
+  // Serializes an operation on a die; returns its completion time.
+  sim::SimTime OccupyDie(uint32_t die, sim::Duration latency);
+
+  sim::Simulator* simulator_;
+  NandGeometry geometry_;
+  NandTiming timing_;
+  std::vector<Die> dies_;
+  sim::Rng rng_;
+  double read_error_rate_ = 0.0;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace lastcpu::ssddev
+
+#endif  // SRC_SSDDEV_NAND_H_

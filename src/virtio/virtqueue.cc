@@ -1,0 +1,271 @@
+#include "src/virtio/virtqueue.h"
+
+#include "src/base/check.h"
+
+namespace lastcpu::virtio {
+namespace {
+
+constexpr uint64_t Align8(uint64_t v) { return (v + 7) & ~uint64_t{7}; }
+
+bool IsPowerOfTwo(uint16_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+VirtqueueLayout::VirtqueueLayout(VirtAddr base, uint16_t depth) : base_(base), depth_(depth) {
+  LASTCPU_CHECK(IsPowerOfTwo(depth), "virtqueue depth must be a power of two, got %u", depth);
+  uint64_t desc_bytes = uint64_t{16} * depth;
+  avail_ = base_ + desc_bytes;
+  used_ = VirtAddr(Align8(avail_.raw + 4 + uint64_t{2} * depth));
+}
+
+uint64_t VirtqueueLayout::BytesRequired(uint16_t depth) {
+  LASTCPU_CHECK(IsPowerOfTwo(depth), "virtqueue depth must be a power of two, got %u", depth);
+  uint64_t desc_bytes = uint64_t{16} * depth;
+  uint64_t avail_bytes = 4 + uint64_t{2} * depth;
+  uint64_t used_bytes = 4 + uint64_t{8} * depth;
+  return Align8(desc_bytes + avail_bytes) + used_bytes;
+}
+
+VirtAddr VirtqueueLayout::DescAddr(uint16_t index) const {
+  LASTCPU_CHECK(index < depth_, "descriptor index out of range");
+  return base_ + uint64_t{16} * index;
+}
+
+// --- driver side -------------------------------------------------------------
+
+VirtqueueDriver::VirtqueueDriver(fabric::Fabric* fabric, DeviceId self, Pasid pasid, VirtAddr base,
+                                 uint16_t depth)
+    : fabric_(fabric), self_(self), pasid_(pasid), layout_(base, depth), chain_length_(depth, 0) {
+  free_list_.reserve(depth);
+  // Stack of free descriptors, lowest index on top for determinism.
+  for (uint16_t i = depth; i > 0; --i) {
+    free_list_.push_back(static_cast<uint16_t>(i - 1));
+  }
+}
+
+Status VirtqueueDriver::ReadU16(VirtAddr addr, uint16_t* out) {
+  uint8_t buf[2];
+  fabric::AccessResult r = fabric_->MemRead(self_, pasid_, addr, buf);
+  accrued_ += r.cost;
+  if (!r.status.ok()) {
+    return r.status;
+  }
+  *out = static_cast<uint16_t>(buf[0] | (buf[1] << 8));
+  return OkStatus();
+}
+
+Status VirtqueueDriver::WriteU16(VirtAddr addr, uint16_t value) {
+  uint8_t buf[2] = {static_cast<uint8_t>(value), static_cast<uint8_t>(value >> 8)};
+  fabric::AccessResult r = fabric_->MemWrite(self_, pasid_, addr, buf);
+  accrued_ += r.cost;
+  return r.status;
+}
+
+Status VirtqueueDriver::WriteDesc(uint16_t index, VirtAddr addr, uint32_t len, uint16_t flags,
+                                  uint16_t next) {
+  uint8_t buf[16];
+  uint64_t a = addr.raw;
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<uint8_t>(a >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf[8 + i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  buf[12] = static_cast<uint8_t>(flags);
+  buf[13] = static_cast<uint8_t>(flags >> 8);
+  buf[14] = static_cast<uint8_t>(next);
+  buf[15] = static_cast<uint8_t>(next >> 8);
+  fabric::AccessResult r = fabric_->MemWrite(self_, pasid_, layout_.DescAddr(index), buf);
+  accrued_ += r.cost;
+  return r.status;
+}
+
+Status VirtqueueDriver::Initialize() {
+  LASTCPU_RETURN_IF_ERROR(WriteU16(layout_.AvailFlags(), 0));
+  LASTCPU_RETURN_IF_ERROR(WriteU16(layout_.AvailIdx(), 0));
+  LASTCPU_RETURN_IF_ERROR(WriteU16(layout_.UsedFlags(), 0));
+  LASTCPU_RETURN_IF_ERROR(WriteU16(layout_.UsedIdx(), 0));
+  avail_idx_ = 0;
+  last_used_seen_ = 0;
+  return OkStatus();
+}
+
+Result<uint16_t> VirtqueueDriver::Submit(const std::vector<BufferDesc>& chain) {
+  if (chain.empty()) {
+    return InvalidArgument("empty descriptor chain");
+  }
+  if (chain.size() > free_list_.size()) {
+    return ResourceExhausted("virtqueue full");
+  }
+  // Claim descriptors.
+  std::vector<uint16_t> indices(chain.size());
+  for (auto& index : indices) {
+    index = free_list_.back();
+    free_list_.pop_back();
+  }
+  // Write the chain back-to-front so `next` links are known.
+  for (size_t i = 0; i < chain.size(); ++i) {
+    uint16_t flags = chain[i].device_writes ? kDescFlagWrite : 0;
+    uint16_t next = 0;
+    if (i + 1 < chain.size()) {
+      flags |= kDescFlagNext;
+      next = indices[i + 1];
+    }
+    Status wrote = WriteDesc(indices[i], chain[i].addr, chain[i].len, flags, next);
+    if (!wrote.ok()) {
+      // Return claimed descriptors before surfacing the fault.
+      for (uint16_t index : indices) {
+        free_list_.push_back(index);
+      }
+      return wrote;
+    }
+  }
+  uint16_t head = indices[0];
+  chain_length_[head] = static_cast<uint16_t>(chain.size());
+  // Publish: ring slot, then the index increment (the device reads idx first).
+  uint16_t slot = static_cast<uint16_t>(avail_idx_ & (layout_.depth() - 1));
+  LASTCPU_RETURN_IF_ERROR(WriteU16(layout_.AvailRing(slot), head));
+  ++avail_idx_;
+  LASTCPU_RETURN_IF_ERROR(WriteU16(layout_.AvailIdx(), avail_idx_));
+  return head;
+}
+
+Result<std::optional<UsedElem>> VirtqueueDriver::PollUsed() {
+  uint16_t device_used_idx = 0;
+  LASTCPU_RETURN_IF_ERROR(ReadU16(layout_.UsedIdx(), &device_used_idx));
+  if (device_used_idx == last_used_seen_) {
+    return std::optional<UsedElem>();
+  }
+  uint16_t slot = static_cast<uint16_t>(last_used_seen_ & (layout_.depth() - 1));
+  uint8_t buf[8];
+  fabric::AccessResult r = fabric_->MemRead(self_, pasid_, layout_.UsedRing(slot), buf);
+  accrued_ += r.cost;
+  if (!r.status.ok()) {
+    return r.status;
+  }
+  UsedElem elem;
+  elem.head = static_cast<uint16_t>(buf[0] | (buf[1] << 8));
+  elem.written = static_cast<uint32_t>(buf[4]) | static_cast<uint32_t>(buf[5]) << 8 |
+                 static_cast<uint32_t>(buf[6]) << 16 | static_cast<uint32_t>(buf[7]) << 24;
+  ++last_used_seen_;
+  // Recycle the chain's descriptors.
+  if (elem.head < layout_.depth() && chain_length_[elem.head] > 0) {
+    // The chain indices were claimed contiguously off the free stack; we only
+    // recorded the head and length, so walk the descriptor table to recover
+    // the links.
+    uint16_t count = chain_length_[elem.head];
+    chain_length_[elem.head] = 0;
+    uint16_t current = elem.head;
+    for (uint16_t i = 0; i < count; ++i) {
+      free_list_.push_back(current);
+      if (i + 1 < count) {
+        uint8_t desc[16];
+        fabric::AccessResult dr = fabric_->MemRead(self_, pasid_, layout_.DescAddr(current), desc);
+        accrued_ += dr.cost;
+        if (!dr.status.ok()) {
+          return dr.status;
+        }
+        current = static_cast<uint16_t>(desc[14] | (desc[15] << 8));
+      }
+    }
+  }
+  return std::optional<UsedElem>(elem);
+}
+
+sim::Duration VirtqueueDriver::TakeAccruedCost() {
+  sim::Duration out = accrued_;
+  accrued_ = sim::Duration::Zero();
+  return out;
+}
+
+// --- device side -------------------------------------------------------------
+
+VirtqueueDevice::VirtqueueDevice(fabric::Fabric* fabric, DeviceId self, Pasid pasid, VirtAddr base,
+                                 uint16_t depth)
+    : fabric_(fabric), self_(self), pasid_(pasid), layout_(base, depth) {}
+
+Status VirtqueueDevice::ReadU16(VirtAddr addr, uint16_t* out) {
+  uint8_t buf[2];
+  fabric::AccessResult r = fabric_->MemRead(self_, pasid_, addr, buf);
+  accrued_ += r.cost;
+  if (!r.status.ok()) {
+    return r.status;
+  }
+  *out = static_cast<uint16_t>(buf[0] | (buf[1] << 8));
+  return OkStatus();
+}
+
+Status VirtqueueDevice::WriteU16(VirtAddr addr, uint16_t value) {
+  uint8_t buf[2] = {static_cast<uint8_t>(value), static_cast<uint8_t>(value >> 8)};
+  fabric::AccessResult r = fabric_->MemWrite(self_, pasid_, addr, buf);
+  accrued_ += r.cost;
+  return r.status;
+}
+
+Result<std::optional<Chain>> VirtqueueDevice::PopAvail() {
+  uint16_t driver_avail_idx = 0;
+  LASTCPU_RETURN_IF_ERROR(ReadU16(layout_.AvailIdx(), &driver_avail_idx));
+  if (driver_avail_idx == last_avail_seen_) {
+    return std::optional<Chain>();
+  }
+  uint16_t slot = static_cast<uint16_t>(last_avail_seen_ & (layout_.depth() - 1));
+  uint16_t head = 0;
+  LASTCPU_RETURN_IF_ERROR(ReadU16(layout_.AvailRing(slot), &head));
+  ++last_avail_seen_;
+
+  Chain chain;
+  chain.head = head;
+  uint16_t current = head;
+  for (uint16_t hops = 0; hops <= layout_.depth(); ++hops) {
+    if (current >= layout_.depth()) {
+      return InvalidArgument("descriptor index out of range");
+    }
+    uint8_t desc[16];
+    fabric::AccessResult r = fabric_->MemRead(self_, pasid_, layout_.DescAddr(current), desc);
+    accrued_ += r.cost;
+    if (!r.status.ok()) {
+      return r.status;
+    }
+    uint64_t addr = 0;
+    for (int i = 7; i >= 0; --i) {
+      addr = (addr << 8) | desc[i];
+    }
+    uint32_t len = static_cast<uint32_t>(desc[8]) | static_cast<uint32_t>(desc[9]) << 8 |
+                   static_cast<uint32_t>(desc[10]) << 16 | static_cast<uint32_t>(desc[11]) << 24;
+    uint16_t flags = static_cast<uint16_t>(desc[12] | (desc[13] << 8));
+    uint16_t next = static_cast<uint16_t>(desc[14] | (desc[15] << 8));
+    chain.buffers.push_back(BufferDesc{VirtAddr(addr), len, (flags & kDescFlagWrite) != 0});
+    if ((flags & kDescFlagNext) == 0) {
+      return std::optional<Chain>(std::move(chain));
+    }
+    current = next;
+  }
+  return InvalidArgument("descriptor chain loops");
+}
+
+Status VirtqueueDevice::PushUsed(uint16_t head, uint32_t written) {
+  uint16_t slot = static_cast<uint16_t>(used_idx_ & (layout_.depth() - 1));
+  uint8_t buf[8];
+  buf[0] = static_cast<uint8_t>(head);
+  buf[1] = static_cast<uint8_t>(head >> 8);
+  buf[2] = 0;
+  buf[3] = 0;
+  for (int i = 0; i < 4; ++i) {
+    buf[4 + i] = static_cast<uint8_t>(written >> (8 * i));
+  }
+  fabric::AccessResult r = fabric_->MemWrite(self_, pasid_, layout_.UsedRing(slot), buf);
+  accrued_ += r.cost;
+  if (!r.status.ok()) {
+    return r.status;
+  }
+  ++used_idx_;
+  return WriteU16(layout_.UsedIdx(), used_idx_);
+}
+
+sim::Duration VirtqueueDevice::TakeAccruedCost() {
+  sim::Duration out = accrued_;
+  accrued_ = sim::Duration::Zero();
+  return out;
+}
+
+}  // namespace lastcpu::virtio

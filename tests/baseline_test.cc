@@ -1,0 +1,221 @@
+// Central-kernel baseline tests: policy parity with the memory controller,
+// CPU cost model (interrupts, run-queue serialization, core scaling), and the
+// ControlClient abstraction over both designs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "src/baseline/central_kernel.h"
+#include "src/core/control_plane.h"
+#include "src/core/machine.h"
+#include "tests/test_util.h"
+
+namespace lastcpu::baseline {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest()
+      : memory_(64 << 20),
+        kernel_(&simulator_, &memory_),
+        nic_iommu_(DeviceId(1)),
+        ssd_iommu_(DeviceId(2)) {
+    kernel_.RegisterDevice(DeviceId(1), &nic_iommu_);
+    kernel_.RegisterDevice(DeviceId(2), &ssd_iommu_);
+  }
+
+  Result<VirtAddr> AllocSync(DeviceId requester, Pasid pasid, uint64_t bytes) {
+    std::optional<Result<VirtAddr>> result;
+    kernel_.AllocMemory(requester, pasid, bytes, [&](Result<VirtAddr> r) { result = r; });
+    simulator_.Run();
+    LASTCPU_CHECK(result.has_value(), "alloc never completed");
+    return *result;
+  }
+
+  sim::Simulator simulator_;
+  mem::PhysicalMemory memory_;
+  CentralKernel kernel_;
+  iommu::Iommu nic_iommu_;
+  iommu::Iommu ssd_iommu_;
+};
+
+TEST_F(KernelTest, AllocMapsRequester) {
+  auto vaddr = AllocSync(DeviceId(1), Pasid(7), 3 * kPageSize);
+  ASSERT_TRUE(vaddr.ok());
+  EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 3u);
+  EXPECT_EQ(ssd_iommu_.mapped_pages(Pasid(7)), 0u);
+  EXPECT_EQ(kernel_.AllocatedBytes(Pasid(7)), 3 * kPageSize);
+}
+
+TEST_F(KernelTest, OperationsTakeCpuTime) {
+  sim::SimTime before = simulator_.Now();
+  ASSERT_TRUE(AllocSync(DeviceId(1), Pasid(7), kPageSize).ok());
+  // At least interrupt + entry + service.
+  EXPECT_GE((simulator_.Now() - before).nanos(), 2000u + 300u + 1000u);
+  EXPECT_EQ(kernel_.ops_completed(), 1u);
+  EXPECT_GT(kernel_.op_latency().count(), 0u);
+}
+
+TEST_F(KernelTest, SingleCoreSerializesOperations) {
+  // Two allocs issued together on one core: total completion ~2x service.
+  int completed = 0;
+  sim::SimTime last;
+  for (int i = 0; i < 2; ++i) {
+    kernel_.AllocMemory(DeviceId(1), Pasid(7), kPageSize, [&](Result<VirtAddr> r) {
+      ASSERT_TRUE(r.ok());
+      ++completed;
+      last = simulator_.Now();
+    });
+  }
+  simulator_.Run();
+  EXPECT_EQ(completed, 2);
+  // Second op waited for the first: > interrupt + 2 * (entry + service).
+  EXPECT_GE(last.nanos(), 2000u + 2 * (300u + 1000u));
+  EXPECT_GT(kernel_.stats().GetHistogram("queue_wait").max(), 0u);
+}
+
+TEST_F(KernelTest, MoreCoresReduceQueueing) {
+  auto run_with_cores = [](uint32_t cores) {
+    sim::Simulator simulator;
+    mem::PhysicalMemory memory(64 << 20);
+    CentralKernelConfig config;
+    config.cores = cores;
+    CentralKernel kernel(&simulator, &memory, config);
+    iommu::Iommu iommu(DeviceId(1));
+    kernel.RegisterDevice(DeviceId(1), &iommu);
+    sim::SimTime last;
+    for (int i = 0; i < 16; ++i) {
+      kernel.AllocMemory(DeviceId(1), Pasid(7), kPageSize,
+                         [&, i](Result<VirtAddr>) { last = simulator.Now(); });
+    }
+    simulator.Run();
+    return last.nanos();
+  };
+  EXPECT_LT(run_with_cores(8), run_with_cores(1) / 3);
+}
+
+TEST_F(KernelTest, GrantRequiresOwnership) {
+  auto vaddr = AllocSync(DeviceId(1), Pasid(7), kPageSize);
+  ASSERT_TRUE(vaddr.ok());
+  std::optional<Status> denied;
+  kernel_.Grant(DeviceId(2), Pasid(7), *vaddr, kPageSize, DeviceId(2), Access::kRead,
+                [&](Status s) { denied = s; });
+  simulator_.Run();
+  EXPECT_EQ(denied->code(), StatusCode::kPermissionDenied);
+
+  std::optional<Status> granted;
+  kernel_.Grant(DeviceId(1), Pasid(7), *vaddr, kPageSize, DeviceId(2), Access::kRead,
+                [&](Status s) { granted = s; });
+  simulator_.Run();
+  ASSERT_TRUE(granted->ok());
+  EXPECT_EQ(ssd_iommu_.mapped_pages(Pasid(7)), 1u);
+}
+
+TEST_F(KernelTest, RevokeUnmapsGrantee) {
+  auto vaddr = AllocSync(DeviceId(1), Pasid(7), kPageSize);
+  std::optional<Status> status;
+  kernel_.Grant(DeviceId(1), Pasid(7), *vaddr, kPageSize, DeviceId(2), Access::kRead,
+                [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status->ok());
+  kernel_.Revoke(DeviceId(1), Pasid(7), *vaddr, kPageSize, DeviceId(2),
+                 [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status->ok());
+  EXPECT_EQ(ssd_iommu_.mapped_pages(Pasid(7)), 0u);
+}
+
+TEST_F(KernelTest, FreeChecksOwnerAndReclaims) {
+  auto vaddr = AllocSync(DeviceId(1), Pasid(7), 2 * kPageSize);
+  std::optional<Status> status;
+  kernel_.FreeMemory(DeviceId(2), Pasid(7), *vaddr, 2 * kPageSize,
+                     [&](Status s) { status = s; });
+  simulator_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kPermissionDenied);
+  kernel_.FreeMemory(DeviceId(1), Pasid(7), *vaddr, 2 * kPageSize,
+                     [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status->ok());
+  EXPECT_EQ(kernel_.AllocatedBytes(Pasid(7)), 0u);
+  EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 0u);
+}
+
+TEST_F(KernelTest, TeardownDropsEverything) {
+  auto a = AllocSync(DeviceId(1), Pasid(7), kPageSize);
+  ASSERT_TRUE(a.ok());
+  std::optional<Status> status;
+  kernel_.Grant(DeviceId(1), Pasid(7), *a, kPageSize, DeviceId(2), Access::kRead,
+                [&](Status s) { status = s; });
+  simulator_.Run();
+  kernel_.Teardown(Pasid(7), [&](Status s) { status = s; });
+  simulator_.Run();
+  ASSERT_TRUE(status->ok());
+  EXPECT_EQ(kernel_.AllocatedBytes(Pasid(7)), 0u);
+  EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 0u);
+  EXPECT_EQ(ssd_iommu_.mapped_pages(Pasid(7)), 0u);
+}
+
+TEST_F(KernelTest, MediateIoCostsCpuTime) {
+  sim::SimTime before = simulator_.Now();
+  bool done = false;
+  kernel_.MediateIo(sim::Duration::Micros(1), [&] { done = true; });
+  simulator_.Run();
+  EXPECT_TRUE(done);
+  EXPECT_GE((simulator_.Now() - before).nanos(), 2000u + 300u + 800u + 1000u);
+}
+
+// --- ControlClient parity over both designs -----------------------------------
+
+TEST(ControlClientTest, BothDesignsImplementTheSamePolicy) {
+  // Decentralized machine.
+  core::Machine machine;
+  auto& memctrl = machine.AddMemoryController();
+  testutil::TestDevice nic(machine.NextDeviceId(), "nic", machine.Context());
+  testutil::TestDevice ssd(machine.NextDeviceId(), "ssd", machine.Context());
+  nic.PowerOn();
+  ssd.PowerOn();
+  machine.Boot();
+  core::BusControlClient bus_client(&nic, memctrl.id());
+
+  // Centralized baseline with the same devices.
+  sim::Simulator kernel_simulator;
+  mem::PhysicalMemory kernel_memory(256 << 20);
+  baseline::CentralKernel kernel(&kernel_simulator, &kernel_memory);
+  iommu::Iommu knic(DeviceId(1));
+  iommu::Iommu kssd(DeviceId(2));
+  kernel.RegisterDevice(DeviceId(1), &knic);
+  kernel.RegisterDevice(DeviceId(2), &kssd);
+  core::KernelControlClient kernel_client(&kernel, DeviceId(1));
+
+  // The identical sequence must succeed identically in both designs.
+  auto run_sequence = [](core::ControlClient& client, DeviceId grantee, auto run) {
+    std::optional<VirtAddr> vaddr;
+    std::optional<Status> granted;
+    std::optional<Status> freed;
+    client.Alloc(Pasid(7), 2 * kPageSize, [&](Result<VirtAddr> r) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      vaddr = *r;
+    });
+    run();
+    ASSERT_TRUE(vaddr.has_value());
+    client.Grant(Pasid(7), *vaddr, 2 * kPageSize, grantee, Access::kRead,
+                 [&](Status s) { granted = s; });
+    run();
+    ASSERT_TRUE(granted.has_value());
+    EXPECT_TRUE(granted->ok()) << granted->ToString();
+    client.Free(Pasid(7), *vaddr, 2 * kPageSize, [&](Status s) { freed = s; });
+    run();
+    ASSERT_TRUE(freed.has_value());
+    EXPECT_TRUE(freed->ok()) << freed->ToString();
+  };
+
+  run_sequence(bus_client, ssd.id(), [&] { machine.RunUntilIdle(); });
+  run_sequence(kernel_client, DeviceId(2), [&] { kernel_simulator.Run(); });
+
+  EXPECT_EQ(nic.iommu().mapped_pages(Pasid(7)), 0u);
+  EXPECT_EQ(knic.mapped_pages(Pasid(7)), 0u);
+}
+
+}  // namespace
+}  // namespace lastcpu::baseline

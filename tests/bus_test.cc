@@ -1,0 +1,346 @@
+// System-bus tests: routing, broadcast discovery semantics, liveness,
+// privileged MapDirective validation (the core security invariant), grant
+// forwarding, teardown fan-out, and failure notification + reset.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/bus/system_bus.h"
+#include "src/iommu/iommu.h"
+#include "src/proto/message.h"
+#include "src/sim/simulator.h"
+
+namespace lastcpu::bus {
+namespace {
+
+// A scripted endpoint that records everything it receives.
+struct Probe {
+  std::vector<proto::Message> received;
+  BusPort* port = nullptr;
+
+  SystemBus::Receiver Receiver() {
+    return [this](const proto::Message& m) { received.push_back(m); };
+  }
+
+  std::optional<proto::Message> LastOfType(proto::MessageType type) const {
+    for (auto it = received.rbegin(); it != received.rend(); ++it) {
+      if (it->type() == type) {
+        return *it;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+class BusTest : public ::testing::Test {
+ protected:
+  BusTest() : bus_(&simulator_), nic_iommu_(DeviceId(1)), ssd_iommu_(DeviceId(2)),
+              mc_iommu_(DeviceId(3)) {
+    nic_.port = bus_.Attach(DeviceId(1), "nic", nic_.Receiver(), &nic_iommu_);
+    ssd_.port = bus_.Attach(DeviceId(2), "ssd", ssd_.Receiver(), &ssd_iommu_);
+    mc_.port = bus_.Attach(DeviceId(3), "memctrl", mc_.Receiver(), &mc_iommu_);
+  }
+
+  // Brings a device alive, optionally announcing a memory service.
+  void Announce(Probe& probe, const std::string& name, bool memory_service = false) {
+    proto::AliveAnnounce announce;
+    announce.device_name = name;
+    if (memory_service) {
+      announce.services.push_back(
+          {probe.port->id(), proto::ServiceType::kMemory, "dram", 0});
+    }
+    probe.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(), announce});
+    simulator_.Run();
+  }
+
+  void AnnounceAll() {
+    Announce(nic_, "nic");
+    Announce(ssd_, "ssd");
+    Announce(mc_, "memctrl", /*memory_service=*/true);
+  }
+
+  sim::Simulator simulator_;
+  SystemBus bus_;
+  iommu::Iommu nic_iommu_;
+  iommu::Iommu ssd_iommu_;
+  iommu::Iommu mc_iommu_;
+  Probe nic_;
+  Probe ssd_;
+  Probe mc_;
+};
+
+TEST_F(BusTest, AliveAnnounceMarksDeviceAlive) {
+  EXPECT_FALSE(bus_.IsAlive(DeviceId(1)));
+  Announce(nic_, "nic");
+  EXPECT_TRUE(bus_.IsAlive(DeviceId(1)));
+  auto snapshot = bus_.LivenessSnapshot();
+  EXPECT_EQ(snapshot.at(DeviceId(1)).name, "nic");
+  EXPECT_TRUE(snapshot.at(DeviceId(1)).alive);
+  EXPECT_FALSE(snapshot.at(DeviceId(2)).alive);
+}
+
+TEST_F(BusTest, MemoryServiceAnnouncementElectsController) {
+  EXPECT_FALSE(bus_.memory_controller().valid());
+  Announce(mc_, "memctrl", /*memory_service=*/true);
+  EXPECT_EQ(bus_.memory_controller(), DeviceId(3));
+}
+
+TEST_F(BusTest, UnicastRoutesToDestination) {
+  AnnounceAll();
+  nic_.port->Send(proto::Message{DeviceId(), DeviceId(2), RequestId(1),
+                                 proto::OpenRequest{"flashfs", "kv.log", 0, Pasid(7)}});
+  simulator_.Run();
+  auto open = ssd_.LastOfType(proto::MessageType::kOpenRequest);
+  ASSERT_TRUE(open.has_value());
+  EXPECT_EQ(open->src, DeviceId(1));  // src stamped by the port
+  EXPECT_EQ(open->As<proto::OpenRequest>().resource, "kv.log");
+  EXPECT_TRUE(mc_.LastOfType(proto::MessageType::kOpenRequest) == std::nullopt);
+}
+
+TEST_F(BusTest, SourceCannotSpoofIdentity) {
+  AnnounceAll();
+  proto::Message forged{DeviceId(2) /* pretend to be the SSD */, DeviceId(3), RequestId(5),
+                        proto::Notify{InstanceId(1), 0}};
+  nic_.port->Send(forged);
+  simulator_.Run();
+  auto seen = mc_.LastOfType(proto::MessageType::kNotify);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->src, DeviceId(1));  // the port identity won
+}
+
+TEST_F(BusTest, BroadcastReachesAllAliveExceptSender) {
+  AnnounceAll();
+  nic_.port->Send(proto::Message{DeviceId(), kBroadcastDevice, RequestId(2),
+                                 proto::DiscoverRequest{proto::ServiceType::kFile, "kv.log"}});
+  simulator_.Run();
+  EXPECT_TRUE(ssd_.LastOfType(proto::MessageType::kDiscoverRequest).has_value());
+  EXPECT_TRUE(mc_.LastOfType(proto::MessageType::kDiscoverRequest).has_value());
+  EXPECT_FALSE(nic_.LastOfType(proto::MessageType::kDiscoverRequest).has_value());
+}
+
+TEST_F(BusTest, BroadcastSkipsDeadDevices) {
+  Announce(nic_, "nic");
+  Announce(mc_, "memctrl", true);
+  // SSD never announced: it must not receive broadcasts.
+  nic_.port->Send(proto::Message{DeviceId(), kBroadcastDevice, RequestId(2),
+                                 proto::DiscoverRequest{proto::ServiceType::kFile, ""}});
+  simulator_.Run();
+  EXPECT_FALSE(ssd_.LastOfType(proto::MessageType::kDiscoverRequest).has_value());
+  EXPECT_TRUE(mc_.LastOfType(proto::MessageType::kDiscoverRequest).has_value());
+}
+
+TEST_F(BusTest, UnicastToDeadDeviceBouncesError) {
+  Announce(nic_, "nic");
+  nic_.port->Send(proto::Message{DeviceId(), DeviceId(2), RequestId(9),
+                                 proto::OpenRequest{"flashfs", "f", 0, Pasid(1)}});
+  simulator_.Run();
+  auto error = nic_.LastOfType(proto::MessageType::kErrorResponse);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->request_id, RequestId(9));
+  EXPECT_EQ(error->As<proto::ErrorResponse>().code, StatusCode::kUnavailable);
+}
+
+TEST_F(BusTest, MessagesTakeSimulatedTime) {
+  AnnounceAll();
+  sim::SimTime before = simulator_.Now();
+  nic_.port->Send(proto::Message{DeviceId(), DeviceId(2), RequestId(1),
+                                 proto::Notify{InstanceId(0), 0}});
+  size_t count_before = ssd_.received.size();
+  simulator_.Run();
+  EXPECT_GT(simulator_.Now(), before);
+  EXPECT_EQ(ssd_.received.size(), count_before + 1);
+}
+
+TEST_F(BusTest, MapDirectiveFromControllerProgramsTargetIommu) {
+  AnnounceAll();
+  proto::MapDirective directive;
+  directive.target = DeviceId(1);
+  directive.pasid = Pasid(7);
+  directive.entries = {{0x10, 0x99, Access::kReadWrite}};
+  mc_.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(42), directive});
+  simulator_.Run();
+  // The NIC's IOMMU now translates.
+  auto t = nic_iommu_.Translate(Pasid(7), VirtAddr(0x10 << kPageShift), Access::kWrite);
+  EXPECT_TRUE(t.ok());
+  // The controller received the confirmation with correlated id.
+  auto confirm = mc_.LastOfType(proto::MessageType::kMapConfirm);
+  ASSERT_TRUE(confirm.has_value());
+  EXPECT_EQ(confirm->request_id, RequestId(42));
+  EXPECT_EQ(confirm->As<proto::MapConfirm>().target, DeviceId(1));
+}
+
+TEST_F(BusTest, MapDirectiveFromNonControllerRejected) {
+  AnnounceAll();
+  proto::MapDirective directive;
+  directive.target = DeviceId(2);
+  directive.pasid = Pasid(7);
+  directive.entries = {{0x10, 0x99, Access::kReadWrite}};
+  // The NIC (not the memory controller) tries to program the SSD's IOMMU.
+  nic_.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(43), directive});
+  simulator_.Run();
+  auto error = nic_.LastOfType(proto::MessageType::kErrorResponse);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->As<proto::ErrorResponse>().code, StatusCode::kPermissionDenied);
+  // And the SSD's IOMMU was NOT touched.
+  EXPECT_EQ(ssd_iommu_.mapped_pages(Pasid(7)), 0u);
+}
+
+TEST_F(BusTest, UnmapDirectiveRemovesMapping) {
+  AnnounceAll();
+  proto::MapDirective map;
+  map.target = DeviceId(1);
+  map.pasid = Pasid(7);
+  map.entries = {{0x10, 0x99, Access::kReadWrite}};
+  mc_.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(1), map});
+  simulator_.Run();
+  ASSERT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 1u);
+
+  proto::MapDirective unmap = map;
+  unmap.unmap = true;
+  mc_.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(2), unmap});
+  simulator_.Run();
+  EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 0u);
+}
+
+TEST_F(BusTest, GrantForwardedToMemoryController) {
+  AnnounceAll();
+  nic_.port->Send(proto::Message{
+      DeviceId(), kBusDevice, RequestId(7),
+      proto::GrantRequest{Pasid(7), VirtAddr(0x10000), 4096, DeviceId(2), Access::kRead}});
+  simulator_.Run();
+  auto grant = mc_.LastOfType(proto::MessageType::kGrantRequest);
+  ASSERT_TRUE(grant.has_value());
+  EXPECT_EQ(grant->src, DeviceId(1));
+  EXPECT_EQ(grant->As<proto::GrantRequest>().grantee, DeviceId(2));
+}
+
+TEST_F(BusTest, GrantWithoutControllerFails) {
+  Announce(nic_, "nic");  // no memory controller announced
+  nic_.port->Send(proto::Message{
+      DeviceId(), kBusDevice, RequestId(7),
+      proto::GrantRequest{Pasid(7), VirtAddr(0x10000), 4096, DeviceId(2), Access::kRead}});
+  simulator_.Run();
+  auto error = nic_.LastOfType(proto::MessageType::kErrorResponse);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->As<proto::ErrorResponse>().code, StatusCode::kUnavailable);
+}
+
+TEST_F(BusTest, TeardownFansOutToAllAliveDevices) {
+  AnnounceAll();
+  nic_.port->Send(
+      proto::Message{DeviceId(), kBusDevice, RequestId(3), proto::TeardownApp{Pasid(7)}});
+  simulator_.Run();
+  EXPECT_TRUE(nic_.LastOfType(proto::MessageType::kTeardownApp).has_value());
+  EXPECT_TRUE(ssd_.LastOfType(proto::MessageType::kTeardownApp).has_value());
+  EXPECT_TRUE(mc_.LastOfType(proto::MessageType::kTeardownApp).has_value());
+}
+
+TEST_F(BusTest, DeviceFailureNotifiesSurvivorsAndPulsesReset) {
+  AnnounceAll();
+  bus_.ReportDeviceFailure(DeviceId(2));
+  simulator_.Run();
+  EXPECT_FALSE(bus_.IsAlive(DeviceId(2)));
+  auto nic_notice = nic_.LastOfType(proto::MessageType::kDeviceFailed);
+  ASSERT_TRUE(nic_notice.has_value());
+  EXPECT_EQ(nic_notice->As<proto::DeviceFailed>().device, DeviceId(2));
+  EXPECT_TRUE(mc_.LastOfType(proto::MessageType::kDeviceFailed).has_value());
+  // The failed device received the reset pulse.
+  EXPECT_TRUE(ssd_.LastOfType(proto::MessageType::kResetSignal).has_value());
+  // And it did not get its own failure notice.
+  EXPECT_FALSE(ssd_.LastOfType(proto::MessageType::kDeviceFailed).has_value());
+}
+
+TEST_F(BusTest, FailedMemoryControllerIsDeposed) {
+  AnnounceAll();
+  ASSERT_EQ(bus_.memory_controller(), DeviceId(3));
+  bus_.ReportDeviceFailure(DeviceId(3));
+  simulator_.Run();
+  EXPECT_FALSE(bus_.memory_controller().valid());
+}
+
+TEST_F(BusTest, FailedDeviceCanReannounceAfterReset) {
+  AnnounceAll();
+  bus_.ReportDeviceFailure(DeviceId(2));
+  simulator_.Run();
+  EXPECT_FALSE(bus_.IsAlive(DeviceId(2)));
+  Announce(ssd_, "ssd");  // self-test passed again
+  EXPECT_TRUE(bus_.IsAlive(DeviceId(2)));
+}
+
+TEST_F(BusTest, TableUpdatesSerializeOnOneEngine) {
+  AnnounceAll();
+  // Two large directives sent together: total time must reflect both.
+  proto::MapDirective directive;
+  directive.target = DeviceId(1);
+  directive.pasid = Pasid(7);
+  for (uint64_t i = 0; i < 512; ++i) {
+    directive.entries.push_back({i, 1000 + i, Access::kReadWrite});
+  }
+  mc_.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(1), directive});
+  proto::MapDirective second = directive;
+  second.pasid = Pasid(8);
+  mc_.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(2), second});
+  simulator_.Run();
+  EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 512u);
+  EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(8)), 512u);
+  // Both confirms arrived.
+  int confirms = 0;
+  for (const auto& m : mc_.received) {
+    if (m.type() == proto::MessageType::kMapConfirm) {
+      ++confirms;
+    }
+  }
+  EXPECT_EQ(confirms, 2);
+}
+
+TEST_F(BusTest, HeartbeatsRefreshLiveness) {
+  AnnounceAll();
+  sim::SimTime before = simulator_.Now();
+  simulator_.RunFor(sim::Duration::Micros(10));
+  nic_.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(), proto::Heartbeat{}});
+  simulator_.Run();
+  auto snapshot = bus_.LivenessSnapshot();
+  EXPECT_GT(snapshot.at(DeviceId(1)).last_heartbeat, before);
+  EXPECT_TRUE(snapshot.at(DeviceId(1)).heartbeats_seen);
+  EXPECT_FALSE(snapshot.at(DeviceId(2)).heartbeats_seen);
+  EXPECT_EQ(bus_.stats().GetCounter("heartbeats").value(), 1u);
+}
+
+TEST(BusWatchdogTest, OnlyParticipatingDevicesAreWatched) {
+  sim::Simulator simulator;
+  bus::BusConfig config;
+  config.heartbeat_timeout = sim::Duration::Micros(500);
+  SystemBus bus(&simulator, config);
+  iommu::Iommu iommu_a(DeviceId(1));
+  iommu::Iommu iommu_b(DeviceId(2));
+  Probe silent;
+  Probe beating;
+  silent.port = bus.Attach(DeviceId(1), "silent", silent.Receiver(), &iommu_a);
+  beating.port = bus.Attach(DeviceId(2), "beating", beating.Receiver(), &iommu_b);
+  silent.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(), proto::AliveAnnounce{}});
+  beating.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(), proto::AliveAnnounce{}});
+  beating.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(), proto::Heartbeat{}});
+  simulator.Run();
+  ASSERT_TRUE(bus.IsAlive(DeviceId(1)));
+  ASSERT_TRUE(bus.IsAlive(DeviceId(2)));
+
+  // Far past the timeout with no further heartbeats: only the device that
+  // ever participated is declared failed.
+  simulator.RunFor(sim::Duration::Millis(5));
+  EXPECT_TRUE(bus.IsAlive(DeviceId(1)));   // never opted in
+  EXPECT_FALSE(bus.IsAlive(DeviceId(2)));  // opted in, went silent
+  EXPECT_GE(bus.stats().GetCounter("watchdog_failures").value(), 1u);
+}
+
+TEST_F(BusTest, StatsCountTraffic) {
+  AnnounceAll();
+  nic_.port->Send(proto::Message{DeviceId(), DeviceId(2), RequestId(1),
+                                 proto::Notify{InstanceId(0), 0}});
+  simulator_.Run();
+  EXPECT_GE(bus_.stats().GetCounter("messages_sent").value(), 4u);  // 3 alive + 1 notify
+  EXPECT_GT(bus_.stats().GetCounter("bytes_sent").value(), 0u);
+}
+
+}  // namespace
+}  // namespace lastcpu::bus

@@ -1,0 +1,307 @@
+// Machine-level tests: assembly and boot, application lifecycle, the
+// heartbeat watchdog, multi-application isolation on shared devices, and the
+// aggregated stats report.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "src/core/machine.h"
+#include "src/kvs/kvs_app.h"
+#include "tests/test_util.h"
+
+namespace lastcpu::core {
+namespace {
+
+using testutil::TestDevice;
+
+ssddev::SmartSsdConfig NoAuthSsd() {
+  ssddev::SmartSsdConfig config;
+  config.host_auth_service = false;
+  return config;
+}
+
+TEST(MachineTest, BootBringsEveryDeviceAlive) {
+  Machine machine;
+  machine.AddMemoryController();
+  machine.AddSmartSsd(NoAuthSsd());
+  machine.AddSmartNic();
+  EXPECT_EQ(machine.devices().size(), 3u);
+  machine.Boot();
+  for (const auto& device : machine.devices()) {
+    EXPECT_EQ(device->state(), dev::Device::State::kAlive) << device->name();
+    EXPECT_TRUE(machine.bus().IsAlive(device->id()));
+  }
+  EXPECT_TRUE(machine.bus().memory_controller().valid());
+}
+
+TEST(MachineTest, DeviceIdsAreUnique) {
+  Machine machine;
+  auto& a = machine.AddMemoryController();
+  auto& b = machine.AddSmartSsd(NoAuthSsd());
+  auto& c = machine.AddSmartNic();
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(b.id(), c.id());
+}
+
+TEST(MachineTest, ApplicationsGetDistinctPasids) {
+  Machine machine;
+  Pasid a = machine.NewApplication("app-a");
+  Pasid b = machine.NewApplication("app-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(machine.applications().size(), 2u);
+  EXPECT_EQ(machine.applications()[0].second, "app-a");
+}
+
+TEST(MachineTest, TraceCapturesBootWhenEnabled) {
+  MachineConfig config;
+  config.enable_trace = true;
+  Machine machine(config);
+  machine.AddMemoryController();
+  machine.Boot();
+  EXPECT_TRUE(machine.trace().ContainsSequence({"self-test", "alive"}));
+}
+
+TEST(MachineTest, StatsReportCoversAllComponents) {
+  Machine machine;
+  machine.AddMemoryController();
+  machine.AddSmartSsd(NoAuthSsd());
+  machine.Boot();
+  std::string report = machine.StatsReport();
+  EXPECT_NE(report.find("== bus =="), std::string::npos);
+  EXPECT_NE(report.find("== fabric =="), std::string::npos);
+  EXPECT_NE(report.find("memctrl"), std::string::npos);
+  EXPECT_NE(report.find("smart-ssd"), std::string::npos);
+}
+
+TEST(MachineTest, TeardownApplicationViaAdminPath) {
+  Machine machine;
+  auto& memctrl = machine.AddMemoryController();
+  TestDevice requester(machine.NextDeviceId(), "req", machine.Context());
+  requester.PowerOn();
+  machine.Boot();
+  Pasid app = machine.NewApplication("doomed");
+  bool allocated = false;
+  requester.SendRequest(memctrl.id(),
+                        proto::MemAllocRequest{app, 8 * kPageSize, VirtAddr(0),
+                                               Access::kReadWrite},
+                        [&](const proto::Message& m) {
+                          allocated = m.Is<proto::MemAllocResponse>();
+                        });
+  machine.RunUntilIdle();
+  ASSERT_TRUE(allocated);
+  ASSERT_GT(memctrl.AllocatedBytes(app), 0u);
+
+  machine.TeardownApplication(app);
+  machine.RunUntilIdle();
+  EXPECT_EQ(memctrl.AllocatedBytes(app), 0u);
+  EXPECT_EQ(requester.iommu().mapped_pages(app), 0u);
+}
+
+// --- heartbeat watchdog --------------------------------------------------------
+
+TEST(WatchdogTest, SilentDeathIsDetectedAndSurvivorsNotified) {
+  MachineConfig config;
+  config.bus.heartbeat_timeout = sim::Duration::Millis(1);
+  Machine machine(config);
+  machine.AddMemoryController(); // no heartbeats configured on this one
+
+  dev::DeviceConfig beating;
+  beating.heartbeat_period = sim::Duration::Micros(200);
+  TestDevice victim(machine.NextDeviceId(), "victim", machine.Context(), beating);
+  TestDevice watcher(machine.NextDeviceId(), "watcher", machine.Context(), beating);
+  victim.PowerOn();
+  watcher.PowerOn();
+  machine.Boot();
+  ASSERT_TRUE(machine.bus().IsAlive(victim.id()));
+
+  // Run a while: heartbeats keep everyone alive.
+  machine.RunFor(sim::Duration::Millis(5));
+  EXPECT_TRUE(machine.bus().IsAlive(victim.id()));
+  EXPECT_GT(victim.stats().GetCounter("heartbeats_sent").value(), 10u);
+
+  // The victim dies silently — nobody calls ReportDeviceFailure.
+  victim.InjectFailure();
+  machine.RunFor(sim::Duration::Millis(3));
+  // The watchdog noticed, told the survivors, and pulsed reset (which brings
+  // the device back through self-test).
+  EXPECT_GE(machine.bus().stats().GetCounter("watchdog_failures").value(), 1u);
+  ASSERT_FALSE(watcher.failed_peers.empty());
+  EXPECT_EQ(watcher.failed_peers[0], victim.id());
+  EXPECT_EQ(victim.state(), dev::Device::State::kAlive);  // reset revived it
+}
+
+TEST(WatchdogTest, HealthyDevicesAreNeverKilled) {
+  MachineConfig config;
+  config.bus.heartbeat_timeout = sim::Duration::Millis(1);
+  Machine machine(config);
+  dev::DeviceConfig beating;
+  beating.heartbeat_period = sim::Duration::Micros(100);
+  TestDevice steady(machine.NextDeviceId(), "steady", machine.Context(), beating);
+  steady.PowerOn();
+  machine.Boot();
+  machine.RunFor(sim::Duration::Millis(20));
+  EXPECT_TRUE(machine.bus().IsAlive(steady.id()));
+  EXPECT_EQ(machine.bus().stats().GetCounter("watchdog_failures").value(), 0u);
+  EXPECT_EQ(steady.failed_peers.size(), 0u);
+}
+
+// --- multi-application isolation on shared devices ------------------------------
+
+TEST(MultiAppTest, TwoKvsAppsShareTheSsdInIsolation) {
+  Machine machine;
+  machine.AddMemoryController();
+  auto& ssd = machine.AddSmartSsd(NoAuthSsd());
+  auto& nic_a = machine.AddSmartNic();
+  auto& nic_b = machine.AddSmartNic();
+  ssd.ProvisionFile("a.log", {});
+  ssd.ProvisionFile("b.log", {});
+
+  Pasid pasid_a = machine.NewApplication("tenant-a");
+  Pasid pasid_b = machine.NewApplication("tenant-b");
+  kvs::KvsAppConfig config_a;
+  config_a.engine.log_file = "a.log";
+  kvs::KvsAppConfig config_b;
+  config_b.engine.log_file = "b.log";
+  auto app_a = std::make_unique<kvs::KvsApp>(&nic_a, pasid_a, config_a);
+  auto app_b = std::make_unique<kvs::KvsApp>(&nic_b, pasid_b, config_b);
+  kvs::KvsApp* a = app_a.get();
+  kvs::KvsApp* b = app_b.get();
+  nic_a.LoadApp(std::move(app_a));
+  nic_b.LoadApp(std::move(app_b));
+  machine.Boot();
+  ASSERT_TRUE(a->engine().running());
+  ASSERT_TRUE(b->engine().running());
+
+  // Same key, different tenants, different values.
+  a->engine().Put("shared-key", {0xA}, [](Status s) { ASSERT_TRUE(s.ok()); });
+  b->engine().Put("shared-key", {0xB, 0xB}, [](Status s) { ASSERT_TRUE(s.ok()); });
+  machine.RunUntilIdle();
+
+  std::optional<std::vector<uint8_t>> from_a;
+  std::optional<std::vector<uint8_t>> from_b;
+  a->engine().Get("shared-key", [&](Result<std::vector<uint8_t>> r) {
+    ASSERT_TRUE(r.ok());
+    from_a = *r;
+  });
+  b->engine().Get("shared-key", [&](Result<std::vector<uint8_t>> r) {
+    ASSERT_TRUE(r.ok());
+    from_b = *r;
+  });
+  machine.RunUntilIdle();
+  EXPECT_EQ(*from_a, (std::vector<uint8_t>{0xA}));
+  EXPECT_EQ(*from_b, (std::vector<uint8_t>{0xB, 0xB}));
+
+  // Address-space isolation: NIC A has no mappings in tenant B's PASID and
+  // cannot touch B's session memory.
+  EXPECT_EQ(nic_a.iommu().mapped_pages(pasid_b), 0u);
+  bool faulted = false;
+  machine.fabric().DmaRead(nic_a.id(), pasid_b, b->engine().file().session_base(), 16,
+                           [&](Result<std::vector<uint8_t>> r) { faulted = !r.ok(); });
+  machine.RunUntilIdle();
+  EXPECT_TRUE(faulted);
+
+  // Tearing down tenant A leaves tenant B fully functional.
+  machine.TeardownApplication(pasid_a);
+  machine.RunUntilIdle();
+  bool b_alive = false;
+  b->engine().Get("shared-key", [&](Result<std::vector<uint8_t>> r) { b_alive = r.ok(); });
+  machine.RunUntilIdle();
+  EXPECT_TRUE(b_alive);
+  EXPECT_EQ(nic_a.iommu().mapped_pages(pasid_a), 0u);
+}
+
+// --- multiple providers of the same service type ---------------------------------
+
+TEST(MultiProviderTest, DiscoveryRoutesToTheFileOwner) {
+  // Two smart SSDs, each owning a different file. The broadcast discovery
+  // must route each client session to the device that actually owns the
+  // resource (Fig. 2 step 1 semantics: the query names the file).
+  Machine machine;
+  machine.AddMemoryController();
+  ssddev::SmartSsdConfig config;
+  config.host_auth_service = false;
+  auto& ssd_a = machine.AddSmartSsd(config);
+  auto& ssd_b = machine.AddSmartSsd(config);
+  ssd_a.ProvisionFile("alpha.dat", {0xA});
+  ssd_b.ProvisionFile("beta.dat", {0xB, 0xB});
+  TestDevice client(machine.NextDeviceId(), "client", machine.Context());
+  client.PowerOn();
+  machine.Boot();
+
+  ssddev::FileClient session_a(&client, Pasid(1));
+  ssddev::FileClient session_b(&client, Pasid(1));
+  client.doorbell_handler = [&](DeviceId from, uint64_t value) {
+    if (!session_a.HandleDoorbell(from, value)) {
+      session_b.HandleDoorbell(from, value);
+    }
+  };
+
+  std::optional<Status> opened_a;
+  std::optional<Status> opened_b;
+  session_a.Open("alpha.dat", 0, [&](Status s) { opened_a = s; });
+  session_b.Open("beta.dat", 0, [&](Status s) { opened_b = s; });
+  machine.RunUntilIdle();
+  ASSERT_TRUE(opened_a.has_value() && opened_a->ok()) << opened_a->ToString();
+  ASSERT_TRUE(opened_b.has_value() && opened_b->ok()) << opened_b->ToString();
+  EXPECT_EQ(session_a.provider(), ssd_a.id());
+  EXPECT_EQ(session_b.provider(), ssd_b.id());
+
+  // Reads hit the right media.
+  std::optional<std::vector<uint8_t>> from_a;
+  std::optional<std::vector<uint8_t>> from_b;
+  session_a.ReadAt(0, 16, [&](Result<std::vector<uint8_t>> r) {
+    ASSERT_TRUE(r.ok());
+    from_a = *r;
+  });
+  session_b.ReadAt(0, 16, [&](Result<std::vector<uint8_t>> r) {
+    ASSERT_TRUE(r.ok());
+    from_b = *r;
+  });
+  machine.RunUntilIdle();
+  EXPECT_EQ(*from_a, (std::vector<uint8_t>{0xA}));
+  EXPECT_EQ(*from_b, (std::vector<uint8_t>{0xB, 0xB}));
+
+  // A file nobody owns stays undiscoverable.
+  ssddev::FileClient session_c(&client, Pasid(1));
+  std::optional<Status> missing;
+  session_c.Open("gamma.dat", 0, [&](Status s) { missing = s; });
+  machine.RunUntilIdle();
+  EXPECT_EQ(missing->code(), StatusCode::kNotFound);
+}
+
+TEST(MultiProviderTest, FailureOfOneProviderLeavesTheOtherServing) {
+  Machine machine;
+  machine.AddMemoryController();
+  ssddev::SmartSsdConfig config;
+  config.host_auth_service = false;
+  auto& ssd_a = machine.AddSmartSsd(config);
+  auto& ssd_b = machine.AddSmartSsd(config);
+  ssd_a.ProvisionFile("a.log", {});
+  ssd_b.ProvisionFile("b.log", {});
+  auto& nic = machine.AddSmartNic();
+  Pasid pasid = machine.NewApplication("kvs");
+  kvs::KvsAppConfig app_config;
+  app_config.engine.log_file = "b.log";
+  auto app = std::make_unique<kvs::KvsApp>(&nic, pasid, app_config);
+  kvs::KvsApp* kvs_app = app.get();
+  nic.LoadApp(std::move(app));
+  machine.Boot();
+  ASSERT_TRUE(kvs_app->engine().running());
+  ASSERT_EQ(kvs_app->engine().file().provider(), ssd_b.id());
+
+  // SSD A (which the app does not use) dies: the app must keep serving.
+  ssd_a.InjectFailure();
+  machine.bus().ReportDeviceFailure(ssd_a.id());
+  machine.RunUntilIdle();
+  EXPECT_TRUE(kvs_app->engine().running());
+  EXPECT_EQ(kvs_app->recoveries(), 0u);  // no recovery was needed
+  std::optional<Status> put;
+  kvs_app->engine().Put("still-works", {1}, [&](Status s) { put = s; });
+  machine.RunUntilIdle();
+  ASSERT_TRUE(put.has_value());
+  EXPECT_TRUE(put->ok());
+}
+
+}  // namespace
+}  // namespace lastcpu::core

@@ -1,0 +1,430 @@
+// KVS application tests: wire protocol, index, workload generation, and the
+// paper's Sec. 3 application end to end on a full machine — network clients
+// hitting a smart NIC whose data lives on a smart SSD, with recovery after
+// both engine restart and whole-device failure (Sec. 4).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/core/machine.h"
+#include "src/kvs/kvs_app.h"
+#include "src/kvs/kvs_engine.h"
+#include "src/kvs/kvs_protocol.h"
+#include "src/kvs/workload.h"
+
+namespace lastcpu::kvs {
+namespace {
+
+TEST(KvsProtocolTest, RequestRoundTrip) {
+  KvsRequest request;
+  request.op = KvsOp::kPut;
+  request.sequence = 42;
+  request.key = "user1000007";
+  request.value = {9, 8, 7};
+  auto decoded = KvsRequest::Decode(request.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, KvsOp::kPut);
+  EXPECT_EQ(decoded->sequence, 42u);
+  EXPECT_EQ(decoded->key, "user1000007");
+  EXPECT_EQ(decoded->value, (std::vector<uint8_t>{9, 8, 7}));
+}
+
+TEST(KvsProtocolTest, ResponseRoundTrip) {
+  KvsResponse response;
+  response.status = StatusCode::kNotFound;
+  response.sequence = 7;
+  auto decoded = KvsResponse::Decode(response.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status, StatusCode::kNotFound);
+  EXPECT_EQ(decoded->sequence, 7u);
+}
+
+TEST(KvsProtocolTest, MalformedRequestsRejected) {
+  EXPECT_FALSE(KvsRequest::Decode(std::vector<uint8_t>{1, 2}).ok());
+  KvsRequest request;
+  request.key = "k";
+  auto wire = request.Encode();
+  wire[0] = 99;  // bad op
+  EXPECT_FALSE(KvsRequest::Decode(wire).ok());
+  wire = request.Encode();
+  wire.resize(wire.size() - 1);  // truncated body
+  EXPECT_FALSE(KvsRequest::Decode(wire).ok());
+}
+
+TEST(KvsProtocolTest, LogRecordRoundTripAndChaining) {
+  LogRecord a{"alpha", {1, 2, 3}, false};
+  LogRecord b{"beta", {}, true};
+  auto wire = a.Encode();
+  auto more = b.Encode();
+  wire.insert(wire.end(), more.begin(), more.end());
+
+  auto first = LogRecord::Decode(wire);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->first.key, "alpha");
+  EXPECT_FALSE(first->first.tombstone);
+  auto second = LogRecord::Decode(std::span<const uint8_t>(wire).subspan(first->second));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->first.key, "beta");
+  EXPECT_TRUE(second->first.tombstone);
+  EXPECT_EQ(first->second + second->second, wire.size());
+}
+
+TEST(KvsProtocolTest, LogRecordBadMagicIsDataLoss) {
+  LogRecord a{"k", {1}, false};
+  auto wire = a.Encode();
+  wire[0] = 0;
+  auto decoded = LogRecord::Decode(wire);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(HashIndexTest, PutGetRemove) {
+  HashIndex index;
+  index.Put("a", {100, 10});
+  index.Put("b", {200, 20});
+  HashIndex::Location loc;
+  ASSERT_TRUE(index.Get("a", &loc));
+  EXPECT_EQ(loc.offset, 100u);
+  index.Put("a", {300, 30});  // update
+  ASSERT_TRUE(index.Get("a", &loc));
+  EXPECT_EQ(loc.offset, 300u);
+  EXPECT_EQ(index.size(), 2u);
+  index.Remove("a");
+  EXPECT_FALSE(index.Get("a", &loc));
+  EXPECT_GT(index.memory_bytes(), 0u);
+}
+
+TEST(WorkloadTest, MixMatchesConfiguredFraction) {
+  WorkloadConfig config;
+  config.get_fraction = 0.7;
+  config.seed = 11;
+  WorkloadGenerator generator(config);
+  int gets = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (generator.Next().op == KvsOp::kGet) {
+      ++gets;
+    }
+  }
+  EXPECT_NEAR(gets / 10000.0, 0.7, 0.03);
+}
+
+TEST(WorkloadTest, ZipfSkewsKeys) {
+  WorkloadConfig config;
+  config.num_keys = 1000;
+  config.zipf_theta = 0.99;
+  WorkloadGenerator generator(config);
+  std::map<std::string, int> hits;
+  for (int i = 0; i < 20000; ++i) {
+    ++hits[generator.Next().key];
+  }
+  // The 10 hottest keys hold a large share of traffic (uniform would be 1%).
+  std::vector<int> counts;
+  counts.reserve(hits.size());
+  for (const auto& [key, count] : hits) {
+    counts.push_back(count);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  int head = 0;
+  for (size_t i = 0; i < 10 && i < counts.size(); ++i) {
+    head += counts[i];
+  }
+  EXPECT_GT(head, 20000 / 4);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadConfig config;
+  config.seed = 5;
+  WorkloadGenerator a(config);
+  WorkloadGenerator b(config);
+  for (int i = 0; i < 100; ++i) {
+    KvsRequest ra = a.Next();
+    KvsRequest rb = b.Next();
+    EXPECT_EQ(ra.key, rb.key);
+    EXPECT_EQ(static_cast<int>(ra.op), static_cast<int>(rb.op));
+  }
+}
+
+// --- end to end on a full machine ---------------------------------------------
+
+class KvsMachineTest : public ::testing::Test {
+ protected:
+  KvsMachineTest() {
+    machine_.AddMemoryController();
+    ssd_ = &machine_.AddSmartSsd(NoAuth());
+    nic_ = &machine_.AddSmartNic();
+    ssd_->ProvisionFile("kv.log", {});
+    app_pasid_ = machine_.NewApplication("kvs");
+    auto app = std::make_unique<KvsApp>(nic_, app_pasid_);
+    app_ = app.get();
+    nic_->LoadApp(std::move(app));
+    machine_.Boot();
+  }
+
+  static ssddev::SmartSsdConfig NoAuth() {
+    ssddev::SmartSsdConfig config;
+    config.host_auth_service = false;
+    return config;
+  }
+
+  Status PutSync(const std::string& key, std::vector<uint8_t> value) {
+    std::optional<Status> status;
+    app_->engine().Put(key, std::move(value), [&](Status s) { status = s; });
+    machine_.RunUntilIdle();
+    LASTCPU_CHECK(status.has_value(), "put never completed");
+    return *status;
+  }
+
+  Result<std::vector<uint8_t>> GetSync(const std::string& key) {
+    std::optional<Result<std::vector<uint8_t>>> result;
+    app_->engine().Get(key, [&](Result<std::vector<uint8_t>> r) { result = std::move(r); });
+    machine_.RunUntilIdle();
+    LASTCPU_CHECK(result.has_value(), "get never completed");
+    return *result;
+  }
+
+  core::Machine machine_;
+  ssddev::SmartSsd* ssd_ = nullptr;
+  nicdev::SmartNic* nic_ = nullptr;
+  KvsApp* app_ = nullptr;
+  Pasid app_pasid_;
+};
+
+TEST_F(KvsMachineTest, AppStartsOnBoot) {
+  EXPECT_TRUE(nic_->app_ready());
+  EXPECT_TRUE(app_->engine().running());
+}
+
+TEST_F(KvsMachineTest, PutGetDeleteDirect) {
+  ASSERT_TRUE(PutSync("alpha", {1, 2, 3}).ok());
+  auto got = GetSync("alpha");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<uint8_t>{1, 2, 3}));
+
+  // Overwrite.
+  ASSERT_TRUE(PutSync("alpha", {9}).ok());
+  EXPECT_EQ(*GetSync("alpha"), (std::vector<uint8_t>{9}));
+
+  // Delete.
+  std::optional<Status> deleted;
+  app_->engine().Delete("alpha", [&](Status s) { deleted = s; });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(deleted->ok());
+  EXPECT_EQ(GetSync("alpha").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(GetSync("never-existed").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(KvsMachineTest, ServesNetworkClients) {
+  // Preload some keys through the engine.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(PutSync(WorkloadGenerator::KeyFor(static_cast<uint64_t>(i)),
+                        std::vector<uint8_t>(64, static_cast<uint8_t>(i)))
+                    .ok());
+  }
+  WorkloadConfig workload;
+  workload.num_keys = 20;
+  workload.get_fraction = 0.8;
+  workload.value_bytes = 64;
+  LoadClient client(&machine_.simulator(), &machine_.network(), nic_->endpoint(), workload, 4);
+  bool finished = false;
+  client.Start(200, [&] { finished = true; });
+  machine_.RunUntilIdle();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(client.completed(), 200u);
+  EXPECT_EQ(client.errors(), 0u);
+  EXPECT_GT(client.latency().count(), 0u);
+  EXPECT_GT(client.latency().p50(), 0u);
+  EXPECT_EQ(nic_->requests_handled(), 200u);
+}
+
+TEST_F(KvsMachineTest, IndexRebuiltByRecoveryScan) {
+  ASSERT_TRUE(PutSync("alpha", {1}).ok());
+  ASSERT_TRUE(PutSync("beta", {2, 2}).ok());
+  ASSERT_TRUE(PutSync("alpha", {3, 3, 3}).ok());  // newer version
+  std::optional<Status> deleted;
+  app_->engine().Delete("beta", [&](Status s) { deleted = s; });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(deleted->ok());
+
+  // Simulate an engine restart: drop the session and the volatile index,
+  // then bring the engine back up — Start() must rebuild from the log.
+  app_->engine().Stop(Aborted("restart"));
+  EXPECT_FALSE(app_->engine().running());
+  std::optional<Status> restarted;
+  app_->engine().Start([&](Status s) { restarted = s; });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(restarted.has_value());
+  ASSERT_TRUE(restarted->ok()) << restarted->ToString();
+
+  // Replay honored versions and tombstones.
+  EXPECT_EQ(app_->engine().index().size(), 1u);
+  auto alpha = GetSync("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ(*alpha, (std::vector<uint8_t>{3, 3, 3}));
+  EXPECT_EQ(GetSync("beta").status().code(), StatusCode::kNotFound);
+  EXPECT_GT(app_->engine().stats().GetCounter("recovered_records").value(), 0u);
+}
+
+TEST_F(KvsMachineTest, RecoveryAfterSsdFailure) {
+  ASSERT_TRUE(PutSync("persistent", {7, 7}).ok());
+  // The SSD dies; the bus notices; the NIC's app recovers by reopening.
+  ssd_->InjectFailure();
+  machine_.bus().ReportDeviceFailure(ssd_->id());
+  machine_.RunUntilIdle();
+  EXPECT_TRUE(app_->engine().running());
+  EXPECT_GE(app_->recoveries(), 1u);
+  // Data survived on flash and the rebuilt index finds it.
+  auto got = GetSync("persistent");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, (std::vector<uint8_t>{7, 7}));
+}
+
+TEST_F(KvsMachineTest, ManualCompactionShrinksLogAndPreservesData) {
+  // Build garbage: every key overwritten 5x, half then deleted.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(PutSync("key" + std::to_string(i),
+                          std::vector<uint8_t>(100, static_cast<uint8_t>(round)))
+                      .ok());
+    }
+  }
+  for (int i = 0; i < 10; ++i) {
+    std::optional<Status> deleted;
+    app_->engine().Delete("key" + std::to_string(i), [&](Status s) { deleted = s; });
+    machine_.RunUntilIdle();
+    ASSERT_TRUE(deleted->ok());
+  }
+  uint64_t tail_before = app_->engine().log_tail_bytes();
+  uint64_t live_before = app_->engine().live_bytes();
+  ASSERT_GT(tail_before, live_before * 2);  // plenty of garbage
+
+  std::optional<Status> compacted;
+  app_->engine().CompactNow([&](Status s) { compacted = s; });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(compacted.has_value());
+  ASSERT_TRUE(compacted->ok()) << compacted->ToString();
+  EXPECT_EQ(app_->engine().generation(), 1u);
+  // The new log holds only live records (+ the commit marker).
+  EXPECT_LT(app_->engine().log_tail_bytes(), live_before + 100);
+  // The old generation is gone from the SSD; the new one exists.
+  EXPECT_FALSE(ssd_->fs().Exists("kv.log"));
+  EXPECT_TRUE(ssd_->fs().Exists("kv.log.1"));
+
+  // Data intact: deleted keys stay dead, surviving keys hold round-4 values.
+  EXPECT_EQ(GetSync("key3").status().code(), StatusCode::kNotFound);
+  auto survivor = GetSync("key15");
+  ASSERT_TRUE(survivor.ok());
+  EXPECT_EQ(*survivor, std::vector<uint8_t>(100, 4));
+}
+
+TEST_F(KvsMachineTest, OperationsIssuedDuringCompactionAreServed) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(PutSync("key" + std::to_string(i), {static_cast<uint8_t>(i)}).ok());
+  }
+  std::optional<Status> compacted;
+  app_->engine().CompactNow([&](Status s) { compacted = s; });
+  // Issue reads and a write while the copy is in flight: they must queue and
+  // then complete against the new generation.
+  std::optional<std::vector<uint8_t>> got;
+  std::optional<Status> put;
+  app_->engine().Get("key5", [&](Result<std::vector<uint8_t>> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    got = *r;
+  });
+  app_->engine().Put("key5", {0x55}, [&](Status s) { put = s; });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(compacted.has_value() && compacted->ok());
+  ASSERT_TRUE(got.has_value());
+  ASSERT_TRUE(put.has_value() && put->ok());
+  EXPECT_EQ(*GetSync("key5"), (std::vector<uint8_t>{0x55}));
+}
+
+TEST_F(KvsMachineTest, AutomaticCompactionTriggersOnGarbageRatio) {
+  // Rebuild the app with compaction armed.
+  kvs::KvsAppConfig config;
+  config.engine.compact_garbage_ratio = 0.5;
+  config.engine.min_compact_bytes = 4 << 10;
+  auto app = std::make_unique<KvsApp>(nic_, machine_.NewApplication("kvs2"), config);
+  KvsApp* auto_app = app.get();
+  nic_->LoadApp(std::move(app));
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(auto_app->engine().running());
+
+  // Hammer one key: almost everything becomes garbage.
+  for (int i = 0; i < 200; ++i) {
+    std::optional<Status> status;
+    auto_app->engine().Put("hot", std::vector<uint8_t>(200, static_cast<uint8_t>(i)),
+                           [&](Status s) { status = s; });
+    machine_.RunUntilIdle();
+    ASSERT_TRUE(status->ok());
+  }
+  EXPECT_GE(auto_app->engine().stats().GetCounter("compactions_completed").value(), 1u);
+  EXPECT_GE(auto_app->engine().generation(), 1u);
+  std::optional<std::vector<uint8_t>> hot;
+  auto_app->engine().Get("hot", [&](Result<std::vector<uint8_t>> r) {
+    ASSERT_TRUE(r.ok());
+    hot = *r;
+  });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(hot.has_value());
+  EXPECT_EQ((*hot)[0], 199);
+}
+
+TEST_F(KvsMachineTest, RestartAdoptsCompactedGeneration) {
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(PutSync("key" + std::to_string(i), {static_cast<uint8_t>(i)}).ok());
+  }
+  std::optional<Status> compacted;
+  app_->engine().CompactNow([&](Status s) { compacted = s; });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(compacted->ok());
+  ASSERT_EQ(app_->engine().generation(), 1u);
+
+  // Full engine restart: recovery must find and adopt kv.log.1.
+  app_->engine().Stop(Aborted("restart"));
+  std::optional<Status> restarted;
+  app_->engine().Start([&](Status s) { restarted = s; });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(restarted.has_value());
+  ASSERT_TRUE(restarted->ok()) << restarted->ToString();
+  EXPECT_EQ(app_->engine().generation(), 1u);
+  EXPECT_EQ(app_->engine().index().size(), 15u);
+  auto got = GetSync("key7");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<uint8_t>{7}));
+}
+
+TEST_F(KvsMachineTest, RecoverySkipsUncommittedGenerationDebris) {
+  ASSERT_TRUE(PutSync("real", {1, 2, 3}).ok());
+  // Fake a crashed compaction: a half-copied generation without the commit
+  // marker, containing a stale record.
+  kvs::LogRecord stale{"real", {9, 9, 9}, false};
+  ssd_->ProvisionFile("kv.log.1", stale.Encode());
+  machine_.RunUntilIdle();
+
+  app_->engine().Stop(Aborted("restart"));
+  std::optional<Status> restarted;
+  app_->engine().Start([&](Status s) { restarted = s; });
+  machine_.RunUntilIdle();
+  ASSERT_TRUE(restarted.has_value() && restarted->ok());
+  // The committed base generation won; the debris was discarded and deleted.
+  EXPECT_EQ(app_->engine().generation(), 0u);
+  auto got = GetSync("real");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_GE(app_->engine().stats().GetCounter("debris_generations_skipped").value(), 1u);
+  EXPECT_FALSE(ssd_->fs().Exists("kv.log.1"));
+}
+
+TEST_F(KvsMachineTest, TeardownReclaimsApplicationMemory) {
+  ASSERT_TRUE(PutSync("x", {1}).ok());
+  ASSERT_GT(nic_->iommu().mapped_pages(app_pasid_), 0u);
+  machine_.TeardownApplication(app_pasid_);
+  machine_.RunUntilIdle();
+  EXPECT_EQ(nic_->iommu().mapped_pages(app_pasid_), 0u);
+  EXPECT_EQ(ssd_->iommu().mapped_pages(app_pasid_), 0u);
+}
+
+}  // namespace
+}  // namespace lastcpu::kvs

@@ -1,0 +1,216 @@
+// Physical memory and buddy allocator tests, including property-style sweeps.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+#include <vector>
+
+#include "src/mem/buddy_allocator.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/rng.h"
+
+namespace lastcpu::mem {
+namespace {
+
+TEST(PhysicalMemoryTest, RoundsUpToPages) {
+  PhysicalMemory memory(kPageSize + 1);
+  EXPECT_EQ(memory.size_bytes(), 2 * kPageSize);
+  EXPECT_EQ(memory.num_frames(), 2u);
+}
+
+TEST(PhysicalMemoryTest, ReadBackWrites) {
+  PhysicalMemory memory(1 << 20);
+  std::vector<uint8_t> data{1, 2, 3, 4, 5};
+  memory.Write(PhysAddr(100), data);
+  std::vector<uint8_t> out(5);
+  memory.Read(PhysAddr(100), out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(PhysicalMemoryTest, U64RoundTrip) {
+  PhysicalMemory memory(1 << 16);
+  memory.WriteU64(PhysAddr(8), 0x1122334455667788ULL);
+  EXPECT_EQ(memory.ReadU64(PhysAddr(8)), 0x1122334455667788ULL);
+}
+
+TEST(PhysicalMemoryTest, ZeroFrameClears) {
+  PhysicalMemory memory(1 << 16);
+  memory.WriteByte(PhysAddr(kPageSize + 5), 0xAB);
+  memory.ZeroFrame(1);
+  EXPECT_EQ(memory.ReadByte(PhysAddr(kPageSize + 5)), 0);
+}
+
+TEST(PhysicalMemoryTest, OutOfRangeAborts) {
+  PhysicalMemory memory(kPageSize);
+  std::vector<uint8_t> data(16);
+  EXPECT_DEATH(memory.Write(PhysAddr(kPageSize - 8), data), "out of range");
+}
+
+TEST(BuddyTest, AllocatesDistinctBlocks) {
+  BuddyAllocator buddy(64);
+  auto a = buddy.Allocate(1);
+  auto b = buddy.Allocate(1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(buddy.allocated_frames(), 2u);
+}
+
+TEST(BuddyTest, RoundsToPowerOfTwo) {
+  BuddyAllocator buddy(64);
+  ASSERT_TRUE(buddy.Allocate(3).ok());
+  EXPECT_EQ(buddy.allocated_frames(), 4u);  // 3 -> 4
+  ASSERT_TRUE(buddy.Allocate(5).ok());
+  EXPECT_EQ(buddy.allocated_frames(), 12u);  // +8
+}
+
+TEST(BuddyTest, ExhaustionReturnsError) {
+  BuddyAllocator buddy(8);
+  ASSERT_TRUE(buddy.Allocate(8).ok());
+  auto more = buddy.Allocate(1);
+  EXPECT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BuddyTest, OversizeRequestRejected) {
+  BuddyAllocator buddy(8);
+  EXPECT_FALSE(buddy.Allocate(16).ok());
+}
+
+TEST(BuddyTest, FreeEnablesReuse) {
+  BuddyAllocator buddy(8);
+  auto a = buddy.Allocate(8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(buddy.Free(*a, 8).ok());
+  EXPECT_EQ(buddy.free_frames(), 8u);
+  EXPECT_TRUE(buddy.Allocate(8).ok());
+}
+
+TEST(BuddyTest, CoalescingRestoresLargestBlock) {
+  BuddyAllocator buddy(16);
+  std::vector<uint64_t> frames;
+  for (int i = 0; i < 16; ++i) {
+    auto f = buddy.Allocate(1);
+    ASSERT_TRUE(f.ok());
+    frames.push_back(*f);
+  }
+  EXPECT_EQ(buddy.LargestFreeBlock(), 0u);
+  for (uint64_t f : frames) {
+    ASSERT_TRUE(buddy.Free(f, 1).ok());
+  }
+  EXPECT_EQ(buddy.LargestFreeBlock(), 16u);
+  EXPECT_DOUBLE_EQ(buddy.FragmentationRatio(), 0.0);
+}
+
+TEST(BuddyTest, DoubleFreeRejected) {
+  BuddyAllocator buddy(8);
+  auto a = buddy.Allocate(2);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(buddy.Free(*a, 2).ok());
+  EXPECT_FALSE(buddy.Free(*a, 2).ok());
+}
+
+TEST(BuddyTest, FreeWithWrongSizeRejected) {
+  BuddyAllocator buddy(8);
+  auto a = buddy.Allocate(4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(buddy.Free(*a, 2).ok());
+  EXPECT_TRUE(buddy.Free(*a, 4).ok());
+}
+
+TEST(BuddyTest, NonPowerOfTwoTotalFrames) {
+  BuddyAllocator buddy(100);
+  EXPECT_EQ(buddy.total_frames(), 100u);
+  EXPECT_EQ(buddy.free_frames(), 100u);
+  uint64_t allocated = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> blocks;
+  for (;;) {
+    auto f = buddy.Allocate(4);
+    if (!f.ok()) {
+      break;
+    }
+    EXPECT_LE(*f + 4, 100u);  // never hands out frames past the end
+    blocks.emplace_back(*f, 4);
+    allocated += 4;
+  }
+  EXPECT_EQ(allocated, 100u);  // 100 = 64+32+4, all divisible into 4s
+  for (auto [frame, count] : blocks) {
+    ASSERT_TRUE(buddy.Free(frame, count).ok());
+  }
+  EXPECT_EQ(buddy.free_frames(), 100u);
+}
+
+TEST(BuddyTest, FragmentationRatioReflectsScatter) {
+  BuddyAllocator buddy(16);
+  // Allocate all singles, free every other one: free memory is fragmented.
+  std::vector<uint64_t> frames;
+  for (int i = 0; i < 16; ++i) {
+    frames.push_back(*buddy.Allocate(1));
+  }
+  for (size_t i = 0; i < frames.size(); i += 2) {
+    ASSERT_TRUE(buddy.Free(frames[i], 1).ok());
+  }
+  EXPECT_EQ(buddy.free_frames(), 8u);
+  EXPECT_EQ(buddy.LargestFreeBlock(), 1u);
+  EXPECT_GT(buddy.FragmentationRatio(), 0.8);
+}
+
+// Property test: random alloc/free sequences never hand out overlapping
+// blocks, and accounting stays exact.
+class BuddyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BuddyPropertyTest, RandomAllocFreeNeverOverlaps) {
+  sim::Rng rng(GetParam());
+  constexpr uint64_t kFrames = 1024;
+  BuddyAllocator buddy(kFrames);
+  struct Block {
+    uint64_t frame;
+    uint64_t count;
+  };
+  std::vector<Block> live;
+  std::set<uint64_t> owned;  // every frame owned by a live block
+
+  for (int step = 0; step < 2000; ++step) {
+    bool do_alloc = live.empty() || rng.NextBool(0.55);
+    if (do_alloc) {
+      uint64_t count = rng.NextInRange(1, 32);
+      auto f = buddy.Allocate(count);
+      if (!f.ok()) {
+        continue;
+      }
+      uint64_t rounded = uint64_t{1} << (64 - std::countl_zero(count - 1));
+      if (count == 1) {
+        rounded = 1;
+      }
+      for (uint64_t i = 0; i < rounded; ++i) {
+        auto [it, inserted] = owned.insert(*f + i);
+        ASSERT_TRUE(inserted) << "frame " << *f + i << " double-allocated";
+        ASSERT_LT(*f + i, kFrames);
+      }
+      live.push_back(Block{*f, count});
+    } else {
+      size_t index = rng.NextBelow(live.size());
+      Block block = live[index];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(index));
+      ASSERT_TRUE(buddy.Free(block.frame, block.count).ok());
+      uint64_t rounded = uint64_t{1} << (64 - std::countl_zero(block.count - 1));
+      if (block.count == 1) {
+        rounded = 1;
+      }
+      for (uint64_t i = 0; i < rounded; ++i) {
+        owned.erase(block.frame + i);
+      }
+    }
+    ASSERT_EQ(buddy.allocated_frames(), owned.size());
+  }
+  for (const Block& block : live) {
+    ASSERT_TRUE(buddy.Free(block.frame, block.count).ok());
+  }
+  EXPECT_EQ(buddy.free_frames(), kFrames);
+  EXPECT_EQ(buddy.LargestFreeBlock(), kFrames);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyPropertyTest, ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace lastcpu::mem

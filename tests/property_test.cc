@@ -1,0 +1,369 @@
+// Property-based tests: random operation sequences checked against simple
+// reference models. Each suite runs under several seeds (TEST_P).
+//
+//   * FlashFs vs a byte-vector shadow file system
+//   * Virtqueue vs a set-model of outstanding chains
+//   * The full KVS machine vs a std::map shadow store
+//   * IOMMU map/unmap/translate vs a flat shadow mapping
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "src/core/machine.h"
+#include "src/kvs/kvs_app.h"
+#include "src/sim/rng.h"
+#include "src/ssddev/flash_fs.h"
+#include "src/virtio/virtqueue.h"
+#include "tests/test_util.h"
+
+namespace lastcpu {
+namespace {
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+// --- FlashFs vs shadow ----------------------------------------------------------
+
+using FlashFsProperty = SeededTest;
+
+TEST_P(FlashFsProperty, MatchesShadowModel) {
+  sim::Simulator simulator;
+  ssddev::NandGeometry geometry;
+  geometry.dies = 4;
+  geometry.blocks_per_die = 32;
+  geometry.pages_per_block = 16;
+  ssddev::NandArray nand(&simulator, geometry);
+  ssddev::Ftl ftl(&simulator, &nand);
+  ssddev::FlashFs fs(&ftl);
+  sim::Rng rng(GetParam());
+
+  std::map<std::string, std::vector<uint8_t>> shadow;
+  auto file_name = [&](uint64_t i) { return "f" + std::to_string(i); };
+
+  for (int step = 0; step < 300; ++step) {
+    uint64_t which = rng.NextBelow(4);
+    std::string name = file_name(rng.NextBelow(5));
+    switch (rng.NextBelow(5)) {
+      case 0: {  // create
+        Status created = fs.Create(name);
+        EXPECT_EQ(created.ok(), !shadow.contains(name));
+        if (created.ok()) {
+          shadow[name] = {};
+        }
+        break;
+      }
+      case 1: {  // delete
+        Status deleted = fs.Delete(name);
+        EXPECT_EQ(deleted.ok(), shadow.contains(name));
+        shadow.erase(name);
+        break;
+      }
+      case 2: {  // write at random offset
+        uint64_t offset = rng.NextBelow(12000);
+        std::vector<uint8_t> data(rng.NextInRange(1, 6000));
+        rng.Fill(data);
+        std::optional<Status> status;
+        fs.Write(name, offset, data, [&](Status s) { status = s; });
+        simulator.Run();
+        ASSERT_TRUE(status.has_value());
+        if (shadow.contains(name)) {
+          ASSERT_TRUE(status->ok()) << status->ToString();
+          auto& bytes = shadow[name];
+          if (bytes.size() < offset + data.size()) {
+            bytes.resize(offset + data.size(), 0);
+          }
+          std::copy(data.begin(), data.end(), bytes.begin() + static_cast<ptrdiff_t>(offset));
+        } else {
+          EXPECT_FALSE(status->ok());
+        }
+        break;
+      }
+      case 3: {  // append
+        std::vector<uint8_t> data(rng.NextInRange(1, 3000));
+        rng.Fill(data);
+        std::optional<Result<uint64_t>> at;
+        fs.Append(name, data, [&](Result<uint64_t> r) { at = r; });
+        simulator.Run();
+        ASSERT_TRUE(at.has_value());
+        if (shadow.contains(name)) {
+          ASSERT_TRUE(at->ok());
+          EXPECT_EQ(**at, shadow[name].size());
+          auto& bytes = shadow[name];
+          bytes.insert(bytes.end(), data.begin(), data.end());
+        } else {
+          EXPECT_FALSE(at->ok());
+        }
+        break;
+      }
+      case 4: {  // read a random slice and compare
+        uint64_t offset = rng.NextBelow(14000);
+        uint64_t length = rng.NextInRange(1, 8000);
+        std::optional<Result<std::vector<uint8_t>>> read;
+        fs.Read(name, offset, length, [&](Result<std::vector<uint8_t>> r) {
+          read = std::move(r);
+        });
+        simulator.Run();
+        ASSERT_TRUE(read.has_value());
+        if (!shadow.contains(name)) {
+          EXPECT_FALSE(read->ok());
+          break;
+        }
+        ASSERT_TRUE(read->ok()) << read->status().ToString();
+        const auto& bytes = shadow[name];
+        uint64_t end = std::min<uint64_t>(offset + length, bytes.size());
+        uint64_t expected_len = offset >= end ? 0 : end - offset;
+        ASSERT_EQ((*read)->size(), expected_len) << "file " << name << " step " << step;
+        for (uint64_t i = 0; i < expected_len; ++i) {
+          ASSERT_EQ((**read)[i], bytes[offset + i]) << "offset " << offset + i;
+        }
+        break;
+      }
+    }
+    (void)which;
+    // Sizes stay consistent throughout.
+    for (const auto& [shadow_name, bytes] : shadow) {
+      auto info = fs.Stat(shadow_name);
+      ASSERT_TRUE(info.ok());
+      ASSERT_EQ(info->size, bytes.size()) << shadow_name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlashFsProperty, ::testing::Values(1, 7, 42, 1234));
+
+// --- Virtqueue vs outstanding-set model -----------------------------------------
+
+using VirtqueueProperty = SeededTest;
+
+TEST_P(VirtqueueProperty, CompletionsMatchSubmissions) {
+  sim::Simulator simulator;
+  mem::PhysicalMemory memory(8 << 20);
+  fabric::Fabric fabric(&simulator, &memory);
+  iommu::Iommu client_iommu(DeviceId(1));
+  iommu::Iommu server_iommu(DeviceId(2));
+  fabric.AttachDevice(DeviceId(1), &client_iommu);
+  fabric.AttachDevice(DeviceId(2), &server_iommu);
+  auto key = iommu::ProgrammingKey::CreateForTesting();
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(client_iommu.Map(key, Pasid(1), i, i, Access::kReadWrite).ok());
+    ASSERT_TRUE(server_iommu.Map(key, Pasid(1), i, i, Access::kReadWrite).ok());
+  }
+  constexpr uint16_t kDepth = 32;
+  virtio::VirtqueueDriver driver(&fabric, DeviceId(1), Pasid(1), VirtAddr(0), kDepth);
+  virtio::VirtqueueDevice device(&fabric, DeviceId(2), Pasid(1), VirtAddr(0), kDepth);
+  ASSERT_TRUE(driver.Initialize().ok());
+  VirtAddr data_va(uint64_t{8} << kPageShift);
+
+  sim::Rng rng(GetParam());
+  std::set<uint16_t> submitted;       // heads the driver owns in flight
+  std::map<uint16_t, uint32_t> done;  // device-completed, not yet polled
+  uint64_t total_completed = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    switch (rng.NextBelow(3)) {
+      case 0: {  // submit a 1- or 2-buffer chain
+        std::vector<virtio::BufferDesc> chain{{data_va, 64, false}};
+        if (rng.NextBool(0.5)) {
+          chain.push_back({data_va + 64, 64, true});
+        }
+        auto head = driver.Submit(chain);
+        if (driver.FreeDescriptors() == 0 && !head.ok()) {
+          break;  // legitimately full
+        }
+        if (head.ok()) {
+          ASSERT_TRUE(submitted.insert(*head).second) << "head reused while in flight";
+        }
+        break;
+      }
+      case 1: {  // device pops + completes one
+        auto chain = device.PopAvail();
+        ASSERT_TRUE(chain.ok());
+        if (!chain->has_value()) {
+          break;
+        }
+        uint16_t head = (*chain)->head;
+        ASSERT_TRUE(submitted.contains(head)) << "device saw a chain never submitted";
+        uint32_t written = static_cast<uint32_t>(rng.NextBelow(128));
+        ASSERT_TRUE(device.PushUsed(head, written).ok());
+        done[head] = written;
+        break;
+      }
+      case 2: {  // driver polls one completion
+        auto used = driver.PollUsed();
+        ASSERT_TRUE(used.ok());
+        if (!used->has_value()) {
+          EXPECT_TRUE(done.empty());
+          break;
+        }
+        uint16_t head = (*used)->head;
+        auto it = done.find(head);
+        ASSERT_NE(it, done.end()) << "completion for a chain the device never finished";
+        EXPECT_EQ((*used)->written, it->second);
+        done.erase(it);
+        submitted.erase(head);
+        ++total_completed;
+        break;
+      }
+    }
+  }
+  // Drain: everything submitted eventually completes exactly once.
+  for (;;) {
+    auto chain = device.PopAvail();
+    ASSERT_TRUE(chain.ok());
+    if (!chain->has_value()) {
+      break;
+    }
+    ASSERT_TRUE(device.PushUsed((*chain)->head, 1).ok());
+    done[(*chain)->head] = 1;
+  }
+  for (;;) {
+    auto used = driver.PollUsed();
+    ASSERT_TRUE(used.ok());
+    if (!used->has_value()) {
+      break;
+    }
+    submitted.erase((*used)->head);
+    done.erase((*used)->head);
+    ++total_completed;
+  }
+  EXPECT_TRUE(submitted.empty());
+  EXPECT_TRUE(done.empty());
+  EXPECT_GT(total_completed, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VirtqueueProperty, ::testing::Values(3, 99, 2024));
+
+// --- full-machine KVS vs std::map shadow -----------------------------------------
+
+using KvsProperty = SeededTest;
+
+TEST_P(KvsProperty, MatchesShadowStore) {
+  core::Machine machine;
+  machine.AddMemoryController();
+  ssddev::SmartSsdConfig ssd_config;
+  ssd_config.host_auth_service = false;
+  auto& ssd = machine.AddSmartSsd(ssd_config);
+  auto& nic = machine.AddSmartNic();
+  ssd.ProvisionFile("kv.log", {});
+  Pasid pasid = machine.NewApplication("kvs");
+  auto app_owner = std::make_unique<kvs::KvsApp>(&nic, pasid);
+  kvs::KvsApp* app = app_owner.get();
+  nic.LoadApp(std::move(app_owner));
+  machine.Boot();
+  ASSERT_TRUE(app->engine().running());
+
+  sim::Rng rng(GetParam());
+  std::map<std::string, std::vector<uint8_t>> shadow;
+  auto key_name = [](uint64_t i) { return "k" + std::to_string(i); };
+
+  for (int step = 0; step < 250; ++step) {
+    std::string key = key_name(rng.NextBelow(30));
+    switch (rng.NextBelow(3)) {
+      case 0: {  // put
+        std::vector<uint8_t> value(rng.NextInRange(1, 512));
+        rng.Fill(value);
+        std::optional<Status> status;
+        app->engine().Put(key, value, [&](Status s) { status = s; });
+        machine.RunUntilIdle();
+        ASSERT_TRUE(status.has_value() && status->ok());
+        shadow[key] = value;
+        break;
+      }
+      case 1: {  // delete
+        std::optional<Status> status;
+        app->engine().Delete(key, [&](Status s) { status = s; });
+        machine.RunUntilIdle();
+        ASSERT_TRUE(status.has_value());
+        EXPECT_EQ(status->ok(), shadow.contains(key)) << key;
+        shadow.erase(key);
+        break;
+      }
+      case 2: {  // get
+        std::optional<Result<std::vector<uint8_t>>> value;
+        app->engine().Get(key, [&](Result<std::vector<uint8_t>> r) { value = std::move(r); });
+        machine.RunUntilIdle();
+        ASSERT_TRUE(value.has_value());
+        if (shadow.contains(key)) {
+          ASSERT_TRUE(value->ok()) << value->status().ToString();
+          EXPECT_EQ(**value, shadow[key]);
+        } else {
+          EXPECT_EQ(value->status().code(), StatusCode::kNotFound);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(app->engine().index().size(), shadow.size());
+
+  // Crash-restart the engine: the rebuilt index must still match the shadow.
+  app->engine().Stop(Aborted("property restart"));
+  std::optional<Status> restarted;
+  app->engine().Start([&](Status s) { restarted = s; });
+  machine.RunUntilIdle();
+  ASSERT_TRUE(restarted.has_value() && restarted->ok());
+  EXPECT_EQ(app->engine().index().size(), shadow.size());
+  for (const auto& [key, expected] : shadow) {
+    std::optional<Result<std::vector<uint8_t>>> value;
+    app->engine().Get(key, [&](Result<std::vector<uint8_t>> r) { value = std::move(r); });
+    machine.RunUntilIdle();
+    ASSERT_TRUE(value.has_value() && value->ok()) << key;
+    ASSERT_EQ(**value, expected) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvsProperty, ::testing::Values(5, 77));
+
+// --- IOMMU vs flat shadow mapping -------------------------------------------------
+
+using IommuProperty = SeededTest;
+
+TEST_P(IommuProperty, MatchesShadowMapping) {
+  iommu::Iommu unit(DeviceId(1), iommu::TlbConfig{16, 4});
+  auto key = iommu::ProgrammingKey::CreateForTesting();
+  sim::Rng rng(GetParam());
+  std::unordered_map<uint64_t, std::pair<uint64_t, Access>> shadow;  // vpage -> (pframe, access)
+
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t vpage = rng.NextBelow(512);
+    switch (rng.NextBelow(3)) {
+      case 0: {  // map
+        uint64_t pframe = rng.NextBelow(1 << 20);
+        Access access = rng.NextBool(0.5) ? Access::kReadWrite : Access::kRead;
+        Status mapped = unit.Map(key, Pasid(1), vpage, pframe, access);
+        EXPECT_EQ(mapped.ok(), !shadow.contains(vpage));
+        if (mapped.ok()) {
+          shadow[vpage] = {pframe, access};
+        }
+        break;
+      }
+      case 1: {  // unmap
+        Status unmapped = unit.Unmap(key, Pasid(1), vpage);
+        EXPECT_EQ(unmapped.ok(), shadow.contains(vpage));
+        shadow.erase(vpage);
+        break;
+      }
+      case 2: {  // translate (read, then write)
+        auto read = unit.Translate(Pasid(1), VirtAddr(vpage << kPageShift), Access::kRead);
+        auto it = shadow.find(vpage);
+        if (it == shadow.end()) {
+          EXPECT_FALSE(read.ok());
+          break;
+        }
+        ASSERT_TRUE(read.ok());
+        EXPECT_EQ(read->paddr.frame(), it->second.first);
+        auto write = unit.Translate(Pasid(1), VirtAddr(vpage << kPageShift), Access::kWrite);
+        EXPECT_EQ(write.ok(), AccessCovers(it->second.second, Access::kWrite));
+        break;
+      }
+    }
+    ASSERT_EQ(unit.mapped_pages(Pasid(1)), shadow.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IommuProperty, ::testing::Values(13, 21, 100));
+
+}  // namespace
+}  // namespace lastcpu

@@ -1,0 +1,349 @@
+// Unit tests for the discrete-event simulation substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace lastcpu::sim {
+namespace {
+
+TEST(SimTimeTest, ArithmeticAndComparison) {
+  SimTime t0 = SimTime::Zero();
+  SimTime t1 = t0 + Duration::Micros(5);
+  EXPECT_EQ(t1.nanos(), 5000u);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - t0).nanos(), 5000u);
+  EXPECT_EQ(Duration::Millis(1).nanos(), 1'000'000u);
+  EXPECT_EQ(Duration::Seconds(2).nanos(), 2'000'000'000u);
+  EXPECT_EQ((Duration::Micros(3) * 4).nanos(), 12'000u);
+  EXPECT_EQ((Duration::Micros(8) / 2).nanos(), 4'000u);
+}
+
+TEST(SimTimeTest, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::Nanos(42).ToString(), "42ns");
+  EXPECT_EQ(Duration::Micros(150).ToString(), "150.00us");
+  EXPECT_EQ(Duration::Millis(25).ToString(), "25.00ms");
+  EXPECT_EQ(Duration::Seconds(12).ToString(), "12.000s");
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.Schedule(Duration::Micros(3), [&] { order.push_back(3); });
+  simulator.Schedule(Duration::Micros(1), [&] { order.push_back(1); });
+  simulator.Schedule(Duration::Micros(2), [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.Now().nanos(), 3000u);
+  EXPECT_EQ(simulator.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, SimultaneousEventsRunFifo) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.Schedule(Duration::Micros(1), [&order, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(Duration::Micros(1), [&] {
+    ++fired;
+    simulator.Schedule(Duration::Micros(1), [&] { ++fired; });
+  });
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(simulator.Now().nanos(), 2000u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool ran = false;
+  EventId id = simulator.Schedule(Duration::Micros(1), [&] { ran = true; });
+  EXPECT_TRUE(simulator.Cancel(id));
+  EXPECT_FALSE(simulator.Cancel(id));  // double-cancel reports failure
+  simulator.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(simulator.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterRunReturnsFalse) {
+  Simulator simulator;
+  EventId id = simulator.Schedule(Duration::Micros(1), [] {});
+  simulator.Run();
+  EXPECT_FALSE(simulator.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(Duration::Micros(1), [&] { ++fired; });
+  simulator.Schedule(Duration::Micros(10), [&] { ++fired; });
+  simulator.RunUntil(SimTime::FromNanos(5000));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(simulator.Now().nanos(), 5000u);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator simulator;
+  simulator.RunFor(Duration::Micros(7));
+  EXPECT_EQ(simulator.Now().nanos(), 7000u);
+  simulator.RunFor(Duration::Micros(3));
+  EXPECT_EQ(simulator.Now().nanos(), 10000u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(Duration::Micros(1), [&] { ++fired; });
+  simulator.Schedule(Duration::Micros(2), [&] { ++fired; });
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_FALSE(simulator.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator simulator;
+  simulator.Schedule(Duration::Micros(1), [] {});
+  EventId id = simulator.Schedule(Duration::Micros(2), [] {});
+  EXPECT_EQ(simulator.pending_events(), 2u);
+  simulator.Cancel(id);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(1234);
+  Rng b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(42);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.NextInRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(99);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.NextExponential(10.0);
+  }
+  double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 10.0, 0.3);
+}
+
+TEST(RngTest, FillProducesUnbiasedBytes) {
+  Rng rng(5);
+  std::vector<uint8_t> buf(100000);
+  rng.Fill(buf);
+  double sum = 0;
+  for (uint8_t b : buf) {
+    sum += b;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(buf.size()), 127.5, 2.0);
+}
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  Rng rng(2024);
+  ZipfGenerator zipf(1000, 0.99);
+  std::vector<int> hits(1000, 0);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    ++hits[v];
+  }
+  // Rank 0 must dominate, and the head must hold most of the mass.
+  EXPECT_GT(hits[0], hits[100]);
+  int head = 0;
+  for (int i = 0; i < 100; ++i) {
+    head += hits[i];
+  }
+  EXPECT_GT(head, 50000);
+}
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(uint64_t{1000});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Bucket representative is within ~3% of the true value.
+  EXPECT_NEAR(static_cast<double>(h.p50()), 1000.0, 35.0);
+}
+
+TEST(HistogramTest, QuantilesOfUniformRamp) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(static_cast<double>(h.p50()), 5000.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 9900.0, 400.0);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10000u);
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
+}
+
+TEST(HistogramTest, RecordsDurations) {
+  Histogram h;
+  h.Record(Duration::Micros(5));
+  EXPECT_EQ(h.max(), 5000u);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(uint64_t{10});
+  b.Record(uint64_t{1000000});
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(uint64_t{5});
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX / 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+}
+
+TEST(StatsRegistryTest, CountersAndHistogramsByName) {
+  StatsRegistry stats;
+  stats.GetCounter("ops").Increment();
+  stats.GetCounter("ops").Increment(4);
+  stats.GetHistogram("latency").Record(uint64_t{100});
+  EXPECT_EQ(stats.GetCounter("ops").value(), 5u);
+  EXPECT_EQ(stats.GetHistogram("latency").count(), 1u);
+  std::string report = stats.Report("  ");
+  EXPECT_NE(report.find("ops: 5"), std::string::npos);
+  EXPECT_NE(report.find("latency"), std::string::npos);
+  stats.Reset();
+  EXPECT_EQ(stats.GetCounter("ops").value(), 0u);
+}
+
+TEST(TraceLogTest, DisabledByDefault) {
+  TraceLog trace;
+  trace.Emit(SimTime::Zero(), "nic", "open", "");
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(TraceLogTest, RecordsWhenEnabled) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(SimTime::FromNanos(10), "nic", "open", "file=kv.log");
+  ASSERT_EQ(trace.records().size(), 1u);
+  EXPECT_EQ(trace.records()[0].component, "nic");
+  EXPECT_EQ(trace.records()[0].detail, "file=kv.log");
+}
+
+TEST(TraceLogTest, FindByEventFilters) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(SimTime::Zero(), "a", "x", "");
+  trace.Emit(SimTime::Zero(), "b", "y", "");
+  trace.Emit(SimTime::Zero(), "c", "x", "");
+  EXPECT_EQ(trace.FindByEvent("x").size(), 2u);
+  EXPECT_EQ(trace.FindByEvent("z").size(), 0u);
+}
+
+TEST(TraceLogTest, ContainsSequenceRespectsOrder) {
+  TraceLog trace;
+  trace.Enable();
+  for (const char* e : {"discover", "offer", "open", "alloc", "map", "grant"}) {
+    trace.Emit(SimTime::Zero(), "sys", e, "");
+  }
+  EXPECT_TRUE(trace.ContainsSequence({"discover", "open", "grant"}));
+  EXPECT_FALSE(trace.ContainsSequence({"open", "discover"}));
+  EXPECT_TRUE(trace.ContainsSequence({}));
+}
+
+TEST(TraceLogTest, DumpIsHumanReadable) {
+  TraceLog trace;
+  trace.Enable();
+  trace.Emit(SimTime::FromNanos(1500), "nic", "open", "f");
+  std::ostringstream os;
+  trace.Dump(os);
+  EXPECT_NE(os.str().find("nic"), std::string::npos);
+  EXPECT_NE(os.str().find("open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lastcpu::sim

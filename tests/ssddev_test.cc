@@ -1,0 +1,766 @@
+// Smart-SSD tests: NAND constraints and timing, FTL mapping + GC + write
+// amplification, FlashFs semantics including ACLs and sparse files, and the
+// full Figure-2 file-service session over virtqueues, end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "src/memdev/memory_controller.h"
+#include "src/ssddev/file_client.h"
+#include "src/ssddev/flash_fs.h"
+#include "src/ssddev/ftl.h"
+#include "src/ssddev/nand.h"
+#include "src/ssddev/smart_ssd.h"
+#include "tests/test_util.h"
+
+namespace lastcpu::ssddev {
+namespace {
+
+using testutil::Harness;
+using testutil::TestDevice;
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> list) { return list; }
+
+// --- NAND -------------------------------------------------------------------
+
+class NandTest : public ::testing::Test {
+ protected:
+  sim::Simulator simulator_;
+};
+
+TEST_F(NandTest, ProgramThenReadBack) {
+  NandArray nand(&simulator_);
+  std::optional<std::vector<uint8_t>> read;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({1, 2, 3}), [](Status s) { ASSERT_TRUE(s.ok()); });
+  nand.ReadPage(Ppa{0, 0, 0}, [&](Result<std::vector<uint8_t>> r) {
+    ASSERT_TRUE(r.ok());
+    read = *r;
+  });
+  simulator_.Run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, Bytes({1, 2, 3}));
+}
+
+TEST_F(NandTest, ReadOfErasedPageFails) {
+  NandArray nand(&simulator_);
+  std::optional<Status> status;
+  nand.ReadPage(Ppa{0, 0, 5}, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  simulator_.Run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NandTest, ProgramOfWrittenPageFails) {
+  NandArray nand(&simulator_);
+  std::optional<Status> second;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({1}), [](Status s) { ASSERT_TRUE(s.ok()); });
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({2}), [&](Status s) { second = s; });
+  simulator_.Run();
+  EXPECT_EQ(second->code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(NandTest, EraseEnablesReprogram) {
+  NandArray nand(&simulator_);
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({1}), [](Status s) { ASSERT_TRUE(s.ok()); });
+  nand.EraseBlock(0, 0, [](Status s) { ASSERT_TRUE(s.ok()); });
+  bool ok = false;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({2}), [&](Status s) { ok = s.ok(); });
+  simulator_.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(nand.EraseCount(0, 0), 1u);
+}
+
+TEST_F(NandTest, OperationsTakeAsymmetricTime) {
+  NandArray nand(&simulator_);
+  sim::SimTime read_done;
+  sim::SimTime program_done;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({1}), [&](Status) { program_done = simulator_.Now(); });
+  simulator_.Run();
+  sim::SimTime start = simulator_.Now();
+  nand.ReadPage(Ppa{0, 0, 0}, [&](Result<std::vector<uint8_t>>) { read_done = simulator_.Now(); });
+  simulator_.Run();
+  EXPECT_GT(program_done.nanos(), (read_done - start).nanos());
+}
+
+TEST_F(NandTest, DiesOperateInParallel) {
+  NandArray nand(&simulator_);
+  // Two programs on different dies overlap; two on the same die serialize.
+  sim::SimTime same_die_done;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({1}), [](Status) {});
+  nand.ProgramPage(Ppa{0, 0, 1}, Bytes({2}), [&](Status) { same_die_done = simulator_.Now(); });
+  simulator_.Run();
+
+  sim::Simulator simulator2;
+  NandArray nand2(&simulator2);
+  sim::SimTime cross_die_done;
+  nand2.ProgramPage(Ppa{0, 0, 0}, Bytes({1}), [](Status) {});
+  nand2.ProgramPage(Ppa{1, 0, 0}, Bytes({2}), [&](Status) { cross_die_done = simulator2.Now(); });
+  simulator2.Run();
+  EXPECT_LT(cross_die_done.nanos(), same_die_done.nanos());
+}
+
+TEST_F(NandTest, InjectedReadErrorsSurface) {
+  NandArray nand(&simulator_, NandGeometry{}, NandTiming{}, /*seed=*/3);
+  nand.SetReadErrorRate(1.0);
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({1}), [](Status s) { ASSERT_TRUE(s.ok()); });
+  std::optional<Status> status;
+  nand.ReadPage(Ppa{0, 0, 0}, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  simulator_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kDataLoss);
+}
+
+TEST_F(NandTest, OutOfRangeAddressRejected) {
+  NandArray nand(&simulator_);
+  std::optional<Status> status;
+  nand.ReadPage(Ppa{99, 0, 0}, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  simulator_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kInvalidArgument);
+}
+
+// --- FTL ---------------------------------------------------------------------
+
+class FtlTest : public ::testing::Test {
+ protected:
+  FtlTest() : nand_(&simulator_, SmallGeometry()), ftl_(&simulator_, &nand_) {}
+
+  static NandGeometry SmallGeometry() {
+    NandGeometry g;
+    g.dies = 2;
+    g.blocks_per_die = 8;
+    g.pages_per_block = 8;
+    return g;
+  }
+
+  std::vector<uint8_t> PageOf(uint8_t fill) {
+    return std::vector<uint8_t>(nand_.geometry().page_bytes, fill);
+  }
+
+  void WriteSync(uint64_t lpn, uint8_t fill) {
+    bool done = false;
+    ftl_.Write(lpn, PageOf(fill), [&](Status s) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      done = true;
+    });
+    simulator_.Run();
+    ASSERT_TRUE(done);
+  }
+
+  std::vector<uint8_t> ReadSync(uint64_t lpn) {
+    std::vector<uint8_t> out;
+    ftl_.Read(lpn, [&](Result<std::vector<uint8_t>> r) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      out = *r;
+    });
+    simulator_.Run();
+    return out;
+  }
+
+  sim::Simulator simulator_;
+  NandArray nand_;
+  Ftl ftl_;
+};
+
+TEST_F(FtlTest, CapacityReflectsOverProvisioning) {
+  EXPECT_EQ(ftl_.logical_pages(),
+            static_cast<uint64_t>(static_cast<double>(SmallGeometry().total_pages()) * 0.75));
+}
+
+TEST_F(FtlTest, WriteReadRoundTrip) {
+  WriteSync(5, 0xAB);
+  EXPECT_EQ(ReadSync(5), PageOf(0xAB));
+  EXPECT_TRUE(ftl_.IsMapped(5));
+  EXPECT_FALSE(ftl_.IsMapped(6));
+}
+
+TEST_F(FtlTest, OverwriteGoesOutOfPlace) {
+  WriteSync(5, 0x11);
+  WriteSync(5, 0x22);
+  EXPECT_EQ(ReadSync(5), PageOf(0x22));
+  // Two NAND programs for one logical page.
+  EXPECT_EQ(nand_.stats().GetCounter("programs").value(), 2u);
+}
+
+TEST_F(FtlTest, UnwrittenReadFails) {
+  std::optional<Status> status;
+  ftl_.Read(7, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  simulator_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kNotFound);
+}
+
+TEST_F(FtlTest, TrimUnmaps) {
+  WriteSync(5, 0xAB);
+  ftl_.Trim(5);
+  EXPECT_FALSE(ftl_.IsMapped(5));
+  std::optional<Status> status;
+  ftl_.Read(5, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  simulator_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kNotFound);
+}
+
+TEST_F(FtlTest, SustainedRandomOverwriteTriggersGcAndSurvives) {
+  // Random overwrites over ~90% of the logical space leave victim blocks
+  // holding a mix of valid and invalid pages, so GC must relocate live data
+  // (write amplification > 1) and every page must survive intact.
+  uint64_t working_set = ftl_.logical_pages() * 9 / 10;
+  std::map<uint64_t, uint8_t> expected;
+  sim::Rng rng(42);
+  for (int i = 0; i < 1500; ++i) {
+    uint64_t lpn = rng.NextBelow(working_set);
+    auto fill = static_cast<uint8_t>(rng.NextBelow(256));
+    WriteSync(lpn, fill);
+    expected[lpn] = fill;
+  }
+  EXPECT_GT(ftl_.gc_runs(), 0u);
+  EXPECT_GT(ftl_.WriteAmplification(), 1.0);
+  EXPECT_GT(ftl_.stats().GetCounter("gc_relocations").value(), 0u);
+  for (const auto& [lpn, fill] : expected) {
+    ASSERT_EQ(ReadSync(lpn), PageOf(fill)) << "lpn " << lpn;
+  }
+}
+
+TEST_F(FtlTest, WriteAmplificationIsOneWithoutGc) {
+  WriteSync(0, 1);
+  WriteSync(1, 2);
+  EXPECT_DOUBLE_EQ(ftl_.WriteAmplification(), 1.0);
+}
+
+TEST_F(FtlTest, ReadCacheServesHotPages) {
+  WriteSync(5, 0xAB);
+  EXPECT_EQ(ReadSync(5), PageOf(0xAB));  // miss, fills cache
+  uint64_t nand_reads = nand_.stats().GetCounter("reads").value();
+  EXPECT_EQ(ReadSync(5), PageOf(0xAB));  // hit: no NAND access
+  EXPECT_EQ(nand_.stats().GetCounter("reads").value(), nand_reads);
+  EXPECT_GT(ftl_.cache_hits(), 0u);
+}
+
+TEST_F(FtlTest, CacheInvalidatedOnOverwriteAndTrim) {
+  WriteSync(5, 0x11);
+  EXPECT_EQ(ReadSync(5), PageOf(0x11));  // cached
+  WriteSync(5, 0x22);
+  EXPECT_EQ(ReadSync(5), PageOf(0x22));  // must not serve the stale copy
+  ftl_.Trim(5);
+  std::optional<Status> status;
+  ftl_.Read(5, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  simulator_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kNotFound);
+}
+
+TEST_F(FtlTest, ReadRacingWriteNeverPoisonsCache) {
+  // Regression: a read that starts inside a write's program window walks the
+  // old mapping; its cache fill must not survive the write's commit.
+  WriteSync(5, 0x11);
+  bool wrote = false;
+  ftl_.Write(5, PageOf(0x22), [&](Status s) { wrote = s.ok(); });
+  // Racing read, issued in the same instant (the old data is still mapped).
+  ftl_.Read(5, [](Result<std::vector<uint8_t>>) {});
+  simulator_.Run();
+  ASSERT_TRUE(wrote);
+  // Both the cached and uncached paths must now see the new data.
+  EXPECT_EQ(ReadSync(5), PageOf(0x22));
+  EXPECT_EQ(ReadSync(5), PageOf(0x22));
+}
+
+TEST_F(FtlTest, CacheEvictsLruUnderPressure) {
+  sim::Simulator simulator;
+  NandArray nand(&simulator, SmallGeometry());
+  FtlConfig config;
+  config.read_cache_pages = 2;
+  Ftl small_cache(&simulator, &nand, config);
+  auto page = [&](uint8_t fill) {
+    return std::vector<uint8_t>(nand.geometry().page_bytes, fill);
+  };
+  for (uint64_t lpn = 0; lpn < 3; ++lpn) {
+    small_cache.Write(lpn, page(static_cast<uint8_t>(lpn)), [](Status s) {
+      ASSERT_TRUE(s.ok());
+    });
+    simulator.Run();
+  }
+  for (uint64_t lpn = 0; lpn < 3; ++lpn) {
+    small_cache.Read(lpn, [](Result<std::vector<uint8_t>> r) { ASSERT_TRUE(r.ok()); });
+    simulator.Run();
+  }
+  // Only 2 entries fit; re-reading the first is a miss again.
+  uint64_t misses = small_cache.cache_misses();
+  small_cache.Read(0, [](Result<std::vector<uint8_t>> r) { ASSERT_TRUE(r.ok()); });
+  simulator.Run();
+  EXPECT_EQ(small_cache.cache_misses(), misses + 1);
+}
+
+TEST_F(FtlTest, OutOfRangeLpnRejected) {
+  std::optional<Status> status;
+  ftl_.Write(ftl_.logical_pages(), PageOf(1), [&](Status s) { status = s; });
+  simulator_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kInvalidArgument);
+}
+
+// --- FlashFs ------------------------------------------------------------------
+
+class FlashFsTest : public ::testing::Test {
+ protected:
+  FlashFsTest() : nand_(&simulator_), ftl_(&simulator_, &nand_), fs_(&ftl_) {}
+
+  void WriteSync(const std::string& name, uint64_t offset, std::vector<uint8_t> data) {
+    bool done = false;
+    fs_.Write(name, offset, std::move(data), [&](Status s) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      done = true;
+    });
+    simulator_.Run();
+    ASSERT_TRUE(done);
+  }
+
+  std::vector<uint8_t> ReadSync(const std::string& name, uint64_t offset, uint64_t length) {
+    std::vector<uint8_t> out;
+    bool done = false;
+    fs_.Read(name, offset, length, [&](Result<std::vector<uint8_t>> r) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      out = *r;
+      done = true;
+    });
+    simulator_.Run();
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  sim::Simulator simulator_;
+  NandArray nand_;
+  Ftl ftl_;
+  FlashFs fs_;
+};
+
+TEST_F(FlashFsTest, CreateWriteReadDelete) {
+  ASSERT_TRUE(fs_.Create("kv.log").ok());
+  EXPECT_TRUE(fs_.Exists("kv.log"));
+  WriteSync("kv.log", 0, Bytes({10, 20, 30}));
+  EXPECT_EQ(ReadSync("kv.log", 0, 3), Bytes({10, 20, 30}));
+  EXPECT_EQ(fs_.Stat("kv.log")->size, 3u);
+  ASSERT_TRUE(fs_.Delete("kv.log").ok());
+  EXPECT_FALSE(fs_.Exists("kv.log"));
+}
+
+TEST_F(FlashFsTest, DuplicateCreateRejected) {
+  ASSERT_TRUE(fs_.Create("a").ok());
+  EXPECT_EQ(fs_.Create("a").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(FlashFsTest, MissingFileOperationsFail) {
+  EXPECT_EQ(fs_.Delete("nope").code(), StatusCode::kNotFound);
+  EXPECT_FALSE(fs_.Stat("nope").ok());
+  std::optional<Status> status;
+  fs_.Read("nope", 0, 1, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  simulator_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kNotFound);
+}
+
+TEST_F(FlashFsTest, CrossPageWriteAndRead) {
+  ASSERT_TRUE(fs_.Create("big").ok());
+  std::vector<uint8_t> data(10000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i % 251);
+  }
+  WriteSync("big", 0, data);
+  EXPECT_EQ(ReadSync("big", 0, data.size()), data);
+  // Unaligned slice in the middle.
+  std::vector<uint8_t> slice(ReadSync("big", 4000, 300));
+  ASSERT_EQ(slice.size(), 300u);
+  for (size_t i = 0; i < slice.size(); ++i) {
+    EXPECT_EQ(slice[i], data[4000 + i]);
+  }
+}
+
+TEST_F(FlashFsTest, PartialOverwritePreservesNeighbors) {
+  ASSERT_TRUE(fs_.Create("f").ok());
+  WriteSync("f", 0, std::vector<uint8_t>(100, 0xAA));
+  WriteSync("f", 40, Bytes({1, 2, 3}));
+  auto out = ReadSync("f", 0, 100);
+  EXPECT_EQ(out[39], 0xAA);
+  EXPECT_EQ(out[40], 1);
+  EXPECT_EQ(out[42], 3);
+  EXPECT_EQ(out[43], 0xAA);
+}
+
+TEST_F(FlashFsTest, SparseGapReadsAsZeros) {
+  ASSERT_TRUE(fs_.Create("sparse").ok());
+  WriteSync("sparse", 3 * kPageSize, Bytes({7}));
+  auto out = ReadSync("sparse", kPageSize, 16);
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+  EXPECT_EQ(fs_.Stat("sparse")->size, 3 * kPageSize + 1);
+}
+
+TEST_F(FlashFsTest, ReadPastEofClamps) {
+  ASSERT_TRUE(fs_.Create("f").ok());
+  WriteSync("f", 0, Bytes({1, 2, 3}));
+  EXPECT_EQ(ReadSync("f", 2, 100), Bytes({3}));
+  EXPECT_TRUE(ReadSync("f", 50, 10).empty());
+}
+
+TEST_F(FlashFsTest, AppendReportsOffsets) {
+  ASSERT_TRUE(fs_.Create("log").ok());
+  std::vector<uint64_t> offsets;
+  fs_.Append("log", Bytes({1, 1}), [&](Result<uint64_t> r) {
+    ASSERT_TRUE(r.ok());
+    offsets.push_back(*r);
+  });
+  simulator_.Run();
+  fs_.Append("log", Bytes({2, 2, 2}), [&](Result<uint64_t> r) {
+    ASSERT_TRUE(r.ok());
+    offsets.push_back(*r);
+  });
+  simulator_.Run();
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 2u);
+  EXPECT_EQ(ReadSync("log", 0, 5), Bytes({1, 1, 2, 2, 2}));
+}
+
+TEST_F(FlashFsTest, ConcurrentAppendsGetDisjointRanges) {
+  ASSERT_TRUE(fs_.Create("log").ok());
+  std::vector<uint64_t> offsets;
+  for (int i = 0; i < 4; ++i) {
+    fs_.Append("log", std::vector<uint8_t>(10, static_cast<uint8_t>(i)),
+               [&](Result<uint64_t> r) {
+                 ASSERT_TRUE(r.ok());
+                 offsets.push_back(*r);
+               });
+  }
+  simulator_.Run();
+  ASSERT_EQ(offsets.size(), 4u);
+  std::sort(offsets.begin(), offsets.end());
+  for (size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(offsets[i], i * 10);
+  }
+  EXPECT_EQ(fs_.Stat("log")->size, 40u);
+}
+
+TEST_F(FlashFsTest, DeleteRecyclesPages) {
+  ASSERT_TRUE(fs_.Create("f").ok());
+  WriteSync("f", 0, std::vector<uint8_t>(8 * kPageSize, 1));
+  uint64_t free_after_write = fs_.free_pages();
+  ASSERT_TRUE(fs_.Delete("f").ok());
+  EXPECT_EQ(fs_.free_pages(), free_after_write + 8);
+}
+
+TEST_F(FlashFsTest, AclGovernsAccess) {
+  FileAcl acl;
+  acl.owner = "alice";
+  acl.readers = {"bob"};
+  ASSERT_TRUE(fs_.Create("secret", acl).ok());
+  const FileAcl stored = fs_.Stat("secret")->acl;
+  EXPECT_TRUE(stored.MayRead("alice"));
+  EXPECT_TRUE(stored.MayRead("bob"));
+  EXPECT_FALSE(stored.MayRead("mallory"));
+  EXPECT_TRUE(stored.MayWrite("alice"));
+  EXPECT_FALSE(stored.MayWrite("bob"));
+}
+
+// --- Full file-service session (Figure 2 end to end) --------------------------
+
+class FileSessionTest : public ::testing::Test {
+ protected:
+  FileSessionTest()
+      : controller_(DeviceId(3), harness_.Context(), &harness_.memory),
+        ssd_(DeviceId(2), harness_.Context(), NoAuthConfig()),
+        nic_(DeviceId(1), "nic", harness_.Context()),
+        client_(&nic_, Pasid(7)) {
+    nic_.doorbell_handler = [this](DeviceId from, uint64_t value) {
+      client_.HandleDoorbell(from, value);
+    };
+    ssd_.ProvisionFile("kv.log", {});
+    controller_.PowerOn();
+    ssd_.PowerOn();
+    nic_.PowerOn();
+    harness_.simulator.Run();
+  }
+
+  static SmartSsdConfig NoAuthConfig() {
+    SmartSsdConfig config;
+    config.host_auth_service = false;
+    return config;
+  }
+
+  Status OpenSync(const std::string& file, uint64_t token = 0) {
+    std::optional<Status> status;
+    client_.Open(file, token, [&](Status s) { status = s; });
+    harness_.simulator.Run();
+    LASTCPU_CHECK(status.has_value(), "open never completed");
+    return *status;
+  }
+
+  Harness harness_;
+  memdev::MemoryController controller_;
+  SmartSsd ssd_;
+  TestDevice nic_;
+  FileClient client_;
+};
+
+TEST_F(FileSessionTest, OpenEstablishesSharedSession) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  EXPECT_TRUE(client_.ready());
+  EXPECT_EQ(client_.provider(), DeviceId(2));
+  // Shared memory is mapped into both devices' IOMMUs under the app PASID.
+  EXPECT_GT(nic_.iommu().mapped_pages(Pasid(7)), 0u);
+  EXPECT_EQ(ssd_.iommu().mapped_pages(Pasid(7)), nic_.iommu().mapped_pages(Pasid(7)));
+}
+
+TEST_F(FileSessionTest, OpenOfMissingFileFails) {
+  Status status = OpenSync("nope.log");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(client_.ready());
+}
+
+TEST_F(FileSessionTest, WriteThenReadThroughService) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  std::optional<Status> wrote;
+  client_.WriteAt(0, Bytes({5, 6, 7, 8}), [&](Status s) { wrote = s; });
+  harness_.simulator.Run();
+  ASSERT_TRUE(wrote.has_value());
+  ASSERT_TRUE(wrote->ok()) << wrote->ToString();
+
+  std::optional<std::vector<uint8_t>> read;
+  client_.ReadAt(1, 2, [&](Result<std::vector<uint8_t>> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    read = *r;
+  });
+  harness_.simulator.Run();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, Bytes({6, 7}));
+}
+
+TEST_F(FileSessionTest, AppendAndStat) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  std::optional<uint64_t> at;
+  client_.Append(Bytes({1, 2, 3}), [&](Result<uint64_t> r) {
+    ASSERT_TRUE(r.ok());
+    at = *r;
+  });
+  harness_.simulator.Run();
+  EXPECT_EQ(at, 0u);
+  client_.Append(Bytes({4}), [&](Result<uint64_t> r) { at = *r; });
+  harness_.simulator.Run();
+  EXPECT_EQ(at, 3u);
+  std::optional<uint64_t> size;
+  client_.Stat([&](Result<uint64_t> r) { size = *r; });
+  harness_.simulator.Run();
+  EXPECT_EQ(size, 4u);
+}
+
+TEST_F(FileSessionTest, ManyPipelinedRequests) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  std::optional<Status> wrote;
+  client_.WriteAt(0, std::vector<uint8_t>(1000, 0x5A), [&](Status s) { wrote = s; });
+  harness_.simulator.Run();
+  ASSERT_TRUE(wrote->ok());
+  // Issue a full window of concurrent reads (half the queue depth, since
+  // each request consumes a 2-descriptor chain).
+  int completed = 0;
+  for (int i = 0; i < 32; ++i) {
+    client_.ReadAt(static_cast<uint64_t>(i) * 10, 10, [&](Result<std::vector<uint8_t>> r) {
+      ASSERT_TRUE(r.ok());
+      ++completed;
+    });
+  }
+  harness_.simulator.Run();
+  EXPECT_EQ(completed, 32);
+  EXPECT_EQ(ssd_.file_service().requests_served(), 33u);  // 1 write + 32 reads
+}
+
+TEST_F(FileSessionTest, TraceShowsFigure2Sequence) {
+  harness_.trace.Enable();
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  // The canonical Figure-2 order: discovery broadcast delivered, open,
+  // allocation mapped, grant mapped, queue attached.
+  EXPECT_TRUE(harness_.trace.ContainsSequence({"discover-hit", "open", "alloc", "map", "grant",
+                                               "map", "queue-attached"}));
+}
+
+TEST_F(FileSessionTest, CloseFreesSessionMemory) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  ASSERT_GT(controller_.AllocatedBytes(Pasid(7)), 0u);
+  std::optional<Status> closed;
+  client_.Close([&](Status s) { closed = s; });
+  harness_.simulator.Run();
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_TRUE(closed->ok()) << closed->ToString();
+  EXPECT_EQ(controller_.AllocatedBytes(Pasid(7)), 0u);
+  EXPECT_EQ(nic_.iommu().mapped_pages(Pasid(7)), 0u);
+  EXPECT_EQ(ssd_.iommu().mapped_pages(Pasid(7)), 0u);
+}
+
+TEST_F(FileSessionTest, ResourceFailureNotifiesConsumer) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  ssd_.file_service().InjectResourceFailure(client_.instance(), "media error");
+  harness_.simulator.Run();
+  bool notified = false;
+  for (const auto& m : nic_.unhandled) {
+    if (m.Is<proto::ResourceFailed>()) {
+      notified = true;
+      EXPECT_EQ(m.As<proto::ResourceFailed>().reason, "media error");
+    }
+  }
+  EXPECT_TRUE(notified);
+}
+
+TEST_F(FileSessionTest, RemoteCreateDeleteAndList) {
+  // Create a file remotely, list it, write/read through a session, delete it.
+  std::optional<Status> created;
+  CreateRemoteFile(&nic_, ssd_.id(), "fresh.dat", 0, [&](Status s) { created = s; });
+  harness_.simulator.Run();
+  ASSERT_TRUE(created.has_value() && created->ok());
+  EXPECT_TRUE(ssd_.fs().Exists("fresh.dat"));
+
+  // Duplicate create fails.
+  std::optional<Status> duplicate;
+  CreateRemoteFile(&nic_, ssd_.id(), "fresh.dat", 0, [&](Status s) { duplicate = s; });
+  harness_.simulator.Run();
+  EXPECT_EQ(duplicate->code(), StatusCode::kAlreadyExists);
+
+  std::optional<Result<std::vector<std::string>>> names;
+  ListRemoteFiles(&nic_, ssd_.id(), 0, [&](Result<std::vector<std::string>> r) {
+    names = std::move(r);
+  });
+  harness_.simulator.Run();
+  ASSERT_TRUE(names.has_value() && names->ok());
+  EXPECT_NE(std::find((*names)->begin(), (*names)->end(), "fresh.dat"), (*names)->end());
+
+  std::optional<Status> deleted;
+  DeleteRemoteFile(&nic_, ssd_.id(), "fresh.dat", 0, [&](Status s) { deleted = s; });
+  harness_.simulator.Run();
+  ASSERT_TRUE(deleted.has_value() && deleted->ok());
+  EXPECT_FALSE(ssd_.fs().Exists("fresh.dat"));
+}
+
+TEST_F(FileSessionTest, DeleteWithOpenSessionNotifiesConsumer) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  // Another device (the memory controller's id works as "someone else")
+  // deletes the file out from under the open session.
+  std::optional<Status> deleted;
+  DeleteRemoteFile(&nic_, ssd_.id(), "kv.log", 0, [&](Status s) { deleted = s; });
+  harness_.simulator.Run();
+  ASSERT_TRUE(deleted.has_value() && deleted->ok());
+  // The session holder received a ResourceFailed notice (Sec. 4).
+  bool notified = false;
+  for (const auto& m : nic_.unhandled) {
+    if (m.Is<proto::ResourceFailed>()) {
+      notified = true;
+    }
+  }
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(ssd_.file_service().instance_count(), 0u);
+}
+
+TEST(FileAdminAuthTest, AdminOpsAreTokenGated) {
+  Harness harness;
+  memdev::MemoryController controller(DeviceId(3), harness.Context(), &harness.memory);
+  SmartSsd ssd(DeviceId(2), harness.Context());  // hosts auth
+  TestDevice nic(DeviceId(1), "nic", harness.Context());
+  ssd.auth()->AddUser("alice", "pw");
+  ssd.auth()->AddUser("bob", "pw");
+  controller.PowerOn();
+  ssd.PowerOn();
+  nic.PowerOn();
+  harness.simulator.Run();
+
+  auto login = [&](const std::string& user) {
+    uint64_t token = 0;
+    nic.SendRequest(DeviceId(2), proto::AuthRequest{user, "pw"},
+                    [&](const proto::Message& m) { token = m.As<proto::AuthResponse>().token; });
+    harness.simulator.Run();
+    return token;
+  };
+  uint64_t alice = login("alice");
+  uint64_t bob = login("bob");
+
+  // Unauthenticated create is refused; alice's create succeeds and she owns
+  // the file.
+  std::optional<Status> anonymous;
+  CreateRemoteFile(&nic, ssd.id(), "alice.dat", 0xBAD, [&](Status s) { anonymous = s; });
+  harness.simulator.Run();
+  EXPECT_EQ(anonymous->code(), StatusCode::kPermissionDenied);
+
+  std::optional<Status> created;
+  CreateRemoteFile(&nic, ssd.id(), "alice.dat", alice, [&](Status s) { created = s; });
+  harness.simulator.Run();
+  ASSERT_TRUE(created->ok());
+  EXPECT_EQ(ssd.fs().Stat("alice.dat")->acl.owner, "alice");
+
+  // Bob cannot delete alice's file; alice can.
+  std::optional<Status> bob_delete;
+  DeleteRemoteFile(&nic, ssd.id(), "alice.dat", bob, [&](Status s) { bob_delete = s; });
+  harness.simulator.Run();
+  EXPECT_EQ(bob_delete->code(), StatusCode::kPermissionDenied);
+  std::optional<Status> alice_delete;
+  DeleteRemoteFile(&nic, ssd.id(), "alice.dat", alice, [&](Status s) { alice_delete = s; });
+  harness.simulator.Run();
+  EXPECT_TRUE(alice_delete->ok());
+
+  // Listing requires a live token too.
+  std::optional<Result<std::vector<std::string>>> denied;
+  ListRemoteFiles(&nic, ssd.id(), 0xBAD, [&](Result<std::vector<std::string>> r) {
+    denied = std::move(r);
+  });
+  harness.simulator.Run();
+  ASSERT_TRUE(denied.has_value());
+  EXPECT_EQ(denied->status().code(), StatusCode::kPermissionDenied);
+}
+
+// Auth-gated sessions.
+TEST(FileSessionAuthTest, TokenRequiredWhenAuthHosted) {
+  Harness harness;
+  memdev::MemoryController controller(DeviceId(3), harness.Context(), &harness.memory);
+  SmartSsd ssd(DeviceId(2), harness.Context());  // hosts auth
+  TestDevice nic(DeviceId(1), "nic", harness.Context());
+  FileAcl acl;
+  acl.owner = "operator";
+  ssd.ProvisionFile("secret.log", {1, 2, 3}, acl);
+  ssd.auth()->AddUser("operator", "hunter2");
+  controller.PowerOn();
+  ssd.PowerOn();
+  nic.PowerOn();
+  harness.simulator.Run();
+
+  FileClient client(&nic, Pasid(7));
+  nic.doorbell_handler = [&](DeviceId from, uint64_t value) {
+    client.HandleDoorbell(from, value);
+  };
+
+  // Without a token: denied.
+  std::optional<Status> denied;
+  client.Open("secret.log", 0, [&](Status s) { denied = s; });
+  harness.simulator.Run();
+  ASSERT_TRUE(denied.has_value());
+  EXPECT_EQ(denied->code(), StatusCode::kPermissionDenied);
+
+  // Login, then open with the token: allowed.
+  std::optional<uint64_t> token;
+  nic.SendRequest(DeviceId(2), proto::AuthRequest{"operator", "hunter2"},
+                  [&](const proto::Message& m) {
+                    ASSERT_TRUE(m.Is<proto::AuthResponse>());
+                    token = m.As<proto::AuthResponse>().token;
+                  });
+  harness.simulator.Run();
+  ASSERT_TRUE(token.has_value());
+
+  FileClient client2(&nic, Pasid(7));
+  nic.doorbell_handler = [&](DeviceId from, uint64_t value) {
+    client2.HandleDoorbell(from, value);
+  };
+  std::optional<Status> opened;
+  client2.Open("secret.log", *token, [&](Status s) { opened = s; });
+  harness.simulator.Run();
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->ok()) << opened->ToString();
+
+  // Wrong password never yields a token.
+  std::optional<StatusCode> bad;
+  nic.SendRequest(DeviceId(2), proto::AuthRequest{"operator", "wrong"},
+                  [&](const proto::Message& m) { bad = m.As<proto::ErrorResponse>().code; });
+  harness.simulator.Run();
+  EXPECT_EQ(bad, StatusCode::kPermissionDenied);
+}
+
+}  // namespace
+}  // namespace lastcpu::ssddev

@@ -1,0 +1,127 @@
+// Shared scaffolding for integration-level tests: a minimal machine harness
+// (simulator + memory + fabric + bus) and a scriptable test device.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/bus/system_bus.h"
+#include "src/dev/device.h"
+#include "src/dev/service.h"
+#include "src/fabric/fabric.h"
+#include "src/mem/physical_memory.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace lastcpu::testutil {
+
+// Owns the substrate one test machine needs.
+class Harness {
+ public:
+  explicit Harness(uint64_t memory_bytes = 64 << 20)
+      : memory(memory_bytes), fabric(&simulator, &memory), bus(&simulator, {}, &trace) {}
+
+  dev::DeviceContext Context() {
+    return dev::DeviceContext{&simulator, &bus, &fabric, &trace};
+  }
+
+  sim::Simulator simulator;
+  sim::TraceLog trace;
+  mem::PhysicalMemory memory;
+  fabric::Fabric fabric;
+  bus::SystemBus bus;
+};
+
+// A trivially-openable service for exercising the framework.
+class EchoService : public dev::Service {
+ public:
+  EchoService(DeviceId provider, std::string name, uint32_t max_instances = 0,
+              uint64_t required_token = 0)
+      : Service(proto::ServiceDescriptor{provider, proto::ServiceType::kCompute, std::move(name),
+                                         max_instances}),
+        required_token_(required_token) {}
+
+  bool Matches(const proto::DiscoverRequest& query) const override {
+    if (query.type != descriptor().type) {
+      return false;
+    }
+    return query.resource.empty() || query.resource == descriptor().name;
+  }
+
+  Result<proto::OpenResponse> Open(DeviceId client, const proto::OpenRequest& request) override {
+    if (required_token_ != 0 && request.auth_token != required_token_) {
+      return PermissionDenied("bad token");
+    }
+    auto instance = CreateInstance(client, request.pasid, request.resource);
+    if (!instance.ok()) {
+      return instance.status();
+    }
+    return proto::OpenResponse{*instance, 1 << 16, 64};
+  }
+
+ private:
+  uint64_t required_token_;
+};
+
+// A device whose behavior tests script from outside.
+class TestDevice : public dev::Device {
+ public:
+  TestDevice(DeviceId id, std::string name, const dev::DeviceContext& context,
+             dev::DeviceConfig config = {})
+      : dev::Device(id, std::move(name), context, config) {}
+
+  using dev::Device::AnnounceAlive;
+  using dev::Device::Reply;
+  using dev::Device::ReplyError;
+
+  // Records of interesting callbacks.
+  std::vector<proto::Message> unhandled;
+  std::vector<DeviceId> failed_peers;
+  std::vector<Pasid> teardowns;
+  std::vector<iommu::FaultInfo> faults;
+  std::vector<std::pair<DeviceId, uint64_t>> doorbells;
+  int alive_calls = 0;
+  // Optional forwarding hook (e.g. into a FileClient).
+  std::function<void(DeviceId, uint64_t)> doorbell_handler;
+
+ protected:
+  void OnAlive() override { ++alive_calls; }
+  void OnDoorbell(DeviceId from, uint64_t value) override {
+    doorbells.emplace_back(from, value);
+    if (doorbell_handler) {
+      doorbell_handler(from, value);
+    }
+  }
+  void OnMessage(const proto::Message& message) override {
+    unhandled.push_back(message);
+    dev::Device::OnMessage(message);
+  }
+  void OnPeerFailed(DeviceId device) override { failed_peers.push_back(device); }
+  void OnTeardown(Pasid pasid) override { teardowns.push_back(pasid); }
+  void OnFault(const iommu::FaultInfo& fault) override {
+    faults.push_back(fault);
+    dev::Device::OnFault(fault);
+  }
+};
+
+// Runs the simulator until `predicate` is true or `limit` elapses; returns
+// whether the predicate became true.
+inline bool RunUntil(sim::Simulator& simulator, const std::function<bool()>& predicate,
+                     sim::Duration limit = sim::Duration::Millis(500)) {
+  sim::SimTime deadline = simulator.Now() + limit;
+  while (!predicate() && simulator.Now() < deadline) {
+    if (!simulator.Step()) {
+      break;
+    }
+  }
+  return predicate();
+}
+
+}  // namespace lastcpu::testutil
+
+#endif  // TESTS_TEST_UTIL_H_
