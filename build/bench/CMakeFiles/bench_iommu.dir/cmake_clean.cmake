@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iommu.dir/bench_iommu.cc.o"
+  "CMakeFiles/bench_iommu.dir/bench_iommu.cc.o.d"
+  "bench_iommu"
+  "bench_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_isolation.cc" "bench/CMakeFiles/bench_isolation.dir/bench_isolation.cc.o" "gcc" "bench/CMakeFiles/bench_isolation.dir/bench_isolation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lastcpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lastcpu_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvs/CMakeFiles/lastcpu_kvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nicdev/CMakeFiles/lastcpu_nicdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lastcpu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssddev/CMakeFiles/lastcpu_ssddev.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/lastcpu_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/lastcpu_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/memdev/CMakeFiles/lastcpu_memdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/lastcpu_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/lastcpu_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/lastcpu_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/lastcpu_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lastcpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lastcpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lastcpu_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lastcpu_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isolation.dir/bench_isolation.cc.o"
+  "CMakeFiles/bench_isolation.dir/bench_isolation.cc.o.d"
+  "bench_isolation"
+  "bench_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtio.dir/bench_virtio.cc.o"
+  "CMakeFiles/bench_virtio.dir/bench_virtio.cc.o.d"
+  "bench_virtio"
+  "bench_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

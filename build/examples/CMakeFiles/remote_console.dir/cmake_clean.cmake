@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_console.dir/remote_console.cpp.o"
+  "CMakeFiles/remote_console.dir/remote_console.cpp.o.d"
+  "remote_console"
+  "remote_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("proto")
+subdirs("mem")
+subdirs("iommu")
+subdirs("fabric")
+subdirs("virtio")
+subdirs("bus")
+subdirs("dev")
+subdirs("memdev")
+subdirs("auth")
+subdirs("ssddev")
+subdirs("net")
+subdirs("nicdev")
+subdirs("kvs")
+subdirs("baseline")
+subdirs("core")

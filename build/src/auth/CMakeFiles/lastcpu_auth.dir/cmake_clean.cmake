@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_auth.dir/auth_service.cc.o"
+  "CMakeFiles/lastcpu_auth.dir/auth_service.cc.o.d"
+  "liblastcpu_auth.a"
+  "liblastcpu_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

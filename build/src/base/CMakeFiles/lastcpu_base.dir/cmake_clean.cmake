@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_base.dir/check.cc.o"
+  "CMakeFiles/lastcpu_base.dir/check.cc.o.d"
+  "CMakeFiles/lastcpu_base.dir/status.cc.o"
+  "CMakeFiles/lastcpu_base.dir/status.cc.o.d"
+  "CMakeFiles/lastcpu_base.dir/types.cc.o"
+  "CMakeFiles/lastcpu_base.dir/types.cc.o.d"
+  "liblastcpu_base.a"
+  "liblastcpu_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_baseline.dir/central_kernel.cc.o"
+  "CMakeFiles/lastcpu_baseline.dir/central_kernel.cc.o.d"
+  "liblastcpu_baseline.a"
+  "liblastcpu_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

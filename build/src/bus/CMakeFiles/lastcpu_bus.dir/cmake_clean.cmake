@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_bus.dir/system_bus.cc.o"
+  "CMakeFiles/lastcpu_bus.dir/system_bus.cc.o.d"
+  "liblastcpu_bus.a"
+  "liblastcpu_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

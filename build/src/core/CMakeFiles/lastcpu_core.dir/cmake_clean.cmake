@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_core.dir/control_plane.cc.o"
+  "CMakeFiles/lastcpu_core.dir/control_plane.cc.o.d"
+  "CMakeFiles/lastcpu_core.dir/machine.cc.o"
+  "CMakeFiles/lastcpu_core.dir/machine.cc.o.d"
+  "liblastcpu_core.a"
+  "liblastcpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

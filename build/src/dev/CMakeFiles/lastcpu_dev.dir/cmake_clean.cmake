@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_dev.dir/device.cc.o"
+  "CMakeFiles/lastcpu_dev.dir/device.cc.o.d"
+  "CMakeFiles/lastcpu_dev.dir/loader_service.cc.o"
+  "CMakeFiles/lastcpu_dev.dir/loader_service.cc.o.d"
+  "CMakeFiles/lastcpu_dev.dir/service.cc.o"
+  "CMakeFiles/lastcpu_dev.dir/service.cc.o.d"
+  "liblastcpu_dev.a"
+  "liblastcpu_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/fabric.cc" "src/fabric/CMakeFiles/lastcpu_fabric.dir/fabric.cc.o" "gcc" "src/fabric/CMakeFiles/lastcpu_fabric.dir/fabric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lastcpu_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/lastcpu_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lastcpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lastcpu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_fabric.dir/fabric.cc.o"
+  "CMakeFiles/lastcpu_fabric.dir/fabric.cc.o.d"
+  "liblastcpu_fabric.a"
+  "liblastcpu_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iommu/iommu.cc" "src/iommu/CMakeFiles/lastcpu_iommu.dir/iommu.cc.o" "gcc" "src/iommu/CMakeFiles/lastcpu_iommu.dir/iommu.cc.o.d"
+  "/root/repo/src/iommu/page_table.cc" "src/iommu/CMakeFiles/lastcpu_iommu.dir/page_table.cc.o" "gcc" "src/iommu/CMakeFiles/lastcpu_iommu.dir/page_table.cc.o.d"
+  "/root/repo/src/iommu/tlb.cc" "src/iommu/CMakeFiles/lastcpu_iommu.dir/tlb.cc.o" "gcc" "src/iommu/CMakeFiles/lastcpu_iommu.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lastcpu_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

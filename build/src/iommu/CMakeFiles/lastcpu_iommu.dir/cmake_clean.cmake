@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_iommu.dir/iommu.cc.o"
+  "CMakeFiles/lastcpu_iommu.dir/iommu.cc.o.d"
+  "CMakeFiles/lastcpu_iommu.dir/page_table.cc.o"
+  "CMakeFiles/lastcpu_iommu.dir/page_table.cc.o.d"
+  "CMakeFiles/lastcpu_iommu.dir/tlb.cc.o"
+  "CMakeFiles/lastcpu_iommu.dir/tlb.cc.o.d"
+  "liblastcpu_iommu.a"
+  "liblastcpu_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

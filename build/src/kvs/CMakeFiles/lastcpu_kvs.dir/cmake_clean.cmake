@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_kvs.dir/kvs_app.cc.o"
+  "CMakeFiles/lastcpu_kvs.dir/kvs_app.cc.o.d"
+  "CMakeFiles/lastcpu_kvs.dir/kvs_engine.cc.o"
+  "CMakeFiles/lastcpu_kvs.dir/kvs_engine.cc.o.d"
+  "CMakeFiles/lastcpu_kvs.dir/kvs_protocol.cc.o"
+  "CMakeFiles/lastcpu_kvs.dir/kvs_protocol.cc.o.d"
+  "CMakeFiles/lastcpu_kvs.dir/workload.cc.o"
+  "CMakeFiles/lastcpu_kvs.dir/workload.cc.o.d"
+  "liblastcpu_kvs.a"
+  "liblastcpu_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

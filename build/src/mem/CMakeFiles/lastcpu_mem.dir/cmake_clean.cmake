@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_mem.dir/buddy_allocator.cc.o"
+  "CMakeFiles/lastcpu_mem.dir/buddy_allocator.cc.o.d"
+  "CMakeFiles/lastcpu_mem.dir/physical_memory.cc.o"
+  "CMakeFiles/lastcpu_mem.dir/physical_memory.cc.o.d"
+  "liblastcpu_mem.a"
+  "liblastcpu_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_memdev.dir/memory_controller.cc.o"
+  "CMakeFiles/lastcpu_memdev.dir/memory_controller.cc.o.d"
+  "liblastcpu_memdev.a"
+  "liblastcpu_memdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_memdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lastcpu_memdev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_net.dir/network.cc.o"
+  "CMakeFiles/lastcpu_net.dir/network.cc.o.d"
+  "liblastcpu_net.a"
+  "liblastcpu_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

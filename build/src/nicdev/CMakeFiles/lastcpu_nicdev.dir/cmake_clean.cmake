@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_nicdev.dir/smart_nic.cc.o"
+  "CMakeFiles/lastcpu_nicdev.dir/smart_nic.cc.o.d"
+  "liblastcpu_nicdev.a"
+  "liblastcpu_nicdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_nicdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

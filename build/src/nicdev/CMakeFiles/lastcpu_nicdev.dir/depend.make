@@ -1,0 +1,2 @@
+# Empty dependencies file for lastcpu_nicdev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_proto.dir/codec.cc.o"
+  "CMakeFiles/lastcpu_proto.dir/codec.cc.o.d"
+  "CMakeFiles/lastcpu_proto.dir/message.cc.o"
+  "CMakeFiles/lastcpu_proto.dir/message.cc.o.d"
+  "liblastcpu_proto.a"
+  "liblastcpu_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_sim.dir/rng.cc.o"
+  "CMakeFiles/lastcpu_sim.dir/rng.cc.o.d"
+  "CMakeFiles/lastcpu_sim.dir/simulator.cc.o"
+  "CMakeFiles/lastcpu_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/lastcpu_sim.dir/stats.cc.o"
+  "CMakeFiles/lastcpu_sim.dir/stats.cc.o.d"
+  "CMakeFiles/lastcpu_sim.dir/time.cc.o"
+  "CMakeFiles/lastcpu_sim.dir/time.cc.o.d"
+  "CMakeFiles/lastcpu_sim.dir/trace.cc.o"
+  "CMakeFiles/lastcpu_sim.dir/trace.cc.o.d"
+  "liblastcpu_sim.a"
+  "liblastcpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

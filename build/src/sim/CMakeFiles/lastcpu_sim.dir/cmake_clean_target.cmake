@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblastcpu_sim.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssddev/file_client.cc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/file_client.cc.o" "gcc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/file_client.cc.o.d"
+  "/root/repo/src/ssddev/file_protocol.cc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/file_protocol.cc.o" "gcc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/file_protocol.cc.o.d"
+  "/root/repo/src/ssddev/file_service.cc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/file_service.cc.o" "gcc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/file_service.cc.o.d"
+  "/root/repo/src/ssddev/flash_fs.cc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/flash_fs.cc.o" "gcc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/flash_fs.cc.o.d"
+  "/root/repo/src/ssddev/ftl.cc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/ftl.cc.o" "gcc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/ftl.cc.o.d"
+  "/root/repo/src/ssddev/nand.cc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/nand.cc.o" "gcc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/nand.cc.o.d"
+  "/root/repo/src/ssddev/smart_ssd.cc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/smart_ssd.cc.o" "gcc" "src/ssddev/CMakeFiles/lastcpu_ssddev.dir/smart_ssd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/auth/CMakeFiles/lastcpu_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/lastcpu_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/lastcpu_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/lastcpu_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lastcpu_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/lastcpu_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/lastcpu_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lastcpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lastcpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lastcpu_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_ssddev.dir/file_client.cc.o"
+  "CMakeFiles/lastcpu_ssddev.dir/file_client.cc.o.d"
+  "CMakeFiles/lastcpu_ssddev.dir/file_protocol.cc.o"
+  "CMakeFiles/lastcpu_ssddev.dir/file_protocol.cc.o.d"
+  "CMakeFiles/lastcpu_ssddev.dir/file_service.cc.o"
+  "CMakeFiles/lastcpu_ssddev.dir/file_service.cc.o.d"
+  "CMakeFiles/lastcpu_ssddev.dir/flash_fs.cc.o"
+  "CMakeFiles/lastcpu_ssddev.dir/flash_fs.cc.o.d"
+  "CMakeFiles/lastcpu_ssddev.dir/ftl.cc.o"
+  "CMakeFiles/lastcpu_ssddev.dir/ftl.cc.o.d"
+  "CMakeFiles/lastcpu_ssddev.dir/nand.cc.o"
+  "CMakeFiles/lastcpu_ssddev.dir/nand.cc.o.d"
+  "CMakeFiles/lastcpu_ssddev.dir/smart_ssd.cc.o"
+  "CMakeFiles/lastcpu_ssddev.dir/smart_ssd.cc.o.d"
+  "liblastcpu_ssddev.a"
+  "liblastcpu_ssddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_ssddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

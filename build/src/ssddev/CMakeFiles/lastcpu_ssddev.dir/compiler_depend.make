@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lastcpu_ssddev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lastcpu_virtio.dir/virtqueue.cc.o"
+  "CMakeFiles/lastcpu_virtio.dir/virtqueue.cc.o.d"
+  "liblastcpu_virtio.a"
+  "liblastcpu_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lastcpu_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memdev_test.cc" "tests/CMakeFiles/memdev_test.dir/memdev_test.cc.o" "gcc" "tests/CMakeFiles/memdev_test.dir/memdev_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memdev/CMakeFiles/lastcpu_memdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/lastcpu_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/lastcpu_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/lastcpu_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/iommu/CMakeFiles/lastcpu_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lastcpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/lastcpu_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lastcpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lastcpu_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memdev_test.dir/memdev_test.cc.o"
+  "CMakeFiles/memdev_test.dir/memdev_test.cc.o.d"
+  "memdev_test"
+  "memdev_test.pdb"
+  "memdev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memdev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssddev_test.dir/ssddev_test.cc.o"
+  "CMakeFiles/ssddev_test.dir/ssddev_test.cc.o.d"
+  "ssddev_test"
+  "ssddev_test.pdb"
+  "ssddev_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssddev_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
