@@ -42,13 +42,18 @@ void ControlPlane_Decentralized(benchmark::State& state) {
       clients.push_back(std::make_unique<core::BusControlClient>(stubs[i], memctrl.id()));
       per_client.push_back({clients.back().get(), Pasid(static_cast<uint32_t>(i + 1))});
     }
+    // Snapshot/delta isolates the measured phase from boot traffic.
+    sim::StatsSnapshot before = machine.bus().stats().Snapshot();
     sim::SimTime start = machine.simulator().Now();
     ControlLoadRunner runner(&machine.simulator(), std::move(per_client), kOpsPerDevice);
     runner.Run();
     sim::Duration elapsed = machine.simulator().Now() - start;
+    sim::StatsSnapshot delta = machine.bus().stats().Snapshot().DeltaSince(before);
     state.SetIterationTime(elapsed.seconds());
     state.counters["ops_per_sec"] =
         static_cast<double>(runner.completed()) / elapsed.seconds();
+    state.counters["bus_msgs_per_op"] = static_cast<double>(delta.counters["messages_delivered"]) /
+                                        static_cast<double>(runner.completed());
     benchutil::ReportLatency(state, runner.latency());
   }
   state.counters["devices"] = static_cast<double>(devices);
@@ -74,13 +79,17 @@ void ControlPlane_Centralized(benchmark::State& state) {
       clients.push_back(std::make_unique<core::KernelControlClient>(&kernel, id));
       per_client.push_back({clients.back().get(), Pasid(static_cast<uint32_t>(i + 1))});
     }
+    sim::StatsSnapshot before = kernel.stats().Snapshot();
     sim::SimTime start = simulator.Now();
     ControlLoadRunner runner(&simulator, std::move(per_client), kOpsPerDevice);
     runner.Run();
     sim::Duration elapsed = simulator.Now() - start;
+    sim::StatsSnapshot delta = kernel.stats().Snapshot().DeltaSince(before);
     state.SetIterationTime(elapsed.seconds());
     state.counters["ops_per_sec"] =
         static_cast<double>(runner.completed()) / elapsed.seconds();
+    state.counters["queue_wait_p99_us"] =
+        static_cast<double>(delta.histograms["queue_wait"].p99()) / 1e3;
     benchutil::ReportLatency(state, runner.latency());
   }
   state.counters["devices"] = static_cast<double>(devices);

@@ -7,6 +7,7 @@
 #define SRC_BASE_STATUS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -127,6 +128,32 @@ class Result {
  private:
   std::variant<T, Status> state_;
 };
+
+// Status-like specialization: no value, but unlike the primary template it
+// may hold an OK state, so Result<void> is the uniform "operation outcome"
+// for completion callbacks (see Callback<T> below).
+template <>
+class Result<void> {
+ public:
+  Result() = default;
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return status_.ok(); }
+  Status status() const { return status_; }
+
+  // Legacy adapter: lets callables taking a bare Status serve as
+  // Callback<void> while call sites migrate.
+  operator Status() const { return status_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  Status status_;
+};
+
+// The one completion-callback shape used across control-plane surfaces
+// (ControlClient, CentralKernel): value-producing operations complete with
+// Result<T>, status-only operations with Result<void>.
+template <typename T>
+using Callback = std::function<void(Result<T>)>;
 
 // Propagates a non-OK status out of the enclosing function.
 #define LASTCPU_RETURN_IF_ERROR(expr)           \

@@ -8,11 +8,12 @@
 namespace lastcpu::baseline {
 
 CentralKernel::CentralKernel(sim::Simulator* simulator, mem::PhysicalMemory* memory,
-                             CentralKernelConfig config)
+                             CentralKernelConfig config, sim::TraceLog* trace)
     : simulator_(simulator),
       allocator_(memory->num_frames()),
       memory_(memory),
       config_(config),
+      tracer_(trace, simulator, "kernel"),
       core_busy_until_(config.cores) {
   LASTCPU_CHECK(simulator != nullptr && memory != nullptr, "kernel needs simulator and memory");
   LASTCPU_CHECK(config.cores > 0, "kernel needs at least one core");
@@ -28,7 +29,8 @@ iommu::Iommu* CentralKernel::FindIommu(DeviceId device) {
   return it == devices_.end() ? nullptr : it->second;
 }
 
-void CentralKernel::RunOnCpu(sim::Duration service, std::function<void()> handler) {
+void CentralKernel::RunOnCpu(sim::Duration service, std::function<void()> handler,
+                             sim::SpanId parent) {
   // The device raises an interrupt; after delivery the op joins the run
   // queue of the least-loaded core.
   sim::SimTime arrival = simulator_->Now() + config_.interrupt_cost;
@@ -36,11 +38,15 @@ void CentralKernel::RunOnCpu(sim::Duration service, std::function<void()> handle
   sim::SimTime start = std::max(arrival, *core);
   sim::SimTime done = start + config_.syscall_entry + service;
   *core = done;
+  // Child span: interrupt delivery + run-queue wait + handler occupancy.
+  sim::SpanId cpu_span = tracer_.BeginSpan("on-cpu", parent);
   stats_.GetHistogram("queue_wait").Record(start - arrival);
   op_latency_.Record(done - simulator_->Now());
-  simulator_->ScheduleAt(done, [this, handler = std::move(handler)] {
+  simulator_->ScheduleAt(done, [this, cpu_span, parent, handler = std::move(handler)] {
     ++ops_completed_;
     handler();
+    tracer_.EndSpan(cpu_span);
+    tracer_.EndSpan(parent);
   });
 }
 
@@ -109,10 +115,12 @@ uint64_t CentralKernel::AllocatedBytes(Pasid pasid) const {
 }
 
 void CentralKernel::AllocMemory(DeviceId requester, Pasid pasid, uint64_t bytes,
-                                AllocCallback done) {
+                                Callback<VirtAddr> done) {
   LASTCPU_CHECK(done != nullptr, "alloc without callback");
   uint64_t pages = PagesForBytes(bytes);
   sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  sim::SpanId span = BeginOpSpan("Alloc", "pasid=" + std::to_string(pasid.value()) +
+                                              " bytes=" + std::to_string(bytes));
   RunOnCpu(service, [this, requester, pasid, bytes, pages, done = std::move(done)] {
     if (bytes == 0) {
       done(InvalidArgument("zero-byte allocation"));
@@ -149,14 +157,16 @@ void CentralKernel::AllocMemory(DeviceId requester, Pasid pasid, uint64_t bytes,
     bytes_allocated_[pasid] += pages * kPageSize;
     stats_.GetCounter("allocations").Increment();
     done(allocation.vaddr);
-  });
+  }, span);
 }
 
 void CentralKernel::FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
-                               StatusCallback done) {
+                               Callback<void> done) {
   LASTCPU_CHECK(done != nullptr, "free without callback");
   uint64_t pages = PagesForBytes(bytes);
   sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  sim::SpanId span = BeginOpSpan("Free", "pasid=" + std::to_string(pasid.value()) +
+                                             " bytes=" + std::to_string(bytes));
   RunOnCpu(service, [this, requester, pasid, vaddr, pages, done = std::move(done)] {
     auto table_it = tables_.find(pasid);
     if (table_it == tables_.end()) {
@@ -181,14 +191,16 @@ void CentralKernel::FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, 
     table_it->second.erase(it);
     stats_.GetCounter("frees").Increment();
     done(OkStatus());
-  });
+  }, span);
 }
 
 void CentralKernel::Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
-                          DeviceId grantee, Access access, StatusCallback done) {
+                          DeviceId grantee, Access access, Callback<void> done) {
   LASTCPU_CHECK(done != nullptr, "grant without callback");
   uint64_t pages = PagesForBytes(bytes);
   sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  sim::SpanId span = BeginOpSpan("Grant", "pasid=" + std::to_string(pasid.value()) +
+                                              " grantee=" + std::to_string(grantee.value()));
   RunOnCpu(service, [this, owner, pasid, vaddr, bytes, pages, grantee, access,
                      done = std::move(done)] {
     Allocation* allocation = FindCovering(pasid, vaddr, bytes);
@@ -214,14 +226,16 @@ void CentralKernel::Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t 
     allocation->grants.emplace_back(grantee, access);
     stats_.GetCounter("grants").Increment();
     done(OkStatus());
-  });
+  }, span);
 }
 
 void CentralKernel::Revoke(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
-                           DeviceId grantee, StatusCallback done) {
+                           DeviceId grantee, Callback<void> done) {
   LASTCPU_CHECK(done != nullptr, "revoke without callback");
   uint64_t pages = PagesForBytes(bytes);
   sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  sim::SpanId span = BeginOpSpan("Revoke", "pasid=" + std::to_string(pasid.value()) +
+                                               " grantee=" + std::to_string(grantee.value()));
   RunOnCpu(service, [this, owner, pasid, vaddr, bytes, pages, grantee, done = std::move(done)] {
     Allocation* allocation = FindCovering(pasid, vaddr, bytes);
     if (allocation == nullptr) {
@@ -241,10 +255,10 @@ void CentralKernel::Revoke(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t
     allocation->grants.erase(it);
     UnmapRange(grantee, pasid, vaddr.page(), pages);
     done(OkStatus());
-  });
+  }, span);
 }
 
-void CentralKernel::Teardown(Pasid pasid, StatusCallback done) {
+void CentralKernel::Teardown(Pasid pasid, Callback<void> done) {
   LASTCPU_CHECK(done != nullptr, "teardown without callback");
   uint64_t pages = 0;
   auto table_it = tables_.find(pasid);
@@ -254,6 +268,7 @@ void CentralKernel::Teardown(Pasid pasid, StatusCallback done) {
     }
   }
   sim::Duration service = config_.mm_service + config_.per_page_cost * pages;
+  sim::SpanId span = BeginOpSpan("Teardown", "pasid=" + std::to_string(pasid.value()));
   RunOnCpu(service, [this, pasid, done = std::move(done)] {
     auto it = tables_.find(pasid);
     if (it != tables_.end()) {
@@ -271,12 +286,13 @@ void CentralKernel::Teardown(Pasid pasid, StatusCallback done) {
     next_vpage_.erase(pasid);
     stats_.GetCounter("teardowns").Increment();
     done(OkStatus());
-  });
+  }, span);
 }
 
 void CentralKernel::MediateIo(sim::Duration work, std::function<void()> done) {
   LASTCPU_CHECK(done != nullptr, "mediation without callback");
-  RunOnCpu(config_.io_service + work, std::move(done));
+  sim::SpanId span = BeginOpSpan("MediateIo", "");
+  RunOnCpu(config_.io_service + work, std::move(done), span);
 }
 
 }  // namespace lastcpu::baseline

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/status.h"
@@ -27,6 +29,7 @@
 #include "src/mem/physical_memory.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 
 namespace lastcpu::baseline {
 
@@ -47,25 +50,25 @@ struct CentralKernelConfig {
 
 class CentralKernel {
  public:
-  using AllocCallback = std::function<void(Result<VirtAddr>)>;
-  using StatusCallback = std::function<void(Status)>;
-
+  // One generic completion-callback shape (see base/status.h): operations
+  // producing a value complete with Result<T>, status-only ones with
+  // Result<void>.
   CentralKernel(sim::Simulator* simulator, mem::PhysicalMemory* memory,
-                CentralKernelConfig config = {});
+                CentralKernelConfig config = {}, sim::TraceLog* trace = nullptr);
 
   // The kernel knows every device and programs their IOMMUs directly.
   void RegisterDevice(DeviceId device, iommu::Iommu* iommu);
 
   // --- the control-plane "syscalls" (identical policy to MemoryController) --
 
-  void AllocMemory(DeviceId requester, Pasid pasid, uint64_t bytes, AllocCallback done);
+  void AllocMemory(DeviceId requester, Pasid pasid, uint64_t bytes, Callback<VirtAddr> done);
   void FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
-                  StatusCallback done);
+                  Callback<void> done);
   void Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
-             Access access, StatusCallback done);
+             Access access, Callback<void> done);
   void Revoke(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
-              StatusCallback done);
-  void Teardown(Pasid pasid, StatusCallback done);
+              Callback<void> done);
+  void Teardown(Pasid pasid, Callback<void> done);
 
   // Generic privileged mediation of a device event costing `work` of handler
   // time (interrupt path + run queue + handler). Models the per-I/O kernel
@@ -81,6 +84,7 @@ class CentralKernel {
   // Run-queue depth right now (scheduled, not yet started).
   uint64_t AllocatedBytes(Pasid pasid) const;
   sim::StatsRegistry& stats() { return stats_; }
+  sim::Simulator* simulator() { return simulator_; }
 
  private:
   struct Allocation {
@@ -94,8 +98,15 @@ class CentralKernel {
   using Table = std::map<uint64_t, Allocation>;
 
   // Queues `handler` on the CPU: interrupt -> least-loaded core -> entry +
-  // service time -> handler runs (at completion time).
-  void RunOnCpu(sim::Duration service, std::function<void()> handler);
+  // service time -> handler runs (at completion time). When tracing, the CPU
+  // occupancy is a child span of `parent` (the syscall's span), and both
+  // close when the handler completes.
+  void RunOnCpu(sim::Duration service, std::function<void()> handler, sim::SpanId parent = 0);
+
+  // Opens the span for one kernel-mediated control operation.
+  sim::SpanId BeginOpSpan(std::string_view name, const std::string& detail) {
+    return tracer_.BeginSpan(name, 0, detail);
+  }
 
   iommu::Iommu* FindIommu(DeviceId device);
   static bool Overlaps(const Table& table, uint64_t vpage, uint64_t pages);
@@ -108,6 +119,7 @@ class CentralKernel {
   mem::BuddyAllocator allocator_;
   mem::PhysicalMemory* memory_;
   CentralKernelConfig config_;
+  sim::Tracer tracer_;
   std::map<DeviceId, iommu::Iommu*> devices_;
   std::map<Pasid, Table> tables_;
   std::map<Pasid, uint64_t> next_vpage_;

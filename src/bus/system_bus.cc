@@ -11,7 +11,7 @@ namespace lastcpu::bus {
 void BusPort::Send(proto::Message message) { bus_->SendFromPort(id_, std::move(message)); }
 
 SystemBus::SystemBus(sim::Simulator* simulator, BusConfig config, sim::TraceLog* trace)
-    : simulator_(simulator), config_(config), trace_(trace) {
+    : simulator_(simulator), config_(config), tracer_(trace, simulator, "bus") {
   LASTCPU_CHECK(simulator != nullptr, "bus needs a simulator");
   if (config_.heartbeat_timeout > sim::Duration::Zero()) {
     simulator_->ScheduleDaemon(config_.heartbeat_timeout / 2, [this] { WatchdogSweep(); });
@@ -38,10 +38,8 @@ void SystemBus::WatchdogSweep() {
   simulator_->ScheduleDaemon(config_.heartbeat_timeout / 2, [this] { WatchdogSweep(); });
 }
 
-void SystemBus::Trace(const std::string& event, const std::string& detail) {
-  if (trace_ != nullptr) {
-    trace_->Emit(simulator_->Now(), "bus", event, detail);
-  }
+void SystemBus::Trace(const std::string& event, const std::string& detail, sim::SpanId span) {
+  tracer_.Instant(event, detail, span);
 }
 
 SystemBus::Endpoint* SystemBus::FindEndpoint(DeviceId device) {
@@ -133,13 +131,24 @@ void SystemBus::Route(proto::Message message) {
   Endpoint* target = FindEndpoint(message.dst);
   if (target == nullptr || !target->liveness.alive) {
     stats_.GetCounter("undeliverable").Increment();
+    // The bus terminally consumes the message: close its flow here.
+    tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
+                        message.trace.span);
     // Bounce an error so the requester does not hang on a dead device.
     if (message.request_id.valid()) {
       proto::Message bounce = proto::MakeError(message, kBusDevice,
                                                Unavailable("destination not alive"));
-      Deliver(bounce);
+      DeliverTraced(std::move(bounce), message.trace.span);
     }
     return;
+  }
+  Deliver(message);
+}
+
+void SystemBus::DeliverTraced(proto::Message message, sim::SpanId parent) {
+  if (tracer_.enabled()) {
+    message.trace.span = parent;
+    message.trace.flow = tracer_.FlowSend(proto::MessageTypeName(message.type()), parent);
   }
   Deliver(message);
 }
@@ -148,16 +157,26 @@ void SystemBus::Deliver(const proto::Message& message) {
   Endpoint* target = FindEndpoint(message.dst);
   if (target == nullptr) {
     stats_.GetCounter("undeliverable").Increment();
+    tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
+                        message.trace.span);
     return;
   }
   stats_.GetCounter("messages_delivered").Increment();
-  if (trace_ != nullptr && trace_->enabled()) {
+  if (tracer_.enabled()) {
     Trace("deliver", std::string(proto::MessageTypeName(message.type())) + " -> " + target->name);
   }
   target->receiver(message);
 }
 
 void SystemBus::HandleBusMessage(const proto::Message& message) {
+  // Map directives and teardowns bind their flow receives to the handling
+  // spans they open below; every other bus-destined message terminates its
+  // flow here so senders never see a dangling arrow.
+  if (message.type() != proto::MessageType::kMapDirective &&
+      message.type() != proto::MessageType::kTeardownApp) {
+    tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
+                        message.trace.span);
+  }
   switch (message.type()) {
     case proto::MessageType::kAliveAnnounce: {
       Endpoint* endpoint = FindEndpoint(message.src);
@@ -186,14 +205,26 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
       // Privileged: only the controller of the resource may direct mappings.
       if (message.src != memory_controller_) {
         stats_.GetCounter("rejected_directives").Increment();
+        tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
+                            message.trace.span);
         Trace("map-rejected", "src is not the memory controller");
         proto::Message error =
             proto::MakeError(message, kBusDevice,
                              PermissionDenied("only the resource controller may direct mappings"));
-        Deliver(error);
+        DeliverTraced(std::move(error), message.trace.span);
         return;
       }
       const auto& directive = message.As<proto::MapDirective>();
+      // The directive's span covers queueing on the table engine plus the
+      // update itself, causally under the controller's handling span.
+      sim::SpanId span = 0;
+      if (tracer_.enabled()) {
+        span = tracer_.BeginSpan(directive.unmap ? "UnmapDirective" : "MapDirective",
+                                 message.trace.span,
+                                 "target=" + std::to_string(directive.target.value()) +
+                                     " entries=" + std::to_string(directive.entries.size()));
+        tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow, span);
+      }
       // Table updates serialize on the bus's single update engine.
       auto cost = config_.table_update_latency +
                   config_.per_entry_latency * static_cast<uint64_t>(directive.entries.size());
@@ -202,7 +233,8 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
       table_engine_busy_until_ = done;
       stats_.GetHistogram("table_update_latency").Record(done - simulator_->Now());
       proto::Message copy = message;
-      simulator_->ScheduleAt(done, [this, copy = std::move(copy)] { ExecuteMapDirective(copy); });
+      simulator_->ScheduleAt(
+          done, [this, copy = std::move(copy), span] { ExecuteMapDirective(copy, span); });
       return;
     }
     case proto::MessageType::kGrantRequest:
@@ -213,7 +245,7 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
       if (!memory_controller_.valid() || !IsAlive(memory_controller_)) {
         proto::Message error =
             proto::MakeError(message, kBusDevice, Unavailable("no memory controller"));
-        Deliver(error);
+        DeliverTraced(std::move(error), message.trace.span);
         return;
       }
       proto::Message forward = message;
@@ -236,14 +268,19 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
       // memory controller additionally frees its allocations (and issues the
       // unmap directives).
       const auto& teardown = message.As<proto::TeardownApp>();
-      Trace("teardown", "pasid=" + std::to_string(teardown.pasid.value()));
+      sim::SpanId span =
+          tracer_.BeginSpan("TeardownApp", message.trace.span,
+                            "pasid=" + std::to_string(teardown.pasid.value()));
+      tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow, span);
+      Trace("teardown", "pasid=" + std::to_string(teardown.pasid.value()), span);
       for (auto& [id, endpoint] : endpoints_) {
         if (endpoint.liveness.alive) {
           proto::Message copy = message;
           copy.dst = id;
-          Deliver(copy);
+          DeliverTraced(std::move(copy), span);
         }
       }
+      tracer_.EndSpan(span);
       return;
     }
     default:
@@ -251,19 +288,20 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
       if (message.request_id.valid()) {
         proto::Message error = proto::MakeError(
             message, kBusDevice, Unimplemented("bus does not handle this message type"));
-        Deliver(error);
+        DeliverTraced(std::move(error), message.trace.span);
       }
       return;
   }
 }
 
-void SystemBus::ExecuteMapDirective(const proto::Message& message) {
+void SystemBus::ExecuteMapDirective(const proto::Message& message, sim::SpanId span) {
   const auto& directive = message.As<proto::MapDirective>();
   Endpoint* target = FindEndpoint(directive.target);
   if (target == nullptr || target->iommu == nullptr) {
     proto::Message error =
         proto::MakeError(message, kBusDevice, NotFound("map target not attached"));
-    Deliver(error);
+    DeliverTraced(std::move(error), span);
+    tracer_.EndSpan(span);
     return;
   }
   iommu::ProgrammingKey key;  // only the bus can mint this
@@ -281,13 +319,15 @@ void SystemBus::ExecuteMapDirective(const proto::Message& message) {
   stats_.GetCounter(directive.unmap ? "unmap_directives" : "map_directives").Increment();
   stats_.GetCounter("pages_programmed").Increment(directive.entries.size());
   Trace(directive.unmap ? "unmap" : "map",
-        "target=" + target->name + " pages=" + std::to_string(directive.entries.size()));
+        "target=" + target->name + " pages=" + std::to_string(directive.entries.size()), span);
   if (status.ok()) {
-    Deliver(proto::MakeResponse(message, kBusDevice,
-                                proto::MapConfirm{directive.target, directive.pasid}));
+    DeliverTraced(proto::MakeResponse(message, kBusDevice,
+                                      proto::MapConfirm{directive.target, directive.pasid}),
+                  span);
   } else {
-    Deliver(proto::MakeError(message, kBusDevice, status));
+    DeliverTraced(proto::MakeError(message, kBusDevice, status), span);
   }
+  tracer_.EndSpan(span);
 }
 
 void SystemBus::AdminSend(proto::Message message) {
@@ -325,7 +365,8 @@ void SystemBus::ReportDeviceFailure(DeviceId device) {
     notice.src = kBusDevice;
     notice.dst = id;
     notice.payload = proto::DeviceFailed{device};
-    simulator_->Schedule(config_.base_latency, [this, notice] { Deliver(notice); });
+    simulator_->Schedule(config_.base_latency,
+                         [this, notice] { DeliverTraced(notice, 0); });
   }
   // Pulse the reset line "in an attempt to restart it".
   proto::Message reset;

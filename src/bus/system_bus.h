@@ -144,13 +144,17 @@ class SystemBus {
   // Delivers to one endpoint (already past the wire delay).
   void Deliver(const proto::Message& message);
 
+  // Delivers a bus-originated message: stamps its trace context (causal
+  // parent `parent`, fresh flow id) before handing it to the endpoint.
+  void DeliverTraced(proto::Message message, sim::SpanId parent);
+
   // Handles messages addressed to the bus itself (kBusDevice).
   void HandleBusMessage(const proto::Message& message);
 
-  // Privileged: executes a MapDirective on the target's IOMMU.
-  void ExecuteMapDirective(const proto::Message& message);
+  // Privileged: executes a MapDirective on the target's IOMMU under `span`.
+  void ExecuteMapDirective(const proto::Message& message, sim::SpanId span);
 
-  void Trace(const std::string& event, const std::string& detail);
+  void Trace(const std::string& event, const std::string& detail, sim::SpanId span = 0);
 
   // Periodic watchdog sweep (armed when heartbeat_timeout > 0).
   void WatchdogSweep();
@@ -159,7 +163,7 @@ class SystemBus {
 
   sim::Simulator* simulator_;
   BusConfig config_;
-  sim::TraceLog* trace_;
+  sim::Tracer tracer_;
   std::unordered_map<DeviceId, Endpoint> endpoints_;
   DeviceId memory_controller_ = DeviceId::Invalid();
   // Serializes privileged table updates (single update engine).

@@ -1,5 +1,6 @@
 #include "src/core/control_plane.h"
 
+#include <optional>
 #include <utility>
 
 #include "src/base/check.h"
@@ -12,14 +13,47 @@ Status StatusFromError(const proto::Message& message) {
   return Status(error.code, error.message);
 }
 
+// Issues `op` (which completes some Callback<T>) and steps the simulator
+// until the completion lands.
+template <typename T, typename Op>
+Result<T> RunSync(sim::Simulator* simulator, Op op) {
+  std::optional<Result<T>> out;
+  op([&out](Result<T> result) { out = std::move(result); });
+  while (!out && simulator->Step()) {
+  }
+  if (!out) {
+    return TimedOut("simulator ran dry before the operation completed");
+  }
+  return std::move(*out);
+}
+
 }  // namespace
+
+Result<VirtAddr> ControlClient::AllocSync(Pasid pasid, uint64_t bytes) {
+  return RunSync<VirtAddr>(simulator(), [&](Callback<VirtAddr> done) {
+    Alloc(pasid, bytes, std::move(done));
+  });
+}
+
+Result<void> ControlClient::GrantSync(Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                                      DeviceId grantee, Access access) {
+  return RunSync<void>(simulator(), [&](Callback<void> done) {
+    Grant(pasid, vaddr, bytes, grantee, access, std::move(done));
+  });
+}
+
+Result<void> ControlClient::FreeSync(Pasid pasid, VirtAddr vaddr, uint64_t bytes) {
+  return RunSync<void>(simulator(), [&](Callback<void> done) {
+    Free(pasid, vaddr, bytes, std::move(done));
+  });
+}
 
 BusControlClient::BusControlClient(dev::Device* requester, DeviceId memctrl)
     : requester_(requester), memctrl_(memctrl) {
   LASTCPU_CHECK(requester != nullptr, "bus control client needs a device");
 }
 
-void BusControlClient::Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) {
+void BusControlClient::Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) {
   requester_->SendRequest(memctrl_,
                           proto::MemAllocRequest{pasid, bytes, VirtAddr(0), Access::kReadWrite},
                           [done = std::move(done)](const proto::Message& response) {
@@ -32,7 +66,7 @@ void BusControlClient::Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) {
 }
 
 void BusControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
-                             Access access, StatusCallback done) {
+                             Access access, Callback<void> done) {
   requester_->SendRequest(kBusDevice,
                           proto::GrantRequest{pasid, vaddr, bytes, grantee, access},
                           [done = std::move(done)](const proto::Message& response) {
@@ -40,18 +74,18 @@ void BusControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Device
                               done(StatusFromError(response));
                               return;
                             }
-                            done(OkStatus());
+                            done(Result<void>());
                           });
 }
 
-void BusControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) {
+void BusControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) {
   requester_->SendRequest(kBusDevice, proto::MemFreeRequest{pasid, vaddr, bytes},
                           [done = std::move(done)](const proto::Message& response) {
                             if (response.Is<proto::ErrorResponse>()) {
                               done(StatusFromError(response));
                               return;
                             }
-                            done(OkStatus());
+                            done(Result<void>());
                           });
 }
 
@@ -60,16 +94,16 @@ KernelControlClient::KernelControlClient(baseline::CentralKernel* kernel, Device
   LASTCPU_CHECK(kernel != nullptr, "kernel control client needs a kernel");
 }
 
-void KernelControlClient::Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) {
+void KernelControlClient::Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) {
   kernel_->AllocMemory(self_, pasid, bytes, std::move(done));
 }
 
 void KernelControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
-                                Access access, StatusCallback done) {
+                                Access access, Callback<void> done) {
   kernel_->Grant(self_, pasid, vaddr, bytes, grantee, access, std::move(done));
 }
 
-void KernelControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) {
+void KernelControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) {
   kernel_->FreeMemory(self_, pasid, vaddr, bytes, std::move(done));
 }
 

@@ -5,10 +5,13 @@
 // design) or the centralized kernel (KernelControlClient — the baseline), so
 // every measured difference comes from *where* control runs, not what it
 // does.
+//
+// Every operation completes with one callback shape, Callback<T> (see
+// base/status.h): value-producing ops get Result<T>, status-only ops get
+// Result<void>. The *Sync variants drive the simulator until the operation
+// completes — for tests and setup code that don't care about overlap.
 #ifndef SRC_CORE_CONTROL_PLANE_H_
 #define SRC_CORE_CONTROL_PLANE_H_
-
-#include <functional>
 
 #include "src/base/status.h"
 #include "src/base/types.h"
@@ -19,18 +22,26 @@ namespace lastcpu::core {
 
 class ControlClient {
  public:
-  using AllocCallback = std::function<void(Result<VirtAddr>)>;
-  using StatusCallback = std::function<void(Status)>;
-
   virtual ~ControlClient() = default;
 
   // Allocates and maps `bytes` into `pasid` for this client's device.
-  virtual void Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) = 0;
+  virtual void Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) = 0;
   // Grants an owned region to another device.
   virtual void Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee, Access access,
-                     StatusCallback done) = 0;
+                     Callback<void> done) = 0;
   // Releases an owned allocation.
-  virtual void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) = 0;
+  virtual void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) = 0;
+
+  // The simulator the asynchronous completions run on.
+  virtual sim::Simulator* simulator() = 0;
+
+  // Blocking variants: issue the operation and Step() the simulator until it
+  // completes. Events already pending execute too — callers own the clock.
+  // kTimedOut if the simulator runs dry before the completion fires.
+  Result<VirtAddr> AllocSync(Pasid pasid, uint64_t bytes);
+  Result<void> GrantSync(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
+                         Access access);
+  Result<void> FreeSync(Pasid pasid, VirtAddr vaddr, uint64_t bytes);
 };
 
 // Decentralized: operations travel the system bus from `requester` to the
@@ -40,10 +51,11 @@ class BusControlClient : public ControlClient {
   // `memctrl` is the memory controller's device id (from discovery).
   BusControlClient(dev::Device* requester, DeviceId memctrl);
 
-  void Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) override;
+  void Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) override;
   void Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee, Access access,
-             StatusCallback done) override;
-  void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) override;
+             Callback<void> done) override;
+  void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) override;
+  sim::Simulator* simulator() override { return requester_->simulator(); }
 
  private:
   dev::Device* requester_;
@@ -56,10 +68,11 @@ class KernelControlClient : public ControlClient {
  public:
   KernelControlClient(baseline::CentralKernel* kernel, DeviceId self);
 
-  void Alloc(Pasid pasid, uint64_t bytes, AllocCallback done) override;
+  void Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) override;
   void Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee, Access access,
-             StatusCallback done) override;
-  void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, StatusCallback done) override;
+             Callback<void> done) override;
+  void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) override;
+  sim::Simulator* simulator() override { return kernel_->simulator(); }
 
  private:
   baseline::CentralKernel* kernel_;

@@ -1,11 +1,15 @@
 #include "src/core/machine.h"
 
+#include <ostream>
+
+#include "src/sim/trace_export.h"
+
 namespace lastcpu::core {
 
 Machine::Machine(MachineConfig config)
     : config_(config),
       memory_(config.memory_bytes),
-      fabric_(&simulator_, &memory_, config.fabric),
+      fabric_(&simulator_, &memory_, config.fabric, &trace_),
       bus_(&simulator_, config.bus, &trace_),
       network_(&simulator_, config.network) {
   if (config.enable_trace) {
@@ -67,6 +71,30 @@ std::string Machine::StatsReport() {
     out += device->stats().Report("  ");
   }
   return out;
+}
+
+void Machine::WriteChromeTrace(std::ostream& os) const {
+  sim::WriteChromeTrace(trace_, os);
+}
+
+void Machine::MetricsJson(std::ostream& os) {
+  os << "{\"bus\":";
+  bus_.stats().Snapshot().WriteJson(os);
+  os << ",\"fabric\":";
+  fabric_.stats().Snapshot().WriteJson(os);
+  os << ",\"network\":";
+  network_.stats().Snapshot().WriteJson(os);
+  os << ",\"devices\":{";
+  bool first = true;
+  for (auto& device : devices_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\"" << device->name() << "\":";
+    device->stats().Snapshot().WriteJson(os);
+  }
+  os << "}}\n";
 }
 
 }  // namespace lastcpu::core

@@ -16,6 +16,7 @@
 #ifndef SRC_CORE_MACHINE_H_
 #define SRC_CORE_MACHINE_H_
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <utility>
@@ -99,6 +100,19 @@ class Machine {
 
   // Aggregated human-readable statistics from every component.
   std::string StatsReport();
+
+  // --- observability exports ---------------------------------------------------
+
+  // Exports the machine's trace as Chrome trace_event JSON (open in
+  // chrome://tracing or Perfetto): one process row per component, spans as
+  // duration events, message sends/receives linked by flow arrows. Requires
+  // MachineConfig::enable_trace (otherwise writes an empty trace).
+  void WriteChromeTrace(std::ostream& os) const;
+
+  // Machine-wide metrics snapshot as JSON: one section per substrate
+  // component plus one per device, each holding that component's counters
+  // and histogram summaries.
+  void MetricsJson(std::ostream& os);
 
  private:
   MachineConfig config_;

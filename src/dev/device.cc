@@ -40,7 +40,8 @@ Device::Device(DeviceId id, std::string name, const DeviceContext& context, Devi
       name_(std::move(name)),
       context_(context),
       config_(config),
-      iommu_(id, config.tlb) {
+      iommu_(id, config.tlb),
+      tracer_(context.trace, context.simulator, name_) {
   LASTCPU_CHECK(context.simulator != nullptr, "device without simulator");
   LASTCPU_CHECK(context.bus != nullptr, "device without bus");
   LASTCPU_CHECK(context.fabric != nullptr, "device without fabric");
@@ -63,9 +64,16 @@ Device::~Device() {
 }
 
 void Device::TraceEvent(const std::string& event, const std::string& detail) {
-  if (context_.trace != nullptr) {
-    context_.trace->Emit(context_.simulator->Now(), name_, event, detail);
+  tracer_.Instant(event, detail, current_span_);
+}
+
+void Device::SendOnBus(proto::Message message) {
+  if (tracer_.enabled()) {
+    message.trace.span = current_span_;
+    message.trace.flow =
+        tracer_.FlowSend(proto::MessageTypeName(message.type()), current_span_);
   }
+  port_->Send(std::move(message));
 }
 
 void Device::PowerOn() {
@@ -93,7 +101,7 @@ void Device::SendHeartbeat() {
   proto::Message message;
   message.dst = kBusDevice;
   message.payload = proto::Heartbeat{};
-  port_->Send(std::move(message));
+  SendOnBus(std::move(message));
   stats_.GetCounter("heartbeats_sent").Increment();
   context_.simulator->ScheduleDaemon(config_.heartbeat_period, [this] { SendHeartbeat(); });
 }
@@ -107,7 +115,7 @@ void Device::AnnounceAlive() {
   proto::Message message;
   message.dst = kBusDevice;
   message.payload = std::move(announce);
-  port_->Send(std::move(message));
+  SendOnBus(std::move(message));
 }
 
 void Device::InjectFailure() {
@@ -165,7 +173,7 @@ RequestId Device::SendRequest(DeviceId dst, proto::Payload payload,
   message.dst = dst;
   message.request_id = request_id;
   message.payload = std::move(payload);
-  port_->Send(std::move(message));
+  SendOnBus(std::move(message));
   stats_.GetCounter("requests_sent").Increment();
   return request_id;
 }
@@ -174,12 +182,16 @@ void Device::SendOneWay(DeviceId dst, proto::Payload payload) {
   proto::Message message;
   message.dst = dst;
   message.payload = std::move(payload);
-  port_->Send(std::move(message));
+  SendOnBus(std::move(message));
 }
 
 void Device::Discover(proto::ServiceType type, const std::string& resource, sim::Duration window,
                       DiscoveryCallback on_done) {
   LASTCPU_CHECK(on_done != nullptr, "discover without callback");
+  // The discovery window is one causal span: the broadcast goes out under
+  // it, and the continuation runs under it, so whatever the caller does with
+  // the results (open, alloc, ...) chains to this span.
+  sim::SpanId span = tracer_.BeginSpan("Discover", current_span_, resource);
   // Responses correlate by the broadcast's request id; collect until the
   // window closes (SSDP-style: responders answer when they see the query).
   RequestId request_id = NextRequestId();
@@ -192,15 +204,24 @@ void Device::Discover(proto::ServiceType type, const std::string& resource, sim:
                                     }
                                   },
                                   sim::EventId()});
-  context_.simulator->Schedule(window, [this, request_id, found, on_done = std::move(on_done)] {
-    pending_.erase(request_id);
-    on_done(*found);
-  });
+  context_.simulator->Schedule(window,
+                               [this, request_id, found, span, on_done = std::move(on_done)] {
+                                 pending_.erase(request_id);
+                                 sim::SpanId saved = current_span_;
+                                 current_span_ = span;
+                                 on_done(*found);
+                                 current_span_ = saved;
+                                 tracer_.EndSpan(span);
+                               });
 
   proto::Message message;
   message.dst = kBroadcastDevice;
   message.request_id = request_id;
   message.payload = proto::DiscoverRequest{type, resource};
+  message.trace.span = span;
+  if (tracer_.enabled()) {
+    message.trace.flow = tracer_.FlowSend(proto::MessageTypeName(message.type()), span);
+  }
   port_->Send(std::move(message));
   stats_.GetCounter("discoveries").Increment();
 }
@@ -213,6 +234,14 @@ void Device::ReceiveFromBus(const proto::Message& message) {
     }
     return;
   }
+  // The handling span opens at arrival and closes when dispatch completes,
+  // so it covers firmware queue wait + processing. It parents to the
+  // sender's span, and the flow id links it to the send-side record.
+  sim::SpanId span = 0;
+  if (tracer_.enabled()) {
+    span = tracer_.BeginSpan(proto::MessageTypeName(message.type()), message.trace.span);
+    tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow, span);
+  }
   // Control messages are handled by the device's (single) firmware engine:
   // each costs control_processing and they serialize, which is what bounds a
   // single device's control-plane throughput under contention.
@@ -220,13 +249,25 @@ void Device::ReceiveFromBus(const proto::Message& message) {
   sim::SimTime start = std::max(context_.simulator->Now(), firmware_busy_until_);
   sim::SimTime done = start + config_.control_processing;
   firmware_busy_until_ = done;
-  context_.simulator->ScheduleAt(done, [this, copy = std::move(copy)] { Dispatch(copy); });
+  context_.simulator->ScheduleAt(done, [this, copy = std::move(copy), span] {
+    Dispatch(copy, span);
+    tracer_.EndSpan(span);
+  });
 }
 
-void Device::Dispatch(const proto::Message& message) {
+void Device::Dispatch(const proto::Message& message, sim::SpanId span) {
   if (state_ != State::kAlive && state_ != State::kSelfTest) {
     return;  // failed while the message was in flight
   }
+  // Everything this handler emits — trace instants, outbound messages,
+  // nested service work — is causally under the handling span.
+  sim::SpanId saved_span = current_span_;
+  current_span_ = span;
+  struct SpanRestore {
+    Device* device;
+    sim::SpanId saved;
+    ~SpanRestore() { device->current_span_ = saved; }
+  } restore{this, saved_span};
   stats_.GetCounter("messages_received").Increment();
 
   // Responses to our outstanding requests.
@@ -403,7 +444,7 @@ void Device::Reply(const proto::Message& request, proto::Payload payload) {
   response.dst = request.src;
   response.request_id = request.request_id;
   response.payload = std::move(payload);
-  port_->Send(std::move(response));
+  SendOnBus(std::move(response));
 }
 
 void Device::ReplyError(const proto::Message& request, Status status) {
@@ -411,7 +452,7 @@ void Device::ReplyError(const proto::Message& request, Status status) {
   response.dst = request.src;
   response.request_id = request.request_id;
   response.payload = proto::ErrorResponse{status.code(), status.message()};
-  port_->Send(std::move(response));
+  SendOnBus(std::move(response));
 }
 
 }  // namespace lastcpu::dev

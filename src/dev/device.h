@@ -101,6 +101,13 @@ class Device {
   fabric::Fabric* fabric() { return context_.fabric; }
   const DeviceConfig& config() const { return config_; }
 
+  // This device's tracer and the causal context of the message currently
+  // being handled (span 0 outside a handler). Helpers hosted on the device —
+  // services, control clients, fabric calls — use this to parent their own
+  // trace activity to the in-flight operation.
+  sim::Tracer& tracer() { return tracer_; }
+  sim::TraceContext ActiveTraceContext() const { return sim::TraceContext{current_span_, 0}; }
+
   // Sends a response correlated with `request`.
   void Reply(const proto::Message& request, proto::Payload payload);
   void ReplyError(const proto::Message& request, Status status);
@@ -139,7 +146,13 @@ class Device {
   // Receives every bus message; applies firmware processing delay then
   // dispatches.
   void ReceiveFromBus(const proto::Message& message);
-  void Dispatch(const proto::Message& message);
+  // Dispatches under handling span `span` (opened at arrival, closed when
+  // dispatch completes, so it covers firmware queue wait + processing).
+  void Dispatch(const proto::Message& message, sim::SpanId span);
+
+  // All outbound control messages funnel here: stamps the active causal
+  // context and a fresh flow id, then hands the message to the bus port.
+  void SendOnBus(proto::Message message);
 
   // Periodic heartbeat to the bus watchdog (armed when configured).
   void SendHeartbeat();
@@ -171,6 +184,10 @@ class Device {
   // Serializes control-message handling on the device's firmware engine.
   sim::SimTime firmware_busy_until_;
   sim::StatsRegistry stats_;
+  sim::Tracer tracer_;
+  // Span of the message currently being dispatched (0 outside a handler);
+  // the ambient causal context stamped onto outbound messages.
+  sim::SpanId current_span_ = 0;
 };
 
 }  // namespace lastcpu::dev

@@ -7,8 +7,10 @@
 
 namespace lastcpu::fabric {
 
-Fabric::Fabric(sim::Simulator* simulator, mem::PhysicalMemory* memory, FabricConfig config)
-    : simulator_(simulator), memory_(memory), config_(config) {
+Fabric::Fabric(sim::Simulator* simulator, mem::PhysicalMemory* memory, FabricConfig config,
+               sim::TraceLog* trace)
+    : simulator_(simulator), memory_(memory), config_(config),
+      tracer_(trace, simulator, "fabric") {
   LASTCPU_CHECK(simulator != nullptr && memory != nullptr, "fabric needs simulator and memory");
 }
 
@@ -66,10 +68,14 @@ sim::SimTime Fabric::ScheduleTransfer(Port& port, uint64_t bytes, sim::Duration 
 }
 
 void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector<uint8_t> data,
-                      DmaCallback done) {
+                      DmaCallback done, sim::TraceContext ctx) {
   Port* port = FindPort(initiator);
   LASTCPU_CHECK(port != nullptr, "DMA from unattached device %u", initiator.value());
   LASTCPU_CHECK(done != nullptr, "DMA without completion callback");
+
+  sim::SpanId span = tracer_.BeginSpan(
+      "DmaWrite", ctx.span,
+      "dev=" + std::to_string(initiator.value()) + " bytes=" + std::to_string(data.size()));
 
   std::vector<std::pair<PhysAddr, uint64_t>> segments;
   sim::Duration walk_cost = sim::Duration::Zero();
@@ -77,9 +83,12 @@ void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector
       TranslateRange(*port, pasid, dst, data.size(), Access::kWrite, segments, walk_cost);
   if (!translated.ok()) {
     stats_.GetCounter("dma_faults").Increment();
+    tracer_.Instant("dma-fault", translated.message(), span);
     // Hardware reports the abort asynchronously, after the failed bus cycle.
-    simulator_->Schedule(port->link.base_latency,
-                         [done = std::move(done), translated] { done(translated); });
+    simulator_->Schedule(port->link.base_latency, [this, span, done = std::move(done), translated] {
+      done(translated);
+      tracer_.EndSpan(span);
+    });
     return;
   }
 
@@ -89,7 +98,7 @@ void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector
   stats_.GetHistogram("dma_write_latency").Record(completion - simulator_->Now());
 
   simulator_->ScheduleAt(
-      completion, [this, segments = std::move(segments), data = std::move(data),
+      completion, [this, span, segments = std::move(segments), data = std::move(data),
                    done = std::move(done)] {
         uint64_t offset = 0;
         for (const auto& [paddr, len] : segments) {
@@ -97,22 +106,30 @@ void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector
           offset += len;
         }
         done(OkStatus());
+        tracer_.EndSpan(span);
       });
 }
 
 void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t length,
-                     DmaReadCallback done) {
+                     DmaReadCallback done, sim::TraceContext ctx) {
   Port* port = FindPort(initiator);
   LASTCPU_CHECK(port != nullptr, "DMA from unattached device %u", initiator.value());
   LASTCPU_CHECK(done != nullptr, "DMA without completion callback");
+
+  sim::SpanId span = tracer_.BeginSpan(
+      "DmaRead", ctx.span,
+      "dev=" + std::to_string(initiator.value()) + " bytes=" + std::to_string(length));
 
   std::vector<std::pair<PhysAddr, uint64_t>> segments;
   sim::Duration walk_cost = sim::Duration::Zero();
   Status translated = TranslateRange(*port, pasid, src, length, Access::kRead, segments, walk_cost);
   if (!translated.ok()) {
     stats_.GetCounter("dma_faults").Increment();
-    simulator_->Schedule(port->link.base_latency,
-                         [done = std::move(done), translated] { done(translated); });
+    tracer_.Instant("dma-fault", translated.message(), span);
+    simulator_->Schedule(port->link.base_latency, [this, span, done = std::move(done), translated] {
+      done(translated);
+      tracer_.EndSpan(span);
+    });
     return;
   }
 
@@ -122,7 +139,8 @@ void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t len
   stats_.GetHistogram("dma_read_latency").Record(completion - simulator_->Now());
 
   simulator_->ScheduleAt(completion,
-                         [this, segments = std::move(segments), length, done = std::move(done)] {
+                         [this, span, segments = std::move(segments), length,
+                          done = std::move(done)] {
                            std::vector<uint8_t> data(length);
                            uint64_t offset = 0;
                            for (const auto& [paddr, len] : segments) {
@@ -130,6 +148,7 @@ void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t len
                              offset += len;
                            }
                            done(std::move(data));
+                           tracer_.EndSpan(span);
                          });
 }
 

@@ -23,6 +23,8 @@
 #include "src/mem/physical_memory.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
+#include "src/sim/trace_context.h"
 
 namespace lastcpu::fabric {
 
@@ -49,7 +51,8 @@ struct AccessResult {
 
 class Fabric {
  public:
-  Fabric(sim::Simulator* simulator, mem::PhysicalMemory* memory, FabricConfig config = {});
+  Fabric(sim::Simulator* simulator, mem::PhysicalMemory* memory, FabricConfig config = {},
+         sim::TraceLog* trace = nullptr);
 
   // Attaches a device's data port. The IOMMU translates all of its traffic;
   // `doorbell` fires when another device rings this device.
@@ -64,13 +67,14 @@ class Fabric {
   using DmaReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
 
   // Copies `data` into (pasid, dst). Completion is signaled after the modeled
-  // transfer time; translation faults complete with an error.
+  // transfer time; translation faults complete with an error. `ctx` parents
+  // the transfer's trace span to the operation that issued it.
   void DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector<uint8_t> data,
-                DmaCallback done);
+                DmaCallback done, sim::TraceContext ctx = {});
 
   // Reads `length` bytes from (pasid, src).
   void DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t length,
-               DmaReadCallback done);
+               DmaReadCallback done, sim::TraceContext ctx = {});
 
   // --- small synchronous accesses (descriptors, ring indices) ---------------
 
@@ -111,6 +115,7 @@ class Fabric {
   sim::Simulator* simulator_;
   mem::PhysicalMemory* memory_;
   FabricConfig config_;
+  sim::Tracer tracer_;
   std::unordered_map<DeviceId, Port> ports_;
   sim::StatsRegistry stats_;
 };

@@ -16,6 +16,7 @@
 
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/sim/trace_context.h"
 
 namespace lastcpu::proto {
 
@@ -391,6 +392,9 @@ struct Message {
   DeviceId dst;  // kBroadcastDevice for discovery, kBusDevice for bus-handled ops
   RequestId request_id;  // correlates responses with requests; Invalid() for one-way
   Payload payload;
+  // Causal trace context (simulator metadata, never encoded on the wire —
+  // carrying it does not change modeled message sizes or latencies).
+  sim::TraceContext trace;
 
   MessageType type() const { return static_cast<MessageType>(payload.index()); }
 

@@ -1,0 +1,61 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// Exists so the trace/metrics exporters can be round-trip tested (and the
+// quickstart smoke check can validate its own output) without an external
+// JSON dependency. Supports the full JSON grammar: null, bools, numbers,
+// strings (with escapes), arrays, objects.
+#ifndef SRC_SIM_JSON_H_
+#define SRC_SIM_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace lastcpu::sim {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : state_(nullptr) {}
+  JsonValue(std::nullptr_t) : state_(nullptr) {}      // NOLINT(google-explicit-constructor)
+  JsonValue(bool b) : state_(b) {}                    // NOLINT(google-explicit-constructor)
+  JsonValue(double d) : state_(d) {}                  // NOLINT(google-explicit-constructor)
+  JsonValue(std::string s) : state_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(Array a) : state_(std::move(a)) {}        // NOLINT(google-explicit-constructor)
+  JsonValue(Object o) : state_(std::move(o)) {}       // NOLINT(google-explicit-constructor)
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(state_); }
+  bool is_bool() const { return std::holds_alternative<bool>(state_); }
+  bool is_number() const { return std::holds_alternative<double>(state_); }
+  bool is_string() const { return std::holds_alternative<std::string>(state_); }
+  bool is_array() const { return std::holds_alternative<Array>(state_); }
+  bool is_object() const { return std::holds_alternative<Object>(state_); }
+
+  bool boolean() const { return std::get<bool>(state_); }
+  double number() const { return std::get<double>(state_); }
+  const std::string& str() const { return std::get<std::string>(state_); }
+  const Array& array() const { return std::get<Array>(state_); }
+  const Object& object() const { return std::get<Object>(state_); }
+
+  // Object member lookup; nullptr if this is not an object or the key is
+  // absent. Chains conveniently: v.Find("a") ? v.Find("a")->number() : 0.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> state_;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error). Returns InvalidArgument with a byte offset on
+// malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_JSON_H_

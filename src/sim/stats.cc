@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <ostream>
+#include <sstream>
 
 #include "src/base/check.h"
 
@@ -87,6 +89,30 @@ void Histogram::Merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  LASTCPU_CHECK(buckets_.size() == earlier.buckets_.size(), "histogram shape mismatch");
+  Histogram delta;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t before = earlier.buckets_[i];
+    // A snapshot is always older, so per-bucket counts only grow; guard
+    // anyway so a mismatched pair degrades instead of underflowing.
+    delta.buckets_[i] = buckets_[i] > before ? buckets_[i] - before : 0;
+    delta.count_ += delta.buckets_[i];
+  }
+  delta.sum_ = std::max(0.0, sum_ - earlier.sum_);
+  // min/max cannot be subtracted; recompute representatives from the
+  // surviving buckets (bounded by the histogram's relative error).
+  for (size_t i = 0; i < delta.buckets_.size(); ++i) {
+    if (delta.buckets_[i] == 0) {
+      continue;
+    }
+    uint64_t mid = BucketMidpoint(static_cast<int>(i));
+    delta.min_ = std::min(delta.min_, mid);
+    delta.max_ = std::max(delta.max_, std::min(mid, max_));
+  }
+  return delta;
+}
+
 std::string Histogram::Summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
@@ -106,6 +132,84 @@ std::string StatsRegistry::Report(const std::string& prefix) const {
     out += prefix + name + ": " + histogram.Summary() + "\n";
   }
   return out;
+}
+
+StatsSnapshot StatsRegistry::Snapshot() const {
+  StatsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter.value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram);
+  }
+  return snap;
+}
+
+StatsSnapshot StatsSnapshot::DeltaSince(const StatsSnapshot& earlier) const {
+  StatsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = earlier.counters.find(name);
+    uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    delta.counters.emplace(name, value > before ? value - before : 0);
+  }
+  for (const auto& [name, histogram] : histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it == earlier.histograms.end()) {
+      delta.histograms.emplace(name, histogram);
+    } else {
+      delta.histograms.emplace(name, histogram.DeltaSince(it->second));
+    }
+  }
+  return delta;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void StatsSnapshot::WriteJson(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%llu,\"min\":%llu,\"max\":%llu,\"mean\":%.3f,"
+                  "\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,\"p999\":%llu}",
+                  static_cast<unsigned long long>(histogram.count()),
+                  static_cast<unsigned long long>(histogram.min()),
+                  static_cast<unsigned long long>(histogram.max()), histogram.mean(),
+                  static_cast<unsigned long long>(histogram.p50()),
+                  static_cast<unsigned long long>(histogram.p90()),
+                  static_cast<unsigned long long>(histogram.p99()),
+                  static_cast<unsigned long long>(histogram.p999()));
+    os << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << buf;
+    first = false;
+  }
+  os << "}}";
+}
+
+std::string StatsSnapshot::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
 }
 
 void StatsRegistry::Reset() {

@@ -7,6 +7,7 @@
 #define SRC_SIM_STATS_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,6 +55,11 @@ class Histogram {
   // Merges another histogram into this one.
   void Merge(const Histogram& other);
 
+  // The recordings added since `earlier` (an older copy of this histogram):
+  // buckets, count and sum subtract exactly; min/max are recomputed from the
+  // surviving buckets, so they are bucket-representative approximations.
+  Histogram DeltaSince(const Histogram& earlier) const;
+
   // "count=… mean=…us p50=… p99=… max=…" for logs and bench output.
   std::string Summary() const;
 
@@ -72,6 +78,22 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+// A frozen copy of a registry's values at one simulated instant. Snapshots
+// subtract (DeltaSince) so benchmarks report per-phase deltas instead of
+// cumulative totals, and serialize to JSON for machine consumption.
+struct StatsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, Histogram> histograms;
+
+  // This snapshot minus an older one taken from the same registry. Counters
+  // and histograms absent from `earlier` pass through unchanged.
+  StatsSnapshot DeltaSince(const StatsSnapshot& earlier) const;
+
+  // {"counters":{...},"histograms":{name:{count,min,max,mean,p50,...}}}
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+};
+
 // A named bag of counters and histograms owned by one component; the machine
 // aggregates registries for reporting.
 class StatsRegistry {
@@ -84,6 +106,9 @@ class StatsRegistry {
 
   // Multi-line human-readable dump.
   std::string Report(const std::string& prefix = "") const;
+
+  // Frozen copy of the current values.
+  StatsSnapshot Snapshot() const;
 
   void Reset();
 

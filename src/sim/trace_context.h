@@ -1,0 +1,35 @@
+// Causal trace context carried by messages and fabric operations.
+//
+// A TraceContext ties an in-flight operation back to the span that started
+// it. It is deliberately a tiny POD with no dependencies so that proto and
+// fabric types can embed one without pulling in the trace log machinery, and
+// so copying a Message stays cheap. The context is simulator metadata only:
+// it is never encoded on the simulated wire, so carrying it does not perturb
+// modeled transfer times.
+#ifndef SRC_SIM_TRACE_CONTEXT_H_
+#define SRC_SIM_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace lastcpu::sim {
+
+// Identifies a span in the trace. 0 means "no span".
+using SpanId = uint64_t;
+
+// Identifies a message flow (one bus send/receive pair). 0 means "no flow".
+using FlowId = uint64_t;
+
+struct TraceContext {
+  // The span under which the carrying operation was issued (the sender's
+  // active span). Receivers parent their handling span to this.
+  SpanId span = 0;
+  // Flow id minted when the carrying message entered the bus; links the
+  // send-side and receive-side trace records into one arrow.
+  FlowId flow = 0;
+
+  bool valid() const { return span != 0; }
+};
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_TRACE_CONTEXT_H_

@@ -1,0 +1,222 @@
+#include "src/sim/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lastcpu::sim {
+namespace {
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMicros(SimTime when) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", when.micros());
+  return buf;
+}
+
+struct Span {
+  std::string component;
+  std::string name;
+  std::string detail;
+  SimTime begin;
+  SimTime end;
+  bool closed = false;
+  SpanId parent = 0;
+  int tid = 0;
+};
+
+struct Emitted {
+  uint64_t ts_ns;
+  // Orders events at equal timestamps: metadata < span begins < the rest, so
+  // flow binding to an enclosing slice start works in Chrome's model.
+  int rank;
+  std::string json;
+};
+
+}  // namespace
+
+void WriteChromeTrace(const TraceLog& log, std::ostream& os) {
+  const auto& records = log.records();
+
+  // Stable pid per component, in order of first appearance.
+  std::map<std::string, int> pids;
+  std::vector<std::string> components;
+  for (const auto& r : records) {
+    if (pids.emplace(r.component, static_cast<int>(components.size()) + 1).second) {
+      components.push_back(r.component);
+    }
+  }
+
+  // Reconstruct spans from begin/end pairs.
+  std::map<SpanId, Span> spans;
+  SimTime last_ts;
+  for (const auto& r : records) {
+    last_ts = std::max(last_ts, r.when);
+    if (r.kind == TraceKind::kSpanBegin) {
+      Span span;
+      span.component = r.component;
+      span.name = r.event;
+      span.detail = r.detail;
+      span.begin = r.when;
+      span.end = r.when;
+      span.parent = r.parent;
+      spans[r.span] = span;
+    } else if (r.kind == TraceKind::kSpanEnd) {
+      auto it = spans.find(r.span);
+      if (it != spans.end()) {
+        it->second.end = r.when;
+        it->second.closed = true;
+      }
+    }
+  }
+  // A span that never closed (e.g. a request still in flight when the trace
+  // was dumped) extends to the last record so it stays visible.
+  for (auto& [id, span] : spans) {
+    if (!span.closed) {
+      span.end = last_ts;
+    }
+  }
+
+  // Greedy lane (tid) assignment: overlapping spans of one component go to
+  // separate lanes so Chrome renders them side by side, not nested wrongly.
+  std::map<std::string, std::vector<SimTime>> lane_ends;
+  std::vector<std::pair<SpanId, Span*>> ordered;
+  ordered.reserve(spans.size());
+  for (auto& [id, span] : spans) {
+    ordered.emplace_back(id, &span);
+  }
+  std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+    if (a.second->begin != b.second->begin) {
+      return a.second->begin < b.second->begin;
+    }
+    return a.first < b.first;
+  });
+  for (auto& [id, span] : ordered) {
+    auto& lanes = lane_ends[span->component];
+    int lane = -1;
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      if (lanes[i] <= span->begin) {
+        lane = static_cast<int>(i);
+        break;
+      }
+    }
+    if (lane < 0) {
+      lane = static_cast<int>(lanes.size());
+      lanes.push_back(span->begin);
+    }
+    lanes[static_cast<size_t>(lane)] = span->end;
+    span->tid = lane;
+  }
+
+  auto pid_of = [&](const std::string& component) { return pids[component]; };
+  // An event may only anchor to a span lane within its own process row.
+  auto tid_of_span = [&](SpanId id, const std::string& component) {
+    auto it = spans.find(id);
+    return (it == spans.end() || it->second.component != component) ? 0 : it->second.tid;
+  };
+
+  std::vector<Emitted> events;
+  events.reserve(records.size() + components.size());
+
+  for (const auto& component : components) {
+    events.push_back(
+        {0, -1,
+         "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid_of(component)) +
+             ",\"tid\":0,\"args\":{\"name\":\"" + EscapeJson(component) + "\"}}"});
+  }
+
+  for (const auto& [id, span] : spans) {
+    double dur = (span.end - span.begin).micros();
+    char durbuf[32];
+    std::snprintf(durbuf, sizeof(durbuf), "%.3f", dur);
+    std::string json = "{\"ph\":\"X\",\"name\":\"" + EscapeJson(span.name) +
+                       "\",\"cat\":\"span\",\"ts\":" + FormatMicros(span.begin) +
+                       ",\"dur\":" + durbuf + ",\"pid\":" + std::to_string(pid_of(span.component)) +
+                       ",\"tid\":" + std::to_string(span.tid) +
+                       ",\"args\":{\"span\":" + std::to_string(id) +
+                       ",\"parent\":" + std::to_string(span.parent);
+    if (!span.detail.empty()) {
+      json += ",\"detail\":\"" + EscapeJson(span.detail) + "\"";
+    }
+    json += "}}";
+    events.push_back({span.begin.nanos(), 0, std::move(json)});
+  }
+
+  for (const auto& r : records) {
+    switch (r.kind) {
+      case TraceKind::kInstant: {
+        std::string json = "{\"ph\":\"i\",\"name\":\"" + EscapeJson(r.event) +
+                           "\",\"cat\":\"event\",\"s\":\"t\",\"ts\":" + FormatMicros(r.when) +
+                           ",\"pid\":" + std::to_string(pid_of(r.component)) +
+                           ",\"tid\":" + std::to_string(tid_of_span(r.span, r.component));
+        if (!r.detail.empty()) {
+          json += ",\"args\":{\"detail\":\"" + EscapeJson(r.detail) + "\"}";
+        }
+        json += "}";
+        events.push_back({r.when.nanos(), 1, std::move(json)});
+      } break;
+      case TraceKind::kFlowSend:
+      case TraceKind::kFlowReceive: {
+        bool send = r.kind == TraceKind::kFlowSend;
+        std::string json = std::string("{\"ph\":\"") + (send ? "s" : "f") +
+                           "\",\"name\":\"msg\",\"cat\":\"flow\",\"id\":" +
+                           std::to_string(r.flow) + ",\"ts\":" + FormatMicros(r.when) +
+                           ",\"pid\":" + std::to_string(pid_of(r.component)) +
+                           ",\"tid\":" + std::to_string(tid_of_span(r.span, r.component));
+        if (!send) {
+          json += ",\"bp\":\"e\"";
+        }
+        if (!r.event.empty()) {
+          json += ",\"args\":{\"message\":\"" + EscapeJson(r.event) + "\"}";
+        }
+        json += "}";
+        events.push_back({r.when.nanos(), send ? 1 : 2, std::move(json)});
+      } break;
+      case TraceKind::kSpanBegin:
+      case TraceKind::kSpanEnd:
+        break;  // already rendered as complete events
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(), [](const Emitted& a, const Emitted& b) {
+    if (a.ts_ns != b.ts_ns) {
+      return a.ts_ns < b.ts_ns;
+    }
+    return a.rank < b.rank;
+  });
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << "\n" << events[i].json;
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace lastcpu::sim

@@ -1,0 +1,24 @@
+// Chrome trace_event exporter for TraceLog.
+//
+// Produces a JSON document loadable in chrome://tracing or Perfetto:
+//   - one "process" per component (pid = stable component index),
+//   - spans as complete ("X") duration events, overlapping spans of one
+//     component spread across lanes (tids) greedily,
+//   - instants as "i" events,
+//   - bus message send/receive pairs as "s"/"f" flow arrows keyed by flow id.
+// Timestamps are simulated nanoseconds rendered in microseconds (the
+// trace_event unit), so a 1ns hop shows as ts delta 0.001.
+#ifndef SRC_SIM_TRACE_EXPORT_H_
+#define SRC_SIM_TRACE_EXPORT_H_
+
+#include <ostream>
+
+#include "src/sim/trace.h"
+
+namespace lastcpu::sim {
+
+void WriteChromeTrace(const TraceLog& log, std::ostream& os);
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_TRACE_EXPORT_H_

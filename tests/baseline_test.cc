@@ -25,12 +25,10 @@ class KernelTest : public ::testing::Test {
     kernel_.RegisterDevice(DeviceId(2), &ssd_iommu_);
   }
 
-  Result<VirtAddr> AllocSync(DeviceId requester, Pasid pasid, uint64_t bytes) {
-    std::optional<Result<VirtAddr>> result;
-    kernel_.AllocMemory(requester, pasid, bytes, [&](Result<VirtAddr> r) { result = r; });
-    simulator_.Run();
-    LASTCPU_CHECK(result.has_value(), "alloc never completed");
-    return *result;
+  // The ControlClient sync wrappers drive the simulator for us; ops issue on
+  // behalf of the NIC (DeviceId 1).
+  Result<VirtAddr> AllocSync(Pasid pasid, uint64_t bytes) {
+    return client_.AllocSync(pasid, bytes);
   }
 
   sim::Simulator simulator_;
@@ -38,10 +36,11 @@ class KernelTest : public ::testing::Test {
   CentralKernel kernel_;
   iommu::Iommu nic_iommu_;
   iommu::Iommu ssd_iommu_;
+  core::KernelControlClient client_{&kernel_, DeviceId(1)};
 };
 
 TEST_F(KernelTest, AllocMapsRequester) {
-  auto vaddr = AllocSync(DeviceId(1), Pasid(7), 3 * kPageSize);
+  auto vaddr = AllocSync(Pasid(7), 3 * kPageSize);
   ASSERT_TRUE(vaddr.ok());
   EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 3u);
   EXPECT_EQ(ssd_iommu_.mapped_pages(Pasid(7)), 0u);
@@ -50,7 +49,7 @@ TEST_F(KernelTest, AllocMapsRequester) {
 
 TEST_F(KernelTest, OperationsTakeCpuTime) {
   sim::SimTime before = simulator_.Now();
-  ASSERT_TRUE(AllocSync(DeviceId(1), Pasid(7), kPageSize).ok());
+  ASSERT_TRUE(AllocSync(Pasid(7), kPageSize).ok());
   // At least interrupt + entry + service.
   EXPECT_GE((simulator_.Now() - before).nanos(), 2000u + 300u + 1000u);
   EXPECT_EQ(kernel_.ops_completed(), 1u);
@@ -96,7 +95,7 @@ TEST_F(KernelTest, MoreCoresReduceQueueing) {
 }
 
 TEST_F(KernelTest, GrantRequiresOwnership) {
-  auto vaddr = AllocSync(DeviceId(1), Pasid(7), kPageSize);
+  auto vaddr = AllocSync(Pasid(7), kPageSize);
   ASSERT_TRUE(vaddr.ok());
   std::optional<Status> denied;
   kernel_.Grant(DeviceId(2), Pasid(7), *vaddr, kPageSize, DeviceId(2), Access::kRead,
@@ -113,7 +112,7 @@ TEST_F(KernelTest, GrantRequiresOwnership) {
 }
 
 TEST_F(KernelTest, RevokeUnmapsGrantee) {
-  auto vaddr = AllocSync(DeviceId(1), Pasid(7), kPageSize);
+  auto vaddr = AllocSync(Pasid(7), kPageSize);
   std::optional<Status> status;
   kernel_.Grant(DeviceId(1), Pasid(7), *vaddr, kPageSize, DeviceId(2), Access::kRead,
                 [&](Status s) { status = s; });
@@ -127,7 +126,7 @@ TEST_F(KernelTest, RevokeUnmapsGrantee) {
 }
 
 TEST_F(KernelTest, FreeChecksOwnerAndReclaims) {
-  auto vaddr = AllocSync(DeviceId(1), Pasid(7), 2 * kPageSize);
+  auto vaddr = AllocSync(Pasid(7), 2 * kPageSize);
   std::optional<Status> status;
   kernel_.FreeMemory(DeviceId(2), Pasid(7), *vaddr, 2 * kPageSize,
                      [&](Status s) { status = s; });
@@ -142,7 +141,7 @@ TEST_F(KernelTest, FreeChecksOwnerAndReclaims) {
 }
 
 TEST_F(KernelTest, TeardownDropsEverything) {
-  auto a = AllocSync(DeviceId(1), Pasid(7), kPageSize);
+  auto a = AllocSync(Pasid(7), kPageSize);
   ASSERT_TRUE(a.ok());
   std::optional<Status> status;
   kernel_.Grant(DeviceId(1), Pasid(7), *a, kPageSize, DeviceId(2), Access::kRead,
@@ -188,30 +187,20 @@ TEST(ControlClientTest, BothDesignsImplementTheSamePolicy) {
   kernel.RegisterDevice(DeviceId(2), &kssd);
   core::KernelControlClient kernel_client(&kernel, DeviceId(1));
 
-  // The identical sequence must succeed identically in both designs.
-  auto run_sequence = [](core::ControlClient& client, DeviceId grantee, auto run) {
-    std::optional<VirtAddr> vaddr;
-    std::optional<Status> granted;
-    std::optional<Status> freed;
-    client.Alloc(Pasid(7), 2 * kPageSize, [&](Result<VirtAddr> r) {
-      ASSERT_TRUE(r.ok()) << r.status().ToString();
-      vaddr = *r;
-    });
-    run();
-    ASSERT_TRUE(vaddr.has_value());
-    client.Grant(Pasid(7), *vaddr, 2 * kPageSize, grantee, Access::kRead,
-                 [&](Status s) { granted = s; });
-    run();
-    ASSERT_TRUE(granted.has_value());
-    EXPECT_TRUE(granted->ok()) << granted->ToString();
-    client.Free(Pasid(7), *vaddr, 2 * kPageSize, [&](Status s) { freed = s; });
-    run();
-    ASSERT_TRUE(freed.has_value());
-    EXPECT_TRUE(freed->ok()) << freed->ToString();
+  // The identical sequence must succeed identically in both designs. The
+  // sync wrappers drive each client's own simulator until completion.
+  auto run_sequence = [](core::ControlClient& client, DeviceId grantee) {
+    Result<VirtAddr> vaddr = client.AllocSync(Pasid(7), 2 * kPageSize);
+    ASSERT_TRUE(vaddr.ok()) << vaddr.status().ToString();
+    Result<void> granted = client.GrantSync(Pasid(7), *vaddr, 2 * kPageSize, grantee,
+                                            Access::kRead);
+    EXPECT_TRUE(granted.ok()) << granted.status().ToString();
+    Result<void> freed = client.FreeSync(Pasid(7), *vaddr, 2 * kPageSize);
+    EXPECT_TRUE(freed.ok()) << freed.status().ToString();
   };
 
-  run_sequence(bus_client, ssd.id(), [&] { machine.RunUntilIdle(); });
-  run_sequence(kernel_client, DeviceId(2), [&] { kernel_simulator.Run(); });
+  run_sequence(bus_client, ssd.id());
+  run_sequence(kernel_client, DeviceId(2));
 
   EXPECT_EQ(nic.iommu().mapped_pages(Pasid(7)), 0u);
   EXPECT_EQ(knic.mapped_pages(Pasid(7)), 0u);

@@ -3,11 +3,17 @@
 // aggregated stats report.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
+#include <sstream>
 
+#include "src/core/control_plane.h"
 #include "src/core/machine.h"
 #include "src/kvs/kvs_app.h"
+#include "src/sim/json.h"
 #include "tests/test_util.h"
 
 namespace lastcpu::core {
@@ -60,6 +66,88 @@ TEST(MachineTest, TraceCapturesBootWhenEnabled) {
   machine.AddMemoryController();
   machine.Boot();
   EXPECT_TRUE(machine.trace().ContainsSequence({"self-test", "alive"}));
+}
+
+TEST(MachineTest, TraceFormsConnectedCausalChains) {
+  MachineConfig config;
+  config.enable_trace = true;
+  Machine machine(config);
+  auto& memctrl = machine.AddMemoryController();
+  TestDevice requester(machine.NextDeviceId(), "req", machine.Context());
+  requester.PowerOn();
+  machine.Boot();
+
+  Pasid app = machine.NewApplication("traced");
+  BusControlClient client(&requester, memctrl.id());
+  auto vaddr = client.AllocSync(app, 4 * kPageSize);
+  ASSERT_TRUE(vaddr.ok());
+  ASSERT_TRUE(client.FreeSync(app, *vaddr, 4 * kPageSize).ok());
+
+  std::map<sim::SpanId, sim::SpanId> parent_of;
+  std::set<sim::FlowId> sends;
+  std::set<sim::FlowId> receives;
+  for (const auto& r : machine.trace().records()) {
+    if (r.kind == sim::TraceKind::kSpanBegin) {
+      parent_of[r.span] = r.parent;
+    } else if (r.kind == sim::TraceKind::kFlowSend) {
+      sends.insert(r.flow);
+    } else if (r.kind == sim::TraceKind::kFlowReceive) {
+      receives.insert(r.flow);
+    }
+  }
+
+  // Every non-root span's parent is itself a recorded span.
+  EXPECT_GT(parent_of.size(), 4u);
+  for (const auto& [span, parent] : parent_of) {
+    if (parent != 0) {
+      EXPECT_TRUE(parent_of.contains(parent)) << "span " << span << " dangling parent " << parent;
+    }
+  }
+  // Every received flow was sent; the Fig-2 ops crossed the bus, so flows
+  // exist at all.
+  EXPECT_FALSE(receives.empty());
+  for (sim::FlowId flow : receives) {
+    EXPECT_TRUE(sends.contains(flow)) << "flow " << flow << " received but never sent";
+  }
+
+  // The alloc handshake nests at least requester-span -> memctrl handling
+  // span -> bus MapDirective span.
+  size_t max_depth = 0;
+  for (const auto& [span, parent] : parent_of) {
+    size_t depth = 1;
+    sim::SpanId cursor = parent;
+    while (cursor != 0 && depth < 32) {
+      ++depth;
+      auto it = parent_of.find(cursor);
+      cursor = it == parent_of.end() ? 0 : it->second;
+    }
+    max_depth = std::max(max_depth, depth);
+  }
+  EXPECT_GE(max_depth, 3u);
+}
+
+TEST(MachineTest, MetricsJsonIsParseable) {
+  Machine machine;
+  machine.AddMemoryController();
+  machine.AddSmartSsd(NoAuthSsd());
+  machine.Boot();
+  std::ostringstream os;
+  machine.MetricsJson(os);
+  auto parsed = sim::ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const sim::JsonValue* bus = parsed->Find("bus");
+  ASSERT_NE(bus, nullptr);
+  EXPECT_NE(parsed->Find("fabric"), nullptr);
+  const sim::JsonValue* devices = parsed->Find("devices");
+  ASSERT_NE(devices, nullptr);
+  EXPECT_NE(devices->Find("memctrl"), nullptr);
+  // Boot traffic (alive announcements) went over the bus, so the counter
+  // section is non-trivial.
+  const sim::JsonValue* bus_counters = bus->Find("counters");
+  ASSERT_NE(bus_counters, nullptr);
+  const sim::JsonValue* sent = bus_counters->Find("messages_sent");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_GT(sent->number(), 0.0);
 }
 
 TEST(MachineTest, StatsReportCoversAllComponents) {

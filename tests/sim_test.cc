@@ -5,11 +5,13 @@
 #include <sstream>
 #include <vector>
 
+#include "src/sim/json.h"
 #include "src/sim/rng.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 #include "src/sim/trace.h"
+#include "src/sim/trace_export.h"
 
 namespace lastcpu::sim {
 namespace {
@@ -285,6 +287,63 @@ TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
   EXPECT_EQ(h.max(), UINT64_MAX);
 }
 
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0u);
+}
+
+TEST(HistogramTest, QuantileExtremesBracketRecordedRange) {
+  Histogram h;
+  for (uint64_t v = 100; v <= 1000; v += 100) {
+    h.Record(v);
+  }
+  // Bucket-representative values: allow the ~3% sub-bucket error.
+  uint64_t q0 = h.ValueAtQuantile(0.0);
+  uint64_t q1 = h.ValueAtQuantile(1.0);
+  EXPECT_GE(q0, 90u);
+  EXPECT_LE(q0, 110u);
+  EXPECT_GE(q1, 950u);
+  EXPECT_LE(q1, 1050u);
+  EXPECT_LE(q0, q1);
+}
+
+TEST(HistogramTest, MergeDisjointRangesPreservesMinMaxCount) {
+  Histogram low;
+  low.Record(uint64_t{10});
+  low.Record(uint64_t{20});
+  Histogram high;
+  high.Record(uint64_t{1'000'000});
+  high.Record(uint64_t{2'000'000});
+  low.Merge(high);
+  EXPECT_EQ(low.count(), 4u);
+  EXPECT_EQ(low.min(), 10u);
+  EXPECT_EQ(low.max(), 2'000'000u);
+  EXPECT_DOUBLE_EQ(low.sum(), 10.0 + 20.0 + 1'000'000.0 + 2'000'000.0);
+}
+
+TEST(HistogramTest, DeltaSinceSubtractsEarlierRecordings) {
+  Histogram h;
+  h.Record(uint64_t{100});
+  h.Record(uint64_t{200});
+  Histogram checkpoint = h;
+  h.Record(uint64_t{5000});
+  h.Record(uint64_t{6000});
+  Histogram delta = h.DeltaSince(checkpoint);
+  EXPECT_EQ(delta.count(), 2u);
+  // Min/max are bucket-representative after subtraction.
+  EXPECT_GE(delta.min(), 4800u);
+  EXPECT_LE(delta.max(), 6200u);
+
+  Histogram nothing = h.DeltaSince(h);
+  EXPECT_EQ(nothing.count(), 0u);
+}
+
 TEST(StatsRegistryTest, CountersAndHistogramsByName) {
   StatsRegistry stats;
   stats.GetCounter("ops").Increment();
@@ -300,49 +359,262 @@ TEST(StatsRegistryTest, CountersAndHistogramsByName) {
 }
 
 TEST(TraceLogTest, DisabledByDefault) {
+  Simulator simulator;
   TraceLog trace;
-  trace.Emit(SimTime::Zero(), "nic", "open", "");
+  Tracer tracer(&trace, &simulator, "nic");
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Instant("open");
+  SpanId span = tracer.BeginSpan("op");
+  EXPECT_EQ(span, 0u);
+  tracer.EndSpan(span);
   EXPECT_TRUE(trace.records().empty());
 }
 
 TEST(TraceLogTest, RecordsWhenEnabled) {
+  Simulator simulator;
   TraceLog trace;
   trace.Enable();
-  trace.Emit(SimTime::FromNanos(10), "nic", "open", "file=kv.log");
+  Tracer tracer(&trace, &simulator, "nic");
+  simulator.Schedule(Duration::Nanos(10), [&] { tracer.Instant("open", "file=kv.log"); });
+  simulator.Run();
   ASSERT_EQ(trace.records().size(), 1u);
   EXPECT_EQ(trace.records()[0].component, "nic");
   EXPECT_EQ(trace.records()[0].detail, "file=kv.log");
+  EXPECT_EQ(trace.records()[0].when, SimTime::FromNanos(10));
 }
 
 TEST(TraceLogTest, FindByEventFilters) {
+  Simulator simulator;
   TraceLog trace;
   trace.Enable();
-  trace.Emit(SimTime::Zero(), "a", "x", "");
-  trace.Emit(SimTime::Zero(), "b", "y", "");
-  trace.Emit(SimTime::Zero(), "c", "x", "");
+  Tracer a(&trace, &simulator, "a");
+  Tracer b(&trace, &simulator, "b");
+  Tracer c(&trace, &simulator, "c");
+  a.Instant("x");
+  b.Instant("y");
+  c.Instant("x");
   EXPECT_EQ(trace.FindByEvent("x").size(), 2u);
   EXPECT_EQ(trace.FindByEvent("z").size(), 0u);
 }
 
-TEST(TraceLogTest, ContainsSequenceRespectsOrder) {
+TEST(TraceLogTest, FindByEventMatchesSpanNamesOnce) {
+  Simulator simulator;
   TraceLog trace;
   trace.Enable();
+  Tracer tracer(&trace, &simulator, "sys");
+  SpanId span = tracer.BeginSpan("alloc");
+  tracer.EndSpan(span);
+  // A begin/end pair is one logical event: the end record must not double it.
+  EXPECT_EQ(trace.FindByEvent("alloc").size(), 1u);
+}
+
+TEST(TraceLogTest, ContainsSequenceRespectsOrder) {
+  Simulator simulator;
+  TraceLog trace;
+  trace.Enable();
+  Tracer tracer(&trace, &simulator, "sys");
   for (const char* e : {"discover", "offer", "open", "alloc", "map", "grant"}) {
-    trace.Emit(SimTime::Zero(), "sys", e, "");
+    tracer.Instant(e);
   }
   EXPECT_TRUE(trace.ContainsSequence({"discover", "open", "grant"}));
   EXPECT_FALSE(trace.ContainsSequence({"open", "discover"}));
   EXPECT_TRUE(trace.ContainsSequence({}));
 }
 
-TEST(TraceLogTest, DumpIsHumanReadable) {
+TEST(TraceLogTest, ContainsSequenceSeesSpanNames) {
+  Simulator simulator;
   TraceLog trace;
   trace.Enable();
-  trace.Emit(SimTime::FromNanos(1500), "nic", "open", "f");
+  Tracer tracer(&trace, &simulator, "sys");
+  SpanId outer = tracer.BeginSpan("Alloc");
+  tracer.Instant("map", "", outer);
+  tracer.EndSpan(outer);
+  EXPECT_TRUE(trace.ContainsSequence({"Alloc", "map"}));
+}
+
+TEST(TraceLogTest, SpansCarryParentAndFlowLinks) {
+  Simulator simulator;
+  TraceLog trace;
+  trace.Enable();
+  Tracer tracer(&trace, &simulator, "nic");
+  SpanId parent = tracer.BeginSpan("request");
+  SpanId child = tracer.BeginSpan("handle", parent);
+  FlowId flow = tracer.FlowSend("MemAllocRequest", child);
+  EXPECT_NE(parent, 0u);
+  EXPECT_NE(child, 0u);
+  EXPECT_NE(flow, 0u);
+  tracer.FlowReceive("MemAllocRequest", flow, child);
+  tracer.EndSpan(child);
+  tracer.EndSpan(parent);
+
+  const auto& records = trace.records();
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records[0].kind, TraceKind::kSpanBegin);
+  EXPECT_EQ(records[1].parent, parent);
+  EXPECT_EQ(records[2].kind, TraceKind::kFlowSend);
+  EXPECT_EQ(records[2].flow, flow);
+  EXPECT_EQ(records[3].kind, TraceKind::kFlowReceive);
+  EXPECT_EQ(records[3].flow, flow);
+}
+
+TEST(TraceLogTest, DumpIsHumanReadable) {
+  Simulator simulator;
+  TraceLog trace;
+  trace.Enable();
+  Tracer tracer(&trace, &simulator, "nic");
+  SpanId span = tracer.BeginSpan("open", 0, "f");
+  tracer.EndSpan(span);
   std::ostringstream os;
   trace.Dump(os);
   EXPECT_NE(os.str().find("nic"), std::string::npos);
   EXPECT_NE(os.str().find("open"), std::string::npos);
+}
+
+TEST(JsonTest, ParsesScalarsAndContainers) {
+  auto v = ParseJson(R"({"a": [1, 2.5, -3], "b": "hi\nthere", "c": true, "d": null})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->array()[2].number(), -3.0);
+  EXPECT_EQ(v->Find("b")->str(), "hi\nthere");
+  EXPECT_TRUE(v->Find("c")->boolean());
+  EXPECT_TRUE(v->Find("d")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+}
+
+TEST(StatsSnapshotTest, DeltaSinceReportsPerPhaseValues) {
+  StatsRegistry stats;
+  stats.GetCounter("ops").Increment(10);
+  stats.GetHistogram("latency").Record(uint64_t{100});
+  StatsSnapshot before = stats.Snapshot();
+  stats.GetCounter("ops").Increment(7);
+  stats.GetCounter("new_counter").Increment(3);
+  stats.GetHistogram("latency").Record(uint64_t{200});
+  StatsSnapshot delta = stats.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.counters.at("ops"), 7u);
+  EXPECT_EQ(delta.counters.at("new_counter"), 3u);
+  EXPECT_EQ(delta.histograms.at("latency").count(), 1u);
+}
+
+TEST(StatsSnapshotTest, JsonRoundTrips) {
+  StatsRegistry stats;
+  stats.GetCounter("ops").Increment(42);
+  stats.GetHistogram("latency").Record(uint64_t{1000});
+  stats.GetHistogram("latency").Record(uint64_t{3000});
+  auto parsed = ParseJson(stats.Snapshot().ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("ops")->number(), 42.0);
+  const JsonValue* latency = parsed->Find("histograms")->Find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->Find("count")->number(), 2.0);
+  EXPECT_GT(latency->Find("max")->number(), latency->Find("min")->number());
+}
+
+// Builds a small two-component trace: a request span on "nic" that sends a
+// message to a handling span on "memctrl", linked by one flow.
+TraceLog MakeLinkedTrace() {
+  Simulator simulator;
+  TraceLog trace;
+  trace.Enable();
+  Tracer nic(&trace, &simulator, "nic");
+  Tracer memctrl(&trace, &simulator, "memctrl");
+  SpanId request = nic.BeginSpan("Alloc");
+  FlowId flow = nic.FlowSend("MemAllocRequest", request);
+  simulator.Schedule(Duration::Nanos(500), [&] {
+    SpanId handle = memctrl.BeginSpan("MemAllocRequest", request);
+    memctrl.FlowReceive("MemAllocRequest", flow, handle);
+    memctrl.EndSpan(handle);
+  });
+  simulator.Schedule(Duration::Nanos(900), [&] { nic.EndSpan(request); });
+  simulator.Run();
+  return trace;
+}
+
+TEST(ChromeTraceExportTest, EmitsValidJsonWithMonotoneTimestamps) {
+  TraceLog trace = MakeLinkedTrace();
+  std::ostringstream os;
+  WriteChromeTrace(trace, os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GE(events->array().size(), 4u);  // 2 process names, 2 spans, 2 flows
+  double last_ts = -1.0;
+  for (const JsonValue& event : events->array()) {
+    ASSERT_TRUE(event.is_object());
+    ASSERT_NE(event.Find("ph"), nullptr);
+    if (event.Find("ph")->str() == "M") {
+      continue;  // metadata has no timestamp ordering obligation
+    }
+    ASSERT_NE(event.Find("ts"), nullptr);
+    double ts = event.Find("ts")->number();
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+  }
+}
+
+TEST(ChromeTraceExportTest, FlowSendAndFinishShareIds) {
+  TraceLog trace = MakeLinkedTrace();
+  std::ostringstream os;
+  WriteChromeTrace(trace, os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok());
+  std::map<double, int> sends;
+  std::map<double, int> finishes;
+  for (const JsonValue& event : parsed->Find("traceEvents")->array()) {
+    const std::string& ph = event.Find("ph")->str();
+    if (ph == "s") {
+      ++sends[event.Find("id")->number()];
+    } else if (ph == "f") {
+      ++finishes[event.Find("id")->number()];
+      EXPECT_EQ(event.Find("bp")->str(), "e");
+    }
+  }
+  EXPECT_FALSE(sends.empty());
+  EXPECT_EQ(sends, finishes);
+}
+
+TEST(ChromeTraceExportTest, SpansRecordParentIds) {
+  TraceLog trace = MakeLinkedTrace();
+  std::ostringstream os;
+  WriteChromeTrace(trace, os);
+  auto parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok());
+  std::map<double, double> parent_of;  // span id -> parent id
+  for (const JsonValue& event : parsed->Find("traceEvents")->array()) {
+    if (event.Find("ph")->str() != "X") {
+      continue;
+    }
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    parent_of[args->Find("span")->number()] = args->Find("parent")->number();
+  }
+  ASSERT_EQ(parent_of.size(), 2u);
+  // Exactly one root; the other span's parent is the root.
+  int roots = 0;
+  for (const auto& [span, parent] : parent_of) {
+    if (parent == 0.0) {
+      ++roots;
+    } else {
+      EXPECT_TRUE(parent_of.contains(parent));
+    }
+  }
+  EXPECT_EQ(roots, 1);
 }
 
 }  // namespace
