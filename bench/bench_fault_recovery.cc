@@ -1,0 +1,192 @@
+// E-fault: recovery latency under a faulty interconnect (paper Sec. 4/5).
+//
+// The paper's open question is whether a machine with no CPU to clean up
+// after it stays viable when things go wrong. This experiment kills the
+// smart SSD in the middle of a live KVS workload — on a clean wire and on a
+// lossy one (drops, delays, duplicates, reorders injected seed-
+// deterministically by the FaultPlan) — and measures the time from the kill
+// to full application recovery (session re-open, log re-scan, first
+// successful GET). The centralized comparator pays kernel mediation for the
+// failure fan-out and re-initialization, with the same per-message loss
+// probability forcing timeout-priced retries on its mediated hops.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/baseline/central_kernel.h"
+#include "src/sim/fault.h"
+
+namespace lastcpu {
+namespace {
+
+using benchutil::KvsRig;
+
+// Steps the simulator until `predicate` holds; returns false on queue-drain.
+bool StepUntil(sim::Simulator& simulator, const std::function<bool()>& predicate) {
+  while (!predicate()) {
+    if (!simulator.Step()) {
+      return predicate();
+    }
+  }
+  return true;
+}
+
+// The lossy-wire profile shared by both designs: mild but real impairment.
+sim::FaultPlan LossyPlan() {
+  sim::FaultPlan plan;
+  plan.drop_probability = 0.01;
+  plan.delay_probability = 0.05;
+  plan.duplicate_probability = 0.01;
+  plan.reorder_probability = 0.01;
+  return plan;
+}
+
+// Kills the SSD mid-workload and measures time to first successful GET after
+// recovery. state.range(0) selects the wire: 0 = clean, 1 = lossy plan.
+void FaultRecovery_Decentralized(benchmark::State& state) {
+  const bool lossy = state.range(0) != 0;
+  uint64_t seed = LossyPlan().seed;
+  for (auto _ : state) {
+    core::MachineConfig machine_config;
+    kvs::KvsAppConfig app_config;
+    if (lossy) {
+      machine_config.fault_plan = LossyPlan();
+      machine_config.fault_plan.seed = seed++;  // fresh draw sequence per run
+      // Doorbells may be dropped on a lossy wire; the poll backstop keeps
+      // the data plane live (see FileClientConfig::completion_poll).
+      app_config.engine.file_client.completion_poll = sim::Duration::Micros(200);
+    }
+    KvsRig rig = KvsRig::Build(machine_config, app_config);
+    rig.Preload(50, 128);
+
+    // Keep a workload in flight so the kill lands mid-exchange.
+    int issued = 0;
+    int settled = 0;
+    for (uint64_t i = 0; i < 8; ++i) {
+      ++issued;
+      rig.app->engine().Get(kvs::WorkloadGenerator::KeyFor(i),
+                            [&](Result<std::vector<uint8_t>>) { ++settled; });
+    }
+    for (int i = 0; i < 50; ++i) {
+      rig.machine->simulator().Step();  // a few deliveries, then the axe falls
+    }
+
+    sim::SimTime start = rig.machine->simulator().Now();
+    rig.ssd->InjectFailure();
+    rig.machine->bus().ReportDeviceFailure(rig.ssd->id());
+    bool stopped = StepUntil(rig.machine->simulator(),
+                             [&] { return !rig.app->engine().running(); });
+    LASTCPU_CHECK(stopped, "NIC never learned of the failure");
+    sim::SimTime notified = rig.machine->simulator().Now();
+    bool recovered = StepUntil(rig.machine->simulator(),
+                               [&] { return rig.app->engine().running(); });
+    LASTCPU_CHECK(recovered, "app never recovered");
+
+    bool got = false;
+    rig.app->engine().Get(kvs::WorkloadGenerator::KeyFor(7),
+                          [&](Result<std::vector<uint8_t>> r) { got = r.ok(); });
+    rig.machine->RunUntilIdle();
+    LASTCPU_CHECK(got, "data lost across recovery");
+    // The no-hangs invariant: every pre-kill request settled with a typed
+    // status even though its provider died mid-exchange.
+    LASTCPU_CHECK(settled == issued, "a request callback hung across the failure");
+
+    state.SetIterationTime((rig.machine->simulator().Now() - start).seconds());
+    state.counters["notify_us"] = (notified - start).seconds() * 1e6;
+    state.counters["recoveries"] = static_cast<double>(rig.app->recoveries());
+    if (rig.machine->fault_injector() != nullptr) {
+      state.counters["faults"] =
+          static_cast<double>(rig.machine->fault_injector()->dropped() +
+                              rig.machine->fault_injector()->delayed() +
+                              rig.machine->fault_injector()->duplicated() +
+                              rig.machine->fault_injector()->reordered());
+    }
+  }
+  state.counters["design"] = 0;
+  state.counters["lossy"] = lossy ? 1 : 0;
+}
+
+// Centralized comparator: the kernel hears the failure interrupt, notifies
+// `consumers` serially, then re-runs the mediated init sequence. On the
+// lossy wire every mediated hop is lost with the same probability and costs
+// a full 100us request timeout before the retry (there is no bus broadcast
+// to amortize and no peer-to-peer retry path — the kernel is the wire).
+void FaultRecovery_Centralized(benchmark::State& state) {
+  const bool lossy = state.range(0) != 0;
+  constexpr size_t kConsumers = 8;
+  constexpr sim::Duration kRetryTimeout = sim::Duration::Micros(100);
+  sim::Rng rng(LossyPlan().seed);
+  const double drop = lossy ? LossyPlan().drop_probability : 0.0;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    mem::PhysicalMemory memory(64 << 20);
+    baseline::CentralKernel kernel(&simulator, &memory);
+    iommu::Iommu nic_iommu(DeviceId(1));
+    iommu::Iommu ssd_iommu(DeviceId(2));
+    kernel.RegisterDevice(DeviceId(1), &nic_iommu);
+    kernel.RegisterDevice(DeviceId(2), &ssd_iommu);
+
+    constexpr sim::Duration kSelfTest = sim::Duration::Micros(50);
+    constexpr sim::Duration kLogScan = sim::Duration::Micros(120);
+    const uint64_t session_bytes = ssddev::SessionLayout::BytesRequired(64);
+
+    // Each mediated hop pays the timeout once per loss before succeeding.
+    auto hop_penalty = [&] {
+      sim::Duration penalty = sim::Duration::Zero();
+      while (rng.NextBool(drop)) {
+        penalty = penalty + kRetryTimeout;
+      }
+      return penalty;
+    };
+
+    sim::SimTime start = simulator.Now();
+    bool done = false;
+    auto notify = std::make_shared<std::function<void(size_t)>>();
+    *notify = [&, notify](size_t remaining) {
+      if (remaining == 0) {
+        simulator.Schedule(kSelfTest + hop_penalty(), [&] {
+          kernel.MediateIo(sim::Duration::Nanos(600) + hop_penalty(), [&] {  // re-open
+            kernel.AllocMemory(DeviceId(1), Pasid(1), session_bytes,
+                               [&](Result<VirtAddr> vaddr) {
+                                 kernel.Grant(DeviceId(1), Pasid(1), *vaddr, session_bytes,
+                                              DeviceId(2), Access::kReadWrite, [&](Status) {
+                                                simulator.Schedule(kLogScan,
+                                                                   [&] { done = true; });
+                                              });
+                               });
+          });
+        });
+        return;
+      }
+      kernel.MediateIo(sim::Duration::Nanos(700) + hop_penalty(),
+                       [notify, remaining] { (*notify)(remaining - 1); });
+    };
+    kernel.MediateIo(sim::Duration::Micros(1), [notify] { (*notify)(kConsumers); });
+    simulator.Run();
+    LASTCPU_CHECK(done, "centralized recovery never completed");
+    state.SetIterationTime((simulator.Now() - start).seconds());
+  }
+  state.counters["design"] = 1;
+  state.counters["lossy"] = lossy ? 1 : 0;
+  state.counters["consumers"] = static_cast<double>(kConsumers);
+}
+
+BENCHMARK(FaultRecovery_Decentralized)
+    ->UseManualTime()
+    ->Iterations(5)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK(FaultRecovery_Centralized)
+    ->UseManualTime()
+    ->Iterations(5)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(0)
+    ->Arg(1);
+
+}  // namespace
+}  // namespace lastcpu
+
+BENCHMARK_MAIN();

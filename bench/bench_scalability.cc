@@ -74,10 +74,10 @@ void Scalability_Discovery(benchmark::State& state) {
   for (auto _ : state) {
     sim::SimTime start = machine.simulator().Now();
     size_t found = 0;
-    seeker.Discover(proto::ServiceType::kCompute, "", sim::Duration::Micros(50),
-                    [&](std::vector<proto::ServiceDescriptor> services) {
-                      found = services.size();
-                    });
+    seeker.rpc().Discover(proto::ServiceType::kCompute, "", sim::Duration::Micros(50),
+                          [&](std::vector<proto::ServiceDescriptor> services) {
+                            found = services.size();
+                          });
     machine.RunUntilIdle();
     state.SetIterationTime((machine.simulator().Now() - start).seconds());
     state.counters["responders"] = static_cast<double>(found);

@@ -103,9 +103,12 @@ struct KvsRig {
   kvs::KvsApp* app = nullptr;
   Pasid pasid;
 
-  static KvsRig Build() {
+  static KvsRig Build() { return Build(core::MachineConfig{}, kvs::KvsAppConfig{}); }
+
+  static KvsRig Build(const core::MachineConfig& machine_config,
+                      const kvs::KvsAppConfig& app_config) {
     KvsRig rig;
-    rig.machine = std::make_unique<core::Machine>();
+    rig.machine = std::make_unique<core::Machine>(machine_config);
     rig.machine->AddMemoryController();
     ssddev::SmartSsdConfig ssd_config;
     ssd_config.host_auth_service = false;
@@ -113,7 +116,7 @@ struct KvsRig {
     rig.nic = &rig.machine->AddSmartNic();
     rig.ssd->ProvisionFile("kv.log", {});
     rig.pasid = rig.machine->NewApplication("kvs");
-    auto app = std::make_unique<kvs::KvsApp>(rig.nic, rig.pasid);
+    auto app = std::make_unique<kvs::KvsApp>(rig.nic, rig.pasid, app_config);
     rig.app = app.get();
     rig.nic->LoadApp(std::move(app));
     rig.machine->Boot();

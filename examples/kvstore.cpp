@@ -10,6 +10,7 @@
 #include <iostream>
 #include <memory>
 
+#include "src/auth/auth_client.h"
 #include "src/core/machine.h"
 #include "src/kvs/kvs_app.h"
 #include "src/kvs/workload.h"
@@ -39,8 +40,8 @@ int main() {
   // KVS app will present when opening its file.
   Pasid app_pasid = machine.NewApplication("kvs");
   uint64_t token = 0;
-  nic.SendRequest(ssd.id(), proto::AuthRequest{"kvs-operator", "hunter2"},
-                  [&](const proto::Message& m) { token = m.As<proto::AuthResponse>().token; });
+  auth::LoginUser(&nic, ssd.id(), "kvs-operator", "hunter2",
+                  [&](Result<auth::Login> login) { token = login->token; });
   machine.RunUntilIdle();
   std::printf("operator authenticated, token=%llx\n", static_cast<unsigned long long>(token));
 

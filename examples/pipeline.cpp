@@ -121,22 +121,25 @@ class Camera : public dev::Device {
     compressor_ = compressor;
     on_finished_ = std::move(on_finished);
     // Negotiate the shared frame buffer over the bus (Fig. 2 steps 5-7).
-    Discover(proto::ServiceType::kMemory, "", sim::Duration::Micros(20),
-             [this](std::vector<proto::ServiceDescriptor> services) {
-               SendRequest(services[0].provider,
-                           proto::MemAllocRequest{pasid_, kFrameBytes, VirtAddr(0),
-                                                  Access::kReadWrite},
-                           [this](const proto::Message& m) {
-                             buffer_ = m.As<proto::MemAllocResponse>().vaddr;
-                             SendRequest(kBusDevice,
-                                         proto::GrantRequest{pasid_, buffer_, kFrameBytes,
-                                                             compressor_->id(), Access::kRead},
-                                         [this](const proto::Message&) {
-                                           compressor_->BindFrameBuffer(buffer_);
-                                           CaptureNext();
-                                         });
-                           });
-             });
+    rpc().Discover(proto::ServiceType::kMemory, "", sim::Duration::Micros(20),
+                   [this](std::vector<proto::ServiceDescriptor> services) {
+                     rpc().Call<proto::MemAllocResponse>(
+                         services[0].provider,
+                         proto::MemAllocRequest{pasid_, kFrameBytes, VirtAddr(0),
+                                                Access::kReadWrite},
+                         [this](Result<proto::MemAllocResponse> allocated) {
+                           LASTCPU_CHECK(allocated.ok(), "frame buffer alloc failed");
+                           buffer_ = allocated->vaddr;
+                           rpc().Call<void>(kBusDevice,
+                                            proto::GrantRequest{pasid_, buffer_, kFrameBytes,
+                                                                compressor_->id(), Access::kRead},
+                                            [this](Result<void> granted) {
+                                              LASTCPU_CHECK(granted.ok(), "frame grant failed");
+                                              compressor_->BindFrameBuffer(buffer_);
+                                              CaptureNext();
+                                            });
+                         });
+                   });
   }
 
  protected:

@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
   Pasid app = machine.NewApplication("quickstart");
 
   // Step 1-2: discover who offers physical memory.
-  producer.Discover(proto::ServiceType::kMemory, "", sim::Duration::Micros(20),
+  producer.rpc().Discover(proto::ServiceType::kMemory, "", sim::Duration::Micros(20),
                     [&](std::vector<proto::ServiceDescriptor> services) {
                       std::printf("discovered %zu memory service(s); provider=device %u\n",
                                   services.size(), services[0].provider.value());
@@ -143,25 +143,23 @@ int main(int argc, char** argv) {
   // Step 5-6: the producer asks for 64 KiB; the memory controller allocates
   // and the *bus* programs the producer's IOMMU.
   VirtAddr shared{};
-  producer.SendRequest(memctrl.id(),
-                       proto::MemAllocRequest{app, 64 << 10, VirtAddr(0), Access::kReadWrite},
-                       [&](const proto::Message& m) {
-                         const auto& response = m.As<proto::MemAllocResponse>();
-                         shared = response.vaddr;
-                         std::printf("allocated %llu bytes at vaddr 0x%llx\n",
-                                     static_cast<unsigned long long>(response.bytes),
-                                     static_cast<unsigned long long>(response.vaddr.raw));
-                       });
+  producer.rpc().Call<proto::MemAllocResponse>(
+      memctrl.id(), proto::MemAllocRequest{app, 64 << 10, VirtAddr(0), Access::kReadWrite},
+      [&](lastcpu::Result<proto::MemAllocResponse> response) {
+        shared = response->vaddr;
+        std::printf("allocated %llu bytes at vaddr 0x%llx\n",
+                    static_cast<unsigned long long>(response->bytes),
+                    static_cast<unsigned long long>(response->vaddr.raw));
+      });
   machine.RunUntilIdle();
 
   // Step 7: grant the region to the consumer (authorized by the memory
   // controller, programmed by the bus).
-  producer.SendRequest(kBusDevice,
-                       proto::GrantRequest{app, shared, 64 << 10, consumer.id(), Access::kRead},
-                       [&](const proto::Message& m) {
-                         std::printf("grant %s\n",
-                                     m.Is<proto::GrantResponse>() ? "confirmed" : "failed");
-                       });
+  producer.rpc().Call<void>(
+      kBusDevice, proto::GrantRequest{app, shared, 64 << 10, consumer.id(), Access::kRead},
+      [&](lastcpu::Result<void> granted) {
+        std::printf("grant %s\n", granted.ok() ? "confirmed" : "failed");
+      });
   machine.RunUntilIdle();
 
   // Data plane: the producer DMAs a message in; the consumer reads it out

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "src/auth/auth_client.h"
 #include "src/core/machine.h"
 #include "src/ssddev/file_client.h"
 
@@ -55,19 +56,15 @@ int main() {
   // 1. Authenticate (Sec. 4: "user authentication can be performed by an
   //    authentication service running on any device").
   uint64_t token = 0;
-  console.SendRequest(ssd.id(), proto::AuthRequest{"operator", "correct-horse"},
-                      [&](const proto::Message& m) {
-                        token = m.As<proto::AuthResponse>().token;
-                      });
+  auth::LoginUser(&console, ssd.id(), "operator", "correct-horse",
+                  [&](Result<auth::Login> login) { token = login->token; });
   machine.RunUntilIdle();
   std::printf("operator logged in, token=%llx\n", static_cast<unsigned long long>(token));
 
   // A wrong password is rejected without leaking which part was wrong.
-  console.SendRequest(ssd.id(), proto::AuthRequest{"operator", "wrong"},
-                      [](const proto::Message& m) {
-                        std::printf("bad login: %s\n",
-                                    m.As<proto::ErrorResponse>().message.c_str());
-                      });
+  auth::LoginUser(&console, ssd.id(), "operator", "wrong", [](Result<auth::Login> login) {
+    std::printf("bad login: %s\n", login.status().message().c_str());
+  });
   machine.RunUntilIdle();
 
   // 2. Inspect liveness — the operator's view of the machine.
@@ -100,17 +97,17 @@ int main() {
   //    the same token (Sec. 4: loaders authenticate "before replacing
   //    sensitive data").
   std::vector<uint8_t> image(2048, 0xC0);
-  console.SendRequest(ssd.id(), proto::LoadImage{"kvs-v2", image, token},
-                      [](const proto::Message& m) {
-                        std::printf("\nimage upload: %s\n",
-                                    m.Is<proto::LoadImageResponse>() ? "accepted" : "rejected");
-                      });
+  console.rpc().Call<proto::LoadImageResponse>(
+      ssd.id(), proto::LoadImage{"kvs-v2", image, token},
+      [](Result<proto::LoadImageResponse> uploaded) {
+        std::printf("\nimage upload: %s\n", uploaded.ok() ? "accepted" : "rejected");
+      });
   // An unauthorized upload is refused.
-  console.SendRequest(ssd.id(), proto::LoadImage{"rootkit", image, 0xBAD},
-                      [](const proto::Message& m) {
-                        std::printf("forged upload: %s\n",
-                                    m.Is<proto::ErrorResponse>() ? "rejected (good)" : "ACCEPTED?!");
-                      });
+  console.rpc().Call<proto::LoadImageResponse>(
+      ssd.id(), proto::LoadImage{"rootkit", image, 0xBAD},
+      [](Result<proto::LoadImageResponse> uploaded) {
+        std::printf("forged upload: %s\n", !uploaded.ok() ? "rejected (good)" : "ACCEPTED?!");
+      });
   machine.RunUntilIdle();
   std::printf("loader now stores %zu image(s)\n", ssd.loader().image_count());
   return 0;

@@ -1,0 +1,23 @@
+#include "src/auth/auth_client.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::auth {
+
+void LoginUser(dev::Device* host, DeviceId provider, const std::string& user,
+               const std::string& secret, Callback<Login> done) {
+  LASTCPU_CHECK(host != nullptr && done != nullptr, "login needs a host and a callback");
+  host->rpc().Call<proto::AuthResponse>(
+      provider, proto::AuthRequest{user, secret},
+      [done = std::move(done)](Result<proto::AuthResponse> response) {
+        if (!response.ok()) {
+          done(response.status());
+          return;
+        }
+        done(Login{response->token, response->expiry_nanos});
+      });
+}
+
+}  // namespace lastcpu::auth

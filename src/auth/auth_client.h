@@ -1,0 +1,31 @@
+// Client-side login helper: the one way to authenticate against an
+// AuthService over the bus. Issues the AuthRequest through the host device's
+// RpcEndpoint, so logins get deadlines, typed transport errors, and abort on
+// provider failure like every other control-plane transaction.
+#ifndef SRC_AUTH_AUTH_CLIENT_H_
+#define SRC_AUTH_AUTH_CLIENT_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/dev/device.h"
+
+namespace lastcpu::auth {
+
+// The issued credential: token plus its absolute expiry.
+struct Login {
+  uint64_t token = 0;
+  uint64_t expiry_nanos = 0;
+};
+
+// Authenticates `user` against the auth service hosted on `provider`.
+// Completes with the credential, or with the typed failure
+// (kPermissionDenied on bad secret, kTimedOut / kUnavailable / kAborted on
+// transport failure).
+void LoginUser(dev::Device* host, DeviceId provider, const std::string& user,
+               const std::string& secret, Callback<Login> done);
+
+}  // namespace lastcpu::auth
+
+#endif  // SRC_AUTH_AUTH_CLIENT_H_

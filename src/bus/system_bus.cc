@@ -102,7 +102,59 @@ void SystemBus::SendFromPort(DeviceId src, proto::Message message) {
   endpoint->tx_busy_until = arrival;
   stats_.GetHistogram("wire_latency").Record(arrival - simulator_->Now());
 
+  // Fault injection covers the switched device-to-device paths; the
+  // management ring to the bus controller itself stays fault-free.
+  if (faults_ != nullptr && message.dst != kBusDevice) {
+    sim::FaultDecision fault = faults_->Decide();
+    if (fault.drop) {
+      stats_.GetCounter("faults_dropped").Increment();
+      // The wire terminally consumes the message: close its flow here.
+      tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
+                          message.trace.span);
+      return;
+    }
+    if (fault.extra_delay > sim::Duration::Zero()) {
+      stats_.GetCounter("faults_delayed").Increment();
+      arrival = arrival + fault.extra_delay;
+    }
+    if (fault.duplicate) {
+      stats_.GetCounter("faults_duplicated").Increment();
+      proto::Message copy = message;
+      simulator_->ScheduleAt(arrival, [this, copy = std::move(copy)] { Route(copy); });
+    }
+    if (fault.reorder) {
+      stats_.GetCounter("faults_reordered").Increment();
+      ReleaseHeld(arrival);  // one hold slot: an older captive goes out first
+      held_message_ = std::move(message);
+      held_backstop_ =
+          simulator_->ScheduleAt(arrival + faults_->plan().reorder_window, [this] {
+            if (!held_message_.has_value()) {
+              return;
+            }
+            proto::Message held = std::move(*held_message_);
+            held_message_.reset();
+            Route(held);
+          });
+      return;
+    }
+  }
+  // Any message passing through overtakes a reorder-held one: release it to
+  // land just after this arrival.
+  if (held_message_.has_value()) {
+    ReleaseHeld(arrival + sim::Duration::Nanos(1));
+  }
+
   simulator_->ScheduleAt(arrival, [this, message = std::move(message)] { Route(message); });
+}
+
+void SystemBus::ReleaseHeld(sim::SimTime at) {
+  if (!held_message_.has_value()) {
+    return;
+  }
+  simulator_->Cancel(held_backstop_);
+  proto::Message held = std::move(*held_message_);
+  held_message_.reset();
+  simulator_->ScheduleAt(at, [this, held = std::move(held)] { Route(held); });
 }
 
 void SystemBus::Route(proto::Message message) {

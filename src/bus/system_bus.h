@@ -24,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "src/base/types.h"
 #include "src/iommu/iommu.h"
 #include "src/proto/message.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
@@ -123,6 +125,13 @@ class SystemBus {
   sim::StatsRegistry& stats() { return stats_; }
   sim::Simulator* simulator() { return simulator_; }
 
+  // Installs (or clears, with nullptr) the machine-wide fault injector. The
+  // injector is consulted on every device-to-device send; traffic to the bus
+  // itself (heartbeats, announces, privileged directives) travels the
+  // dedicated management ring and is modeled fault-free, so liveness
+  // bookkeeping stays sound while all RPC traffic is faultable.
+  void SetFaultInjector(sim::FaultInjector* injector) { faults_ = injector; }
+
  private:
   friend class BusPort;
 
@@ -159,6 +168,10 @@ class SystemBus {
   // Periodic watchdog sweep (armed when heartbeat_timeout > 0).
   void WatchdogSweep();
 
+  // Releases a reorder-held message so it routes at `at` (just after the
+  // message that overtook it).
+  void ReleaseHeld(sim::SimTime at);
+
   Endpoint* FindEndpoint(DeviceId device);
 
   sim::Simulator* simulator_;
@@ -169,6 +182,12 @@ class SystemBus {
   // Serializes privileged table updates (single update engine).
   sim::SimTime table_engine_busy_until_;
   sim::StatsRegistry stats_;
+  sim::FaultInjector* faults_ = nullptr;
+  // At most one message is held for reordering at a time; it is released
+  // when the next send overtakes it, or by the backstop at the end of the
+  // plan's reorder window.
+  std::optional<proto::Message> held_message_;
+  sim::EventId held_backstop_;
 };
 
 }  // namespace lastcpu::bus

@@ -8,11 +8,6 @@
 namespace lastcpu::core {
 namespace {
 
-Status StatusFromError(const proto::Message& message) {
-  const auto& error = message.As<proto::ErrorResponse>();
-  return Status(error.code, error.message);
-}
-
 // Issues `op` (which completes some Callback<T>) and steps the simulator
 // until the completion lands.
 template <typename T, typename Op>
@@ -54,39 +49,27 @@ BusControlClient::BusControlClient(dev::Device* requester, DeviceId memctrl)
 }
 
 void BusControlClient::Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) {
-  requester_->SendRequest(memctrl_,
-                          proto::MemAllocRequest{pasid, bytes, VirtAddr(0), Access::kReadWrite},
-                          [done = std::move(done)](const proto::Message& response) {
-                            if (response.Is<proto::ErrorResponse>()) {
-                              done(StatusFromError(response));
-                              return;
-                            }
-                            done(response.As<proto::MemAllocResponse>().vaddr);
-                          });
+  requester_->rpc().Call<proto::MemAllocResponse>(
+      memctrl_, proto::MemAllocRequest{pasid, bytes, VirtAddr(0), Access::kReadWrite},
+      [done = std::move(done)](Result<proto::MemAllocResponse> response) {
+        if (!response.ok()) {
+          done(response.status());
+          return;
+        }
+        done(response->vaddr);
+      });
 }
 
 void BusControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
                              Access access, Callback<void> done) {
-  requester_->SendRequest(kBusDevice,
-                          proto::GrantRequest{pasid, vaddr, bytes, grantee, access},
-                          [done = std::move(done)](const proto::Message& response) {
-                            if (response.Is<proto::ErrorResponse>()) {
-                              done(StatusFromError(response));
-                              return;
-                            }
-                            done(Result<void>());
-                          });
+  requester_->rpc().Call<void>(kBusDevice,
+                               proto::GrantRequest{pasid, vaddr, bytes, grantee, access},
+                               std::move(done));
 }
 
 void BusControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) {
-  requester_->SendRequest(kBusDevice, proto::MemFreeRequest{pasid, vaddr, bytes},
-                          [done = std::move(done)](const proto::Message& response) {
-                            if (response.Is<proto::ErrorResponse>()) {
-                              done(StatusFromError(response));
-                              return;
-                            }
-                            done(Result<void>());
-                          });
+  requester_->rpc().Call<void>(kBusDevice, proto::MemFreeRequest{pasid, vaddr, bytes},
+                               std::move(done));
 }
 
 KernelControlClient::KernelControlClient(baseline::CentralKernel* kernel, DeviceId self)

@@ -15,6 +15,14 @@ Machine::Machine(MachineConfig config)
   if (config.enable_trace) {
     trace_.Enable();
   }
+  if (config.fault_plan.enabled()) {
+    // One injector shared by both interconnects: the bus and the fabric draw
+    // from the same seeded sequence, so a (seed, plan) pair fully determines
+    // every fault in the machine.
+    faults_ = std::make_unique<sim::FaultInjector>(config.fault_plan);
+    bus_.SetFaultInjector(faults_.get());
+    fabric_.SetFaultInjector(faults_.get());
+  }
 }
 
 memdev::MemoryController& Machine::AddMemoryController(memdev::MemoryControllerConfig config) {
@@ -78,7 +86,14 @@ void Machine::WriteChromeTrace(std::ostream& os) const {
 }
 
 void Machine::MetricsJson(std::ostream& os) {
-  os << "{\"bus\":";
+  if (faults_ != nullptr) {
+    os << "{\"faults\":{\"decisions\":" << faults_->decisions()
+       << ",\"dropped\":" << faults_->dropped() << ",\"delayed\":" << faults_->delayed()
+       << ",\"duplicated\":" << faults_->duplicated()
+       << ",\"reordered\":" << faults_->reordered() << "},\"bus\":";
+  } else {
+    os << "{\"bus\":";
+  }
   bus_.stats().Snapshot().WriteJson(os);
   os << ",\"fabric\":";
   fabric_.stats().Snapshot().WriteJson(os);

@@ -29,6 +29,7 @@
 #include "src/memdev/memory_controller.h"
 #include "src/net/network.h"
 #include "src/nicdev/smart_nic.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
 #include "src/ssddev/smart_ssd.h"
@@ -41,6 +42,10 @@ struct MachineConfig {
   fabric::FabricConfig fabric;
   net::NetworkConfig network;
   bool enable_trace = false;
+  // Machine-wide, seed-deterministic fault injection on the interconnects.
+  // The default all-zero plan builds no injector at all, so a healthy
+  // machine pays nothing.
+  sim::FaultPlan fault_plan;
 };
 
 class Machine {
@@ -53,6 +58,8 @@ class Machine {
 
   sim::Simulator& simulator() { return simulator_; }
   sim::TraceLog& trace() { return trace_; }
+  // The fault injector, or nullptr when the plan is all-zero.
+  sim::FaultInjector* fault_injector() { return faults_.get(); }
   mem::PhysicalMemory& memory() { return memory_; }
   fabric::Fabric& fabric() { return fabric_; }
   bus::SystemBus& bus() { return bus_; }
@@ -118,6 +125,7 @@ class Machine {
   MachineConfig config_;
   sim::Simulator simulator_;
   sim::TraceLog trace_;
+  std::unique_ptr<sim::FaultInjector> faults_;
   mem::PhysicalMemory memory_;
   fabric::Fabric fabric_;
   bus::SystemBus bus_;

@@ -121,12 +121,9 @@ void Device::AnnounceAlive() {
 void Device::InjectFailure() {
   state_ = State::kFailed;
   TraceEvent("failed");
-  // Outstanding requests will never complete; fail them locally so app logic
-  // can observe its own device dying.
-  for (auto& [id, pending] : pending_) {
-    context_.simulator->Cancel(pending.timeout);
-  }
-  pending_.clear();
+  // Outstanding requests will never complete; abort them so app logic can
+  // observe its own device dying instead of waiting on callbacks forever.
+  rpc_.AbortAll(Aborted("device failed"));
 }
 
 void Device::AddService(std::unique_ptr<Service> service) {
@@ -143,41 +140,6 @@ Service* Device::FindServiceByName(const std::string& service_name) {
   return nullptr;
 }
 
-RequestId Device::NextRequestId() {
-  // Device id in the high bits keeps ids globally unique across devices.
-  return RequestId((static_cast<uint64_t>(id_.value()) << 40) | next_request_++);
-}
-
-RequestId Device::SendRequest(DeviceId dst, proto::Payload payload,
-                              ResponseCallback on_response) {
-  LASTCPU_CHECK(on_response != nullptr, "request without response callback");
-  RequestId request_id = NextRequestId();
-  sim::EventId timeout = context_.simulator->Schedule(config_.request_timeout, [this, request_id] {
-    auto it = pending_.find(request_id);
-    if (it == pending_.end()) {
-      return;
-    }
-    ResponseCallback callback = std::move(it->second.callback);
-    pending_.erase(it);
-    stats_.GetCounter("request_timeouts").Increment();
-    proto::Message synthetic;
-    synthetic.src = kBusDevice;
-    synthetic.dst = id_;
-    synthetic.request_id = request_id;
-    synthetic.payload = proto::ErrorResponse{StatusCode::kTimedOut, "request timed out"};
-    callback(synthetic);
-  });
-  pending_.emplace(request_id, PendingRequest{std::move(on_response), timeout});
-
-  proto::Message message;
-  message.dst = dst;
-  message.request_id = request_id;
-  message.payload = std::move(payload);
-  SendOnBus(std::move(message));
-  stats_.GetCounter("requests_sent").Increment();
-  return request_id;
-}
-
 void Device::SendOneWay(DeviceId dst, proto::Payload payload) {
   proto::Message message;
   message.dst = dst;
@@ -185,45 +147,46 @@ void Device::SendOneWay(DeviceId dst, proto::Payload payload) {
   SendOnBus(std::move(message));
 }
 
-void Device::Discover(proto::ServiceType type, const std::string& resource, sim::Duration window,
-                      DiscoveryCallback on_done) {
-  LASTCPU_CHECK(on_done != nullptr, "discover without callback");
-  // The discovery window is one causal span: the broadcast goes out under
-  // it, and the continuation runs under it, so whatever the caller does with
-  // the results (open, alloc, ...) chains to this span.
-  sim::SpanId span = tracer_.BeginSpan("Discover", current_span_, resource);
-  // Responses correlate by the broadcast's request id; collect until the
-  // window closes (SSDP-style: responders answer when they see the query).
-  RequestId request_id = NextRequestId();
-  auto found = std::make_shared<std::vector<proto::ServiceDescriptor>>();
-  pending_.emplace(request_id,
-                   PendingRequest{[found](const proto::Message& response) {
-                                    if (response.Is<proto::DiscoverResponse>()) {
-                                      found->push_back(
-                                          response.As<proto::DiscoverResponse>().descriptor);
-                                    }
-                                  },
-                                  sim::EventId()});
-  context_.simulator->Schedule(window,
-                               [this, request_id, found, span, on_done = std::move(on_done)] {
-                                 pending_.erase(request_id);
-                                 sim::SpanId saved = current_span_;
-                                 current_span_ = span;
-                                 on_done(*found);
-                                 current_span_ = saved;
-                                 tracer_.EndSpan(span);
-                               });
+uint64_t Device::AddPeerFailedHook(PeerFailedHook hook) {
+  LASTCPU_CHECK(hook != nullptr, "null peer-failed hook");
+  uint64_t token = next_hook_token_++;
+  peer_failed_hooks_.emplace(token, std::move(hook));
+  return token;
+}
 
-  proto::Message message;
-  message.dst = kBroadcastDevice;
-  message.request_id = request_id;
-  message.payload = proto::DiscoverRequest{type, resource};
-  message.trace.span = span;
-  if (tracer_.enabled()) {
-    message.trace.flow = tracer_.FlowSend(proto::MessageTypeName(message.type()), span);
+void Device::RemovePeerFailedHook(uint64_t token) { peer_failed_hooks_.erase(token); }
+
+bool Device::RegisterRequest(const proto::Message& message) {
+  ReplayKey key{message.src, message.request_id};
+  auto it = replay_cache_.find(key);
+  if (it != replay_cache_.end()) {
+    stats_.GetCounter("duplicate_requests").Increment();
+    if (it->second.has_value()) {
+      // Already answered: replay the cached response instead of re-executing
+      // the handler (at-most-once execution, at-least-once answer).
+      stats_.GetCounter("responses_replayed").Increment();
+      SendOnBus(proto::Message(*it->second));
+    }
+    // Still being handled: drop the duplicate; the eventual reply covers it.
+    return false;
   }
-  port_->Send(std::move(message));
-  stats_.GetCounter("discoveries").Increment();
+  replay_cache_.emplace(key, std::nullopt);
+  replay_order_.push_back(key);
+  if (replay_order_.size() > kReplayWindow) {
+    replay_cache_.erase(replay_order_.front());
+    replay_order_.pop_front();
+  }
+  return true;
+}
+
+void Device::CacheResponse(const proto::Message& response) {
+  if (!response.request_id.valid()) {
+    return;
+  }
+  auto it = replay_cache_.find(ReplayKey{response.dst, response.request_id});
+  if (it != replay_cache_.end() && !it->second.has_value()) {
+    it->second = response;
+  }
 }
 
 void Device::ReceiveFromBus(const proto::Message& message) {
@@ -270,24 +233,21 @@ void Device::Dispatch(const proto::Message& message, sim::SpanId span) {
   } restore{this, saved_span};
   stats_.GetCounter("messages_received").Increment();
 
-  // Responses to our outstanding requests.
+  // Responses to our outstanding requests route into the transaction layer.
   if (message.request_id.valid() && IsResponseType(message.type())) {
-    auto it = pending_.find(message.request_id);
-    if (it == pending_.end()) {
+    if (!rpc_.HandleResponse(message)) {
+      // Late duplicate or a response to an attempt that already timed out.
       stats_.GetCounter("orphan_responses").Increment();
-      return;
     }
-    // Discovery collectors stay pending for their whole window.
-    bool is_discovery = message.Is<proto::DiscoverResponse>();
-    if (is_discovery) {
-      it->second.callback(message);
-      return;
-    }
-    ResponseCallback callback = std::move(it->second.callback);
-    context_.simulator->Cancel(it->second.timeout);
-    pending_.erase(it);
-    callback(message);
     return;
+  }
+
+  // Inbound requests pass the at-most-once replay guard before any handler
+  // runs; duplicates (injected or retransmitted) never execute twice.
+  if (message.request_id.valid() && !IsResponseType(message.type())) {
+    if (!RegisterRequest(message)) {
+      return;
+    }
   }
 
   switch (message.type()) {
@@ -305,10 +265,25 @@ void Device::Dispatch(const proto::Message& message, sim::SpanId span) {
       return;
     case proto::MessageType::kDeviceFailed: {
       DeviceId failed = message.As<proto::DeviceFailed>().device;
+      // In-flight transactions to the dead peer complete now with a typed
+      // error instead of waiting out their deadlines.
+      rpc_.AbortPeer(failed,
+                     Unavailable("device " + std::to_string(failed.value()) + " failed"));
       for (const auto& service : services_) {
         service->TeardownClient(failed);
       }
       OnPeerFailed(failed);
+      // App-level subscribers run last, after the device's own recovery
+      // hooks have observed the failure. Iterate a snapshot: hooks may
+      // remove themselves (or register new ones) while running.
+      std::vector<PeerFailedHook> hooks;
+      hooks.reserve(peer_failed_hooks_.size());
+      for (const auto& [token, hook] : peer_failed_hooks_) {
+        hooks.push_back(hook);
+      }
+      for (const auto& hook : hooks) {
+        hook(failed);
+      }
       return;
     }
     case proto::MessageType::kTeardownApp: {
@@ -399,7 +374,7 @@ void Device::OnMessage(const proto::Message& message) {
 
 void Device::OnReset() {
   TraceEvent("reset");
-  // Drop all volatile state: instances, pending requests.
+  // Drop all volatile state: instances, in-flight transactions, replay guard.
   instance_owner_.clear();
   for (const auto& service : services_) {
     for (auto snapshot = service->instances(); const auto& [id, instance] : snapshot) {
@@ -407,10 +382,9 @@ void Device::OnReset() {
       (void)instance;
     }
   }
-  for (auto& [id, pending] : pending_) {
-    context_.simulator->Cancel(pending.timeout);
-  }
-  pending_.clear();
+  rpc_.AbortAll(Aborted("device reset"));
+  replay_cache_.clear();
+  replay_order_.clear();
   state_ = State::kSelfTest;
   context_.simulator->Schedule(config_.self_test_duration, [this] {
     if (state_ != State::kSelfTest) {
@@ -444,6 +418,7 @@ void Device::Reply(const proto::Message& request, proto::Payload payload) {
   response.dst = request.src;
   response.request_id = request.request_id;
   response.payload = std::move(payload);
+  CacheResponse(response);
   SendOnBus(std::move(response));
 }
 
@@ -452,6 +427,7 @@ void Device::ReplyError(const proto::Message& request, Status status) {
   response.dst = request.src;
   response.request_id = request.request_id;
   response.payload = proto::ErrorResponse{status.code(), status.message()};
+  CacheResponse(response);
   SendOnBus(std::move(response));
 }
 

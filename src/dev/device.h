@@ -11,15 +11,19 @@
 #define SRC_DEV_DEVICE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
 #include "src/base/types.h"
 #include "src/bus/system_bus.h"
+#include "src/dev/rpc.h"
 #include "src/fabric/fabric.h"
 #include "src/iommu/iommu.h"
 #include "src/proto/message.h"
@@ -81,20 +85,20 @@ class Device {
 
   // --- client-side helpers (consuming other devices' services) -------------
 
-  using ResponseCallback = std::function<void(const proto::Message&)>;
-  using DiscoveryCallback = std::function<void(std::vector<proto::ServiceDescriptor>)>;
-
-  // Sends a request and registers `on_response` for the correlated reply.
-  // On timeout the callback receives a synthesized ErrorResponse(kTimedOut).
-  RequestId SendRequest(DeviceId dst, proto::Payload payload, ResponseCallback on_response);
+  // The device's transaction layer: request/response correlation, deadlines,
+  // retries, discovery, and abort-on-peer-failure all live here.
+  RpcEndpoint& rpc() { return rpc_; }
 
   // Fire-and-forget message.
   void SendOneWay(DeviceId dst, proto::Payload payload);
 
-  // Broadcasts a DiscoverRequest and collects DiscoverResponses for
-  // `window`; then invokes the callback with everything that answered.
-  void Discover(proto::ServiceType type, const std::string& resource, sim::Duration window,
-                DiscoveryCallback on_done);
+  // Registers a callback invoked after the device's own failure handling
+  // whenever the bus declares a peer failed. Returns a token for removal;
+  // helpers with a shorter lifetime than the device (e.g. a FileClient the
+  // app replaces) must remove their hook before dying.
+  using PeerFailedHook = std::function<void(DeviceId)>;
+  uint64_t AddPeerFailedHook(PeerFailedHook hook);
+  void RemovePeerFailedHook(uint64_t token);
 
   // Substrate access for service/client helpers hosted on this device.
   sim::Simulator* simulator() { return context_.simulator; }
@@ -162,12 +166,17 @@ class Device {
   void HandleOpen(const proto::Message& message);
   void HandleClose(const proto::Message& message);
 
-  RequestId NextRequestId();
-
-  struct PendingRequest {
-    ResponseCallback callback;
-    sim::EventId timeout;
-  };
+  // --- at-most-once replay guard -------------------------------------------
+  // The RPC layer may retransmit, and the interconnect may duplicate; the
+  // server side dedups by (requester, request id) over a bounded window so
+  // non-idempotent handlers (alloc, open) never execute twice. A duplicate of
+  // an already-answered request re-sends the cached response; a duplicate of
+  // one still being handled is dropped.
+  //
+  // Returns false when the message is a duplicate and must not be dispatched.
+  bool RegisterRequest(const proto::Message& message);
+  // Remembers the response for potential replay (called from Reply paths).
+  void CacheResponse(const proto::Message& response);
 
   DeviceId id_;
   std::string name_;
@@ -179,8 +188,15 @@ class Device {
   std::vector<std::unique_ptr<Service>> services_;
   // Instance routing: which service owns each open instance.
   std::map<InstanceId, Service*> instance_owner_;
-  std::map<RequestId, PendingRequest> pending_;
-  uint64_t next_request_ = 1;
+  // Replay guard state: key -> cached response (empty until answered), plus
+  // FIFO eviction order bounding the window.
+  using ReplayKey = std::pair<DeviceId, RequestId>;
+  static constexpr size_t kReplayWindow = 256;
+  std::map<ReplayKey, std::optional<proto::Message>> replay_cache_;
+  std::deque<ReplayKey> replay_order_;
+  // App-level peer-failure subscribers (token -> hook).
+  std::map<uint64_t, PeerFailedHook> peer_failed_hooks_;
+  uint64_t next_hook_token_ = 1;
   // Serializes control-message handling on the device's firmware engine.
   sim::SimTime firmware_busy_until_;
   sim::StatsRegistry stats_;
@@ -188,6 +204,11 @@ class Device {
   // Span of the message currently being dispatched (0 outside a handler);
   // the ambient causal context stamped onto outbound messages.
   sim::SpanId current_span_ = 0;
+  // Declared last: aborts whatever is still in flight before the rest of the
+  // device is torn down. The endpoint reaches into the device for transport,
+  // tracing, and stats.
+  friend class RpcEndpoint;
+  RpcEndpoint rpc_{this};
 };
 
 }  // namespace lastcpu::dev

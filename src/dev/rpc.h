@@ -1,0 +1,158 @@
+// RpcEndpoint: the one request/response transaction layer for the control
+// plane.
+//
+// Every client in the machine (ControlClient, FileClient, the KVS bring-up
+// path, auth logins) used to hand-roll its own pending-request bookkeeping,
+// with no deadline, no retry, and no cancellation when a peer died. This
+// layer centralizes all of it, per device:
+//
+//   * correlation      — responses match requests by proto::Message::request_id;
+//   * deadlines        — every attempt carries a deadline scheduled on the
+//                        simulator; expiry completes the caller with kTimedOut;
+//   * bounded retries  — idempotent operations may opt into retransmission
+//                        with exponential backoff. Retries reuse the original
+//                        request id, so a late or duplicated response is
+//                        absorbed instead of completing a stranger's call;
+//   * typed aborts     — when the bus declares a peer failed, every in-flight
+//                        transaction to it completes with kUnavailable; when
+//                        this device resets, fails, or shuts down, everything
+//                        completes with kAborted. Callbacks never hang.
+//
+// Transport failures always surface as a typed Status (kTimedOut /
+// kUnavailable / kAborted), and a peer's ErrorResponse payload is unwrapped
+// into its carried Status — callers see Result<T>, never a raw error message.
+#ifndef SRC_DEV_RPC_H_
+#define SRC_DEV_RPC_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/base/types.h"
+#include "src/proto/message.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace lastcpu::dev {
+
+class Device;
+
+// Per-call knobs. The defaults are a single attempt under the host device's
+// configured request_timeout — retries must be opted into, and only for
+// operations that are safe to execute more than once.
+struct RpcOptions {
+  // Deadline for each attempt; Zero means the device's request_timeout.
+  sim::Duration timeout = sim::Duration::Zero();
+  // Total number of send attempts (1 = no retries).
+  uint32_t max_attempts = 1;
+  // Wait before the first retransmission; doubles after every retry.
+  sim::Duration backoff = sim::Duration::Micros(50);
+};
+
+class RpcEndpoint {
+ public:
+  // Raw completion: the peer's response message, or a typed error. Transport
+  // failures and peer ErrorResponses both arrive as the error Status.
+  using RawCallback = Callback<proto::Message>;
+  using DiscoveryCallback = std::function<void(std::vector<proto::ServiceDescriptor>)>;
+
+  explicit RpcEndpoint(Device* device);
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+  ~RpcEndpoint();
+
+  // Starts one transaction: sends `payload` to `dst` and completes `done`
+  // exactly once — with the response, or with kTimedOut / kUnavailable /
+  // kAborted when the transport gives up first.
+  RequestId Call(DeviceId dst, proto::Payload payload, RpcOptions options, RawCallback done);
+  RequestId Call(DeviceId dst, proto::Payload payload, RawCallback done) {
+    return Call(dst, std::move(payload), RpcOptions{}, std::move(done));
+  }
+
+  // Typed transaction: unwraps the expected response payload. A response of
+  // any other kind (protocol violation) completes with kInternal. With
+  // Response = void any non-error response counts as success.
+  template <typename Response>
+  RequestId Call(DeviceId dst, proto::Payload payload, RpcOptions options,
+                 Callback<Response> done) {
+    return Call(dst, std::move(payload), options,
+                RawCallback([done = std::move(done)](Result<proto::Message> response) {
+                  if (!response.ok()) {
+                    done(response.status());
+                    return;
+                  }
+                  if constexpr (std::is_void_v<Response>) {
+                    done(Result<void>());
+                  } else {
+                    if (!response->template Is<Response>()) {
+                      done(Internal("unexpected response kind " +
+                                    std::string(proto::MessageTypeName(response->type()))));
+                      return;
+                    }
+                    done(response->template As<Response>());
+                  }
+                }));
+  }
+  template <typename Response>
+  RequestId Call(DeviceId dst, proto::Payload payload, Callback<Response> done) {
+    return Call<Response>(dst, std::move(payload), RpcOptions{}, std::move(done));
+  }
+
+  // Broadcasts a DiscoverRequest and collects DiscoverResponses for `window`;
+  // then invokes the callback with everything that answered (SSDP-style).
+  // An abort closes the window early with whatever was collected.
+  void Discover(proto::ServiceType type, const std::string& resource, sim::Duration window,
+                DiscoveryCallback on_done);
+
+  // Completes one transaction with `reason` (cancellation).
+  void Abort(RequestId id, Status reason);
+  // Completes every transaction addressed to `peer` with `reason` — the bus
+  // declared it failed, so the responses will never come.
+  void AbortPeer(DeviceId peer, Status reason);
+  // Completes every transaction with `reason` (reset, failure, teardown).
+  void AbortAll(Status reason);
+
+  // Routes a response-kind bus message into its transaction. Returns false
+  // when no transaction matches (orphan: late duplicate or stale response).
+  bool HandleResponse(const proto::Message& message);
+
+  size_t in_flight() const { return transactions_.size(); }
+
+ private:
+  struct Transaction {
+    DeviceId dst;
+    RpcOptions options;
+    uint32_t attempt = 1;
+    sim::EventId timer;  // per-attempt deadline, or pending-backoff timer
+    sim::SpanId span = 0;
+    RawCallback callback;
+    // The request payload, kept only when retransmission is possible.
+    std::optional<proto::Payload> resend;
+    // Discovery collectors: gather responses until the window closes.
+    bool discovery = false;
+    std::vector<proto::ServiceDescriptor> found;
+    DiscoveryCallback on_discovery;
+  };
+
+  RequestId NextRequestId();
+  sim::Duration AttemptTimeout(const RpcOptions& options) const;
+  // Sends (or resends) the transaction's request message under its span.
+  void Transmit(RequestId id, const proto::Payload& payload, DeviceId dst, sim::SpanId span);
+  void OnDeadline(RequestId id);
+  void Retransmit(RequestId id);
+  // Removes the transaction and fires its callback exactly once.
+  void Complete(RequestId id, Result<proto::Message> result);
+  void FinishDiscovery(RequestId id);
+
+  Device* device_;
+  std::map<RequestId, Transaction> transactions_;
+  uint64_t next_request_ = 1;
+};
+
+}  // namespace lastcpu::dev
+
+#endif  // SRC_DEV_RPC_H_

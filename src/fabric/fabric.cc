@@ -221,15 +221,36 @@ void Fabric::RingDoorbell(DeviceId from, DeviceId to, uint64_t value) {
     return;
   }
   stats_.GetCounter("doorbells").Increment();
-  simulator_->Schedule(config_.doorbell_latency, [this, from, to, value] {
-    // Re-resolve: the target may have detached (device failure) in flight.
-    Port* target = FindPort(to);
-    if (target != nullptr && target->doorbell) {
-      target->doorbell(from, value);
-    } else {
-      stats_.GetCounter("doorbells_dropped").Increment();
+  sim::Duration latency = config_.doorbell_latency;
+  int copies = 1;
+  if (faults_ != nullptr) {
+    sim::FaultDecision fault = faults_->Decide();
+    if (fault.drop) {
+      // Doorbells are edge-triggered with no acknowledgement: a lost one is
+      // simply lost, and the receiver's poll backstop must catch the work.
+      stats_.GetCounter("doorbells_faulted").Increment();
+      return;
     }
-  });
+    latency = latency + fault.extra_delay;
+    if (fault.reorder) {
+      // A held doorbell is indistinguishable from a late one.
+      latency = latency + faults_->plan().reorder_window;
+    }
+    if (fault.duplicate) {
+      copies = 2;
+    }
+  }
+  for (int i = 0; i < copies; ++i) {
+    simulator_->Schedule(latency, [this, from, to, value] {
+      // Re-resolve: the target may have detached (device failure) in flight.
+      Port* target = FindPort(to);
+      if (target != nullptr && target->doorbell) {
+        target->doorbell(from, value);
+      } else {
+        stats_.GetCounter("doorbells_dropped").Increment();
+      }
+    });
+  }
 }
 
 }  // namespace lastcpu::fabric

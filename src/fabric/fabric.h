@@ -21,6 +21,7 @@
 #include "src/base/types.h"
 #include "src/iommu/iommu.h"
 #include "src/mem/physical_memory.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
@@ -93,6 +94,11 @@ class Fabric {
   sim::StatsRegistry& stats() { return stats_; }
   mem::PhysicalMemory* memory() { return memory_; }
 
+  // Installs (or clears, with nullptr) the machine-wide fault injector;
+  // consulted on every doorbell. Doorbells are edge-triggered interrupts with
+  // no acknowledgement, so clients that depend on them must poll as backstop.
+  void SetFaultInjector(sim::FaultInjector* injector) { faults_ = injector; }
+
  private:
   struct Port {
     iommu::Iommu* iommu = nullptr;
@@ -118,6 +124,7 @@ class Fabric {
   sim::Tracer tracer_;
   std::unordered_map<DeviceId, Port> ports_;
   sim::StatsRegistry stats_;
+  sim::FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace lastcpu::fabric

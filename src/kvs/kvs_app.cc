@@ -8,7 +8,19 @@ KvsApp::KvsApp(dev::Device* host, Pasid pasid, KvsAppConfig config)
     : host_(host), config_(config), engine_(host, pasid, config.engine) {}
 
 void KvsApp::Start(std::function<void(Status)> done) {
-  engine_.Start(std::move(done));
+  restarting_ = true;
+  engine_.Start([this, done = std::move(done)](Status s) {
+    restarting_ = false;
+    if (!s.ok()) {
+      // A lost bring-up message must not strand the app forever — there is
+      // no CPU to notice and relaunch it. Fall into the same retry loop the
+      // peer-failure path uses.
+      Retry(0);
+    }
+    if (done) {
+      done(s);
+    }
+  });
 }
 
 void KvsApp::HandleRequest(std::vector<uint8_t> payload,
@@ -36,10 +48,12 @@ void KvsApp::Retry(uint32_t attempt) {
     return;
   }
   host_->simulator()->Schedule(config_.retry_delay, [this, attempt] {
-    if (engine_.running()) {
+    if (engine_.running() || restarting_) {
       return;
     }
+    restarting_ = true;
     engine_.Start([this, attempt](Status s) {
+      restarting_ = false;
       if (s.ok()) {
         ++recoveries_;
         host_->stats().GetCounter("kvs_recoveries").Increment();

@@ -38,6 +38,9 @@ class KvsApp : public nicdev::AppEngine {
   KvsAppConfig config_;
   KvsEngine engine_;
   uint32_t recoveries_ = 0;
+  // True while a bring-up attempt is in flight, so the initial-start and
+  // peer-failure retry chains never run two bring-ups concurrently.
+  bool restarting_ = false;
 };
 
 }  // namespace lastcpu::kvs

@@ -37,7 +37,7 @@ KvsEngine::KvsEngine(dev::Device* host, Pasid pasid, KvsEngineConfig config)
     : host_(host),
       pasid_(pasid),
       config_(std::move(config)),
-      file_(std::make_unique<ssddev::FileClient>(host, pasid)) {
+      file_(std::make_unique<ssddev::FileClient>(host, pasid, config.file_client)) {
   LASTCPU_CHECK(host != nullptr, "engine needs a host device");
   file_->SetSlotAvailableCallback([this] { PumpWaiting(); });
 }
@@ -99,7 +99,7 @@ void KvsEngine::Start(StartCallback done) {
   log_tail_ = 0;
   live_bytes_ = 0;
   // Find a file-service provider, then choose the generation to adopt.
-  host_->Discover(proto::ServiceType::kFile, config_.log_file, sim::Duration::Micros(20),
+  host_->rpc().Discover(proto::ServiceType::kFile, config_.log_file, sim::Duration::Micros(20),
                   [this, done = std::move(done)](
                       std::vector<proto::ServiceDescriptor> services) mutable {
                     if (!services.empty()) {
@@ -108,7 +108,7 @@ void KvsEngine::Start(StartCallback done) {
                     }
                     // The base file may be gone after a compaction; ask any
                     // file service.
-                    host_->Discover(
+                    host_->rpc().Discover(
                         proto::ServiceType::kFile, "", sim::Duration::Micros(20),
                         [this, done = std::move(done)](
                             std::vector<proto::ServiceDescriptor> any) mutable {
@@ -154,7 +154,7 @@ void KvsEngine::TryCandidate(DeviceId provider, std::vector<uint32_t> candidates
   index_ = HashIndex();
   log_tail_ = 0;
   commit_seen_ = false;
-  file_ = std::make_unique<ssddev::FileClient>(host_, pasid_);
+  file_ = std::make_unique<ssddev::FileClient>(host_, pasid_, config_.file_client);
   file_->SetSlotAvailableCallback([this] { PumpWaiting(); });
   file_->Open(name, config_.auth_token,
               [this, provider, candidates = std::move(candidates), index, generation, name,
@@ -412,7 +412,7 @@ void KvsEngine::CompactNow(StartCallback done) {
           AbortCompaction(created, std::move(done));
           return;
         }
-        compact_file_ = std::make_unique<ssddev::FileClient>(host_, pasid_);
+        compact_file_ = std::make_unique<ssddev::FileClient>(host_, pasid_, config_.file_client);
         compact_file_->Open(target, config_.auth_token,
                             [this, done = std::move(done)](Status opened) mutable {
                               if (!opened.ok()) {

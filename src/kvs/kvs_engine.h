@@ -61,6 +61,9 @@ struct KvsEngineConfig {
   // minimum log size before compaction is considered.
   double compact_garbage_ratio = 0.0;
   uint64_t min_compact_bytes = 64 << 10;
+  // Propagated to every FileClient the engine creates (sessions and
+  // compaction); enable completion_poll when running under fault injection.
+  ssddev::FileClientConfig file_client;
 };
 
 class KvsEngine {

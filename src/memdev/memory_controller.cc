@@ -134,13 +134,15 @@ std::vector<proto::MapEntry> MemoryController::EntriesFor(const Allocation& allo
 
 void MemoryController::SendDirective(DeviceId target, Pasid pasid,
                                      std::vector<proto::MapEntry> entries, bool unmap,
-                                     ResponseCallback done) {
+                                     Callback<void> done) {
   proto::MapDirective directive;
   directive.target = target;
   directive.pasid = pasid;
   directive.entries = std::move(entries);
   directive.unmap = unmap;
-  SendRequest(kBusDevice, std::move(directive), std::move(done));
+  dev::RpcOptions options;
+  options.max_attempts = 3;
+  rpc().Call<void>(kBusDevice, std::move(directive), options, std::move(done));
 }
 
 void MemoryController::HandleAlloc(const proto::Message& message) {
@@ -198,8 +200,8 @@ void MemoryController::HandleAlloc(const proto::Message& message) {
   uint64_t bytes = pages * kPageSize;
   SendDirective(message.src, request.pasid, std::move(entries), /*unmap=*/false,
                 [this, original, vaddr, bytes, vpage = *vpage,
-                 pasid = request.pasid](const proto::Message& response) {
-                  if (response.Is<proto::ErrorResponse>()) {
+                 pasid = request.pasid](Result<void> mapped) {
+                  if (!mapped.ok()) {
                     // Roll back the allocation the mapping never activated.
                     auto table_it = tables_.find(pasid);
                     if (table_it != tables_.end()) {
@@ -208,8 +210,7 @@ void MemoryController::HandleAlloc(const proto::Message& message) {
                         ReleaseAllocation(pasid, it);
                       }
                     }
-                    const auto& error = response.As<proto::ErrorResponse>();
-                    ReplyError(original, Status(error.code, error.message));
+                    ReplyError(original, mapped.status());
                     return;
                   }
                   Reply(original, proto::MemAllocResponse{vaddr, bytes});
@@ -278,7 +279,7 @@ void MemoryController::HandleFree(const proto::Message& message) {
       entry.access = Access::kRead;  // access ignored on unmap; keep valid bits
     }
     SendDirective(target, request.pasid, std::move(entries), /*unmap=*/true,
-                  [finish](const proto::Message&) { finish(); });
+                  [finish](Result<void>) { finish(); });
   }
 }
 
@@ -315,10 +316,9 @@ void MemoryController::HandleGrant(const proto::Message& message) {
 
   proto::Message original = message;
   SendDirective(request.grantee, request.pasid, std::move(entries), /*unmap=*/false,
-                [this, original](const proto::Message& response) {
-                  if (response.Is<proto::ErrorResponse>()) {
-                    const auto& error = response.As<proto::ErrorResponse>();
-                    ReplyError(original, Status(error.code, error.message));
+                [this, original](Result<void> mapped) {
+                  if (!mapped.ok()) {
+                    ReplyError(original, mapped.status());
                     return;
                   }
                   Reply(original, proto::GrantResponse{});
@@ -351,10 +351,9 @@ void MemoryController::HandleRevoke(const proto::Message& message) {
   auto entries = EntriesFor(*allocation, request.vaddr.page(), pages, Access::kRead);
   proto::Message original = message;
   SendDirective(request.grantee, request.pasid, std::move(entries), /*unmap=*/true,
-                [this, original](const proto::Message& response) {
-                  if (response.Is<proto::ErrorResponse>()) {
-                    const auto& error = response.As<proto::ErrorResponse>();
-                    ReplyError(original, Status(error.code, error.message));
+                [this, original](Result<void> unmapped) {
+                  if (!unmapped.ok()) {
+                    ReplyError(original, unmapped.status());
                     return;
                   }
                   Reply(original, proto::RevokeResponse{});
@@ -374,8 +373,7 @@ void MemoryController::OnTeardown(Pasid pasid) {
     }
     for (DeviceId target : targets) {
       auto entries = EntriesFor(allocation, vpage, allocation.pages, Access::kRead);
-      SendDirective(target, pasid, std::move(entries), /*unmap=*/true,
-                    [](const proto::Message&) {});
+      SendDirective(target, pasid, std::move(entries), /*unmap=*/true, [](Result<void>) {});
     }
     LASTCPU_CHECK(allocator_.Free(allocation.first_frame, allocation.pages).ok(),
                   "allocator table out of sync during teardown");

@@ -77,10 +77,11 @@ class MemoryController : public dev::Device {
   // Finds the allocation containing [vaddr, vaddr+bytes), or null.
   Allocation* FindCovering(Pasid pasid, VirtAddr vaddr, uint64_t bytes);
 
-  // Emits a MapDirective to the bus and invokes `done` with the confirm or
-  // error response.
+  // Emits a MapDirective to the bus and completes `done` when the mapping is
+  // confirmed (or with the typed error). Directives are idempotent (mapping
+  // the same entries twice is a no-op), so they opt into bounded retries.
   void SendDirective(DeviceId target, Pasid pasid, std::vector<proto::MapEntry> entries,
-                     bool unmap, ResponseCallback done);
+                     bool unmap, Callback<void> done);
 
   // Builds identity-ish map entries for an allocation subrange.
   static std::vector<proto::MapEntry> EntriesFor(const Allocation& allocation, uint64_t from_vpage,

@@ -393,8 +393,10 @@ struct Message {
   RequestId request_id;  // correlates responses with requests; Invalid() for one-way
   Payload payload;
   // Causal trace context (simulator metadata, never encoded on the wire —
-  // carrying it does not change modeled message sizes or latencies).
-  sim::TraceContext trace;
+  // carrying it does not change modeled message sizes or latencies). The
+  // default initializer keeps four-field aggregate init at call sites legal
+  // under -Wmissing-field-initializers.
+  sim::TraceContext trace{};
 
   MessageType type() const { return static_cast<MessageType>(payload.index()); }
 

@@ -1,0 +1,32 @@
+#include "src/sim/fault.h"
+
+namespace lastcpu::sim {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+FaultDecision FaultInjector::Decide() {
+  ++decisions_;
+  FaultDecision decision;
+  if (rng_.NextBool(plan_.drop_probability)) {
+    decision.drop = true;
+    ++dropped_;
+    return decision;  // a dropped message cannot also be delayed or copied
+  }
+  if (rng_.NextBool(plan_.delay_probability)) {
+    uint64_t lo = plan_.delay_min.nanos();
+    uint64_t hi = plan_.delay_max.nanos() >= lo ? plan_.delay_max.nanos() : lo;
+    decision.extra_delay = Duration::Nanos(rng_.NextInRange(lo, hi));
+    ++delayed_;
+  }
+  if (rng_.NextBool(plan_.duplicate_probability)) {
+    decision.duplicate = true;
+    ++duplicated_;
+  }
+  if (rng_.NextBool(plan_.reorder_probability)) {
+    decision.reorder = true;
+    ++reordered_;
+  }
+  return decision;
+}
+
+}  // namespace lastcpu::sim

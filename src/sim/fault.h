@@ -1,0 +1,82 @@
+// Seed-deterministic fault injection for the control and data planes.
+//
+// The paper's open questions are about the *viability* of a machine whose
+// devices coordinate with no CPU to clean up after them: what happens when a
+// control message is lost, duplicated, delayed, or delivered out of order?
+// Following gem5's reproducible-simulation discipline, faults here are part
+// of the deterministic model: a FaultPlan holds per-message probabilities, a
+// FaultInjector draws from one seeded sim::Rng, and the same (seed, plan)
+// always yields the same fault sequence. The bus consults the injector on
+// every message send; the fabric consults it on every doorbell.
+#ifndef SRC_SIM_FAULT_H_
+#define SRC_SIM_FAULT_H_
+
+#include <cstdint>
+
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace lastcpu::sim {
+
+// Probabilities and magnitudes for injected message faults. All-zero
+// probabilities (the default) mean a perfectly healthy interconnect; the
+// transports skip the injector entirely in that case, so an idle plan cannot
+// perturb timing or performance numbers.
+struct FaultPlan {
+  double drop_probability = 0.0;       // message vanishes on the wire
+  double delay_probability = 0.0;      // message arrives late
+  double duplicate_probability = 0.0;  // message is delivered twice
+  double reorder_probability = 0.0;    // message is held past its successors
+  // Extra latency drawn uniformly from [delay_min, delay_max] when delayed.
+  Duration delay_min = Duration::Micros(1);
+  Duration delay_max = Duration::Micros(10);
+  // Upper bound on how long a reordered message may be held; a held message
+  // is released early as soon as a later message overtakes it.
+  Duration reorder_window = Duration::Micros(5);
+  uint64_t seed = 0x1A57C0DE;
+
+  bool enabled() const {
+    return drop_probability > 0.0 || delay_probability > 0.0 ||
+           duplicate_probability > 0.0 || reorder_probability > 0.0;
+  }
+};
+
+// What the injector decided for one message. At most one of drop/reorder is
+// set; delay and duplicate may combine with either being clear.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  bool reorder = false;
+  Duration extra_delay = Duration::Zero();
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Draws the fault decision for the next message. The draw sequence depends
+  // only on (plan.seed, call count), keeping runs reproducible.
+  FaultDecision Decide();
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Injection counters, for tests and the machine's metrics export.
+  uint64_t decisions() const { return decisions_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t delayed() const { return delayed_; }
+  uint64_t duplicated() const { return duplicated_; }
+  uint64_t reordered() const { return reordered_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  uint64_t decisions_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t delayed_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t reordered_ = 0;
+};
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_FAULT_H_

@@ -9,7 +9,16 @@ namespace lastcpu::ssddev {
 FileClient::FileClient(dev::Device* host, Pasid pasid, FileClientConfig config)
     : host_(host), pasid_(pasid), config_(config) {
   LASTCPU_CHECK(host != nullptr, "file client needs a host device");
+  // The RPC layer aborts control transactions to a failed peer on its own;
+  // this hook extends the same guarantee to the virtqueue data plane.
+  peer_failed_hook_ = host_->AddPeerFailedHook([this](DeviceId device) {
+    if (device == provider_ && provider_.valid()) {
+      Reset(Unavailable("file provider " + std::to_string(device.value()) + " failed"));
+    }
+  });
 }
+
+FileClient::~FileClient() { host_->RemovePeerFailedHook(peer_failed_hook_); }
 
 void FileClient::Open(const std::string& file, uint64_t auth_token, OpenCallback done) {
   LASTCPU_CHECK(done != nullptr, "open without callback");
@@ -17,7 +26,7 @@ void FileClient::Open(const std::string& file, uint64_t auth_token, OpenCallback
   auto done_ptr = std::make_shared<OpenCallback>(std::move(done));
 
   // Step 1 (Fig. 2): broadcast — who owns this file?
-  host_->Discover(
+  host_->rpc().Discover(
       proto::ServiceType::kFile, file, config_.discover_window,
       [this, file, auth_token, done_ptr](std::vector<proto::ServiceDescriptor> services) {
         if (services.empty()) {
@@ -28,7 +37,7 @@ void FileClient::Open(const std::string& file, uint64_t auth_token, OpenCallback
         const std::string service_name = services[0].name;
 
         // Locate the memory controller too (usually cached by real firmware).
-        host_->Discover(
+        host_->rpc().Discover(
             proto::ServiceType::kMemory, "", config_.discover_window,
             [this, file, auth_token, service_name, done_ptr](
                 std::vector<proto::ServiceDescriptor> memory_services) {
@@ -39,53 +48,46 @@ void FileClient::Open(const std::string& file, uint64_t auth_token, OpenCallback
               memctrl_ = memory_services[0].provider;
 
               // Step 3: open the service instance with the auth token.
-              host_->SendRequest(
+              host_->rpc().Call<proto::OpenResponse>(
                   provider_, proto::OpenRequest{service_name, file, auth_token, pasid_},
-                  [this, done_ptr](const proto::Message& response) {
-                    if (response.Is<proto::ErrorResponse>()) {
-                      const auto& error = response.As<proto::ErrorResponse>();
-                      (*done_ptr)(Status(error.code, error.message));
+                  [this, done_ptr](Result<proto::OpenResponse> open) {
+                    if (!open.ok()) {
+                      (*done_ptr)(open.status());
                       return;
                     }
-                    const auto& open = response.As<proto::OpenResponse>();
-                    instance_ = open.instance;
-                    session_bytes_ = open.shared_bytes_required;
-                    depth_ = open.queue_depth;
+                    instance_ = open->instance;
+                    session_bytes_ = open->shared_bytes_required;
+                    depth_ = open->queue_depth;
 
                     // Step 5: allocate the shared session memory.
-                    host_->SendRequest(
+                    host_->rpc().Call<proto::MemAllocResponse>(
                         memctrl_,
                         proto::MemAllocRequest{pasid_, session_bytes_, VirtAddr(0),
                                                Access::kReadWrite},
-                        [this, done_ptr](const proto::Message& alloc_response) {
-                          if (alloc_response.Is<proto::ErrorResponse>()) {
-                            const auto& error = alloc_response.As<proto::ErrorResponse>();
-                            (*done_ptr)(Status(error.code, error.message));
+                        [this, done_ptr](Result<proto::MemAllocResponse> alloc) {
+                          if (!alloc.ok()) {
+                            (*done_ptr)(alloc.status());
                             return;
                           }
-                          session_base_ = alloc_response.As<proto::MemAllocResponse>().vaddr;
+                          session_base_ = alloc->vaddr;
 
                           // Step 7: grant the region to the provider.
-                          host_->SendRequest(
+                          host_->rpc().Call<void>(
                               kBusDevice,
                               proto::GrantRequest{pasid_, session_base_, session_bytes_,
                                                   provider_, Access::kReadWrite},
-                              [this, done_ptr](const proto::Message& grant_response) {
-                                if (grant_response.Is<proto::ErrorResponse>()) {
-                                  const auto& error =
-                                      grant_response.As<proto::ErrorResponse>();
-                                  (*done_ptr)(Status(error.code, error.message));
+                              [this, done_ptr](Result<void> granted) {
+                                if (!granted.ok()) {
+                                  (*done_ptr)(granted.status());
                                   return;
                                 }
                                 // Final step: hand the queue location to the
                                 // provider, then initialize our end.
-                                host_->SendRequest(
+                                host_->rpc().Call<void>(
                                     provider_, proto::AttachQueue{instance_, session_base_},
-                                    [this, done_ptr](const proto::Message& attach_response) {
-                                      if (attach_response.Is<proto::ErrorResponse>()) {
-                                        const auto& error =
-                                            attach_response.As<proto::ErrorResponse>();
-                                        (*done_ptr)(Status(error.code, error.message));
+                                    [this, done_ptr](Result<void> attached) {
+                                      if (!attached.ok()) {
+                                        (*done_ptr)(attached.status());
                                         return;
                                       }
                                       layout_.emplace(session_base_, depth_);
@@ -102,6 +104,7 @@ void FileClient::Open(const std::string& file, uint64_t auth_token, OpenCallback
                                       for (uint16_t s = depth_ / 2; s > 0; --s) {
                                         free_slots_.push_back(static_cast<uint16_t>(s - 1));
                                       }
+                                      StartCompletionPoll();
                                       (*done_ptr)(OkStatus());
                                     });
                               });
@@ -109,6 +112,25 @@ void FileClient::Open(const std::string& file, uint64_t auth_token, OpenCallback
                   });
             });
       });
+}
+
+void FileClient::StartCompletionPoll() {
+  if (config_.completion_poll <= sim::Duration::Zero()) {
+    return;
+  }
+  SchedulePoll(++poll_generation_);
+}
+
+void FileClient::SchedulePoll(uint64_t generation) {
+  host_->simulator()->ScheduleDaemon(config_.completion_poll, [this, generation] {
+    if (generation != poll_generation_ || queue_ == nullptr) {
+      return;  // session turned over; this daemon chain dies
+    }
+    if (!in_flight_.empty()) {
+      DrainCompletions();
+    }
+    SchedulePoll(generation);
+  });
 }
 
 void FileClient::Issue(FileRequestHeader header, std::vector<uint8_t> payload, Pending pending) {
@@ -316,6 +338,7 @@ void FileClient::AbortAll(Status reason) {
 
 void FileClient::Reset(Status reason) {
   AbortAll(std::move(reason));
+  ++poll_generation_;  // stop the completion-poll daemon
   queue_.reset();
   layout_.reset();
   free_slots_.clear();
@@ -333,28 +356,22 @@ void FileClient::Close(std::function<void(Status)> done) {
     return;
   }
   AbortAll(Aborted("session closing"));
+  ++poll_generation_;  // stop the completion-poll daemon
   queue_.reset();
   auto done_ptr = std::make_shared<std::function<void(Status)>>(std::move(done));
-  host_->SendRequest(provider_, proto::CloseRequest{instance_},
-                     [this, done_ptr](const proto::Message& response) {
-                       // Free the session memory regardless of close outcome.
-                       host_->SendRequest(
-                           kBusDevice,
-                           proto::MemFreeRequest{pasid_, session_base_, session_bytes_},
-                           [done_ptr, closed = !response.Is<proto::ErrorResponse>()](
-                               const proto::Message& free_response) {
-                             if (!closed) {
-                               (*done_ptr)(Internal("close failed"));
-                               return;
-                             }
-                             if (free_response.Is<proto::ErrorResponse>()) {
-                               const auto& error = free_response.As<proto::ErrorResponse>();
-                               (*done_ptr)(Status(error.code, error.message));
-                               return;
-                             }
-                             (*done_ptr)(OkStatus());
-                           });
-                     });
+  host_->rpc().Call<void>(
+      provider_, proto::CloseRequest{instance_}, [this, done_ptr](Result<void> closed) {
+        // Free the session memory regardless of close outcome.
+        host_->rpc().Call<void>(
+            kBusDevice, proto::MemFreeRequest{pasid_, session_base_, session_bytes_},
+            [done_ptr, closed = closed.ok()](Result<void> freed) {
+              if (!closed) {
+                (*done_ptr)(Internal("close failed"));
+                return;
+              }
+              (*done_ptr)(freed.ok() ? OkStatus() : freed.status());
+            });
+      });
 }
 
 namespace {
@@ -362,15 +379,10 @@ namespace {
 void SendFileAdmin(dev::Device* host, DeviceId provider, proto::Payload payload,
                    std::function<void(Status)> done) {
   LASTCPU_CHECK(host != nullptr && done != nullptr, "file admin needs host and callback");
-  host->SendRequest(provider, std::move(payload),
-                    [done = std::move(done)](const proto::Message& response) {
-                      if (response.Is<proto::ErrorResponse>()) {
-                        const auto& error = response.As<proto::ErrorResponse>();
-                        done(Status(error.code, error.message));
-                        return;
-                      }
-                      done(OkStatus());
-                    });
+  host->rpc().Call<void>(provider, std::move(payload),
+                         [done = std::move(done)](Result<void> result) {
+                           done(result.ok() ? OkStatus() : result.status());
+                         });
 }
 
 }  // namespace
@@ -388,15 +400,19 @@ void DeleteRemoteFile(dev::Device* host, DeviceId provider, const std::string& n
 void ListRemoteFiles(dev::Device* host, DeviceId provider, uint64_t auth_token,
                      std::function<void(Result<std::vector<std::string>>)> done) {
   LASTCPU_CHECK(host != nullptr && done != nullptr, "file list needs host and callback");
-  host->SendRequest(provider, proto::FileList{auth_token},
-                    [done = std::move(done)](const proto::Message& response) {
-                      if (response.Is<proto::ErrorResponse>()) {
-                        const auto& error = response.As<proto::ErrorResponse>();
-                        done(Status(error.code, error.message));
-                        return;
-                      }
-                      done(response.As<proto::FileListResponse>().names);
-                    });
+  // Listing is read-only, hence idempotent: opt into bounded retries so a
+  // dropped request or response does not stall recovery scans.
+  dev::RpcOptions options;
+  options.max_attempts = 3;
+  host->rpc().Call<proto::FileListResponse>(
+      provider, proto::FileList{auth_token}, options,
+      [done = std::move(done)](Result<proto::FileListResponse> response) {
+        if (!response.ok()) {
+          done(response.status());
+          return;
+        }
+        done(std::move(response->names));
+      });
 }
 
 }  // namespace lastcpu::ssddev

@@ -26,6 +26,12 @@ namespace lastcpu::ssddev {
 
 struct FileClientConfig {
   sim::Duration discover_window = sim::Duration::Micros(20);
+  // Completion-poll backstop period. Doorbells are edge-triggered and carry
+  // no acknowledgement, so under fault injection a dropped doorbell would
+  // strand completed requests; the poll drains them. Zero (the default)
+  // disables polling — on a healthy interconnect the doorbell always
+  // arrives, and a disabled poll cannot perturb timing.
+  sim::Duration completion_poll = sim::Duration::Zero();
 };
 
 class FileClient {
@@ -38,7 +44,13 @@ class FileClient {
 
   // `host` is the device this client runs on; `pasid` the application's
   // address space. The host must forward doorbells via HandleDoorbell.
+  // Registers a peer-failed hook on the host: when the bus declares this
+  // session's provider failed, outstanding requests complete with
+  // kUnavailable and the session resets.
   FileClient(dev::Device* host, Pasid pasid, FileClientConfig config = {});
+  ~FileClient();
+  FileClient(const FileClient&) = delete;
+  FileClient& operator=(const FileClient&) = delete;
 
   // Runs the full session bring-up for `file`. Requires a live memory
   // controller and a file service owning the file somewhere on the bus.
@@ -90,6 +102,9 @@ class FileClient {
 
   // Issues one request: writes the slot, submits the chain, rings the bell.
   void Issue(FileRequestHeader header, std::vector<uint8_t> payload, Pending pending);
+  // Arms the completion-poll backstop daemon for the current session.
+  void StartCompletionPoll();
+  void SchedulePoll(uint64_t generation);
   void DrainCompletions();
   void CompleteOne(uint16_t head, Pending pending);
   void Fail(Pending& pending, Status status);
@@ -111,6 +126,9 @@ class FileClient {
   std::vector<uint16_t> free_slots_;
   std::map<uint16_t, Pending> in_flight_;  // keyed by chain head
   std::function<void()> on_slot_available_;
+  uint64_t peer_failed_hook_ = 0;
+  // Bumped whenever the session turns over, so stale poll daemons die.
+  uint64_t poll_generation_ = 0;
 };
 
 // Session-less file administration from any device: create or delete a file

@@ -8,8 +8,12 @@
 
 #include "src/bus/system_bus.h"
 #include "src/iommu/iommu.h"
+#include "src/memdev/memory_controller.h"
 #include "src/proto/message.h"
 #include "src/sim/simulator.h"
+#include "src/ssddev/file_client.h"
+#include "src/ssddev/smart_ssd.h"
+#include "tests/test_util.h"
 
 namespace lastcpu::bus {
 namespace {
@@ -340,6 +344,65 @@ TEST_F(BusTest, StatsCountTraffic) {
   simulator_.Run();
   EXPECT_GE(bus_.stats().GetCounter("messages_sent").value(), 4u);  // 3 alive + 1 notify
   EXPECT_GT(bus_.stats().GetCounter("bytes_sent").value(), 0u);
+}
+
+// The watchdog-vs-consumer end-to-end case: a provider dies *silently* in
+// the middle of a file read. The watchdog must notice, broadcast the
+// failure, and the consumer's in-flight request must complete with
+// kUnavailable — with no leaked service instances or virtqueue slots.
+TEST(WatchdogRecoveryTest, ProviderKilledMidReadCompletesWithUnavailable) {
+  sim::Simulator simulator;
+  sim::TraceLog trace;
+  mem::PhysicalMemory memory(64 << 20);
+  fabric::Fabric fabric(&simulator, &memory);
+  BusConfig bus_config;
+  bus_config.heartbeat_timeout = sim::Duration::Millis(1);
+  SystemBus bus(&simulator, bus_config, &trace);
+  dev::DeviceContext context{&simulator, &bus, &fabric, &trace};
+
+  memdev::MemoryController controller(DeviceId(3), context, &memory);
+  ssddev::SmartSsdConfig ssd_config;
+  ssd_config.host_auth_service = false;
+  ssd_config.device.heartbeat_period = sim::Duration::Micros(200);
+  ssddev::SmartSsd ssd(DeviceId(2), context, ssd_config);
+  testutil::TestDevice nic(DeviceId(1), "nic", context);
+  ssddev::FileClient client(&nic, Pasid(7));
+  nic.doorbell_handler = [&](DeviceId from, uint64_t value) {
+    client.HandleDoorbell(from, value);
+  };
+  ssd.ProvisionFile("kv.log", std::vector<uint8_t>(4096, 0x5A));
+  controller.PowerOn();
+  ssd.PowerOn();
+  nic.PowerOn();
+  simulator.Run();
+
+  std::optional<Status> opened;
+  client.Open("kv.log", 0, [&](Status s) { opened = s; });
+  simulator.Run();
+  ASSERT_TRUE(opened.has_value() && opened->ok());
+  ASSERT_EQ(ssd.file_service().instance_count(), 1u);
+
+  std::optional<Status> read_status;
+  client.ReadAt(0, 64, [&](Result<std::vector<uint8_t>> r) { read_status = r.status(); });
+  simulator.RunFor(sim::Duration::Micros(1));
+  ASSERT_EQ(client.InFlight(), 1u);
+  ASSERT_FALSE(read_status.has_value());
+
+  // The SSD dies silently — nobody calls ReportDeviceFailure; only its
+  // missing heartbeats give it away.
+  ssd.InjectFailure();
+  simulator.RunFor(sim::Duration::Millis(5));
+
+  // The watchdog noticed and told the consumer: the read completed with a
+  // typed kUnavailable instead of hanging.
+  EXPECT_GE(bus.stats().GetCounter("watchdog_failures").value(), 1u);
+  ASSERT_TRUE(read_status.has_value());
+  EXPECT_EQ(read_status->code(), StatusCode::kUnavailable);
+  // Nothing leaked: no in-flight slots on the client, no session on the
+  // provider (it came back through reset with a clean service table).
+  EXPECT_EQ(client.InFlight(), 0u);
+  EXPECT_FALSE(client.ready());
+  EXPECT_EQ(ssd.file_service().instance_count(), 0u);
 }
 
 }  // namespace

@@ -170,12 +170,9 @@ TEST(MachineTest, TeardownApplicationViaAdminPath) {
   machine.Boot();
   Pasid app = machine.NewApplication("doomed");
   bool allocated = false;
-  requester.SendRequest(memctrl.id(),
-                        proto::MemAllocRequest{app, 8 * kPageSize, VirtAddr(0),
-                                               Access::kReadWrite},
-                        [&](const proto::Message& m) {
-                          allocated = m.Is<proto::MemAllocResponse>();
-                        });
+  requester.rpc().Call<proto::MemAllocResponse>(
+      memctrl.id(), proto::MemAllocRequest{app, 8 * kPageSize, VirtAddr(0), Access::kReadWrite},
+      [&](Result<proto::MemAllocResponse> result) { allocated = result.ok(); });
   machine.RunUntilIdle();
   ASSERT_TRUE(allocated);
   ASSERT_GT(memctrl.AllocatedBytes(app), 0u);

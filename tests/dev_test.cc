@@ -60,8 +60,8 @@ TEST_F(DeviceTest, SelfTestTakesConfiguredTime) {
 TEST_F(DeviceTest, DiscoveryFindsMatchingService) {
   PowerOnAll();
   std::optional<std::vector<proto::ServiceDescriptor>> found;
-  nic_.Discover(proto::ServiceType::kCompute, "", sim::Duration::Micros(50),
-                [&](std::vector<proto::ServiceDescriptor> services) { found = services; });
+  nic_.rpc().Discover(proto::ServiceType::kCompute, "", sim::Duration::Micros(50),
+                      [&](std::vector<proto::ServiceDescriptor> services) { found = services; });
   harness_.simulator.Run();
   ASSERT_TRUE(found.has_value());
   ASSERT_EQ(found->size(), 1u);
@@ -72,8 +72,8 @@ TEST_F(DeviceTest, DiscoveryFindsMatchingService) {
 TEST_F(DeviceTest, DiscoveryOfMissingServiceReturnsEmpty) {
   PowerOnAll();
   std::optional<std::vector<proto::ServiceDescriptor>> found;
-  nic_.Discover(proto::ServiceType::kFile, "nonexistent.log", sim::Duration::Micros(50),
-                [&](std::vector<proto::ServiceDescriptor> services) { found = services; });
+  nic_.rpc().Discover(proto::ServiceType::kFile, "nonexistent.log", sim::Duration::Micros(50),
+                      [&](std::vector<proto::ServiceDescriptor> services) { found = services; });
   harness_.simulator.Run();
   ASSERT_TRUE(found.has_value());
   EXPECT_TRUE(found->empty());
@@ -83,16 +83,16 @@ TEST_F(DeviceTest, OpenCreatesIsolatedInstances) {
   PowerOnAll();
   std::optional<InstanceId> first;
   std::optional<InstanceId> second;
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(1)},
-                   [&](const proto::Message& m) {
-                     ASSERT_TRUE(m.Is<proto::OpenResponse>());
-                     first = m.As<proto::OpenResponse>().instance;
-                   });
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "b", 0, Pasid(2)},
-                   [&](const proto::Message& m) {
-                     ASSERT_TRUE(m.Is<proto::OpenResponse>());
-                     second = m.As<proto::OpenResponse>().instance;
-                   });
+  nic_.rpc().Call<proto::OpenResponse>(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(1)},
+                                       [&](Result<proto::OpenResponse> opened) {
+                                         ASSERT_TRUE(opened.ok());
+                                         first = opened->instance;
+                                       });
+  nic_.rpc().Call<proto::OpenResponse>(DeviceId(2), proto::OpenRequest{"echo", "b", 0, Pasid(2)},
+                                       [&](Result<proto::OpenResponse> opened) {
+                                         ASSERT_TRUE(opened.ok());
+                                         second = opened->instance;
+                                       });
   harness_.simulator.Run();
   ASSERT_TRUE(first.has_value() && second.has_value());
   EXPECT_NE(*first, *second);  // separate contexts per open
@@ -102,11 +102,12 @@ TEST_F(DeviceTest, OpenCreatesIsolatedInstances) {
 TEST_F(DeviceTest, OpenUnknownServiceFails) {
   PowerOnAll();
   std::optional<StatusCode> code;
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"nope", "", 0, Pasid(1)},
-                   [&](const proto::Message& m) {
-                     ASSERT_TRUE(m.Is<proto::ErrorResponse>());
-                     code = m.As<proto::ErrorResponse>().code;
-                   });
+  nic_.rpc().Call<proto::OpenResponse>(
+      DeviceId(2), proto::OpenRequest{"nope", "", 0, Pasid(1)},
+      [&](Result<proto::OpenResponse> opened) {
+        ASSERT_FALSE(opened.ok());
+        code = opened.status().code();
+      });
   harness_.simulator.Run();
   EXPECT_EQ(code, StatusCode::kNotFound);
 }
@@ -117,15 +118,15 @@ TEST_F(DeviceTest, ServiceEnforcesMaxInstances) {
   int ok = 0;
   int exhausted = 0;
   for (int i = 0; i < 3; ++i) {
-    nic_.SendRequest(DeviceId(2), proto::OpenRequest{"limited", "", 0, Pasid(1)},
-                     [&](const proto::Message& m) {
-                       if (m.Is<proto::OpenResponse>()) {
-                         ++ok;
-                       } else if (m.As<proto::ErrorResponse>().code ==
-                                  StatusCode::kResourceExhausted) {
-                         ++exhausted;
-                       }
-                     });
+    nic_.rpc().Call<proto::OpenResponse>(
+        DeviceId(2), proto::OpenRequest{"limited", "", 0, Pasid(1)},
+        [&](Result<proto::OpenResponse> opened) {
+          if (opened.ok()) {
+            ++ok;
+          } else if (opened.status().code() == StatusCode::kResourceExhausted) {
+            ++exhausted;
+          }
+        });
   }
   harness_.simulator.Run();
   EXPECT_EQ(ok, 1);
@@ -137,14 +138,15 @@ TEST_F(DeviceTest, ServiceEnforcesAuthToken) {
   PowerOnAll();
   std::optional<StatusCode> denied;
   std::optional<InstanceId> opened;
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"secure", "", 0xBAD, Pasid(1)},
-                   [&](const proto::Message& m) {
-                     denied = m.As<proto::ErrorResponse>().code;
-                   });
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"secure", "", 0xFEED, Pasid(1)},
-                   [&](const proto::Message& m) {
-                     opened = m.As<proto::OpenResponse>().instance;
-                   });
+  nic_.rpc().Call<proto::OpenResponse>(
+      DeviceId(2), proto::OpenRequest{"secure", "", 0xBAD, Pasid(1)},
+      [&](Result<proto::OpenResponse> result) { denied = result.status().code(); });
+  nic_.rpc().Call<proto::OpenResponse>(
+      DeviceId(2), proto::OpenRequest{"secure", "", 0xFEED, Pasid(1)},
+      [&](Result<proto::OpenResponse> result) {
+        ASSERT_TRUE(result.ok());
+        opened = result->instance;
+      });
   harness_.simulator.Run();
   EXPECT_EQ(denied, StatusCode::kPermissionDenied);
   EXPECT_TRUE(opened.has_value());
@@ -153,24 +155,23 @@ TEST_F(DeviceTest, ServiceEnforcesAuthToken) {
 TEST_F(DeviceTest, CloseReleasesInstance) {
   PowerOnAll();
   std::optional<InstanceId> instance;
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(1)},
-                   [&](const proto::Message& m) {
-                     instance = m.As<proto::OpenResponse>().instance;
-                   });
+  nic_.rpc().Call<proto::OpenResponse>(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(1)},
+                                       [&](Result<proto::OpenResponse> opened) {
+                                         ASSERT_TRUE(opened.ok());
+                                         instance = opened->instance;
+                                       });
   harness_.simulator.Run();
   ASSERT_TRUE(instance.has_value());
   bool closed = false;
-  nic_.SendRequest(DeviceId(2), proto::CloseRequest{*instance}, [&](const proto::Message& m) {
-    closed = m.Is<proto::CloseResponse>();
-  });
+  nic_.rpc().Call<void>(DeviceId(2), proto::CloseRequest{*instance},
+                        [&](Result<void> result) { closed = result.ok(); });
   harness_.simulator.Run();
   EXPECT_TRUE(closed);
   EXPECT_EQ(ssd_.FindServiceByName("echo")->instance_count(), 0u);
   // Double close fails.
   std::optional<StatusCode> code;
-  nic_.SendRequest(DeviceId(2), proto::CloseRequest{*instance}, [&](const proto::Message& m) {
-    code = m.As<proto::ErrorResponse>().code;
-  });
+  nic_.rpc().Call<void>(DeviceId(2), proto::CloseRequest{*instance},
+                        [&](Result<void> result) { code = result.status().code(); });
   harness_.simulator.Run();
   EXPECT_EQ(code, StatusCode::kNotFound);
 }
@@ -180,10 +181,9 @@ TEST_F(DeviceTest, RequestToDeadDeviceTimesOutOrBounces) {
   harness_.simulator.Run();
   // SSD never powered on: the bus bounces with UNAVAILABLE.
   std::optional<StatusCode> code;
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "", 0, Pasid(1)},
-                   [&](const proto::Message& m) {
-                     code = m.As<proto::ErrorResponse>().code;
-                   });
+  nic_.rpc().Call<proto::OpenResponse>(
+      DeviceId(2), proto::OpenRequest{"echo", "", 0, Pasid(1)},
+      [&](Result<proto::OpenResponse> opened) { code = opened.status().code(); });
   harness_.simulator.Run();
   EXPECT_EQ(code, StatusCode::kUnavailable);
 }
@@ -193,10 +193,9 @@ TEST_F(DeviceTest, RequestTimesOutWhenPeerFailsMidFlight) {
   // The SSD fails silently (no bus notification): the NIC's timeout fires.
   ssd_.InjectFailure();
   std::optional<StatusCode> code;
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "", 0, Pasid(1)},
-                   [&](const proto::Message& m) {
-                     code = m.As<proto::ErrorResponse>().code;
-                   });
+  nic_.rpc().Call<proto::OpenResponse>(
+      DeviceId(2), proto::OpenRequest{"echo", "", 0, Pasid(1)},
+      [&](Result<proto::OpenResponse> opened) { code = opened.status().code(); });
   harness_.simulator.Run();
   EXPECT_EQ(code, StatusCode::kTimedOut);
   EXPECT_EQ(nic_.stats().GetCounter("request_timeouts").value(), 1u);
@@ -204,8 +203,8 @@ TEST_F(DeviceTest, RequestTimesOutWhenPeerFailsMidFlight) {
 
 TEST_F(DeviceTest, ResetDropsInstancesAndReannounces) {
   PowerOnAll();
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(1)},
-                   [](const proto::Message&) {});
+  nic_.rpc().Call<proto::OpenResponse>(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(1)},
+                                       [](Result<proto::OpenResponse>) {});
   harness_.simulator.Run();
   ASSERT_EQ(ssd_.FindServiceByName("echo")->instance_count(), 1u);
 
@@ -220,8 +219,8 @@ TEST_F(DeviceTest, ResetDropsInstancesAndReannounces) {
 
 TEST_F(DeviceTest, PeerFailureTearsDownClientInstances) {
   PowerOnAll();
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(1)},
-                   [](const proto::Message&) {});
+  nic_.rpc().Call<proto::OpenResponse>(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(1)},
+                                       [](Result<proto::OpenResponse>) {});
   harness_.simulator.Run();
   ASSERT_EQ(ssd_.FindServiceByName("echo")->instance_count(), 1u);
   // The NIC dies; the bus tells the SSD, which drops the NIC's instances.
@@ -235,10 +234,10 @@ TEST_F(DeviceTest, PeerFailureTearsDownClientInstances) {
 
 TEST_F(DeviceTest, TeardownAppReachesServicesAndHook) {
   PowerOnAll();
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(5)},
-                   [](const proto::Message&) {});
-  nic_.SendRequest(DeviceId(2), proto::OpenRequest{"echo", "b", 0, Pasid(6)},
-                   [](const proto::Message&) {});
+  nic_.rpc().Call<proto::OpenResponse>(DeviceId(2), proto::OpenRequest{"echo", "a", 0, Pasid(5)},
+                                       [](Result<proto::OpenResponse>) {});
+  nic_.rpc().Call<proto::OpenResponse>(DeviceId(2), proto::OpenRequest{"echo", "b", 0, Pasid(6)},
+                                       [](Result<proto::OpenResponse>) {});
   harness_.simulator.Run();
   ASSERT_EQ(ssd_.FindServiceByName("echo")->instance_count(), 2u);
   nic_.SendOneWay(kBusDevice, proto::TeardownApp{Pasid(5)});
@@ -257,15 +256,13 @@ TEST_F(DeviceTest, LoaderServiceStoresImagesWithAuth) {
   PowerOnAll();
 
   std::optional<StatusCode> denied;
-  nic_.SendRequest(DeviceId(2), proto::LoadImage{"kvs", {1, 2, 3}, 0xBAD},
-                   [&](const proto::Message& m) {
-                     denied = m.As<proto::ErrorResponse>().code;
-                   });
+  nic_.rpc().Call<proto::LoadImageResponse>(
+      DeviceId(2), proto::LoadImage{"kvs", {1, 2, 3}, 0xBAD},
+      [&](Result<proto::LoadImageResponse> loaded) { denied = loaded.status().code(); });
   bool loaded = false;
-  nic_.SendRequest(DeviceId(2), proto::LoadImage{"kvs", {1, 2, 3}, 0xFEED},
-                   [&](const proto::Message& m) {
-                     loaded = m.Is<proto::LoadImageResponse>();
-                   });
+  nic_.rpc().Call<proto::LoadImageResponse>(
+      DeviceId(2), proto::LoadImage{"kvs", {1, 2, 3}, 0xFEED},
+      [&](Result<proto::LoadImageResponse> result) { loaded = result.ok(); });
   harness_.simulator.Run();
   EXPECT_EQ(denied, StatusCode::kPermissionDenied);
   EXPECT_TRUE(loaded);
@@ -289,11 +286,9 @@ TEST_F(DeviceTest, DoorbellReachesAliveDeviceOnly) {
 TEST_F(DeviceTest, UnhandledRequestGetsUnimplementedError) {
   PowerOnAll();
   std::optional<StatusCode> code;
-  nic_.SendRequest(DeviceId(2), proto::MemAllocRequest{Pasid(1), 4096, VirtAddr(0),
-                                                       Access::kReadWrite},
-                   [&](const proto::Message& m) {
-                     code = m.As<proto::ErrorResponse>().code;
-                   });
+  nic_.rpc().Call<proto::MemAllocResponse>(
+      DeviceId(2), proto::MemAllocRequest{Pasid(1), 4096, VirtAddr(0), Access::kReadWrite},
+      [&](Result<proto::MemAllocResponse> result) { code = result.status().code(); });
   harness_.simulator.Run();
   EXPECT_EQ(code, StatusCode::kUnimplemented);
 }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <utility>
 
 #include "src/memdev/memory_controller.h"
 #include "tests/test_util.h"
@@ -32,15 +33,9 @@ class MemoryControllerTest : public ::testing::Test {
                                         VirtAddr hint = VirtAddr(0),
                                         Access access = Access::kReadWrite) {
     std::optional<Result<proto::MemAllocResponse>> outcome;
-    device.SendRequest(DeviceId(3), proto::MemAllocRequest{pasid, bytes, hint, access},
-                       [&](const proto::Message& m) {
-                         if (m.Is<proto::MemAllocResponse>()) {
-                           outcome = m.As<proto::MemAllocResponse>();
-                         } else {
-                           const auto& e = m.As<proto::ErrorResponse>();
-                           outcome = Result<proto::MemAllocResponse>(Status(e.code, e.message));
-                         }
-                       });
+    device.rpc().Call<proto::MemAllocResponse>(
+        DeviceId(3), proto::MemAllocRequest{pasid, bytes, hint, access},
+        [&](Result<proto::MemAllocResponse> result) { outcome = std::move(result); });
     harness_.simulator.Run();
     LASTCPU_CHECK(outcome.has_value(), "alloc never completed");
     return *outcome;
@@ -49,14 +44,8 @@ class MemoryControllerTest : public ::testing::Test {
   // Sends a grant/revoke/free via the bus and returns the terminal status.
   Status RoundTrip(testutil::TestDevice& device, proto::Payload payload) {
     std::optional<Status> outcome;
-    device.SendRequest(kBusDevice, std::move(payload), [&](const proto::Message& m) {
-      if (m.Is<proto::ErrorResponse>()) {
-        const auto& e = m.As<proto::ErrorResponse>();
-        outcome = Status(e.code, e.message);
-      } else {
-        outcome = OkStatus();
-      }
-    });
+    device.rpc().Call<void>(kBusDevice, std::move(payload),
+                            [&](Result<void> result) { outcome = result.status(); });
     harness_.simulator.Run();
     LASTCPU_CHECK(outcome.has_value(), "request never completed");
     return *outcome;
@@ -163,26 +152,26 @@ TEST_F(MemoryControllerTest, QuotaEnforced) {
   std::optional<StatusCode> code;
   int ok = 0;
   for (int i = 0; i < 3; ++i) {
-    nic.SendRequest(DeviceId(3),
-                    proto::MemAllocRequest{Pasid(7), 2 * kPageSize, VirtAddr(0),
-                                           Access::kReadWrite},
-                    [&](const proto::Message& m) {
-                      if (m.Is<proto::MemAllocResponse>()) {
-                        ++ok;
-                      } else {
-                        code = m.As<proto::ErrorResponse>().code;
-                      }
-                    });
+    nic.rpc().Call<proto::MemAllocResponse>(
+        DeviceId(3), proto::MemAllocRequest{Pasid(7), 2 * kPageSize, VirtAddr(0),
+                                            Access::kReadWrite},
+        [&](Result<proto::MemAllocResponse> result) {
+          if (result.ok()) {
+            ++ok;
+          } else {
+            code = result.status().code();
+          }
+        });
     harness.simulator.Run();
   }
   EXPECT_EQ(ok, 2);
   EXPECT_EQ(code, StatusCode::kResourceExhausted);
   // A different application is unaffected by the first one's quota.
   bool other_ok = false;
-  nic.SendRequest(DeviceId(3),
-                  proto::MemAllocRequest{Pasid(8), 2 * kPageSize, VirtAddr(0),
-                                         Access::kReadWrite},
-                  [&](const proto::Message& m) { other_ok = m.Is<proto::MemAllocResponse>(); });
+  nic.rpc().Call<proto::MemAllocResponse>(
+      DeviceId(3), proto::MemAllocRequest{Pasid(8), 2 * kPageSize, VirtAddr(0),
+                                          Access::kReadWrite},
+      [&](Result<proto::MemAllocResponse> result) { other_ok = result.ok(); });
   harness.simulator.Run();
   EXPECT_TRUE(other_ok);
 }
@@ -195,9 +184,9 @@ TEST_F(MemoryControllerTest, OutOfMemorySurfacesCleanly) {
   nic.PowerOn();
   harness.simulator.Run();
   std::optional<StatusCode> code;
-  nic.SendRequest(DeviceId(3),
-                  proto::MemAllocRequest{Pasid(7), 2 << 20, VirtAddr(0), Access::kReadWrite},
-                  [&](const proto::Message& m) { code = m.As<proto::ErrorResponse>().code; });
+  nic.rpc().Call<proto::MemAllocResponse>(
+      DeviceId(3), proto::MemAllocRequest{Pasid(7), 2 << 20, VirtAddr(0), Access::kReadWrite},
+      [&](Result<proto::MemAllocResponse> result) { code = result.status().code(); });
   harness.simulator.Run();
   EXPECT_EQ(code, StatusCode::kResourceExhausted);
 }

@@ -7,6 +7,7 @@
 #include <map>
 #include <optional>
 
+#include "src/auth/auth_client.h"
 #include "src/memdev/memory_controller.h"
 #include "src/ssddev/file_client.h"
 #include "src/ssddev/flash_fs.h"
@@ -633,6 +634,59 @@ TEST_F(FileSessionTest, RemoteCreateDeleteAndList) {
   EXPECT_FALSE(ssd_.fs().Exists("fresh.dat"));
 }
 
+// Regression: when discovery yields no offers (no file service owns the
+// file, or none exists at all), Open must complete with kNotFound when the
+// discover window elapses — it used to hang forever.
+TEST(FileClientDiscoveryTest, OpenCompletesNotFoundWithoutAnyFileService) {
+  Harness harness;
+  memdev::MemoryController controller(DeviceId(3), harness.Context(), &harness.memory);
+  TestDevice nic(DeviceId(1), "nic", harness.Context());
+  controller.PowerOn();
+  nic.PowerOn();
+  harness.simulator.Run();
+
+  FileClient client(&nic, Pasid(7));
+  sim::SimTime start = harness.simulator.Now();
+  std::optional<Status> opened;
+  sim::SimTime completed;
+  client.Open("orphan.log", 0, [&](Status s) {
+    opened = s;
+    completed = harness.simulator.Now();
+  });
+  harness.simulator.Run();
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(opened->code(), StatusCode::kNotFound);
+  EXPECT_FALSE(client.ready());
+  // It fired exactly when the (default 20us) discover window closed.
+  EXPECT_EQ(completed, start + FileClientConfig{}.discover_window);
+}
+
+TEST_F(FileSessionTest, TeardownPasidClosesOpenSessionAndFreesMemory) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  ASSERT_EQ(ssd_.file_service().instance_count(), 1u);
+  ASSERT_GT(controller_.AllocatedBytes(Pasid(7)), 0u);
+  // The app is torn down while its virtqueue session is open: the admin
+  // fan-out must reach both the provider (instance dropped) and the memory
+  // controller (session memory freed, IOMMUs scrubbed).
+  nic_.SendOneWay(kBusDevice, proto::TeardownApp{Pasid(7)});
+  harness_.simulator.Run();
+  EXPECT_EQ(ssd_.file_service().instance_count(), 0u);
+  EXPECT_EQ(controller_.AllocatedBytes(Pasid(7)), 0u);
+  EXPECT_EQ(nic_.iommu().mapped_pages(Pasid(7)), 0u);
+  EXPECT_EQ(ssd_.iommu().mapped_pages(Pasid(7)), 0u);
+}
+
+TEST_F(FileSessionTest, TeardownClientDropsFailedConsumersSessions) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  ASSERT_EQ(ssd_.file_service().instance_count(), 1u);
+  // The consumer dies and the bus reports it: the provider must drop every
+  // instance the dead device held, virtqueue session included.
+  nic_.InjectFailure();
+  harness_.bus.ReportDeviceFailure(DeviceId(1));
+  harness_.simulator.Run();
+  EXPECT_EQ(ssd_.file_service().instance_count(), 0u);
+}
+
 TEST_F(FileSessionTest, DeleteWithOpenSessionNotifiesConsumer) {
   ASSERT_TRUE(OpenSync("kv.log").ok());
   // Another device (the memory controller's id works as "someone else")
@@ -666,8 +720,8 @@ TEST(FileAdminAuthTest, AdminOpsAreTokenGated) {
 
   auto login = [&](const std::string& user) {
     uint64_t token = 0;
-    nic.SendRequest(DeviceId(2), proto::AuthRequest{user, "pw"},
-                    [&](const proto::Message& m) { token = m.As<proto::AuthResponse>().token; });
+    auth::LoginUser(&nic, DeviceId(2), user, "pw",
+                    [&](Result<auth::Login> result) { token = result->token; });
     harness.simulator.Run();
     return token;
   };
@@ -736,10 +790,10 @@ TEST(FileSessionAuthTest, TokenRequiredWhenAuthHosted) {
 
   // Login, then open with the token: allowed.
   std::optional<uint64_t> token;
-  nic.SendRequest(DeviceId(2), proto::AuthRequest{"operator", "hunter2"},
-                  [&](const proto::Message& m) {
-                    ASSERT_TRUE(m.Is<proto::AuthResponse>());
-                    token = m.As<proto::AuthResponse>().token;
+  auth::LoginUser(&nic, DeviceId(2), "operator", "hunter2",
+                  [&](Result<auth::Login> result) {
+                    ASSERT_TRUE(result.ok());
+                    token = result->token;
                   });
   harness.simulator.Run();
   ASSERT_TRUE(token.has_value());
@@ -756,8 +810,8 @@ TEST(FileSessionAuthTest, TokenRequiredWhenAuthHosted) {
 
   // Wrong password never yields a token.
   std::optional<StatusCode> bad;
-  nic.SendRequest(DeviceId(2), proto::AuthRequest{"operator", "wrong"},
-                  [&](const proto::Message& m) { bad = m.As<proto::ErrorResponse>().code; });
+  auth::LoginUser(&nic, DeviceId(2), "operator", "wrong",
+                  [&](Result<auth::Login> result) { bad = result.status().code(); });
   harness.simulator.Run();
   EXPECT_EQ(bad, StatusCode::kPermissionDenied);
 }
