@@ -173,6 +173,155 @@ void FaultRecovery_Centralized(benchmark::State& state) {
   state.counters["consumers"] = static_cast<double>(kConsumers);
 }
 
+// Quarantine path: the SSD dies for good. Measures kill -> quarantine
+// decision and kill -> the app learning retries are pointless, and checks
+// that the memory controller reclaims everything the corpse owned or held.
+// state.range(0) selects the failure shape: 0 = dead silicon (reset pulses
+// go unanswered until the attempt budget runs out), 1 = crash loop (the
+// device answers every reset but keeps dying; the sliding-window detector
+// trips first).
+void Quarantine_Decentralized(benchmark::State& state) {
+  const bool crash_loop = state.range(0) != 0;
+  for (auto _ : state) {
+    core::MachineConfig machine_config;
+    sim::CrashSpec kill;
+    kill.device = 2;  // the SSD: memctrl/ssd/nic are added in that order
+    kill.at = sim::Duration::Micros(15000);
+    if (crash_loop) {
+      machine_config.bus.restart_policy.max_restart_attempts = 10;
+      machine_config.bus.restart_policy.crash_loop_threshold = 3;
+      sim::CrashSpec again = kill;
+      again.at = sim::Duration::Micros(15400);
+      sim::CrashSpec third = kill;
+      third.at = sim::Duration::Micros(15800);
+      machine_config.crash_plan.crashes = {kill, again, third};
+    } else {
+      kill.respawn = sim::CrashSpec::Respawn::kNever;
+      machine_config.crash_plan.crashes = {kill};
+    }
+
+    KvsRig rig = KvsRig::Build(machine_config, kvs::KvsAppConfig{});
+    rig.Preload(20, 128);
+    sim::Simulator& simulator = rig.machine->simulator();
+    LASTCPU_CHECK(rig.machine->bus().IsAlive(rig.ssd->id()),
+                  "preload ran past the scheduled kill");
+
+    // Step to the first kill (a scheduled daemon), then through the whole
+    // supervision episode: pulses, backoff, deadline timers, quarantine.
+    bool killed =
+        StepUntil(simulator, [&] { return !rig.machine->bus().IsAlive(rig.ssd->id()); });
+    LASTCPU_CHECK(killed, "crash plan never fired");
+    sim::SimTime killed_at = simulator.Now();
+
+    const bus::DeviceSupervisor& supervisor = rig.machine->bus().supervisor();
+    sim::SimTime give_up = killed_at + sim::Duration::Millis(50);
+    StepUntil(simulator, [&] {
+      return supervisor.IsQuarantined(rig.ssd->id()) || simulator.Now() >= give_up;
+    });
+    LASTCPU_CHECK(supervisor.IsQuarantined(rig.ssd->id()), "device never quarantined");
+    sim::SimTime quarantined_at = simulator.Now();
+
+    // The DevicePermanentlyFailed broadcast must reach the NIC and kill the
+    // app's retry loop.
+    StepUntil(simulator, [&] {
+      return rig.app->provider_permanently_failed() || simulator.Now() >= give_up;
+    });
+    LASTCPU_CHECK(rig.app->provider_permanently_failed(), "app never learned of quarantine");
+    sim::SimTime app_informed_at = simulator.Now();
+    rig.machine->RunUntilIdle();
+
+    // Reclamation: nothing left in the memory controller under the corpse's
+    // name, and a post-quarantine Put settles immediately with an error
+    // instead of hanging.
+    LASTCPU_CHECK(rig.memctrl->AllocationsOwnedBy(rig.ssd->id()) == 0,
+                  "quarantined device still owns allocations");
+    LASTCPU_CHECK(rig.memctrl->GrantsHeldBy(rig.ssd->id()) == 0,
+                  "quarantined device still holds grants");
+    bool settled = false;
+    bool failed = false;
+    rig.app->engine().Put("post-quarantine", {1, 2, 3}, [&](Status s) {
+      settled = true;
+      failed = !s.ok();
+    });
+    rig.machine->RunUntilIdle();
+    LASTCPU_CHECK(settled && failed, "post-quarantine put did not fast-fail");
+
+    state.SetIterationTime((quarantined_at - killed_at).seconds());
+    state.counters["app_notified_us"] = (app_informed_at - killed_at).seconds() * 1e6;
+    state.counters["restart_pulses"] = static_cast<double>(
+        rig.machine->bus().stats().GetCounter("supervisor_restarts").value());
+    state.counters["reclaimed_grants"] = static_cast<double>(
+        rig.memctrl->stats().GetCounter("stranded_grants_reclaimed").value());
+  }
+  state.counters["design"] = 0;
+  state.counters["crash_loop"] = crash_loop ? 1 : 0;
+}
+
+// Centralized comparator: the same supervision policy runs as kernel
+// software, so every pulse, deadline, and the final quarantine+reclaim each
+// pay the interrupt -> run queue -> handler trip.
+void Quarantine_Centralized(benchmark::State& state) {
+  const bool crash_loop = state.range(0) != 0;
+  constexpr sim::Duration kSelfTest = sim::Duration::Micros(50);
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    mem::PhysicalMemory memory(64 << 20);
+    baseline::CentralKernelConfig config;
+    if (crash_loop) {
+      config.max_restart_attempts = 10;
+      config.crash_loop_threshold = 3;
+    }
+    baseline::CentralKernel kernel(&simulator, &memory, config);
+    iommu::Iommu nic_iommu(DeviceId(1));
+    iommu::Iommu ssd_iommu(DeviceId(2));
+    kernel.RegisterDevice(DeviceId(1), &nic_iommu);
+    kernel.RegisterDevice(DeviceId(2), &ssd_iommu);
+
+    // A live session whose memory the NIC owns and the SSD holds a grant on,
+    // so quarantine has something to reclaim.
+    const uint64_t session_bytes = ssddev::SessionLayout::BytesRequired(64);
+    bool session_up = false;
+    kernel.AllocMemory(DeviceId(1), Pasid(1), session_bytes, [&](Result<VirtAddr> vaddr) {
+      LASTCPU_CHECK(vaddr.ok(), "session alloc failed");
+      kernel.Grant(DeviceId(1), Pasid(1), *vaddr, session_bytes, DeviceId(2),
+                   Access::kReadWrite, [&](Status s) { session_up = s.ok(); });
+    });
+    simulator.Run();
+    LASTCPU_CHECK(session_up, "session setup failed");
+
+    kernel.SetResetHandler([&](DeviceId device) {
+      if (!crash_loop) {
+        return;  // dead silicon: the pulse goes unanswered
+      }
+      // Crash-looping silicon: self-test passes, then it dies again shortly.
+      simulator.Schedule(kSelfTest, [&, device] {
+        kernel.OnDeviceAlive(device);
+        simulator.Schedule(sim::Duration::Micros(100),
+                           [&, device] { kernel.ReportDeviceFailure(device); });
+      });
+    });
+    bool quarantined = false;
+    sim::SimTime quarantined_at = simulator.Now();
+    kernel.SetQuarantineHandler([&](DeviceId, const std::string&) {
+      quarantined = true;
+      quarantined_at = simulator.Now();
+    });
+
+    sim::SimTime killed_at = simulator.Now();
+    kernel.ReportDeviceFailure(DeviceId(2));
+    simulator.Run();
+    LASTCPU_CHECK(quarantined, "kernel never quarantined the device");
+
+    state.SetIterationTime((quarantined_at - killed_at).seconds());
+    state.counters["restart_pulses"] = static_cast<double>(
+        kernel.stats().GetCounter("supervisor_restarts").value());
+    state.counters["reclaimed_grants"] = static_cast<double>(
+        kernel.stats().GetCounter("stranded_grants_reclaimed").value());
+  }
+  state.counters["design"] = 1;
+  state.counters["crash_loop"] = crash_loop ? 1 : 0;
+}
+
 BENCHMARK(FaultRecovery_Decentralized)
     ->UseManualTime()
     ->Iterations(5)
@@ -180,6 +329,18 @@ BENCHMARK(FaultRecovery_Decentralized)
     ->Arg(0)
     ->Arg(1);
 BENCHMARK(FaultRecovery_Centralized)
+    ->UseManualTime()
+    ->Iterations(5)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK(Quarantine_Decentralized)
+    ->UseManualTime()
+    ->Iterations(5)
+    ->Unit(benchmark::kMicrosecond)
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK(Quarantine_Centralized)
     ->UseManualTime()
     ->Iterations(5)
     ->Unit(benchmark::kMicrosecond)

@@ -98,6 +98,7 @@ class ControlLoadRunner {
 // (pre-provisioned log, no auth for benchmark brevity) + NIC + KvsApp.
 struct KvsRig {
   std::unique_ptr<core::Machine> machine;
+  memdev::MemoryController* memctrl = nullptr;
   ssddev::SmartSsd* ssd = nullptr;
   nicdev::SmartNic* nic = nullptr;
   kvs::KvsApp* app = nullptr;
@@ -109,7 +110,7 @@ struct KvsRig {
                       const kvs::KvsAppConfig& app_config) {
     KvsRig rig;
     rig.machine = std::make_unique<core::Machine>(machine_config);
-    rig.machine->AddMemoryController();
+    rig.memctrl = &rig.machine->AddMemoryController();
     ssddev::SmartSsdConfig ssd_config;
     ssd_config.host_auth_service = false;
     rig.ssd = &rig.machine->AddSmartSsd(ssd_config);

@@ -6,6 +6,10 @@
 //      the resource; the consumer's app logic recovers.
 //   3. Whole-device failure: the bus notifies every other device, pulses the
 //      reset line, and the device comes back clean; the app re-opens.
+//   4. Permanent failure: the device crash-loops until the supervisor
+//      quarantines it, peers get one DevicePermanentlyFailed notice, the
+//      memory controller reclaims whatever the corpse owned, and the KVS
+//      app fast-fails with kUnavailable instead of retrying forever.
 //
 //   $ failure_drill
 #include <cstdio>
@@ -20,7 +24,7 @@ int main() {
   core::MachineConfig config;
   config.enable_trace = true;
   core::Machine machine(config);
-  machine.AddMemoryController();
+  auto& memctrl = machine.AddMemoryController();
   ssddev::SmartSsdConfig ssd_config;
   ssd_config.host_auth_service = false;
   auto& ssd = machine.AddSmartSsd(ssd_config);
@@ -80,10 +84,39 @@ int main() {
   });
   machine.RunUntilIdle();
 
+  // --- drill 4: crash loop -> quarantine ---------------------------------------
+  std::printf("\n[drill 4] the SSD crash-loops until the supervisor gives up on it\n");
+  int kills = 0;
+  while (!machine.bus().supervisor().IsQuarantined(ssd.id()) && kills < 20) {
+    if (ssd.state() == dev::Device::State::kAlive) {
+      ssd.InjectFailure();
+      machine.bus().ReportDeviceFailure(ssd.id());
+      ++kills;
+    }
+    machine.RunFor(sim::Duration::Micros(100));
+  }
+  // Let the DevicePermanentlyFailed broadcast land and the app's (now
+  // pointless) retry loop shut itself down.
+  machine.RunFor(sim::Duration::Millis(20));
+  machine.RunUntilIdle();
+
+  std::printf("  %d crashes inside the sliding window; quarantined: %s\n", kills,
+              machine.bus().supervisor().IsQuarantined(ssd.id()) ? "yes" : "no");
+  std::printf("  app learned its provider is gone: %s\n",
+              kvs_app->provider_permanently_failed() ? "yes" : "no");
+  std::printf("  memory controller leftovers under the corpse: %llu allocations, %llu grants\n",
+              static_cast<unsigned long long>(memctrl.AllocationsOwnedBy(ssd.id())),
+              static_cast<unsigned long long>(memctrl.GrantsHeldBy(ssd.id())));
+  kvs_app->engine().Put("after-quarantine", {9}, [](Status s) {
+    std::printf("  PUT after quarantine fast-fails: %s\n", s.ToString().c_str());
+  });
+  machine.RunUntilIdle();
+
   std::printf("\n--- failure-handling trace ---\n");
   for (const auto& record : machine.trace().records()) {
     if (record.event == "device-failed" || record.event == "reset" || record.event == "alive" ||
-        record.event == "iommu-fault" || record.event == "failed") {
+        record.event == "iommu-fault" || record.event == "failed" ||
+        record.event.rfind("supervisor-", 0) == 0) {
       std::printf("%12.3fus  %-12s %s\n", record.when.micros(), record.component.c_str(),
                   record.event.c_str());
     }

@@ -295,4 +295,203 @@ void CentralKernel::MediateIo(sim::Duration work, std::function<void()> done) {
   RunOnCpu(config_.io_service + work, std::move(done), span);
 }
 
+// --- device supervision ------------------------------------------------------
+
+bool CentralKernel::IsQuarantined(DeviceId device) const {
+  auto it = supervision_.find(device);
+  return it != supervision_.end() && it->second.state == Supervision::State::kQuarantined;
+}
+
+uint32_t CentralKernel::RestartAttempts(DeviceId device) const {
+  auto it = supervision_.find(device);
+  return it == supervision_.end() ? 0 : it->second.attempts;
+}
+
+sim::Duration CentralKernel::RestartBackoff(uint32_t attempt) const {
+  if (attempt == 0) {
+    return sim::Duration::Zero();
+  }
+  double nanos = static_cast<double>(config_.restart_backoff.nanos());
+  for (uint32_t i = 1; i < attempt; ++i) {
+    nanos *= config_.backoff_multiplier;
+  }
+  return sim::Duration::Nanos(static_cast<uint64_t>(nanos));
+}
+
+void CentralKernel::CancelSupervisionTimers(Supervision& sup) {
+  if (sup.pending_pulse.valid()) {
+    simulator_->Cancel(sup.pending_pulse);
+    sup.pending_pulse = sim::EventId();
+  }
+  if (sup.deadline.valid()) {
+    simulator_->Cancel(sup.deadline);
+    sup.deadline = sim::EventId();
+  }
+}
+
+void CentralKernel::ReportDeviceFailure(DeviceId device) {
+  Supervision& sup = supervision_[device];
+  if (sup.state == Supervision::State::kQuarantined || sup.episode_open) {
+    stats_.GetCounter("duplicate_failure_reports").Increment();
+    return;
+  }
+  sup.episode_open = true;
+  // The failure interrupt traps to the kernel; the supervision policy is a
+  // software handler like everything else in this design.
+  sim::SpanId span =
+      BeginOpSpan("DeviceFailure", "device=" + std::to_string(device.value()));
+  RunOnCpu(config_.io_service, [this, device] {
+    auto it = supervision_.find(device);
+    if (it == supervision_.end()) {
+      return;
+    }
+    Supervision& rec = it->second;
+    stats_.GetCounter("device_failures").Increment();
+    if (config_.max_restart_attempts == 0) {
+      rec.episode_open = false;  // unsupervised: fire-and-forget
+      if (reset_handler_) {
+        reset_handler_(device);
+      }
+      return;
+    }
+    sim::SimTime now = simulator_->Now();
+    rec.recent_failures.push_back(now);
+    while (!rec.recent_failures.empty() &&
+           now - rec.recent_failures.front() > config_.crash_loop_window) {
+      rec.recent_failures.pop_front();
+    }
+    CancelSupervisionTimers(rec);
+    rec.state = Supervision::State::kRestarting;
+    if (config_.crash_loop_threshold > 0 &&
+        rec.recent_failures.size() >= config_.crash_loop_threshold) {
+      QuarantineDevice(device, rec, "crash loop");
+      return;
+    }
+    if (rec.attempts >= config_.max_restart_attempts) {
+      QuarantineDevice(device, rec, "restart policy exhausted");
+      return;
+    }
+    ScheduleRestartAttempt(device, rec);
+  }, span);
+}
+
+void CentralKernel::ScheduleRestartAttempt(DeviceId device, Supervision& sup) {
+  uint32_t attempt = sup.attempts++;
+  sim::Duration backoff = RestartBackoff(attempt);
+  if (backoff == sim::Duration::Zero()) {
+    PulseDevice(device);
+    return;
+  }
+  sup.pending_pulse = simulator_->Schedule(backoff, [this, device] { PulseDevice(device); });
+}
+
+void CentralKernel::PulseDevice(DeviceId device) {
+  auto it = supervision_.find(device);
+  if (it == supervision_.end() || it->second.state != Supervision::State::kRestarting) {
+    return;
+  }
+  it->second.pending_pulse = sim::EventId();
+  stats_.GetCounter("supervisor_restarts").Increment();
+  it->second.deadline =
+      simulator_->Schedule(config_.restart_timeout, [this, device] { OnRestartDeadline(device); });
+  if (reset_handler_) {
+    reset_handler_(device);
+  }
+}
+
+void CentralKernel::OnRestartDeadline(DeviceId device) {
+  auto it = supervision_.find(device);
+  if (it == supervision_.end() || it->second.state != Supervision::State::kRestarting) {
+    return;
+  }
+  Supervision& sup = it->second;
+  sup.deadline = sim::EventId();
+  stats_.GetCounter("supervisor_restart_timeouts").Increment();
+  // The timer interrupt traps to the kernel for the next decision.
+  sim::SpanId span =
+      BeginOpSpan("RestartDeadline", "device=" + std::to_string(device.value()));
+  RunOnCpu(config_.io_service, [this, device] {
+    auto sup_it = supervision_.find(device);
+    if (sup_it == supervision_.end() ||
+        sup_it->second.state != Supervision::State::kRestarting) {
+      return;
+    }
+    Supervision& rec = sup_it->second;
+    if (rec.attempts >= config_.max_restart_attempts) {
+      QuarantineDevice(device, rec, "no alive signal after reset pulses");
+      return;
+    }
+    ScheduleRestartAttempt(device, rec);
+  }, span);
+}
+
+void CentralKernel::OnDeviceAlive(DeviceId device) {
+  auto it = supervision_.find(device);
+  if (it == supervision_.end() || it->second.state == Supervision::State::kQuarantined) {
+    return;
+  }
+  Supervision& sup = it->second;
+  CancelSupervisionTimers(sup);
+  bool recovered = sup.state == Supervision::State::kRestarting;
+  sup.attempts = 0;
+  sup.episode_open = false;
+  sup.state = Supervision::State::kHealthy;
+  if (recovered) {
+    stats_.GetCounter("supervisor_recoveries").Increment();
+  }
+}
+
+void CentralKernel::QuarantineDevice(DeviceId device, Supervision& sup,
+                                     const std::string& reason) {
+  sup.state = Supervision::State::kQuarantined;
+  CancelSupervisionTimers(sup);
+  stats_.GetCounter("supervisor_quarantines").Increment();
+  ReclaimDevice(device);
+  if (quarantine_handler_) {
+    quarantine_handler_(device, reason);
+  }
+}
+
+void CentralKernel::ReclaimDevice(DeviceId device) {
+  // Runs inside a kernel handler already; the page work is billed like a
+  // teardown (per_page_cost via the caller's handler time is approximated by
+  // an extra mediation trip proportional to the reclaimed pages).
+  uint64_t pages_reclaimed = 0;
+  for (auto& [pasid, table] : tables_) {
+    std::vector<uint64_t> owned;
+    for (auto& [vpage, allocation] : table) {
+      auto removed = std::remove_if(allocation.grants.begin(), allocation.grants.end(),
+                                    [&](const auto& grant) { return grant.first == device; });
+      if (removed != allocation.grants.end()) {
+        stats_.GetCounter("stranded_grants_reclaimed")
+            .Increment(static_cast<uint64_t>(allocation.grants.end() - removed));
+        allocation.grants.erase(removed, allocation.grants.end());
+      }
+      if (allocation.owner == device) {
+        owned.push_back(vpage);
+      }
+    }
+    for (uint64_t vpage : owned) {
+      auto it = table.find(vpage);
+      if (it == table.end()) {
+        continue;
+      }
+      Allocation& allocation = it->second;
+      for (const auto& [grantee, access] : allocation.grants) {
+        UnmapRange(grantee, pasid, vpage, allocation.pages);
+      }
+      pages_reclaimed += allocation.pages;
+      bytes_allocated_[pasid] -= allocation.pages * kPageSize;
+      LASTCPU_CHECK(allocator_.Free(allocation.first_frame, allocation.pages).ok(),
+                    "allocator out of sync during reclaim");
+      table.erase(it);
+      stats_.GetCounter("permanent_reclaims").Increment();
+    }
+  }
+  if (pages_reclaimed > 0) {
+    // Bill the page-table scrubbing as handler time on the CPU.
+    RunOnCpu(config_.per_page_cost * pages_reclaimed, [] {});
+  }
+}
+
 }  // namespace lastcpu::baseline

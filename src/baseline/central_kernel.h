@@ -16,6 +16,7 @@
 #define SRC_BASELINE_CENTRAL_KERNEL_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -46,6 +47,17 @@ struct CentralKernelConfig {
   // Handler body for generic I/O mediation (completion processing, wakeups).
   sim::Duration io_service = sim::Duration::Nanos(800);
   uint64_t va_bump_base = uint64_t{1} << 32;
+  // Restart supervision — the same policy knobs as bus::RestartPolicy
+  // (duplicated so the baseline does not link the bus), but every decision
+  // here is a software handler on the CPU: interrupt, run-queue wait, then
+  // the supervisor code runs. max_restart_attempts = 0 disables supervision
+  // (a failure report just pulses reset once).
+  uint32_t max_restart_attempts = 4;
+  sim::Duration restart_backoff = sim::Duration::Micros(50);
+  double backoff_multiplier = 2.0;
+  sim::Duration restart_timeout = sim::Duration::Micros(500);
+  uint32_t crash_loop_threshold = 8;
+  sim::Duration crash_loop_window = sim::Duration::Millis(5);
 };
 
 class CentralKernel {
@@ -74,6 +86,25 @@ class CentralKernel {
   // time (interrupt path + run queue + handler). Models the per-I/O kernel
   // involvement of a traditional stack.
   void MediateIo(sim::Duration work, std::function<void()> done);
+
+  // --- device supervision (software twin of bus::DeviceSupervisor) ----------
+
+  // `reset` pulses a device's reset line; `quarantine` is told when the
+  // kernel gives up on one. Both fire from kernel handlers (post-CPU-trip).
+  void SetResetHandler(std::function<void(DeviceId)> reset) { reset_handler_ = std::move(reset); }
+  void SetQuarantineHandler(std::function<void(DeviceId, const std::string&)> quarantine) {
+    quarantine_handler_ = std::move(quarantine);
+  }
+
+  // A device failed: the kernel takes an interrupt, runs the supervision
+  // policy, and (per policy) pulses reset with backoff, quarantines on a
+  // crash loop or exhausted attempts, and reclaims a quarantined device's
+  // allocations and grants. Duplicate reports during an episode are no-ops.
+  void ReportDeviceFailure(DeviceId device);
+  // The device completed self-test; clears the episode.
+  void OnDeviceAlive(DeviceId device);
+  bool IsQuarantined(DeviceId device) const;
+  uint32_t RestartAttempts(DeviceId device) const;
 
   // --- observability ---------------------------------------------------------
 
@@ -108,6 +139,26 @@ class CentralKernel {
     return tracer_.BeginSpan(name, 0, detail);
   }
 
+  struct Supervision {
+    enum class State : uint8_t { kHealthy, kRestarting, kQuarantined };
+    State state = State::kHealthy;
+    bool episode_open = false;  // failure reported, no alive announce yet
+    uint32_t attempts = 0;
+    std::deque<sim::SimTime> recent_failures;
+    sim::EventId pending_pulse;
+    sim::EventId deadline;
+  };
+
+  // Supervision internals; each pulse/quarantine decision is a RunOnCpu trip.
+  void ScheduleRestartAttempt(DeviceId device, Supervision& sup);
+  void PulseDevice(DeviceId device);
+  void OnRestartDeadline(DeviceId device);
+  void QuarantineDevice(DeviceId device, Supervision& sup, const std::string& reason);
+  // Frees everything a quarantined device owned and strips its grants.
+  void ReclaimDevice(DeviceId device);
+  sim::Duration RestartBackoff(uint32_t attempt) const;
+  void CancelSupervisionTimers(Supervision& sup);
+
   iommu::Iommu* FindIommu(DeviceId device);
   static bool Overlaps(const Table& table, uint64_t vpage, uint64_t pages);
   Allocation* FindCovering(Pasid pasid, VirtAddr vaddr, uint64_t bytes);
@@ -128,6 +179,9 @@ class CentralKernel {
   uint64_t ops_completed_ = 0;
   sim::Histogram op_latency_;
   sim::StatsRegistry stats_;
+  std::map<DeviceId, Supervision> supervision_;
+  std::function<void(DeviceId)> reset_handler_;
+  std::function<void(DeviceId, const std::string&)> quarantine_handler_;
 };
 
 }  // namespace lastcpu::baseline

@@ -1,0 +1,199 @@
+#include "src/bus/device_supervisor.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::bus {
+
+DeviceSupervisor::DeviceSupervisor(sim::Simulator* simulator, RestartPolicy policy,
+                                   sim::Tracer* tracer, sim::StatsRegistry* stats)
+    : simulator_(simulator), policy_(policy), tracer_(tracer), stats_(stats) {
+  LASTCPU_CHECK(simulator != nullptr, "supervisor needs a simulator");
+  LASTCPU_CHECK(stats != nullptr, "supervisor needs a stats registry");
+}
+
+bool DeviceSupervisor::IsQuarantined(DeviceId device) const {
+  return StateOf(device) == SupervisionState::kQuarantined;
+}
+
+DeviceSupervisor::SupervisionState DeviceSupervisor::StateOf(DeviceId device) const {
+  auto it = records_.find(device);
+  return it == records_.end() ? SupervisionState::kHealthy : it->second.state;
+}
+
+uint32_t DeviceSupervisor::AttemptsOf(DeviceId device) const {
+  auto it = records_.find(device);
+  return it == records_.end() ? 0 : it->second.attempts;
+}
+
+sim::Duration DeviceSupervisor::BackoffFor(uint32_t attempt) const {
+  // Attempt 0 pulses immediately (the legacy single-pulse timing); attempt k
+  // waits restart_backoff * multiplier^(k-1).
+  if (attempt == 0) {
+    return sim::Duration::Zero();
+  }
+  double nanos = static_cast<double>(policy_.restart_backoff.nanos());
+  for (uint32_t i = 1; i < attempt; ++i) {
+    nanos *= policy_.backoff_multiplier;
+  }
+  return sim::Duration::Nanos(static_cast<uint64_t>(nanos));
+}
+
+void DeviceSupervisor::CancelTimers(Record& rec) {
+  if (rec.pending_pulse.valid()) {
+    simulator_->Cancel(rec.pending_pulse);
+    rec.pending_pulse = sim::EventId();
+  }
+  if (rec.deadline.valid()) {
+    simulator_->Cancel(rec.deadline);
+    rec.deadline = sim::EventId();
+  }
+}
+
+void DeviceSupervisor::OnFailure(DeviceId device, const std::string& name) {
+  if (!policy_.supervised()) {
+    // Legacy mode: every failure report pulses reset once, nobody follows up.
+    if (hooks_.pulse_reset) {
+      hooks_.pulse_reset(device);
+    }
+    return;
+  }
+  Record& rec = records_[device];
+  rec.name = name;
+  if (rec.state == SupervisionState::kQuarantined) {
+    return;
+  }
+  sim::SimTime now = simulator_->Now();
+  rec.recent_failures.push_back(now);
+  while (!rec.recent_failures.empty() &&
+         now - rec.recent_failures.front() > policy_.crash_loop_window) {
+    rec.recent_failures.pop_front();
+  }
+  CancelTimers(rec);  // an actual failure report supersedes any armed deadline
+  if (rec.state == SupervisionState::kHealthy && tracer_ != nullptr && tracer_->enabled()) {
+    rec.episode_span = tracer_->BeginSpan("SupervisedRestart", 0, rec.name);
+  }
+  rec.state = SupervisionState::kRestarting;
+  if (policy_.crash_loop_threshold > 0 &&
+      rec.recent_failures.size() >= policy_.crash_loop_threshold) {
+    Quarantine(device, rec,
+               "crash loop: " + std::to_string(rec.recent_failures.size()) + " failures within " +
+                   policy_.crash_loop_window.ToString());
+    return;
+  }
+  if (rec.attempts >= policy_.max_restart_attempts) {
+    Quarantine(device, rec, "restart policy exhausted");
+    return;
+  }
+  ScheduleAttempt(device, rec);
+}
+
+void DeviceSupervisor::ScheduleAttempt(DeviceId device, Record& rec) {
+  uint32_t attempt = rec.attempts++;
+  sim::Duration backoff = BackoffFor(attempt);
+  if (backoff == sim::Duration::Zero()) {
+    PulseNow(device);
+    return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant("supervisor-backoff",
+                     rec.name + " attempt " + std::to_string(attempt + 1) + " in " +
+                         backoff.ToString(),
+                     rec.episode_span);
+  }
+  rec.pending_pulse = simulator_->Schedule(backoff, [this, device] { PulseNow(device); });
+}
+
+void DeviceSupervisor::PulseNow(DeviceId device) {
+  auto it = records_.find(device);
+  if (it == records_.end() || it->second.state != SupervisionState::kRestarting) {
+    return;
+  }
+  Record& rec = it->second;
+  rec.pending_pulse = sim::EventId();
+  stats_->GetCounter("supervisor_restarts").Increment();
+  if (tracer_ != nullptr) {
+    tracer_->Instant("supervisor-pulse",
+                     rec.name + " attempt " + std::to_string(rec.attempts), rec.episode_span);
+  }
+  rec.deadline =
+      simulator_->Schedule(policy_.restart_timeout, [this, device] { OnRestartDeadline(device); });
+  if (hooks_.pulse_reset) {
+    hooks_.pulse_reset(device);
+  }
+}
+
+void DeviceSupervisor::OnRestartDeadline(DeviceId device) {
+  auto it = records_.find(device);
+  if (it == records_.end() || it->second.state != SupervisionState::kRestarting) {
+    return;
+  }
+  Record& rec = it->second;
+  rec.deadline = sim::EventId();
+  stats_->GetCounter("supervisor_restart_timeouts").Increment();
+  if (tracer_ != nullptr) {
+    tracer_->Instant("supervisor-timeout",
+                     rec.name + " silent after attempt " + std::to_string(rec.attempts),
+                     rec.episode_span);
+  }
+  if (rec.attempts >= policy_.max_restart_attempts) {
+    Quarantine(device, rec,
+               "no alive announce after " + std::to_string(rec.attempts) + " reset pulses");
+    return;
+  }
+  ScheduleAttempt(device, rec);
+}
+
+void DeviceSupervisor::OnAlive(DeviceId device) {
+  auto it = records_.find(device);
+  if (it == records_.end() || it->second.state == SupervisionState::kQuarantined) {
+    return;
+  }
+  Record& rec = it->second;
+  CancelTimers(rec);
+  // A completed self-test wipes the attempt counter (the liveness table's
+  // alive_since is the bus-side witness); the crash-loop window deliberately
+  // survives, or a fail/revive/fail cycle would never trip the detector.
+  bool recovered = rec.state == SupervisionState::kRestarting;
+  rec.attempts = 0;
+  rec.state = SupervisionState::kHealthy;
+  if (recovered) {
+    stats_->GetCounter("supervisor_recoveries").Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Instant("supervisor-recovered", rec.name, rec.episode_span);
+      if (rec.episode_span != 0) {
+        tracer_->EndSpan(rec.episode_span);
+        rec.episode_span = 0;
+      }
+    }
+  }
+}
+
+void DeviceSupervisor::Quarantine(DeviceId device, Record& rec, const std::string& reason) {
+  rec.state = SupervisionState::kQuarantined;
+  CancelTimers(rec);
+  stats_->GetCounter("supervisor_quarantines").Increment();
+  stats_->GetCounter("supervisor_permanent_failures").Increment();
+  if (tracer_ != nullptr) {
+    tracer_->Instant("supervisor-quarantine", rec.name + ": " + reason, rec.episode_span);
+    if (rec.episode_span != 0) {
+      tracer_->EndSpan(rec.episode_span);
+      rec.episode_span = 0;
+    }
+  }
+  if (hooks_.quarantine) {
+    hooks_.quarantine(device, reason);
+  }
+}
+
+void DeviceSupervisor::OnDetach(DeviceId device) {
+  auto it = records_.find(device);
+  if (it == records_.end()) {
+    return;
+  }
+  CancelTimers(it->second);
+  records_.erase(it);
+}
+
+}  // namespace lastcpu::bus

@@ -1,0 +1,125 @@
+// DeviceSupervisor: the bus-side restart policy for failed devices.
+//
+// The paper's Sec. 4 story ends at "pulse the reset line in an attempt to
+// restart it" — one pulse, fire-and-forget. A CPU-less machine needs an
+// answer for the device that crashes again during self-test, crash-loops, or
+// never comes back: somebody must bound the retries and reclaim what the
+// device held, and that somebody cannot be a kernel. The supervisor is that
+// answer, as simple bus hardware: per-device attempt counters, exponential
+// backoff between reset pulses, a sliding-window crash-loop detector, and a
+// terminal quarantine that broadcasts DevicePermanentlyFailed exactly once so
+// consumers stop retrying and resource controllers reclaim.
+//
+// State machine (see README "Robustness model"):
+//
+//   Healthy --failure--> Restarting --alive announce--> Healthy
+//      |                    |  ^
+//      |                    |  | backoff * 2^k, up to max_restart_attempts
+//      |                    v  | pulses (deadline missed => next attempt)
+//      |                 (pulse reset)
+//      |                    |
+//      +--crash loop--+     +--policy exhausted--+
+//                     v                          v
+//                  Quarantined (terminal; DevicePermanentlyFailed broadcast)
+#ifndef SRC_BUS_DEVICE_SUPERVISOR_H_
+#define SRC_BUS_DEVICE_SUPERVISOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/base/types.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+#include "src/sim/trace.h"
+
+namespace lastcpu::bus {
+
+// Per-device restart policy, configured via BusConfig. The defaults supervise
+// every device; max_restart_attempts = 0 reproduces the original single-pulse
+// fire-and-forget behaviour (one reset per failure report, no follow-up, no
+// quarantine — useful for A/B comparison and backward compatibility).
+struct RestartPolicy {
+  // Reset pulses per failure episode before the supervisor gives up. The
+  // first pulse is immediate (exactly the legacy behaviour); pulse k waits
+  // restart_backoff * backoff_multiplier^(k-2) first.
+  uint32_t max_restart_attempts = 4;
+  sim::Duration restart_backoff = sim::Duration::Micros(50);
+  double backoff_multiplier = 2.0;
+  // A pulsed device must announce alive within this deadline, or the attempt
+  // counts as failed. This is what catches a crash *during self-test*: dead
+  // silicon sends no heartbeats for the watchdog to miss.
+  sim::Duration restart_timeout = sim::Duration::Micros(500);
+  // Crash-loop detector: this many failure reports inside the sliding window
+  // quarantine the device even when every individual restart "succeeded".
+  // 0 disables the detector.
+  uint32_t crash_loop_threshold = 8;
+  sim::Duration crash_loop_window = sim::Duration::Millis(5);
+
+  bool supervised() const { return max_restart_attempts > 0; }
+};
+
+class DeviceSupervisor {
+ public:
+  enum class SupervisionState : uint8_t { kHealthy, kRestarting, kQuarantined };
+
+  // The supervisor decides *when*; the bus supplies the mechanism.
+  struct Hooks {
+    std::function<void(DeviceId)> pulse_reset;
+    std::function<void(DeviceId, const std::string& reason)> quarantine;
+  };
+
+  DeviceSupervisor(sim::Simulator* simulator, RestartPolicy policy, sim::Tracer* tracer,
+                   sim::StatsRegistry* stats);
+  DeviceSupervisor(const DeviceSupervisor&) = delete;
+  DeviceSupervisor& operator=(const DeviceSupervisor&) = delete;
+
+  void SetHooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  // The bus accepted a (first) failure report for `device`.
+  void OnFailure(DeviceId device, const std::string& name);
+  // The device announced alive: the episode (if any) ended well.
+  void OnAlive(DeviceId device);
+  void OnDetach(DeviceId device);
+
+  bool IsQuarantined(DeviceId device) const;
+  SupervisionState StateOf(DeviceId device) const;
+  // Reset pulses issued in the current failure episode.
+  uint32_t AttemptsOf(DeviceId device) const;
+
+  const RestartPolicy& policy() const { return policy_; }
+
+ private:
+  struct Record {
+    SupervisionState state = SupervisionState::kHealthy;
+    uint32_t attempts = 0;  // pulses issued this episode
+    std::deque<sim::SimTime> recent_failures;
+    sim::EventId pending_pulse;
+    sim::EventId deadline;
+    sim::SpanId episode_span = 0;
+    std::string name;
+  };
+
+  // Issues the next pulse (attempt number rec.attempts, 0-based before the
+  // increment) either immediately or after its backoff.
+  void ScheduleAttempt(DeviceId device, Record& rec);
+  void PulseNow(DeviceId device);
+  // The restart deadline passed without an alive announce.
+  void OnRestartDeadline(DeviceId device);
+  void Quarantine(DeviceId device, Record& rec, const std::string& reason);
+  void CancelTimers(Record& rec);
+  sim::Duration BackoffFor(uint32_t attempt) const;
+
+  sim::Simulator* simulator_;
+  RestartPolicy policy_;
+  sim::Tracer* tracer_;
+  sim::StatsRegistry* stats_;
+  Hooks hooks_;
+  std::map<DeviceId, Record> records_;
+};
+
+}  // namespace lastcpu::bus
+
+#endif  // SRC_BUS_DEVICE_SUPERVISOR_H_

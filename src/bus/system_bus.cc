@@ -11,8 +11,17 @@ namespace lastcpu::bus {
 void BusPort::Send(proto::Message message) { bus_->SendFromPort(id_, std::move(message)); }
 
 SystemBus::SystemBus(sim::Simulator* simulator, BusConfig config, sim::TraceLog* trace)
-    : simulator_(simulator), config_(config), tracer_(trace, simulator, "bus") {
+    : simulator_(simulator),
+      config_(config),
+      tracer_(trace, simulator, "bus"),
+      supervisor_(simulator, config.restart_policy, &tracer_, &stats_) {
   LASTCPU_CHECK(simulator != nullptr, "bus needs a simulator");
+  supervisor_.SetHooks({
+      .pulse_reset = [this](DeviceId device) { PulseReset(device); },
+      .quarantine = [this](DeviceId device, const std::string& reason) {
+        QuarantineDevice(device, reason);
+      },
+  });
   if (config_.heartbeat_timeout > sim::Duration::Zero()) {
     simulator_->ScheduleDaemon(config_.heartbeat_timeout / 2, [this] { WatchdogSweep(); });
   }
@@ -68,6 +77,7 @@ void SystemBus::Detach(DeviceId device) {
   if (memory_controller_ == device) {
     memory_controller_ = DeviceId::Invalid();
   }
+  supervisor_.OnDetach(device);
   endpoints_.erase(device);
 }
 
@@ -89,6 +99,10 @@ void SystemBus::SendFromPort(DeviceId src, proto::Message message) {
   LASTCPU_CHECK(endpoint != nullptr, "send from detached device %u", src.value());
   // The port is the identity: stamp src so devices cannot spoof each other.
   message.src = src;
+
+  if (send_observer_) {
+    send_observer_(src, message);
+  }
 
   stats_.GetCounter("messages_sent").Increment();
   size_t wire_bytes = proto::EncodedSize(message);
@@ -235,8 +249,17 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
       if (endpoint == nullptr) {
         return;
       }
+      if (endpoint->liveness.quarantined) {
+        // A quarantined device already broadcast its permanent failure; a
+        // late self-test completion must not resurrect it behind everyone's
+        // back. The silicon stays powered but off the bus.
+        stats_.GetCounter("quarantined_announces_rejected").Increment();
+        Trace("alive-rejected", endpoint->liveness.name + " is quarantined");
+        return;
+      }
       const auto& announce = message.As<proto::AliveAnnounce>();
       endpoint->liveness.alive = true;
+      endpoint->liveness.failed = false;
       endpoint->liveness.alive_since = simulator_->Now();
       endpoint->liveness.last_heartbeat = simulator_->Now();
       if (!announce.device_name.empty()) {
@@ -249,6 +272,7 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
           memory_controller_ = message.src;
         }
       }
+      supervisor_.OnAlive(message.src);
       stats_.GetCounter("alive_announcements").Increment();
       Trace("alive", endpoint->liveness.name);
       return;
@@ -308,11 +332,19 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
     }
     case proto::MessageType::kHeartbeat: {
       Endpoint* endpoint = FindEndpoint(message.src);
-      if (endpoint != nullptr) {
-        endpoint->liveness.last_heartbeat = simulator_->Now();
-        endpoint->liveness.heartbeats_seen = true;
-        stats_.GetCounter("heartbeats").Increment();
+      if (endpoint == nullptr) {
+        return;
       }
+      if (!endpoint->liveness.alive) {
+        // A heartbeat already on the wire when the device was declared failed
+        // must not freshen the record — only a full alive announce (i.e. a
+        // completed self-test) brings a device back.
+        stats_.GetCounter("stale_heartbeats_ignored").Increment();
+        return;
+      }
+      endpoint->liveness.last_heartbeat = simulator_->Now();
+      endpoint->liveness.heartbeats_seen = true;
+      stats_.GetCounter("heartbeats").Increment();
       return;
     }
     case proto::MessageType::kTeardownApp: {
@@ -394,6 +426,14 @@ void SystemBus::ReportDeviceFailure(DeviceId device) {
   if (failed == nullptr) {
     return;
   }
+  // One broadcast and one supervised restart episode per failure: a second
+  // report for a device that has not come back (e.g. watchdog sweep racing an
+  // explicit report, or a crash harness re-killing dead silicon) is a no-op.
+  if (failed->liveness.failed || failed->liveness.quarantined) {
+    stats_.GetCounter("duplicate_failure_reports").Increment();
+    return;
+  }
+  failed->liveness.failed = true;
   failed->liveness.alive = false;
   if (memory_controller_ == device) {
     memory_controller_ = DeviceId::Invalid();
@@ -420,17 +460,47 @@ void SystemBus::ReportDeviceFailure(DeviceId device) {
     simulator_->Schedule(config_.base_latency,
                          [this, notice] { DeliverTraced(notice, 0); });
   }
-  // Pulse the reset line "in an attempt to restart it".
+  // The supervisor decides when (and how often) to pulse the reset line.
+  supervisor_.OnFailure(device, failed->name);
+}
+
+void SystemBus::PulseReset(DeviceId device) {
   proto::Message reset;
   reset.src = kBusDevice;
   reset.dst = device;
   reset.payload = proto::ResetSignal{};
+  stats_.GetCounter("reset_pulses").Increment();
+  // The reset line bypasses normal routing: dead silicon is not "alive" on
+  // the bus, but the line is wired straight to the device.
   simulator_->Schedule(config_.base_latency, [this, reset, device] {
     Endpoint* endpoint = FindEndpoint(device);
     if (endpoint != nullptr) {
       endpoint->receiver(reset);
     }
   });
+}
+
+void SystemBus::QuarantineDevice(DeviceId device, const std::string& reason) {
+  Endpoint* failed = FindEndpoint(device);
+  if (failed == nullptr) {
+    return;
+  }
+  failed->liveness.quarantined = true;
+  failed->liveness.alive = false;
+  Trace("device-quarantined", failed->name + ": " + reason);
+  // Terminal broadcast: consumers stop retrying, resource controllers
+  // reclaim everything the device owned or was granted.
+  for (auto& [id, endpoint] : endpoints_) {
+    if (id == device || !endpoint.liveness.alive) {
+      continue;
+    }
+    proto::Message notice;
+    notice.src = kBusDevice;
+    notice.dst = id;
+    notice.payload = proto::DevicePermanentlyFailed{device, reason};
+    simulator_->Schedule(config_.base_latency,
+                         [this, notice] { DeliverTraced(notice, 0); });
+  }
 }
 
 }  // namespace lastcpu::bus

@@ -31,6 +31,7 @@
 
 #include "src/base/status.h"
 #include "src/base/types.h"
+#include "src/bus/device_supervisor.h"
 #include "src/iommu/iommu.h"
 #include "src/proto/message.h"
 #include "src/sim/fault.h"
@@ -52,6 +53,10 @@ struct BusConfig {
   // is older than this is declared failed. Zero disables monitoring. Devices
   // opt in by sending heartbeats at a period comfortably below the timeout.
   sim::Duration heartbeat_timeout = sim::Duration::Zero();
+  // Restart policy applied by the device supervisor on failure reports (see
+  // device_supervisor.h). Defaults supervise; max_restart_attempts = 0 keeps
+  // the original single-pulse fire-and-forget behaviour.
+  RestartPolicy restart_policy;
 };
 
 // A device's attachment point on the control plane. Obtained from
@@ -85,6 +90,13 @@ struct LivenessEntry {
   // Devices opt into watchdog monitoring by heartbeating at least once;
   // silent (non-participating) devices are never declared dead by timeout.
   bool heartbeats_seen = false;
+  // Set by ReportDeviceFailure, cleared by the next alive announce. While
+  // set, further failure reports are no-ops (one broadcast + one supervised
+  // episode per failure).
+  bool failed = false;
+  // Terminal: the supervisor gave up. A quarantined device's announces are
+  // rejected; only the entry's name survives, for operators.
+  bool quarantined = false;
 };
 
 class SystemBus {
@@ -107,8 +119,20 @@ class SystemBus {
   bool IsAlive(DeviceId device) const;
 
   // Administrative / fault-injection entry point: marks the device failed,
-  // broadcasts DeviceFailed to all other devices, and pulses the reset line.
+  // broadcasts DeviceFailed to all other devices, and hands the restart to
+  // the supervisor (which pulses the reset line per the configured policy).
+  // A report for a device already failed or quarantined is a no-op.
   void ReportDeviceFailure(DeviceId device);
+
+  // The restart supervisor (policy state, quarantine queries).
+  DeviceSupervisor& supervisor() { return supervisor_; }
+  const DeviceSupervisor& supervisor() const { return supervisor_; }
+
+  // Observer invoked on every device-originated send, after identity
+  // stamping and before fault injection. Used by the crash harness to
+  // trigger crash-on-Kth-message schedules; nullptr clears it.
+  using SendObserver = std::function<void(DeviceId, const proto::Message&)>;
+  void SetSendObserver(SendObserver observer) { send_observer_ = std::move(observer); }
 
   // Operator/BMC path: injects a control message that originates at the bus
   // itself (e.g. application teardown issued from a remote console). Routed
@@ -168,6 +192,11 @@ class SystemBus {
   // Periodic watchdog sweep (armed when heartbeat_timeout > 0).
   void WatchdogSweep();
 
+  // Supervisor hooks: deliver one reset pulse / broadcast the terminal
+  // DevicePermanentlyFailed notice.
+  void PulseReset(DeviceId device);
+  void QuarantineDevice(DeviceId device, const std::string& reason);
+
   // Releases a reorder-held message so it routes at `at` (just after the
   // message that overtook it).
   void ReleaseHeld(sim::SimTime at);
@@ -182,7 +211,9 @@ class SystemBus {
   // Serializes privileged table updates (single update engine).
   sim::SimTime table_engine_busy_until_;
   sim::StatsRegistry stats_;
+  DeviceSupervisor supervisor_;
   sim::FaultInjector* faults_ = nullptr;
+  SendObserver send_observer_;
   // At most one message is held for reordering at a time; it is released
   // when the next send overtakes it, or by the backstop at the end of the
   // plan's reorder window.

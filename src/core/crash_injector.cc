@@ -1,0 +1,171 @@
+#include "src/core/crash_injector.h"
+
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace lastcpu::core {
+
+CrashInjector::CrashInjector(sim::Simulator* simulator, bus::SystemBus* bus,
+                             const std::vector<std::unique_ptr<dev::Device>>& devices,
+                             sim::CrashPlan plan)
+    : simulator_(simulator), bus_(bus), plan_(std::move(plan)) {
+  LASTCPU_CHECK(simulator != nullptr, "crash injector needs a simulator");
+  LASTCPU_CHECK(bus != nullptr, "crash injector needs a bus");
+
+  auto find_device = [&devices](uint32_t raw) -> dev::Device* {
+    for (const auto& device : devices) {
+      if (device->id().value() == raw) {
+        return device.get();
+      }
+    }
+    return nullptr;
+  };
+
+  bool need_send_observer = false;
+  for (const sim::CrashSpec& spec : plan_.crashes) {
+    dev::Device* device = find_device(spec.device);
+    if (device == nullptr) {
+      ++specs_skipped_;
+      continue;
+    }
+    DeviceId id = device->id();
+    Victim& victim = victims_[id];
+    victim.device = device;
+    if (spec.during_self_test) {
+      victim.armed_spec = &spec;
+    } else if (spec.on_kth_send > 0) {
+      victim.kth_specs.push_back(&spec);
+      need_send_observer = true;
+    } else if (spec.at > sim::Duration::Zero()) {
+      // Daemon event: the kill fires during RunFor/RunUntil but does not keep
+      // Boot()'s run-until-idle alive (or get executed by it).
+      const sim::CrashSpec* spec_ptr = &spec;
+      simulator_->ScheduleDaemon(spec.at, [this, id, spec_ptr] {
+        auto it = victims_.find(id);
+        if (it != victims_.end()) {
+          Kill(it->second, *spec_ptr);
+        }
+      });
+    } else {
+      ++specs_skipped_;  // spec with no trigger
+    }
+  }
+  for (auto& [id, victim] : victims_) {
+    DeviceId device_id = id;
+    victim.device->SetStateObserver(
+        [this, device_id](dev::Device::State state) { OnStateChange(device_id, state); });
+  }
+  if (need_send_observer) {
+    bus_->SetSendObserver([this](DeviceId src, const proto::Message&) { OnSend(src); });
+  }
+}
+
+CrashInjector::~CrashInjector() {
+  bus_->SetSendObserver(nullptr);
+  for (auto& [id, victim] : victims_) {
+    victim.device->SetStateObserver(nullptr);
+  }
+}
+
+void CrashInjector::ApplyRespawn(Victim& victim, const sim::CrashSpec& spec) {
+  switch (spec.respawn) {
+    case sim::CrashSpec::Respawn::kClean:
+      break;
+    case sim::CrashSpec::Respawn::kCrashLoop:
+      victim.pending_self_test_crashes += static_cast<int>(spec.loop_count);
+      break;
+    case sim::CrashSpec::Respawn::kNever:
+      victim.pending_self_test_crashes = -1;
+      break;
+  }
+}
+
+void CrashInjector::Kill(Victim& victim, const sim::CrashSpec& spec) {
+  if (victim.device->state() == dev::Device::State::kFailed) {
+    return;  // already dead; the respawn schedule is governed by the first kill
+  }
+  ++crashes_injected_;
+  victim.device->InjectFailure();
+  // Telling the bus is safe even mid-episode: a report for a device whose
+  // failed flag is still set is a no-op, so a crash *during recovery* stays
+  // silent and must be caught by the supervisor's restart deadline.
+  bus_->ReportDeviceFailure(victim.device->id());
+  ApplyRespawn(victim, spec);
+}
+
+void CrashInjector::OnSend(DeviceId src) {
+  auto it = victims_.find(src);
+  if (it == victims_.end() || it->second.kth_specs.empty()) {
+    return;
+  }
+  Victim& victim = it->second;
+  ++victim.sends_seen;
+  for (auto spec_it = victim.kth_specs.begin(); spec_it != victim.kth_specs.end(); ++spec_it) {
+    if ((*spec_it)->on_kth_send == victim.sends_seen) {
+      const sim::CrashSpec* spec = *spec_it;
+      victim.kth_specs.erase(spec_it);
+      // Defer by 1 ns: the device is inside its own Send right now, and its
+      // caller's stack must unwind before the silicon dies under it.
+      DeviceId id = src;
+      simulator_->Schedule(sim::Duration::Nanos(1), [this, id, spec] {
+        auto victim_it = victims_.find(id);
+        if (victim_it != victims_.end()) {
+          Kill(victim_it->second, *spec);
+        }
+      });
+      return;
+    }
+  }
+}
+
+void CrashInjector::OnStateChange(DeviceId id, dev::Device::State state) {
+  if (state != dev::Device::State::kSelfTest) {
+    return;
+  }
+  auto it = victims_.find(id);
+  if (it == victims_.end()) {
+    return;
+  }
+  Victim& victim = it->second;
+  if (victim.armed_spec != nullptr) {
+    const sim::CrashSpec* spec = victim.armed_spec;
+    victim.armed_spec = nullptr;
+    SabotageSelfTest(id, spec);
+    return;
+  }
+  if (victim.pending_self_test_crashes != 0) {
+    if (victim.pending_self_test_crashes > 0) {
+      --victim.pending_self_test_crashes;
+    }
+    SabotageSelfTest(id, nullptr);
+  }
+}
+
+void CrashInjector::SabotageSelfTest(DeviceId id, const sim::CrashSpec* spec) {
+  auto it = victims_.find(id);
+  if (it == victims_.end()) {
+    return;
+  }
+  sim::Duration half_test = sim::Duration::Nanos(
+      it->second.device->config().self_test_duration.nanos() / 2);
+  simulator_->Schedule(half_test, [this, id, spec] {
+    auto victim_it = victims_.find(id);
+    if (victim_it == victims_.end()) {
+      return;
+    }
+    Victim& victim = victim_it->second;
+    if (victim.device->state() != dev::Device::State::kSelfTest) {
+      return;  // self-test already ended (or the device died another way)
+    }
+    ++crashes_injected_;
+    ++self_test_crashes_;
+    victim.device->InjectFailure();
+    bus_->ReportDeviceFailure(victim.device->id());
+    if (spec != nullptr) {
+      ApplyRespawn(victim, *spec);
+    }
+  });
+}
+
+}  // namespace lastcpu::core

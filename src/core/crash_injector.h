@@ -1,0 +1,76 @@
+// CrashInjector: executes a sim::CrashPlan against a machine's devices.
+//
+// Sits between the plan (plain data, sim layer) and the things that can
+// actually die (dev::Device) and notice (bus::SystemBus). Three trigger
+// mechanisms:
+//   * absolute-time kills ride daemon events, so Machine::Boot()'s
+//     run-until-idle does not fast-forward through the entire chaos timeline;
+//   * Kth-send kills hook the bus's send observer and defer the kill by 1 ns,
+//     so a device never dies reentrantly inside its own Send call;
+//   * self-test sabotage watches the victim's lifecycle transitions and kills
+//     it midway through self-test — the window where it is neither alive on
+//     the bus nor heartbeating, which only the supervisor's restart deadline
+//     can catch.
+// Respawn behaviour (clean / crash-loop N times / never return) is applied by
+// sabotaging the self-tests that follow the supervisor's reset pulses.
+#ifndef SRC_CORE_CRASH_INJECTOR_H_
+#define SRC_CORE_CRASH_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/bus/system_bus.h"
+#include "src/dev/device.h"
+#include "src/sim/crash.h"
+#include "src/sim/simulator.h"
+
+namespace lastcpu::core {
+
+class CrashInjector {
+ public:
+  // `devices` must outlive the injector (the Machine destroys the injector
+  // first). Specs naming a device id not in `devices` are skipped.
+  CrashInjector(sim::Simulator* simulator, bus::SystemBus* bus,
+                const std::vector<std::unique_ptr<dev::Device>>& devices, sim::CrashPlan plan);
+  ~CrashInjector();
+  CrashInjector(const CrashInjector&) = delete;
+  CrashInjector& operator=(const CrashInjector&) = delete;
+
+  const sim::CrashPlan& plan() const { return plan_; }
+
+  // Kills delivered (all triggers), and the subset landed mid self-test.
+  uint64_t crashes_injected() const { return crashes_injected_; }
+  uint64_t self_test_crashes() const { return self_test_crashes_; }
+  uint64_t specs_skipped() const { return specs_skipped_; }
+
+ private:
+  struct Victim {
+    dev::Device* device = nullptr;
+    // Remaining post-reset self-tests to sabotage; -1 = every one, forever.
+    int pending_self_test_crashes = 0;
+    // A during_self_test spec armed for this device's next self-test.
+    const sim::CrashSpec* armed_spec = nullptr;
+    uint64_t sends_seen = 0;
+    std::vector<const sim::CrashSpec*> kth_specs;  // pending Kth-send kills
+  };
+
+  void Kill(Victim& victim, const sim::CrashSpec& spec);
+  void ApplyRespawn(Victim& victim, const sim::CrashSpec& spec);
+  void OnStateChange(DeviceId id, dev::Device::State state);
+  void OnSend(DeviceId src);
+  void SabotageSelfTest(DeviceId id, const sim::CrashSpec* spec);
+
+  sim::Simulator* simulator_;
+  bus::SystemBus* bus_;
+  sim::CrashPlan plan_;
+  std::map<DeviceId, Victim> victims_;
+  uint64_t crashes_injected_ = 0;
+  uint64_t self_test_crashes_ = 0;
+  uint64_t specs_skipped_ = 0;
+};
+
+}  // namespace lastcpu::core
+
+#endif  // SRC_CORE_CRASH_INJECTOR_H_

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "src/core/crash_injector.h"
 #include "src/sim/trace_export.h"
 
 namespace lastcpu::core {
@@ -24,6 +25,10 @@ Machine::Machine(MachineConfig config)
     fabric_.SetFaultInjector(faults_.get());
   }
 }
+
+// Out of line: the header only forward-declares CrashInjector. The injector
+// unhooks its bus and device observers, so it must die before they do.
+Machine::~Machine() { crash_injector_.reset(); }
 
 memdev::MemoryController& Machine::AddMemoryController(memdev::MemoryControllerConfig config) {
   auto device =
@@ -48,6 +53,12 @@ nicdev::SmartNic& Machine::AddSmartNic(nicdev::SmartNicConfig config) {
 }
 
 void Machine::Boot() {
+  if (config_.crash_plan.enabled() && crash_injector_ == nullptr) {
+    // Before PowerOn, so a during_self_test spec can sabotage the very first
+    // self-test of the boot sequence.
+    crash_injector_ =
+        std::make_unique<CrashInjector>(&simulator_, &bus_, devices_, config_.crash_plan);
+  }
   for (auto& device : devices_) {
     if (device->state() == dev::Device::State::kPoweredOff) {
       device->PowerOn();
@@ -86,14 +97,31 @@ void Machine::WriteChromeTrace(std::ostream& os) const {
 }
 
 void Machine::MetricsJson(std::ostream& os) {
+  os << "{";
   if (faults_ != nullptr) {
-    os << "{\"faults\":{\"decisions\":" << faults_->decisions()
+    os << "\"faults\":{\"decisions\":" << faults_->decisions()
        << ",\"dropped\":" << faults_->dropped() << ",\"delayed\":" << faults_->delayed()
        << ",\"duplicated\":" << faults_->duplicated()
-       << ",\"reordered\":" << faults_->reordered() << "},\"bus\":";
-  } else {
-    os << "{\"bus\":";
+       << ",\"reordered\":" << faults_->reordered() << "},";
   }
+  if (crash_injector_ != nullptr) {
+    os << "\"crashes\":{\"injected\":" << crash_injector_->crashes_injected()
+       << ",\"self_test\":" << crash_injector_->self_test_crashes()
+       << ",\"specs_skipped\":" << crash_injector_->specs_skipped() << "},";
+  }
+  // Supervisor counters live in the bus registry; surface the headline ones
+  // as their own section so operators need not dig through bus counters.
+  {
+    sim::StatsRegistry& bus_stats = bus_.stats();
+    os << "\"supervisor\":{\"restarts\":" << bus_stats.GetCounter("supervisor_restarts").value()
+       << ",\"recoveries\":" << bus_stats.GetCounter("supervisor_recoveries").value()
+       << ",\"restart_timeouts\":"
+       << bus_stats.GetCounter("supervisor_restart_timeouts").value()
+       << ",\"quarantines\":" << bus_stats.GetCounter("supervisor_quarantines").value()
+       << ",\"permanent_failures\":"
+       << bus_stats.GetCounter("supervisor_permanent_failures").value() << "},";
+  }
+  os << "\"bus\":";
   bus_.stats().Snapshot().WriteJson(os);
   os << ",\"fabric\":";
   fabric_.stats().Snapshot().WriteJson(os);

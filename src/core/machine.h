@@ -29,12 +29,15 @@
 #include "src/memdev/memory_controller.h"
 #include "src/net/network.h"
 #include "src/nicdev/smart_nic.h"
+#include "src/sim/crash.h"
 #include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 #include "src/sim/trace.h"
 #include "src/ssddev/smart_ssd.h"
 
 namespace lastcpu::core {
+
+class CrashInjector;
 
 struct MachineConfig {
   uint64_t memory_bytes = 256 << 20;
@@ -46,11 +49,16 @@ struct MachineConfig {
   // The default all-zero plan builds no injector at all, so a healthy
   // machine pays nothing.
   sim::FaultPlan fault_plan;
+  // Seed-deterministic device crash schedule (see src/sim/crash.h). The
+  // default empty plan builds no injector. The injector is constructed at
+  // Boot(), so the plan must name devices added before then.
+  sim::CrashPlan crash_plan;
 };
 
 class Machine {
  public:
   explicit Machine(MachineConfig config = {});
+  ~Machine();
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
@@ -60,6 +68,9 @@ class Machine {
   sim::TraceLog& trace() { return trace_; }
   // The fault injector, or nullptr when the plan is all-zero.
   sim::FaultInjector* fault_injector() { return faults_.get(); }
+  // The crash injector, or nullptr when the plan is empty or Boot() has not
+  // run yet.
+  CrashInjector* crash_injector() { return crash_injector_.get(); }
   mem::PhysicalMemory& memory() { return memory_; }
   fabric::Fabric& fabric() { return fabric_; }
   bus::SystemBus& bus() { return bus_; }
@@ -126,6 +137,7 @@ class Machine {
   sim::Simulator simulator_;
   sim::TraceLog trace_;
   std::unique_ptr<sim::FaultInjector> faults_;
+  std::unique_ptr<CrashInjector> crash_injector_;
   mem::PhysicalMemory memory_;
   fabric::Fabric fabric_;
   bus::SystemBus bus_;

@@ -76,15 +76,22 @@ void Device::SendOnBus(proto::Message message) {
   port_->Send(std::move(message));
 }
 
+void Device::SetState(State next) {
+  state_ = next;
+  if (state_observer_) {
+    state_observer_(next);
+  }
+}
+
 void Device::PowerOn() {
   LASTCPU_CHECK(state_ == State::kPoweredOff, "PowerOn from state %d", static_cast<int>(state_));
-  state_ = State::kSelfTest;
+  SetState(State::kSelfTest);
   TraceEvent("self-test");
   context_.simulator->Schedule(config_.self_test_duration, [this] {
     if (state_ != State::kSelfTest) {
       return;  // failed mid self-test
     }
-    state_ = State::kAlive;
+    SetState(State::kAlive);
     AnnounceAlive();
     TraceEvent("alive");
     if (config_.heartbeat_period > sim::Duration::Zero()) {
@@ -119,7 +126,7 @@ void Device::AnnounceAlive() {
 }
 
 void Device::InjectFailure() {
-  state_ = State::kFailed;
+  SetState(State::kFailed);
   TraceEvent("failed");
   // Outstanding requests will never complete; abort them so app logic can
   // observe its own device dying instead of waiting on callbacks forever.
@@ -155,6 +162,17 @@ uint64_t Device::AddPeerFailedHook(PeerFailedHook hook) {
 }
 
 void Device::RemovePeerFailedHook(uint64_t token) { peer_failed_hooks_.erase(token); }
+
+uint64_t Device::AddPeerPermanentlyFailedHook(PeerFailedHook hook) {
+  LASTCPU_CHECK(hook != nullptr, "null peer-permanently-failed hook");
+  uint64_t token = next_hook_token_++;
+  peer_permanently_failed_hooks_.emplace(token, std::move(hook));
+  return token;
+}
+
+void Device::RemovePeerPermanentlyFailedHook(uint64_t token) {
+  peer_permanently_failed_hooks_.erase(token);
+}
 
 bool Device::RegisterRequest(const proto::Message& message) {
   ReplayKey key{message.src, message.request_id};
@@ -286,6 +304,27 @@ void Device::Dispatch(const proto::Message& message, sim::SpanId span) {
       }
       return;
     }
+    case proto::MessageType::kDevicePermanentlyFailed: {
+      DeviceId dead = message.As<proto::DevicePermanentlyFailed>().device;
+      // The peer is quarantined: nothing addressed to it will ever complete,
+      // and it is not coming back. Same cleanup as a transient failure, plus
+      // the permanent-failure hooks so consumers stop retrying.
+      rpc_.AbortPeer(dead, Unavailable("device " + std::to_string(dead.value()) +
+                                       " permanently failed"));
+      for (const auto& service : services_) {
+        service->TeardownClient(dead);
+      }
+      OnPeerPermanentlyFailed(dead);
+      std::vector<PeerFailedHook> hooks;
+      hooks.reserve(peer_permanently_failed_hooks_.size());
+      for (const auto& [token, hook] : peer_permanently_failed_hooks_) {
+        hooks.push_back(hook);
+      }
+      for (const auto& hook : hooks) {
+        hook(dead);
+      }
+      return;
+    }
     case proto::MessageType::kTeardownApp: {
       Pasid pasid = message.As<proto::TeardownApp>().pasid;
       for (const auto& service : services_) {
@@ -385,12 +424,12 @@ void Device::OnReset() {
   rpc_.AbortAll(Aborted("device reset"));
   replay_cache_.clear();
   replay_order_.clear();
-  state_ = State::kSelfTest;
+  SetState(State::kSelfTest);
   context_.simulator->Schedule(config_.self_test_duration, [this] {
     if (state_ != State::kSelfTest) {
       return;
     }
-    state_ = State::kAlive;
+    SetState(State::kAlive);
     AnnounceAlive();
     TraceEvent("alive", "after reset");
     if (config_.heartbeat_period > sim::Duration::Zero()) {
@@ -401,6 +440,8 @@ void Device::OnReset() {
 }
 
 void Device::OnPeerFailed(DeviceId device) { (void)device; }
+
+void Device::OnPeerPermanentlyFailed(DeviceId device) { (void)device; }
 
 void Device::OnTeardown(Pasid pasid) {
   // Mappings are removed by the bus via unmap directives from the memory

@@ -100,6 +100,19 @@ class Device {
   uint64_t AddPeerFailedHook(PeerFailedHook hook);
   void RemovePeerFailedHook(uint64_t token);
 
+  // Same, but for the terminal DevicePermanentlyFailed notice: the peer was
+  // quarantined by the supervisor and will never come back, so consumers
+  // should stop retrying and surface unavailability instead of waiting for a
+  // recovery that cannot happen.
+  uint64_t AddPeerPermanentlyFailedHook(PeerFailedHook hook);
+  void RemovePeerPermanentlyFailedHook(uint64_t token);
+
+  // Observer of this device's lifecycle state transitions (PoweredOff ->
+  // SelfTest -> Alive -> Failed -> ...). Used by the crash-schedule harness
+  // to time kills relative to self-test; nullptr clears it.
+  using StateObserver = std::function<void(State)>;
+  void SetStateObserver(StateObserver observer) { state_observer_ = std::move(observer); }
+
   // Substrate access for service/client helpers hosted on this device.
   sim::Simulator* simulator() { return context_.simulator; }
   fabric::Fabric* fabric() { return context_.fabric; }
@@ -127,6 +140,9 @@ class Device {
   virtual void OnReset();
   // Another device failed; drop instances it held, recover app logic.
   virtual void OnPeerFailed(DeviceId device);
+  // Another device was quarantined (permanently failed): release anything
+  // still tied to it and stop expecting it back.
+  virtual void OnPeerPermanentlyFailed(DeviceId device);
   // An application is being torn down.
   virtual void OnTeardown(Pasid pasid);
   // IOMMU fault delivered to this device (Sec. 4 error handling).
@@ -161,6 +177,9 @@ class Device {
   // Periodic heartbeat to the bus watchdog (armed when configured).
   void SendHeartbeat();
 
+  // All lifecycle transitions funnel here so the state observer sees each one.
+  void SetState(State next);
+
   // Built-in dispatch for the service protocol.
   void HandleDiscover(const proto::Message& message);
   void HandleOpen(const proto::Message& message);
@@ -194,9 +213,12 @@ class Device {
   static constexpr size_t kReplayWindow = 256;
   std::map<ReplayKey, std::optional<proto::Message>> replay_cache_;
   std::deque<ReplayKey> replay_order_;
-  // App-level peer-failure subscribers (token -> hook).
+  // App-level peer-failure subscribers (token -> hook); tokens are shared
+  // across both maps so removal needs no kind argument.
   std::map<uint64_t, PeerFailedHook> peer_failed_hooks_;
+  std::map<uint64_t, PeerFailedHook> peer_permanently_failed_hooks_;
   uint64_t next_hook_token_ = 1;
+  StateObserver state_observer_;
   // Serializes control-message handling on the device's firmware engine.
   sim::SimTime firmware_busy_until_;
   sim::StatsRegistry stats_;

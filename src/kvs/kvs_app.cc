@@ -8,9 +8,17 @@ KvsApp::KvsApp(dev::Device* host, Pasid pasid, KvsAppConfig config)
     : host_(host), config_(config), engine_(host, pasid, config.engine) {}
 
 void KvsApp::Start(std::function<void(Status)> done) {
+  if (engine_.running()) {
+    // Relaunch after a host reset: the engine still holds the pre-reset
+    // session, which died with the device. Drop it before bringing up anew.
+    engine_.Stop(Aborted("host device reset"));
+  }
   restarting_ = true;
   engine_.Start([this, done = std::move(done)](Status s) {
     restarting_ = false;
+    if (s.ok()) {
+      last_provider_ = engine_.file().provider();
+    }
     if (!s.ok()) {
       // A lost bring-up message must not strand the app forever — there is
       // no CPU to notice and relaunch it. Fall into the same retry loop the
@@ -42,19 +50,37 @@ void KvsApp::OnPeerFailed(DeviceId device) {
   Retry(0);
 }
 
+void KvsApp::OnPeerPermanentlyFailed(DeviceId device) {
+  if (device != engine_.file().provider() && device != last_provider_) {
+    return;
+  }
+  // The supervisor quarantined the storage device: it will never announce
+  // alive again, so the recovery loop would spin for max_retries for
+  // nothing. Kill the loop and fail requests fast with kUnavailable.
+  provider_gone_ = true;
+  host_->stats().GetCounter("kvs_provider_permanently_failed").Increment();
+  if (engine_.running()) {
+    engine_.Stop(Unavailable("storage device permanently failed"));
+  }
+}
+
 void KvsApp::Retry(uint32_t attempt) {
+  if (provider_gone_) {
+    return;  // the provider is quarantined; retrying cannot succeed
+  }
   if (attempt >= config_.max_retries) {
     host_->stats().GetCounter("kvs_recovery_abandoned").Increment();
     return;
   }
   host_->simulator()->Schedule(config_.retry_delay, [this, attempt] {
-    if (engine_.running() || restarting_) {
+    if (engine_.running() || restarting_ || provider_gone_) {
       return;
     }
     restarting_ = true;
     engine_.Start([this, attempt](Status s) {
       restarting_ = false;
       if (s.ok()) {
+        last_provider_ = engine_.file().provider();
         ++recoveries_;
         host_->stats().GetCounter("kvs_recoveries").Increment();
         return;

@@ -27,9 +27,13 @@ class KvsApp : public nicdev::AppEngine {
                      std::function<void(std::vector<uint8_t>)> respond) override;
   bool HandleDoorbell(DeviceId from, uint64_t value) override;
   void OnPeerFailed(DeviceId device) override;
+  void OnPeerPermanentlyFailed(DeviceId device) override;
 
   KvsEngine& engine() { return engine_; }
   uint32_t recoveries() const { return recoveries_; }
+  // True once the storage provider was quarantined: the retry loop is dead
+  // and requests answer kUnavailable until a new provider appears.
+  bool provider_permanently_failed() const { return provider_gone_; }
 
  private:
   void Retry(uint32_t attempt);
@@ -41,6 +45,11 @@ class KvsApp : public nicdev::AppEngine {
   // True while a bring-up attempt is in flight, so the initial-start and
   // peer-failure retry chains never run two bring-ups concurrently.
   bool restarting_ = false;
+  bool provider_gone_ = false;
+  // Last storage device a session was bound to. The file client forgets its
+  // provider on transient failure (Reset), but the quarantine notice arrives
+  // *after* that reset — this is how the app still recognizes it.
+  DeviceId last_provider_ = DeviceId::Invalid();
 };
 
 }  // namespace lastcpu::kvs

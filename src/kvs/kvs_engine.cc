@@ -291,6 +291,10 @@ bool KvsEngine::HandleDoorbell(DeviceId from, uint64_t value) {
 
 void KvsEngine::Get(const std::string& key, GetCallback done) {
   LASTCPU_CHECK(done != nullptr, "get without callback");
+  if (!running_) {
+    done(Unavailable("kvs engine is not running"));
+    return;
+  }
   stats_.GetCounter("gets").Increment();
   // Queue behind a compaction swap so reads never straddle the generation
   // switch. The index lookup happens when the op actually runs.
@@ -319,6 +323,13 @@ void KvsEngine::Get(const std::string& key, GetCallback done) {
 
 void KvsEngine::Put(const std::string& key, std::vector<uint8_t> value, PutCallback done) {
   LASTCPU_CHECK(done != nullptr, "put without callback");
+  if (!running_) {
+    // The network path already answers kUnavailable when the engine is down
+    // (or mid-recovery); without the same guard here a direct op would sit
+    // in waiting_ forever — no session ever frees a slot to pump it.
+    done(Unavailable("kvs engine is not running"));
+    return;
+  }
   stats_.GetCounter("puts").Increment();
   LogRecord record;
   record.key = key;
@@ -347,6 +358,10 @@ void KvsEngine::Put(const std::string& key, std::vector<uint8_t> value, PutCallb
 
 void KvsEngine::Delete(const std::string& key, PutCallback done) {
   LASTCPU_CHECK(done != nullptr, "delete without callback");
+  if (!running_) {
+    done(Unavailable("kvs engine is not running"));
+    return;
+  }
   stats_.GetCounter("deletes").Increment();
   LogRecord record;
   record.key = key;

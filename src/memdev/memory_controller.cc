@@ -397,4 +397,76 @@ void MemoryController::OnPeerFailed(DeviceId device) {
   }
 }
 
+uint64_t MemoryController::AllocationsOwnedBy(DeviceId device) const {
+  uint64_t count = 0;
+  for (const auto& [pasid, table] : tables_) {
+    for (const auto& [vpage, allocation] : table) {
+      if (allocation.owner == device) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+uint64_t MemoryController::GrantsHeldBy(DeviceId device) const {
+  uint64_t count = 0;
+  for (const auto& [pasid, table] : tables_) {
+    for (const auto& [vpage, allocation] : table) {
+      for (const auto& [grantee, access] : allocation.grants) {
+        if (grantee == device) {
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+void MemoryController::OnPeerPermanentlyFailed(DeviceId device) {
+  // The supervisor gave up on this device: nobody will ever free its
+  // allocations or use its grants, so the hopeful OnPeerFailed posture
+  // (keep owned regions for recovery) would leak them forever. Reclaim
+  // everything: drop grants it held, unmap its owned regions from surviving
+  // grantees, and release the frames.
+  uint64_t grants_dropped = 0;
+  std::vector<std::pair<Pasid, uint64_t>> owned;
+  for (auto& [pasid, table] : tables_) {
+    for (auto& [vpage, allocation] : table) {
+      auto removed = std::remove_if(allocation.grants.begin(), allocation.grants.end(),
+                                    [&](const auto& grant) { return grant.first == device; });
+      grants_dropped += static_cast<uint64_t>(allocation.grants.end() - removed);
+      allocation.grants.erase(removed, allocation.grants.end());
+      if (allocation.owner == device) {
+        owned.emplace_back(pasid, vpage);
+      }
+    }
+  }
+  for (const auto& [pasid, vpage] : owned) {
+    auto table_it = tables_.find(pasid);
+    if (table_it == tables_.end()) {
+      continue;
+    }
+    auto it = table_it->second.find(vpage);
+    if (it == table_it->second.end()) {
+      continue;
+    }
+    Allocation& allocation = it->second;
+    // The dead device's own IOMMU was already scrubbed by the bus; surviving
+    // grantees still hold live mappings into frames about to be reused.
+    for (const auto& [grantee, access] : allocation.grants) {
+      auto entries = EntriesFor(allocation, vpage, allocation.pages, Access::kRead);
+      SendDirective(grantee, pasid, std::move(entries), /*unmap=*/true, [](Result<void>) {});
+    }
+    stats().GetCounter("stranded_grants_reclaimed").Increment(allocation.grants.size());
+    ReleaseAllocation(pasid, it);
+    stats().GetCounter("permanent_reclaims").Increment();
+  }
+  if (grants_dropped > 0 || !owned.empty()) {
+    TraceEvent("permanent-reclaim", "device=" + std::to_string(device.value()) +
+                                        " allocations=" + std::to_string(owned.size()) +
+                                        " grants=" + std::to_string(grants_dropped));
+  }
+}
+
 }  // namespace lastcpu::memdev

@@ -53,11 +53,16 @@ class MemoryController : public dev::Device {
   uint64_t AllocatedBytes(Pasid pasid) const;
   uint64_t allocation_count() const;
   const mem::BuddyAllocator& allocator() const { return allocator_; }
+  // Allocations the device still owns / grants it still holds; both must be
+  // zero after the device is permanently failed (the reclamation invariant).
+  uint64_t AllocationsOwnedBy(DeviceId device) const;
+  uint64_t GrantsHeldBy(DeviceId device) const;
 
  protected:
   void OnMessage(const proto::Message& message) override;
   void OnTeardown(Pasid pasid) override;
   void OnPeerFailed(DeviceId device) override;
+  void OnPeerPermanentlyFailed(DeviceId device) override;
 
  private:
   using Table = std::map<uint64_t, Allocation>;  // keyed by start vpage

@@ -32,6 +32,13 @@ void SmartNic::LoadApp(std::unique_ptr<AppEngine> app) {
   }
 }
 
+void SmartNic::OnReset() {
+  dev::Device::OnReset();
+  // Every app session died with the device; OnAlive relaunches them once
+  // self-test completes.
+  app_ready_ = false;
+}
+
 void SmartNic::OnAlive() {
   if (app_ != nullptr && !app_ready_) {
     app_->Start([this](Status s) {
@@ -83,6 +90,12 @@ void SmartNic::OnDoorbell(DeviceId from, uint64_t value) {
 void SmartNic::OnPeerFailed(DeviceId device) {
   if (app_ != nullptr) {
     app_->OnPeerFailed(device);
+  }
+}
+
+void SmartNic::OnPeerPermanentlyFailed(DeviceId device) {
+  if (app_ != nullptr) {
+    app_->OnPeerPermanentlyFailed(device);
   }
 }
 

@@ -37,6 +37,10 @@ class AppEngine {
 
   // A peer device this engine depends on failed.
   virtual void OnPeerFailed(DeviceId device) { (void)device; }
+
+  // A peer device was quarantined: it is never coming back, so stop retrying
+  // against it and surface unavailability to clients instead.
+  virtual void OnPeerPermanentlyFailed(DeviceId device) { (void)device; }
 };
 
 struct SmartNicConfig {
@@ -64,8 +68,10 @@ class SmartNic : public dev::Device {
 
  protected:
   void OnAlive() override;
+  void OnReset() override;
   void OnDoorbell(DeviceId from, uint64_t value) override;
   void OnPeerFailed(DeviceId device) override;
+  void OnPeerPermanentlyFailed(DeviceId device) override;
 
  private:
   void OnDatagram(net::EndpointId from, std::vector<uint8_t> payload);

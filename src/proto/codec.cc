@@ -223,6 +223,10 @@ struct PayloadEncoder {
       w.PutString(name);
     }
   }
+  void operator()(const DevicePermanentlyFailed& p) {
+    w.PutU32(p.device.value());
+    w.PutString(p.reason);
+  }
 };
 
 // --- per-payload decoders --------------------------------------------------
@@ -492,6 +496,14 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
       }
       return Payload(std::move(p));
     }
+    case MessageType::kDevicePermanentlyFailed: {
+      DevicePermanentlyFailed p;
+      LASTCPU_READ(device, r.GetU32());
+      p.device = DeviceId(*device);
+      LASTCPU_READ(reason, r.GetString());
+      p.reason = *std::move(reason);
+      return Payload(std::move(p));
+    }
   }
   return InvalidArgument("unknown message type");
 }
@@ -626,7 +638,7 @@ Result<Message> DecodeMessage(std::span<const uint8_t> wire) {
   if (!type.ok()) {
     return type.status();
   }
-  if (*type > static_cast<uint16_t>(MessageType::kFileListResponse)) {
+  if (*type > static_cast<uint16_t>(MessageType::kDevicePermanentlyFailed)) {
     return InvalidArgument("unknown message type");
   }
   auto src = r.GetU32();

@@ -100,6 +100,8 @@ std::string_view MessageTypeName(MessageType type) {
       return "FileList";
     case MessageType::kFileListResponse:
       return "FileListResponse";
+    case MessageType::kDevicePermanentlyFailed:
+      return "DevicePermanentlyFailed";
   }
   return "Unknown";
 }

@@ -222,6 +222,17 @@ struct ResetSignal {
   friend bool operator==(const ResetSignal&, const ResetSignal&) = default;
 };
 
+// Bus -> all devices: the supervisor exhausted its restart policy (attempts
+// spent, or a crash loop detected) and quarantined the device. Terminal:
+// unlike DeviceFailed, the device is never coming back, so consumers must
+// stop retrying and surface the failure to their applications.
+struct DevicePermanentlyFailed {
+  DeviceId device;
+  std::string reason;
+
+  friend bool operator==(const DevicePermanentlyFailed&, const DevicePermanentlyFailed&) = default;
+};
+
 // Tear down every resource belonging to an application address space
 // (task life cycle management, Sec. 1).
 struct TeardownApp {
@@ -342,7 +353,7 @@ using Payload =
                  RevokeResponse, Notify, ResourceFailed, DeviceFailed, ResetSignal, TeardownApp,
                  LoadImage, LoadImageResponse, AuthRequest, AuthResponse, ErrorResponse,
                  MapConfirm, AttachQueue, AttachQueueResponse, Heartbeat, FileCreate, FileDelete,
-                 FileAdminResponse, FileList, FileListResponse>;
+                 FileAdminResponse, FileList, FileListResponse, DevicePermanentlyFailed>;
 
 // Message kind; the numeric value doubles as the variant index of Payload and
 // the on-wire type tag, so keep both in sync.
@@ -382,6 +393,7 @@ enum class MessageType : uint16_t {
   kFileAdminResponse = 32,
   kFileList = 33,
   kFileListResponse = 34,
+  kDevicePermanentlyFailed = 35,
 };
 
 std::string_view MessageTypeName(MessageType type);

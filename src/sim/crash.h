@@ -1,0 +1,56 @@
+// Seed-deterministic crash schedules for whole devices.
+//
+// FaultPlan (fault.h) perturbs *messages*; a CrashPlan kills *devices*. Each
+// CrashSpec names a victim and a trigger — an absolute time, the Kth message
+// the device sends, or its next self-test — plus what the silicon does when
+// the supervisor pulses its reset line afterwards: come back clean, crash
+// again during self-test a fixed number of times (a crash loop), or never
+// return. Schedules are plain data, so the same plan replayed against the
+// same machine yields byte-identical event sequences; the chaos soak test
+// leans on that to diff reruns.
+#ifndef SRC_SIM_CRASH_H_
+#define SRC_SIM_CRASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace lastcpu::sim {
+
+struct CrashSpec {
+  // Victim device id (raw; DeviceId is a layer above sim).
+  uint32_t device = 0;
+
+  // Trigger — exactly one should be set:
+  // kill at absolute sim time `at` (when nonzero), ...
+  Duration at = Duration::Zero();
+  // ... or on the Kth control message the device sends (1-based), ...
+  uint64_t on_kth_send = 0;
+  // ... or midway through the device's next self-test (boot or post-reset),
+  // which exercises the supervisor's restart-deadline path: silicon dead in
+  // self-test sends neither heartbeats nor an alive announce.
+  bool during_self_test = false;
+
+  // What the reset line gets out of the silicon afterwards.
+  enum class Respawn : uint8_t {
+    kClean,      // next self-test completes; the device comes back
+    kCrashLoop,  // the next `loop_count` self-tests crash, then clean
+    kNever,      // every self-test crashes; only quarantine ends it
+  };
+  Respawn respawn = Respawn::kClean;
+  uint32_t loop_count = 0;  // kCrashLoop only
+};
+
+struct CrashPlan {
+  std::vector<CrashSpec> crashes;
+  // Reserved for schedule generators (jittered kill times); the injector
+  // itself is fully deterministic and never draws randomness.
+  uint64_t seed = 0xC7A5C0DE;
+
+  bool enabled() const { return !crashes.empty(); }
+};
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_CRASH_H_

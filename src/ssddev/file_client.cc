@@ -16,9 +16,18 @@ FileClient::FileClient(dev::Device* host, Pasid pasid, FileClientConfig config)
       Reset(Unavailable("file provider " + std::to_string(device.value()) + " failed"));
     }
   });
+  permanent_failed_hook_ = host_->AddPeerPermanentlyFailedHook([this](DeviceId device) {
+    if (device == provider_ && provider_.valid()) {
+      Reset(Unavailable("file provider " + std::to_string(device.value()) +
+                        " permanently failed"));
+    }
+  });
 }
 
-FileClient::~FileClient() { host_->RemovePeerFailedHook(peer_failed_hook_); }
+FileClient::~FileClient() {
+  host_->RemovePeerFailedHook(peer_failed_hook_);
+  host_->RemovePeerPermanentlyFailedHook(permanent_failed_hook_);
+}
 
 void FileClient::Open(const std::string& file, uint64_t auth_token, OpenCallback done) {
   LASTCPU_CHECK(done != nullptr, "open without callback");

@@ -127,6 +127,7 @@ class FileClient {
   std::map<uint16_t, Pending> in_flight_;  // keyed by chain head
   std::function<void()> on_slot_available_;
   uint64_t peer_failed_hook_ = 0;
+  uint64_t permanent_failed_hook_ = 0;
   // Bumped whenever the session turns over, so stale poll daemons die.
   uint64_t poll_generation_ = 0;
 };

@@ -266,10 +266,121 @@ TEST_F(BusTest, FailedMemoryControllerIsDeposed) {
 TEST_F(BusTest, FailedDeviceCanReannounceAfterReset) {
   AnnounceAll();
   bus_.ReportDeviceFailure(DeviceId(2));
-  simulator_.Run();
+  // Announce inside the supervisor's restart window (a probe never answers
+  // the reset pulse, so draining the simulator would exhaust the policy and
+  // quarantine the device).
+  simulator_.RunFor(sim::Duration::Micros(10));
   EXPECT_FALSE(bus_.IsAlive(DeviceId(2)));
   Announce(ssd_, "ssd");  // self-test passed again
   EXPECT_TRUE(bus_.IsAlive(DeviceId(2)));
+  EXPECT_EQ(bus_.supervisor().StateOf(DeviceId(2)),
+            DeviceSupervisor::SupervisionState::kHealthy);
+}
+
+TEST_F(BusTest, DuplicateFailureReportIsIdempotent) {
+  AnnounceAll();
+  // A watchdog sweep racing an explicit report (or a chaos harness
+  // re-killing dead silicon) must not open a second restart episode.
+  bus_.ReportDeviceFailure(DeviceId(2));
+  bus_.ReportDeviceFailure(DeviceId(2));
+  simulator_.RunFor(sim::Duration::Micros(10));
+  bus_.ReportDeviceFailure(DeviceId(2));
+  simulator_.RunFor(sim::Duration::Micros(10));
+  int notices = 0;
+  for (const auto& m : nic_.received) {
+    if (m.type() == proto::MessageType::kDeviceFailed) {
+      ++notices;
+    }
+  }
+  EXPECT_EQ(notices, 1);
+  EXPECT_EQ(bus_.stats().GetCounter("duplicate_failure_reports").value(), 2u);
+  // One episode, one (immediate) reset pulse so far.
+  int pulses = 0;
+  for (const auto& m : ssd_.received) {
+    if (m.type() == proto::MessageType::kResetSignal) {
+      ++pulses;
+    }
+  }
+  EXPECT_EQ(pulses, 1);
+}
+
+TEST_F(BusTest, LateHeartbeatDoesNotResurrectFailedDevice) {
+  AnnounceAll();
+  uint64_t beats_before = bus_.stats().GetCounter("heartbeats").value();
+  bus_.ReportDeviceFailure(DeviceId(2));
+  // A heartbeat already on the wire when the device was declared failed:
+  // only a full alive announce (completed self-test) may bring it back.
+  ssd_.port->Send(proto::Message{DeviceId(), kBusDevice, RequestId(), proto::Heartbeat{}});
+  simulator_.RunFor(sim::Duration::Micros(10));
+  EXPECT_FALSE(bus_.IsAlive(DeviceId(2)));
+  EXPECT_EQ(bus_.stats().GetCounter("heartbeats").value(), beats_before);
+  EXPECT_EQ(bus_.stats().GetCounter("stale_heartbeats_ignored").value(), 1u);
+}
+
+TEST_F(BusTest, UnansweredResetPulsesEndInQuarantine) {
+  AnnounceAll();
+  bus_.ReportDeviceFailure(DeviceId(2));
+  // Probes never answer a reset pulse with a new self-test, so draining the
+  // simulator walks the whole policy: pulse, deadline, backoff, ... until
+  // the attempt budget runs out and the device is quarantined.
+  simulator_.Run();
+  EXPECT_TRUE(bus_.supervisor().IsQuarantined(DeviceId(2)));
+  EXPECT_FALSE(bus_.IsAlive(DeviceId(2)));
+  RestartPolicy policy;  // defaults mirror the bus config used by BusTest
+  EXPECT_EQ(bus_.stats().GetCounter("supervisor_restarts").value(),
+            policy.max_restart_attempts);
+  EXPECT_EQ(bus_.stats().GetCounter("supervisor_quarantines").value(), 1u);
+  // Exactly one terminal broadcast, delivered to every survivor and never
+  // to the corpse.
+  int nic_notices = 0;
+  int mc_notices = 0;
+  for (const auto& m : nic_.received) {
+    if (m.type() == proto::MessageType::kDevicePermanentlyFailed) {
+      ++nic_notices;
+      EXPECT_EQ(m.As<proto::DevicePermanentlyFailed>().device, DeviceId(2));
+    }
+  }
+  for (const auto& m : mc_.received) {
+    if (m.type() == proto::MessageType::kDevicePermanentlyFailed) {
+      ++mc_notices;
+    }
+  }
+  EXPECT_EQ(nic_notices, 1);
+  EXPECT_EQ(mc_notices, 1);
+  EXPECT_FALSE(ssd_.LastOfType(proto::MessageType::kDevicePermanentlyFailed).has_value());
+}
+
+TEST_F(BusTest, QuarantinedDeviceCannotReannounce) {
+  AnnounceAll();
+  bus_.ReportDeviceFailure(DeviceId(2));
+  simulator_.Run();  // exhaust the restart policy -> quarantine
+  ASSERT_TRUE(bus_.supervisor().IsQuarantined(DeviceId(2)));
+  Announce(ssd_, "ssd");  // a late self-test completion
+  EXPECT_FALSE(bus_.IsAlive(DeviceId(2)));
+  EXPECT_TRUE(bus_.supervisor().IsQuarantined(DeviceId(2)));
+  EXPECT_EQ(bus_.stats().GetCounter("quarantined_announces_rejected").value(), 1u);
+}
+
+TEST_F(BusTest, RestartBackoffDoublesBetweenPulses) {
+  AnnounceAll();
+  bus_.ReportDeviceFailure(DeviceId(2));
+  auto pulses = [this] {
+    int n = 0;
+    for (const auto& m : ssd_.received) {
+      if (m.type() == proto::MessageType::kResetSignal) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  // Pulse 0 fires immediately (legacy timing); pulse 1 only after the
+  // restart deadline (500us) plus the first backoff step (50us).
+  simulator_.RunFor(sim::Duration::Micros(10));
+  EXPECT_EQ(pulses(), 1);
+  simulator_.RunFor(sim::Duration::Micros(400));
+  EXPECT_EQ(pulses(), 1);
+  simulator_.RunFor(sim::Duration::Micros(200));
+  EXPECT_EQ(pulses(), 2);
 }
 
 TEST_F(BusTest, TableUpdatesSerializeOnOneEngine) {

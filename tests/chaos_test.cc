@@ -1,0 +1,286 @@
+// Chaos soak: seeded whole-device crash schedules (sim::CrashPlan) run
+// against the full KVS machine. Each schedule kills the SSD, the NIC, or the
+// memory controller at a scripted trigger — absolute time, Kth bus send, or
+// mid-self-test — and scripts what the silicon does afterwards (come back
+// clean, crash-loop, or never return). The soak asserts the supervised
+// lifecycle end to end:
+//
+//   * every Put completes exactly once (no permanently-spinning retry loop),
+//   * acked Puts survive crashes and match a std::map shadow store,
+//   * a device that never comes back ends quarantined, with exactly one
+//     DevicePermanentlyFailed notice seen by its peers and zero allocations
+//     or grants left in the memory controller under its name,
+//   * the same schedule replayed yields a byte-identical metrics snapshot
+//     and event count (the simulation is seed-deterministic).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/crash_injector.h"
+#include "src/core/machine.h"
+#include "src/kvs/kvs_app.h"
+#include "tests/test_util.h"
+
+namespace lastcpu {
+namespace {
+
+using Respawn = sim::CrashSpec::Respawn;
+
+// Devices are added in a fixed order, so ids are deterministic.
+constexpr uint32_t kMemctrlId = 1;
+constexpr uint32_t kSsdId = 2;
+constexpr uint32_t kNicId = 3;
+
+struct Schedule {
+  const char* name;
+  sim::CrashPlan plan;
+  bus::RestartPolicy policy;  // defaults unless a schedule overrides
+  bool expect_ssd_quarantine = false;
+};
+
+sim::CrashSpec TimeKill(uint32_t device, uint64_t at_us, Respawn respawn = Respawn::kClean,
+                        uint32_t loops = 0) {
+  sim::CrashSpec spec;
+  spec.device = device;
+  spec.at = sim::Duration::Micros(at_us);
+  spec.respawn = respawn;
+  spec.loop_count = loops;
+  return spec;
+}
+
+sim::CrashSpec KthSendKill(uint32_t device, uint64_t kth, Respawn respawn = Respawn::kClean) {
+  sim::CrashSpec spec;
+  spec.device = device;
+  spec.on_kth_send = kth;
+  spec.respawn = respawn;
+  return spec;
+}
+
+sim::CrashSpec SelfTestKill(uint32_t device, Respawn respawn = Respawn::kClean) {
+  sim::CrashSpec spec;
+  spec.device = device;
+  spec.during_self_test = true;
+  spec.respawn = respawn;
+  return spec;
+}
+
+std::vector<Schedule> Schedules() {
+  std::vector<Schedule> all;
+  {
+    Schedule s{.name = "ssd-transient"};
+    s.plan.crashes = {TimeKill(kSsdId, 300)};
+    all.push_back(s);
+  }
+  {
+    // Two sabotaged self-tests after the kill: the supervisor's restart
+    // deadline carries the episode until the third pulse succeeds.
+    Schedule s{.name = "ssd-crash-loop-then-recover"};
+    s.plan.crashes = {TimeKill(kSsdId, 300, Respawn::kCrashLoop, 2)};
+    all.push_back(s);
+  }
+  {
+    Schedule s{.name = "ssd-never-returns"};
+    s.plan.crashes = {TimeKill(kSsdId, 300, Respawn::kNever)};
+    s.expect_ssd_quarantine = true;
+    all.push_back(s);
+  }
+  {
+    // Dead silicon halfway through the very first boot self-test.
+    Schedule s{.name = "ssd-dies-in-boot-self-test"};
+    s.plan.crashes = {SelfTestKill(kSsdId)};
+    all.push_back(s);
+  }
+  {
+    // The SSD makes only a handful of bus sends (announce, discovery and
+    // session-setup replies) — the data path rides the fabric. Its third
+    // send is the file-list reply, so this kill lands mid session setup.
+    Schedule s{.name = "ssd-dies-mid-session-setup"};
+    s.plan.crashes = {KthSendKill(kSsdId, 3)};
+    all.push_back(s);
+  }
+  {
+    // Fifth send is the open reply: dead before the session finishes, and
+    // the silicon never comes back. The app has not bound a provider yet, so
+    // it burns its bounded retry budget rather than learning of quarantine.
+    Schedule s{.name = "ssd-dies-early-never-returns"};
+    s.plan.crashes = {KthSendKill(kSsdId, 5, Respawn::kNever)};
+    s.expect_ssd_quarantine = true;
+    all.push_back(s);
+  }
+  {
+    // The second kill lands inside the KVS bring-up retry window, i.e. a
+    // crash during crash recovery.
+    Schedule s{.name = "ssd-dies-again-during-kvs-recovery"};
+    s.plan.crashes = {TimeKill(kSsdId, 300), TimeKill(kSsdId, 850)};
+    all.push_back(s);
+  }
+  {
+    Schedule s{.name = "nic-transient"};
+    s.plan.crashes = {TimeKill(kNicId, 400)};
+    all.push_back(s);
+  }
+  {
+    Schedule s{.name = "memctrl-transient"};
+    s.plan.crashes = {TimeKill(kMemctrlId, 500)};
+    all.push_back(s);
+  }
+  {
+    // Each episode recovers, but the third failure inside the sliding window
+    // trips the crash-loop detector rather than the attempt budget.
+    Schedule s{.name = "ssd-crash-loops-into-quarantine"};
+    s.plan.crashes = {TimeKill(kSsdId, 300), TimeKill(kSsdId, 600), TimeKill(kSsdId, 900),
+                      TimeKill(kSsdId, 1200)};
+    s.policy.max_restart_attempts = 10;
+    s.policy.crash_loop_threshold = 3;
+    s.expect_ssd_quarantine = true;
+    all.push_back(s);
+  }
+  return all;
+}
+
+struct RunOutcome {
+  uint64_t events = 0;
+  std::string metrics;
+  std::map<std::string, std::vector<uint8_t>> acked;
+  uint64_t ssd_permanent_notices_at_nic = 0;
+  uint32_t outstanding_puts = 0;
+  bool ssd_quarantined = false;
+  bool engine_running = false;
+  bool provider_gone = false;
+  uint64_t stranded_allocs = 0;
+  uint64_t stranded_grants = 0;
+  uint64_t recovery_abandoned = 0;
+};
+
+RunOutcome RunSchedule(const Schedule& sched) {
+  core::MachineConfig config;
+  config.bus.restart_policy = sched.policy;
+  config.crash_plan = sched.plan;
+  core::Machine machine(config);
+  auto& memctrl = machine.AddMemoryController();
+  ssddev::SmartSsdConfig ssd_config;
+  ssd_config.host_auth_service = false;
+  auto& ssd = machine.AddSmartSsd(ssd_config);
+  auto& nic = machine.AddSmartNic();
+  EXPECT_EQ(memctrl.id().value(), kMemctrlId);
+  EXPECT_EQ(ssd.id().value(), kSsdId);
+  EXPECT_EQ(nic.id().value(), kNicId);
+  ssd.ProvisionFile("kv.log", {});
+  Pasid pasid = machine.NewApplication("kvs");
+  auto app_owner = std::make_unique<kvs::KvsApp>(&nic, pasid);
+  kvs::KvsApp* app = app_owner.get();
+  nic.LoadApp(std::move(app_owner));
+
+  RunOutcome out;
+  nic.AddPeerPermanentlyFailedHook([&out](DeviceId dead) {
+    if (dead.value() == kSsdId) {
+      ++out.ssd_permanent_notices_at_nic;
+    }
+  });
+
+  machine.Boot();
+
+  // Deterministic workload: one Put every 50us, spanning every crash in the
+  // schedules above (quarantine completes by ~2.5ms; puts run to 4ms, so
+  // post-quarantine fast-fail is exercised too).
+  uint32_t outstanding = 0;
+  for (int i = 0; i < 80; ++i) {
+    machine.RunFor(sim::Duration::Micros(50));
+    std::string key = "k" + std::to_string(i);
+    std::vector<uint8_t> value(32);
+    for (size_t b = 0; b < value.size(); ++b) {
+      value[b] = static_cast<uint8_t>((i * 7 + b) & 0xff);
+    }
+    ++outstanding;
+    app->engine().Put(key, value, [&out, &outstanding, key, value](Status s) {
+      --outstanding;
+      if (s.ok()) {
+        out.acked[key] = value;
+      }
+    });
+  }
+  machine.RunUntilIdle();
+  // Let heartbeats, watchdog sweeps, and any in-flight supervision episode
+  // play out, then drain what they scheduled.
+  machine.RunFor(sim::Duration::Millis(20));
+  machine.RunUntilIdle();
+
+  out.outstanding_puts = outstanding;
+  out.engine_running = app->engine().running();
+  out.provider_gone = app->provider_permanently_failed();
+  out.ssd_quarantined = machine.bus().supervisor().IsQuarantined(ssd.id());
+  out.stranded_allocs = memctrl.AllocationsOwnedBy(ssd.id());
+  out.stranded_grants = memctrl.GrantsHeldBy(ssd.id());
+  out.recovery_abandoned = nic.stats().GetCounter("kvs_recovery_abandoned").value();
+  out.events = machine.simulator().events_executed();
+  std::ostringstream metrics;
+  machine.MetricsJson(metrics);
+  out.metrics = metrics.str();
+
+  // Acked means durable: whatever survived the schedule must read back.
+  if (out.engine_running) {
+    for (const auto& [key, expected] : out.acked) {
+      std::optional<Result<std::vector<uint8_t>>> got;
+      app->engine().Get(key, [&got](Result<std::vector<uint8_t>> r) { got = std::move(r); });
+      machine.RunUntilIdle();
+      EXPECT_TRUE(got.has_value()) << key;
+      if (got.has_value()) {
+        EXPECT_TRUE(got->ok()) << key << ": " << got->status().ToString();
+        if (got->ok()) {
+          EXPECT_EQ(**got, expected) << key;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class ChaosSoak : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChaosSoak, SurvivesCrashScheduleDeterministically) {
+  const Schedule sched = Schedules()[GetParam()];
+  SCOPED_TRACE(sched.name);
+
+  RunOutcome first = RunSchedule(sched);
+  RunOutcome second = RunSchedule(sched);
+
+  // No Put may hang: a callback that never fires is a spinning retry loop or
+  // a dropped completion.
+  EXPECT_EQ(first.outstanding_puts, 0u);
+  EXPECT_EQ(second.outstanding_puts, 0u);
+
+  // Same plan, same machine -> byte-identical evolution.
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.metrics, second.metrics);
+  EXPECT_EQ(first.acked, second.acked);
+
+  EXPECT_EQ(first.ssd_quarantined, sched.expect_ssd_quarantine);
+  if (sched.expect_ssd_quarantine) {
+    // Exactly one terminal broadcast, nothing left behind in the memory
+    // controller, and the app knows retrying is pointless.
+    EXPECT_EQ(first.ssd_permanent_notices_at_nic, 1u);
+    EXPECT_EQ(first.stranded_allocs, 0u);
+    EXPECT_EQ(first.stranded_grants, 0u);
+    // The app either learned its provider is gone (post-bring-up kill) or
+    // exhausted its bounded retry budget (pre-bring-up kill) — never a live
+    // retry loop against quarantined silicon.
+    EXPECT_TRUE(first.provider_gone || first.recovery_abandoned > 0);
+    EXPECT_FALSE(first.engine_running);
+  } else {
+    EXPECT_EQ(first.ssd_permanent_notices_at_nic, 0u);
+    // The app must not end the schedule wedged: it either runs, or it gave
+    // up after the bounded retry budget.
+    EXPECT_TRUE(first.engine_running || first.recovery_abandoned > 0) << sched.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, ChaosSoak, ::testing::Range<size_t>(0, 10));
+
+}  // namespace
+}  // namespace lastcpu

@@ -148,6 +148,45 @@ TEST(MachineTest, MetricsJsonIsParseable) {
   const sim::JsonValue* sent = bus_counters->Find("messages_sent");
   ASSERT_NE(sent, nullptr);
   EXPECT_GT(sent->number(), 0.0);
+  // Supervisor counters are surfaced as their own section; no crash plan was
+  // configured, so there is no "crashes" section and nothing was restarted.
+  const sim::JsonValue* supervisor = parsed->Find("supervisor");
+  ASSERT_NE(supervisor, nullptr);
+  const sim::JsonValue* quarantines = supervisor->Find("quarantines");
+  ASSERT_NE(quarantines, nullptr);
+  EXPECT_EQ(quarantines->number(), 0.0);
+  EXPECT_NE(supervisor->Find("restarts"), nullptr);
+  EXPECT_NE(supervisor->Find("recoveries"), nullptr);
+  EXPECT_EQ(parsed->Find("crashes"), nullptr);
+}
+
+TEST(MachineTest, MetricsJsonReportsCrashInjection) {
+  MachineConfig config;
+  sim::CrashSpec spec;
+  spec.device = 2;  // the SSD, second device added
+  spec.at = sim::Duration::Micros(200);
+  config.crash_plan.crashes = {spec};
+  Machine machine(config);
+  machine.AddMemoryController();
+  machine.AddSmartSsd(NoAuthSsd());
+  machine.Boot();
+  machine.RunFor(sim::Duration::Millis(1));
+  machine.RunUntilIdle();
+  std::ostringstream os;
+  machine.MetricsJson(os);
+  auto parsed = sim::ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const sim::JsonValue* crashes = parsed->Find("crashes");
+  ASSERT_NE(crashes, nullptr);
+  const sim::JsonValue* injected = crashes->Find("injected");
+  ASSERT_NE(injected, nullptr);
+  EXPECT_EQ(injected->number(), 1.0);
+  // The SSD answered the reset pulse, so the supervisor recovered it.
+  const sim::JsonValue* supervisor = parsed->Find("supervisor");
+  ASSERT_NE(supervisor, nullptr);
+  const sim::JsonValue* recoveries = supervisor->Find("recoveries");
+  ASSERT_NE(recoveries, nullptr);
+  EXPECT_EQ(recoveries->number(), 1.0);
 }
 
 TEST(MachineTest, StatsReportCoversAllComponents) {

@@ -142,6 +142,8 @@ TEST(CodecRoundTrip, NotificationsAndFailures) {
   ExpectRoundTrip(Envelope(Notify{InstanceId(5), 42}));
   ExpectRoundTrip(Envelope(ResourceFailed{"flashfs", InstanceId(5), "media error"}));
   ExpectRoundTrip(Envelope(DeviceFailed{DeviceId(4)}));
+  ExpectRoundTrip(Envelope(DevicePermanentlyFailed{DeviceId(4), "crash loop"}));
+  ExpectRoundTrip(Envelope(DevicePermanentlyFailed{DeviceId(9), ""}));
   ExpectRoundTrip(Envelope(ResetSignal{}));
   ExpectRoundTrip(Envelope(TeardownApp{Pasid(3)}));
 }
