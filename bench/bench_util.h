@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -39,9 +41,18 @@ class StubDevice : public dev::Device {
   }
 };
 
-// Runs `total_ops` alloc+free pairs from each client with `concurrency`
-// outstanding per client; records per-op latency. Works over either control
-// plane via the ControlClient interface. Returns when all clients finish.
+// Runs `ops_each` alloc+free pairs from each client; records per-op latency.
+// Works over either control plane via the ControlClient interface. Returns
+// when all clients finish.
+//
+// Two arrival disciplines:
+//  * closed-loop (default): each client keeps exactly one op outstanding and
+//    issues the next on completion. With identical clients this marches in
+//    lockstep — every op sees the same queueing, so p50 == p99 by
+//    construction. Fine for throughput, useless for tails.
+//  * open-loop: ops arrive on a seeded Poisson process (deterministic
+//    xorshift64 + inverse-CDF exponential), independent of completions, so
+//    queueing variance — and a real latency distribution — emerges.
 class ControlLoadRunner {
  public:
   struct PerClient {
@@ -49,19 +60,37 @@ class ControlLoadRunner {
     Pasid pasid;
   };
 
+  struct Options {
+    uint64_t ops_each = 0;
+    // Zero = closed loop. Otherwise the mean inter-arrival time of the
+    // open-loop Poisson process, per client.
+    sim::Duration mean_interarrival = sim::Duration::Zero();
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+  };
+
   ControlLoadRunner(sim::Simulator* simulator, std::vector<PerClient> clients, uint64_t ops_each)
-      : simulator_(simulator), clients_(std::move(clients)), ops_each_(ops_each) {}
+      : ControlLoadRunner(simulator, std::move(clients), Options{ops_each}) {}
+
+  ControlLoadRunner(sim::Simulator* simulator, std::vector<PerClient> clients, Options options)
+      : simulator_(simulator), clients_(std::move(clients)), options_(options) {
+    rng_ = options_.seed != 0 ? options_.seed : 1;
+  }
 
   void Run() {
-    remaining_.assign(clients_.size(), ops_each_);
+    remaining_.assign(clients_.size(), options_.ops_each);
     for (size_t i = 0; i < clients_.size(); ++i) {
-      IssueNext(i);
+      if (options_.mean_interarrival > sim::Duration::Zero()) {
+        ScheduleArrival(i);
+      } else {
+        IssueNext(i);
+      }
     }
     simulator_->Run();
   }
 
   const sim::Histogram& latency() const { return latency_; }
   uint64_t completed() const { return completed_; }
+  uint64_t failures() const { return failures_; }
 
  private:
   void IssueNext(size_t index) {
@@ -69,29 +98,64 @@ class ControlLoadRunner {
       return;
     }
     --remaining_[index];
+    IssueOne(index, /*chain=*/true);
+  }
+
+  // Open loop: the next arrival is scheduled from the current one, spaced by
+  // an exponential draw, regardless of whether earlier ops completed.
+  void ScheduleArrival(size_t index) {
+    if (remaining_[index] == 0) {
+      return;
+    }
+    --remaining_[index];
+    simulator_->Schedule(NextInterarrival(), [this, index] {
+      IssueOne(index, /*chain=*/false);
+      ScheduleArrival(index);
+    });
+  }
+
+  void IssueOne(size_t index, bool chain) {
     sim::SimTime start = simulator_->Now();
     PerClient& pc = clients_[index];
-    pc.client->Alloc(pc.pasid, 4 * kPageSize, [this, index, start, &pc](Result<VirtAddr> r) {
-      if (!r.ok()) {
-        ++failures_;
-        IssueNext(index);
-        return;
-      }
-      pc.client->Free(pc.pasid, *r, 4 * kPageSize, [this, index, start](Status) {
-        latency_.Record(simulator_->Now() - start);
-        ++completed_;
-        IssueNext(index);
-      });
-    });
+    pc.client->Alloc(pc.pasid, 4 * kPageSize,
+                     [this, index, start, chain, &pc](Result<VirtAddr> r) {
+                       if (!r.ok()) {
+                         ++failures_;
+                         if (chain) {
+                           IssueNext(index);
+                         }
+                         return;
+                       }
+                       pc.client->Free(pc.pasid, *r, 4 * kPageSize,
+                                       [this, index, start, chain](Status) {
+                                         latency_.Record(simulator_->Now() - start);
+                                         ++completed_;
+                                         if (chain) {
+                                           IssueNext(index);
+                                         }
+                                       });
+                     });
+  }
+
+  sim::Duration NextInterarrival() {
+    // xorshift64: deterministic across platforms, seeded per runner.
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    double u = static_cast<double>(rng_ >> 11) * 0x1.0p-53;  // [0, 1)
+    double mean_ns = static_cast<double>(options_.mean_interarrival.nanos());
+    double draw = -mean_ns * std::log(1.0 - u);
+    return sim::Duration::Nanos(static_cast<uint64_t>(draw) + 1);
   }
 
   sim::Simulator* simulator_;
   std::vector<PerClient> clients_;
-  uint64_t ops_each_;
+  Options options_;
   std::vector<uint64_t> remaining_;
   sim::Histogram latency_;
   uint64_t completed_ = 0;
   uint64_t failures_ = 0;
+  uint64_t rng_ = 1;
 };
 
 // Standard KVS machine for the application benchmarks: memctrl + SSD

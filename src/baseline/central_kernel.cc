@@ -194,6 +194,126 @@ void CentralKernel::FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, 
   }, span);
 }
 
+void CentralKernel::AllocMemoryBatch(DeviceId requester, Pasid pasid, uint64_t bytes,
+                                     uint32_t count, Callback<std::vector<VirtAddr>> done) {
+  LASTCPU_CHECK(done != nullptr, "batch alloc without callback");
+  uint64_t pages = PagesForBytes(bytes);
+  // One interrupt + one syscall entry for the whole batch; the handler still
+  // does per-allocation work.
+  sim::Duration service = (config_.mm_service + config_.per_page_cost * pages) * count;
+  sim::SpanId span = BeginOpSpan("AllocBatch", "pasid=" + std::to_string(pasid.value()) +
+                                                   " count=" + std::to_string(count));
+  RunOnCpu(service, [this, requester, pasid, bytes, pages, count, done = std::move(done)] {
+    if (bytes == 0 || count == 0) {
+      done(InvalidArgument("empty batch allocation"));
+      return;
+    }
+    std::vector<VirtAddr> vaddrs;
+    vaddrs.reserve(count);
+    auto rollback = [this, &vaddrs, pasid, pages, requester] {
+      for (VirtAddr vaddr : vaddrs) {
+        auto table_it = tables_.find(pasid);
+        if (table_it == tables_.end()) {
+          break;
+        }
+        auto it = table_it->second.find(vaddr.page());
+        if (it == table_it->second.end()) {
+          continue;
+        }
+        UnmapRange(requester, pasid, it->first, it->second.pages);
+        LASTCPU_CHECK(allocator_.Free(it->second.first_frame, it->second.pages).ok(),
+                      "allocator out of sync");
+        bytes_allocated_[pasid] -= it->second.pages * kPageSize;
+        table_it->second.erase(it);
+      }
+    };
+    for (uint32_t i = 0; i < count; ++i) {
+      Table& table = tables_[pasid];
+      auto [bump, inserted] = next_vpage_.try_emplace(pasid, config_.va_bump_base >> kPageShift);
+      (void)inserted;
+      uint64_t vpage = bump->second;
+      while (Overlaps(table, vpage, pages)) {
+        vpage += pages;
+      }
+      auto frame = allocator_.Allocate(pages);
+      if (!frame.ok()) {
+        rollback();
+        done(frame.status());
+        return;
+      }
+      bump->second = vpage + pages;
+      for (uint64_t p = 0; p < pages; ++p) {
+        memory_->ZeroFrame(*frame + p);
+      }
+      Status mapped = MapRange(requester, pasid, vpage, *frame, pages, Access::kReadWrite);
+      if (!mapped.ok()) {
+        LASTCPU_CHECK(allocator_.Free(*frame, pages).ok(), "allocator out of sync");
+        rollback();
+        done(mapped);
+        return;
+      }
+      Allocation allocation;
+      allocation.vaddr = VirtAddr(vpage << kPageShift);
+      allocation.pages = pages;
+      allocation.first_frame = *frame;
+      allocation.owner = requester;
+      table.emplace(vpage, allocation);
+      bytes_allocated_[pasid] += pages * kPageSize;
+      stats_.GetCounter("allocations").Increment();
+      vaddrs.push_back(allocation.vaddr);
+    }
+    stats_.GetCounter("batch_allocs").Increment();
+    done(std::move(vaddrs));
+  }, span);
+}
+
+void CentralKernel::FreeMemoryBatch(DeviceId requester, Pasid pasid, std::vector<VirtAddr> vaddrs,
+                                    uint64_t bytes, Callback<void> done) {
+  LASTCPU_CHECK(done != nullptr, "batch free without callback");
+  uint64_t pages = PagesForBytes(bytes);
+  sim::Duration service =
+      (config_.mm_service + config_.per_page_cost * pages) * static_cast<uint32_t>(vaddrs.size());
+  sim::SpanId span = BeginOpSpan("FreeBatch", "pasid=" + std::to_string(pasid.value()) +
+                                                  " count=" + std::to_string(vaddrs.size()));
+  RunOnCpu(service, [this, requester, pasid, vaddrs = std::move(vaddrs), pages,
+                     done = std::move(done)] {
+    if (vaddrs.empty()) {
+      done(InvalidArgument("empty batch free"));
+      return;
+    }
+    auto table_it = tables_.find(pasid);
+    if (table_it == tables_.end()) {
+      done(NotFound("no allocations for PASID"));
+      return;
+    }
+    // Validate everything before freeing anything: the batch is one unit.
+    for (VirtAddr vaddr : vaddrs) {
+      auto it = table_it->second.find(vaddr.page());
+      if (it == table_it->second.end() || it->second.pages != pages) {
+        done(NotFound("no matching allocation in batch"));
+        return;
+      }
+      if (it->second.owner != requester) {
+        done(PermissionDenied("only the owner may free an allocation"));
+        return;
+      }
+    }
+    for (VirtAddr vaddr : vaddrs) {
+      auto it = table_it->second.find(vaddr.page());
+      UnmapRange(it->second.owner, pasid, it->first, pages);
+      for (const auto& [grantee, access] : it->second.grants) {
+        UnmapRange(grantee, pasid, it->first, pages);
+      }
+      LASTCPU_CHECK(allocator_.Free(it->second.first_frame, pages).ok(), "allocator out of sync");
+      bytes_allocated_[pasid] -= pages * kPageSize;
+      table_it->second.erase(it);
+      stats_.GetCounter("frees").Increment();
+    }
+    stats_.GetCounter("batch_frees").Increment();
+    done(OkStatus());
+  }, span);
+}
+
 void CentralKernel::Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
                           DeviceId grantee, Access access, Callback<void> done) {
   LASTCPU_CHECK(done != nullptr, "grant without callback");

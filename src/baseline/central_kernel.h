@@ -76,6 +76,13 @@ class CentralKernel {
   void AllocMemory(DeviceId requester, Pasid pasid, uint64_t bytes, Callback<VirtAddr> done);
   void FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
                   Callback<void> done);
+  // Batched syscalls: `count` equally sized allocations (or several frees) in
+  // one kernel trip — one interrupt + syscall entry, `count` handler bodies.
+  // Keeps the baseline comparison fair against the bus-side AllocBatch path.
+  void AllocMemoryBatch(DeviceId requester, Pasid pasid, uint64_t bytes, uint32_t count,
+                        Callback<std::vector<VirtAddr>> done);
+  void FreeMemoryBatch(DeviceId requester, Pasid pasid, std::vector<VirtAddr> vaddrs,
+                       uint64_t bytes, Callback<void> done);
   void Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
              Access access, Callback<void> done);
   void Revoke(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,

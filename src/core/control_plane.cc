@@ -1,7 +1,10 @@
 #include "src/core/control_plane.h"
 
+#include <memory>
 #include <optional>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "src/base/check.h"
 
@@ -43,6 +46,21 @@ Result<void> ControlClient::FreeSync(Pasid pasid, VirtAddr vaddr, uint64_t bytes
   });
 }
 
+Result<std::vector<VirtAddr>> ControlClient::AllocBatchSync(Pasid pasid, uint64_t bytes,
+                                                            uint32_t count) {
+  return RunSync<std::vector<VirtAddr>>(
+      simulator(), [&](Callback<std::vector<VirtAddr>> done) {
+        AllocBatch(pasid, bytes, count, std::move(done));
+      });
+}
+
+Result<void> ControlClient::FreeBatchSync(Pasid pasid, std::vector<VirtAddr> vaddrs,
+                                          uint64_t bytes) {
+  return RunSync<void>(simulator(), [&](Callback<void> done) {
+    FreeBatch(pasid, std::move(vaddrs), bytes, std::move(done));
+  });
+}
+
 BusControlClient::BusControlClient(dev::Device* requester, DeviceId memctrl)
     : requester_(requester), memctrl_(memctrl) {
   LASTCPU_CHECK(requester != nullptr, "bus control client needs a device");
@@ -72,6 +90,28 @@ void BusControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callbac
                                std::move(done));
 }
 
+void BusControlClient::AllocBatch(Pasid pasid, uint64_t bytes, uint32_t count,
+                                  Callback<std::vector<VirtAddr>> done) {
+  // Straight to the controller: the batch is one request/response pair, not
+  // `count` bus-forwarded operations.
+  requester_->rpc().Call<proto::MemAllocBatchResponse>(
+      memctrl_, proto::MemAllocBatchRequest{pasid, bytes, count, Access::kReadWrite},
+      [done = std::move(done)](Result<proto::MemAllocBatchResponse> response) {
+        if (!response.ok()) {
+          done(response.status());
+          return;
+        }
+        done(std::move(response->vaddrs));
+      });
+}
+
+void BusControlClient::FreeBatch(Pasid pasid, std::vector<VirtAddr> vaddrs, uint64_t bytes,
+                                 Callback<void> done) {
+  requester_->rpc().Call<void>(memctrl_,
+                               proto::MemFreeBatchRequest{pasid, std::move(vaddrs), bytes},
+                               std::move(done));
+}
+
 KernelControlClient::KernelControlClient(baseline::CentralKernel* kernel, DeviceId self)
     : kernel_(kernel), self_(self) {
   LASTCPU_CHECK(kernel != nullptr, "kernel control client needs a kernel");
@@ -88,6 +128,237 @@ void KernelControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Dev
 
 void KernelControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) {
   kernel_->FreeMemory(self_, pasid, vaddr, bytes, std::move(done));
+}
+
+void KernelControlClient::AllocBatch(Pasid pasid, uint64_t bytes, uint32_t count,
+                                     Callback<std::vector<VirtAddr>> done) {
+  kernel_->AllocMemoryBatch(self_, pasid, bytes, count, std::move(done));
+}
+
+void KernelControlClient::FreeBatch(Pasid pasid, std::vector<VirtAddr> vaddrs, uint64_t bytes,
+                                    Callback<void> done) {
+  kernel_->FreeMemoryBatch(self_, pasid, std::move(vaddrs), bytes, std::move(done));
+}
+
+MagazineClient::MagazineClient(ControlClient* inner, MagazineConfig config, dev::Device* host,
+                               DeviceId memctrl)
+    : inner_(inner), config_(config), host_(host), memctrl_(memctrl) {
+  LASTCPU_CHECK(inner != nullptr, "magazine client needs a transport client");
+  if (host_ != nullptr) {
+    auto on_peer_down = [this](DeviceId device) {
+      if (device == memctrl_) {
+        DropAll();
+      }
+    };
+    failed_token_ = host_->AddPeerFailedHook(on_peer_down);
+    perm_failed_token_ = host_->AddPeerPermanentlyFailedHook(on_peer_down);
+  }
+}
+
+MagazineClient::~MagazineClient() {
+  if (host_ != nullptr) {
+    host_->RemovePeerFailedHook(failed_token_);
+    host_->RemovePeerPermanentlyFailedHook(perm_failed_token_);
+  }
+}
+
+uint64_t MagazineClient::cached_regions() const {
+  uint64_t count = 0;
+  for (const auto& [key, magazine] : magazines_) {
+    count += magazine.free.size();
+  }
+  return count;
+}
+
+void MagazineClient::Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) {
+  if (!config_.enabled) {
+    inner_->Alloc(pasid, bytes, std::move(done));
+    return;
+  }
+  uint64_t pages = PagesForBytes(bytes);
+  Magazine& magazine = magazines_[Key(pasid.value(), pages)];
+  if (!magazine.free.empty()) {
+    VirtAddr vaddr = magazine.free.back();
+    magazine.free.pop_back();
+    ++hits_;
+    simulator()->Schedule(config_.hit_latency,
+                          [done = std::move(done), vaddr] { done(vaddr); });
+  } else {
+    ++misses_;
+    magazine.waiters.push_back(std::move(done));
+  }
+  MaybeRefill(pasid, pages);
+}
+
+void MagazineClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
+                           Access access, Callback<void> done) {
+  // Grants always take the full authorization path: caching them would skip
+  // the controller's permission checks.
+  inner_->Grant(pasid, vaddr, bytes, grantee, access, std::move(done));
+}
+
+void MagazineClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) {
+  if (!config_.enabled) {
+    inner_->Free(pasid, vaddr, bytes, std::move(done));
+    return;
+  }
+  // The region goes back on the shelf still mapped; a later Alloc of the same
+  // size class reuses it without any unmap/remap round trip. (Same owner and
+  // PASID, so no cross-application data leak — re-zeroing is the allocator's
+  // job only on a fresh lease.)
+  uint64_t pages = PagesForBytes(bytes);
+  Magazine& magazine = magazines_[Key(pasid.value(), pages)];
+  magazine.free.push_back(vaddr);
+  ++hits_;
+  simulator()->Schedule(config_.hit_latency, [done = std::move(done)] { done(OkStatus()); });
+  MaybeDrain(pasid, pages);
+}
+
+void MagazineClient::AllocBatch(Pasid pasid, uint64_t bytes, uint32_t count,
+                                Callback<std::vector<VirtAddr>> done) {
+  inner_->AllocBatch(pasid, bytes, count, std::move(done));
+}
+
+void MagazineClient::FreeBatch(Pasid pasid, std::vector<VirtAddr> vaddrs, uint64_t bytes,
+                               Callback<void> done) {
+  inner_->FreeBatch(pasid, std::move(vaddrs), bytes, std::move(done));
+}
+
+void MagazineClient::MaybeRefill(Pasid pasid, uint64_t pages) {
+  auto it = magazines_.find(Key(pasid.value(), pages));
+  if (it == magazines_.end()) {
+    return;
+  }
+  Magazine& magazine = it->second;
+  if (magazine.refill_in_flight) {
+    return;
+  }
+  if (magazine.waiters.empty() && magazine.free.size() >= config_.low_watermark) {
+    return;
+  }
+  magazine.refill_in_flight = true;
+  ++refills_;
+  inner_->AllocBatch(
+      pasid, pages * kPageSize, config_.refill_batch,
+      [this, pasid, pages](Result<std::vector<VirtAddr>> leased) {
+        auto mag_it = magazines_.find(Key(pasid.value(), pages));
+        if (mag_it == magazines_.end()) {
+          // DropAll raced the refill; the regions (if any) stay leased until
+          // the controller's teardown/quarantine reclaim frees them.
+          return;
+        }
+        Magazine& magazine = mag_it->second;
+        magazine.refill_in_flight = false;
+        if (!leased.ok()) {
+          auto waiters = std::move(magazine.waiters);
+          magazine.waiters.clear();
+          for (auto& waiter : waiters) {
+            waiter(leased.status());
+          }
+          return;
+        }
+        for (VirtAddr vaddr : *leased) {
+          if (!magazine.waiters.empty()) {
+            auto waiter = std::move(magazine.waiters.front());
+            magazine.waiters.pop_front();
+            waiter(vaddr);
+          } else {
+            magazine.free.push_back(vaddr);
+          }
+        }
+        if (!magazine.waiters.empty()) {
+          MaybeRefill(pasid, pages);
+        }
+      });
+}
+
+void MagazineClient::MaybeDrain(Pasid pasid, uint64_t pages) {
+  auto it = magazines_.find(Key(pasid.value(), pages));
+  if (it == magazines_.end()) {
+    return;
+  }
+  Magazine& magazine = it->second;
+  if (magazine.drain_in_flight || magazine.free.size() <= config_.high_watermark) {
+    return;
+  }
+  size_t excess = magazine.free.size() - config_.capacity;
+  std::vector<VirtAddr> to_free(magazine.free.end() - static_cast<ptrdiff_t>(excess),
+                                magazine.free.end());
+  magazine.free.resize(magazine.free.size() - excess);
+  magazine.drain_in_flight = true;
+  ++drains_;
+  inner_->FreeBatch(pasid, std::move(to_free), pages * kPageSize,
+                    [this, pasid, pages](Result<void> freed) {
+                      auto mag_it = magazines_.find(Key(pasid.value(), pages));
+                      if (mag_it == magazines_.end()) {
+                        return;
+                      }
+                      mag_it->second.drain_in_flight = false;
+                      if (!freed.ok()) {
+                        // Ambiguous outcome: never reuse the regions. They
+                        // stay leased until teardown/quarantine reclaims.
+                        ++drain_failures_;
+                      }
+                      MaybeDrain(pasid, pages);
+                    });
+}
+
+void MagazineClient::Flush(Callback<void> done) {
+  struct FlushState {
+    int outstanding = 0;
+    Status first_error = OkStatus();
+    Callback<void> done;
+  };
+  auto state = std::make_shared<FlushState>();
+  state->done = std::move(done);
+  auto finish = [state] {
+    if (--state->outstanding > 0) {
+      return;
+    }
+    if (state->first_error.ok()) {
+      state->done(OkStatus());
+    } else {
+      state->done(state->first_error);
+    }
+  };
+  std::vector<std::tuple<Pasid, uint64_t, std::vector<VirtAddr>>> batches;
+  for (auto& [key, magazine] : magazines_) {
+    if (magazine.free.empty()) {
+      continue;
+    }
+    batches.emplace_back(Pasid(key.first), key.second, std::move(magazine.free));
+    magazine.free.clear();
+  }
+  if (batches.empty()) {
+    simulator()->Schedule(sim::Duration::Zero(), [state] { state->done(OkStatus()); });
+    return;
+  }
+  state->outstanding = static_cast<int>(batches.size());
+  for (auto& [pasid, pages, vaddrs] : batches) {
+    inner_->FreeBatch(pasid, std::move(vaddrs), pages * kPageSize,
+                      [state, finish](Result<void> freed) {
+                        if (!freed.ok() && state->first_error.ok()) {
+                          state->first_error = freed.status();
+                        }
+                        finish();
+                      });
+  }
+}
+
+Result<void> MagazineClient::FlushSync() {
+  return RunSync<void>(simulator(), [&](Callback<void> done) { Flush(std::move(done)); });
+}
+
+void MagazineClient::DropAll() {
+  for (auto& [key, magazine] : magazines_) {
+    magazine.free.clear();
+    auto waiters = std::move(magazine.waiters);
+    magazine.waiters.clear();
+    for (auto& waiter : waiters) {
+      waiter(Unavailable("memory controller failed; magazine dropped"));
+    }
+  }
+  magazines_.clear();
 }
 
 }  // namespace lastcpu::core

@@ -1,0 +1,54 @@
+// Fast-path knobs (batching/caching), shared by both control-plane designs.
+//
+// Everything here is off by default: an all-default config reproduces the
+// unbatched per-op round trips exactly, so benchmarks can ablate each fast
+// path independently (EXPERIMENTS.md E-batch).
+#ifndef SRC_CORE_FAST_PATH_H_
+#define SRC_CORE_FAST_PATH_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace lastcpu::core {
+
+// Grant magazine: a per-device cache of leased memory regions. The client
+// allocates `refill_batch` regions in one AllocBatch round trip and satisfies
+// subsequent Alloc/Free calls locally (one modeled `hit_latency` each),
+// refilling below `low_watermark` and draining above `high_watermark` via
+// FreeBatch. The regions stay owned by the client device in the memory
+// controller's table — they are leases, so quarantine/teardown reclaim them
+// like any other allocation if the device dies with a stocked magazine.
+struct MagazineConfig {
+  bool enabled = false;
+  // Regions requested per AllocBatch refill.
+  uint32_t refill_batch = 32;
+  // Steady-state stock level a drain trims back down to.
+  uint32_t capacity = 32;
+  // Refill when the stock drops below this many regions.
+  uint32_t low_watermark = 8;
+  // Drain when recycled frees push the stock above this many regions.
+  uint32_t high_watermark = 64;
+  // Modeled cost of a local hit (magazine bookkeeping in device firmware).
+  sim::Duration hit_latency = sim::Duration::Nanos(40);
+};
+
+// The machine-wide fast-path bundle (MachineConfig::fast_path). Each knob is
+// independent; the all-default bundle is byte-identical to the unbatched
+// machine. The fabric's own doorbell_coalesce_window lives in FabricConfig
+// (MachineConfig::fabric) since it is a fabric cost-model property.
+struct FastPathConfig {
+  // Control plane: grant magazines for ControlClient users.
+  MagazineConfig magazine;
+  // Data plane: FileClient request staging (one DmaWritev + one doorbell per
+  // window). Applied by Machine as the default for file clients created by
+  // apps that consult it; zero keeps the per-request path.
+  sim::Duration submit_batch_window = sim::Duration::Zero();
+  // Data plane: FileService completion staging. AddSmartSsd applies this as
+  // the default when the per-device config leaves it zero.
+  sim::Duration completion_batch_window = sim::Duration::Zero();
+};
+
+}  // namespace lastcpu::core
+
+#endif  // SRC_CORE_FAST_PATH_H_

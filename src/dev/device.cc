@@ -27,6 +27,8 @@ bool IsResponseType(proto::MessageType type) {
     case proto::MessageType::kAttachQueueResponse:
     case proto::MessageType::kFileAdminResponse:
     case proto::MessageType::kFileListResponse:
+    case proto::MessageType::kMemAllocBatchResponse:
+    case proto::MessageType::kMemFreeBatchResponse:
       return true;
     default:
       return false;

@@ -152,6 +152,137 @@ void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t len
                          });
 }
 
+void Fabric::DmaWritev(DeviceId initiator, Pasid pasid, std::vector<DmaWriteSegment> segments,
+                       DmaCallback done, sim::TraceContext ctx) {
+  Port* port = FindPort(initiator);
+  LASTCPU_CHECK(port != nullptr, "DMA from unattached device %u", initiator.value());
+  LASTCPU_CHECK(done != nullptr, "DMA without completion callback");
+
+  uint64_t total_bytes = 0;
+  for (const DmaWriteSegment& segment : segments) {
+    total_bytes += segment.data.size();
+  }
+  sim::SpanId span = tracer_.BeginSpan(
+      "DmaWritev", ctx.span,
+      "dev=" + std::to_string(initiator.value()) + " segments=" +
+          std::to_string(segments.size()) + " bytes=" + std::to_string(total_bytes));
+
+  // Per-segment translation (each pays its own walk costs), one transfer.
+  std::vector<std::pair<PhysAddr, uint64_t>> phys;
+  sim::Duration walk_cost = sim::Duration::Zero();
+  for (const DmaWriteSegment& segment : segments) {
+    Status translated = TranslateRange(*port, pasid, segment.addr, segment.data.size(),
+                                       Access::kWrite, phys, walk_cost);
+    if (!translated.ok()) {
+      stats_.GetCounter("dma_faults").Increment();
+      tracer_.Instant("dma-fault", translated.message(), span);
+      simulator_->Schedule(port->link.base_latency,
+                           [this, span, done = std::move(done), translated] {
+                             done(translated);
+                             tracer_.EndSpan(span);
+                           });
+      return;
+    }
+  }
+
+  sim::SimTime completion = ScheduleTransfer(*port, total_bytes, walk_cost);
+  stats_.GetCounter("dma_writes").Increment();
+  stats_.GetCounter("dma_sg_segments").Increment(segments.size());
+  stats_.GetCounter("dma_bytes_written").Increment(total_bytes);
+  stats_.GetHistogram("dma_write_latency").Record(completion - simulator_->Now());
+
+  simulator_->ScheduleAt(
+      completion, [this, span, phys = std::move(phys), segments = std::move(segments),
+                   done = std::move(done)] {
+        size_t cursor = 0;
+        uint64_t cursor_offset = 0;
+        for (const DmaWriteSegment& segment : segments) {
+          uint64_t offset = 0;
+          while (offset < segment.data.size()) {
+            const auto& [paddr, len] = phys[cursor];
+            uint64_t chunk = std::min(len - cursor_offset, segment.data.size() - offset);
+            memory_->Write(PhysAddr(paddr.raw + cursor_offset),
+                           std::span<const uint8_t>(segment.data.data() + offset, chunk));
+            offset += chunk;
+            cursor_offset += chunk;
+            if (cursor_offset == len) {
+              ++cursor;
+              cursor_offset = 0;
+            }
+          }
+        }
+        done(OkStatus());
+        tracer_.EndSpan(span);
+      });
+}
+
+void Fabric::DmaReadv(DeviceId initiator, Pasid pasid, std::vector<DmaReadSegment> segments,
+                      DmaReadvCallback done, sim::TraceContext ctx) {
+  Port* port = FindPort(initiator);
+  LASTCPU_CHECK(port != nullptr, "DMA from unattached device %u", initiator.value());
+  LASTCPU_CHECK(done != nullptr, "DMA without completion callback");
+
+  uint64_t total_bytes = 0;
+  for (const DmaReadSegment& segment : segments) {
+    total_bytes += segment.length;
+  }
+  sim::SpanId span = tracer_.BeginSpan(
+      "DmaReadv", ctx.span,
+      "dev=" + std::to_string(initiator.value()) + " segments=" +
+          std::to_string(segments.size()) + " bytes=" + std::to_string(total_bytes));
+
+  std::vector<std::pair<PhysAddr, uint64_t>> phys;
+  sim::Duration walk_cost = sim::Duration::Zero();
+  for (const DmaReadSegment& segment : segments) {
+    Status translated =
+        TranslateRange(*port, pasid, segment.addr, segment.length, Access::kRead, phys, walk_cost);
+    if (!translated.ok()) {
+      stats_.GetCounter("dma_faults").Increment();
+      tracer_.Instant("dma-fault", translated.message(), span);
+      simulator_->Schedule(port->link.base_latency,
+                           [this, span, done = std::move(done), translated] {
+                             done(translated);
+                             tracer_.EndSpan(span);
+                           });
+      return;
+    }
+  }
+
+  sim::SimTime completion = ScheduleTransfer(*port, total_bytes, walk_cost);
+  stats_.GetCounter("dma_reads").Increment();
+  stats_.GetCounter("dma_sg_segments").Increment(segments.size());
+  stats_.GetCounter("dma_bytes_read").Increment(total_bytes);
+  stats_.GetHistogram("dma_read_latency").Record(completion - simulator_->Now());
+
+  simulator_->ScheduleAt(
+      completion, [this, span, phys = std::move(phys), segments = std::move(segments),
+                   done = std::move(done)] {
+        std::vector<std::vector<uint8_t>> buffers;
+        buffers.reserve(segments.size());
+        size_t cursor = 0;
+        uint64_t cursor_offset = 0;
+        for (const DmaReadSegment& segment : segments) {
+          std::vector<uint8_t> data(segment.length);
+          uint64_t offset = 0;
+          while (offset < segment.length) {
+            const auto& [paddr, len] = phys[cursor];
+            uint64_t chunk = std::min(len - cursor_offset, segment.length - offset);
+            memory_->Read(PhysAddr(paddr.raw + cursor_offset),
+                          std::span<uint8_t>(data.data() + offset, chunk));
+            offset += chunk;
+            cursor_offset += chunk;
+            if (cursor_offset == len) {
+              ++cursor;
+              cursor_offset = 0;
+            }
+          }
+          buffers.push_back(std::move(data));
+        }
+        done(std::move(buffers));
+        tracer_.EndSpan(span);
+      });
+}
+
 AccessResult Fabric::MemWrite(DeviceId initiator, Pasid pasid, VirtAddr dst,
                               std::span<const uint8_t> data) {
   Port* port = FindPort(initiator);
@@ -251,6 +382,53 @@ void Fabric::RingDoorbell(DeviceId from, DeviceId to, uint64_t value) {
       }
     });
   }
+}
+
+DoorbellBatcher::DoorbellBatcher(Fabric* fabric, DeviceId from)
+    : fabric_(fabric), from_(from) {
+  LASTCPU_CHECK(fabric != nullptr, "doorbell batcher needs a fabric");
+}
+
+DoorbellBatcher::~DoorbellBatcher() { CancelPending(); }
+
+void DoorbellBatcher::CancelPending() {
+  for (auto& [key, pending] : pending_) {
+    fabric_->simulator()->Cancel(pending.flush);
+  }
+  pending_.clear();
+}
+
+void DoorbellBatcher::Ring(DeviceId to, uint64_t value) {
+  sim::Duration window = fabric_->config().doorbell_coalesce_window;
+  if (window == sim::Duration::Zero()) {
+    fabric_->RingDoorbell(from_, to, value);
+    return;
+  }
+  auto key = std::make_pair(to, value);
+  auto it = pending_.find(key);
+  if (it != pending_.end()) {
+    // Suppressed: the trailing doorbell at window close covers this ring.
+    ++it->second.merged;
+    ++coalesced_;
+    fabric_->stats().GetCounter("doorbells_coalesced").Increment();
+    return;
+  }
+  // Leading edge goes out immediately — a lone doorbell pays no extra
+  // latency; only bursts are merged.
+  fabric_->RingDoorbell(from_, to, value);
+  Pending pending;
+  pending.flush = fabric_->simulator()->Schedule(window, [this, to, value, key] {
+    auto pending_it = pending_.find(key);
+    if (pending_it == pending_.end()) {
+      return;
+    }
+    uint64_t merged = pending_it->second.merged;
+    pending_.erase(pending_it);
+    if (merged > 0) {
+      fabric_->RingDoorbell(from_, to, value);
+    }
+  });
+  pending_.emplace(key, pending);
 }
 
 }  // namespace lastcpu::fabric

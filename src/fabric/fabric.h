@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -41,6 +43,22 @@ struct FabricConfig {
   sim::Duration doorbell_latency = sim::Duration::Nanos(400);
   sim::Duration mmio_latency = sim::Duration::Nanos(150);      // small read/write round trip
   sim::Duration walk_latency_per_level = sim::Duration::Nanos(80);  // page-table walk step
+  // Doorbell coalescing window for DoorbellBatcher users. Zero (the default)
+  // disables coalescing: every Ring() is one fabric doorbell, byte-identical
+  // to the unbatched model.
+  sim::Duration doorbell_coalesce_window = sim::Duration::Zero();
+};
+
+// One segment of a scatter-gather write: destination + payload.
+struct DmaWriteSegment {
+  VirtAddr addr;
+  std::vector<uint8_t> data;
+};
+
+// One segment of a scatter-gather read: source + length.
+struct DmaReadSegment {
+  VirtAddr addr;
+  uint64_t length = 0;
 };
 
 // Outcome of a synchronous small access: status plus the modeled cost the
@@ -77,6 +95,22 @@ class Fabric {
   void DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t length,
                DmaReadCallback done, sim::TraceContext ctx = {});
 
+  // --- scatter-gather DMA (the data-plane batching fast path) ---------------
+
+  using DmaReadvCallback = std::function<void(Result<std::vector<std::vector<uint8_t>>>)>;
+
+  // Writes every segment as ONE modeled transfer: per-segment translation
+  // (each segment pays its own walk costs on TLB misses), a single
+  // link-occupancy charge for the summed bytes, and one completion. A burst
+  // of N buffers costs one DMA transaction instead of N.
+  void DmaWritev(DeviceId initiator, Pasid pasid, std::vector<DmaWriteSegment> segments,
+                 DmaCallback done, sim::TraceContext ctx = {});
+
+  // Gathers every segment in one modeled transfer; the callback receives one
+  // buffer per requested segment, in order.
+  void DmaReadv(DeviceId initiator, Pasid pasid, std::vector<DmaReadSegment> segments,
+                DmaReadvCallback done, sim::TraceContext ctx = {});
+
   // --- small synchronous accesses (descriptors, ring indices) ---------------
 
   AccessResult MemWrite(DeviceId initiator, Pasid pasid, VirtAddr dst,
@@ -93,6 +127,8 @@ class Fabric {
 
   sim::StatsRegistry& stats() { return stats_; }
   mem::PhysicalMemory* memory() { return memory_; }
+  sim::Simulator* simulator() { return simulator_; }
+  const FabricConfig& config() const { return config_; }
 
   // Installs (or clears, with nullptr) the machine-wide fault injector;
   // consulted on every doorbell. Doorbells are edge-triggered interrupts with
@@ -125,6 +161,44 @@ class Fabric {
   std::unordered_map<DeviceId, Port> ports_;
   sim::StatsRegistry stats_;
   sim::FaultInjector* faults_ = nullptr;
+};
+
+// Device-side doorbell coalescing. With the fabric's coalesce window at zero
+// every Ring() passes straight through to RingDoorbell — same fault
+// injection, same stats, byte-identical schedules. With a window configured,
+// the first ring of a given (target, value) goes out immediately (so a lone
+// doorbell pays no extra latency) and identical rings within the window are
+// merged into one trailing doorbell at window close — a burst of N rings
+// costs at most 2 fabric doorbells. The trailing doorbell (like every
+// doorbell) still runs the PR-2 fault injector; receivers keep their poll
+// backstops.
+class DoorbellBatcher {
+ public:
+  DoorbellBatcher(Fabric* fabric, DeviceId from);
+  ~DoorbellBatcher();
+  DoorbellBatcher(const DoorbellBatcher&) = delete;
+  DoorbellBatcher& operator=(const DoorbellBatcher&) = delete;
+
+  // Rings `to` with `value`, coalescing per the fabric's window.
+  void Ring(DeviceId to, uint64_t value);
+
+  // Cancels every pending trailing doorbell (device reset: the receiver's
+  // poll backstop owns any work the lost edge would have signaled).
+  void CancelPending();
+
+  // Rings suppressed into a trailing doorbell so far.
+  uint64_t coalesced() const { return coalesced_; }
+
+ private:
+  struct Pending {
+    sim::EventId flush;
+    uint64_t merged = 0;
+  };
+
+  Fabric* fabric_;
+  DeviceId from_;
+  std::map<std::pair<DeviceId, uint64_t>, Pending> pending_;
+  uint64_t coalesced_ = 0;
 };
 
 }  // namespace lastcpu::fabric

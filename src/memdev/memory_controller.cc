@@ -50,6 +50,12 @@ void MemoryController::OnMessage(const proto::Message& message) {
     case proto::MessageType::kMemFreeRequest:
       HandleFree(message);
       return;
+    case proto::MessageType::kMemAllocBatchRequest:
+      HandleAllocBatch(message);
+      return;
+    case proto::MessageType::kMemFreeBatchRequest:
+      HandleFreeBatch(message);
+      return;
     case proto::MessageType::kGrantRequest:
       HandleGrant(message);
       return;
@@ -215,6 +221,177 @@ void MemoryController::HandleAlloc(const proto::Message& message) {
                   }
                   Reply(original, proto::MemAllocResponse{vaddr, bytes});
                 });
+}
+
+void MemoryController::HandleAllocBatch(const proto::Message& message) {
+  const auto& request = message.As<proto::MemAllocBatchRequest>();
+  if (request.bytes == 0 || request.count == 0) {
+    ReplyError(message, InvalidArgument("empty batch allocation"));
+    return;
+  }
+  if (!request.pasid.valid()) {
+    ReplyError(message, InvalidArgument("allocation without a PASID"));
+    return;
+  }
+  uint64_t pages = PagesForBytes(request.bytes);
+  uint64_t total_bytes = request.count * pages * kPageSize;
+  if (config_.max_bytes_per_pasid != 0 &&
+      AllocatedBytes(request.pasid) + total_bytes > config_.max_bytes_per_pasid) {
+    stats().GetCounter("quota_rejections").Increment();
+    ReplyError(message, ResourceExhausted("application memory quota exceeded"));
+    return;
+  }
+
+  // Place and back every region first; the whole lease activates — or rolls
+  // back — as one unit.
+  std::vector<uint64_t> vpages;
+  std::vector<proto::MapEntry> entries;
+  vpages.reserve(request.count);
+  auto rollback = [this, &vpages, pasid = request.pasid] {
+    for (uint64_t vpage : vpages) {
+      auto table_it = tables_.find(pasid);
+      if (table_it == tables_.end()) {
+        break;
+      }
+      auto it = table_it->second.find(vpage);
+      if (it != table_it->second.end()) {
+        ReleaseAllocation(pasid, it);
+      }
+    }
+  };
+  for (uint32_t i = 0; i < request.count; ++i) {
+    auto vpage = PlaceVirtual(request.pasid, pages, VirtAddr(0));
+    if (!vpage.ok()) {
+      rollback();
+      ReplyError(message, vpage.status());
+      return;
+    }
+    auto frame = allocator_.Allocate(pages);
+    if (!frame.ok()) {
+      stats().GetCounter("oom_rejections").Increment();
+      rollback();
+      ReplyError(message, frame.status());
+      return;
+    }
+    for (uint64_t p = 0; p < pages; ++p) {
+      memory_->ZeroFrame(*frame + p);
+    }
+    Allocation allocation;
+    allocation.vaddr = VirtAddr(*vpage << kPageShift);
+    allocation.pages = pages;
+    allocation.first_frame = *frame;
+    allocation.owner = message.src;
+    allocation.owner_access = request.access;
+    tables_[request.pasid].emplace(*vpage, allocation);
+    bytes_allocated_[request.pasid] += pages * kPageSize;
+    stats().GetCounter("allocations").Increment();
+    stats().GetCounter("pages_allocated").Increment(pages);
+    auto region_entries = EntriesFor(allocation, *vpage, pages, request.access);
+    entries.insert(entries.end(), region_entries.begin(), region_entries.end());
+    vpages.push_back(*vpage);
+  }
+  stats().GetCounter("batch_allocs").Increment();
+  stats().GetCounter("batch_allocd_regions").Increment(request.count);
+  TraceEvent("alloc-batch", "pasid=" + std::to_string(request.pasid.value()) +
+                                " regions=" + std::to_string(request.count) +
+                                " pages_each=" + std::to_string(pages));
+
+  // One combined MapDirective programs every region; reply only once the
+  // whole lease is live.
+  proto::Message original = message;
+  uint64_t region_bytes = pages * kPageSize;
+  SendDirective(message.src, request.pasid, std::move(entries), /*unmap=*/false,
+                [this, original, region_bytes, vpages = std::move(vpages),
+                 pasid = request.pasid](Result<void> mapped) {
+                  if (!mapped.ok()) {
+                    for (uint64_t vpage : vpages) {
+                      auto table_it = tables_.find(pasid);
+                      if (table_it == tables_.end()) {
+                        break;
+                      }
+                      auto it = table_it->second.find(vpage);
+                      if (it != table_it->second.end()) {
+                        ReleaseAllocation(pasid, it);
+                      }
+                    }
+                    ReplyError(original, mapped.status());
+                    return;
+                  }
+                  proto::MemAllocBatchResponse response;
+                  response.bytes = region_bytes;
+                  response.vaddrs.reserve(vpages.size());
+                  for (uint64_t vpage : vpages) {
+                    response.vaddrs.push_back(VirtAddr(vpage << kPageShift));
+                  }
+                  Reply(original, std::move(response));
+                });
+}
+
+void MemoryController::HandleFreeBatch(const proto::Message& message) {
+  const auto& request = message.As<proto::MemFreeBatchRequest>();
+  if (request.vaddrs.empty()) {
+    ReplyError(message, InvalidArgument("empty batch free"));
+    return;
+  }
+  auto table_it = tables_.find(request.pasid);
+  if (table_it == tables_.end()) {
+    ReplyError(message, NotFound("no allocations for PASID"));
+    return;
+  }
+  // Validate every region before touching any: the batch frees as one unit.
+  uint64_t pages = PagesForBytes(request.bytes);
+  std::map<DeviceId, std::vector<proto::MapEntry>> per_target;
+  for (const VirtAddr& vaddr : request.vaddrs) {
+    auto it = table_it->second.find(vaddr.page());
+    if (it == table_it->second.end() || it->second.pages != pages) {
+      ReplyError(message, NotFound("no matching allocation in batch"));
+      return;
+    }
+    if (it->second.owner != message.src) {
+      stats().GetCounter("authorization_failures").Increment();
+      ReplyError(message, PermissionDenied("only the owner may free an allocation"));
+      return;
+    }
+    const Allocation& allocation = it->second;
+    auto entries = EntriesFor(allocation, vaddr.page(), pages, Access::kRead);
+    auto& owner_entries = per_target[allocation.owner];
+    owner_entries.insert(owner_entries.end(), entries.begin(), entries.end());
+    for (const auto& [grantee, access] : allocation.grants) {
+      auto& grantee_entries = per_target[grantee];
+      grantee_entries.insert(grantee_entries.end(), entries.begin(), entries.end());
+    }
+  }
+
+  struct BatchFreeState {
+    int outstanding = 0;
+    proto::Message original;
+  };
+  auto state = std::make_shared<BatchFreeState>();
+  state->original = message;
+  auto finish = [this, state, pasid = request.pasid, vaddrs = request.vaddrs] {
+    if (--state->outstanding > 0) {
+      return;
+    }
+    for (const VirtAddr& vaddr : vaddrs) {
+      auto table = tables_.find(pasid);
+      if (table == tables_.end()) {
+        break;
+      }
+      auto alloc_it = table->second.find(vaddr.page());
+      if (alloc_it != table->second.end()) {
+        ReleaseAllocation(pasid, alloc_it);
+      }
+    }
+    Reply(state->original, proto::MemFreeBatchResponse{});
+  };
+
+  stats().GetCounter("batch_frees").Increment();
+  stats().GetCounter("batch_freed_regions").Increment(request.vaddrs.size());
+  state->outstanding = static_cast<int>(per_target.size());
+  for (auto& [target, entries] : per_target) {
+    SendDirective(target, request.pasid, std::move(entries), /*unmap=*/true,
+                  [finish](Result<void>) { finish(); });
+  }
 }
 
 void MemoryController::ReleaseAllocation(Pasid pasid, Table::iterator it) {

@@ -69,6 +69,8 @@ class MemoryController : public dev::Device {
 
   void HandleAlloc(const proto::Message& message);
   void HandleFree(const proto::Message& message);
+  void HandleAllocBatch(const proto::Message& message);
+  void HandleFreeBatch(const proto::Message& message);
   void HandleGrant(const proto::Message& message);
   void HandleRevoke(const proto::Message& message);
 

@@ -67,6 +67,34 @@ void PutMapEntries(ByteWriter& w, const std::vector<MapEntry>& entries) {
   }
 }
 
+void PutVirtAddrs(ByteWriter& w, const std::vector<VirtAddr>& vaddrs) {
+  w.PutU32(static_cast<uint32_t>(vaddrs.size()));
+  for (const VirtAddr& v : vaddrs) {
+    w.PutU64(v.raw);
+  }
+}
+
+Result<std::vector<VirtAddr>> GetVirtAddrs(ByteReader& r) {
+  auto n = r.GetU32();
+  if (!n.ok()) {
+    return n.status();
+  }
+  // 8 bytes per address; reject counts the buffer cannot possibly hold.
+  if (static_cast<size_t>(*n) * 8 > r.remaining()) {
+    return InvalidArgument("vaddr count exceeds buffer");
+  }
+  std::vector<VirtAddr> vaddrs;
+  vaddrs.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    auto raw = r.GetU64();
+    if (!raw.ok()) {
+      return raw.status();
+    }
+    vaddrs.push_back(VirtAddr(*raw));
+  }
+  return vaddrs;
+}
+
 Result<std::vector<MapEntry>> GetMapEntries(ByteReader& r) {
   auto n = r.GetU32();
   if (!n.ok()) {
@@ -227,6 +255,22 @@ struct PayloadEncoder {
     w.PutU32(p.device.value());
     w.PutString(p.reason);
   }
+  void operator()(const MemAllocBatchRequest& p) {
+    w.PutU32(p.pasid.value());
+    w.PutU64(p.bytes);
+    w.PutU32(p.count);
+    PutAccess(w, p.access);
+  }
+  void operator()(const MemAllocBatchResponse& p) {
+    PutVirtAddrs(w, p.vaddrs);
+    w.PutU64(p.bytes);
+  }
+  void operator()(const MemFreeBatchRequest& p) {
+    w.PutU32(p.pasid.value());
+    PutVirtAddrs(w, p.vaddrs);
+    w.PutU64(p.bytes);
+  }
+  void operator()(const MemFreeBatchResponse&) {}
 };
 
 // --- per-payload decoders --------------------------------------------------
@@ -504,6 +548,38 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
       p.reason = *std::move(reason);
       return Payload(std::move(p));
     }
+    case MessageType::kMemAllocBatchRequest: {
+      MemAllocBatchRequest p;
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.bytes = *bytes;
+      LASTCPU_READ(count, r.GetU32());
+      p.count = *count;
+      LASTCPU_READ(access, GetAccess(r));
+      p.access = *access;
+      return Payload(p);
+    }
+    case MessageType::kMemAllocBatchResponse: {
+      MemAllocBatchResponse p;
+      LASTCPU_READ(vaddrs, GetVirtAddrs(r));
+      p.vaddrs = *std::move(vaddrs);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.bytes = *bytes;
+      return Payload(std::move(p));
+    }
+    case MessageType::kMemFreeBatchRequest: {
+      MemFreeBatchRequest p;
+      LASTCPU_READ(pasid, r.GetU32());
+      p.pasid = Pasid(*pasid);
+      LASTCPU_READ(vaddrs, GetVirtAddrs(r));
+      p.vaddrs = *std::move(vaddrs);
+      LASTCPU_READ(bytes, r.GetU64());
+      p.bytes = *bytes;
+      return Payload(std::move(p));
+    }
+    case MessageType::kMemFreeBatchResponse:
+      return Payload(MemFreeBatchResponse{});
   }
   return InvalidArgument("unknown message type");
 }
@@ -638,7 +714,7 @@ Result<Message> DecodeMessage(std::span<const uint8_t> wire) {
   if (!type.ok()) {
     return type.status();
   }
-  if (*type > static_cast<uint16_t>(MessageType::kDevicePermanentlyFailed)) {
+  if (*type > static_cast<uint16_t>(MessageType::kMemFreeBatchResponse)) {
     return InvalidArgument("unknown message type");
   }
   auto src = r.GetU32();

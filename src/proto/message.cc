@@ -102,6 +102,14 @@ std::string_view MessageTypeName(MessageType type) {
       return "FileListResponse";
     case MessageType::kDevicePermanentlyFailed:
       return "DevicePermanentlyFailed";
+    case MessageType::kMemAllocBatchRequest:
+      return "MemAllocBatchRequest";
+    case MessageType::kMemAllocBatchResponse:
+      return "MemAllocBatchResponse";
+    case MessageType::kMemFreeBatchRequest:
+      return "MemFreeBatchRequest";
+    case MessageType::kMemFreeBatchResponse:
+      return "MemFreeBatchResponse";
   }
   return "Unknown";
 }

@@ -346,6 +346,42 @@ struct FileListResponse {
   friend bool operator==(const FileListResponse&, const FileListResponse&) = default;
 };
 
+// Device -> memory controller: lease `count` regions of `bytes` each in one
+// round trip (the grant-magazine refill path). Each region is placed and
+// mapped exactly as `count` individual MemAllocRequests would be, but the
+// controller issues a single combined MapDirective, so the whole batch costs
+// one request/response pair on the management ring instead of `count`.
+struct MemAllocBatchRequest {
+  Pasid pasid;
+  uint64_t bytes = 0;  // bytes per region, all regions equally sized
+  uint32_t count = 0;
+  Access access = Access::kReadWrite;
+
+  friend bool operator==(const MemAllocBatchRequest&, const MemAllocBatchRequest&) = default;
+};
+
+// Memory controller -> device: the leased regions, one vaddr per region.
+struct MemAllocBatchResponse {
+  std::vector<VirtAddr> vaddrs;
+  uint64_t bytes = 0;  // bytes per region
+
+  friend bool operator==(const MemAllocBatchResponse&, const MemAllocBatchResponse&) = default;
+};
+
+// Device -> memory controller: return several equally sized regions in one
+// round trip (the magazine drain path).
+struct MemFreeBatchRequest {
+  Pasid pasid;
+  std::vector<VirtAddr> vaddrs;
+  uint64_t bytes = 0;  // bytes per region
+
+  friend bool operator==(const MemFreeBatchRequest&, const MemFreeBatchRequest&) = default;
+};
+
+struct MemFreeBatchResponse {
+  friend bool operator==(const MemFreeBatchResponse&, const MemFreeBatchResponse&) = default;
+};
+
 using Payload =
     std::variant<AliveAnnounce, DiscoverRequest, DiscoverResponse, OpenRequest, OpenResponse,
                  CloseRequest, CloseResponse, MemAllocRequest, MemAllocResponse, MapDirective,
@@ -353,7 +389,9 @@ using Payload =
                  RevokeResponse, Notify, ResourceFailed, DeviceFailed, ResetSignal, TeardownApp,
                  LoadImage, LoadImageResponse, AuthRequest, AuthResponse, ErrorResponse,
                  MapConfirm, AttachQueue, AttachQueueResponse, Heartbeat, FileCreate, FileDelete,
-                 FileAdminResponse, FileList, FileListResponse, DevicePermanentlyFailed>;
+                 FileAdminResponse, FileList, FileListResponse, DevicePermanentlyFailed,
+                 MemAllocBatchRequest, MemAllocBatchResponse, MemFreeBatchRequest,
+                 MemFreeBatchResponse>;
 
 // Message kind; the numeric value doubles as the variant index of Payload and
 // the on-wire type tag, so keep both in sync.
@@ -394,6 +432,10 @@ enum class MessageType : uint16_t {
   kFileList = 33,
   kFileListResponse = 34,
   kDevicePermanentlyFailed = 35,
+  kMemAllocBatchRequest = 36,
+  kMemAllocBatchResponse = 37,
+  kMemFreeBatchRequest = 38,
+  kMemFreeBatchResponse = 39,
 };
 
 std::string_view MessageTypeName(MessageType type);

@@ -9,6 +9,9 @@ namespace lastcpu::ssddev {
 FileClient::FileClient(dev::Device* host, Pasid pasid, FileClientConfig config)
     : host_(host), pasid_(pasid), config_(config) {
   LASTCPU_CHECK(host != nullptr, "file client needs a host device");
+  if (host_->fabric() != nullptr) {
+    bells_ = std::make_unique<fabric::DoorbellBatcher>(host_->fabric(), host_->id());
+  }
   // The RPC layer aborts control transactions to a failed peer on its own;
   // this hook extends the same guarantee to the virtqueue data plane.
   peer_failed_hook_ = host_->AddPeerFailedHook([this](DeviceId device) {
@@ -162,6 +165,26 @@ void FileClient::Issue(FileRequestHeader header, std::vector<uint8_t> payload, P
   VirtAddr response_slot = layout_->ResponseSlot(slot);
   uint32_t request_len = static_cast<uint32_t>(wire.size());
 
+  if (config_.submit_batch_window > sim::Duration::Zero()) {
+    // Fast path: stage the request (the slot is already claimed, so the
+    // backpressure contract is unchanged) and flush the whole batch in one
+    // scatter-gather DMA + one doorbell at window close.
+    Staged staged;
+    staged.slot = slot;
+    staged.wire = std::move(wire);
+    staged.request_slot = request_slot;
+    staged.response_slot = response_slot;
+    staged.request_len = request_len;
+    staged.pending = std::move(pending);
+    staged_.push_back(std::move(staged));
+    if (!flush_scheduled_) {
+      flush_scheduled_ = true;
+      flush_event_ =
+          host_->simulator()->Schedule(config_.submit_batch_window, [this] { FlushBatch(); });
+    }
+    return;
+  }
+
   host_->fabric()->DmaWrite(
       host_->id(), pasid_, request_slot, std::move(wire),
       [this, slot, request_slot, response_slot, request_len,
@@ -187,7 +210,65 @@ void FileClient::Issue(FileRequestHeader header, std::vector<uint8_t> payload, P
         }
         in_flight_.emplace(*head, std::move(pending));
         host_->stats().GetCounter("file_client_requests").Increment();
-        host_->fabric()->RingDoorbell(host_->id(), provider_, instance_.value());
+        bells_->Ring(provider_, instance_.value());
+      });
+}
+
+void FileClient::FlushBatch() {
+  flush_scheduled_ = false;
+  std::vector<Staged> batch = std::move(staged_);
+  staged_.clear();
+  if (batch.empty()) {
+    return;
+  }
+  if (queue_ == nullptr) {
+    // The session was reset while requests were staged; the slot pool was
+    // rebuilt, so do not return the slots.
+    for (auto& staged : batch) {
+      Fail(staged.pending, Aborted("session reset during submit"));
+    }
+    return;
+  }
+  std::vector<fabric::DmaWriteSegment> segments;
+  segments.reserve(batch.size());
+  for (auto& staged : batch) {
+    segments.push_back(fabric::DmaWriteSegment{staged.request_slot, std::move(staged.wire)});
+  }
+  host_->stats().GetCounter("file_client_batch_flushes").Increment();
+  host_->fabric()->DmaWritev(
+      host_->id(), pasid_, std::move(segments),
+      [this, batch = std::move(batch)](Status wrote) mutable {
+        if (queue_ == nullptr) {
+          for (auto& staged : batch) {
+            Fail(staged.pending, Aborted("session reset during submit"));
+          }
+          return;
+        }
+        if (!wrote.ok()) {
+          for (auto& staged : batch) {
+            ReleaseSlot(staged.slot);
+            Fail(staged.pending, wrote);
+          }
+          return;
+        }
+        bool submitted = false;
+        for (auto& staged : batch) {
+          auto head = queue_->Submit(
+              {virtio::BufferDesc{staged.request_slot, staged.request_len, false},
+               virtio::BufferDesc{staged.response_slot, static_cast<uint32_t>(kResponseSlotBytes),
+                                  true}});
+          if (!head.ok()) {
+            ReleaseSlot(staged.slot);
+            Fail(staged.pending, head.status());
+            continue;
+          }
+          in_flight_.emplace(*head, std::move(staged.pending));
+          host_->stats().GetCounter("file_client_requests").Increment();
+          submitted = true;
+        }
+        if (submitted) {
+          bells_->Ring(provider_, instance_.value());
+        }
       });
 }
 
@@ -231,6 +312,10 @@ void FileClient::Stat(StatCallback done) {
   pending.op = FileOp::kStat;
   pending.on_stat = std::move(done);
   Issue(FileRequestHeader{FileOp::kStat, 0, 0}, {}, std::move(pending));
+}
+
+uint64_t FileClient::doorbells_coalesced() const {
+  return bells_ != nullptr ? bells_->coalesced() : 0;
 }
 
 bool FileClient::HandleDoorbell(DeviceId from, uint64_t value) {
@@ -337,6 +422,16 @@ void FileClient::Fail(Pending& pending, Status status) {
 }
 
 void FileClient::AbortAll(Status reason) {
+  if (flush_scheduled_) {
+    host_->simulator()->Cancel(flush_event_);
+    flush_scheduled_ = false;
+  }
+  auto staged = std::move(staged_);
+  staged_.clear();
+  for (auto& s : staged) {
+    free_slots_.push_back(s.slot);
+    Fail(s.pending, reason);
+  }
   auto doomed = std::move(in_flight_);
   in_flight_.clear();
   for (auto& [head, pending] : doomed) {
@@ -348,6 +443,9 @@ void FileClient::AbortAll(Status reason) {
 void FileClient::Reset(Status reason) {
   AbortAll(std::move(reason));
   ++poll_generation_;  // stop the completion-poll daemon
+  if (bells_ != nullptr) {
+    bells_->CancelPending();
+  }
   queue_.reset();
   layout_.reset();
   free_slots_.clear();

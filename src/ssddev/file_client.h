@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/dev/device.h"
+#include "src/fabric/fabric.h"
 #include "src/ssddev/file_protocol.h"
 #include "src/virtio/virtqueue.h"
 
@@ -32,6 +33,15 @@ struct FileClientConfig {
   // disables polling — on a healthy interconnect the doorbell always
   // arrives, and a disabled poll cannot perturb timing.
   sim::Duration completion_poll = sim::Duration::Zero();
+  // Submission-batching window (the data-plane fast path). Zero (the
+  // default) keeps the one-DMA-one-doorbell-per-request path, byte-identical
+  // to the unbatched model. With a window, requests issued within it are
+  // staged (each still claims its slot immediately, preserving the
+  // ResourceExhausted backpressure contract), then flushed as ONE
+  // scatter-gather DmaWritev of every staged request slot followed by ONE
+  // doorbell — a burst of N requests costs 1 DMA transaction and 1 doorbell
+  // instead of N of each.
+  sim::Duration submit_batch_window = sim::Duration::Zero();
 };
 
 class FileClient {
@@ -90,6 +100,9 @@ class FileClient {
   // old session memory is reclaimed at app teardown.
   void Reset(Status reason);
 
+  // Rings coalesced into a trailing doorbell by this client's batcher.
+  uint64_t doorbells_coalesced() const;
+
  private:
   struct Pending {
     uint16_t slot = 0;
@@ -100,8 +113,20 @@ class FileClient {
     StatCallback on_stat;
   };
 
+  // One request staged for the next batch flush (submit_batch_window > 0).
+  struct Staged {
+    uint16_t slot = 0;
+    std::vector<uint8_t> wire;
+    VirtAddr request_slot;
+    VirtAddr response_slot;
+    uint32_t request_len = 0;
+    Pending pending;
+  };
+
   // Issues one request: writes the slot, submits the chain, rings the bell.
   void Issue(FileRequestHeader header, std::vector<uint8_t> payload, Pending pending);
+  // Flushes every staged request as one DmaWritev + one doorbell.
+  void FlushBatch();
   // Arms the completion-poll backstop daemon for the current session.
   void StartCompletionPoll();
   void SchedulePoll(uint64_t generation);
@@ -125,6 +150,10 @@ class FileClient {
   std::unique_ptr<virtio::VirtqueueDriver> queue_;
   std::vector<uint16_t> free_slots_;
   std::map<uint16_t, Pending> in_flight_;  // keyed by chain head
+  std::vector<Staged> staged_;             // awaiting the next batch flush
+  bool flush_scheduled_ = false;
+  sim::EventId flush_event_;
+  std::unique_ptr<fabric::DoorbellBatcher> bells_;
   std::function<void()> on_slot_available_;
   uint64_t peer_failed_hook_ = 0;
   uint64_t permanent_failed_hook_ = 0;

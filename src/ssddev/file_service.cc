@@ -15,6 +15,9 @@ FileService::FileService(dev::Device* host, FlashFs* fs, auth::AuthService* auth
       auth_(auth),
       config_(config) {
   LASTCPU_CHECK(host != nullptr && fs != nullptr, "file service needs host and filesystem");
+  if (host_->fabric() != nullptr) {
+    bells_ = std::make_unique<fabric::DoorbellBatcher>(host_->fabric(), host_->id());
+  }
 }
 
 bool FileService::Matches(const proto::DiscoverRequest& query) const {
@@ -310,6 +313,19 @@ void FileService::CompleteChain(InstanceId instance, uint16_t head,
   uint32_t written = static_cast<uint32_t>(wire.size());
   DeviceId client = session->client;
   Pasid pasid = session->pasid;
+
+  if (config_.completion_batch_window > sim::Duration::Zero()) {
+    // Fast path: stage the response; the window flush writes every staged
+    // response in one scatter-gather DMA and rings the client once.
+    session->staged.push_back(StagedCompletion{head, std::move(wire), response_slot});
+    if (!session->completion_flush_scheduled) {
+      session->completion_flush_scheduled = true;
+      host_->simulator()->Schedule(config_.completion_batch_window,
+                                   [this, instance] { FlushCompletions(instance); });
+    }
+    return;
+  }
+
   host_->fabric()->DmaWrite(
       host_->id(), pasid, response_slot, std::move(wire),
       [this, instance, head, written, client](Status s) {
@@ -323,9 +339,54 @@ void FileService::CompleteChain(InstanceId instance, uint16_t head,
         }
         Status pushed = live->queue->PushUsed(head, written);
         if (pushed.ok()) {
-          host_->fabric()->RingDoorbell(host_->id(), client, instance.value());
+          bells_->Ring(client, instance.value());
         }
         // Serve the next pending request, if any.
+        ScheduleDrain(instance);
+      });
+}
+
+void FileService::FlushCompletions(InstanceId instance) {
+  Session* session = FindSession(instance);
+  if (session == nullptr) {
+    return;  // session closed mid-window; its staged responses died with it
+  }
+  session->completion_flush_scheduled = false;
+  std::vector<StagedCompletion> batch = std::move(session->staged);
+  session->staged.clear();
+  if (batch.empty() || session->queue == nullptr) {
+    return;
+  }
+  std::vector<fabric::DmaWriteSegment> segments;
+  std::vector<std::pair<uint16_t, uint32_t>> pushes;  // head, bytes written
+  segments.reserve(batch.size());
+  pushes.reserve(batch.size());
+  for (auto& staged : batch) {
+    pushes.emplace_back(staged.head, static_cast<uint32_t>(staged.wire.size()));
+    segments.push_back(fabric::DmaWriteSegment{staged.response_slot, std::move(staged.wire)});
+  }
+  host_->stats().GetCounter("file_service_batch_flushes").Increment();
+  DeviceId client = session->client;
+  host_->fabric()->DmaWritev(
+      host_->id(), session->pasid, std::move(segments),
+      [this, instance, client, pushes = std::move(pushes)](Status s) {
+        Session* live = FindSession(instance);
+        if (live == nullptr || live->queue == nullptr) {
+          return;
+        }
+        (void)s;  // a failed response write surfaces as a client-side timeout
+        bool any_pushed = false;
+        for (const auto& [head, written] : pushes) {
+          if (live->in_flight > 0) {
+            --live->in_flight;
+          }
+          if (live->queue->PushUsed(head, written).ok()) {
+            any_pushed = true;
+          }
+        }
+        if (any_pushed) {
+          bells_->Ring(client, instance.value());
+        }
         ScheduleDrain(instance);
       });
 }

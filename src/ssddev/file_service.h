@@ -12,9 +12,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/auth/auth_service.h"
 #include "src/dev/device.h"
+#include "src/fabric/fabric.h"
 #include "src/dev/service.h"
 #include "src/ssddev/file_protocol.h"
 #include "src/ssddev/flash_fs.h"
@@ -29,6 +31,12 @@ struct FileServiceConfig {
   // Concurrent chains the firmware keeps in flight per session (commands
   // outstanding against the FTL; exploits NAND die parallelism).
   uint32_t max_in_flight = 32;
+  // Completion-batching window (the data-plane fast path). Zero (the
+  // default) writes each response and rings the client as it completes,
+  // byte-identical to the unbatched model. With a window, completions inside
+  // it are staged and flushed as ONE scatter-gather DmaWritev of every
+  // response slot plus ONE doorbell per session.
+  sim::Duration completion_batch_window = sim::Duration::Zero();
 };
 
 class FileService : public dev::Service {
@@ -63,6 +71,13 @@ class FileService : public dev::Service {
   void OnInstanceClosed(const dev::ServiceInstance& instance) override;
 
  private:
+  // One response staged for the next completion-batch flush.
+  struct StagedCompletion {
+    uint16_t head = 0;
+    std::vector<uint8_t> wire;
+    VirtAddr response_slot;
+  };
+
   struct Session {
     std::string file;
     std::string user;
@@ -72,6 +87,8 @@ class FileService : public dev::Service {
     std::unique_ptr<virtio::VirtqueueDevice> queue;
     uint32_t in_flight = 0;
     bool drain_scheduled = false;
+    std::vector<StagedCompletion> staged;
+    bool completion_flush_scheduled = false;
   };
 
   // Re-arms the drain loop for a session unless one is already pending.
@@ -83,6 +100,9 @@ class FileService : public dev::Service {
   void ServeChain(InstanceId instance, virtio::Chain chain);
   void CompleteChain(InstanceId instance, uint16_t head, const FileResponseHeader& header,
                      std::vector<uint8_t> payload, VirtAddr response_slot);
+  // Flushes every staged completion of a session: one DmaWritev, then each
+  // used-ring push, then one doorbell.
+  void FlushCompletions(InstanceId instance);
 
   Session* FindSession(InstanceId instance);
 
@@ -91,6 +111,7 @@ class FileService : public dev::Service {
   auth::AuthService* auth_;
   FileServiceConfig config_;
   std::map<InstanceId, Session> sessions_;
+  std::unique_ptr<fabric::DoorbellBatcher> bells_;
   uint64_t requests_served_ = 0;
 };
 

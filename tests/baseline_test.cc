@@ -206,5 +206,49 @@ TEST(ControlClientTest, BothDesignsImplementTheSamePolicy) {
   EXPECT_EQ(knic.mapped_pages(Pasid(7)), 0u);
 }
 
+TEST_F(KernelTest, BatchedSyscallsLeaseAndSettle) {
+  auto leased = client_.AllocBatchSync(Pasid(7), 2 * kPageSize, 8);
+  ASSERT_TRUE(leased.ok()) << leased.status().ToString();
+  ASSERT_EQ(leased->size(), 8u);
+  EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 16u);
+  EXPECT_EQ(kernel_.AllocatedBytes(Pasid(7)), 16 * kPageSize);
+
+  ASSERT_TRUE(client_.FreeBatchSync(Pasid(7), *leased, 2 * kPageSize).ok());
+  EXPECT_EQ(nic_iommu_.mapped_pages(Pasid(7)), 0u);
+  EXPECT_EQ(kernel_.AllocatedBytes(Pasid(7)), 0u);
+  EXPECT_EQ(kernel_.stats().GetCounter("batch_allocs").value(), 1u);
+  EXPECT_EQ(kernel_.stats().GetCounter("batch_frees").value(), 1u);
+}
+
+TEST_F(KernelTest, BatchPaysOneInterruptNotN) {
+  // N singles: N interrupts + N syscall entries. One batch of N: one of each,
+  // with the same per-allocation service work. The batch must be cheaper.
+  sim::SimTime start = simulator_.Now();
+  std::vector<VirtAddr> singles;
+  for (int i = 0; i < 8; ++i) {
+    auto vaddr = AllocSync(Pasid(7), kPageSize);
+    ASSERT_TRUE(vaddr.ok());
+    singles.push_back(*vaddr);
+  }
+  sim::Duration singles_cost = simulator_.Now() - start;
+
+  start = simulator_.Now();
+  auto leased = client_.AllocBatchSync(Pasid(8), kPageSize, 8);
+  ASSERT_TRUE(leased.ok());
+  sim::Duration batch_cost = simulator_.Now() - start;
+  EXPECT_LT(batch_cost.nanos(), singles_cost.nanos());
+}
+
+TEST_F(KernelTest, BatchFreeValidatesAsOneUnit) {
+  auto leased = client_.AllocBatchSync(Pasid(7), kPageSize, 2);
+  ASSERT_TRUE(leased.ok());
+  // One bad vaddr poisons the whole batch: nothing is freed.
+  std::vector<VirtAddr> mixed = *leased;
+  mixed.push_back(VirtAddr(0xdead << kPageShift));
+  auto freed = client_.FreeBatchSync(Pasid(7), mixed, kPageSize);
+  EXPECT_FALSE(freed.ok());
+  EXPECT_EQ(kernel_.AllocatedBytes(Pasid(7)), 2 * kPageSize);
+}
+
 }  // namespace
 }  // namespace lastcpu::baseline

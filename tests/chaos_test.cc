@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/control_plane.h"
 #include "src/core/crash_injector.h"
 #include "src/core/machine.h"
 #include "src/kvs/kvs_app.h"
@@ -36,12 +37,25 @@ using Respawn = sim::CrashSpec::Respawn;
 constexpr uint32_t kMemctrlId = 1;
 constexpr uint32_t kSsdId = 2;
 constexpr uint32_t kNicId = 3;
+// The extra device of the magazine-holder schedule (added only there).
+constexpr uint32_t kStubId = 4;
+
+// A bare self-managing device that exists to hold a grant magazine.
+class MagazineStub : public dev::Device {
+ public:
+  MagazineStub(DeviceId id, const dev::DeviceContext& context)
+      : dev::Device(id, "magstub", context) {}
+};
 
 struct Schedule {
   const char* name;
   sim::CrashPlan plan;
   bus::RestartPolicy policy;  // defaults unless a schedule overrides
   bool expect_ssd_quarantine = false;
+  // Adds a 4th device that stocks a full grant magazine before the crash
+  // schedule kills it for good: its leased regions are ordinary owned
+  // allocations, so quarantine reclaim must leave nothing stranded.
+  bool magazine_holder = false;
 };
 
 sim::CrashSpec TimeKill(uint32_t device, uint64_t at_us, Respawn respawn = Respawn::kClean,
@@ -141,6 +155,16 @@ std::vector<Schedule> Schedules() {
     s.expect_ssd_quarantine = true;
     all.push_back(s);
   }
+  {
+    // A device dies for good while holding a fully stocked grant magazine.
+    // The magazine's regions are leases (owned allocations in the memory
+    // controller's table), so the quarantine reclaim path must free every
+    // one of them — zero stranded grants, zero stranded allocations.
+    Schedule s{.name = "magazine-holder-never-returns"};
+    s.plan.crashes = {TimeKill(kStubId, 600, Respawn::kNever)};
+    s.magazine_holder = true;
+    all.push_back(s);
+  }
   return all;
 }
 
@@ -156,12 +180,27 @@ struct RunOutcome {
   uint64_t stranded_allocs = 0;
   uint64_t stranded_grants = 0;
   uint64_t recovery_abandoned = 0;
+  bool stub_quarantined = false;
+  uint64_t stub_stranded_allocs = 0;
+  uint64_t stub_stranded_grants = 0;
 };
 
-RunOutcome RunSchedule(const Schedule& sched) {
+// When true, every schedule runs with the batching fast paths on: grant
+// magazine sizing aside, the data-plane windows and doorbell coalescing must
+// not change any lifecycle outcome (only timings).
+RunOutcome RunSchedule(const Schedule& sched, bool batched) {
+  const sim::Duration window = sim::Duration::Micros(2);
   core::MachineConfig config;
   config.bus.restart_policy = sched.policy;
   config.crash_plan = sched.plan;
+  kvs::KvsAppConfig app_config;
+  if (batched) {
+    config.fabric.doorbell_coalesce_window = window;
+    config.fast_path.submit_batch_window = window;
+    config.fast_path.completion_batch_window = window;
+    config.fast_path.magazine.enabled = true;
+    app_config.engine.file_client.submit_batch_window = window;
+  }
   core::Machine machine(config);
   auto& memctrl = machine.AddMemoryController();
   ssddev::SmartSsdConfig ssd_config;
@@ -171,6 +210,11 @@ RunOutcome RunSchedule(const Schedule& sched) {
   EXPECT_EQ(memctrl.id().value(), kMemctrlId);
   EXPECT_EQ(ssd.id().value(), kSsdId);
   EXPECT_EQ(nic.id().value(), kNicId);
+  MagazineStub* stub = nullptr;
+  if (sched.magazine_holder) {
+    stub = &machine.Emplace<MagazineStub>();
+    EXPECT_EQ(stub->id().value(), kStubId);
+  }
   ssd.ProvisionFile("kv.log", {});
   Pasid pasid = machine.NewApplication("kvs");
   auto app_owner = std::make_unique<kvs::KvsApp>(&nic, pasid);
@@ -185,6 +229,27 @@ RunOutcome RunSchedule(const Schedule& sched) {
   });
 
   machine.Boot();
+
+  // Stock the stub's magazine before the schedule kills it: one Alloc misses
+  // and pulls a full refill batch; freeing the region recycles it locally, so
+  // the magazine ends holding `refill_batch` leased regions.
+  std::unique_ptr<core::BusControlClient> stub_inner;
+  std::unique_ptr<core::MagazineClient> stub_magazine;
+  if (stub != nullptr) {
+    Pasid stub_pasid = machine.NewApplication("magstub");
+    stub_inner = std::make_unique<core::BusControlClient>(stub, memctrl.id());
+    core::MagazineConfig magazine;
+    magazine.enabled = true;
+    stub_magazine = std::make_unique<core::MagazineClient>(stub_inner.get(), magazine, stub,
+                                                           memctrl.id());
+    Result<VirtAddr> lease = stub_magazine->AllocSync(stub_pasid, 4 * kPageSize);
+    EXPECT_TRUE(lease.ok()) << lease.status().ToString();
+    if (lease.ok()) {
+      EXPECT_TRUE(stub_magazine->FreeSync(stub_pasid, *lease, 4 * kPageSize).ok());
+    }
+    EXPECT_GT(stub_magazine->cached_regions(), 0u);
+    EXPECT_GT(memctrl.AllocationsOwnedBy(stub->id()), 0u);
+  }
 
   // Deterministic workload: one Put every 50us, spanning every crash in the
   // schedules above (quarantine completes by ~2.5ms; puts run to 4ms, so
@@ -218,6 +283,11 @@ RunOutcome RunSchedule(const Schedule& sched) {
   out.stranded_allocs = memctrl.AllocationsOwnedBy(ssd.id());
   out.stranded_grants = memctrl.GrantsHeldBy(ssd.id());
   out.recovery_abandoned = nic.stats().GetCounter("kvs_recovery_abandoned").value();
+  if (stub != nullptr) {
+    out.stub_quarantined = machine.bus().supervisor().IsQuarantined(stub->id());
+    out.stub_stranded_allocs = memctrl.AllocationsOwnedBy(stub->id());
+    out.stub_stranded_grants = memctrl.GrantsHeldBy(stub->id());
+  }
   out.events = machine.simulator().events_executed();
   std::ostringstream metrics;
   machine.MetricsJson(metrics);
@@ -241,14 +311,19 @@ RunOutcome RunSchedule(const Schedule& sched) {
   return out;
 }
 
+// Param encodes (schedule, batched): the full suite runs once with every
+// fast path off and once with batching enabled — the supervised-lifecycle
+// guarantees must hold identically in both machines.
 class ChaosSoak : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(ChaosSoak, SurvivesCrashScheduleDeterministically) {
-  const Schedule sched = Schedules()[GetParam()];
-  SCOPED_TRACE(sched.name);
+  const std::vector<Schedule> schedules = Schedules();
+  const Schedule sched = schedules[GetParam() % schedules.size()];
+  const bool batched = GetParam() >= schedules.size();
+  SCOPED_TRACE(std::string(sched.name) + (batched ? " [batched]" : ""));
 
-  RunOutcome first = RunSchedule(sched);
-  RunOutcome second = RunSchedule(sched);
+  RunOutcome first = RunSchedule(sched, batched);
+  RunOutcome second = RunSchedule(sched, batched);
 
   // No Put may hang: a callback that never fires is a spinning retry loop or
   // a dropped completion.
@@ -278,9 +353,19 @@ TEST_P(ChaosSoak, SurvivesCrashScheduleDeterministically) {
     // up after the bounded retry budget.
     EXPECT_TRUE(first.engine_running || first.recovery_abandoned > 0) << sched.name;
   }
+
+  if (sched.magazine_holder) {
+    // The magazine holder never returns: quarantined, and every leased
+    // region it stockpiled reclaimed — nothing stranded in the controller.
+    EXPECT_TRUE(first.stub_quarantined);
+    EXPECT_EQ(first.stub_stranded_allocs, 0u);
+    EXPECT_EQ(first.stub_stranded_grants, 0u);
+    EXPECT_EQ(second.stub_stranded_allocs, 0u);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Schedules, ChaosSoak, ::testing::Range<size_t>(0, 10));
+// 11 schedules x {unbatched, batched}.
+INSTANTIATE_TEST_SUITE_P(Schedules, ChaosSoak, ::testing::Range<size_t>(0, 22));
 
 }  // namespace
 }  // namespace lastcpu

@@ -427,5 +427,182 @@ TEST(MultiProviderTest, FailureOfOneProviderLeavesTheOtherServing) {
   EXPECT_TRUE(put->ok());
 }
 
+// --- Batched control plane: AllocBatch/FreeBatch and the grant magazine ---
+
+struct MagazineRig {
+  MagazineRig() : requester(machine.NextDeviceId(), "req", machine.Context()) {
+    memctrl = &machine.AddMemoryController();
+    requester.PowerOn();
+    machine.Boot();
+    app = machine.NewApplication("mag-app");
+    inner = std::make_unique<BusControlClient>(&requester, memctrl->id());
+  }
+
+  MagazineClient MakeMagazine(MagazineConfig config) {
+    return MagazineClient(inner.get(), config, &requester, memctrl->id());
+  }
+
+  uint64_t BusMessages() {
+    return machine.bus().stats().GetCounter("messages_delivered").value();
+  }
+
+  Machine machine;
+  memdev::MemoryController* memctrl = nullptr;
+  TestDevice requester;
+  Pasid app;
+  std::unique_ptr<BusControlClient> inner;
+};
+
+TEST(ControlBatchTest, AllocBatchLeasesDistinctRegions) {
+  MagazineRig rig;
+  auto leased = rig.inner->AllocBatchSync(rig.app, 4 * kPageSize, 8);
+  ASSERT_TRUE(leased.ok()) << leased.status().ToString();
+  ASSERT_EQ(leased->size(), 8u);
+  std::set<VirtAddr> distinct(leased->begin(), leased->end());
+  EXPECT_EQ(distinct.size(), 8u);
+  EXPECT_EQ(rig.memctrl->allocation_count(), 8u);
+  EXPECT_EQ(rig.memctrl->AllocationsOwnedBy(rig.requester.id()), 8u);
+
+  auto freed = rig.inner->FreeBatchSync(rig.app, *leased, 4 * kPageSize);
+  ASSERT_TRUE(freed.ok()) << freed.status().ToString();
+  EXPECT_EQ(rig.memctrl->allocation_count(), 0u);
+}
+
+TEST(ControlBatchTest, BatchCostsOneRoundTripNotN) {
+  MagazineRig rig;
+  uint64_t before = rig.BusMessages();
+  ASSERT_TRUE(rig.inner->AllocBatchSync(rig.app, 4 * kPageSize, 16).ok());
+  uint64_t batch_msgs = rig.BusMessages() - before;
+
+  before = rig.BusMessages();
+  std::vector<VirtAddr> singles;
+  for (int i = 0; i < 16; ++i) {
+    auto vaddr = rig.inner->AllocSync(rig.app, 4 * kPageSize);
+    ASSERT_TRUE(vaddr.ok());
+    singles.push_back(*vaddr);
+  }
+  uint64_t single_msgs = rig.BusMessages() - before;
+  // One request/directive/confirm/response chain versus sixteen.
+  EXPECT_LT(batch_msgs * 4, single_msgs);
+}
+
+TEST(ControlBatchTest, EmptyBatchesAreRejected) {
+  MagazineRig rig;
+  auto leased = rig.inner->AllocBatchSync(rig.app, 4 * kPageSize, 0);
+  EXPECT_FALSE(leased.ok());
+  EXPECT_EQ(leased.status().code(), StatusCode::kInvalidArgument);
+  auto freed = rig.inner->FreeBatchSync(rig.app, {}, 4 * kPageSize);
+  EXPECT_FALSE(freed.ok());
+  EXPECT_EQ(freed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ControlBatchTest, FreeBatchRejectsForeignRegions) {
+  MagazineRig rig;
+  TestDevice other(rig.machine.NextDeviceId(), "other", rig.machine.Context());
+  other.PowerOn();
+  rig.machine.RunUntilIdle();
+  auto leased = rig.inner->AllocBatchSync(rig.app, 4 * kPageSize, 2);
+  ASSERT_TRUE(leased.ok());
+
+  BusControlClient thief(&other, rig.memctrl->id());
+  auto freed = thief.FreeBatchSync(rig.app, *leased, 4 * kPageSize);
+  EXPECT_FALSE(freed.ok());
+  EXPECT_EQ(freed.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(rig.memctrl->allocation_count(), 2u);  // nothing was torn down
+}
+
+TEST(MagazineTest, DisabledConfigPassesStraightThrough) {
+  MagazineRig rig;
+  MagazineClient magazine = rig.MakeMagazine(MagazineConfig{});  // enabled=false
+  auto vaddr = magazine.AllocSync(rig.app, 4 * kPageSize);
+  ASSERT_TRUE(vaddr.ok());
+  ASSERT_TRUE(magazine.FreeSync(rig.app, *vaddr, 4 * kPageSize).ok());
+  EXPECT_EQ(magazine.hits(), 0u);
+  EXPECT_EQ(magazine.refills(), 0u);
+  EXPECT_EQ(magazine.cached_regions(), 0u);
+  EXPECT_EQ(rig.memctrl->allocation_count(), 0u);
+}
+
+TEST(MagazineTest, FirstMissRefillsThenHitsLocally) {
+  MagazineRig rig;
+  MagazineConfig config;
+  config.enabled = true;
+  config.refill_batch = 8;
+  config.low_watermark = 0;  // no background refill: isolate the hit path
+  MagazineClient magazine = rig.MakeMagazine(config);
+
+  auto first = magazine.AllocSync(rig.app, 4 * kPageSize);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(magazine.misses(), 1u);
+  EXPECT_EQ(magazine.refills(), 1u);
+  EXPECT_EQ(magazine.cached_regions(), 7u);  // batch of 8 minus the waiter
+
+  uint64_t before = rig.BusMessages();
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(magazine.AllocSync(rig.app, 4 * kPageSize).ok());
+  }
+  EXPECT_EQ(magazine.hits(), 7u);
+  EXPECT_EQ(rig.BusMessages(), before);  // local hits: zero bus traffic
+}
+
+TEST(MagazineTest, FreeRecyclesTheRegionStillMapped) {
+  MagazineRig rig;
+  MagazineConfig config;
+  config.enabled = true;
+  config.refill_batch = 4;
+  config.low_watermark = 1;
+  MagazineClient magazine = rig.MakeMagazine(config);
+
+  auto vaddr = magazine.AllocSync(rig.app, 4 * kPageSize);
+  ASSERT_TRUE(vaddr.ok());
+  ASSERT_TRUE(magazine.FreeSync(rig.app, *vaddr, 4 * kPageSize).ok());
+  uint64_t before = rig.BusMessages();
+  auto again = magazine.AllocSync(rig.app, 4 * kPageSize);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *vaddr);               // the exact region came back
+  EXPECT_EQ(rig.BusMessages(), before);    // without touching the bus
+}
+
+TEST(MagazineTest, DrainsBackToCapacityAboveHighWatermark) {
+  MagazineRig rig;
+  MagazineConfig config;
+  config.enabled = true;
+  config.refill_batch = 2;
+  config.capacity = 2;
+  config.low_watermark = 1;
+  config.high_watermark = 4;
+  MagazineClient magazine = rig.MakeMagazine(config);
+
+  // Lease regions out-of-band, then free them all through the magazine: the
+  // stock climbs past the high watermark and a FreeBatch drain trims it.
+  auto leased = rig.inner->AllocBatchSync(rig.app, 4 * kPageSize, 6);
+  ASSERT_TRUE(leased.ok());
+  for (VirtAddr vaddr : *leased) {
+    ASSERT_TRUE(magazine.FreeSync(rig.app, vaddr, 4 * kPageSize).ok());
+  }
+  rig.machine.RunUntilIdle();  // let the in-flight FreeBatch drain settle
+  EXPECT_GE(magazine.drains(), 1u);
+  EXPECT_LE(magazine.cached_regions(), config.high_watermark);
+  EXPECT_EQ(rig.memctrl->allocation_count(), magazine.cached_regions());
+}
+
+TEST(MagazineTest, FlushSettlesTheWholeLease) {
+  MagazineRig rig;
+  MagazineConfig config;
+  config.enabled = true;
+  config.refill_batch = 8;
+  MagazineClient magazine = rig.MakeMagazine(config);
+  ASSERT_TRUE(magazine.AllocSync(rig.app, 4 * kPageSize).ok());
+  ASSERT_TRUE(magazine.AllocSync(rig.app, 2 * kPageSize).ok());  // second size class
+  EXPECT_GT(magazine.cached_regions(), 0u);
+  EXPECT_GT(rig.memctrl->allocation_count(), 0u);
+
+  // Flush returns the stock; the two regions still held by the caller keep
+  // their leases until freed.
+  ASSERT_TRUE(magazine.FlushSync().ok());
+  EXPECT_EQ(magazine.cached_regions(), 0u);
+  EXPECT_EQ(rig.memctrl->allocation_count(), 2u);
+}
+
 }  // namespace
 }  // namespace lastcpu::core

@@ -208,5 +208,164 @@ TEST_F(FabricTest, StatsAccumulate) {
   EXPECT_EQ(fabric_.stats().GetCounter("dma_bytes_read").value(), 50u);
 }
 
+// --- Scatter-gather DMA (the data-plane batching fast path) ---------------
+
+TEST_F(FabricTest, DmaWritevScattersEverySegmentInOneTransfer) {
+  MapRange(nic_iommu_, Pasid(1), 0x10, 0x20, 8);
+  std::vector<DmaWriteSegment> segments;
+  for (uint64_t i = 0; i < 3; ++i) {
+    std::vector<uint8_t> data(200, static_cast<uint8_t>(0x30 + i));
+    // Non-contiguous destinations: one segment per page, pages apart.
+    segments.push_back({VirtAddr((0x10 + 2 * i) << kPageShift), std::move(data)});
+  }
+  bool wrote = false;
+  fabric_.DmaWritev(DeviceId(1), Pasid(1), segments, [&](Status s) {
+    ASSERT_TRUE(s.ok());
+    wrote = true;
+  });
+  simulator_.Run();
+  ASSERT_TRUE(wrote);
+  // One modeled transfer, three accounted segments.
+  EXPECT_EQ(fabric_.stats().GetCounter("dma_writes").value(), 1u);
+  EXPECT_EQ(fabric_.stats().GetCounter("dma_sg_segments").value(), 3u);
+  EXPECT_EQ(fabric_.stats().GetCounter("dma_bytes_written").value(), 600u);
+
+  // Every segment landed where its own translation pointed.
+  for (uint64_t i = 0; i < 3; ++i) {
+    std::vector<uint8_t> seen;
+    fabric_.DmaRead(DeviceId(1), Pasid(1), VirtAddr((0x10 + 2 * i) << kPageShift), 200,
+                    [&](Result<std::vector<uint8_t>> r) {
+                      ASSERT_TRUE(r.ok());
+                      seen = *r;
+                    });
+    simulator_.Run();
+    EXPECT_EQ(seen, std::vector<uint8_t>(200, static_cast<uint8_t>(0x30 + i))) << i;
+  }
+}
+
+TEST_F(FabricTest, DmaReadvReturnsOneBufferPerSegmentInOrder) {
+  MapRange(nic_iommu_, Pasid(1), 0x10, 0x20, 4);
+  for (uint64_t i = 0; i < 3; ++i) {
+    fabric_.DmaWrite(DeviceId(1), Pasid(1), VirtAddr(0x10 << kPageShift) + 64 * i,
+                     std::vector<uint8_t>(64, static_cast<uint8_t>(i + 1)), [](Status s) {
+                       ASSERT_TRUE(s.ok());
+                     });
+    simulator_.Run();
+  }
+  std::vector<DmaReadSegment> segments = {
+      {VirtAddr(0x10 << kPageShift) + 128, 64},  // deliberately out of order
+      {VirtAddr(0x10 << kPageShift), 64},
+      {VirtAddr(0x10 << kPageShift) + 64, 64},
+  };
+  std::vector<std::vector<uint8_t>> buffers;
+  fabric_.DmaReadv(DeviceId(1), Pasid(1), segments,
+                   [&](Result<std::vector<std::vector<uint8_t>>> r) {
+                     ASSERT_TRUE(r.ok());
+                     buffers = std::move(*r);
+                   });
+  simulator_.Run();
+  ASSERT_EQ(buffers.size(), 3u);
+  EXPECT_EQ(buffers[0], std::vector<uint8_t>(64, 3));
+  EXPECT_EQ(buffers[1], std::vector<uint8_t>(64, 1));
+  EXPECT_EQ(buffers[2], std::vector<uint8_t>(64, 2));
+  EXPECT_EQ(fabric_.stats().GetCounter("dma_reads").value(), 1u);  // one gather, not three reads
+  EXPECT_EQ(fabric_.stats().GetCounter("dma_sg_segments").value(), 3u);
+}
+
+TEST_F(FabricTest, DmaWritevFaultInAnySegmentFailsTheWholeTransfer) {
+  MapRange(nic_iommu_, Pasid(1), 0x10, 0x20, 1);
+  std::vector<uint8_t> marker(16, 0xAA);
+  fabric_.DmaWrite(DeviceId(1), Pasid(1), VirtAddr(0x10 << kPageShift), marker, [](Status s) {
+    ASSERT_TRUE(s.ok());
+  });
+  simulator_.Run();
+
+  std::vector<DmaWriteSegment> segments = {
+      {VirtAddr(0x10 << kPageShift), std::vector<uint8_t>(16, 0xBB)},
+      {VirtAddr(0x999 << kPageShift), std::vector<uint8_t>(16, 0xCC)},  // unmapped
+  };
+  bool completed = false;
+  fabric_.DmaWritev(DeviceId(1), Pasid(1), segments, [&](Status s) {
+    EXPECT_FALSE(s.ok());
+    completed = true;
+  });
+  simulator_.Run();
+  ASSERT_TRUE(completed);
+  EXPECT_EQ(fabric_.stats().GetCounter("dma_faults").value(), 1u);
+
+  // Pre-validation means the mapped segment was NOT partially written.
+  std::vector<uint8_t> seen;
+  fabric_.DmaRead(DeviceId(1), Pasid(1), VirtAddr(0x10 << kPageShift), 16,
+                  [&](Result<std::vector<uint8_t>> r) {
+                    ASSERT_TRUE(r.ok());
+                    seen = *r;
+                  });
+  simulator_.Run();
+  EXPECT_EQ(seen, marker);
+}
+
+// --- Doorbell coalescing ---------------------------------------------------
+
+TEST_F(FabricTest, DoorbellBatcherWithZeroWindowPassesEveryRingThrough) {
+  int rings = 0;
+  fabric_.SetDoorbellHandler(DeviceId(2), [&](DeviceId, uint64_t) { ++rings; });
+  DoorbellBatcher bells(&fabric_, DeviceId(1));
+  for (int i = 0; i < 5; ++i) {
+    bells.Ring(DeviceId(2), 7);
+  }
+  simulator_.Run();
+  EXPECT_EQ(rings, 5);
+  EXPECT_EQ(bells.coalesced(), 0u);
+  EXPECT_EQ(fabric_.stats().GetCounter("doorbells").value(), 5u);
+}
+
+TEST_F(FabricTest, DoorbellBatcherCoalescesBurstsToAtMostTwo) {
+  FabricConfig config;
+  config.doorbell_coalesce_window = sim::Duration::Micros(2);
+  Fabric fabric(&simulator_, &memory_, config);
+  iommu::Iommu iommu(DeviceId(1));
+  fabric.AttachDevice(DeviceId(1), &iommu);
+  fabric.AttachDevice(DeviceId(2), &ssd_iommu_);
+  int rings = 0;
+  fabric.SetDoorbellHandler(DeviceId(2), [&](DeviceId, uint64_t) { ++rings; });
+
+  DoorbellBatcher bells(&fabric, DeviceId(1));
+  for (int i = 0; i < 10; ++i) {
+    bells.Ring(DeviceId(2), 7);
+  }
+  simulator_.Run();
+  // Leading edge immediately, trailing edge at window close: exactly two.
+  // The 9 rings after the leading edge all merge into the one trailing bell.
+  EXPECT_EQ(rings, 2);
+  EXPECT_EQ(bells.coalesced(), 9u);
+  EXPECT_EQ(fabric.stats().GetCounter("doorbells").value(), 2u);
+
+  // Distinct (target, value) keys do not merge with each other.
+  rings = 0;
+  bells.Ring(DeviceId(2), 1);
+  bells.Ring(DeviceId(2), 2);
+  simulator_.Run();
+  EXPECT_EQ(rings, 2);
+}
+
+TEST_F(FabricTest, DoorbellBatcherCancelPendingDropsTrailingEdge) {
+  FabricConfig config;
+  config.doorbell_coalesce_window = sim::Duration::Micros(2);
+  Fabric fabric(&simulator_, &memory_, config);
+  iommu::Iommu iommu(DeviceId(1));
+  fabric.AttachDevice(DeviceId(1), &iommu);
+  fabric.AttachDevice(DeviceId(2), &ssd_iommu_);
+  int rings = 0;
+  fabric.SetDoorbellHandler(DeviceId(2), [&](DeviceId, uint64_t) { ++rings; });
+
+  DoorbellBatcher bells(&fabric, DeviceId(1));
+  for (int i = 0; i < 4; ++i) {
+    bells.Ring(DeviceId(2), 9);
+  }
+  bells.CancelPending();
+  simulator_.Run();
+  EXPECT_EQ(rings, 1);  // only the leading edge went out
+}
+
 }  // namespace
 }  // namespace lastcpu::fabric

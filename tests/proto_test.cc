@@ -77,7 +77,7 @@ TEST(MessageTest, MakeErrorCarriesStatus) {
 }
 
 TEST(MessageTest, EveryMessageTypeHasName) {
-  for (uint16_t t = 0; t <= static_cast<uint16_t>(MessageType::kFileListResponse); ++t) {
+  for (uint16_t t = 0; t <= static_cast<uint16_t>(MessageType::kMemFreeBatchResponse); ++t) {
     EXPECT_NE(MessageTypeName(static_cast<MessageType>(t)), "Unknown");
   }
 }
@@ -117,6 +117,23 @@ TEST(CodecRoundTrip, MemoryOperations) {
   ExpectRoundTrip(Envelope(MemAllocResponse{VirtAddr(0x10000), 4096 * 4}));
   ExpectRoundTrip(Envelope(MemFreeRequest{Pasid(3), VirtAddr(0x10000), 4096 * 4}));
   ExpectRoundTrip(Envelope(MemFreeResponse{}));
+}
+
+TEST(CodecRoundTrip, BatchedMemoryOperations) {
+  ExpectRoundTrip(Envelope(MemAllocBatchRequest{Pasid(3), 4096 * 4, 32, Access::kReadWrite}));
+  MemAllocBatchResponse alloc;
+  alloc.vaddrs = {VirtAddr(0x10000), VirtAddr(0x20000), VirtAddr(0x30000)};
+  alloc.bytes = 4096 * 4;
+  ExpectRoundTrip(Envelope(alloc));
+  MemFreeBatchRequest free_req;
+  free_req.pasid = Pasid(3);
+  free_req.vaddrs = {VirtAddr(0x10000), VirtAddr(0x30000)};
+  free_req.bytes = 4096 * 4;
+  ExpectRoundTrip(Envelope(free_req));
+  ExpectRoundTrip(Envelope(MemFreeBatchResponse{}));
+  // Empty vaddr lists survive too (a drain of zero regions is never sent,
+  // but the codec must not care).
+  ExpectRoundTrip(Envelope(MemAllocBatchResponse{}));
 }
 
 TEST(CodecRoundTrip, MapDirectiveWithEntries) {
