@@ -11,7 +11,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -107,7 +110,14 @@ void RunBurst(benchmark::State& state, bool batched) {
   state.counters["batched"] = batched ? 1 : 0;
 }
 
-void SimHostPerf_KvsBurst_Unbatched(benchmark::State& state) { RunBurst(state, false); }
+// Slowest unbatched events/sec seen this run; the --min-events-per-sec floor
+// below is checked against it after the benchmarks finish.
+double g_min_unbatched_events_per_sec = 0.0;
+
+void SimHostPerf_KvsBurst_Unbatched(benchmark::State& state) {
+  RunBurst(state, false);
+  g_min_unbatched_events_per_sec = state.counters["events_per_sec_wall"];
+}
 void SimHostPerf_KvsBurst_Batched(benchmark::State& state) { RunBurst(state, true); }
 
 BENCHMARK(SimHostPerf_KvsBurst_Unbatched)
@@ -123,4 +133,36 @@ BENCHMARK(SimHostPerf_KvsBurst_Batched)
 }  // namespace
 }  // namespace lastcpu
 
-BENCHMARK_MAIN();
+// Custom main so CI can enforce a host-throughput floor: with
+// `--min-events-per-sec=N` the process exits nonzero when the unbatched burst
+// executes fewer simulator events per wall-clock second than N. The floor is
+// deliberately far below a healthy run — it exists to catch order-of-magnitude
+// engine regressions, not scheduler jitter.
+int main(int argc, char** argv) {
+  double floor_events_per_sec = 0.0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr std::string_view kFlag = "--min-events-per-sec=";
+    std::string_view arg = argv[i];
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      floor_events_per_sec = std::strtod(arg.substr(kFlag.size()).data(), nullptr);
+    } else {
+      argv[kept++] = argv[i];  // hand everything else to the benchmark library
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (floor_events_per_sec > 0.0 &&
+      lastcpu::g_min_unbatched_events_per_sec < floor_events_per_sec) {
+    std::fprintf(stderr,
+                 "FAIL: unbatched host throughput %.0f events/sec is below the floor %.0f\n",
+                 lastcpu::g_min_unbatched_events_per_sec, floor_events_per_sec);
+    return 1;
+  }
+  return 0;
+}

@@ -439,14 +439,8 @@ sim::Duration CentralKernel::RestartBackoff(uint32_t attempt) const {
 }
 
 void CentralKernel::CancelSupervisionTimers(Supervision& sup) {
-  if (sup.pending_pulse.valid()) {
-    simulator_->Cancel(sup.pending_pulse);
-    sup.pending_pulse = sim::EventId();
-  }
-  if (sup.deadline.valid()) {
-    simulator_->Cancel(sup.deadline);
-    sup.deadline = sim::EventId();
-  }
+  sup.pending_pulse.Cancel();
+  sup.deadline.Cancel();
 }
 
 void CentralKernel::ReportDeviceFailure(DeviceId device) {
@@ -502,7 +496,8 @@ void CentralKernel::ScheduleRestartAttempt(DeviceId device, Supervision& sup) {
     PulseDevice(device);
     return;
   }
-  sup.pending_pulse = simulator_->Schedule(backoff, [this, device] { PulseDevice(device); });
+  sup.pending_pulse = sim::ScopedEvent(
+      simulator_, simulator_->Schedule(backoff, [this, device] { PulseDevice(device); }));
 }
 
 void CentralKernel::PulseDevice(DeviceId device) {
@@ -510,10 +505,11 @@ void CentralKernel::PulseDevice(DeviceId device) {
   if (it == supervision_.end() || it->second.state != Supervision::State::kRestarting) {
     return;
   }
-  it->second.pending_pulse = sim::EventId();
+  it->second.pending_pulse.Release();  // it just fired; nothing left to cancel
   stats_.GetCounter("supervisor_restarts").Increment();
-  it->second.deadline =
-      simulator_->Schedule(config_.restart_timeout, [this, device] { OnRestartDeadline(device); });
+  it->second.deadline = sim::ScopedEvent(
+      simulator_, simulator_->Schedule(config_.restart_timeout,
+                                       [this, device] { OnRestartDeadline(device); }));
   if (reset_handler_) {
     reset_handler_(device);
   }
@@ -525,7 +521,7 @@ void CentralKernel::OnRestartDeadline(DeviceId device) {
     return;
   }
   Supervision& sup = it->second;
-  sup.deadline = sim::EventId();
+  sup.deadline.Release();  // it just fired; nothing left to cancel
   stats_.GetCounter("supervisor_restart_timeouts").Increment();
   // The timer interrupt traps to the kernel for the next decision.
   sim::SpanId span =

@@ -152,8 +152,8 @@ class CentralKernel {
     bool episode_open = false;  // failure reported, no alive announce yet
     uint32_t attempts = 0;
     std::deque<sim::SimTime> recent_failures;
-    sim::EventId pending_pulse;
-    sim::EventId deadline;
+    sim::ScopedEvent pending_pulse;
+    sim::ScopedEvent deadline;
   };
 
   // Supervision internals; each pulse/quarantine decision is a RunOnCpu trip.

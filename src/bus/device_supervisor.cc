@@ -41,14 +41,8 @@ sim::Duration DeviceSupervisor::BackoffFor(uint32_t attempt) const {
 }
 
 void DeviceSupervisor::CancelTimers(Record& rec) {
-  if (rec.pending_pulse.valid()) {
-    simulator_->Cancel(rec.pending_pulse);
-    rec.pending_pulse = sim::EventId();
-  }
-  if (rec.deadline.valid()) {
-    simulator_->Cancel(rec.deadline);
-    rec.deadline = sim::EventId();
-  }
+  rec.pending_pulse.Cancel();
+  rec.deadline.Cancel();
 }
 
 void DeviceSupervisor::OnFailure(DeviceId device, const std::string& name) {
@@ -102,7 +96,8 @@ void DeviceSupervisor::ScheduleAttempt(DeviceId device, Record& rec) {
                          backoff.ToString(),
                      rec.episode_span);
   }
-  rec.pending_pulse = simulator_->Schedule(backoff, [this, device] { PulseNow(device); });
+  rec.pending_pulse = sim::ScopedEvent(
+      simulator_, simulator_->Schedule(backoff, [this, device] { PulseNow(device); }));
 }
 
 void DeviceSupervisor::PulseNow(DeviceId device) {
@@ -111,14 +106,15 @@ void DeviceSupervisor::PulseNow(DeviceId device) {
     return;
   }
   Record& rec = it->second;
-  rec.pending_pulse = sim::EventId();
+  rec.pending_pulse.Release();  // it just fired; nothing left to cancel
   stats_->GetCounter("supervisor_restarts").Increment();
   if (tracer_ != nullptr) {
     tracer_->Instant("supervisor-pulse",
                      rec.name + " attempt " + std::to_string(rec.attempts), rec.episode_span);
   }
-  rec.deadline =
-      simulator_->Schedule(policy_.restart_timeout, [this, device] { OnRestartDeadline(device); });
+  rec.deadline = sim::ScopedEvent(
+      simulator_, simulator_->Schedule(policy_.restart_timeout,
+                                       [this, device] { OnRestartDeadline(device); }));
   if (hooks_.pulse_reset) {
     hooks_.pulse_reset(device);
   }
@@ -130,7 +126,7 @@ void DeviceSupervisor::OnRestartDeadline(DeviceId device) {
     return;
   }
   Record& rec = it->second;
-  rec.deadline = sim::EventId();
+  rec.deadline.Release();  // it just fired; nothing left to cancel
   stats_->GetCounter("supervisor_restart_timeouts").Increment();
   if (tracer_ != nullptr) {
     tracer_->Instant("supervisor-timeout",
@@ -188,12 +184,8 @@ void DeviceSupervisor::Quarantine(DeviceId device, Record& rec, const std::strin
 }
 
 void DeviceSupervisor::OnDetach(DeviceId device) {
-  auto it = records_.find(device);
-  if (it == records_.end()) {
-    return;
-  }
-  CancelTimers(it->second);
-  records_.erase(it);
+  // The record's ScopedEvents cancel any armed timers on destruction.
+  records_.erase(device);
 }
 
 }  // namespace lastcpu::bus

@@ -96,8 +96,9 @@ class DeviceSupervisor {
     SupervisionState state = SupervisionState::kHealthy;
     uint32_t attempts = 0;  // pulses issued this episode
     std::deque<sim::SimTime> recent_failures;
-    sim::EventId pending_pulse;
-    sim::EventId deadline;
+    // RAII: erasing the record (detach) cancels whatever timer is armed.
+    sim::ScopedEvent pending_pulse;
+    sim::ScopedEvent deadline;
     sim::SpanId episode_span = 0;
     std::string name;
   };

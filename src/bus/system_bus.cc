@@ -23,7 +23,7 @@ SystemBus::SystemBus(sim::Simulator* simulator, BusConfig config, sim::TraceLog*
       },
   });
   if (config_.heartbeat_timeout > sim::Duration::Zero()) {
-    simulator_->ScheduleDaemon(config_.heartbeat_timeout / 2, [this] { WatchdogSweep(); });
+    simulator_->SchedulePeriodic(config_.heartbeat_timeout / 2, [this] { WatchdogSweep(); });
   }
 }
 
@@ -44,7 +44,6 @@ void SystemBus::WatchdogSweep() {
     Trace("watchdog", "device " + std::to_string(id.value()) + " missed heartbeats");
     ReportDeviceFailure(id);
   }
-  simulator_->ScheduleDaemon(config_.heartbeat_timeout / 2, [this] { WatchdogSweep(); });
 }
 
 void SystemBus::Trace(const std::string& event, const std::string& detail, sim::SpanId span) {
@@ -104,9 +103,9 @@ void SystemBus::SendFromPort(DeviceId src, proto::Message message) {
     send_observer_(src, message);
   }
 
-  stats_.GetCounter("messages_sent").Increment();
+  messages_sent_.Increment();
   size_t wire_bytes = proto::EncodedSize(message);
-  stats_.GetCounter("bytes_sent").Increment(wire_bytes);
+  bytes_sent_.Increment(wire_bytes);
 
   auto wire_time = config_.base_latency +
                    sim::Duration::Nanos(static_cast<uint64_t>(
@@ -114,7 +113,7 @@ void SystemBus::SendFromPort(DeviceId src, proto::Message message) {
   sim::SimTime start = std::max(simulator_->Now(), endpoint->tx_busy_until);
   sim::SimTime arrival = start + wire_time;
   endpoint->tx_busy_until = arrival;
-  stats_.GetHistogram("wire_latency").Record(arrival - simulator_->Now());
+  wire_latency_.Record(arrival - simulator_->Now());
 
   // Fault injection covers the switched device-to-device paths; the
   // management ring to the bus controller itself stays fault-free.
@@ -134,7 +133,8 @@ void SystemBus::SendFromPort(DeviceId src, proto::Message message) {
     if (fault.duplicate) {
       stats_.GetCounter("faults_duplicated").Increment();
       proto::Message copy = message;
-      simulator_->ScheduleAt(arrival, [this, copy = std::move(copy)] { Route(copy); });
+      simulator_->ScheduleAt(
+          arrival, [this, copy = std::move(copy)]() mutable { Route(std::move(copy)); });
     }
     if (fault.reorder) {
       stats_.GetCounter("faults_reordered").Increment();
@@ -147,7 +147,7 @@ void SystemBus::SendFromPort(DeviceId src, proto::Message message) {
             }
             proto::Message held = std::move(*held_message_);
             held_message_.reset();
-            Route(held);
+            Route(std::move(held));
           });
       return;
     }
@@ -158,7 +158,8 @@ void SystemBus::SendFromPort(DeviceId src, proto::Message message) {
     ReleaseHeld(arrival + sim::Duration::Nanos(1));
   }
 
-  simulator_->ScheduleAt(arrival, [this, message = std::move(message)] { Route(message); });
+  simulator_->ScheduleAt(
+      arrival, [this, message = std::move(message)]() mutable { Route(std::move(message)); });
 }
 
 void SystemBus::ReleaseHeld(sim::SimTime at) {
@@ -168,12 +169,13 @@ void SystemBus::ReleaseHeld(sim::SimTime at) {
   simulator_->Cancel(held_backstop_);
   proto::Message held = std::move(*held_message_);
   held_message_.reset();
-  simulator_->ScheduleAt(at, [this, held = std::move(held)] { Route(held); });
+  simulator_->ScheduleAt(
+      at, [this, held = std::move(held)]() mutable { Route(std::move(held)); });
 }
 
 void SystemBus::Route(proto::Message message) {
   if (message.dst == kBusDevice) {
-    HandleBusMessage(message);
+    HandleBusMessage(std::move(message));
     return;
   }
   if (message.dst == kBroadcastDevice) {
@@ -190,7 +192,7 @@ void SystemBus::Route(proto::Message message) {
     for (DeviceId id : targets) {
       proto::Message copy = message;
       copy.dst = id;
-      Deliver(copy);
+      Deliver(std::move(copy));
     }
     return;
   }
@@ -208,7 +210,7 @@ void SystemBus::Route(proto::Message message) {
     }
     return;
   }
-  Deliver(message);
+  Deliver(std::move(message));
 }
 
 void SystemBus::DeliverTraced(proto::Message message, sim::SpanId parent) {
@@ -216,10 +218,10 @@ void SystemBus::DeliverTraced(proto::Message message, sim::SpanId parent) {
     message.trace.span = parent;
     message.trace.flow = tracer_.FlowSend(proto::MessageTypeName(message.type()), parent);
   }
-  Deliver(message);
+  Deliver(std::move(message));
 }
 
-void SystemBus::Deliver(const proto::Message& message) {
+void SystemBus::Deliver(proto::Message message) {
   Endpoint* target = FindEndpoint(message.dst);
   if (target == nullptr) {
     stats_.GetCounter("undeliverable").Increment();
@@ -227,14 +229,14 @@ void SystemBus::Deliver(const proto::Message& message) {
                         message.trace.span);
     return;
   }
-  stats_.GetCounter("messages_delivered").Increment();
+  messages_delivered_.Increment();
   if (tracer_.enabled()) {
     Trace("deliver", std::string(proto::MessageTypeName(message.type())) + " -> " + target->name);
   }
-  target->receiver(message);
+  target->receiver(std::move(message));
 }
 
-void SystemBus::HandleBusMessage(const proto::Message& message) {
+void SystemBus::HandleBusMessage(proto::Message message) {
   // Map directives and teardowns bind their flow receives to the handling
   // spans they open below; every other bus-destined message terminates its
   // flow here so senders never see a dangling arrow.
@@ -308,9 +310,9 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
       sim::SimTime done = start + cost;
       table_engine_busy_until_ = done;
       stats_.GetHistogram("table_update_latency").Record(done - simulator_->Now());
-      proto::Message copy = message;
-      simulator_->ScheduleAt(
-          done, [this, copy = std::move(copy), span] { ExecuteMapDirective(copy, span); });
+      simulator_->ScheduleAt(done, [this, m = std::move(message), span] {
+        ExecuteMapDirective(m, span);
+      });
       return;
     }
     case proto::MessageType::kGrantRequest:
@@ -324,10 +326,9 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
         DeliverTraced(std::move(error), message.trace.span);
         return;
       }
-      proto::Message forward = message;
-      forward.dst = memory_controller_;
+      message.dst = memory_controller_;
       stats_.GetCounter("forwarded_to_controller").Increment();
-      Deliver(forward);
+      Deliver(std::move(message));
       return;
     }
     case proto::MessageType::kHeartbeat: {
@@ -344,7 +345,7 @@ void SystemBus::HandleBusMessage(const proto::Message& message) {
       }
       endpoint->liveness.last_heartbeat = simulator_->Now();
       endpoint->liveness.heartbeats_seen = true;
-      stats_.GetCounter("heartbeats").Increment();
+      heartbeats_.Increment();
       return;
     }
     case proto::MessageType::kTeardownApp: {
@@ -417,8 +418,9 @@ void SystemBus::ExecuteMapDirective(const proto::Message& message, sim::SpanId s
 void SystemBus::AdminSend(proto::Message message) {
   message.src = kBusDevice;
   stats_.GetCounter("admin_messages").Increment();
-  simulator_->Schedule(config_.base_latency,
-                       [this, message = std::move(message)] { Route(message); });
+  simulator_->Schedule(config_.base_latency, [this, message = std::move(message)]() mutable {
+    Route(std::move(message));
+  });
 }
 
 void SystemBus::ReportDeviceFailure(DeviceId device) {
@@ -457,8 +459,9 @@ void SystemBus::ReportDeviceFailure(DeviceId device) {
     notice.src = kBusDevice;
     notice.dst = id;
     notice.payload = proto::DeviceFailed{device};
-    simulator_->Schedule(config_.base_latency,
-                         [this, notice] { DeliverTraced(notice, 0); });
+    simulator_->Schedule(config_.base_latency, [this, notice = std::move(notice)]() mutable {
+      DeliverTraced(std::move(notice), 0);
+    });
   }
   // The supervisor decides when (and how often) to pulse the reset line.
   supervisor_.OnFailure(device, failed->name);
@@ -472,10 +475,10 @@ void SystemBus::PulseReset(DeviceId device) {
   stats_.GetCounter("reset_pulses").Increment();
   // The reset line bypasses normal routing: dead silicon is not "alive" on
   // the bus, but the line is wired straight to the device.
-  simulator_->Schedule(config_.base_latency, [this, reset, device] {
+  simulator_->Schedule(config_.base_latency, [this, reset = std::move(reset), device]() mutable {
     Endpoint* endpoint = FindEndpoint(device);
     if (endpoint != nullptr) {
-      endpoint->receiver(reset);
+      endpoint->receiver(std::move(reset));
     }
   });
 }
@@ -498,8 +501,9 @@ void SystemBus::QuarantineDevice(DeviceId device, const std::string& reason) {
     notice.src = kBusDevice;
     notice.dst = id;
     notice.payload = proto::DevicePermanentlyFailed{device, reason};
-    simulator_->Schedule(config_.base_latency,
-                         [this, notice] { DeliverTraced(notice, 0); });
+    simulator_->Schedule(config_.base_latency, [this, notice = std::move(notice)]() mutable {
+      DeliverTraced(std::move(notice), 0);
+    });
   }
 }
 

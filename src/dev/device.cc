@@ -48,8 +48,8 @@ Device::Device(DeviceId id, std::string name, const DeviceContext& context, Devi
   LASTCPU_CHECK(context.bus != nullptr, "device without bus");
   LASTCPU_CHECK(context.fabric != nullptr, "device without fabric");
 
-  port_ = context_.bus->Attach(id_, name_, [this](const proto::Message& m) { ReceiveFromBus(m); },
-                               &iommu_);
+  port_ = context_.bus->Attach(
+      id_, name_, [this](proto::Message m) { ReceiveFromBus(std::move(m)); }, &iommu_);
   context_.fabric->AttachDevice(id_, &iommu_, config_.link);
   context_.fabric->SetDoorbellHandler(
       id_, [this](DeviceId from, uint64_t value) {
@@ -111,7 +111,7 @@ void Device::SendHeartbeat() {
   message.dst = kBusDevice;
   message.payload = proto::Heartbeat{};
   SendOnBus(std::move(message));
-  stats_.GetCounter("heartbeats_sent").Increment();
+  heartbeats_sent_.Increment();
   context_.simulator->ScheduleDaemon(config_.heartbeat_period, [this] { SendHeartbeat(); });
 }
 
@@ -209,7 +209,7 @@ void Device::CacheResponse(const proto::Message& response) {
   }
 }
 
-void Device::ReceiveFromBus(const proto::Message& message) {
+void Device::ReceiveFromBus(proto::Message message) {
   if (state_ == State::kFailed || state_ == State::kPoweredOff) {
     // Dead silicon — except the reset line, which revives it.
     if (message.Is<proto::ResetSignal>() && state_ == State::kFailed) {
@@ -228,12 +228,11 @@ void Device::ReceiveFromBus(const proto::Message& message) {
   // Control messages are handled by the device's (single) firmware engine:
   // each costs control_processing and they serialize, which is what bounds a
   // single device's control-plane throughput under contention.
-  proto::Message copy = message;
   sim::SimTime start = std::max(context_.simulator->Now(), firmware_busy_until_);
   sim::SimTime done = start + config_.control_processing;
   firmware_busy_until_ = done;
-  context_.simulator->ScheduleAt(done, [this, copy = std::move(copy), span] {
-    Dispatch(copy, span);
+  context_.simulator->ScheduleAt(done, [this, message = std::move(message), span] {
+    Dispatch(message, span);
     tracer_.EndSpan(span);
   });
 }
@@ -251,7 +250,7 @@ void Device::Dispatch(const proto::Message& message, sim::SpanId span) {
     sim::SpanId saved;
     ~SpanRestore() { device->current_span_ = saved; }
   } restore{this, saved_span};
-  stats_.GetCounter("messages_received").Increment();
+  messages_received_.Increment();
 
   // Responses to our outstanding requests route into the transaction layer.
   if (message.request_id.valid() && IsResponseType(message.type())) {

@@ -165,7 +165,7 @@ class Device {
  private:
   // Receives every bus message; applies firmware processing delay then
   // dispatches.
-  void ReceiveFromBus(const proto::Message& message);
+  void ReceiveFromBus(proto::Message message);
   // Dispatches under handling span `span` (opened at arrival, closed when
   // dispatch completes, so it covers firmware queue wait + processing).
   void Dispatch(const proto::Message& message, sim::SpanId span);
@@ -223,6 +223,12 @@ class Device {
   sim::SimTime firmware_busy_until_;
   sim::StatsRegistry stats_;
   sim::Tracer tracer_;
+  // Per-message stats, resolved once: registry references are stable for the
+  // device's lifetime, so the receive/send paths pay plain increments instead
+  // of name lookups.
+  sim::Counter& messages_received_ = stats_.GetCounter("messages_received");
+  sim::Counter& heartbeats_sent_ = stats_.GetCounter("heartbeats_sent");
+  sim::Counter& requests_sent_ = stats_.GetCounter("requests_sent");
   // Span of the message currently being dispatched (0 outside a handler);
   // the ambient causal context stamped onto outbound messages.
   sim::SpanId current_span_ = 0;

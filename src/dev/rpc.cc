@@ -63,7 +63,7 @@ RequestId RpcEndpoint::Call(DeviceId dst, proto::Payload payload, RpcOptions opt
       device_->simulator()->Schedule(AttemptTimeout(options), [this, id] { OnDeadline(id); });
   transactions_.emplace(id, std::move(transaction));
   Transmit(id, payload, dst, device_->current_span_);
-  device_->stats_.GetCounter("requests_sent").Increment();
+  device_->requests_sent_.Increment();
   return id;
 }
 

@@ -30,11 +30,25 @@ void Fabric::SetDoorbellHandler(DeviceId device,
   port->doorbell = std::move(fn);
 }
 
-void Fabric::DetachDevice(DeviceId device) { ports_.erase(device); }
+void Fabric::DetachDevice(DeviceId device) {
+  if (device == cached_port_id_) {
+    cached_port_id_ = DeviceId::Invalid();
+    cached_port_ = nullptr;
+  }
+  ports_.erase(device);
+}
 
 Fabric::Port* Fabric::FindPort(DeviceId device) {
+  if (device == cached_port_id_) {
+    return cached_port_;
+  }
   auto it = ports_.find(device);
-  return it == ports_.end() ? nullptr : &it->second;
+  if (it == ports_.end()) {
+    return nullptr;
+  }
+  cached_port_id_ = device;
+  cached_port_ = &it->second;
+  return cached_port_;
 }
 
 Status Fabric::TranslateRange(Port& port, Pasid pasid, VirtAddr addr, uint64_t length,
@@ -43,15 +57,15 @@ Status Fabric::TranslateRange(Port& port, Pasid pasid, VirtAddr addr, uint64_t l
   uint64_t remaining = length;
   VirtAddr cursor = addr;
   while (remaining > 0) {
-    auto translation = port.iommu->Translate(pasid, cursor, wanted);
-    if (!translation.ok()) {
-      return translation.status();
+    iommu::Translation translation;
+    if (!port.iommu->TryTranslate(pasid, cursor, wanted, &translation)) {
+      return port.iommu->TranslateFault(pasid, cursor, wanted);
     }
-    if (!translation->tlb_hit) {
-      cost += config_.walk_latency_per_level * static_cast<uint64_t>(translation->levels_walked);
+    if (!translation.tlb_hit) {
+      cost += config_.walk_latency_per_level * static_cast<uint64_t>(translation.levels_walked);
     }
     uint64_t chunk = std::min(remaining, kPageSize - cursor.offset());
-    out.emplace_back(translation->paddr, chunk);
+    out.emplace_back(translation.paddr, chunk);
     cursor = cursor + chunk;
     remaining -= chunk;
   }
@@ -73,16 +87,53 @@ void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector
   LASTCPU_CHECK(port != nullptr, "DMA from unattached device %u", initiator.value());
   LASTCPU_CHECK(done != nullptr, "DMA without completion callback");
 
-  sim::SpanId span = tracer_.BeginSpan(
-      "DmaWrite", ctx.span,
-      "dev=" + std::to_string(initiator.value()) + " bytes=" + std::to_string(data.size()));
+  sim::SpanId span =
+      tracer_.enabled()
+          ? tracer_.BeginSpan("DmaWrite", ctx.span,
+                              "dev=" + std::to_string(initiator.value()) +
+                                  " bytes=" + std::to_string(data.size()))
+          : 0;
+
+  // Fast path: a transfer that fits one page needs exactly one translation,
+  // so skip the segment vector entirely — same walk costs, same fault
+  // behavior, just no per-transfer heap traffic. Empty transfers take the
+  // general path, which translates nothing.
+  if (!data.empty() && data.size() <= kPageSize - dst.offset()) {
+    iommu::Translation translation;
+    if (!port->iommu->TryTranslate(pasid, dst, Access::kWrite, &translation)) {
+      Status failed = port->iommu->TranslateFault(pasid, dst, Access::kWrite);
+      dma_faults_.Increment();
+      tracer_.Instant("dma-fault", failed.message(), span);
+      simulator_->Schedule(port->link.base_latency,
+                           [this, span, done = std::move(done), failed = std::move(failed)] {
+                             done(failed);
+                             tracer_.EndSpan(span);
+                           });
+      return;
+    }
+    sim::Duration walk_cost = sim::Duration::Zero();
+    if (!translation.tlb_hit) {
+      walk_cost = config_.walk_latency_per_level * static_cast<uint64_t>(translation.levels_walked);
+    }
+    sim::SimTime completion = ScheduleTransfer(*port, data.size(), walk_cost);
+    dma_writes_.Increment();
+    dma_bytes_written_.Increment(data.size());
+    dma_write_latency_.Record(completion - simulator_->Now());
+    simulator_->ScheduleAt(completion, [this, span, paddr = translation.paddr,
+                                        data = std::move(data), done = std::move(done)] {
+      memory_->Write(paddr, data);
+      done(OkStatus());
+      tracer_.EndSpan(span);
+    });
+    return;
+  }
 
   std::vector<std::pair<PhysAddr, uint64_t>> segments;
   sim::Duration walk_cost = sim::Duration::Zero();
   Status translated =
       TranslateRange(*port, pasid, dst, data.size(), Access::kWrite, segments, walk_cost);
   if (!translated.ok()) {
-    stats_.GetCounter("dma_faults").Increment();
+    dma_faults_.Increment();
     tracer_.Instant("dma-fault", translated.message(), span);
     // Hardware reports the abort asynchronously, after the failed bus cycle.
     simulator_->Schedule(port->link.base_latency, [this, span, done = std::move(done), translated] {
@@ -93,9 +144,9 @@ void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector
   }
 
   sim::SimTime completion = ScheduleTransfer(*port, data.size(), walk_cost);
-  stats_.GetCounter("dma_writes").Increment();
-  stats_.GetCounter("dma_bytes_written").Increment(data.size());
-  stats_.GetHistogram("dma_write_latency").Record(completion - simulator_->Now());
+  dma_writes_.Increment();
+  dma_bytes_written_.Increment(data.size());
+  dma_write_latency_.Record(completion - simulator_->Now());
 
   simulator_->ScheduleAt(
       completion, [this, span, segments = std::move(segments), data = std::move(data),
@@ -116,15 +167,51 @@ void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t len
   LASTCPU_CHECK(port != nullptr, "DMA from unattached device %u", initiator.value());
   LASTCPU_CHECK(done != nullptr, "DMA without completion callback");
 
-  sim::SpanId span = tracer_.BeginSpan(
-      "DmaRead", ctx.span,
-      "dev=" + std::to_string(initiator.value()) + " bytes=" + std::to_string(length));
+  sim::SpanId span =
+      tracer_.enabled()
+          ? tracer_.BeginSpan("DmaRead", ctx.span,
+                              "dev=" + std::to_string(initiator.value()) +
+                                  " bytes=" + std::to_string(length))
+          : 0;
+
+  // Single-page fast path, mirroring DmaWrite: one translation, no segment
+  // vector. Zero-length reads take the general path (no translation at all).
+  if (length > 0 && length <= kPageSize - src.offset()) {
+    iommu::Translation translation;
+    if (!port->iommu->TryTranslate(pasid, src, Access::kRead, &translation)) {
+      Status failed = port->iommu->TranslateFault(pasid, src, Access::kRead);
+      dma_faults_.Increment();
+      tracer_.Instant("dma-fault", failed.message(), span);
+      simulator_->Schedule(port->link.base_latency,
+                           [this, span, done = std::move(done), failed = std::move(failed)] {
+                             done(failed);
+                             tracer_.EndSpan(span);
+                           });
+      return;
+    }
+    sim::Duration walk_cost = sim::Duration::Zero();
+    if (!translation.tlb_hit) {
+      walk_cost = config_.walk_latency_per_level * static_cast<uint64_t>(translation.levels_walked);
+    }
+    sim::SimTime completion = ScheduleTransfer(*port, length, walk_cost);
+    dma_reads_.Increment();
+    dma_bytes_read_.Increment(length);
+    dma_read_latency_.Record(completion - simulator_->Now());
+    simulator_->ScheduleAt(completion, [this, span, paddr = translation.paddr, length,
+                                        done = std::move(done)] {
+      std::vector<uint8_t> data(length);
+      memory_->Read(paddr, std::span<uint8_t>(data));
+      done(std::move(data));
+      tracer_.EndSpan(span);
+    });
+    return;
+  }
 
   std::vector<std::pair<PhysAddr, uint64_t>> segments;
   sim::Duration walk_cost = sim::Duration::Zero();
   Status translated = TranslateRange(*port, pasid, src, length, Access::kRead, segments, walk_cost);
   if (!translated.ok()) {
-    stats_.GetCounter("dma_faults").Increment();
+    dma_faults_.Increment();
     tracer_.Instant("dma-fault", translated.message(), span);
     simulator_->Schedule(port->link.base_latency, [this, span, done = std::move(done), translated] {
       done(translated);
@@ -134,9 +221,9 @@ void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t len
   }
 
   sim::SimTime completion = ScheduleTransfer(*port, length, walk_cost);
-  stats_.GetCounter("dma_reads").Increment();
-  stats_.GetCounter("dma_bytes_read").Increment(length);
-  stats_.GetHistogram("dma_read_latency").Record(completion - simulator_->Now());
+  dma_reads_.Increment();
+  dma_bytes_read_.Increment(length);
+  dma_read_latency_.Record(completion - simulator_->Now());
 
   simulator_->ScheduleAt(completion,
                          [this, span, segments = std::move(segments), length,
@@ -162,10 +249,13 @@ void Fabric::DmaWritev(DeviceId initiator, Pasid pasid, std::vector<DmaWriteSegm
   for (const DmaWriteSegment& segment : segments) {
     total_bytes += segment.data.size();
   }
-  sim::SpanId span = tracer_.BeginSpan(
-      "DmaWritev", ctx.span,
-      "dev=" + std::to_string(initiator.value()) + " segments=" +
-          std::to_string(segments.size()) + " bytes=" + std::to_string(total_bytes));
+  sim::SpanId span =
+      tracer_.enabled()
+          ? tracer_.BeginSpan("DmaWritev", ctx.span,
+                              "dev=" + std::to_string(initiator.value()) +
+                                  " segments=" + std::to_string(segments.size()) +
+                                  " bytes=" + std::to_string(total_bytes))
+          : 0;
 
   // Per-segment translation (each pays its own walk costs), one transfer.
   std::vector<std::pair<PhysAddr, uint64_t>> phys;
@@ -174,7 +264,7 @@ void Fabric::DmaWritev(DeviceId initiator, Pasid pasid, std::vector<DmaWriteSegm
     Status translated = TranslateRange(*port, pasid, segment.addr, segment.data.size(),
                                        Access::kWrite, phys, walk_cost);
     if (!translated.ok()) {
-      stats_.GetCounter("dma_faults").Increment();
+      dma_faults_.Increment();
       tracer_.Instant("dma-fault", translated.message(), span);
       simulator_->Schedule(port->link.base_latency,
                            [this, span, done = std::move(done), translated] {
@@ -186,10 +276,10 @@ void Fabric::DmaWritev(DeviceId initiator, Pasid pasid, std::vector<DmaWriteSegm
   }
 
   sim::SimTime completion = ScheduleTransfer(*port, total_bytes, walk_cost);
-  stats_.GetCounter("dma_writes").Increment();
-  stats_.GetCounter("dma_sg_segments").Increment(segments.size());
-  stats_.GetCounter("dma_bytes_written").Increment(total_bytes);
-  stats_.GetHistogram("dma_write_latency").Record(completion - simulator_->Now());
+  dma_writes_.Increment();
+  dma_sg_segments_.Increment(segments.size());
+  dma_bytes_written_.Increment(total_bytes);
+  dma_write_latency_.Record(completion - simulator_->Now());
 
   simulator_->ScheduleAt(
       completion, [this, span, phys = std::move(phys), segments = std::move(segments),
@@ -226,10 +316,13 @@ void Fabric::DmaReadv(DeviceId initiator, Pasid pasid, std::vector<DmaReadSegmen
   for (const DmaReadSegment& segment : segments) {
     total_bytes += segment.length;
   }
-  sim::SpanId span = tracer_.BeginSpan(
-      "DmaReadv", ctx.span,
-      "dev=" + std::to_string(initiator.value()) + " segments=" +
-          std::to_string(segments.size()) + " bytes=" + std::to_string(total_bytes));
+  sim::SpanId span =
+      tracer_.enabled()
+          ? tracer_.BeginSpan("DmaReadv", ctx.span,
+                              "dev=" + std::to_string(initiator.value()) +
+                                  " segments=" + std::to_string(segments.size()) +
+                                  " bytes=" + std::to_string(total_bytes))
+          : 0;
 
   std::vector<std::pair<PhysAddr, uint64_t>> phys;
   sim::Duration walk_cost = sim::Duration::Zero();
@@ -237,7 +330,7 @@ void Fabric::DmaReadv(DeviceId initiator, Pasid pasid, std::vector<DmaReadSegmen
     Status translated =
         TranslateRange(*port, pasid, segment.addr, segment.length, Access::kRead, phys, walk_cost);
     if (!translated.ok()) {
-      stats_.GetCounter("dma_faults").Increment();
+      dma_faults_.Increment();
       tracer_.Instant("dma-fault", translated.message(), span);
       simulator_->Schedule(port->link.base_latency,
                            [this, span, done = std::move(done), translated] {
@@ -249,10 +342,10 @@ void Fabric::DmaReadv(DeviceId initiator, Pasid pasid, std::vector<DmaReadSegmen
   }
 
   sim::SimTime completion = ScheduleTransfer(*port, total_bytes, walk_cost);
-  stats_.GetCounter("dma_reads").Increment();
-  stats_.GetCounter("dma_sg_segments").Increment(segments.size());
-  stats_.GetCounter("dma_bytes_read").Increment(total_bytes);
-  stats_.GetHistogram("dma_read_latency").Record(completion - simulator_->Now());
+  dma_reads_.Increment();
+  dma_sg_segments_.Increment(segments.size());
+  dma_bytes_read_.Increment(total_bytes);
+  dma_read_latency_.Record(completion - simulator_->Now());
 
   simulator_->ScheduleAt(
       completion, [this, span, phys = std::move(phys), segments = std::move(segments),
@@ -287,8 +380,23 @@ AccessResult Fabric::MemWrite(DeviceId initiator, Pasid pasid, VirtAddr dst,
                               std::span<const uint8_t> data) {
   Port* port = FindPort(initiator);
   LASTCPU_CHECK(port != nullptr, "access from unattached device %u", initiator.value());
-  std::vector<std::pair<PhysAddr, uint64_t>> segments;
   sim::Duration cost = config_.mmio_latency;
+  // Almost every synchronous access is a descriptor or ring-index touch that
+  // fits one page; translate it directly instead of building a segment list.
+  // (Zero-length accesses translate nothing, as the page-by-page walk would.)
+  if (!data.empty() && data.size() <= kPageSize - dst.offset()) {
+    iommu::Translation translation;
+    if (!port->iommu->TryTranslate(pasid, dst, Access::kWrite, &translation)) {
+      return AccessResult{port->iommu->TranslateFault(pasid, dst, Access::kWrite), cost};
+    }
+    if (!translation.tlb_hit) {
+      cost += config_.walk_latency_per_level * static_cast<uint64_t>(translation.levels_walked);
+    }
+    memory_->Write(translation.paddr, data);
+    mmio_writes_.Increment();
+    return AccessResult{OkStatus(), cost};
+  }
+  std::vector<std::pair<PhysAddr, uint64_t>> segments;
   Status translated =
       TranslateRange(*port, pasid, dst, data.size(), Access::kWrite, segments, cost);
   if (!translated.ok()) {
@@ -299,7 +407,7 @@ AccessResult Fabric::MemWrite(DeviceId initiator, Pasid pasid, VirtAddr dst,
     memory_->Write(paddr, data.subspan(offset, len));
     offset += len;
   }
-  stats_.GetCounter("mmio_writes").Increment();
+  mmio_writes_.Increment();
   return AccessResult{OkStatus(), cost};
 }
 
@@ -307,8 +415,20 @@ AccessResult Fabric::MemRead(DeviceId initiator, Pasid pasid, VirtAddr src,
                              std::span<uint8_t> out) {
   Port* port = FindPort(initiator);
   LASTCPU_CHECK(port != nullptr, "access from unattached device %u", initiator.value());
-  std::vector<std::pair<PhysAddr, uint64_t>> segments;
   sim::Duration cost = config_.mmio_latency;
+  if (!out.empty() && out.size() <= kPageSize - src.offset()) {
+    iommu::Translation translation;
+    if (!port->iommu->TryTranslate(pasid, src, Access::kRead, &translation)) {
+      return AccessResult{port->iommu->TranslateFault(pasid, src, Access::kRead), cost};
+    }
+    if (!translation.tlb_hit) {
+      cost += config_.walk_latency_per_level * static_cast<uint64_t>(translation.levels_walked);
+    }
+    memory_->Read(translation.paddr, out);
+    mmio_reads_.Increment();
+    return AccessResult{OkStatus(), cost};
+  }
+  std::vector<std::pair<PhysAddr, uint64_t>> segments;
   Status translated = TranslateRange(*port, pasid, src, out.size(), Access::kRead, segments, cost);
   if (!translated.ok()) {
     return AccessResult{translated, cost};
@@ -318,7 +438,7 @@ AccessResult Fabric::MemRead(DeviceId initiator, Pasid pasid, VirtAddr src,
     memory_->Read(paddr, out.subspan(offset, len));
     offset += len;
   }
-  stats_.GetCounter("mmio_reads").Increment();
+  mmio_reads_.Increment();
   return AccessResult{OkStatus(), cost};
 }
 
@@ -348,10 +468,10 @@ AccessResult Fabric::ReadU64(DeviceId initiator, Pasid pasid, VirtAddr src, uint
 void Fabric::RingDoorbell(DeviceId from, DeviceId to, uint64_t value) {
   Port* port = FindPort(to);
   if (port == nullptr || !port->doorbell) {
-    stats_.GetCounter("doorbells_dropped").Increment();
+    doorbells_dropped_.Increment();
     return;
   }
-  stats_.GetCounter("doorbells").Increment();
+  doorbells_.Increment();
   sim::Duration latency = config_.doorbell_latency;
   int copies = 1;
   if (faults_ != nullptr) {
@@ -359,7 +479,7 @@ void Fabric::RingDoorbell(DeviceId from, DeviceId to, uint64_t value) {
     if (fault.drop) {
       // Doorbells are edge-triggered with no acknowledgement: a lost one is
       // simply lost, and the receiver's poll backstop must catch the work.
-      stats_.GetCounter("doorbells_faulted").Increment();
+      doorbells_faulted_.Increment();
       return;
     }
     latency = latency + fault.extra_delay;
@@ -378,7 +498,7 @@ void Fabric::RingDoorbell(DeviceId from, DeviceId to, uint64_t value) {
       if (target != nullptr && target->doorbell) {
         target->doorbell(from, value);
       } else {
-        stats_.GetCounter("doorbells_dropped").Increment();
+        doorbells_dropped_.Increment();
       }
     });
   }
@@ -392,9 +512,7 @@ DoorbellBatcher::DoorbellBatcher(Fabric* fabric, DeviceId from)
 DoorbellBatcher::~DoorbellBatcher() { CancelPending(); }
 
 void DoorbellBatcher::CancelPending() {
-  for (auto& [key, pending] : pending_) {
-    fabric_->simulator()->Cancel(pending.flush);
-  }
+  // Each entry's ScopedEvent cancels its trailing flush on destruction.
   pending_.clear();
 }
 
@@ -410,25 +528,29 @@ void DoorbellBatcher::Ring(DeviceId to, uint64_t value) {
     // Suppressed: the trailing doorbell at window close covers this ring.
     ++it->second.merged;
     ++coalesced_;
-    fabric_->stats().GetCounter("doorbells_coalesced").Increment();
+    fabric_->doorbells_coalesced_.Increment();
     return;
   }
   // Leading edge goes out immediately — a lone doorbell pays no extra
   // latency; only bursts are merged.
   fabric_->RingDoorbell(from_, to, value);
+  sim::EventId flush =
+      fabric_->simulator()->Schedule(window, [this, to, value, key] {
+        auto pending_it = pending_.find(key);
+        if (pending_it == pending_.end()) {
+          return;
+        }
+        uint64_t merged = pending_it->second.merged;
+        // Erasing the entry Cancel()s the flush id — a clean miss, since the
+        // flush is the event currently executing.
+        pending_.erase(pending_it);
+        if (merged > 0) {
+          fabric_->RingDoorbell(from_, to, value);
+        }
+      });
   Pending pending;
-  pending.flush = fabric_->simulator()->Schedule(window, [this, to, value, key] {
-    auto pending_it = pending_.find(key);
-    if (pending_it == pending_.end()) {
-      return;
-    }
-    uint64_t merged = pending_it->second.merged;
-    pending_.erase(pending_it);
-    if (merged > 0) {
-      fabric_->RingDoorbell(from_, to, value);
-    }
-  });
-  pending_.emplace(key, pending);
+  pending.flush = sim::ScopedEvent(fabric_->simulator(), flush);
+  pending_.emplace(key, std::move(pending));
 }
 
 }  // namespace lastcpu::fabric

@@ -24,6 +24,7 @@
 #include "src/iommu/iommu.h"
 #include "src/mem/physical_memory.h"
 #include "src/sim/fault.h"
+#include "src/sim/move_fn.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
 #include "src/sim/trace.h"
@@ -82,8 +83,11 @@ class Fabric {
 
   // --- bulk asynchronous DMA ------------------------------------------------
 
-  using DmaCallback = std::function<void(Status)>;
-  using DmaReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
+  // Move-only (see sim::MoveFn): completions routinely capture buffers and
+  // nested callbacks that should transfer, not copy. Sized so one level of
+  // nesting plus a payload stays inline.
+  using DmaCallback = sim::MoveFn<void(Status), 160>;
+  using DmaReadCallback = sim::MoveFn<void(Result<std::vector<uint8_t>>), 160>;
 
   // Copies `data` into (pasid, dst). Completion is signaled after the modeled
   // transfer time; translation faults complete with an error. `ctx` parents
@@ -97,7 +101,8 @@ class Fabric {
 
   // --- scatter-gather DMA (the data-plane batching fast path) ---------------
 
-  using DmaReadvCallback = std::function<void(Result<std::vector<std::vector<uint8_t>>>)>;
+  using DmaReadvCallback =
+      sim::MoveFn<void(Result<std::vector<std::vector<uint8_t>>>), 160>;
 
   // Writes every segment as ONE modeled transfer: per-segment translation
   // (each segment pays its own walk costs on TLB misses), a single
@@ -159,8 +164,34 @@ class Fabric {
   FabricConfig config_;
   sim::Tracer tracer_;
   std::unordered_map<DeviceId, Port> ports_;
+  // Last port looked up. DMA-heavy phases hit the same initiator for long
+  // runs, so this turns the per-access hash lookup into one id compare.
+  // Port references are stable in unordered_map except for erased entries,
+  // so only detach must invalidate.
+  DeviceId cached_port_id_ = DeviceId::Invalid();
+  Port* cached_port_ = nullptr;
   sim::StatsRegistry stats_;
   sim::FaultInjector* faults_ = nullptr;
+
+  // Per-transfer stats, resolved once at construction: registry references
+  // are stable for the fabric's lifetime, so the per-event cost is a plain
+  // increment instead of a name lookup.
+  sim::Counter& dma_faults_ = stats_.GetCounter("dma_faults");
+  sim::Counter& dma_writes_ = stats_.GetCounter("dma_writes");
+  sim::Counter& dma_bytes_written_ = stats_.GetCounter("dma_bytes_written");
+  sim::Counter& dma_reads_ = stats_.GetCounter("dma_reads");
+  sim::Counter& dma_bytes_read_ = stats_.GetCounter("dma_bytes_read");
+  sim::Counter& dma_sg_segments_ = stats_.GetCounter("dma_sg_segments");
+  sim::Counter& mmio_writes_ = stats_.GetCounter("mmio_writes");
+  sim::Counter& mmio_reads_ = stats_.GetCounter("mmio_reads");
+  sim::Counter& doorbells_ = stats_.GetCounter("doorbells");
+  sim::Counter& doorbells_dropped_ = stats_.GetCounter("doorbells_dropped");
+  sim::Counter& doorbells_faulted_ = stats_.GetCounter("doorbells_faulted");
+  sim::Counter& doorbells_coalesced_ = stats_.GetCounter("doorbells_coalesced");
+
+  friend class DoorbellBatcher;
+  sim::Histogram& dma_write_latency_ = stats_.GetHistogram("dma_write_latency");
+  sim::Histogram& dma_read_latency_ = stats_.GetHistogram("dma_read_latency");
 };
 
 // Device-side doorbell coalescing. With the fabric's coalesce window at zero
@@ -191,7 +222,9 @@ class DoorbellBatcher {
 
  private:
   struct Pending {
-    sim::EventId flush;
+    // RAII: dropping the entry (reset, destruction) cancels the trailing
+    // flush; a flush that already fired is a clean cancel miss.
+    sim::ScopedEvent flush;
     uint64_t merged = 0;
   };
 

@@ -63,44 +63,53 @@ void Iommu::Reset(const ProgrammingKey& key) {
   tlb_.InvalidateAll();
 }
 
-Result<Translation> Iommu::Translate(Pasid pasid, VirtAddr vaddr, Access wanted) {
-  ++translations_;
-  uint64_t vpage = vaddr.page();
-
-  auto fault = [&](FaultInfo::Kind kind) -> Status {
-    ++faults_;
-    FaultInfo info{kind, pasid, vaddr, wanted};
-    if (fault_handler_) {
-      fault_handler_(info);
-    }
-    return PermissionDenied(info.ToString());
-  };
-
-  if (vpage > PageTable::kMaxVpage) {
-    return fault(FaultInfo::Kind::kBadAddress);
-  }
-
-  if (auto cached = tlb_.Lookup(pasid, vpage)) {
-    if (!AccessCovers(cached->access, wanted)) {
-      return fault(FaultInfo::Kind::kPermission);
-    }
-    return Translation{PhysAddr((cached->pframe << kPageShift) | vaddr.offset()), true, 0};
-  }
-
+bool Iommu::WalkAndFill(Pasid pasid, VirtAddr vaddr, Access wanted, Translation* out) {
   PageTable* table = FindTable(pasid);
   if (table == nullptr) {
-    return fault(FaultInfo::Kind::kNotMapped);
+    return false;
   }
-  auto pte = table->Lookup(vpage);
+  auto pte = table->Lookup(vaddr.page());
   if (!pte.ok()) {
-    return fault(FaultInfo::Kind::kNotMapped);
+    return false;
   }
-  tlb_.Insert(pasid, vpage, *pte);
+  // Fill the TLB before the permission check, as a real walker would: the
+  // entry is valid, the access just isn't allowed.
+  tlb_.Insert(pasid, vaddr.page(), *pte);
   if (!AccessCovers(pte->access, wanted)) {
-    return fault(FaultInfo::Kind::kPermission);
+    return false;
   }
-  return Translation{PhysAddr((pte->pframe << kPageShift) | vaddr.offset()), false,
+  *out = Translation{PhysAddr((pte->pframe << kPageShift) | vaddr.offset()), false,
                      PageTable::kLevels};
+  return true;
+}
+
+Status Iommu::TranslateFault(Pasid pasid, VirtAddr vaddr, Access wanted) {
+  ++faults_;
+  // Re-derive the fault kind from the tables (not the TLB — its hit/miss
+  // counters were already charged by TryTranslate).
+  FaultInfo::Kind kind = FaultInfo::Kind::kNotMapped;
+  uint64_t vpage = vaddr.page();
+  if (vpage > PageTable::kMaxVpage) {
+    kind = FaultInfo::Kind::kBadAddress;
+  } else if (PageTable* table = FindTable(pasid)) {
+    auto pte = table->Lookup(vpage);
+    if (pte.ok()) {
+      kind = FaultInfo::Kind::kPermission;
+    }
+  }
+  FaultInfo info{kind, pasid, vaddr, wanted};
+  if (fault_handler_) {
+    fault_handler_(info);
+  }
+  return PermissionDenied(info.ToString());
+}
+
+Result<Translation> Iommu::Translate(Pasid pasid, VirtAddr vaddr, Access wanted) {
+  Translation translation;
+  if (TryTranslate(pasid, vaddr, wanted, &translation)) {
+    return translation;
+  }
+  return TranslateFault(pasid, vaddr, wanted);
 }
 
 uint64_t Iommu::mapped_pages(Pasid pasid) const {

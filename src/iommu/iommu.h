@@ -93,6 +93,32 @@ class Iommu {
   // device while the DMA engine sees an abort.
   Result<Translation> Translate(Pasid pasid, VirtAddr vaddr, Access wanted);
 
+  // Hot-path translation without the Result boxing: on success fills `out`
+  // and returns true, having charged exactly the counters Translate would
+  // (translation count, TLB hit/miss, TLB fill on a walk). On failure it
+  // returns false with no fault accounting done yet — the caller must follow
+  // up with TranslateFault (once) to classify the fault, run the device's
+  // fault handler, and obtain the error. Translate() is precisely that pair.
+  bool TryTranslate(Pasid pasid, VirtAddr vaddr, Access wanted, Translation* out) {
+    ++translations_;
+    uint64_t vpage = vaddr.page();
+    if (vpage > PageTable::kMaxVpage) {
+      return false;
+    }
+    if (auto cached = tlb_.Lookup(pasid, vpage)) {
+      if (!AccessCovers(cached->access, wanted)) {
+        return false;
+      }
+      *out = Translation{PhysAddr((cached->pframe << kPageShift) | vaddr.offset()), true, 0};
+      return true;
+    }
+    return WalkAndFill(pasid, vaddr, wanted, out);
+  }
+
+  // The cold half of a failed TryTranslate: fault bookkeeping, the attached
+  // device's fault handler, and the error status.
+  Status TranslateFault(Pasid pasid, VirtAddr vaddr, Access wanted);
+
   // Installs the attached device's fault handler.
   void SetFaultHandler(FaultHandler handler) { fault_handler_ = std::move(handler); }
 
@@ -105,6 +131,8 @@ class Iommu {
 
  private:
   PageTable* FindTable(Pasid pasid) const;
+  // TLB-miss half of TryTranslate: radix walk, TLB fill, permission check.
+  bool WalkAndFill(Pasid pasid, VirtAddr vaddr, Access wanted, Translation* out);
 
   DeviceId owner_;
   Tlb tlb_;

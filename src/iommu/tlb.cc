@@ -10,26 +10,6 @@ Tlb::Tlb(TlbConfig config) : config_(config) {
   entries_.resize(static_cast<size_t>(config.num_sets) * config.ways);
 }
 
-size_t Tlb::SetBase(Pasid pasid, uint64_t vpage) const {
-  // Mix PASID into the index so address spaces spread across sets.
-  uint64_t h = vpage ^ (static_cast<uint64_t>(pasid.value()) * 0x9E3779B97F4A7C15ULL);
-  return static_cast<size_t>(h & (config_.num_sets - 1)) * config_.ways;
-}
-
-std::optional<PteValue> Tlb::Lookup(Pasid pasid, uint64_t vpage) {
-  size_t base = SetBase(pasid, vpage);
-  for (uint32_t way = 0; way < config_.ways; ++way) {
-    Entry& e = entries_[base + way];
-    if (e.valid && e.pasid == pasid && e.vpage == vpage) {
-      e.last_used = ++clock_;
-      ++hits_;
-      return e.value;
-    }
-  }
-  ++misses_;
-  return std::nullopt;
-}
-
 void Tlb::Insert(Pasid pasid, uint64_t vpage, PteValue value) {
   size_t base = SetBase(pasid, vpage);
   Entry* victim = &entries_[base];

@@ -21,8 +21,22 @@ class Tlb {
  public:
   explicit Tlb(TlbConfig config);
 
-  // Returns the cached translation and refreshes its recency.
-  std::optional<PteValue> Lookup(Pasid pasid, uint64_t vpage);
+  // Returns the cached translation and refreshes its recency. Defined inline:
+  // this is on the per-access translation path, hot enough that the
+  // cross-TU call was visible in profiles.
+  std::optional<PteValue> Lookup(Pasid pasid, uint64_t vpage) {
+    size_t base = SetBase(pasid, vpage);
+    for (uint32_t way = 0; way < config_.ways; ++way) {
+      Entry& e = entries_[base + way];
+      if (e.valid && e.pasid == pasid && e.vpage == vpage) {
+        e.last_used = ++clock_;
+        ++hits_;
+        return e.value;
+      }
+    }
+    ++misses_;
+    return std::nullopt;
+  }
 
   // Inserts (possibly evicting the set's LRU entry).
   void Insert(Pasid pasid, uint64_t vpage, PteValue value);
@@ -49,7 +63,11 @@ class Tlb {
     uint64_t last_used = 0;
   };
 
-  size_t SetBase(Pasid pasid, uint64_t vpage) const;
+  size_t SetBase(Pasid pasid, uint64_t vpage) const {
+    // Mix PASID into the index so address spaces spread across sets.
+    uint64_t h = vpage ^ (static_cast<uint64_t>(pasid.value()) * 0x9E3779B97F4A7C15ULL);
+    return static_cast<size_t>(h & (config_.num_sets - 1)) * config_.ways;
+  }
 
   TlbConfig config_;
   std::vector<Entry> entries_;

@@ -72,12 +72,12 @@ std::optional<uint32_t> KvsEngine::GenOf(const std::string& name) const {
   return generation;
 }
 
-void KvsEngine::RunOrQueue(std::function<void()> op) {
+void KvsEngine::RunOrQueue(sim::MoveFn<void(), 256> op) {
   if (!compacting_ && file_->HasFreeSlot() && waiting_.empty()) {
     op();
     return;
   }
-  stats_.GetCounter("ops_queued").Increment();
+  ops_queued_.Increment();
   waiting_.push_back(std::move(op));
 }
 
@@ -295,7 +295,7 @@ void KvsEngine::Get(const std::string& key, GetCallback done) {
     done(Unavailable("kvs engine is not running"));
     return;
   }
-  stats_.GetCounter("gets").Increment();
+  gets_.Increment();
   // Queue behind a compaction swap so reads never straddle the generation
   // switch. The index lookup happens when the op actually runs.
   RunOrQueue([this, key, done = std::move(done)]() mutable {
@@ -330,7 +330,7 @@ void KvsEngine::Put(const std::string& key, std::vector<uint8_t> value, PutCallb
     done(Unavailable("kvs engine is not running"));
     return;
   }
-  stats_.GetCounter("puts").Increment();
+  puts_.Increment();
   LogRecord record;
   record.key = key;
   record.value = std::move(value);

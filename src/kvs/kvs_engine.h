@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/sim/move_fn.h"
 #include "src/dev/device.h"
 #include "src/kvs/kvs_protocol.h"
 #include "src/ssddev/file_client.h"
@@ -68,8 +69,8 @@ struct KvsEngineConfig {
 
 class KvsEngine {
  public:
-  using GetCallback = std::function<void(Result<std::vector<uint8_t>>)>;
-  using PutCallback = std::function<void(Status)>;
+  using GetCallback = sim::MoveFn<void(Result<std::vector<uint8_t>>), 160>;
+  using PutCallback = sim::MoveFn<void(Status), 160>;
   using StartCallback = std::function<void(Status)>;
   using Responder = std::function<void(std::vector<uint8_t>)>;
 
@@ -142,7 +143,7 @@ class KvsEngine {
 
   // Runs `op` now if the session has a free slot (and no compaction swap is
   // in progress), else queues it.
-  void RunOrQueue(std::function<void()> op);
+  void RunOrQueue(sim::MoveFn<void(), 256> op);
   void PumpWaiting();
 
   dev::Device* host_;
@@ -160,8 +161,14 @@ class KvsEngine {
   bool compacting_ = false;
   std::unique_ptr<ssddev::FileClient> compact_file_;
 
-  std::deque<std::function<void()>> waiting_;
+  // 256-byte tier: a queued op captures a key plus a nested 160-tier
+  // completion (~210-230 bytes) and must stay inline.
+  std::deque<sim::MoveFn<void(), 256>> waiting_;
   sim::StatsRegistry stats_;
+  // Per-op counters resolved once; registry references are stable.
+  sim::Counter& gets_ = stats_.GetCounter("gets");
+  sim::Counter& puts_ = stats_.GetCounter("puts");
+  sim::Counter& ops_queued_ = stats_.GetCounter("ops_queued");
 };
 
 }  // namespace lastcpu::kvs

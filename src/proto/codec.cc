@@ -755,7 +755,12 @@ Result<Message> DecodeMessage(std::span<const uint8_t> wire) {
 size_t EncodedSize(const Message& message) {
   // Header: magic(2) + version(1) + type(2) + src(4) + dst(4) + reqid(8) +
   // payload length prefix(4).
-  ByteWriter payload_writer;
+  //
+  // The bus calls this once per message just to model wire latency; reusing
+  // one scratch writer keeps the hot path allocation-free after warmup (the
+  // simulation is single-threaded, thread_local is belt-and-braces).
+  static thread_local ByteWriter payload_writer;
+  payload_writer.Clear();
   std::visit(PayloadEncoder{payload_writer}, message.payload);
   return 25 + payload_writer.size();
 }

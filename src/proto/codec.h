@@ -33,6 +33,9 @@ class ByteWriter {
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> Take() { return std::move(bytes_); }
   size_t size() const { return bytes_.size(); }
+  // Empties the sink but keeps its capacity, so a reused writer stops
+  // allocating once it has seen the largest message.
+  void Clear() { bytes_.clear(); }
 
  private:
   std::vector<uint8_t> bytes_;

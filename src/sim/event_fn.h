@@ -1,0 +1,17 @@
+// EventFn: the simulator's move-only callback type — see MoveFn for the
+// machinery and the rationale. The inline buffer is sized so a DMA completion
+// (this + span + two vectors + a nested 168-byte MoveFn completion, ~240
+// bytes) stays inline; event nodes are pooled, so the wider buffer costs
+// arena bytes, not per-event allocations.
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include "src/sim/move_fn.h"
+
+namespace lastcpu::sim {
+
+using EventFn = MoveFn<void(), 256>;
+
+}  // namespace lastcpu::sim
+
+#endif  // SRC_SIM_EVENT_FN_H_

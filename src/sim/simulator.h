@@ -4,60 +4,110 @@
 // embedded cores) is driven by callbacks scheduled on one Simulator. Events at
 // equal timestamps run in scheduling order, which keeps runs deterministic for
 // a fixed seed — a property the tests rely on.
+//
+// Engine shape (see DESIGN.md "Calendar-queue event core"): events live in
+// pooled nodes addressed by generation-tagged EventIds. Near-future events go
+// into time-indexed calendar buckets (O(1) schedule for the short delays that
+// bus hops, DMA completions, and doorbells generate); the bucket currently
+// being drained is a small binary heap; far-future events (daemons, watchdog
+// periods) sit in a spill heap until the calendar window reaches them.
+// Execution order is globally (timestamp, schedule-seq) — identical to the
+// old comparison-heap engine, just cheaper to maintain.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "src/sim/event_fn.h"
 #include "src/sim/time.h"
 
 namespace lastcpu::sim {
 
-// Handle for a scheduled event, usable to cancel it before it fires.
+// Handle for a scheduled event, usable to cancel it before it fires. The
+// generation tag makes a stale handle (event already ran, cancelled, or slot
+// reused) a cheap miss instead of undefined behaviour.
 class EventId {
  public:
   constexpr EventId() = default;
-  constexpr explicit EventId(uint64_t seq) : seq_(seq) {}
 
-  constexpr uint64_t seq() const { return seq_; }
-  constexpr bool valid() const { return seq_ != 0; }
+  constexpr bool valid() const { return generation_ != 0; }
 
-  friend constexpr auto operator<=>(EventId, EventId) = default;
+  friend constexpr bool operator==(EventId, EventId) = default;
 
  private:
-  uint64_t seq_ = 0;
+  friend class Simulator;
+  constexpr EventId(uint32_t slot, uint32_t generation)
+      : slot_(slot), generation_(generation) {}
+
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
+};
+
+// Calendar geometry. The defaults cover a ~2ms near-future window at 512ns
+// resolution, which buckets every bus hop, table update, DMA completion, and
+// NAND array operation; only multi-millisecond daemons spill to the far heap.
+struct CalendarConfig {
+  Duration bucket_width = Duration::Nanos(512);
+  uint32_t bucket_count = 4096;  // must be a power of two
 };
 
 // Single-threaded discrete-event scheduler with a monotonically advancing
 // virtual clock.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
-
-  Simulator() = default;
+  explicit Simulator(CalendarConfig calendar = {});
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   // Current virtual time. Only advances inside Run*().
   SimTime Now() const { return now_; }
 
-  // Schedules `callback` to run at Now() + delay. Returns a handle that can
-  // cancel the event while it is still pending.
-  EventId Schedule(Duration delay, Callback callback);
+  // Schedules `fn` (anything an EventFn can hold) to run at Now() + delay.
+  // Returns a handle that can cancel the event while it is still pending.
+  // Templated so the callable is constructed directly inside the pooled
+  // event node — no EventFn temporary, no relocation on the way in.
+  template <typename F>
+  EventId Schedule(Duration delay, F&& fn) {
+    return ScheduleInternal(now_ + delay, std::forward<F>(fn), /*daemon=*/false,
+                            /*periodic=*/false, Duration::Zero());
+  }
 
   // Schedules at an absolute time, which must not be in the past.
-  EventId ScheduleAt(SimTime when, Callback callback);
+  template <typename F>
+  EventId ScheduleAt(SimTime when, F&& fn) {
+    return ScheduleInternal(when, std::forward<F>(fn), /*daemon=*/false,
+                            /*periodic=*/false, Duration::Zero());
+  }
 
   // Daemon events (heartbeats, watchdog sweeps) do not keep Run() alive:
   // Run() returns once only daemons remain. RunUntil/RunFor still execute
   // daemons up to the deadline, and Step() executes them like any event.
-  EventId ScheduleDaemon(Duration delay, Callback callback);
+  template <typename F>
+  EventId ScheduleDaemon(Duration delay, F&& fn) {
+    return ScheduleInternal(now_ + delay, std::forward<F>(fn), /*daemon=*/true,
+                            /*periodic=*/false, Duration::Zero());
+  }
 
-  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  // Schedules `fn` to run every `period`, first at Now() + period. The event
+  // re-arms itself after each invocation (the re-arm takes a fresh sequence
+  // number at fire time, exactly as a hand-rolled reschedule-last loop
+  // would), but the returned EventId stays valid across firings, so one
+  // Cancel — from anywhere, including inside `fn` — stops the loop for good.
+  // Periodic events are daemons: they never keep Run() alive.
+  template <typename F>
+  EventId SchedulePeriodic(Duration period, F&& fn) {
+    return ScheduleInternal(now_ + period, std::forward<F>(fn), /*daemon=*/true,
+                            /*periodic=*/true, period);
+  }
+
+  // Cancels a pending event in O(1): the node is reclaimed immediately (its
+  // callback and captures are destroyed now, not when the timestamp would
+  // have been reached). Returns false if it already ran or was cancelled.
   bool Cancel(EventId id);
 
   // Runs events until no non-daemon events remain.
@@ -76,44 +126,186 @@ class Simulator {
   // Number of events executed since construction.
   uint64_t events_executed() const { return events_executed_; }
   // Number of events currently pending (excluding cancelled ones).
-  size_t pending_events() const { return pending_.size(); }
+  size_t pending_events() const { return pending_count_; }
+
+  // Introspection for tests and the memory-compaction regression suite:
+  // queue slots occupied by already-cancelled events, and how many times the
+  // queues were compacted to drop them.
+  size_t cancelled_refs() const { return cancelled_refs_; }
+  uint64_t compactions() const { return compactions_; }
 
  private:
-  struct Entry {
+  // A queued reference to a pooled node. Ordering is (when, seq); the
+  // generation detects refs whose node was cancelled (and maybe reused).
+  struct Ref {
     SimTime when;
     uint64_t seq;
-    Callback callback;
-    bool daemon = false;
-
-    // Min-heap on (when, seq): FIFO among simultaneous events.
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
+    uint32_t slot;
+    uint32_t generation;
   };
 
-  EventId ScheduleInternal(SimTime when, Callback callback, bool daemon);
+  struct Node {
+    bool in_queue = false;
+    bool daemon = false;
+    bool periodic = false;
+    Duration period;
+    EventFn fn;
+  };
 
-  // Pops and runs the top entry. Precondition: queue non-empty and top not
-  // cancelled.
+  // Constructs the callable straight into the pool node, then hands the
+  // bookkeeping to the non-template CommitSchedule (one copy of that code,
+  // not one per lambda type).
+  template <typename F>
+  EventId ScheduleInternal(SimTime when, F&& fn, bool daemon, bool periodic,
+                           Duration period) {
+    uint32_t slot = AllocSlot();
+    NodeAt(slot).fn = std::forward<F>(fn);
+    return CommitSchedule(slot, when, daemon, periodic, period);
+  }
+  EventId CommitSchedule(uint32_t slot, SimTime when, bool daemon, bool periodic,
+                         Duration period);
+  uint32_t AllocSlot();
+  // Reclaims a slot: destroys the callback, bumps the generation (so stale
+  // refs and EventIds miss), and returns the slot to the freelist.
+  void ReleaseSlot(uint32_t slot);
+  // Invalidates the slot's generation without touching its contents — used
+  // to retire a firing event's id before its callback runs in place.
+  void BumpGeneration(uint32_t slot) {
+    if (++generations_[slot] == 0) {
+      generations_[slot] = 1;  // generation 0 is the invalid-EventId marker
+    }
+  }
+  // Nodes live in fixed chunks so their addresses survive pool growth: a
+  // callback executing in place may schedule (allocating nodes) without
+  // moving itself.
+  Node& NodeAt(uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+  bool RefLive(const Ref& ref) const {
+    return generations_[ref.slot] == ref.generation;
+  }
+
+  // Heap helpers over a plain vector (min-heap on (when, seq)).
+  static void HeapPush(std::vector<Ref>& heap, Ref ref);
+  static Ref HeapPop(std::vector<Ref>& heap);
+
+  void InsertRef(Ref ref);
+  SimTime Horizon() const;
+
+  // Makes cur_'s top the globally earliest live event: skims stale refs and
+  // advances the calendar window as needed. False if nothing is pending.
+  bool EnsureNext();
+  // Rotates one bucket into cur_ and pulls newly-in-window spill entries.
+  void AdvanceOneBucket();
+  // Advances base_/cur_end_ past empty buckets to the next occupied one
+  // (precondition: refs_in_buckets_ > 0) without touching the skipped slots.
+  void SkipEmptyBuckets();
+  // With cur_ and all buckets empty, realigns the window at the spill top.
+  void JumpToSpill();
+  void DrainSpillIntoWindow();
+
+  // Pops and runs the earliest event. Precondition: EnsureNext() was true.
   void RunTop();
-  // Drops cancelled entries from the top of the heap.
-  void SkimCancelled();
+
+  // Drops cancelled refs from every queue once they outnumber live ones (the
+  // schedule-then-cancel burst pattern would otherwise grow memory
+  // unboundedly within a run).
+  void MaybeCompact();
+  void Compact();
 
   SimTime now_ = SimTime::Zero();
   uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // Seqs scheduled but not yet run or cancelled.
-  std::unordered_set<uint64_t> pending_;
+
+  // Event pool: chunk-stable node storage plus a dense generation array.
+  // Liveness checks (the inner loop of every pop) touch only the packed
+  // uint32 array, not the ~300-byte nodes.
+  static constexpr uint32_t kChunkShift = 8;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::vector<uint32_t> generations_;
+  std::vector<uint32_t> free_slots_;
+
+  // Calendar: cur_ holds refs with when < cur_end_; bucket j (ring order
+  // from base_) covers [cur_end_ + j*W, cur_end_ + (j+1)*W); spill_ holds
+  // refs at or beyond the window horizon.
+  const uint64_t bucket_width_nanos_;
+  const uint32_t bucket_mask_;
+  std::vector<Ref> cur_;
+  std::vector<std::vector<Ref>> buckets_;
+  std::vector<Ref> spill_;
+  SimTime cur_end_;
+  uint32_t base_ = 0;
+  size_t refs_in_buckets_ = 0;
+  // One bit per ring slot: set while that bucket holds any ref (live or
+  // stale). Lets EnsureNext() jump over runs of empty buckets in O(1) word
+  // scans instead of rotating them one at a time — with fine-grained buckets
+  // and sparse events, empty rotations would otherwise dominate.
+  std::vector<uint64_t> occupied_;
+
+  size_t pending_count_ = 0;
   // Non-daemon events outstanding (what Run() waits on).
   uint64_t live_events_ = 0;
-  // Daemon seqs still pending (to maintain live_events_ on cancel).
-  std::unordered_set<uint64_t> daemon_seqs_;
-  // Seqs cancelled but still physically in the heap (lazy deletion).
-  std::unordered_set<uint64_t> cancelled_;
+  size_t cancelled_refs_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+// RAII handle for a scheduled event: cancels it on destruction. Movable, so
+// it can live in containers and records; assignment cancels the previously
+// held event. Replaces the hand-rolled "store an EventId, remember to Cancel
+// and null it on every exit path" pattern.
+class ScopedEvent {
+ public:
+  ScopedEvent() = default;
+  ScopedEvent(Simulator* simulator, EventId id) : simulator_(simulator), id_(id) {}
+
+  ScopedEvent(ScopedEvent&& other) noexcept
+      : simulator_(other.simulator_), id_(other.id_) {
+    other.simulator_ = nullptr;
+    other.id_ = EventId();
+  }
+  ScopedEvent& operator=(ScopedEvent&& other) noexcept {
+    if (this != &other) {
+      Cancel();
+      simulator_ = other.simulator_;
+      id_ = other.id_;
+      other.simulator_ = nullptr;
+      other.id_ = EventId();
+    }
+    return *this;
+  }
+
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+  ~ScopedEvent() { Cancel(); }
+
+  // Cancels the held event (if any still pending). Returns what
+  // Simulator::Cancel returned; the handle becomes empty either way.
+  bool Cancel() {
+    bool cancelled = false;
+    if (simulator_ != nullptr && id_.valid()) {
+      cancelled = simulator_->Cancel(id_);
+    }
+    simulator_ = nullptr;
+    id_ = EventId();
+    return cancelled;
+  }
+
+  // Abandons ownership without cancelling; returns the raw id.
+  EventId Release() {
+    EventId id = id_;
+    simulator_ = nullptr;
+    id_ = EventId();
+    return id;
+  }
+
+  EventId id() const { return id_; }
+  bool armed() const { return id_.valid(); }
+
+ private:
+  Simulator* simulator_ = nullptr;
+  EventId id_;
 };
 
 }  // namespace lastcpu::sim

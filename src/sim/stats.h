@@ -7,9 +7,11 @@
 #define SRC_SIM_STATS_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -98,11 +100,29 @@ struct StatsSnapshot {
 // aggregates registries for reporting.
 class StatsRegistry {
  public:
-  Counter& GetCounter(const std::string& name) { return counters_[name]; }
-  Histogram& GetHistogram(const std::string& name) { return histograms_[name]; }
+  // Heterogeneous lookup: a string literal at the call site costs a tree
+  // walk, never a temporary std::string. Returned references are stable for
+  // the registry's lifetime — hot paths should look up once and keep the
+  // reference instead of re-resolving the name per event.
+  Counter& GetCounter(std::string_view name) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name), Counter{}).first;
+    }
+    return it->second;
+  }
+  Histogram& GetHistogram(std::string_view name) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(std::string(name), Histogram{}).first;
+    }
+    return it->second;
+  }
 
-  const std::map<std::string, Counter>& counters() const { return counters_; }
-  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  const std::map<std::string, Counter, std::less<>>& counters() const { return counters_; }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
 
   // Multi-line human-readable dump.
   std::string Report(const std::string& prefix = "") const;
@@ -113,8 +133,8 @@ class StatsRegistry {
   void Reset();
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 }  // namespace lastcpu::sim

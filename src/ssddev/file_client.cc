@@ -130,19 +130,14 @@ void FileClient::StartCompletionPoll() {
   if (config_.completion_poll <= sim::Duration::Zero()) {
     return;
   }
-  SchedulePoll(++poll_generation_);
-}
-
-void FileClient::SchedulePoll(uint64_t generation) {
-  host_->simulator()->ScheduleDaemon(config_.completion_poll, [this, generation] {
-    if (generation != poll_generation_ || queue_ == nullptr) {
-      return;  // session turned over; this daemon chain dies
-    }
-    if (!in_flight_.empty()) {
-      DrainCompletions();
-    }
-    SchedulePoll(generation);
-  });
+  // Assigning cancels any poll left over from a previous session.
+  poll_ = sim::ScopedEvent(
+      host_->simulator(),
+      host_->simulator()->SchedulePeriodic(config_.completion_poll, [this] {
+        if (queue_ != nullptr && in_flight_count_ > 0) {
+          DrainCompletions();
+        }
+      }));
 }
 
 void FileClient::Issue(FileRequestHeader header, std::vector<uint8_t> payload, Pending pending) {
@@ -177,10 +172,10 @@ void FileClient::Issue(FileRequestHeader header, std::vector<uint8_t> payload, P
     staged.request_len = request_len;
     staged.pending = std::move(pending);
     staged_.push_back(std::move(staged));
-    if (!flush_scheduled_) {
-      flush_scheduled_ = true;
-      flush_event_ =
-          host_->simulator()->Schedule(config_.submit_batch_window, [this] { FlushBatch(); });
+    if (!flush_.armed()) {
+      flush_ = sim::ScopedEvent(
+          host_->simulator(),
+          host_->simulator()->Schedule(config_.submit_batch_window, [this] { FlushBatch(); }));
     }
     return;
   }
@@ -208,14 +203,18 @@ void FileClient::Issue(FileRequestHeader header, std::vector<uint8_t> payload, P
           Fail(pending, head.status());
           return;
         }
-        in_flight_.emplace(*head, std::move(pending));
-        host_->stats().GetCounter("file_client_requests").Increment();
+        if (*head >= in_flight_.size()) {
+          in_flight_.resize(*head + 1);
+        }
+        in_flight_[*head] = std::move(pending);
+        ++in_flight_count_;
+        requests_.Increment();
         bells_->Ring(provider_, instance_.value());
       });
 }
 
 void FileClient::FlushBatch() {
-  flush_scheduled_ = false;
+  flush_.Release();  // this is the flush event firing; nothing left to cancel
   std::vector<Staged> batch = std::move(staged_);
   staged_.clear();
   if (batch.empty()) {
@@ -262,8 +261,12 @@ void FileClient::FlushBatch() {
             Fail(staged.pending, head.status());
             continue;
           }
-          in_flight_.emplace(*head, std::move(staged.pending));
-          host_->stats().GetCounter("file_client_requests").Increment();
+          if (*head >= in_flight_.size()) {
+            in_flight_.resize(*head + 1);
+          }
+          in_flight_[*head] = std::move(staged.pending);
+          ++in_flight_count_;
+          requests_.Increment();
           submitted = true;
         }
         if (submitted) {
@@ -332,14 +335,15 @@ void FileClient::DrainCompletions() {
     if (!used.ok() || !used->has_value()) {
       return;
     }
-    auto it = in_flight_.find((*used)->head);
-    if (it == in_flight_.end()) {
+    uint16_t head = (*used)->head;
+    if (head >= in_flight_.size() || !in_flight_[head].has_value()) {
       host_->stats().GetCounter("orphan_completions").Increment();
       continue;
     }
-    Pending pending = std::move(it->second);
-    in_flight_.erase(it);
-    CompleteOne((*used)->head, std::move(pending));
+    Pending pending = std::move(*in_flight_[head]);
+    in_flight_[head].reset();
+    --in_flight_count_;
+    CompleteOne(head, std::move(pending));
   }
 }
 
@@ -422,10 +426,7 @@ void FileClient::Fail(Pending& pending, Status status) {
 }
 
 void FileClient::AbortAll(Status reason) {
-  if (flush_scheduled_) {
-    host_->simulator()->Cancel(flush_event_);
-    flush_scheduled_ = false;
-  }
+  flush_.Cancel();
   auto staged = std::move(staged_);
   staged_.clear();
   for (auto& s : staged) {
@@ -434,15 +435,19 @@ void FileClient::AbortAll(Status reason) {
   }
   auto doomed = std::move(in_flight_);
   in_flight_.clear();
-  for (auto& [head, pending] : doomed) {
-    free_slots_.push_back(pending.slot);
-    Fail(pending, reason);
+  in_flight_count_ = 0;
+  for (auto& pending : doomed) {
+    if (!pending.has_value()) {
+      continue;
+    }
+    free_slots_.push_back(pending->slot);
+    Fail(*pending, reason);
   }
 }
 
 void FileClient::Reset(Status reason) {
   AbortAll(std::move(reason));
-  ++poll_generation_;  // stop the completion-poll daemon
+  poll_.Cancel();
   if (bells_ != nullptr) {
     bells_->CancelPending();
   }
@@ -456,16 +461,16 @@ void FileClient::Reset(Status reason) {
   depth_ = 0;
 }
 
-void FileClient::Close(std::function<void(Status)> done) {
+void FileClient::Close(sim::MoveFn<void(Status), 160> done) {
   LASTCPU_CHECK(done != nullptr, "close without callback");
   if (queue_ == nullptr) {
     done(FailedPrecondition("session not open"));
     return;
   }
   AbortAll(Aborted("session closing"));
-  ++poll_generation_;  // stop the completion-poll daemon
+  poll_.Cancel();
   queue_.reset();
-  auto done_ptr = std::make_shared<std::function<void(Status)>>(std::move(done));
+  auto done_ptr = std::make_shared<sim::MoveFn<void(Status), 160>>(std::move(done));
   host_->rpc().Call<void>(
       provider_, proto::CloseRequest{instance_}, [this, done_ptr](Result<void> closed) {
         // Free the session memory regardless of close outcome.

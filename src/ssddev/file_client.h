@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/move_fn.h"
 #include "src/dev/device.h"
 #include "src/fabric/fabric.h"
 #include "src/ssddev/file_protocol.h"
@@ -46,11 +47,11 @@ struct FileClientConfig {
 
 class FileClient {
  public:
-  using OpenCallback = std::function<void(Status)>;
-  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
-  using WriteCallback = std::function<void(Status)>;
-  using AppendCallback = std::function<void(Result<uint64_t>)>;
-  using StatCallback = std::function<void(Result<uint64_t>)>;
+  using OpenCallback = sim::MoveFn<void(Status), 160>;
+  using ReadCallback = sim::MoveFn<void(Result<std::vector<uint8_t>>), 160>;
+  using WriteCallback = sim::MoveFn<void(Status), 160>;
+  using AppendCallback = sim::MoveFn<void(Result<uint64_t>), 160>;
+  using StatCallback = sim::MoveFn<void(Result<uint64_t>), 160>;
 
   // `host` is the device this client runs on; `pasid` the application's
   // address space. The host must forward doorbells via HandleDoorbell.
@@ -70,7 +71,7 @@ class FileClient {
   // True when a request can be issued right now without being rejected.
   bool HasFreeSlot() const { return queue_ != nullptr && !free_slots_.empty(); }
   // Requests submitted and not yet completed.
-  size_t InFlight() const { return in_flight_.size(); }
+  size_t InFlight() const { return in_flight_count_; }
   // Invoked whenever a request slot frees up (completion or failure), so
   // callers can implement backpressure queues.
   void SetSlotAvailableCallback(std::function<void()> fn) { on_slot_available_ = std::move(fn); }
@@ -86,7 +87,7 @@ class FileClient {
   void Stat(StatCallback done);
 
   // Closes the instance and frees the session memory.
-  void Close(std::function<void(Status)> done);
+  void Close(sim::MoveFn<void(Status), 160> done);
 
   // The host device must call this from its OnDoorbell for doorbells whose
   // value equals this session's instance id. Returns true when consumed.
@@ -129,7 +130,6 @@ class FileClient {
   void FlushBatch();
   // Arms the completion-poll backstop daemon for the current session.
   void StartCompletionPoll();
-  void SchedulePoll(uint64_t generation);
   void DrainCompletions();
   void CompleteOne(uint16_t head, Pending pending);
   void Fail(Pending& pending, Status status);
@@ -139,6 +139,9 @@ class FileClient {
   dev::Device* host_;
   Pasid pasid_;
   FileClientConfig config_;
+  // Per-request counter resolved once from the host's registry (declared
+  // after host_, so the reference is valid at construction).
+  sim::Counter& requests_ = host_->stats().GetCounter("file_client_requests");
 
   DeviceId provider_;
   DeviceId memctrl_;
@@ -149,16 +152,21 @@ class FileClient {
   std::optional<SessionLayout> layout_;
   std::unique_ptr<virtio::VirtqueueDriver> queue_;
   std::vector<uint16_t> free_slots_;
-  std::map<uint16_t, Pending> in_flight_;  // keyed by chain head
+  // In-flight requests keyed by chain head descriptor index. Heads are
+  // small dense integers (bounded by the queue's descriptor table), so a
+  // flat slot table replaces the rb-tree map — no node allocation and no
+  // ordered walk per request.
+  std::vector<std::optional<Pending>> in_flight_;
+  size_t in_flight_count_ = 0;
   std::vector<Staged> staged_;             // awaiting the next batch flush
-  bool flush_scheduled_ = false;
-  sim::EventId flush_event_;
+  // Armed while a batch flush is pending; cancelled when the batch aborts.
+  sim::ScopedEvent flush_;
   std::unique_ptr<fabric::DoorbellBatcher> bells_;
   std::function<void()> on_slot_available_;
   uint64_t peer_failed_hook_ = 0;
   uint64_t permanent_failed_hook_ = 0;
-  // Bumped whenever the session turns over, so stale poll daemons die.
-  uint64_t poll_generation_ = 0;
+  // The periodic completion-poll backstop; cancelled on session turnover.
+  sim::ScopedEvent poll_;
 };
 
 // Session-less file administration from any device: create or delete a file

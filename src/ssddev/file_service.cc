@@ -182,7 +182,7 @@ void FileService::ServeChain(InstanceId instance, virtio::Chain chain) {
   if (session == nullptr) {
     return;
   }
-  host_->stats().GetCounter("file_requests").Increment();
+  file_requests_.Increment();
   ++requests_served_;
 
   // Validate the chain shape: request buffer (device-read) + response buffer

@@ -110,6 +110,9 @@ class FileService : public dev::Service {
   FlashFs* fs_;
   auth::AuthService* auth_;
   FileServiceConfig config_;
+  // Per-request counter resolved once from the host's registry (declared
+  // after host_, so the reference is valid at construction).
+  sim::Counter& file_requests_ = host_->stats().GetCounter("file_requests");
   std::map<InstanceId, Session> sessions_;
   std::unique_ptr<fabric::DoorbellBatcher> bells_;
   uint64_t requests_served_ = 0;

@@ -117,18 +117,18 @@ void FlashFs::Write(const std::string& name, uint64_t offset, std::vector<uint8_
   inode.size = std::max(inode.size, offset + data.size());
   // Serialize the page writes per file (lost-update protection), completing
   // the caller when this write's turn finishes.
-  auto data_holder = std::make_shared<std::vector<uint8_t>>(std::move(data));
-  auto done_holder = std::make_shared<WriteCallback>(std::move(done));
-  EnqueueWrite(name, [this, name, offset, data_holder, done_holder] {
-    WritePages(name, offset, std::move(*data_holder), 0, [this, name, done_holder](Status s) {
-      (*done_holder)(s);
-      write_active_.erase(name);
-      PumpWrites(name);
-    });
+  EnqueueWrite(name, [this, name, offset, data = std::move(data),
+                      done = std::move(done)]() mutable {
+    WritePages(name, offset, std::move(data), 0,
+               [this, name, done = std::move(done)](Status s) mutable {
+                 done(s);
+                 write_active_.erase(name);
+                 PumpWrites(name);
+               });
   });
 }
 
-void FlashFs::EnqueueWrite(const std::string& name, std::function<void()> thunk) {
+void FlashFs::EnqueueWrite(const std::string& name, sim::MoveFn<void(), 160> thunk) {
   write_queues_[name].push_back(std::move(thunk));
   if (!write_active_.contains(name)) {
     PumpWrites(name);
@@ -170,6 +170,8 @@ void FlashFs::WritePages(const std::string& name, uint64_t offset, std::vector<u
   uint64_t slice_end = std::min(offset + data.size(), page_start + page_bytes);
   uint64_t lpn = inode->lpns[page];
 
+  // Move-only callbacks let the remaining data and the continuation transfer
+  // straight through the FTL completion — no shared_ptr boxing.
   auto write_page = [this, name, offset, lpn, page_index,
                      slice_begin, slice_end, page_start](std::vector<uint8_t> page_data,
                                                          std::vector<uint8_t> all_data,
@@ -177,15 +179,14 @@ void FlashFs::WritePages(const std::string& name, uint64_t offset, std::vector<u
     page_data.resize(ftl_->page_bytes(), 0);
     std::memcpy(page_data.data() + (slice_begin - page_start),
                 all_data.data() + (slice_begin - offset), slice_end - slice_begin);
-    auto all = std::make_shared<std::vector<uint8_t>>(std::move(all_data));
-    auto next = std::make_shared<WriteCallback>(std::move(cb));
     ftl_->Write(lpn, std::move(page_data),
-                [this, name, offset, page_index, all, next](Status s) {
+                [this, name, offset, page_index, all = std::move(all_data),
+                 next = std::move(cb)](Status s) mutable {
                   if (!s.ok()) {
-                    (*next)(s);
+                    next(s);
                     return;
                   }
-                  WritePages(name, offset, std::move(*all), page_index + 1, std::move(*next));
+                  WritePages(name, offset, std::move(all), page_index + 1, std::move(next));
                 });
   };
 
@@ -196,20 +197,18 @@ void FlashFs::WritePages(const std::string& name, uint64_t offset, std::vector<u
     return;
   }
   // Partial overwrite of existing data: read-modify-write.
-  auto data_holder = std::make_shared<std::vector<uint8_t>>(std::move(data));
-  auto done_holder = std::make_shared<WriteCallback>(std::move(done));
-  ftl_->Read(lpn, [write_page = std::move(write_page), data_holder,
-                   done_holder](Result<std::vector<uint8_t>> existing) mutable {
+  ftl_->Read(lpn, [write_page = std::move(write_page), data = std::move(data),
+                   done = std::move(done)](Result<std::span<const uint8_t>> existing) mutable {
     std::vector<uint8_t> base;
     if (existing.ok()) {
-      base = *std::move(existing);
+      base.assign(existing->begin(), existing->end());
     }
-    write_page(std::move(base), std::move(*data_holder), std::move(*done_holder));
+    write_page(std::move(base), std::move(data), std::move(done));
   });
 }
 
 void FlashFs::Append(const std::string& name, std::vector<uint8_t> data,
-                     std::function<void(Result<uint64_t>)> done) {
+                     sim::MoveFn<void(Result<uint64_t>), 160> done) {
   LASTCPU_CHECK(done != nullptr, "append without callback");
   auto it = files_.find(name);
   if (it == files_.end()) {
@@ -239,6 +238,40 @@ void FlashFs::Read(const std::string& name, uint64_t offset, uint64_t length, Re
     done(std::vector<uint8_t>());
     return;
   }
+  uint64_t page_bytes = ftl_->page_bytes();
+  uint64_t first_page = offset / page_bytes;
+  uint64_t last_page = (end - 1) / page_bytes;
+  if (first_page == last_page) {
+    // Single-page read — the common case for record-sized IO. No assembly
+    // buffer, no per-page recursion; the completion re-checks existence so a
+    // file deleted mid-read still reports Aborted, exactly like the chain.
+    // The capture is sized to the FTL callback's inline budget.
+    uint64_t page_start = first_page * page_bytes;
+    ftl_->Read(inode.lpns[first_page],
+               [this, fname = std::string(name), offset, end, page_start,
+                next = std::move(done)](Result<std::span<const uint8_t>> page) mutable {
+                 if (!page.ok() && page.status().code() != StatusCode::kNotFound) {
+                   // Real media error: surface it. (NotFound = sparse hole.)
+                   next(page.status());
+                   return;
+                 }
+                 if (!files_.contains(fname)) {
+                   next(Aborted("file deleted during read"));
+                   return;
+                 }
+                 std::vector<uint8_t> out(end - offset, 0);
+                 if (page.ok()) {
+                   std::span<const uint8_t> bytes = *page;
+                   uint64_t src_off = offset - page_start;
+                   if (src_off < bytes.size()) {
+                     uint64_t n = std::min<uint64_t>(out.size(), bytes.size() - src_off);
+                     std::memcpy(out.data(), bytes.data() + src_off, n);
+                   }
+                 }
+                 next(std::move(out));
+               });
+    return;
+  }
   auto out = std::make_shared<std::vector<uint8_t>>(end - offset, 0);
   ReadPages(name, offset, end - offset, out, 0, std::move(done));
 }
@@ -264,11 +297,11 @@ void FlashFs::ReadPages(const std::string& name, uint64_t offset, uint64_t lengt
   uint64_t slice_begin = std::max(offset, page_start);
   uint64_t slice_end = std::min(offset + length, page_start + page_bytes);
   uint64_t lpn = inode->lpns[page];
-  auto next = std::make_shared<ReadCallback>(std::move(done));
-  ftl_->Read(lpn, [this, name, offset, length, out, page_index, next, slice_begin, slice_end,
-                   page_start](Result<std::vector<uint8_t>> page_data) {
+  ftl_->Read(lpn, [this, name, offset, length, out, page_index, next = std::move(done),
+                   slice_begin, slice_end,
+                   page_start](Result<std::span<const uint8_t>> page_data) mutable {
     if (page_data.ok()) {
-      const auto& bytes = *page_data;
+      std::span<const uint8_t> bytes = *page_data;
       uint64_t copy_len = slice_end - slice_begin;
       uint64_t src_off = slice_begin - page_start;
       if (src_off < bytes.size()) {
@@ -277,10 +310,10 @@ void FlashFs::ReadPages(const std::string& name, uint64_t offset, uint64_t lengt
       }
     } else if (page_data.status().code() != StatusCode::kNotFound) {
       // Real media error: surface it. (NotFound = sparse hole, reads as 0s.)
-      (*next)(page_data.status());
+      next(page_data.status());
       return;
     }
-    ReadPages(name, offset, length, out, page_index + 1, std::move(*next));
+    ReadPages(name, offset, length, out, page_index + 1, std::move(next));
   });
 }
 

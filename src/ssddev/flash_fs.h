@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/move_fn.h"
 #include "src/base/status.h"
 #include "src/ssddev/ftl.h"
 
@@ -44,8 +45,8 @@ struct FileInfo {
 
 class FlashFs {
  public:
-  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
-  using WriteCallback = std::function<void(Status)>;
+  using ReadCallback = sim::MoveFn<void(Result<std::vector<uint8_t>>), 160>;
+  using WriteCallback = sim::MoveFn<void(Status), 160>;
 
   explicit FlashFs(Ftl* ftl);
 
@@ -71,7 +72,7 @@ class FlashFs {
 
   // Appends atomically at the current EOF; reports the offset written.
   void Append(const std::string& name, std::vector<uint8_t> data,
-              std::function<void(Result<uint64_t>)> done);
+              sim::MoveFn<void(Result<uint64_t>), 160> done);
 
   uint64_t free_pages() const;
   uint64_t total_pages() const { return ftl_->logical_pages(); }
@@ -96,14 +97,14 @@ class FlashFs {
 
   // Writes to one file execute strictly in submission order: concurrent
   // read-modify-writes of a shared tail page would otherwise lose updates.
-  void EnqueueWrite(const std::string& name, std::function<void()> thunk);
+  void EnqueueWrite(const std::string& name, sim::MoveFn<void(), 160> thunk);
   void PumpWrites(const std::string& name);
 
   Ftl* ftl_;
   std::map<std::string, Inode> files_;
   std::deque<uint64_t> free_lpns_;
   uint64_t next_lpn_ = 0;
-  std::map<std::string, std::deque<std::function<void()>>> write_queues_;
+  std::map<std::string, std::deque<sim::MoveFn<void(), 160>>> write_queues_;
   std::set<std::string> write_active_;
 };
 

@@ -39,17 +39,16 @@ double Ftl::WriteAmplification() const {
   return static_cast<double>(nand_writes_) / static_cast<double>(host_writes_);
 }
 
-bool Ftl::CacheLookup(uint64_t lpn, std::vector<uint8_t>* out) {
+Ftl::CachedPage Ftl::CacheLookup(uint64_t lpn) {
   auto it = cache_index_.find(lpn);
   if (it == cache_index_.end()) {
-    return false;
+    return nullptr;
   }
   cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
-  *out = it->second->second;
-  return true;
+  return it->second->second;
 }
 
-void Ftl::CacheInsert(uint64_t lpn, uint32_t epoch, std::vector<uint8_t> data) {
+void Ftl::CacheInsert(uint64_t lpn, uint32_t epoch, CachedPage data) {
   if (config_.read_cache_pages == 0) {
     return;
   }
@@ -93,15 +92,16 @@ void Ftl::Read(uint64_t lpn, ReadCallback done) {
     });
     return;
   }
-  stats_.GetCounter("host_reads").Increment();
-  // Device-DRAM read cache: hot pages skip the NAND dies entirely.
-  std::vector<uint8_t> cached;
-  if (CacheLookup(lpn, &cached)) {
+  host_reads_stat_.Increment();
+  // Device-DRAM read cache: hot pages skip the NAND dies entirely. The hit
+  // hands the caller a view of the shared page — no copy; the captured
+  // reference keeps the page alive even if it is evicted before delivery.
+  if (CachedPage cached = CacheLookup(lpn)) {
     ++cache_hits_;
-    stats_.GetCounter("cache_hits").Increment();
+    cache_hits_stat_.Increment();
     simulator_->Schedule(config_.read_cache_latency,
-                         [done = std::move(done), cached = std::move(cached)]() mutable {
-                           done(std::move(cached));
+                         [done = std::move(done), cached = std::move(cached)] {
+                           done(std::span<const uint8_t>(*cached));
                          });
     return;
   }
@@ -109,10 +109,13 @@ void Ftl::Read(uint64_t lpn, ReadCallback done) {
   uint32_t epoch = write_epoch_[lpn];
   nand_->ReadPage(*mapping_[lpn], [this, lpn, epoch, done = std::move(done)](
                                       Result<std::vector<uint8_t>> data) {
-    if (data.ok()) {
-      CacheInsert(lpn, epoch, *data);
+    if (!data.ok()) {
+      done(data.status());
+      return;
     }
-    done(std::move(data));
+    auto page = std::make_shared<const std::vector<uint8_t>>(*std::move(data));
+    CacheInsert(lpn, epoch, page);
+    done(std::span<const uint8_t>(*page));
   });
 }
 
@@ -192,7 +195,7 @@ void Ftl::Write(uint64_t lpn, std::vector<uint8_t> data, WriteCallback done) {
   CacheInvalidate(lpn);
   ++host_writes_;
   ++nand_writes_;
-  stats_.GetCounter("host_writes").Increment();
+  host_writes_stat_.Increment();
   nand_->ProgramPage(ppa, std::move(data), [this, lpn, ppa, done = std::move(done)](Status s) {
     if (!s.ok()) {
       done(s);

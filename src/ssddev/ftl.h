@@ -12,11 +12,14 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/sim/move_fn.h"
 #include "src/base/status.h"
 #include "src/ssddev/nand.h"
 
@@ -33,8 +36,17 @@ struct FtlConfig {
 
 class Ftl {
  public:
-  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
-  using WriteCallback = std::function<void(Status)>;
+  // Reads complete with a view of the page, not an owned copy: the bytes are
+  // valid only for the duration of the callback (they belong to the device
+  // read cache or to the NAND completion). Callers that need data past the
+  // callback copy the slice they want — which every caller does anyway, and
+  // the common cache-hit path stops paying a full-page copy.
+  // 232-byte tier, sized from both ends: wide enough that a filesystem
+  // continuation capturing one 160-tier completion plus a name and offsets
+  // (~232 bytes) stays inline, and narrow enough that this callback plus a
+  // cached-page reference still fits an EventFn's 256-byte buffer exactly.
+  using ReadCallback = sim::MoveFn<void(Result<std::span<const uint8_t>>), 232>;
+  using WriteCallback = sim::MoveFn<void(Status), 232>;
 
   Ftl(sim::Simulator* simulator, NandArray* nand, FtlConfig config = {});
 
@@ -83,11 +95,14 @@ class Ftl {
   void CommitMapping(uint64_t lpn, Ppa ppa);
   void InvalidateCurrent(uint64_t lpn);
 
-  // Read-cache (LRU over logical pages backed by SSD DRAM). Inserts carry
-  // the write epoch observed when the miss started; a write/trim in between
-  // bumps the epoch and the stale fill is dropped.
-  bool CacheLookup(uint64_t lpn, std::vector<uint8_t>* out);
-  void CacheInsert(uint64_t lpn, uint32_t epoch, std::vector<uint8_t> data);
+  // Read-cache (LRU over logical pages backed by SSD DRAM). Pages are held
+  // behind shared_ptr so a hit hands out a reference, not a copy — in-flight
+  // readers keep evicted pages alive. Inserts carry the write epoch observed
+  // when the miss started; a write/trim in between bumps the epoch and the
+  // stale fill is dropped.
+  using CachedPage = std::shared_ptr<const std::vector<uint8_t>>;
+  CachedPage CacheLookup(uint64_t lpn);
+  void CacheInsert(uint64_t lpn, uint32_t epoch, CachedPage data);
   void CacheInvalidate(uint64_t lpn);
 
   // Kicks GC if any die runs low on free blocks. One collection at a time.
@@ -107,13 +122,17 @@ class Ftl {
   uint64_t nand_writes_ = 0;
   uint64_t gc_runs_ = 0;
   // LRU read cache: list front = most recent; map lpn -> list iterator.
-  std::list<std::pair<uint64_t, std::vector<uint8_t>>> cache_lru_;
-  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, std::vector<uint8_t>>>::iterator>
+  std::list<std::pair<uint64_t, CachedPage>> cache_lru_;
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, CachedPage>>::iterator>
       cache_index_;
   uint64_t cache_hits_ = 0;
   uint64_t cache_misses_ = 0;
   std::vector<uint32_t> write_epoch_;
   sim::StatsRegistry stats_;
+  // Per-IO counters resolved once; registry references are stable.
+  sim::Counter& host_reads_stat_ = stats_.GetCounter("host_reads");
+  sim::Counter& host_writes_stat_ = stats_.GetCounter("host_writes");
+  sim::Counter& cache_hits_stat_ = stats_.GetCounter("cache_hits");
 };
 
 }  // namespace lastcpu::ssddev

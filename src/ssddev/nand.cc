@@ -48,7 +48,7 @@ void NandArray::ReadPage(Ppa ppa, ReadCallback done) {
     return;
   }
   sim::SimTime completion = OccupyDie(ppa.die, timing_.read_latency);
-  stats_.GetCounter("reads").Increment();
+  reads_.Increment();
   bool inject_error = read_error_rate_ > 0.0 && rng_.NextBool(read_error_rate_);
   simulator_->ScheduleAt(completion, [this, ppa, inject_error, done = std::move(done)] {
     if (inject_error) {
@@ -77,7 +77,7 @@ void NandArray::ProgramPage(Ppa ppa, std::vector<uint8_t> data, OpCallback done)
     return;
   }
   sim::SimTime completion = OccupyDie(ppa.die, timing_.program_latency);
-  stats_.GetCounter("programs").Increment();
+  programs_.Increment();
   simulator_->ScheduleAt(completion,
                          [this, ppa, data = std::move(data), done = std::move(done)]() mutable {
                            Block& block = dies_[ppa.die].blocks[ppa.block];

@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/sim/move_fn.h"
 #include "src/base/status.h"
 #include "src/sim/rng.h"
 #include "src/sim/simulator.h"
@@ -47,8 +48,8 @@ struct Ppa {
 
 class NandArray {
  public:
-  using ReadCallback = std::function<void(Result<std::vector<uint8_t>>)>;
-  using OpCallback = std::function<void(Status)>;
+  using ReadCallback = sim::MoveFn<void(Result<std::vector<uint8_t>>), 160>;
+  using OpCallback = sim::MoveFn<void(Status), 160>;
 
   NandArray(sim::Simulator* simulator, NandGeometry geometry = {}, NandTiming timing = {},
             uint64_t seed = 1);
@@ -94,6 +95,9 @@ class NandArray {
   sim::Rng rng_;
   double read_error_rate_ = 0.0;
   sim::StatsRegistry stats_;
+  // Per-IO counters resolved once; registry references are stable.
+  sim::Counter& reads_ = stats_.GetCounter("reads");
+  sim::Counter& programs_ = stats_.GetCounter("programs");
 };
 
 }  // namespace lastcpu::ssddev

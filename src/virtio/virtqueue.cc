@@ -90,7 +90,7 @@ Status VirtqueueDriver::Initialize() {
   return OkStatus();
 }
 
-Result<uint16_t> VirtqueueDriver::Submit(const std::vector<BufferDesc>& chain) {
+Result<uint16_t> VirtqueueDriver::Submit(std::span<const BufferDesc> chain) {
   if (chain.empty()) {
     return InvalidArgument("empty descriptor chain");
   }
@@ -98,7 +98,8 @@ Result<uint16_t> VirtqueueDriver::Submit(const std::vector<BufferDesc>& chain) {
     return ResourceExhausted("virtqueue full");
   }
   // Claim descriptors.
-  std::vector<uint16_t> indices(chain.size());
+  std::vector<uint16_t>& indices = scratch_indices_;
+  indices.resize(chain.size());
   for (auto& index : indices) {
     index = free_list_.back();
     free_list_.pop_back();

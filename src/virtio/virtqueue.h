@@ -17,7 +17,9 @@
 #define SRC_VIRTIO_VIRTQUEUE_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/base/status.h"
@@ -82,7 +84,13 @@ class VirtqueueDriver {
 
   // Writes descriptors for `chain` and publishes it on the avail ring.
   // Returns the head descriptor index (the completion correlator).
-  Result<uint16_t> Submit(const std::vector<BufferDesc>& chain);
+  // Takes a span so the per-request descriptor list never forces a heap
+  // allocation; the initializer_list overload keeps `Submit({a, b})` call
+  // sites working from stack-backed storage.
+  Result<uint16_t> Submit(std::span<const BufferDesc> chain);
+  Result<uint16_t> Submit(std::initializer_list<BufferDesc> chain) {
+    return Submit(std::span<const BufferDesc>(chain.begin(), chain.size()));
+  }
 
   // Consumes one completion from the used ring, if present.
   Result<std::optional<UsedElem>> PollUsed();
@@ -104,6 +112,9 @@ class VirtqueueDriver {
   Pasid pasid_;
   VirtqueueLayout layout_;
   std::vector<uint16_t> free_list_;
+  // Reused across Submit calls (capacity persists) so claiming a chain's
+  // descriptors costs no allocation in steady state.
+  std::vector<uint16_t> scratch_indices_;
   // Shadow copies of ring state (the driver owns avail.idx).
   uint16_t avail_idx_ = 0;
   uint16_t last_used_seen_ = 0;

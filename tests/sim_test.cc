@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "src/sim/json.h"
@@ -129,6 +132,259 @@ TEST(SimulatorTest, PendingEventsExcludesCancelled) {
   EXPECT_EQ(simulator.pending_events(), 2u);
   simulator.Cancel(id);
   EXPECT_EQ(simulator.pending_events(), 1u);
+}
+
+TEST(EventFnTest, InvokesAndReportsEngagement) {
+  EventFn empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  int fired = 0;
+  EventFn fn = [&fired] { ++fired; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventFnTest, HoldsMoveOnlyCallables) {
+  // std::function could never hold this capture; EventFn is the reason the
+  // hot path can move proto::Message payloads instead of copying them.
+  auto value = std::make_unique<int>(41);
+  int seen = 0;
+  EventFn fn = [value = std::move(value), &seen] { seen = *value + 1; };
+  fn();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventFnTest, MoveTransfersTheCallable) {
+  int fired = 0;
+  EventFn a = [&fired] { ++fired; };
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventFnTest, LargeCapturesFallBackToHeapCorrectly) {
+  // Several times kInlineBytes: exercises the heap-stored vtable path.
+  struct Big {
+    uint64_t words[16] = {};
+  };
+  Big big;
+  big.words[15] = 7;
+  uint64_t seen = 0;
+  EventFn fn = [big, &seen] { seen = big.words[15]; };
+  EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(ScopedEventTest, CancelsOnDestruction) {
+  Simulator simulator;
+  bool ran = false;
+  {
+    ScopedEvent scoped(&simulator,
+                       simulator.Schedule(Duration::Micros(1), [&] { ran = true; }));
+    EXPECT_TRUE(scoped.armed());
+  }
+  simulator.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(ScopedEventTest, MoveTransfersOwnershipAndAssignmentCancels) {
+  Simulator simulator;
+  bool first = false;
+  bool second = false;
+  ScopedEvent scoped(&simulator,
+                     simulator.Schedule(Duration::Micros(1), [&] { first = true; }));
+  ScopedEvent stolen = std::move(scoped);
+  EXPECT_FALSE(scoped.armed());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(stolen.armed());
+  // Assigning a new event over an armed handle cancels the old one.
+  stolen = ScopedEvent(&simulator,
+                       simulator.Schedule(Duration::Micros(2), [&] { second = true; }));
+  simulator.Run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(ScopedEventTest, ReleaseAbandonsWithoutCancelling) {
+  Simulator simulator;
+  bool ran = false;
+  EventId raw;
+  {
+    ScopedEvent scoped(&simulator,
+                       simulator.Schedule(Duration::Micros(1), [&] { ran = true; }));
+    raw = scoped.Release();
+    EXPECT_FALSE(scoped.armed());
+  }
+  EXPECT_TRUE(raw.valid());
+  simulator.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, DaemonsDoNotKeepRunAlive) {
+  Simulator simulator;
+  int daemon_fires = 0;
+  int work_fires = 0;
+  simulator.ScheduleDaemon(Duration::Micros(1), [&] { ++daemon_fires; });
+  simulator.Schedule(Duration::Micros(3), [&] { ++work_fires; });
+  simulator.Run();
+  // The daemon ahead of the last real event runs; Run() then returns even
+  // though nothing cancelled it.
+  EXPECT_EQ(daemon_fires, 1);
+  EXPECT_EQ(work_fires, 1);
+  EXPECT_EQ(simulator.Now().nanos(), 3000u);
+}
+
+TEST(SimulatorTest, PeriodicFiresEveryPeriodWhileWorkRemains) {
+  Simulator simulator;
+  std::vector<uint64_t> fire_times;
+  simulator.SchedulePeriodic(Duration::Micros(2),
+                             [&] { fire_times.push_back(simulator.Now().nanos()); });
+  simulator.RunUntil(SimTime::FromNanos(9000));
+  EXPECT_EQ(fire_times, (std::vector<uint64_t>{2000, 4000, 6000, 8000}));
+}
+
+TEST(SimulatorTest, PeriodicIdStaysValidAcrossFirings) {
+  Simulator simulator;
+  int fires = 0;
+  EventId id = simulator.SchedulePeriodic(Duration::Micros(1), [&] { ++fires; });
+  simulator.RunUntil(SimTime::FromNanos(3500));
+  EXPECT_EQ(fires, 3);
+  // The original handle still refers to the (re-armed) event.
+  EXPECT_TRUE(simulator.Cancel(id));
+  simulator.RunUntil(SimTime::FromNanos(10000));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(SimulatorTest, PeriodicCancellableFromInsideItsOwnCallback) {
+  Simulator simulator;
+  int fires = 0;
+  EventId id;
+  id = simulator.SchedulePeriodic(Duration::Micros(1), [&] {
+    ++fires;
+    if (fires == 3) {
+      EXPECT_TRUE(simulator.Cancel(id));
+    }
+  });
+  simulator.RunUntil(SimTime::FromNanos(20000));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(simulator.Cancel(id));
+}
+
+// Golden event-order test: locks the global (timestamp, schedule-seq) FIFO
+// semantics across engine rebuilds. Mixes relative/absolute scheduling,
+// daemons, and cross-bucket delays; the expected order is the schedule order
+// within each timestamp, regardless of which internal queue held the event.
+TEST(SimulatorTest, EqualTimestampFifoOrderGolden) {
+  Simulator simulator;
+  std::vector<int> order;
+  auto record = [&order](int tag) { return [&order, tag] { order.push_back(tag); }; };
+  simulator.Schedule(Duration::Micros(5), record(0));
+  simulator.ScheduleAt(SimTime::FromNanos(5000), record(1));
+  simulator.ScheduleDaemon(Duration::Micros(5), record(2));
+  simulator.Schedule(Duration::Micros(1), record(3));
+  simulator.Schedule(Duration::Millis(50), record(4));  // far future: spill heap
+  simulator.ScheduleAt(SimTime::FromNanos(5000), record(5));
+  simulator.Schedule(Duration::Micros(1), [&] {
+    // Scheduled mid-run for an already-open timestamp: runs after everything
+    // scheduled for t=5us before it, by sequence order.
+    simulator.ScheduleAt(SimTime::FromNanos(5000), record(6));
+  });
+  simulator.Schedule(Duration::Micros(1), record(7));
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{3, 7, 0, 1, 2, 5, 6, 4}));
+}
+
+// Seeded property test: 100k random schedule/cancel operations produce an
+// identical execution order across two independent runs, and across two very
+// different calendar geometries (the order contract is engine-internal-free:
+// strictly (timestamp, schedule-seq)).
+std::vector<uint64_t> RunRandomSchedule(uint64_t seed, CalendarConfig config) {
+  Simulator simulator(config);
+  Rng rng(seed);
+  std::vector<uint64_t> executed;
+  std::vector<EventId> cancellable;
+  uint64_t next_tag = 0;
+  constexpr int kEvents = 100000;
+  for (int i = 0; i < kEvents; ++i) {
+    uint64_t tag = next_tag++;
+    // Delays spanning sub-bucket to far-beyond-window magnitudes.
+    Duration delay = Duration::Nanos(rng.NextBelow(1u << (8 + rng.NextBelow(14))));
+    EventId id = simulator.Schedule(delay, [&executed, tag] { executed.push_back(tag); });
+    if (rng.NextBelow(4) == 0) {
+      cancellable.push_back(id);
+    }
+    // Periodically cancel a random remembered event (some already ran).
+    if (!cancellable.empty() && rng.NextBelow(3) == 0) {
+      size_t pick = rng.NextBelow(cancellable.size());
+      simulator.Cancel(cancellable[pick]);
+      cancellable[pick] = cancellable.back();
+      cancellable.pop_back();
+    }
+    // Occasionally advance time so cancellation interleaves with execution.
+    if (rng.NextBelow(64) == 0) {
+      simulator.RunFor(Duration::Nanos(rng.NextBelow(4096)));
+    }
+  }
+  simulator.Run();
+  return executed;
+}
+
+TEST(SimulatorTest, SeededRandomScheduleOrderIsReproducible) {
+  CalendarConfig default_geometry;
+  CalendarConfig tiny_geometry{Duration::Nanos(64), 16};  // forces window churn
+  std::vector<uint64_t> first = RunRandomSchedule(0xC0FFEE, default_geometry);
+  std::vector<uint64_t> second = RunRandomSchedule(0xC0FFEE, default_geometry);
+  std::vector<uint64_t> tiny = RunRandomSchedule(0xC0FFEE, tiny_geometry);
+  EXPECT_GT(first.size(), 50000u);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, tiny);
+}
+
+// Regression test for the schedule-then-cancel burst: cancelled refs must be
+// compacted away instead of accumulating until their (far-future) timestamps
+// are reached. Mirrors the per-attempt RPC deadline pattern.
+TEST(SimulatorTest, CancelledBurstTriggersCompaction) {
+  Simulator simulator;
+  constexpr int kBurst = 20000;
+  for (int i = 0; i < kBurst; ++i) {
+    // A deadline far in the future, cancelled immediately — the old engine
+    // kept every entry queued until its timestamp was popped.
+    EventId deadline = simulator.Schedule(Duration::Seconds(10), [] {});
+    simulator.Cancel(deadline);
+  }
+  EXPECT_GE(simulator.compactions(), 1u);
+  // The queues hold (far) fewer dead refs than were cancelled; the dead
+  // fraction is bounded by the compaction threshold, not by the burst size.
+  EXPECT_LT(simulator.cancelled_refs(), 1000u);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  simulator.Run();
+  EXPECT_EQ(simulator.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelReclaimsCapturedStateImmediately) {
+  Simulator simulator;
+  auto witness = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = witness;
+  EventId id = simulator.Schedule(Duration::Seconds(1), [held = std::move(witness)] {
+    (void)held;
+  });
+  EXPECT_FALSE(observer.expired());
+  simulator.Cancel(id);
+  // The capture died at Cancel() time, not when t=1s would have been popped.
+  EXPECT_TRUE(observer.expired());
+}
+
+TEST(SimulatorTest, CustomGeometryValidatesAndRuns) {
+  Simulator simulator(CalendarConfig{Duration::Nanos(128), 64});
+  std::vector<int> order;
+  simulator.Schedule(Duration::Nanos(10), [&] { order.push_back(1); });
+  simulator.Schedule(Duration::Micros(100), [&] { order.push_back(2); });
+  simulator.Schedule(Duration::Millis(10), [&] { order.push_back(3); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(RngTest, DeterministicForSeed) {

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <map>
 #include <optional>
+#include <span>
 
 #include "src/auth/auth_client.h"
 #include "src/memdev/memory_controller.h"
@@ -150,9 +151,9 @@ class FtlTest : public ::testing::Test {
 
   std::vector<uint8_t> ReadSync(uint64_t lpn) {
     std::vector<uint8_t> out;
-    ftl_.Read(lpn, [&](Result<std::vector<uint8_t>> r) {
+    ftl_.Read(lpn, [&](Result<std::span<const uint8_t>> r) {
       ASSERT_TRUE(r.ok()) << r.status().ToString();
-      out = *r;
+      out.assign(r->begin(), r->end());
     });
     simulator_.Run();
     return out;
@@ -185,7 +186,7 @@ TEST_F(FtlTest, OverwriteGoesOutOfPlace) {
 
 TEST_F(FtlTest, UnwrittenReadFails) {
   std::optional<Status> status;
-  ftl_.Read(7, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  ftl_.Read(7, [&](Result<std::span<const uint8_t>> r) { status = r.status(); });
   simulator_.Run();
   EXPECT_EQ(status->code(), StatusCode::kNotFound);
 }
@@ -195,7 +196,7 @@ TEST_F(FtlTest, TrimUnmaps) {
   ftl_.Trim(5);
   EXPECT_FALSE(ftl_.IsMapped(5));
   std::optional<Status> status;
-  ftl_.Read(5, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  ftl_.Read(5, [&](Result<std::span<const uint8_t>> r) { status = r.status(); });
   simulator_.Run();
   EXPECT_EQ(status->code(), StatusCode::kNotFound);
 }
@@ -243,7 +244,7 @@ TEST_F(FtlTest, CacheInvalidatedOnOverwriteAndTrim) {
   EXPECT_EQ(ReadSync(5), PageOf(0x22));  // must not serve the stale copy
   ftl_.Trim(5);
   std::optional<Status> status;
-  ftl_.Read(5, [&](Result<std::vector<uint8_t>> r) { status = r.status(); });
+  ftl_.Read(5, [&](Result<std::span<const uint8_t>> r) { status = r.status(); });
   simulator_.Run();
   EXPECT_EQ(status->code(), StatusCode::kNotFound);
 }
@@ -255,7 +256,7 @@ TEST_F(FtlTest, ReadRacingWriteNeverPoisonsCache) {
   bool wrote = false;
   ftl_.Write(5, PageOf(0x22), [&](Status s) { wrote = s.ok(); });
   // Racing read, issued in the same instant (the old data is still mapped).
-  ftl_.Read(5, [](Result<std::vector<uint8_t>>) {});
+  ftl_.Read(5, [](Result<std::span<const uint8_t>>) {});
   simulator_.Run();
   ASSERT_TRUE(wrote);
   // Both the cached and uncached paths must now see the new data.
@@ -279,12 +280,12 @@ TEST_F(FtlTest, CacheEvictsLruUnderPressure) {
     simulator.Run();
   }
   for (uint64_t lpn = 0; lpn < 3; ++lpn) {
-    small_cache.Read(lpn, [](Result<std::vector<uint8_t>> r) { ASSERT_TRUE(r.ok()); });
+    small_cache.Read(lpn, [](Result<std::span<const uint8_t>> r) { ASSERT_TRUE(r.ok()); });
     simulator.Run();
   }
   // Only 2 entries fit; re-reading the first is a miss again.
   uint64_t misses = small_cache.cache_misses();
-  small_cache.Read(0, [](Result<std::vector<uint8_t>> r) { ASSERT_TRUE(r.ok()); });
+  small_cache.Read(0, [](Result<std::span<const uint8_t>> r) { ASSERT_TRUE(r.ok()); });
   simulator.Run();
   EXPECT_EQ(small_cache.cache_misses(), misses + 1);
 }
