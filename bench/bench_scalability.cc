@@ -1,13 +1,32 @@
-// E5: scalability with device count.
+// E5: scalability with device count — now up to a full rack.
 //
-// Measures (a) cold boot — power-on to every device alive and announced —
-// and (b) system-wide discovery: one device broadcasting and collecting
-// responders, as devices scale 2..64. The decentralized design's boot is
-// embarrassingly parallel (every device self-tests concurrently and the bus
-// records liveness); discovery cost grows with responder count but stays
-// microseconds.
+// Three legacy flat-machine series (kept for continuity with earlier
+// snapshots): (a) cold boot — power-on to every device alive; (b) system-wide
+// discovery; (c) steady-state control throughput against ONE memory
+// controller. The decentralized design's boot is embarrassingly parallel;
+// discovery cost grows with responder count but stays microseconds; a single
+// controller saturates near 1M ops/s.
+//
+// The rack series are the headline: 64..1024 devices spread over
+// kRackSegments bus segments, with physical memory carved into
+// memory-controller shards (ShardedControlClient, home-node policy), against
+// the centralized baseline — a 4-core kernel on segment 0 whose off-segment
+// interrupts pay the same inter-chassis hop the bus charges. The decentralized
+// curve keeps scaling with shard count where the kernel's run queue flattens.
+// Closed-loop rows measure saturation throughput; open-loop rows offer a
+// fixed Poisson load and surface the queueing collapse of the flattened
+// design as p99.
+//
+// Custom main:
+//   --quick         shrink per-device op counts for CI smoke runs.
+//   --devices=N     head-to-head smoke: run the rack comparison at N devices
+//                   and exit nonzero unless decentralized ops/s beats the
+//                   centralized baseline. Prints one summary line.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,7 +35,21 @@
 namespace lastcpu {
 namespace {
 
+using benchutil::ControlLoadRunner;
 using benchutil::StubDevice;
+
+uint64_t g_rack_ops_per_device = 40;
+
+// Chassis count for every rack series; shard count scales with the fleet so
+// per-shard load stays comparable across rows.
+constexpr uint32_t kRackSegments = 4;
+
+uint32_t ShardsFor(size_t devices) { return devices >= 512 ? 8 : 4; }
+
+// Offered load per device for the open-loop rack rows. At 1024 devices this
+// totals ~2.5M ops/s: under the sharded fabric's capacity, past what four
+// kernel cores can retire — the regime the paper argues about.
+constexpr sim::Duration kRackOpenLoopInterarrival = sim::Duration::Micros(400);
 
 // A stub that also exposes a discoverable compute service.
 class ServiceStub : public dev::Device {
@@ -85,8 +118,8 @@ void Scalability_Discovery(benchmark::State& state) {
   state.counters["devices"] = static_cast<double>(devices);
 }
 
-// Steady-state control throughput as requester count scales (companion to
-// E2's offered-load sweep, here with discovery-grade device counts).
+// Steady-state control throughput as requester count scales — the legacy
+// single-controller row, the curve the rack series un-flattens.
 void Scalability_ControlOps(benchmark::State& state) {
   auto devices = static_cast<size_t>(state.range(0));
   for (auto _ : state) {
@@ -111,6 +144,160 @@ void Scalability_ControlOps(benchmark::State& state) {
     state.counters["ops_per_sec"] = static_cast<double>(runner.completed()) / elapsed.seconds();
   }
   state.counters["devices"] = static_cast<double>(devices);
+}
+
+// --- the rack series ---------------------------------------------------------
+
+struct RackResult {
+  double ops_per_sec = 0;
+  double elapsed_seconds = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t completed = 0;
+  uint64_t spills = 0;
+  uint64_t cross_segment_msgs = 0;
+};
+
+// N stub devices spread evenly over kRackSegments chassis, memory carved into
+// ShardsFor(N) controller shards, one home-node ShardedControlClient per
+// device driving alloc/free pairs.
+RackResult RunRackDecentralized(size_t devices, uint64_t ops_each,
+                                sim::Duration interarrival) {
+  core::MachineConfig config;
+  config.topology.segments = kRackSegments;
+  config.topology.memory_shards = ShardsFor(devices);
+  core::Machine machine(config);
+  std::vector<StubDevice*> stubs;
+  stubs.reserve(devices);
+  for (size_t i = 0; i < devices; ++i) {
+    auto segment = static_cast<uint32_t>(i % kRackSegments);
+    stubs.push_back(
+        &machine.EmplaceOn<StubDevice>(segment, "dev" + std::to_string(i)));
+  }
+  machine.Boot();
+
+  std::vector<std::unique_ptr<core::ShardedControlClient>> clients;
+  std::vector<ControlLoadRunner::PerClient> per_client;
+  clients.reserve(devices);
+  for (size_t i = 0; i < devices; ++i) {
+    clients.push_back(std::make_unique<core::ShardedControlClient>(
+        stubs[i], machine.shard_infos(), core::AllocationPolicy::kHomeNode));
+    per_client.push_back({clients.back().get(), Pasid(static_cast<uint32_t>(i + 1))});
+  }
+  sim::SimTime start = machine.simulator().Now();
+  ControlLoadRunner::Options options;
+  options.ops_each = ops_each;
+  options.mean_interarrival = interarrival;
+  ControlLoadRunner runner(&machine.simulator(), std::move(per_client), options);
+  runner.Run();
+  sim::Duration elapsed = machine.simulator().Now() - start;
+
+  RackResult result;
+  result.elapsed_seconds = elapsed.seconds();
+  result.completed = runner.completed();
+  result.ops_per_sec = static_cast<double>(runner.completed()) / elapsed.seconds();
+  result.p50_us = static_cast<double>(runner.latency().p50()) / 1e3;
+  result.p99_us = static_cast<double>(runner.latency().p99()) / 1e3;
+  for (const auto& client : clients) {
+    result.spills += client->spills();
+  }
+  for (const auto& counters : machine.bus().segment_counters()) {
+    result.cross_segment_msgs += counters.routed_out;
+  }
+  return result;
+}
+
+// The same fleet against one 4-core kernel on segment 0; devices on the other
+// chassis pay the cross-segment interrupt hop on every syscall.
+RackResult RunRackCentralized(size_t devices, uint32_t cores, uint64_t ops_each,
+                              sim::Duration interarrival) {
+  sim::Simulator simulator;
+  mem::PhysicalMemory memory(256 << 20);
+  baseline::CentralKernelConfig config;
+  config.cores = cores;
+  config.cross_segment_interrupt_extra = sim::Duration::Nanos(400);
+  baseline::CentralKernel kernel(&simulator, &memory, config);
+  std::vector<std::unique_ptr<iommu::Iommu>> iommus;
+  std::vector<std::unique_ptr<core::KernelControlClient>> clients;
+  std::vector<ControlLoadRunner::PerClient> per_client;
+  for (size_t i = 0; i < devices; ++i) {
+    auto segment = static_cast<uint32_t>(i % kRackSegments);
+    auto local = static_cast<uint32_t>(i / kRackSegments) + 1;
+    DeviceId id = segment == 0 ? DeviceId(local) : MakeSegmentDeviceId(segment, local);
+    iommus.push_back(std::make_unique<iommu::Iommu>(id));
+    kernel.RegisterDevice(id, iommus.back().get());
+    clients.push_back(std::make_unique<core::KernelControlClient>(&kernel, id));
+    per_client.push_back({clients.back().get(), Pasid(static_cast<uint32_t>(i + 1))});
+  }
+  sim::SimTime start = simulator.Now();
+  ControlLoadRunner::Options options;
+  options.ops_each = ops_each;
+  options.mean_interarrival = interarrival;
+  ControlLoadRunner runner(&simulator, std::move(per_client), options);
+  runner.Run();
+  sim::Duration elapsed = simulator.Now() - start;
+
+  RackResult result;
+  result.elapsed_seconds = elapsed.seconds();
+  result.completed = runner.completed();
+  result.ops_per_sec = static_cast<double>(runner.completed()) / elapsed.seconds();
+  result.p50_us = static_cast<double>(runner.latency().p50()) / 1e3;
+  result.p99_us = static_cast<double>(runner.latency().p99()) / 1e3;
+  result.cross_segment_msgs = kernel.stats().GetCounter("cross_segment_interrupts").value();
+  return result;
+}
+
+void ReportRack(benchmark::State& state, const RackResult& result, size_t devices) {
+  state.SetIterationTime(result.elapsed_seconds);
+  state.counters["ops_per_sec"] = result.ops_per_sec;
+  state.counters["p50_us"] = result.p50_us;
+  state.counters["p99_us"] = result.p99_us;
+  state.counters["cross_segment"] = static_cast<double>(result.cross_segment_msgs);
+  state.counters["devices"] = static_cast<double>(devices);
+}
+
+void Rack_Decentralized(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    RackResult result =
+        RunRackDecentralized(devices, g_rack_ops_per_device, sim::Duration::Zero());
+    ReportRack(state, result, devices);
+    state.counters["spills"] = static_cast<double>(result.spills);
+  }
+  state.counters["segments"] = kRackSegments;
+  state.counters["shards"] = ShardsFor(devices);
+}
+
+void Rack_Centralized(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    RackResult result =
+        RunRackCentralized(devices, 4, g_rack_ops_per_device, sim::Duration::Zero());
+    ReportRack(state, result, devices);
+  }
+  state.counters["cores"] = 4;
+}
+
+void Rack_DecentralizedOpenLoop(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    RackResult result =
+        RunRackDecentralized(devices, g_rack_ops_per_device, kRackOpenLoopInterarrival);
+    ReportRack(state, result, devices);
+    state.counters["spills"] = static_cast<double>(result.spills);
+  }
+  state.counters["segments"] = kRackSegments;
+  state.counters["shards"] = ShardsFor(devices);
+}
+
+void Rack_CentralizedOpenLoop(benchmark::State& state) {
+  auto devices = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    RackResult result =
+        RunRackCentralized(devices, 4, g_rack_ops_per_device, kRackOpenLoopInterarrival);
+    ReportRack(state, result, devices);
+  }
+  state.counters["cores"] = 4;
 }
 
 BENCHMARK(Scalability_Boot)
@@ -142,7 +329,96 @@ BENCHMARK(Scalability_ControlOps)
     ->Arg(32)
     ->Arg(64);
 
+BENCHMARK(Rack_Decentralized)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024);
+
+BENCHMARK(Rack_Centralized)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024);
+
+BENCHMARK(Rack_DecentralizedOpenLoop)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(256)
+    ->Arg(1024);
+
+BENCHMARK(Rack_CentralizedOpenLoop)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(256)
+    ->Arg(1024);
+
+// Head-to-head smoke for CI: one closed-loop comparison at `devices`. Fails
+// (exit 1) unless the sharded rack beats the 4-core centralized baseline — the
+// floor this PR's topology exists to clear.
+int RunSmoke(size_t devices) {
+  uint64_t ops_each = 20;
+  RackResult decentralized = RunRackDecentralized(devices, ops_each, sim::Duration::Zero());
+  RackResult centralized = RunRackCentralized(devices, 4, ops_each, sim::Duration::Zero());
+  std::printf(
+      "rack smoke: devices=%zu segments=%u shards=%u decentralized_ops_per_sec=%.0f "
+      "centralized_ops_per_sec=%.0f p99_us=%.2f/%.2f\n",
+      devices, kRackSegments, ShardsFor(devices), decentralized.ops_per_sec,
+      centralized.ops_per_sec, decentralized.p99_us, centralized.p99_us);
+  if (decentralized.completed != devices * ops_each) {
+    std::printf("FAIL: decentralized completed %llu of %llu ops\n",
+                static_cast<unsigned long long>(decentralized.completed),
+                static_cast<unsigned long long>(devices * ops_each));
+    return 1;
+  }
+  if (decentralized.ops_per_sec <= centralized.ops_per_sec) {
+    std::printf("FAIL: decentralized rack did not beat the centralized baseline\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace lastcpu
 
-BENCHMARK_MAIN();
+// Custom main so CI can pass `--quick` and `--devices=N` (not google-benchmark
+// flags): both are stripped from argv before benchmark initialization.
+int main(int argc, char** argv) {
+  long smoke_devices = 0;
+  for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      lastcpu::g_rack_ops_per_device = 10;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+    } else if (std::strncmp(argv[i], "--devices=", 10) == 0) {
+      smoke_devices = std::strtol(argv[i] + 10, nullptr, 10);
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+    } else {
+      ++i;
+    }
+  }
+  if (smoke_devices > 0) {
+    return lastcpu::RunSmoke(static_cast<size_t>(smoke_devices));
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

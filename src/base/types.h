@@ -62,6 +62,34 @@ inline constexpr DeviceId kBroadcastDevice = DeviceId(0xFFFFFFFEu);
 // The system bus itself, addressable as a privileged pseudo-device.
 inline constexpr DeviceId kBusDevice = DeviceId(0xFFFFFFFDu);
 
+// --- rack topology: segment-qualified device ids -----------------------------
+//
+// A rack is a set of chassis ("bus segments"), each its own broadcast domain
+// on the control plane. The segment a device sits on is encoded in the high
+// bits of its DeviceId, so routing never needs a lookup table: segment-0
+// devices keep the small flat ids of the single-chassis machine, which keeps
+// every pre-rack configuration bit-identical. Ids at or above
+// kFirstReservedDeviceId (broadcast, bus, invalid) are pseudo-devices with no
+// segment; the bus/router has a presence on every segment.
+inline constexpr uint32_t kSegmentShift = 20;
+inline constexpr uint32_t kFirstReservedDeviceId = 0xFF000000u;
+
+constexpr bool IsReservedDevice(DeviceId id) { return id.value() >= kFirstReservedDeviceId; }
+
+constexpr uint32_t SegmentOf(DeviceId id) {
+  return IsReservedDevice(id) ? 0 : id.value() >> kSegmentShift;
+}
+
+// The id of device `local` on `segment`. Segment 0 ids coincide with the flat
+// pre-rack numbering.
+constexpr DeviceId MakeSegmentDeviceId(uint32_t segment, uint32_t local) {
+  return DeviceId((segment << kSegmentShift) | local);
+}
+
+constexpr uint32_t LocalDeviceId(DeviceId id) {
+  return id.value() & ((uint32_t{1} << kSegmentShift) - 1);
+}
+
 // Page geometry. 4 KiB pages throughout, like the IOMMUs we model.
 inline constexpr uint64_t kPageShift = 12;
 inline constexpr uint64_t kPageSize = uint64_t{1} << kPageShift;

@@ -29,11 +29,20 @@ iommu::Iommu* CentralKernel::FindIommu(DeviceId device) {
   return it == devices_.end() ? nullptr : it->second;
 }
 
+sim::Duration CentralKernel::CrossSegmentExtra(DeviceId requester) {
+  if (config_.cross_segment_interrupt_extra == sim::Duration::Zero() ||
+      IsReservedDevice(requester) || SegmentOf(requester) == 0) {
+    return sim::Duration::Zero();
+  }
+  stats_.GetCounter("cross_segment_interrupts").Increment();
+  return config_.cross_segment_interrupt_extra;
+}
+
 void CentralKernel::RunOnCpu(sim::Duration service, std::function<void()> handler,
-                             sim::SpanId parent) {
+                             sim::SpanId parent, sim::Duration interrupt_extra) {
   // The device raises an interrupt; after delivery the op joins the run
   // queue of the least-loaded core.
-  sim::SimTime arrival = simulator_->Now() + config_.interrupt_cost;
+  sim::SimTime arrival = simulator_->Now() + config_.interrupt_cost + interrupt_extra;
   auto core = std::min_element(core_busy_until_.begin(), core_busy_until_.end());
   sim::SimTime start = std::max(arrival, *core);
   sim::SimTime done = start + config_.syscall_entry + service;
@@ -157,7 +166,7 @@ void CentralKernel::AllocMemory(DeviceId requester, Pasid pasid, uint64_t bytes,
     bytes_allocated_[pasid] += pages * kPageSize;
     stats_.GetCounter("allocations").Increment();
     done(allocation.vaddr);
-  }, span);
+  }, span, CrossSegmentExtra(requester));
 }
 
 void CentralKernel::FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
@@ -191,7 +200,7 @@ void CentralKernel::FreeMemory(DeviceId requester, Pasid pasid, VirtAddr vaddr, 
     table_it->second.erase(it);
     stats_.GetCounter("frees").Increment();
     done(OkStatus());
-  }, span);
+  }, span, CrossSegmentExtra(requester));
 }
 
 void CentralKernel::AllocMemoryBatch(DeviceId requester, Pasid pasid, uint64_t bytes,
@@ -264,7 +273,7 @@ void CentralKernel::AllocMemoryBatch(DeviceId requester, Pasid pasid, uint64_t b
     }
     stats_.GetCounter("batch_allocs").Increment();
     done(std::move(vaddrs));
-  }, span);
+  }, span, CrossSegmentExtra(requester));
 }
 
 void CentralKernel::FreeMemoryBatch(DeviceId requester, Pasid pasid, std::vector<VirtAddr> vaddrs,
@@ -311,7 +320,7 @@ void CentralKernel::FreeMemoryBatch(DeviceId requester, Pasid pasid, std::vector
     }
     stats_.GetCounter("batch_frees").Increment();
     done(OkStatus());
-  }, span);
+  }, span, CrossSegmentExtra(requester));
 }
 
 void CentralKernel::Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
@@ -346,7 +355,7 @@ void CentralKernel::Grant(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t 
     allocation->grants.emplace_back(grantee, access);
     stats_.GetCounter("grants").Increment();
     done(OkStatus());
-  }, span);
+  }, span, CrossSegmentExtra(owner));
 }
 
 void CentralKernel::Revoke(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t bytes,
@@ -375,7 +384,7 @@ void CentralKernel::Revoke(DeviceId owner, Pasid pasid, VirtAddr vaddr, uint64_t
     allocation->grants.erase(it);
     UnmapRange(grantee, pasid, vaddr.page(), pages);
     done(OkStatus());
-  }, span);
+  }, span, CrossSegmentExtra(owner));
 }
 
 void CentralKernel::Teardown(Pasid pasid, Callback<void> done) {
@@ -486,7 +495,7 @@ void CentralKernel::ReportDeviceFailure(DeviceId device) {
       return;
     }
     ScheduleRestartAttempt(device, rec);
-  }, span);
+  }, span, CrossSegmentExtra(device));
 }
 
 void CentralKernel::ScheduleRestartAttempt(DeviceId device, Supervision& sup) {

@@ -58,6 +58,11 @@ struct CentralKernelConfig {
   sim::Duration restart_timeout = sim::Duration::Micros(500);
   uint32_t crash_loop_threshold = 8;
   sim::Duration crash_loop_window = sim::Duration::Millis(5);
+  // Rack topology: the kernel's CPU complex sits on segment 0, so interrupts
+  // raised by devices on other segments pay this extra delivery latency
+  // (their signal crosses the inter-chassis link before reaching the CPU).
+  // Zero (the default) models the classic single-chassis machine.
+  sim::Duration cross_segment_interrupt_extra = sim::Duration::Zero();
 };
 
 class CentralKernel {
@@ -138,8 +143,14 @@ class CentralKernel {
   // Queues `handler` on the CPU: interrupt -> least-loaded core -> entry +
   // service time -> handler runs (at completion time). When tracing, the CPU
   // occupancy is a child span of `parent` (the syscall's span), and both
-  // close when the handler completes.
-  void RunOnCpu(sim::Duration service, std::function<void()> handler, sim::SpanId parent = 0);
+  // close when the handler completes. `interrupt_extra` stretches the
+  // interrupt-delivery leg (cross-segment requesters).
+  void RunOnCpu(sim::Duration service, std::function<void()> handler, sim::SpanId parent = 0,
+                sim::Duration interrupt_extra = sim::Duration::Zero());
+
+  // The cross-segment interrupt surcharge for `requester` (zero on segment 0
+  // or when unconfigured). Counts cross_segment_interrupts as a side effect.
+  sim::Duration CrossSegmentExtra(DeviceId requester);
 
   // Opens the span for one kernel-mediated control operation.
   sim::SpanId BeginOpSpan(std::string_view name, const std::string& detail) {

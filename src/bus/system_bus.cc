@@ -16,6 +16,10 @@ SystemBus::SystemBus(sim::Simulator* simulator, BusConfig config, sim::TraceLog*
       tracer_(trace, simulator, "bus"),
       supervisor_(simulator, config.restart_policy, &tracer_, &stats_) {
   LASTCPU_CHECK(simulator != nullptr, "bus needs a simulator");
+  if (config_.segments == 0) {
+    config_.segments = 1;
+  }
+  segment_counters_.resize(config_.segments);
   supervisor_.SetHooks({
       .pulse_reset = [this](DeviceId device) { PulseReset(device); },
       .quarantine = [this](DeviceId device, const std::string& reason) {
@@ -53,6 +57,29 @@ void SystemBus::Trace(const std::string& event, const std::string& detail, sim::
 SystemBus::Endpoint* SystemBus::FindEndpoint(DeviceId device) {
   auto it = endpoints_.find(device);
   return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+uint32_t SystemBus::SegmentIndex(DeviceId device) const {
+  uint32_t segment = SegmentOf(device);
+  return segment < config_.segments ? segment : config_.segments - 1;
+}
+
+DeviceId SystemBus::ShardForVaddr(VirtAddr vaddr) const {
+  for (const auto& shard : shard_directory_) {
+    if (vaddr.raw >= shard.va_base && (shard.va_limit == 0 || vaddr.raw < shard.va_limit)) {
+      return shard.device;
+    }
+  }
+  return memory_controller_;
+}
+
+bool SystemBus::IsShardController(DeviceId device) const {
+  for (const auto& shard : shard_directory_) {
+    if (shard.device == device) {
+      return true;
+    }
+  }
+  return false;
 }
 
 BusPort* SystemBus::Attach(DeviceId device, std::string name, Receiver receiver,
@@ -192,7 +219,11 @@ void SystemBus::Route(proto::Message message) {
     for (DeviceId id : targets) {
       proto::Message copy = message;
       copy.dst = id;
-      Deliver(std::move(copy));
+      broadcast_msgs_.Increment();
+      if (config_.segments > 1) {
+        segment_counters_[SegmentIndex(id)].broadcast_copies++;
+      }
+      DeliverRouted(std::move(copy));
     }
     return;
   }
@@ -210,7 +241,7 @@ void SystemBus::Route(proto::Message message) {
     }
     return;
   }
-  Deliver(std::move(message));
+  DeliverRouted(std::move(message));
 }
 
 void SystemBus::DeliverTraced(proto::Message message, sim::SpanId parent) {
@@ -219,6 +250,30 @@ void SystemBus::DeliverTraced(proto::Message message, sim::SpanId parent) {
     message.trace.flow = tracer_.FlowSend(proto::MessageTypeName(message.type()), parent);
   }
   Deliver(std::move(message));
+}
+
+void SystemBus::DeliverRouted(proto::Message message) {
+  if (config_.segments > 1) {
+    uint32_t dst_segment = SegmentIndex(message.dst);
+    if (!IsReservedDevice(message.src) && SegmentIndex(message.src) != dst_segment) {
+      segment_counters_[SegmentIndex(message.src)].routed_out++;
+      segment_counters_[dst_segment].routed_in++;
+      simulator_->Schedule(
+          config_.inter_segment_latency,
+          [this, message = std::move(message)]() mutable { Deliver(std::move(message)); });
+      return;
+    }
+    segment_counters_[dst_segment].delivered_local++;
+  }
+  Deliver(std::move(message));
+}
+
+void SystemBus::DeliverTracedRouted(proto::Message message, sim::SpanId parent) {
+  if (tracer_.enabled()) {
+    message.trace.span = parent;
+    message.trace.flow = tracer_.FlowSend(proto::MessageTypeName(message.type()), parent);
+  }
+  DeliverRouted(std::move(message));
 }
 
 void SystemBus::Deliver(proto::Message message) {
@@ -280,8 +335,9 @@ void SystemBus::HandleBusMessage(proto::Message message) {
       return;
     }
     case proto::MessageType::kMapDirective: {
-      // Privileged: only the controller of the resource may direct mappings.
-      if (message.src != memory_controller_) {
+      // Privileged: only a controller of the resource may direct mappings —
+      // the flat controller or any registered shard.
+      if (message.src != memory_controller_ && !IsShardController(message.src)) {
         stats_.GetCounter("rejected_directives").Increment();
         tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
                             message.trace.span);
@@ -319,16 +375,69 @@ void SystemBus::HandleBusMessage(proto::Message message) {
     case proto::MessageType::kRevokeRequest:
     case proto::MessageType::kMemFreeRequest: {
       // Mechanism, not policy: authorization belongs to the resource
-      // controller, so forward there.
-      if (!memory_controller_.valid() || !IsAlive(memory_controller_)) {
+      // controller. The owning shard is a pure function of the virtual
+      // address (each shard bump-allocates in its own VA slab), so the bus
+      // routes by address with no per-allocation state.
+      VirtAddr vaddr;
+      switch (message.type()) {
+        case proto::MessageType::kGrantRequest:
+          vaddr = message.As<proto::GrantRequest>().vaddr;
+          break;
+        case proto::MessageType::kRevokeRequest:
+          vaddr = message.As<proto::RevokeRequest>().vaddr;
+          break;
+        default:
+          vaddr = message.As<proto::MemFreeRequest>().vaddr;
+          break;
+      }
+      DeviceId controller = ShardForVaddr(vaddr);
+      if (!controller.valid() || !IsAlive(controller)) {
         proto::Message error =
             proto::MakeError(message, kBusDevice, Unavailable("no memory controller"));
         DeliverTraced(std::move(error), message.trace.span);
         return;
       }
-      message.dst = memory_controller_;
+      message.dst = controller;
       stats_.GetCounter("forwarded_to_controller").Increment();
-      Deliver(std::move(message));
+      DeliverRouted(std::move(message));
+      return;
+    }
+    case proto::MessageType::kMemShardAnnounce: {
+      const auto& announce = message.As<proto::MemShardAnnounce>();
+      if (announce.shard.device != message.src) {
+        stats_.GetCounter("rejected_shard_announcements").Increment();
+        return;
+      }
+      auto it = std::find_if(shard_directory_.begin(), shard_directory_.end(),
+                             [&](const proto::ShardRecord& shard) {
+                               return shard.device == announce.shard.device;
+                             });
+      if (it != shard_directory_.end()) {
+        *it = announce.shard;  // idempotent re-registration after a restart
+      } else {
+        shard_directory_.push_back(announce.shard);
+      }
+      std::sort(shard_directory_.begin(), shard_directory_.end(),
+                [](const proto::ShardRecord& a, const proto::ShardRecord& b) {
+                  return a.va_base < b.va_base;
+                });
+      stats_.GetCounter("shard_announcements").Increment();
+      Trace("shard-announce",
+            "device=" + std::to_string(announce.shard.device.value()) +
+                " segment=" + std::to_string(announce.shard.segment));
+      return;
+    }
+    case proto::MessageType::kShardDirectoryRequest: {
+      // Unicast discovery: one request, one response — no O(N) broadcast.
+      proto::ShardDirectoryResponse response;
+      if (!shard_directory_.empty()) {
+        response.shards = shard_directory_;
+      } else if (memory_controller_.valid()) {
+        // Flat machine: synthesize a single all-covering record.
+        response.shards.push_back(proto::ShardRecord{memory_controller_, 0, 0, 0, 0});
+      }
+      DeliverTraced(proto::MakeResponse(message, kBusDevice, std::move(response)),
+                    message.trace.span);
       return;
     }
     case proto::MessageType::kHeartbeat: {
@@ -362,7 +471,11 @@ void SystemBus::HandleBusMessage(proto::Message message) {
         if (endpoint.liveness.alive) {
           proto::Message copy = message;
           copy.dst = id;
-          DeliverTraced(std::move(copy), span);
+          broadcast_msgs_.Increment();
+          if (config_.segments > 1) {
+            segment_counters_[SegmentIndex(id)].broadcast_copies++;
+          }
+          DeliverTracedRouted(std::move(copy), span);
         }
       }
       tracer_.EndSpan(span);
@@ -437,6 +550,9 @@ void SystemBus::ReportDeviceFailure(DeviceId device) {
   }
   failed->liveness.failed = true;
   failed->liveness.alive = false;
+  // A failing resource controller concerns the whole machine: every consumer
+  // must drop cached state (magazines, directories), not just its neighbors.
+  bool controller_failed = memory_controller_ == device || IsShardController(device);
   if (memory_controller_ == device) {
     memory_controller_ = DeviceId::Invalid();
   }
@@ -449,17 +565,32 @@ void SystemBus::ReportDeviceFailure(DeviceId device) {
   stats_.GetCounter("device_failures").Increment();
   Trace("device-failed", failed->name);
 
-  // Notify all surviving devices (Sec. 4: "the resource bus must send
-  // messages to all other devices in the system").
+  // Notify surviving devices (Sec. 4). On a flat bus that is everyone; on a
+  // segmented rack the notice stays in the failed device's broadcast domain —
+  // plus every resource controller machine-wide, so cross-segment grants are
+  // still reclaimed — unless a controller itself failed (see above).
+  uint32_t failed_segment = SegmentIndex(device);
   for (auto& [id, endpoint] : endpoints_) {
     if (id == device || !endpoint.liveness.alive) {
+      continue;
+    }
+    bool cross_segment = config_.segments > 1 && SegmentIndex(id) != failed_segment;
+    if (cross_segment && !controller_failed && id != memory_controller_ &&
+        !IsShardController(id)) {
+      stats_.GetCounter("failure_notices_suppressed").Increment();
       continue;
     }
     proto::Message notice;
     notice.src = kBusDevice;
     notice.dst = id;
     notice.payload = proto::DeviceFailed{device};
-    simulator_->Schedule(config_.base_latency, [this, notice = std::move(notice)]() mutable {
+    broadcast_msgs_.Increment();
+    if (config_.segments > 1) {
+      segment_counters_[SegmentIndex(id)].broadcast_copies++;
+    }
+    auto delay =
+        cross_segment ? config_.base_latency + config_.inter_segment_latency : config_.base_latency;
+    simulator_->Schedule(delay, [this, notice = std::move(notice)]() mutable {
       DeliverTraced(std::move(notice), 0);
     });
   }
@@ -491,17 +622,34 @@ void SystemBus::QuarantineDevice(DeviceId device, const std::string& reason) {
   failed->liveness.quarantined = true;
   failed->liveness.alive = false;
   Trace("device-quarantined", failed->name + ": " + reason);
-  // Terminal broadcast: consumers stop retrying, resource controllers
-  // reclaim everything the device owned or was granted.
+  // Terminal notice: consumers stop retrying, resource controllers reclaim
+  // everything the device owned or was granted. Scoped like DeviceFailed:
+  // segment-local on a rack, plus controllers machine-wide (they may hold
+  // cross-segment grants from the dead device), and machine-wide when the
+  // quarantined device is itself a controller.
+  bool controller_failed = memory_controller_ == device || IsShardController(device);
+  uint32_t failed_segment = SegmentIndex(device);
   for (auto& [id, endpoint] : endpoints_) {
     if (id == device || !endpoint.liveness.alive) {
+      continue;
+    }
+    bool cross_segment = config_.segments > 1 && SegmentIndex(id) != failed_segment;
+    if (cross_segment && !controller_failed && id != memory_controller_ &&
+        !IsShardController(id)) {
+      stats_.GetCounter("failure_notices_suppressed").Increment();
       continue;
     }
     proto::Message notice;
     notice.src = kBusDevice;
     notice.dst = id;
     notice.payload = proto::DevicePermanentlyFailed{device, reason};
-    simulator_->Schedule(config_.base_latency, [this, notice = std::move(notice)]() mutable {
+    broadcast_msgs_.Increment();
+    if (config_.segments > 1) {
+      segment_counters_[SegmentIndex(id)].broadcast_copies++;
+    }
+    auto delay =
+        cross_segment ? config_.base_latency + config_.inter_segment_latency : config_.base_latency;
+    simulator_->Schedule(delay, [this, notice = std::move(notice)]() mutable {
       DeliverTraced(std::move(notice), 0);
     });
   }

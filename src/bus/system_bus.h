@@ -57,6 +57,24 @@ struct BusConfig {
   // device_supervisor.h). Defaults supervise; max_restart_attempts = 0 keeps
   // the original single-pulse fire-and-forget behaviour.
   RestartPolicy restart_policy;
+  // --- rack topology ---
+  // Number of chassis ("bus segments"). 1 = the classic flat machine: no
+  // router, no scoping, bit-identical to the pre-rack bus. A device's segment
+  // is the high bits of its id (see SegmentOf in base/types.h).
+  uint32_t segments = 1;
+  // Per-hop latency through the inter-segment router, paid by any message
+  // whose source and destination devices sit on different segments. Traffic
+  // to the bus controller itself rides the management ring (the bus has a
+  // presence on every segment) and never pays it.
+  sim::Duration inter_segment_latency = sim::Duration::Nanos(400);
+};
+
+// Per-segment traffic accounting (only meaningful when segments > 1).
+struct SegmentCounters {
+  uint64_t delivered_local = 0;   // deliveries that stayed on the segment
+  uint64_t routed_out = 0;        // deliveries that left via the router
+  uint64_t routed_in = 0;         // deliveries that arrived via the router
+  uint64_t broadcast_copies = 0;  // broadcast/fan-out copies landing here
 };
 
 // A device's attachment point on the control plane. Obtained from
@@ -146,8 +164,16 @@ class SystemBus {
   std::map<DeviceId, LivenessEntry> LivenessSnapshot() const;
 
   // The device currently acting as memory resource controller (announced a
-  // kMemory service), or Invalid() if none.
+  // kMemory service), or Invalid() if none. In a sharded machine this is the
+  // fallback for addresses outside every shard's slab; see ShardForVaddr.
   DeviceId memory_controller() const { return memory_controller_; }
+
+  // The registered controller shards, sorted by VA slab base (empty on a
+  // flat single-controller machine).
+  const std::vector<proto::ShardRecord>& shard_directory() const { return shard_directory_; }
+
+  // Per-segment routed/local traffic counters; indexed by segment.
+  const std::vector<SegmentCounters>& segment_counters() const { return segment_counters_; }
 
   sim::StatsRegistry& stats() { return stats_; }
   sim::Simulator* simulator() { return simulator_; }
@@ -185,6 +211,23 @@ class SystemBus {
   // parent `parent`, fresh flow id) before handing it to the endpoint.
   void DeliverTraced(proto::Message message, sim::SpanId parent);
 
+  // Unicast delivery through the segment router: a cross-segment (src, dst)
+  // pair pays inter_segment_latency and bumps the routed counters; everything
+  // else (same segment, flat machine, bus-originated) delivers directly.
+  void DeliverRouted(proto::Message message);
+
+  // DeliverTraced + DeliverRouted: stamp trace context, then route.
+  void DeliverTracedRouted(proto::Message message, sim::SpanId parent);
+
+  // The failed device's segment, clamped into [0, segments).
+  uint32_t SegmentIndex(DeviceId device) const;
+
+  // The shard whose VA slab contains `vaddr`, falling back to the flat
+  // memory controller when no directory is registered.
+  DeviceId ShardForVaddr(VirtAddr vaddr) const;
+
+  bool IsShardController(DeviceId device) const;
+
   // Handles messages addressed to the bus itself (kBusDevice).
   void HandleBusMessage(proto::Message message);
 
@@ -212,6 +255,9 @@ class SystemBus {
   sim::Tracer tracer_;
   std::unordered_map<DeviceId, Endpoint> endpoints_;
   DeviceId memory_controller_ = DeviceId::Invalid();
+  // Controller shards by VA slab, sorted by va_base (see MemShardAnnounce).
+  std::vector<proto::ShardRecord> shard_directory_;
+  std::vector<SegmentCounters> segment_counters_;
   // Serializes privileged table updates (single update engine).
   sim::SimTime table_engine_busy_until_;
   sim::StatsRegistry stats_;
@@ -226,6 +272,10 @@ class SystemBus {
   sim::Counter& bytes_sent_ = stats_.GetCounter("bytes_sent");
   sim::Counter& messages_delivered_ = stats_.GetCounter("messages_delivered");
   sim::Counter& heartbeats_ = stats_.GetCounter("heartbeats");
+  // Every delivered copy of machine-fan-out traffic (discovery broadcasts,
+  // failure/quarantine notices, teardown fan-out): the honest msgs/op
+  // denominator for the scalability benches.
+  sim::Counter& broadcast_msgs_ = stats_.GetCounter("broadcast_msgs");
   sim::Histogram& wire_latency_ = stats_.GetHistogram("wire_latency");
   // At most one message is held for reordering at a time; it is released
   // when the next send overtakes it, or by the backstop at the end of the

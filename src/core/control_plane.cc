@@ -1,5 +1,7 @@
 #include "src/core/control_plane.h"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <optional>
 #include <tuple>
@@ -110,6 +112,249 @@ void BusControlClient::FreeBatch(Pasid pasid, std::vector<VirtAddr> vaddrs, uint
   requester_->rpc().Call<void>(memctrl_,
                                proto::MemFreeBatchRequest{pasid, std::move(vaddrs), bytes},
                                std::move(done));
+}
+
+ShardedControlClient::ShardedControlClient(dev::Device* requester, std::vector<ShardInfo> shards,
+                                           AllocationPolicy policy)
+    : requester_(requester), policy_(policy) {
+  LASTCPU_CHECK(requester != nullptr, "sharded control client needs a device");
+  LASTCPU_CHECK(!shards.empty(), "sharded control client needs at least one shard");
+  shards_.reserve(shards.size());
+  for (ShardInfo& info : shards) {
+    shards_.push_back(Shard{info, /*alive=*/true, /*outstanding_bytes=*/0});
+  }
+  // A quarantined shard never comes back; stop offering it as a candidate.
+  // Transient failures are left alone — the bus bounces kUnavailable and the
+  // per-operation spill logic already steps past them.
+  perm_failed_token_ = requester_->AddPeerPermanentlyFailedHook([this](DeviceId device) {
+    for (Shard& shard : shards_) {
+      if (shard.info.device == device) {
+        shard.alive = false;
+      }
+    }
+  });
+}
+
+ShardedControlClient::~ShardedControlClient() {
+  requester_->RemovePeerPermanentlyFailedHook(perm_failed_token_);
+}
+
+sim::Simulator* ShardedControlClient::simulator() { return requester_->simulator(); }
+
+uint64_t ShardedControlClient::OutstandingBytes(DeviceId shard) const {
+  for (const Shard& candidate : shards_) {
+    if (candidate.info.device == shard) {
+      return candidate.outstanding_bytes;
+    }
+  }
+  return 0;
+}
+
+ShardedControlClient::Shard* ShardedControlClient::ShardForVa(VirtAddr vaddr) {
+  for (Shard& shard : shards_) {
+    if (vaddr.raw >= shard.info.va_base &&
+        (shard.info.va_limit == 0 || vaddr.raw < shard.info.va_limit)) {
+      return &shard;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<size_t> ShardedControlClient::CandidateOrder() {
+  std::vector<size_t> order;
+  order.reserve(shards_.size());
+  switch (policy_) {
+    case AllocationPolicy::kInterleave: {
+      size_t start = rr_next_++ % shards_.size();
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        order.push_back((start + i) % shards_.size());
+      }
+      break;
+    }
+    case AllocationPolicy::kHomeNode: {
+      // Home shards first (rotating among them so one segment's shards share
+      // load), then the rest in directory order as spill targets.
+      uint32_t home = SegmentOf(requester_->id());
+      std::vector<size_t> local;
+      std::vector<size_t> remote;
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        (shards_[i].info.segment == home ? local : remote).push_back(i);
+      }
+      if (!local.empty()) {
+        size_t start = rr_next_++ % local.size();
+        for (size_t i = 0; i < local.size(); ++i) {
+          order.push_back(local[(start + i) % local.size()]);
+        }
+      }
+      order.insert(order.end(), remote.begin(), remote.end());
+      break;
+    }
+    case AllocationPolicy::kCapacityAware: {
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        order.push_back(i);
+      }
+      // Most estimated headroom first; stable index tie-break keeps reruns
+      // deterministic.
+      std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+        uint64_t free_a = shards_[a].info.capacity_bytes -
+                          std::min(shards_[a].outstanding_bytes, shards_[a].info.capacity_bytes);
+        uint64_t free_b = shards_[b].info.capacity_bytes -
+                          std::min(shards_[b].outstanding_bytes, shards_[b].info.capacity_bytes);
+        return free_a > free_b;
+      });
+      break;
+    }
+  }
+  std::erase_if(order, [this](size_t i) { return !shards_[i].alive; });
+  return order;
+}
+
+void ShardedControlClient::Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) {
+  auto order = CandidateOrder();
+  if (order.empty()) {
+    simulator()->Schedule(sim::Duration::Zero(), [done = std::move(done)] {
+      done(Unavailable("no live memory shards"));
+    });
+    return;
+  }
+  TryAlloc(pasid, bytes, std::move(order), 0, std::move(done));
+}
+
+void ShardedControlClient::TryAlloc(Pasid pasid, uint64_t bytes, std::vector<size_t> order,
+                                    size_t attempt, Callback<VirtAddr> done) {
+  size_t shard_index = order[attempt];
+  requester_->rpc().Call<proto::MemAllocResponse>(
+      shards_[shard_index].info.device,
+      proto::MemAllocRequest{pasid, bytes, VirtAddr(0), Access::kReadWrite},
+      [this, pasid, bytes, order = std::move(order), attempt, shard_index,
+       done = std::move(done)](Result<proto::MemAllocResponse> response) mutable {
+        if (response.ok()) {
+          shards_[shard_index].outstanding_bytes += PagesForBytes(bytes) * kPageSize;
+          done(response->vaddr);
+          return;
+        }
+        // A full or offline shard is not a machine-wide failure: spill to the
+        // next candidate once per shard.
+        bool spillable = response.status().code() == StatusCode::kResourceExhausted ||
+                         response.status().code() == StatusCode::kUnavailable;
+        if (spillable && attempt + 1 < order.size()) {
+          ++spills_;
+          TryAlloc(pasid, bytes, std::move(order), attempt + 1, std::move(done));
+          return;
+        }
+        done(response.status());
+      });
+}
+
+void ShardedControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
+                                 Access access, Callback<void> done) {
+  // The bus routes to the owning shard by address — same shape as the flat
+  // client, so authorization still runs controller-side.
+  requester_->rpc().Call<void>(kBusDevice,
+                               proto::GrantRequest{pasid, vaddr, bytes, grantee, access},
+                               std::move(done));
+}
+
+void ShardedControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                                Callback<void> done) {
+  Shard* shard = ShardForVa(vaddr);
+  requester_->rpc().Call<void>(
+      kBusDevice, proto::MemFreeRequest{pasid, vaddr, bytes},
+      [this, freed_bytes = PagesForBytes(bytes) * kPageSize,
+       device = shard != nullptr ? shard->info.device : DeviceId::Invalid(),
+       done = std::move(done)](Result<void> result) mutable {
+        if (result.ok()) {
+          for (Shard& candidate : shards_) {
+            if (candidate.info.device == device) {
+              candidate.outstanding_bytes -=
+                  std::min(candidate.outstanding_bytes, freed_bytes);
+            }
+          }
+        }
+        done(std::move(result));
+      });
+}
+
+void ShardedControlClient::AllocBatch(Pasid pasid, uint64_t bytes, uint32_t count,
+                                      Callback<std::vector<VirtAddr>> done) {
+  auto order = CandidateOrder();
+  if (order.empty()) {
+    simulator()->Schedule(sim::Duration::Zero(), [done = std::move(done)] {
+      done(Unavailable("no live memory shards"));
+    });
+    return;
+  }
+  TryAllocBatch(pasid, bytes, count, std::move(order), 0, std::move(done));
+}
+
+void ShardedControlClient::TryAllocBatch(Pasid pasid, uint64_t bytes, uint32_t count,
+                                         std::vector<size_t> order, size_t attempt,
+                                         Callback<std::vector<VirtAddr>> done) {
+  size_t shard_index = order[attempt];
+  requester_->rpc().Call<proto::MemAllocBatchResponse>(
+      shards_[shard_index].info.device,
+      proto::MemAllocBatchRequest{pasid, bytes, count, Access::kReadWrite},
+      [this, pasid, bytes, count, order = std::move(order), attempt, shard_index,
+       done = std::move(done)](Result<proto::MemAllocBatchResponse> response) mutable {
+        if (response.ok()) {
+          shards_[shard_index].outstanding_bytes +=
+              uint64_t{count} * PagesForBytes(bytes) * kPageSize;
+          done(std::move(response->vaddrs));
+          return;
+        }
+        bool spillable = response.status().code() == StatusCode::kResourceExhausted ||
+                         response.status().code() == StatusCode::kUnavailable;
+        if (spillable && attempt + 1 < order.size()) {
+          ++spills_;
+          TryAllocBatch(pasid, bytes, count, std::move(order), attempt + 1, std::move(done));
+          return;
+        }
+        done(response.status());
+      });
+}
+
+void ShardedControlClient::FreeBatch(Pasid pasid, std::vector<VirtAddr> vaddrs, uint64_t bytes,
+                                     Callback<void> done) {
+  // Regions in one drain may belong to different shards (interleave policy):
+  // group by owner and issue one direct batch per shard, like the flat
+  // client's direct-to-controller batches.
+  std::map<DeviceId, std::vector<VirtAddr>> per_shard;
+  for (VirtAddr vaddr : vaddrs) {
+    Shard* shard = ShardForVa(vaddr);
+    per_shard[shard != nullptr ? shard->info.device : DeviceId::Invalid()].push_back(vaddr);
+  }
+  struct JoinState {
+    int outstanding = 0;
+    Status first_error = OkStatus();
+    Callback<void> done;
+  };
+  auto state = std::make_shared<JoinState>();
+  state->done = std::move(done);
+  state->outstanding = static_cast<int>(per_shard.size());
+  if (state->outstanding == 0) {
+    simulator()->Schedule(sim::Duration::Zero(), [state] { state->done(OkStatus()); });
+    return;
+  }
+  for (auto& [device, group] : per_shard) {
+    uint64_t group_bytes = uint64_t{group.size()} * PagesForBytes(bytes) * kPageSize;
+    requester_->rpc().Call<void>(
+        device, proto::MemFreeBatchRequest{pasid, std::move(group), bytes},
+        [this, state, device, group_bytes](Result<void> result) {
+          if (result.ok()) {
+            for (Shard& candidate : shards_) {
+              if (candidate.info.device == device) {
+                candidate.outstanding_bytes -=
+                    std::min(candidate.outstanding_bytes, group_bytes);
+              }
+            }
+          } else if (state->first_error.ok()) {
+            state->first_error = result.status();
+          }
+          if (--state->outstanding == 0) {
+            state->done(state->first_error.ok() ? Result<void>() : Result<void>(state->first_error));
+          }
+        });
+  }
 }
 
 KernelControlClient::KernelControlClient(baseline::CentralKernel* kernel, DeviceId self)

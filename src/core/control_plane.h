@@ -83,6 +83,79 @@ class BusControlClient : public ControlClient {
   DeviceId memctrl_;
 };
 
+// Where a sharded rack places fresh allocations (tried in order; a full or
+// offline shard spills to the next candidate).
+enum class AllocationPolicy {
+  kHomeNode,       // prefer shards on the requester's own segment
+  kInterleave,     // round-robin across every shard
+  kCapacityAware,  // shard with the most estimated free bytes first
+};
+
+// One controller shard as a client sees it (from the bus shard directory).
+struct ShardInfo {
+  DeviceId device;
+  uint32_t segment = 0;
+  uint64_t va_base = 0;
+  uint64_t va_limit = 0;
+  uint64_t capacity_bytes = 0;
+};
+
+// Decentralized, rack-scale: allocations pick a controller shard by policy
+// and go to it directly; grant/free ride through the bus, which routes them
+// to the owning shard by virtual address (each shard bump-allocates in its
+// own VA slab, so ownership is a pure address function). Drops in anywhere a
+// BusControlClient fits — MagazineClient wraps it unchanged.
+class ShardedControlClient : public ControlClient {
+ public:
+  // `shards` is the directory snapshot (e.g. Machine::shard_infos()); order
+  // defines the deterministic round-robin sequence. The requester's segment
+  // (from its device id) anchors the home-node policy.
+  ShardedControlClient(dev::Device* requester, std::vector<ShardInfo> shards,
+                       AllocationPolicy policy = AllocationPolicy::kHomeNode);
+  ~ShardedControlClient() override;
+
+  void Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) override;
+  void Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee, Access access,
+             Callback<void> done) override;
+  void Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes, Callback<void> done) override;
+  void AllocBatch(Pasid pasid, uint64_t bytes, uint32_t count,
+                  Callback<std::vector<VirtAddr>> done) override;
+  void FreeBatch(Pasid pasid, std::vector<VirtAddr> vaddrs, uint64_t bytes,
+                 Callback<void> done) override;
+  sim::Simulator* simulator() override;
+
+  // Introspection for tests and benches.
+  uint64_t spills() const { return spills_; }
+  // Bytes this client believes are outstanding on `shard` (its own estimate;
+  // capacity-aware placement runs on it, no controller round trip).
+  uint64_t OutstandingBytes(DeviceId shard) const;
+
+ private:
+  struct Shard {
+    ShardInfo info;
+    bool alive = true;
+    uint64_t outstanding_bytes = 0;
+  };
+
+  // Shard indexes in preference order under the active policy, skipping dead
+  // shards. Deterministic: round-robin state + stable tie-breaks only.
+  std::vector<size_t> CandidateOrder();
+  // The shard whose VA slab contains `vaddr` (for outstanding accounting).
+  Shard* ShardForVa(VirtAddr vaddr);
+
+  void TryAlloc(Pasid pasid, uint64_t bytes, std::vector<size_t> order, size_t attempt,
+                Callback<VirtAddr> done);
+  void TryAllocBatch(Pasid pasid, uint64_t bytes, uint32_t count, std::vector<size_t> order,
+                     size_t attempt, Callback<std::vector<VirtAddr>> done);
+
+  dev::Device* requester_;
+  AllocationPolicy policy_;
+  std::vector<Shard> shards_;
+  size_t rr_next_ = 0;
+  uint64_t spills_ = 0;
+  uint64_t perm_failed_token_ = 0;
+};
+
 // Centralized: operations are syscalls into the one kernel, on behalf of
 // device `self`.
 class KernelControlClient : public ControlClient {

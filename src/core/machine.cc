@@ -1,26 +1,42 @@
 #include "src/core/machine.h"
 
+#include <algorithm>
 #include <ostream>
 
+#include "src/base/check.h"
 #include "src/core/crash_injector.h"
+#include "src/memdev/shard_layout.h"
 #include "src/sim/trace_export.h"
 
 namespace lastcpu::core {
+namespace {
+
+// Keeps the topology spec and the bus config in agreement before either
+// substrate is constructed.
+MachineConfig NormalizeTopology(MachineConfig config) {
+  if (config.topology.segments == 0) {
+    config.topology.segments = 1;
+  }
+  config.bus.segments = std::max(config.bus.segments, config.topology.segments);
+  return config;
+}
+
+}  // namespace
 
 Machine::Machine(MachineConfig config)
-    : config_(config),
-      memory_(config.memory_bytes),
-      fabric_(&simulator_, &memory_, config.fabric, &trace_),
-      bus_(&simulator_, config.bus, &trace_),
-      network_(&simulator_, config.network) {
-  if (config.enable_trace) {
+    : config_(NormalizeTopology(std::move(config))),
+      memory_(config_.memory_bytes),
+      fabric_(&simulator_, &memory_, config_.fabric, &trace_),
+      bus_(&simulator_, config_.bus, &trace_),
+      network_(&simulator_, config_.network) {
+  if (config_.enable_trace) {
     trace_.Enable();
   }
-  if (config.fault_plan.enabled()) {
+  if (config_.fault_plan.enabled()) {
     // One injector shared by both interconnects: the bus and the fabric draw
     // from the same seeded sequence, so a (seed, plan) pair fully determines
     // every fault in the machine.
-    faults_ = std::make_unique<sim::FaultInjector>(config.fault_plan);
+    faults_ = std::make_unique<sim::FaultInjector>(config_.fault_plan);
     bus_.SetFaultInjector(faults_.get());
     fabric_.SetFaultInjector(faults_.get());
   }
@@ -29,6 +45,51 @@ Machine::Machine(MachineConfig config)
 // Out of line: the header only forward-declares CrashInjector. The injector
 // unhooks its bus and device observers, so it must die before they do.
 Machine::~Machine() { crash_injector_.reset(); }
+
+DeviceId Machine::NextDeviceId(uint32_t segment) {
+  if (segment == 0) {
+    // Flat numbering, unchanged from the single-chassis machine.
+    return DeviceId(next_device_id_++);
+  }
+  LASTCPU_CHECK(segment < config_.topology.segments, "segment %u out of range", segment);
+  if (next_local_id_.size() <= segment) {
+    next_local_id_.resize(segment + 1, 1);
+  }
+  return MakeSegmentDeviceId(segment, next_local_id_[segment]++);
+}
+
+std::vector<memdev::MemoryController*> Machine::AddMemoryControllerShards(uint32_t count) {
+  LASTCPU_CHECK(count > 0, "a sharded machine needs at least one shard");
+  LASTCPU_CHECK(shard_controllers_.empty(), "controller shards already assembled");
+  uint64_t frames = memory_.num_frames();
+  LASTCPU_CHECK(frames >= count, "fewer physical frames than shards");
+  uint32_t segments = config_.topology.segments;
+  uint64_t frame_base = 0;
+  std::vector<memdev::MemoryController*> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t share = frames / count + (i < frames % count ? 1 : 0);
+    // Shard i lives on segment floor(i * segments / count): contiguous runs
+    // of shards per chassis, every chassis covered when count >= segments.
+    uint32_t segment = static_cast<uint32_t>(uint64_t{i} * segments / count);
+    memdev::MemoryControllerConfig shard_config;
+    shard_config.frame_base = frame_base;
+    shard_config.frame_count = share;
+    shard_config.va_base = memdev::ShardVaBase(i);
+    shard_config.va_limit = memdev::ShardVaLimit(i);
+    shard_config.segment = segment;
+    auto device = std::make_unique<memdev::MemoryController>(NextDeviceId(segment), Context(),
+                                                             &memory_, shard_config);
+    shard_infos_.push_back(ShardInfo{device->id(), segment, shard_config.va_base,
+                                     shard_config.va_limit, share * kPageSize});
+    fabric_.SetSegmentForFrames(frame_base, share, segment);
+    shard_controllers_.push_back(device.get());
+    out.push_back(device.get());
+    devices_.push_back(std::move(device));
+    frame_base += share;
+  }
+  return out;
+}
 
 memdev::MemoryController& Machine::AddMemoryController(memdev::MemoryControllerConfig config) {
   auto device =
@@ -56,6 +117,9 @@ nicdev::SmartNic& Machine::AddSmartNic(nicdev::SmartNicConfig config) {
 }
 
 void Machine::Boot() {
+  if (config_.topology.memory_shards > 0 && shard_controllers_.empty()) {
+    AddMemoryControllerShards(config_.topology.memory_shards);
+  }
   if (config_.crash_plan.enabled() && crash_injector_ == nullptr) {
     // Before PowerOn, so a during_self_test spec can sabotage the very first
     // self-test of the boot sequence.
@@ -123,6 +187,43 @@ void Machine::MetricsJson(std::ostream& os) {
        << ",\"quarantines\":" << bus_stats.GetCounter("supervisor_quarantines").value()
        << ",\"permanent_failures\":"
        << bus_stats.GetCounter("supervisor_permanent_failures").value() << "},";
+  }
+  // Rack topology sections (omitted entirely on a flat machine, so its
+  // metrics stream is unchanged).
+  const auto& segments = bus_.segment_counters();
+  if (segments.size() > 1) {
+    os << "\"segments\":[";
+    for (size_t i = 0; i < segments.size(); ++i) {
+      if (i != 0) {
+        os << ",";
+      }
+      os << "{\"delivered_local\":" << segments[i].delivered_local
+         << ",\"routed_out\":" << segments[i].routed_out
+         << ",\"routed_in\":" << segments[i].routed_in
+         << ",\"broadcast_copies\":" << segments[i].broadcast_copies << "}";
+    }
+    os << "],";
+  }
+  if (!shard_controllers_.empty()) {
+    os << "\"memory_shards\":[";
+    for (size_t i = 0; i < shard_controllers_.size(); ++i) {
+      memdev::MemoryController* shard = shard_controllers_[i];
+      if (i != 0) {
+        os << ",";
+      }
+      sim::StatsRegistry& shard_stats = shard->stats();
+      os << "{\"device\":" << shard->id().value()
+         << ",\"segment\":" << shard->controller_config().segment
+         << ",\"allocations\":" << shard_stats.GetCounter("allocations").value()
+         << ",\"frees\":" << shard_stats.GetCounter("frees").value()
+         << ",\"grants\":" << shard_stats.GetCounter("grants").value()
+         << ",\"permanent_reclaims\":" << shard_stats.GetCounter("permanent_reclaims").value()
+         << ",\"stranded_grants_reclaimed\":"
+         << shard_stats.GetCounter("stranded_grants_reclaimed").value()
+         << ",\"total_frames\":" << shard->allocator().total_frames()
+         << ",\"free_frames\":" << shard->allocator().free_frames() << "}";
+    }
+    os << "],";
   }
   os << "\"bus\":";
   bus_.stats().Snapshot().WriteJson(os);

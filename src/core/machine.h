@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/bus/system_bus.h"
+#include "src/core/control_plane.h"
 #include "src/core/fast_path.h"
 #include "src/dev/device.h"
 #include "src/fabric/fabric.h"
@@ -39,6 +40,19 @@
 namespace lastcpu::core {
 
 class CrashInjector;
+
+// Rack topology: how many bus segments (chassis) the machine spans and how
+// many memory-controller shards Boot() assembles. The all-default spec is the
+// classic flat machine — one segment, one hand-added controller — and stays
+// bit-identical to pre-rack behaviour.
+struct TopologySpec {
+  uint32_t segments = 1;
+  // Shards Boot() carves physical memory into, spread across the segments.
+  // 0 = none; the caller adds controllers itself (flat machine).
+  uint32_t memory_shards = 0;
+  // Placement policy for clients built from shard_infos().
+  AllocationPolicy policy = AllocationPolicy::kHomeNode;
+};
 
 struct MachineConfig {
   uint64_t memory_bytes = 256 << 20;
@@ -58,6 +72,9 @@ struct MachineConfig {
   // AddSmartSsd seeds its FileService completion window from here, and apps
   // consult it for client-side knobs via Machine::fast_path().
   FastPathConfig fast_path;
+  // Rack topology. bus.segments is raised to topology.segments at
+  // construction so the two never disagree.
+  TopologySpec topology;
 };
 
 class Machine {
@@ -85,23 +102,43 @@ class Machine {
 
   // --- device assembly --------------------------------------------------------
 
-  DeviceId NextDeviceId() { return DeviceId(next_device_id_++); }
+  // A fresh device id on `segment` (0 = the classic flat numbering).
+  DeviceId NextDeviceId(uint32_t segment = 0);
 
   memdev::MemoryController& AddMemoryController(memdev::MemoryControllerConfig config = {});
   ssddev::SmartSsd& AddSmartSsd(ssddev::SmartSsdConfig config = {});
   nicdev::SmartNic& AddSmartNic(nicdev::SmartNicConfig config = {});
 
+  // Carves physical memory into `count` equal controller shards, each with
+  // its own VA slab (see memdev/shard_layout.h), spread evenly across the
+  // configured segments. Boot() calls this when topology.memory_shards > 0.
+  std::vector<memdev::MemoryController*> AddMemoryControllerShards(uint32_t count);
+
   // Adds a custom device type; T's constructor must be (DeviceId,
   // DeviceContext, extra args...).
   template <typename T, typename... Args>
   T& Emplace(Args&&... args) {
-    auto device = std::make_unique<T>(NextDeviceId(), Context(), std::forward<Args>(args)...);
+    return EmplaceOn<T>(0, std::forward<Args>(args)...);
+  }
+
+  // Emplace on a specific bus segment.
+  template <typename T, typename... Args>
+  T& EmplaceOn(uint32_t segment, Args&&... args) {
+    auto device =
+        std::make_unique<T>(NextDeviceId(segment), Context(), std::forward<Args>(args)...);
     T& ref = *device;
     devices_.push_back(std::move(device));
     return ref;
   }
 
   const std::vector<std::unique_ptr<dev::Device>>& devices() const { return devices_; }
+
+  // The controller shards assembled by AddMemoryControllerShards (empty on a
+  // flat machine), and their directory records for building sharded clients.
+  const std::vector<memdev::MemoryController*>& shard_controllers() const {
+    return shard_controllers_;
+  }
+  const std::vector<ShardInfo>& shard_infos() const { return shard_infos_; }
 
   // --- lifecycle ---------------------------------------------------------------
 
@@ -149,7 +186,12 @@ class Machine {
   bus::SystemBus bus_;
   net::Network network_;
   std::vector<std::unique_ptr<dev::Device>> devices_;
+  std::vector<memdev::MemoryController*> shard_controllers_;
+  std::vector<ShardInfo> shard_infos_;
   uint32_t next_device_id_ = 1;
+  // Per-segment local-id counters for segments >= 1 (index 0 unused; segment
+  // 0 keeps the flat next_device_id_ numbering).
+  std::vector<uint32_t> next_local_id_;
   uint32_t next_pasid_ = 1;
   std::vector<std::pair<Pasid, std::string>> applications_;
 };

@@ -29,6 +29,7 @@ bool IsResponseType(proto::MessageType type) {
     case proto::MessageType::kFileListResponse:
     case proto::MessageType::kMemAllocBatchResponse:
     case proto::MessageType::kMemFreeBatchResponse:
+    case proto::MessageType::kShardDirectoryResponse:
       return true;
     default:
       return false;

@@ -38,6 +38,38 @@ void Fabric::DetachDevice(DeviceId device) {
   ports_.erase(device);
 }
 
+void Fabric::SetSegmentForFrames(uint64_t first_frame, uint64_t count, uint32_t segment) {
+  if (count == 0) {
+    return;
+  }
+  frame_bands_.push_back(FrameBand{first_frame, count, segment});
+  std::sort(frame_bands_.begin(), frame_bands_.end(),
+            [](const FrameBand& a, const FrameBand& b) { return a.first_frame < b.first_frame; });
+}
+
+uint32_t Fabric::SegmentOfFrame(uint64_t frame) const {
+  for (const FrameBand& band : frame_bands_) {
+    if (frame < band.first_frame) {
+      break;  // bands are sorted; nothing further can contain the frame
+    }
+    if (frame - band.first_frame < band.count) {
+      return band.segment;
+    }
+  }
+  return 0;
+}
+
+sim::Duration Fabric::DmaHopCost(DeviceId initiator, PhysAddr paddr) {
+  if (config_.inter_segment_hop == sim::Duration::Zero() || IsReservedDevice(initiator)) {
+    return sim::Duration::Zero();
+  }
+  if (SegmentOf(initiator) == SegmentOfFrame(paddr.raw >> kPageShift)) {
+    return sim::Duration::Zero();
+  }
+  cross_segment_dmas_.Increment();
+  return config_.inter_segment_hop;
+}
+
 Fabric::Port* Fabric::FindPort(DeviceId device) {
   if (device == cached_port_id_) {
     return cached_port_;
@@ -115,7 +147,8 @@ void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector
     if (!translation.tlb_hit) {
       walk_cost = config_.walk_latency_per_level * static_cast<uint64_t>(translation.levels_walked);
     }
-    sim::SimTime completion = ScheduleTransfer(*port, data.size(), walk_cost);
+    sim::SimTime completion = ScheduleTransfer(
+        *port, data.size(), walk_cost + DmaHopCost(initiator, translation.paddr));
     dma_writes_.Increment();
     dma_bytes_written_.Increment(data.size());
     dma_write_latency_.Record(completion - simulator_->Now());
@@ -143,6 +176,11 @@ void Fabric::DmaWrite(DeviceId initiator, Pasid pasid, VirtAddr dst, std::vector
     return;
   }
 
+  if (!segments.empty()) {
+    // A multi-page transfer that lands on a remote shard pays one hop (the
+    // first frame decides; shard slabs are contiguous, so mixes are rare).
+    walk_cost = walk_cost + DmaHopCost(initiator, segments.front().first);
+  }
   sim::SimTime completion = ScheduleTransfer(*port, data.size(), walk_cost);
   dma_writes_.Increment();
   dma_bytes_written_.Increment(data.size());
@@ -193,7 +231,8 @@ void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t len
     if (!translation.tlb_hit) {
       walk_cost = config_.walk_latency_per_level * static_cast<uint64_t>(translation.levels_walked);
     }
-    sim::SimTime completion = ScheduleTransfer(*port, length, walk_cost);
+    sim::SimTime completion =
+        ScheduleTransfer(*port, length, walk_cost + DmaHopCost(initiator, translation.paddr));
     dma_reads_.Increment();
     dma_bytes_read_.Increment(length);
     dma_read_latency_.Record(completion - simulator_->Now());
@@ -220,6 +259,9 @@ void Fabric::DmaRead(DeviceId initiator, Pasid pasid, VirtAddr src, uint64_t len
     return;
   }
 
+  if (!segments.empty()) {
+    walk_cost = walk_cost + DmaHopCost(initiator, segments.front().first);
+  }
   sim::SimTime completion = ScheduleTransfer(*port, length, walk_cost);
   dma_reads_.Increment();
   dma_bytes_read_.Increment(length);
@@ -275,6 +317,9 @@ void Fabric::DmaWritev(DeviceId initiator, Pasid pasid, std::vector<DmaWriteSegm
     }
   }
 
+  if (!phys.empty()) {
+    walk_cost = walk_cost + DmaHopCost(initiator, phys.front().first);
+  }
   sim::SimTime completion = ScheduleTransfer(*port, total_bytes, walk_cost);
   dma_writes_.Increment();
   dma_sg_segments_.Increment(segments.size());
@@ -341,6 +386,9 @@ void Fabric::DmaReadv(DeviceId initiator, Pasid pasid, std::vector<DmaReadSegmen
     }
   }
 
+  if (!phys.empty()) {
+    walk_cost = walk_cost + DmaHopCost(initiator, phys.front().first);
+  }
   sim::SimTime completion = ScheduleTransfer(*port, total_bytes, walk_cost);
   dma_reads_.Increment();
   dma_sg_segments_.Increment(segments.size());
@@ -473,6 +521,11 @@ void Fabric::RingDoorbell(DeviceId from, DeviceId to, uint64_t value) {
   }
   doorbells_.Increment();
   sim::Duration latency = config_.doorbell_latency;
+  if (config_.inter_segment_hop != sim::Duration::Zero() && !IsReservedDevice(from) &&
+      !IsReservedDevice(to) && SegmentOf(from) != SegmentOf(to)) {
+    cross_segment_doorbells_.Increment();
+    latency = latency + config_.inter_segment_hop;
+  }
   int copies = 1;
   if (faults_ != nullptr) {
     sim::FaultDecision fault = faults_->Decide();

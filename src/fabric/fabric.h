@@ -48,6 +48,10 @@ struct FabricConfig {
   // disables coalescing: every Ring() is one fabric doorbell, byte-identical
   // to the unbatched model.
   sim::Duration doorbell_coalesce_window = sim::Duration::Zero();
+  // Extra latency a data-plane access pays when it crosses a chassis boundary
+  // (the rack's inter-segment cable). Zero (the default) keeps the flat
+  // single-chassis model byte-identical: no segment lookups, no extra cost.
+  sim::Duration inter_segment_hop = sim::Duration::Zero();
 };
 
 // One segment of a scatter-gather write: destination + payload.
@@ -140,6 +144,16 @@ class Fabric {
   // no acknowledgement, so clients that depend on them must poll as backstop.
   void SetFaultInjector(sim::FaultInjector* injector) { faults_ = injector; }
 
+  // --- rack topology ---------------------------------------------------------
+
+  // Declares that physical frames [first_frame, first_frame + count) live on
+  // `segment` (one band per memory-controller shard). With inter_segment_hop
+  // configured, DMA that targets frames off the initiator's segment pays the
+  // hop; without bands every frame is segment 0.
+  void SetSegmentForFrames(uint64_t first_frame, uint64_t count, uint32_t segment);
+  // The segment holding `frame` (0 when no bands are declared).
+  uint32_t SegmentOfFrame(uint64_t frame) const;
+
  private:
   struct Port {
     iommu::Iommu* iommu = nullptr;
@@ -159,6 +173,11 @@ class Fabric {
   // link-busy horizon (store-and-forward pipe model).
   sim::SimTime ScheduleTransfer(Port& port, uint64_t bytes, sim::Duration extra);
 
+  // The inter-segment cost of `initiator` touching the frame behind `paddr`
+  // (zero when the hop is unconfigured or the access stays on-segment).
+  // Counts cross-segment DMAs as a side effect.
+  sim::Duration DmaHopCost(DeviceId initiator, PhysAddr paddr);
+
   sim::Simulator* simulator_;
   mem::PhysicalMemory* memory_;
   FabricConfig config_;
@@ -172,6 +191,14 @@ class Fabric {
   Port* cached_port_ = nullptr;
   sim::StatsRegistry stats_;
   sim::FaultInjector* faults_ = nullptr;
+  // Frame-range -> segment bands, sorted by first_frame; empty on a flat
+  // machine (every frame reads as segment 0).
+  struct FrameBand {
+    uint64_t first_frame = 0;
+    uint64_t count = 0;
+    uint32_t segment = 0;
+  };
+  std::vector<FrameBand> frame_bands_;
 
   // Per-transfer stats, resolved once at construction: registry references
   // are stable for the fabric's lifetime, so the per-event cost is a plain
@@ -188,6 +215,8 @@ class Fabric {
   sim::Counter& doorbells_dropped_ = stats_.GetCounter("doorbells_dropped");
   sim::Counter& doorbells_faulted_ = stats_.GetCounter("doorbells_faulted");
   sim::Counter& doorbells_coalesced_ = stats_.GetCounter("doorbells_coalesced");
+  sim::Counter& cross_segment_dmas_ = stats_.GetCounter("cross_segment_dmas");
+  sim::Counter& cross_segment_doorbells_ = stats_.GetCounter("cross_segment_doorbells");
 
   friend class DoorbellBatcher;
   sim::Histogram& dma_write_latency_ = stats_.GetHistogram("dma_write_latency");

@@ -13,9 +13,11 @@ MemoryController::MemoryController(DeviceId id, const dev::DeviceContext& contex
                                    mem::PhysicalMemory* memory, MemoryControllerConfig config,
                                    dev::DeviceConfig device_config)
     : dev::Device(id, "memctrl", context, device_config),
-      allocator_(memory->num_frames()),
+      allocator_(config.frame_count != 0 ? config.frame_count : memory->num_frames()),
       memory_(memory),
       config_(config) {
+  LASTCPU_CHECK(config.frame_base + allocator_.total_frames() <= memory->num_frames(),
+                "controller shard extends past physical memory");
   // Announce the memory service: this is what makes the bus treat this device
   // as the memory resource controller.
   class MemoryService : public dev::Service {
@@ -27,6 +29,22 @@ MemoryController::MemoryController(DeviceId id, const dev::DeviceContext& contex
     }
   };
   AddService(std::make_unique<MemoryService>(id));
+}
+
+void MemoryController::OnAlive() {
+  if (!sharded()) {
+    return;
+  }
+  // Register this shard's VA slab with the bus router so vaddr-carrying
+  // control messages (grant/revoke/free) route here without a lookup table on
+  // the client. Re-announcing after a restart is idempotent.
+  proto::ShardRecord shard;
+  shard.device = id();
+  shard.segment = config_.segment;
+  shard.va_base = config_.va_base;
+  shard.va_limit = config_.va_limit;
+  shard.capacity_bytes = capacity_bytes();
+  SendOneWay(kBusDevice, proto::MemShardAnnounce{shard});
 }
 
 uint64_t MemoryController::AllocatedBytes(Pasid pasid) const {
@@ -95,11 +113,16 @@ Result<uint64_t> MemoryController::PlaceVirtual(Pasid pasid, uint64_t pages, Vir
     }
     return hint.page();
   }
-  auto [it, inserted] = next_vpage_.try_emplace(pasid, config_.va_bump_base >> kPageShift);
+  auto [it, inserted] =
+      next_vpage_.try_emplace(pasid, (config_.va_base + config_.va_bump_base) >> kPageShift);
   (void)inserted;
   uint64_t vpage = it->second;
   while (Overlaps(table, vpage, pages)) {
     vpage += pages;
+  }
+  if (config_.va_limit != 0 && (vpage + pages) << kPageShift > config_.va_limit) {
+    stats().GetCounter("va_slab_rejections").Increment();
+    return ResourceExhausted("shard VA slab exhausted");
   }
   it->second = vpage + pages;
   return vpage;
@@ -180,15 +203,18 @@ void MemoryController::HandleAlloc(const proto::Message& message) {
     ReplyError(message, frame.status());
     return;
   }
+  // Frames are allocator-relative; tables and map entries hold the absolute
+  // frame so grantees on other shards see real physical addresses.
+  uint64_t first_frame = config_.frame_base + *frame;
   // Zero-fill so no application ever sees another's stale data.
   for (uint64_t i = 0; i < pages; ++i) {
-    memory_->ZeroFrame(*frame + i);
+    memory_->ZeroFrame(first_frame + i);
   }
 
   Allocation allocation;
   allocation.vaddr = VirtAddr(*vpage << kPageShift);
   allocation.pages = pages;
-  allocation.first_frame = *frame;
+  allocation.first_frame = first_frame;
   allocation.owner = message.src;
   allocation.owner_access = request.access;
   tables_[request.pasid].emplace(*vpage, allocation);
@@ -273,13 +299,14 @@ void MemoryController::HandleAllocBatch(const proto::Message& message) {
       ReplyError(message, frame.status());
       return;
     }
+    uint64_t first_frame = config_.frame_base + *frame;
     for (uint64_t p = 0; p < pages; ++p) {
-      memory_->ZeroFrame(*frame + p);
+      memory_->ZeroFrame(first_frame + p);
     }
     Allocation allocation;
     allocation.vaddr = VirtAddr(*vpage << kPageShift);
     allocation.pages = pages;
-    allocation.first_frame = *frame;
+    allocation.first_frame = first_frame;
     allocation.owner = message.src;
     allocation.owner_access = request.access;
     tables_[request.pasid].emplace(*vpage, allocation);
@@ -396,8 +423,9 @@ void MemoryController::HandleFreeBatch(const proto::Message& message) {
 
 void MemoryController::ReleaseAllocation(Pasid pasid, Table::iterator it) {
   const Allocation& allocation = it->second;
-  LASTCPU_CHECK(allocator_.Free(allocation.first_frame, allocation.pages).ok(),
-                "allocator table out of sync");
+  LASTCPU_CHECK(
+      allocator_.Free(allocation.first_frame - config_.frame_base, allocation.pages).ok(),
+      "allocator table out of sync");
   bytes_allocated_[pasid] -= allocation.pages * kPageSize;
   stats().GetCounter("frees").Increment();
   tables_[pasid].erase(it);
@@ -552,8 +580,9 @@ void MemoryController::OnTeardown(Pasid pasid) {
       auto entries = EntriesFor(allocation, vpage, allocation.pages, Access::kRead);
       SendDirective(target, pasid, std::move(entries), /*unmap=*/true, [](Result<void>) {});
     }
-    LASTCPU_CHECK(allocator_.Free(allocation.first_frame, allocation.pages).ok(),
-                  "allocator table out of sync during teardown");
+    LASTCPU_CHECK(
+        allocator_.Free(allocation.first_frame - config_.frame_base, allocation.pages).ok(),
+        "allocator table out of sync during teardown");
   }
   stats().GetCounter("teardowns").Increment();
   bytes_allocated_.erase(pasid);

@@ -30,8 +30,22 @@ struct MemoryControllerConfig {
   // Per-application quota; 0 = unlimited.
   uint64_t max_bytes_per_pasid = 0;
   // Where per-application virtual address assignment starts when no hint is
-  // given (low VA space is left to the application's own layout).
+  // given (low VA space is left to the application's own layout). In a
+  // sharded machine this is an offset into the shard's VA slab.
   uint64_t va_bump_base = uint64_t{1} << 32;
+
+  // --- shard fields (all zero = classic single controller owning all DRAM) --
+  // The slice of physical memory this controller owns: frames
+  // [frame_base, frame_base + frame_count). frame_count == 0 means the whole
+  // of physical memory (unsharded).
+  uint64_t frame_base = 0;
+  uint64_t frame_count = 0;
+  // The VA slab this shard bump-allocates in: [va_base, va_limit).
+  // va_limit == 0 means unbounded (unsharded). See shard_layout.h.
+  uint64_t va_base = 0;
+  uint64_t va_limit = 0;
+  // The bus segment the shard sits on; recorded in its directory entry.
+  uint32_t segment = 0;
 };
 
 // One live allocation in the table.
@@ -57,8 +71,12 @@ class MemoryController : public dev::Device {
   // zero after the device is permanently failed (the reclamation invariant).
   uint64_t AllocationsOwnedBy(DeviceId device) const;
   uint64_t GrantsHeldBy(DeviceId device) const;
+  bool sharded() const { return config_.frame_count != 0; }
+  uint64_t capacity_bytes() const { return allocator_.total_frames() * kPageSize; }
+  const MemoryControllerConfig& controller_config() const { return config_; }
 
  protected:
+  void OnAlive() override;
   void OnMessage(const proto::Message& message) override;
   void OnTeardown(Pasid pasid) override;
   void OnPeerFailed(DeviceId device) override;

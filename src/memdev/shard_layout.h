@@ -1,0 +1,42 @@
+// Virtual-address slab layout for sharded memory controllers.
+//
+// Every controller shard owns one giant VA slab, so the owner of a virtual
+// address is a pure function of its high bits: no directory lookups on the
+// grant/free fast path and no rebalancing when devices come and go. Shard k
+// bump-allocates inside [k * 2^35, (k+1) * 2^35). Shard 0's bumps start at
+// slab base + the classic unsharded bump base (1 << 32), so a machine with a
+// single shard produces exactly the same virtual addresses as the pre-rack
+// single-controller machine — that identity is what keeps old goldens
+// bit-identical.
+#ifndef SRC_MEMDEV_SHARD_LAYOUT_H_
+#define SRC_MEMDEV_SHARD_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace lastcpu::memdev {
+
+// log2 of the per-shard VA slab size. 2^35 = 32 GiB per shard keeps every
+// slab inside the IOMMU's 39-bit (3-level) page-table space while leaving 16
+// slabs — far more headroom than any modeled rack's shard count or a shard's
+// physical capacity. Shard 0's slab still contains the classic bump base
+// (1 << 32), preserving the flat-machine VA identity.
+inline constexpr uint64_t kShardVaShift = 35;
+inline constexpr uint64_t kShardVaStride = uint64_t{1} << kShardVaShift;
+
+constexpr uint64_t ShardVaBase(uint32_t shard) { return shard * kShardVaStride; }
+constexpr uint64_t ShardVaLimit(uint32_t shard) { return (shard + uint64_t{1}) * kShardVaStride; }
+
+// The shard whose slab contains `va`, in a machine with `num_shards` shards.
+// Addresses below the first slab boundary (application-hinted low VAs) and
+// addresses past the last slab clamp to the nearest owner, so every address
+// has exactly one home even when a client hints outside the slab scheme.
+constexpr uint32_t ShardForVa(VirtAddr va, uint32_t num_shards) {
+  uint64_t shard = va.raw >> kShardVaShift;
+  return shard >= num_shards ? num_shards - 1 : static_cast<uint32_t>(shard);
+}
+
+}  // namespace lastcpu::memdev
+
+#endif  // SRC_MEMDEV_SHARD_LAYOUT_H_

@@ -95,6 +95,36 @@ Result<std::vector<VirtAddr>> GetVirtAddrs(ByteReader& r) {
   return vaddrs;
 }
 
+Result<ShardRecord> GetShardRecord(ByteReader& r) {
+  ShardRecord shard;
+  auto device = r.GetU32();
+  if (!device.ok()) {
+    return device.status();
+  }
+  shard.device = DeviceId(*device);
+  auto segment = r.GetU32();
+  if (!segment.ok()) {
+    return segment.status();
+  }
+  shard.segment = *segment;
+  auto va_base = r.GetU64();
+  if (!va_base.ok()) {
+    return va_base.status();
+  }
+  shard.va_base = *va_base;
+  auto va_limit = r.GetU64();
+  if (!va_limit.ok()) {
+    return va_limit.status();
+  }
+  shard.va_limit = *va_limit;
+  auto capacity = r.GetU64();
+  if (!capacity.ok()) {
+    return capacity.status();
+  }
+  shard.capacity_bytes = *capacity;
+  return shard;
+}
+
 Result<std::vector<MapEntry>> GetMapEntries(ByteReader& r) {
   auto n = r.GetU32();
   if (!n.ok()) {
@@ -271,6 +301,22 @@ struct PayloadEncoder {
     w.PutU64(p.bytes);
   }
   void operator()(const MemFreeBatchResponse&) {}
+  void operator()(const MemShardAnnounce& p) { PutShardRecord(w, p.shard); }
+  void operator()(const ShardDirectoryRequest&) {}
+  void operator()(const ShardDirectoryResponse& p) {
+    w.PutU32(static_cast<uint32_t>(p.shards.size()));
+    for (const auto& shard : p.shards) {
+      PutShardRecord(w, shard);
+    }
+  }
+
+  static void PutShardRecord(ByteWriter& w, const ShardRecord& shard) {
+    w.PutU32(shard.device.value());
+    w.PutU32(shard.segment);
+    w.PutU64(shard.va_base);
+    w.PutU64(shard.va_limit);
+    w.PutU64(shard.capacity_bytes);
+  }
 };
 
 // --- per-payload decoders --------------------------------------------------
@@ -580,6 +626,26 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
     }
     case MessageType::kMemFreeBatchResponse:
       return Payload(MemFreeBatchResponse{});
+    case MessageType::kMemShardAnnounce: {
+      MemShardAnnounce p;
+      LASTCPU_READ(shard, GetShardRecord(r));
+      p.shard = *shard;
+      return Payload(p);
+    }
+    case MessageType::kShardDirectoryRequest:
+      return Payload(ShardDirectoryRequest{});
+    case MessageType::kShardDirectoryResponse: {
+      ShardDirectoryResponse p;
+      LASTCPU_READ(n, r.GetU32());
+      if (static_cast<size_t>(*n) * 32 > r.remaining()) {
+        return InvalidArgument("shard count exceeds buffer");
+      }
+      for (uint32_t i = 0; i < *n; ++i) {
+        LASTCPU_READ(shard, GetShardRecord(r));
+        p.shards.push_back(*shard);
+      }
+      return Payload(std::move(p));
+    }
   }
   return InvalidArgument("unknown message type");
 }
@@ -714,7 +780,7 @@ Result<Message> DecodeMessage(std::span<const uint8_t> wire) {
   if (!type.ok()) {
     return type.status();
   }
-  if (*type > static_cast<uint16_t>(MessageType::kMemFreeBatchResponse)) {
+  if (*type > static_cast<uint16_t>(MessageType::kShardDirectoryResponse)) {
     return InvalidArgument("unknown message type");
   }
   auto src = r.GetU32();

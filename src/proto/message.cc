@@ -110,6 +110,12 @@ std::string_view MessageTypeName(MessageType type) {
       return "MemFreeBatchRequest";
     case MessageType::kMemFreeBatchResponse:
       return "MemFreeBatchResponse";
+    case MessageType::kMemShardAnnounce:
+      return "MemShardAnnounce";
+    case MessageType::kShardDirectoryRequest:
+      return "ShardDirectoryRequest";
+    case MessageType::kShardDirectoryResponse:
+      return "ShardDirectoryResponse";
   }
   return "Unknown";
 }

@@ -382,6 +382,45 @@ struct MemFreeBatchResponse {
   friend bool operator==(const MemFreeBatchResponse&, const MemFreeBatchResponse&) = default;
 };
 
+// One registered memory-controller shard, as the bus's shard directory
+// records it: where the shard sits and which slice of every application's
+// virtual address space it owns. va_limit == 0 means "the whole space" (a
+// lone unsharded controller).
+struct ShardRecord {
+  DeviceId device;
+  uint32_t segment = 0;
+  uint64_t va_base = 0;    // first byte of the shard's VA slab
+  uint64_t va_limit = 0;   // one past the last byte of the slab
+  uint64_t capacity_bytes = 0;
+
+  friend bool operator==(const ShardRecord&, const ShardRecord&) = default;
+};
+
+// Memory-controller shard -> bus (one-way): registers the VA slab and
+// capacity this shard owns, so owner-addressed operations (grant / revoke /
+// free sent to the bus) route to the shard whose table holds the address.
+// Re-sent on every alive announce; registration is idempotent. A lone
+// unsharded controller never sends this, keeping the single-controller wire
+// exchange unchanged.
+struct MemShardAnnounce {
+  ShardRecord shard;
+
+  friend bool operator==(const MemShardAnnounce&, const MemShardAnnounce&) = default;
+};
+
+// Device -> bus: asks for the registered memory shards. Rack-scale service
+// discovery as one unicast round trip against the bus's directory instead of
+// an O(devices) machine-wide broadcast.
+struct ShardDirectoryRequest {
+  friend bool operator==(const ShardDirectoryRequest&, const ShardDirectoryRequest&) = default;
+};
+
+struct ShardDirectoryResponse {
+  std::vector<ShardRecord> shards;
+
+  friend bool operator==(const ShardDirectoryResponse&, const ShardDirectoryResponse&) = default;
+};
+
 using Payload =
     std::variant<AliveAnnounce, DiscoverRequest, DiscoverResponse, OpenRequest, OpenResponse,
                  CloseRequest, CloseResponse, MemAllocRequest, MemAllocResponse, MapDirective,
@@ -391,7 +430,8 @@ using Payload =
                  MapConfirm, AttachQueue, AttachQueueResponse, Heartbeat, FileCreate, FileDelete,
                  FileAdminResponse, FileList, FileListResponse, DevicePermanentlyFailed,
                  MemAllocBatchRequest, MemAllocBatchResponse, MemFreeBatchRequest,
-                 MemFreeBatchResponse>;
+                 MemFreeBatchResponse, MemShardAnnounce, ShardDirectoryRequest,
+                 ShardDirectoryResponse>;
 
 // Message kind; the numeric value doubles as the variant index of Payload and
 // the on-wire type tag, so keep both in sync.
@@ -436,6 +476,9 @@ enum class MessageType : uint16_t {
   kMemAllocBatchResponse = 37,
   kMemFreeBatchRequest = 38,
   kMemFreeBatchResponse = 39,
+  kMemShardAnnounce = 40,
+  kShardDirectoryRequest = 41,
+  kShardDirectoryResponse = 42,
 };
 
 std::string_view MessageTypeName(MessageType type);

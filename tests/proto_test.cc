@@ -77,7 +77,7 @@ TEST(MessageTest, MakeErrorCarriesStatus) {
 }
 
 TEST(MessageTest, EveryMessageTypeHasName) {
-  for (uint16_t t = 0; t <= static_cast<uint16_t>(MessageType::kMemFreeBatchResponse); ++t) {
+  for (uint16_t t = 0; t <= static_cast<uint16_t>(MessageType::kShardDirectoryResponse); ++t) {
     EXPECT_NE(MessageTypeName(static_cast<MessageType>(t)), "Unknown");
   }
 }
@@ -199,6 +199,17 @@ TEST(CodecRoundTrip, FileAdmin) {
   ExpectRoundTrip(Envelope(FileAdminResponse{}));
   ExpectRoundTrip(Envelope(FileList{0xFEED}));
   ExpectRoundTrip(Envelope(FileListResponse{{"a.log", "b.log"}}));
+}
+
+TEST(CodecRoundTrip, ShardDirectory) {
+  ShardRecord shard0{DeviceId(2), 0, 0, uint64_t{1} << 40, 64 << 20};
+  ShardRecord shard1{DeviceId((1u << 20) | 2), 1, uint64_t{1} << 40, uint64_t{2} << 40, 64 << 20};
+  ExpectRoundTrip(Envelope(MemShardAnnounce{shard1}));
+  ExpectRoundTrip(Envelope(ShardDirectoryRequest{}));
+  ShardDirectoryResponse directory;
+  directory.shards = {shard0, shard1};
+  ExpectRoundTrip(Envelope(directory));
+  ExpectRoundTrip(Envelope(ShardDirectoryResponse{}));
 }
 
 // --- malformed input ---------------------------------------------------------
