@@ -8,7 +8,10 @@
 // CPU only adds a toll booth.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -147,6 +150,114 @@ void Kvs_CpuMediated(benchmark::State& state) {
   state.counters["design"] = 1;
 }
 
+// --- E9: KVS under FTL garbage collection ----------------------------------
+//
+// Sustained overwrites of a small key set, with log compaction enabled so
+// dead log generations are trimmed and the FTL has garbage to collect. Two
+// device shapes run the identical workload:
+//  * gc-idle: the default NAND array (64 MiB) — the working set never fills
+//    the device, so garbage collection stays asleep. This is the baseline.
+//  * gc-active: a 2 MiB NAND array — the overwrite stream writes several
+//    multiples of raw capacity, so the run reaches steady state with GC
+//    relocating pages concurrently with host traffic.
+// Reported per series: throughput, PUT p99, steady-state write amplification,
+// GC runs, and write stalls (host writes parked while GC frees a block).
+
+constexpr uint64_t kGcKeys = 32;
+constexpr uint32_t kGcValueBytes = 1024;
+constexpr int kGcClients = 4;
+constexpr uint32_t kGcConcurrency = 8;
+// Overridable from main() for `--gc-smoke` (CI) runs.
+uint64_t g_gc_ops_per_client = 1500;
+
+struct GcResult {
+  double sim_seconds = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t put_p99_ns = 0;
+  double waf = 0;
+  uint64_t gc_runs = 0;
+  uint64_t gc_relocated_pages = 0;
+  uint64_t write_stalls = 0;
+  double ops_per_sec() const { return static_cast<double>(completed) / sim_seconds; }
+};
+
+GcResult RunGcWorkload(bool gc_active, uint64_t ops_per_client) {
+  ssddev::SmartSsdConfig ssd_config;
+  ssd_config.host_auth_service = false;
+  if (gc_active) {
+    // 2 dies x 16 blocks x 16 pages x 4 KiB = 2 MiB raw. The workload below
+    // writes several multiples of that, forcing steady-state GC.
+    ssd_config.nand.dies = 2;
+    ssd_config.nand.blocks_per_die = 16;
+    ssd_config.nand.pages_per_block = 16;
+  }
+  kvs::KvsAppConfig app_config;
+  // Roll the log once half of it is dead so trimmed generations hand the FTL
+  // invalid pages to reclaim; without compaction the log only ever grows and
+  // GC would have nothing to free.
+  app_config.engine.compact_garbage_ratio = 0.5;
+  app_config.engine.min_compact_bytes = 128 << 10;
+  KvsRig rig = KvsRig::Build(core::MachineConfig{}, app_config, ssd_config);
+  rig.Preload(kGcKeys, kGcValueBytes);
+
+  std::vector<std::unique_ptr<kvs::LoadClient>> clients;
+  int finished = 0;
+  sim::SimTime start = rig.machine->simulator().Now();
+  for (int c = 0; c < kGcClients; ++c) {
+    kvs::WorkloadConfig workload;
+    workload.num_keys = kGcKeys;
+    workload.get_fraction = 0.1;  // 90% PUT: a sustained overwrite stream
+    workload.value_bytes = kGcValueBytes;
+    workload.seed = static_cast<uint64_t>(c) + 1;
+    clients.push_back(std::make_unique<kvs::LoadClient>(
+        &rig.machine->simulator(), &rig.machine->network(), rig.nic->endpoint(), workload,
+        kGcConcurrency));
+    clients.back()->Start(ops_per_client, [&finished] { ++finished; });
+  }
+  rig.machine->RunUntilIdle();
+  LASTCPU_CHECK(finished == kGcClients, "gc workload never finished");
+
+  GcResult out;
+  out.sim_seconds = (rig.machine->simulator().Now() - start).seconds();
+  sim::Histogram put_latency;
+  for (const auto& client : clients) {
+    out.completed += client->completed();
+    out.errors += client->errors();
+    put_latency.Merge(client->put_latency());
+  }
+  out.put_p99_ns = put_latency.p99();
+  const ssddev::Ftl& ftl = rig.ssd->ftl();
+  out.waf = ftl.WriteAmplification();
+  out.gc_runs = ftl.gc_runs();
+  out.gc_relocated_pages = ftl.gc_relocated_pages();
+  out.write_stalls = ftl.write_stalls();
+  return out;
+}
+
+void Kvs_SustainedOverwrite(benchmark::State& state) {
+  bool gc_active = state.range(0) == 1;
+  for (auto _ : state) {
+    GcResult r = RunGcWorkload(gc_active, g_gc_ops_per_client);
+    state.SetIterationTime(r.sim_seconds);
+    state.counters["ops_per_sec"] = r.ops_per_sec();
+    state.counters["put_p99_us"] = static_cast<double>(r.put_p99_ns) / 1e3;
+    state.counters["waf"] = r.waf;
+    state.counters["gc_runs"] = static_cast<double>(r.gc_runs);
+    state.counters["gc_relocated_pages"] = static_cast<double>(r.gc_relocated_pages);
+    state.counters["write_stalls"] = static_cast<double>(r.write_stalls);
+    state.counters["errors"] = static_cast<double>(r.errors);
+  }
+  state.counters["gc_active"] = gc_active ? 1 : 0;
+}
+
+BENCHMARK(Kvs_SustainedOverwrite)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)   // gc-idle baseline (64 MiB array, GC never wakes)
+    ->Arg(1);  // gc-active (2 MiB array, steady-state GC)
+
 // Value-size sweep at YCSB-B-like 95% GET.
 BENCHMARK(Kvs_Decentralized)
     ->UseManualTime()
@@ -172,6 +283,72 @@ BENCHMARK(Kvs_CpuMediated)
     ->Args({256, 50});
 
 }  // namespace
+
+// CI bench-smoke: run the sustained-overwrite series once per device shape
+// at reduced op count and fail the build when GC-active throughput collapses
+// below `floor` x the GC-idle baseline, when GC never engaged (the regression
+// the floor exists to guard), or when any op errored.
+int RunGcSmoke(double floor) {
+  g_gc_ops_per_client = 250;
+  GcResult idle = RunGcWorkload(/*gc_active=*/false, g_gc_ops_per_client);
+  GcResult active = RunGcWorkload(/*gc_active=*/true, g_gc_ops_per_client);
+  std::printf("gc-idle:   %8.0f ops/s  put_p99 %6.1f us  waf %.2f  gc_runs %llu  stalls %llu\n",
+              idle.ops_per_sec(), static_cast<double>(idle.put_p99_ns) / 1e3, idle.waf,
+              static_cast<unsigned long long>(idle.gc_runs),
+              static_cast<unsigned long long>(idle.write_stalls));
+  std::printf("gc-active: %8.0f ops/s  put_p99 %6.1f us  waf %.2f  gc_runs %llu  stalls %llu\n",
+              active.ops_per_sec(), static_cast<double>(active.put_p99_ns) / 1e3, active.waf,
+              static_cast<unsigned long long>(active.gc_runs),
+              static_cast<unsigned long long>(active.write_stalls));
+  bool ok = true;
+  if (idle.errors != 0 || active.errors != 0) {
+    std::printf("FAIL: ops errored (idle=%llu active=%llu)\n",
+                static_cast<unsigned long long>(idle.errors),
+                static_cast<unsigned long long>(active.errors));
+    ok = false;
+  }
+  if (active.gc_runs == 0 || active.waf <= 1.0) {
+    std::printf("FAIL: GC never engaged on the small array (gc_runs=%llu waf=%.2f)\n",
+                static_cast<unsigned long long>(active.gc_runs), active.waf);
+    ok = false;
+  }
+  double ratio = active.ops_per_sec() / idle.ops_per_sec();
+  if (ratio < floor) {
+    std::printf("FAIL: GC-active throughput %.2fx of idle, below floor %.2f\n", ratio, floor);
+    ok = false;
+  } else {
+    std::printf("gc-active throughput is %.2fx of gc-idle (floor %.2f)\n", ratio, floor);
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace lastcpu
 
-BENCHMARK_MAIN();
+// Custom main so CI can run `--gc-smoke [--gc-floor=F]` (not google-benchmark
+// flags): the smoke path skips benchmark registration entirely and exits
+// non-zero when the GC floor check fails.
+int main(int argc, char** argv) {
+  bool gc_smoke = false;
+  double gc_floor = 0.25;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gc-smoke") == 0) {
+      gc_smoke = true;
+    } else if (std::strncmp(argv[i], "--gc-floor=", 11) == 0) {
+      gc_floor = std::stod(std::string(argv[i] + 11));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (gc_smoke) {
+    return lastcpu::RunGcSmoke(gc_floor);
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -172,11 +172,20 @@ struct KvsRig {
 
   static KvsRig Build(const core::MachineConfig& machine_config,
                       const kvs::KvsAppConfig& app_config) {
+    ssddev::SmartSsdConfig ssd_config;
+    ssd_config.host_auth_service = false;
+    return Build(machine_config, app_config, ssd_config);
+  }
+
+  // Full-control variant for benchmarks that need a non-default SSD, e.g. a
+  // small NAND array so a sustained overwrite workload runs the FTL into
+  // garbage collection.
+  static KvsRig Build(const core::MachineConfig& machine_config,
+                      const kvs::KvsAppConfig& app_config,
+                      const ssddev::SmartSsdConfig& ssd_config) {
     KvsRig rig;
     rig.machine = std::make_unique<core::Machine>(machine_config);
     rig.memctrl = &rig.machine->AddMemoryController();
-    ssddev::SmartSsdConfig ssd_config;
-    ssd_config.host_auth_service = false;
     rig.ssd = &rig.machine->AddSmartSsd(ssd_config);
     rig.nic = &rig.machine->AddSmartNic();
     rig.ssd->ProvisionFile("kv.log", {});

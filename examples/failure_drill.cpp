@@ -6,7 +6,11 @@
 //      the resource; the consumer's app logic recovers.
 //   3. Whole-device failure: the bus notifies every other device, pulses the
 //      reset line, and the device comes back clean; the app re-opens.
-//   4. Permanent failure: the device crash-loops until the supervisor
+//   4. Power loss: the SSD's rail drops mid-write. In-flight ops fail with
+//      kUnavailable (never hang), the volatile mapping table is gone, and
+//      the reset pulse recovers it from the on-media OOB log — acked data
+//      survives, the torn tail does not.
+//   5. Permanent failure: the device crash-loops until the supervisor
 //      quarantines it, peers get one DevicePermanentlyFailed notice, the
 //      memory controller reclaims whatever the corpse owned, and the KVS
 //      app fast-fails with kUnavailable instead of retrying forever.
@@ -84,8 +88,36 @@ int main() {
   });
   machine.RunUntilIdle();
 
-  // --- drill 4: crash loop -> quarantine ---------------------------------------
-  std::printf("\n[drill 4] the SSD crash-loops until the supervisor gives up on it\n");
+  // --- drill 4: power loss mid-write -------------------------------------------
+  std::printf("\n[drill 4] the SSD loses its power rail mid-write\n");
+  // Leave a PUT in flight so the cut catches real work: it must settle with
+  // kUnavailable (never hang), and because it was never acked it carries no
+  // durability promise.
+  kvs_app->engine().Put("torn", std::vector<uint8_t>(1024, 0xEE), [](Status s) {
+    std::printf("  in-flight PUT settled with: %s (un-acked => no durability promise)\n",
+                s.ToString().c_str());
+  });
+  machine.RunFor(sim::Duration::Micros(150));
+  ssd.InjectPowerLoss();
+  machine.bus().ReportDeviceFailure(ssd.id());
+  machine.RunUntilIdle();
+  std::printf("  reset pulse triggered media recovery: %llu recovery(ies), "
+              "%llu pages rebuilt, %llu torn pages discarded\n",
+              static_cast<unsigned long long>(ssd.ftl().recoveries()),
+              static_cast<unsigned long long>(
+                  ssd.ftl().stats().GetCounter("recovered_pages").value()),
+              static_cast<unsigned long long>(
+                  ssd.ftl().stats().GetCounter("torn_pages_discarded").value()));
+  // The acked canary must still be there: its mapping was rebuilt from the
+  // per-page OOB tags, not from any table that died with the rail.
+  kvs_app->engine().Get("canary", [](Result<std::vector<uint8_t>> r) {
+    std::printf("  GET canary after power-loss recovery: %s (%zu bytes)\n",
+                r.ok() ? "OK" : r.status().ToString().c_str(), r.ok() ? r->size() : 0);
+  });
+  machine.RunUntilIdle();
+
+  // --- drill 5: crash loop -> quarantine ---------------------------------------
+  std::printf("\n[drill 5] the SSD crash-loops until the supervisor gives up on it\n");
   int kills = 0;
   while (!machine.bus().supervisor().IsQuarantined(ssd.id()) && kills < 20) {
     if (ssd.state() == dev::Device::State::kAlive) {

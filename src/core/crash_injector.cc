@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/base/check.h"
+#include "src/ssddev/smart_ssd.h"
 
 namespace lastcpu::core {
 
@@ -37,6 +38,19 @@ CrashInjector::CrashInjector(sim::Simulator* simulator, bus::SystemBus* bus,
     } else if (spec.on_kth_send > 0) {
       victim.kth_specs.push_back(&spec);
       need_send_observer = true;
+    } else if (spec.on_kth_program > 0) {
+      // Kth-NAND-program kills only make sense against a smart SSD.
+      auto* ssd = dynamic_cast<ssddev::SmartSsd*>(device);
+      if (ssd == nullptr) {
+        ++specs_skipped_;
+        continue;
+      }
+      victim.program_specs.push_back(&spec);
+      if (!victim.observes_programs) {
+        victim.observes_programs = true;
+        ssd->nand().SetProgramObserver(
+            [this, id](uint64_t programs_issued) { OnProgram(id, programs_issued); });
+      }
     } else if (spec.at > sim::Duration::Zero()) {
       // Daemon event: the kill fires during RunFor/RunUntil but does not keep
       // Boot()'s run-until-idle alive (or get executed by it).
@@ -65,6 +79,9 @@ CrashInjector::~CrashInjector() {
   bus_->SetSendObserver(nullptr);
   for (auto& [id, victim] : victims_) {
     victim.device->SetStateObserver(nullptr);
+    if (victim.observes_programs) {
+      static_cast<ssddev::SmartSsd*>(victim.device)->nand().SetProgramObserver(nullptr);
+    }
   }
 }
 
@@ -74,9 +91,11 @@ void CrashInjector::ApplyRespawn(Victim& victim, const sim::CrashSpec& spec) {
       break;
     case sim::CrashSpec::Respawn::kCrashLoop:
       victim.pending_self_test_crashes += static_cast<int>(spec.loop_count);
+      victim.respawn_power_cut = spec.power_cut;
       break;
     case sim::CrashSpec::Respawn::kNever:
       victim.pending_self_test_crashes = -1;
+      victim.respawn_power_cut = spec.power_cut;
       break;
   }
 }
@@ -86,7 +105,11 @@ void CrashInjector::Kill(Victim& victim, const sim::CrashSpec& spec) {
     return;  // already dead; the respawn schedule is governed by the first kill
   }
   ++crashes_injected_;
-  victim.device->InjectFailure();
+  if (spec.power_cut) {
+    victim.device->InjectPowerLoss();
+  } else {
+    victim.device->InjectFailure();
+  }
   // Telling the bus is safe even mid-episode: a report for a device whose
   // failed flag is still set is a no-op, so a crash *during recovery* stays
   // silent and must be caught by the supervisor's restart deadline.
@@ -108,6 +131,31 @@ void CrashInjector::OnSend(DeviceId src) {
       // Defer by 1 ns: the device is inside its own Send right now, and its
       // caller's stack must unwind before the silicon dies under it.
       DeviceId id = src;
+      simulator_->Schedule(sim::Duration::Nanos(1), [this, id, spec] {
+        auto victim_it = victims_.find(id);
+        if (victim_it != victims_.end()) {
+          Kill(victim_it->second, *spec);
+        }
+      });
+      return;
+    }
+  }
+}
+
+void CrashInjector::OnProgram(DeviceId id, uint64_t programs_issued) {
+  auto it = victims_.find(id);
+  if (it == victims_.end() || it->second.program_specs.empty()) {
+    return;
+  }
+  Victim& victim = it->second;
+  for (auto spec_it = victim.program_specs.begin(); spec_it != victim.program_specs.end();
+       ++spec_it) {
+    if ((*spec_it)->on_kth_program == programs_issued) {
+      const sim::CrashSpec* spec = *spec_it;
+      victim.program_specs.erase(spec_it);
+      // Defer by 1 ns: the SSD is inside its own ProgramPage call. The
+      // program itself takes hundreds of microseconds, so the kill still
+      // lands squarely mid-page and tears it.
       simulator_->Schedule(sim::Duration::Nanos(1), [this, id, spec] {
         auto victim_it = victims_.find(id);
         if (victim_it != victims_.end()) {
@@ -160,7 +208,12 @@ void CrashInjector::SabotageSelfTest(DeviceId id, const sim::CrashSpec* spec) {
     }
     ++crashes_injected_;
     ++self_test_crashes_;
-    victim.device->InjectFailure();
+    bool power_cut = spec != nullptr ? spec->power_cut : victim.respawn_power_cut;
+    if (power_cut) {
+      victim.device->InjectPowerLoss();
+    } else {
+      victim.device->InjectFailure();
+    }
     bus_->ReportDeviceFailure(victim.device->id());
     if (spec != nullptr) {
       ApplyRespawn(victim, *spec);

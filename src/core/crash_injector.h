@@ -50,16 +50,21 @@ class CrashInjector {
     dev::Device* device = nullptr;
     // Remaining post-reset self-tests to sabotage; -1 = every one, forever.
     int pending_self_test_crashes = 0;
+    // Whether those sabotages are power cuts (inherited from the first kill).
+    bool respawn_power_cut = false;
     // A during_self_test spec armed for this device's next self-test.
     const sim::CrashSpec* armed_spec = nullptr;
     uint64_t sends_seen = 0;
     std::vector<const sim::CrashSpec*> kth_specs;  // pending Kth-send kills
+    std::vector<const sim::CrashSpec*> program_specs;  // pending Kth-NAND-program kills
+    bool observes_programs = false;
   };
 
   void Kill(Victim& victim, const sim::CrashSpec& spec);
   void ApplyRespawn(Victim& victim, const sim::CrashSpec& spec);
   void OnStateChange(DeviceId id, dev::Device::State state);
   void OnSend(DeviceId src);
+  void OnProgram(DeviceId id, uint64_t programs_issued);
   void SabotageSelfTest(DeviceId id, const sim::CrashSpec* spec);
 
   sim::Simulator* simulator_;

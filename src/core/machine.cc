@@ -225,6 +225,37 @@ void Machine::MetricsJson(std::ostream& os) {
     }
     os << "],";
   }
+  // Per-SSD storage health: write amplification, GC work, free-space stalls,
+  // wear spread, and power-loss recoveries. Omitted when the machine has no
+  // smart SSD, so diskless configs keep their metrics stream unchanged.
+  {
+    bool any_ssd = false;
+    for (auto& device : devices_) {
+      auto* ssd = dynamic_cast<ssddev::SmartSsd*>(device.get());
+      if (ssd == nullptr) {
+        continue;
+      }
+      os << (any_ssd ? "," : "\"storage\":[");
+      any_ssd = true;
+      ssddev::Ftl& ftl = ssd->ftl();
+      os << "{\"device\":" << ssd->id().value()
+         << ",\"write_amplification\":" << ftl.WriteAmplification()
+         << ",\"host_writes\":" << ftl.host_writes()
+         << ",\"nand_writes\":" << ftl.nand_writes()
+         << ",\"gc_runs\":" << ftl.gc_runs()
+         << ",\"gc_relocated_pages\":" << ftl.gc_relocated_pages()
+         << ",\"write_stalls\":" << ftl.write_stalls()
+         << ",\"erase_count_min\":" << ssd->nand().MinEraseCount()
+         << ",\"erase_count_max\":" << ssd->nand().MaxEraseCount()
+         << ",\"recoveries\":" << ftl.recoveries()
+         << ",\"recovered_pages\":" << ftl.stats().GetCounter("recovered_pages").value()
+         << ",\"torn_pages_discarded\":"
+         << ftl.stats().GetCounter("torn_pages_discarded").value() << "}";
+    }
+    if (any_ssd) {
+      os << "],";
+    }
+  }
   os << "\"bus\":";
   bus_.stats().Snapshot().WriteJson(os);
   os << ",\"fabric\":";

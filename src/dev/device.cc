@@ -136,6 +136,14 @@ void Device::InjectFailure() {
   rpc_.AbortAll(Aborted("device failed"));
 }
 
+void Device::InjectPowerLoss() {
+  // Volatile state first: sessions and in-flight media ops die with the rail
+  // before any failure-path traffic could touch them.
+  OnPowerLoss();
+  TraceEvent("power-lost");
+  InjectFailure();
+}
+
 void Device::AddService(std::unique_ptr<Service> service) {
   LASTCPU_CHECK(service != nullptr, "null service");
   services_.push_back(std::move(service));

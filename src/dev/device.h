@@ -76,6 +76,12 @@ class Device {
   // must be told separately (a real bus would notice via timeouts).
   void InjectFailure();
 
+  // Fault injection: the device's power rail drops. OnPowerLoss() runs first
+  // so volatile device state (caches, queues, in-flight media ops) is torn
+  // down the way real silicon loses it, then the device fails as above. A
+  // later reset pulse boots it back through recovery (see OnReset overrides).
+  void InjectPowerLoss();
+
   // Registers a service before (or after) PowerOn. If after, callers should
   // re-announce (services are also announced lazily via discovery).
   void AddService(std::unique_ptr<Service> service);
@@ -138,6 +144,9 @@ class Device {
   virtual void OnMessage(const proto::Message& message);
   // Reset line pulsed by the bus: default re-runs self-test and re-announces.
   virtual void OnReset();
+  // The power rail is dropping (InjectPowerLoss). Discard volatile state and
+  // fail in-flight work; runs before the generic failure handling.
+  virtual void OnPowerLoss() {}
   // Another device failed; drop instances it held, recover app logic.
   virtual void OnPeerFailed(DeviceId device);
   // Another device was quarantined (permanently failed): release anything

@@ -27,10 +27,19 @@ struct CrashSpec {
   Duration at = Duration::Zero();
   // ... or on the Kth control message the device sends (1-based), ...
   uint64_t on_kth_send = 0;
+  // ... or 1 ns after the device issues its Kth NAND program (1-based,
+  // cumulative across respawns; smart SSDs only) — the program is still
+  // in flight, so the cut lands mid-page and tears it, ...
+  uint64_t on_kth_program = 0;
   // ... or midway through the device's next self-test (boot or post-reset),
   // which exercises the supervisor's restart-deadline path: silicon dead in
   // self-test sends neither heartbeats nor an alive announce.
   bool during_self_test = false;
+
+  // When set, the kill is a power cut rather than a logic fault: volatile
+  // device state (FTL maps, session queues) drops and in-flight media
+  // programs tear; the post-reset self-test replays the on-media journal.
+  bool power_cut = false;
 
   // What the reset line gets out of the silicon afterwards.
   enum class Respawn : uint8_t {

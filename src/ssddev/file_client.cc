@@ -187,7 +187,7 @@ void FileClient::Issue(FileRequestHeader header, std::vector<uint8_t> payload, P
         if (queue_ == nullptr) {
           // The session was reset (provider died) while the request DMA was
           // in flight; the slot pool was rebuilt, so do not return the slot.
-          Fail(pending, Aborted("session reset during submit"));
+          Fail(pending, reset_reason_);
           return;
         }
         if (!wrote.ok()) {
@@ -224,7 +224,7 @@ void FileClient::FlushBatch() {
     // The session was reset while requests were staged; the slot pool was
     // rebuilt, so do not return the slots.
     for (auto& staged : batch) {
-      Fail(staged.pending, Aborted("session reset during submit"));
+      Fail(staged.pending, reset_reason_);
     }
     return;
   }
@@ -239,7 +239,7 @@ void FileClient::FlushBatch() {
       [this, batch = std::move(batch)](Status wrote) mutable {
         if (queue_ == nullptr) {
           for (auto& staged : batch) {
-            Fail(staged.pending, Aborted("session reset during submit"));
+            Fail(staged.pending, reset_reason_);
           }
           return;
         }
@@ -446,6 +446,7 @@ void FileClient::AbortAll(Status reason) {
 }
 
 void FileClient::Reset(Status reason) {
+  reset_reason_ = reason;
   AbortAll(std::move(reason));
   poll_.Cancel();
   if (bells_ != nullptr) {
@@ -467,6 +468,7 @@ void FileClient::Close(sim::MoveFn<void(Status), 160> done) {
     done(FailedPrecondition("session not open"));
     return;
   }
+  reset_reason_ = Aborted("session closing");
   AbortAll(Aborted("session closing"));
   poll_.Cancel();
   queue_.reset();

@@ -163,6 +163,10 @@ class FileClient {
   sim::ScopedEvent flush_;
   std::unique_ptr<fabric::DoorbellBatcher> bells_;
   std::function<void()> on_slot_available_;
+  // Why the session was last torn down. Submit-path continuations that find
+  // the session gone report this, so a provider power loss surfaces as
+  // Unavailable (not a generic Aborted) in every interleaving.
+  Status reset_reason_ = Aborted("session reset during submit");
   uint64_t peer_failed_hook_ = 0;
   uint64_t permanent_failed_hook_ = 0;
   // The periodic completion-poll backstop; cancelled on session turnover.

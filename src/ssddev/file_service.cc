@@ -407,4 +407,13 @@ void FileService::OnInstanceClosed(const dev::ServiceInstance& instance) {
   sessions_.erase(instance.id);
 }
 
+void FileService::PowerCut() {
+  // Dropping the sessions makes every in-flight completion a no-op (they all
+  // re-resolve the session first) — requests die silently, never half-done.
+  sessions_.clear();
+  if (bells_ != nullptr) {
+    bells_->CancelPending();
+  }
+}
+
 }  // namespace lastcpu::ssddev

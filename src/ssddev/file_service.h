@@ -65,6 +65,11 @@ class FileService : public dev::Service {
   // ResourceFailed message and the instance resets.
   void InjectResourceFailure(InstanceId instance, const std::string& reason);
 
+  // The power rail drops: every session (queue state, staged completions,
+  // in-flight chains) vanishes without a goodbye message — clients learn via
+  // the supervisor's failure notice, exactly like a real dead drive.
+  void PowerCut();
+
   uint64_t requests_served() const { return requests_served_; }
 
  protected:

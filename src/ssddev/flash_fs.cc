@@ -8,6 +8,29 @@
 #include "src/base/check.h"
 
 namespace lastcpu::ssddev {
+namespace {
+
+MetaRecord AclRecord(MetaRecord::Kind kind, uint32_t file_id, const std::string& name,
+                     const FileAcl& acl) {
+  MetaRecord record;
+  record.kind = kind;
+  record.file_id = file_id;
+  record.name = name;
+  record.acl_owner = acl.owner;
+  record.acl_readers.assign(acl.readers.begin(), acl.readers.end());
+  record.acl_writers.assign(acl.writers.begin(), acl.writers.end());
+  return record;
+}
+
+FileAcl AclFromRecord(const MetaRecord& record) {
+  FileAcl acl;
+  acl.owner = record.acl_owner;
+  acl.readers.insert(record.acl_readers.begin(), record.acl_readers.end());
+  acl.writers.insert(record.acl_writers.begin(), record.acl_writers.end());
+  return acl;
+}
+
+}  // namespace
 
 FlashFs::FlashFs(Ftl* ftl) : ftl_(ftl) { LASTCPU_CHECK(ftl != nullptr, "filesystem needs an FTL"); }
 
@@ -19,8 +42,16 @@ Status FlashFs::Create(const std::string& name, FileAcl acl) {
     return AlreadyExists("file exists: " + name);
   }
   Inode inode;
-  inode.acl = std::move(acl);
+  inode.id = next_file_id_++;
+  inode.acl = acl;
+  ftl_->AppendMeta(AclRecord(MetaRecord::Kind::kFsCreate, inode.id, name, acl));
   files_.emplace(name, std::move(inode));
+  // Barrier: the file's first data-write ack must imply the create record is
+  // durable, or recovery would orphan the acked pages. The per-file queue
+  // holds data writes behind this journal sync.
+  QueuedWrite barrier;
+  barrier.kind = QueuedWrite::Kind::kBarrier;
+  EnqueueWrite(name, std::move(barrier));
   return OkStatus();
 }
 
@@ -29,11 +60,27 @@ Status FlashFs::Delete(const std::string& name) {
   if (it == files_.end()) {
     return NotFound("no such file: " + name);
   }
-  for (uint64_t lpn : it->second.lpns) {
-    ftl_->Trim(lpn);
-    free_lpns_.push_back(lpn);
-  }
+  std::vector<uint64_t> lpns = std::move(it->second.lpns);
+  uint32_t id = it->second.id;
   files_.erase(it);
+  for (uint64_t lpn : lpns) {
+    ftl_->Trim(lpn);
+  }
+  MetaRecord record;
+  record.kind = MetaRecord::Kind::kFsDelete;
+  record.file_id = id;
+  ftl_->AppendMeta(std::move(record));
+  // Park the lpns until the delete record and trim tombstones are durable:
+  // recycling them earlier could hand a not-yet-dead file's pages to a new
+  // one. If the sync fails the lpns leak until the next recovery reclaims
+  // them — safe, just not reused.
+  ftl_->SyncMeta([this, lpns = std::move(lpns)](Status s) mutable {
+    if (s.ok()) {
+      for (uint64_t lpn : lpns) {
+        free_lpns_.push_back(lpn);
+      }
+    }
+  });
   return OkStatus();
 }
 
@@ -61,6 +108,7 @@ Status FlashFs::SetAcl(const std::string& name, FileAcl acl) {
   if (it == files_.end()) {
     return NotFound("no such file: " + name);
   }
+  ftl_->AppendMeta(AclRecord(MetaRecord::Kind::kFsAcl, it->second.id, name, acl));
   it->second.acl = std::move(acl);
   return OkStatus();
 }
@@ -115,21 +163,16 @@ void FlashFs::Write(const std::string& name, uint64_t offset, std::vector<uint8_
   }
   // Reserve the byte range now so concurrent appends see the new EOF.
   inode.size = std::max(inode.size, offset + data.size());
-  // Serialize the page writes per file (lost-update protection), completing
-  // the caller when this write's turn finishes.
-  EnqueueWrite(name, [this, name, offset, data = std::move(data),
-                      done = std::move(done)]() mutable {
-    WritePages(name, offset, std::move(data), 0,
-               [this, name, done = std::move(done)](Status s) mutable {
-                 done(s);
-                 write_active_.erase(name);
-                 PumpWrites(name);
-               });
-  });
+  QueuedWrite queued;
+  queued.kind = QueuedWrite::Kind::kData;
+  queued.offset = offset;
+  queued.data = std::move(data);
+  queued.done = std::move(done);
+  EnqueueWrite(name, std::move(queued));
 }
 
-void FlashFs::EnqueueWrite(const std::string& name, sim::MoveFn<void(), 160> thunk) {
-  write_queues_[name].push_back(std::move(thunk));
+void FlashFs::EnqueueWrite(const std::string& name, QueuedWrite queued) {
+  write_queues_[name].push_back(std::move(queued));
   if (!write_active_.contains(name)) {
     PumpWrites(name);
   }
@@ -143,10 +186,25 @@ void FlashFs::PumpWrites(const std::string& name) {
     }
     return;
   }
-  auto thunk = std::move(it->second.front());
+  QueuedWrite next = std::move(it->second.front());
   it->second.pop_front();
   write_active_.insert(name);
-  thunk();
+  if (next.kind == QueuedWrite::Kind::kBarrier) {
+    ftl_->SyncMeta([this, name](Status) {
+      // Even a failed sync releases the queue; the writes behind it will
+      // surface their own errors (or succeed un-journaled and be reclaimed
+      // as orphans at the next recovery).
+      write_active_.erase(name);
+      PumpWrites(name);
+    });
+    return;
+  }
+  WritePages(name, next.offset, std::move(next.data), 0,
+             [this, name, done = std::move(next.done)](Status s) mutable {
+               done(s);
+               write_active_.erase(name);
+               PumpWrites(name);
+             });
 }
 
 void FlashFs::WritePages(const std::string& name, uint64_t offset, std::vector<uint8_t> data,
@@ -169,22 +227,34 @@ void FlashFs::WritePages(const std::string& name, uint64_t offset, std::vector<u
   uint64_t slice_begin = std::max(offset, page_start);
   uint64_t slice_end = std::min(offset + data.size(), page_start + page_bytes);
   uint64_t lpn = inode->lpns[page];
+  // Journal the file identity with the page, and the file size this page
+  // makes durable once it is on media.
+  Ftl::FileTag tag{inode->id, static_cast<uint32_t>(page),
+                   std::max(inode->durable_size, slice_end)};
 
   // Move-only callbacks let the remaining data and the continuation transfer
   // straight through the FTL completion — no shared_ptr boxing.
-  auto write_page = [this, name, offset, lpn, page_index,
+  auto write_page = [this, name, offset, lpn, tag, page_index,
                      slice_begin, slice_end, page_start](std::vector<uint8_t> page_data,
                                                          std::vector<uint8_t> all_data,
                                                          WriteCallback cb) mutable {
     page_data.resize(ftl_->page_bytes(), 0);
     std::memcpy(page_data.data() + (slice_begin - page_start),
                 all_data.data() + (slice_begin - offset), slice_end - slice_begin);
-    ftl_->Write(lpn, std::move(page_data),
+    ftl_->Write(lpn, std::move(page_data), tag,
                 [this, name, offset, page_index, all = std::move(all_data),
                  next = std::move(cb)](Status s) mutable {
                   if (!s.ok()) {
                     next(s);
                     return;
+                  }
+                  // This page is durable; advance the acked prefix.
+                  auto it = files_.find(name);
+                  if (it != files_.end()) {
+                    uint64_t pb = ftl_->page_bytes();
+                    uint64_t p = offset / pb + page_index;
+                    uint64_t durable_end = std::min(offset + all.size(), (p + 1) * pb);
+                    it->second.durable_size = std::max(it->second.durable_size, durable_end);
                   }
                   WritePages(name, offset, std::move(all), page_index + 1, std::move(next));
                 });
@@ -315,6 +385,158 @@ void FlashFs::ReadPages(const std::string& name, uint64_t offset, uint64_t lengt
     }
     ReadPages(name, offset, length, out, page_index + 1, std::move(next));
   });
+}
+
+void FlashFs::PowerCut() {
+  Status why = Unavailable("ssd power loss");
+  std::map<std::string, std::deque<QueuedWrite>> queues = std::move(write_queues_);
+  write_queues_.clear();
+  for (auto& [name, queue] : queues) {
+    for (QueuedWrite& w : queue) {
+      if (w.done != nullptr) {
+        w.done(why);
+      }
+    }
+  }
+  write_active_.clear();
+  files_.clear();
+  free_lpns_.clear();
+  next_lpn_ = 0;
+  next_file_id_ = 1;
+}
+
+void FlashFs::Recover() {
+  files_.clear();
+  free_lpns_.clear();
+  next_lpn_ = 0;
+
+  // Replay the journal's file records in sequence order (Ftl::Recover sorted
+  // them) into per-id state.
+  struct FileRec {
+    std::string name;
+    FileAcl acl;
+    bool alive = false;
+    uint64_t created_seq = 0;
+    uint64_t size = 0;
+    std::map<uint32_t, std::pair<uint64_t, uint64_t>> pages;  // file_page -> (lpn, seq)
+  };
+  std::map<uint32_t, FileRec> by_id;
+  for (const MetaRecord& record : ftl_->recovered_meta()) {
+    switch (record.kind) {
+      case MetaRecord::Kind::kTrim:
+        break;  // already applied by Ftl::Recover
+      case MetaRecord::Kind::kFsCreate: {
+        FileRec& rec = by_id[record.file_id];
+        rec.name = record.name;
+        rec.acl = AclFromRecord(record);
+        rec.alive = true;
+        rec.created_seq = record.seq;
+        break;
+      }
+      case MetaRecord::Kind::kFsDelete:
+        by_id[record.file_id].alive = false;
+        break;
+      case MetaRecord::Kind::kFsAcl: {
+        auto it = by_id.find(record.file_id);
+        if (it != by_id.end()) {
+          it->second.acl = AclFromRecord(record);
+        }
+        break;
+      }
+    }
+  }
+
+  // A name may be claimed by several live records if a delete record was
+  // lost with the rail; the newest creation wins and the loser's pages are
+  // reclaimed as orphans.
+  std::map<std::string, uint32_t> name_winner;
+  for (const auto& [id, rec] : by_id) {
+    if (!rec.alive) {
+      continue;
+    }
+    auto [it, inserted] = name_winner.emplace(rec.name, id);
+    if (!inserted && by_id[it->second].created_seq < rec.created_seq) {
+      by_id[it->second].alive = false;
+      it->second = id;
+    } else if (!inserted) {
+      by_id[id].alive = false;
+    }
+  }
+
+  // Attach the surviving data pages; orphans go back to the FTL.
+  std::vector<uint64_t> orphan_lpns;
+  for (const RecoveredFilePage& page : ftl_->recovered_file_pages()) {
+    auto it = by_id.find(page.file_id);
+    if (it == by_id.end() || !it->second.alive) {
+      orphan_lpns.push_back(page.lpn);
+      continue;
+    }
+    FileRec& rec = it->second;
+    auto [pit, inserted] = rec.pages.emplace(page.file_page, std::make_pair(page.lpn, page.seq));
+    if (!inserted && pit->second.second < page.seq) {
+      pit->second = {page.lpn, page.seq};
+    }
+    rec.size = std::max(rec.size, page.size_after);
+  }
+  for (uint64_t lpn : orphan_lpns) {
+    ftl_->Trim(lpn);
+  }
+
+  // Build inodes (ascending id: deterministic), find the lpn high-water
+  // mark, then fill sparse holes and the free pool from the unused range.
+  uint64_t max_used_lpn = 0;
+  bool any_used = false;
+  std::set<uint64_t> used_lpns;
+  for (const auto& [id, rec] : by_id) {
+    if (!rec.alive) {
+      continue;
+    }
+    for (const auto& [file_page, lpn_seq] : rec.pages) {
+      used_lpns.insert(lpn_seq.first);
+      max_used_lpn = std::max(max_used_lpn, lpn_seq.first);
+      any_used = true;
+    }
+  }
+  next_lpn_ = any_used ? max_used_lpn + 1 : 0;
+  std::deque<uint64_t> unused;
+  for (uint64_t lpn = 0; lpn < next_lpn_; ++lpn) {
+    if (!used_lpns.contains(lpn)) {
+      unused.push_back(lpn);
+    }
+  }
+  uint32_t max_id = 0;
+  for (const auto& [id, rec] : by_id) {
+    max_id = std::max(max_id, id);
+    if (!rec.alive) {
+      continue;
+    }
+    Inode inode;
+    inode.id = id;
+    inode.acl = rec.acl;
+    inode.size = rec.size;
+    inode.durable_size = rec.size;
+    uint64_t page_bytes = ftl_->page_bytes();
+    uint64_t npages = (rec.size + page_bytes - 1) / page_bytes;
+    if (!rec.pages.empty()) {
+      npages = std::max<uint64_t>(npages, rec.pages.rbegin()->first + 1);
+    }
+    for (uint64_t p = 0; p < npages; ++p) {
+      auto pit = rec.pages.find(static_cast<uint32_t>(p));
+      if (pit != rec.pages.end()) {
+        inode.lpns.push_back(pit->second.first);
+      } else if (!unused.empty()) {
+        // A hole (page never durably written, or its lpn trimmed): back it
+        // with a fresh unmapped lpn so it reads as zeros.
+        inode.lpns.push_back(unused.front());
+        unused.pop_front();
+      } else {
+        inode.lpns.push_back(next_lpn_++);
+      }
+    }
+    files_.emplace(rec.name, std::move(inode));
+  }
+  free_lpns_ = std::move(unused);
+  next_file_id_ = max_id + 1;
 }
 
 }  // namespace lastcpu::ssddev

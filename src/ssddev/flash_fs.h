@@ -3,8 +3,21 @@
 //
 // Files are page-extent lists over the FTL's logical space. Per-file ACLs
 // implement Sec. 4's access control ("access control to an individual file is
-// implemented by the file system service"). Metadata lives in SSD DRAM
-// (in-memory here); data pages live in flash and pay full NAND latencies.
+// implemented by the file system service"). Metadata lives in SSD DRAM for
+// speed, but every mutation is journaled through the FTL's persistent meta
+// log (create/delete/acl records) and every data page carries its file
+// identity in the OOB tag — so the whole namespace is reconstructible from
+// media after a power cut:
+//
+//  - Create() journals a create record and inserts a sync barrier ahead of
+//    the file's data writes: no data write is acked before the record that
+//    names the file is durable (otherwise recovery would orphan the pages).
+//  - Delete() trims the pages (journaling tombstones) and parks the lpns
+//    until the delete record is durable, so they cannot be recycled into a
+//    state an old create record would resurrect.
+//  - Each data page's tag records the file size made durable by that page;
+//    a recovered file's size is the max over its surviving pages — the
+//    acked durable prefix, never optimistic DRAM state.
 #ifndef SRC_SSDDEV_FLASH_FS_H_
 #define SRC_SSDDEV_FLASH_FS_H_
 
@@ -74,14 +87,42 @@ class FlashFs {
   void Append(const std::string& name, std::vector<uint8_t> data,
               sim::MoveFn<void(Result<uint64_t>), 160> done);
 
+  // The power rail drops: every queued (not yet started) write fails with
+  // Unavailable immediately — in-flight ones fail when the FTL flushes its
+  // pending-op registry — and all DRAM metadata is discarded.
+  void PowerCut();
+
+  // Rebuilds the namespace from the FTL's replayed journal (must run after
+  // Ftl::Recover()). Orphan pages — data whose create record never became
+  // durable, or stragglers of deleted files — are trimmed back to the pool.
+  void Recover();
+
   uint64_t free_pages() const;
   uint64_t total_pages() const { return ftl_->logical_pages(); }
 
  private:
   struct Inode {
+    uint32_t id = 0;  // journaled identity; data-page tags carry it
     uint64_t size = 0;
+    // Bytes known durable on media (≤ size, which is reserved optimistically
+    // when a write is accepted). Data-page tags snapshot this so recovery
+    // reports the acked prefix.
+    uint64_t durable_size = 0;
     std::vector<uint64_t> lpns;  // one per page-sized extent
     FileAcl acl;
+  };
+
+  // Writes to one file execute strictly in submission order: concurrent
+  // read-modify-writes of a shared tail page would otherwise lose updates.
+  // Barriers (created by Create) hold the queue until the meta journal is
+  // durable. A structured queue — not opaque thunks — lets PowerCut fail
+  // everything still waiting.
+  struct QueuedWrite {
+    enum class Kind : uint8_t { kData, kBarrier };
+    Kind kind = Kind::kData;
+    uint64_t offset = 0;
+    std::vector<uint8_t> data;
+    WriteCallback done;
   };
 
   Result<uint64_t> AllocLpn();
@@ -95,16 +136,15 @@ class FlashFs {
   void ReadPages(const std::string& name, uint64_t offset, uint64_t length,
                  std::shared_ptr<std::vector<uint8_t>> out, size_t page_index, ReadCallback done);
 
-  // Writes to one file execute strictly in submission order: concurrent
-  // read-modify-writes of a shared tail page would otherwise lose updates.
-  void EnqueueWrite(const std::string& name, sim::MoveFn<void(), 160> thunk);
+  void EnqueueWrite(const std::string& name, QueuedWrite queued);
   void PumpWrites(const std::string& name);
 
   Ftl* ftl_;
   std::map<std::string, Inode> files_;
   std::deque<uint64_t> free_lpns_;
   uint64_t next_lpn_ = 0;
-  std::map<std::string, std::deque<sim::MoveFn<void(), 160>>> write_queues_;
+  uint32_t next_file_id_ = 1;
+  std::map<std::string, std::deque<QueuedWrite>> write_queues_;
   std::set<std::string> write_active_;
 };
 

@@ -1,10 +1,22 @@
-// Flash translation layer: page-mapped, with greedy garbage collection.
+// Flash translation layer: page-mapped, with greedy/cost-benefit garbage
+// collection, wear-leveling, and a persistent mapping log.
 //
 // Exposes a flat logical-page space (the usable capacity after
 // over-provisioning) on top of the NAND constraints: out-of-place writes,
 // per-die striping for parallelism, invalidation tracking, and background GC
 // that relocates valid pages out of the emptiest victim block before erasing
 // it. Write amplification is measured, not assumed.
+//
+// Durability model. Every data program carries an OOB tag {seq, lpn, file
+// identity}; trims and filesystem metadata are journaled as records batched
+// into dedicated meta pages. The mapping is therefore reconstructible from
+// media alone: Recover() scans every OOB area, merges highest-seq-wins per
+// lpn, applies trim tombstones, discards torn pages (interrupted programs),
+// and reseeds the sequence counter past everything seen. GC relocations
+// rewrite the source page's tag under a fresh sequence number, so a power cut
+// mid-GC leaves either the old or the new copy the winner — never neither.
+// There is no checkpoint: recovery cost is one full OOB scan (charged to the
+// dies as modeled busy time).
 #ifndef SRC_SSDDEV_FTL_H_
 #define SRC_SSDDEV_FTL_H_
 
@@ -12,9 +24,11 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -32,6 +46,43 @@ struct FtlConfig {
   // DRAM without occupying a NAND die. 0 disables.
   uint32_t read_cache_pages = 1024;
   sim::Duration read_cache_latency = sim::Duration::Micros(1);
+  // Cost-benefit victim selection: blocks programmed within this window are
+  // skipped when an older candidate exists (young blocks are likely to keep
+  // self-invalidating; relocating them is wasted work).
+  sim::Duration gc_min_block_age = sim::Duration::Millis(2);
+  // Wear-leveling: open the free block with the lowest erase count instead
+  // of FIFO order.
+  bool wear_leveling = true;
+  // When no slot is free but GC can still reclaim space, host writes stall
+  // in a bounded queue (pumped as GC frees blocks) instead of failing.
+  uint32_t max_stalled_writes = 256;
+  // Modeled per-page cost of the recovery OOB scan, charged to each die.
+  sim::Duration recovery_scan_per_page = sim::Duration::Nanos(200);
+};
+
+// A durable journal record carried in meta pages. Trim tombstones and
+// filesystem metadata share one record stream; each record owns a sequence
+// number drawn from the same counter as data-page OOB tags, so replay is a
+// single highest-seq-wins merge across both streams.
+struct MetaRecord {
+  enum class Kind : uint8_t { kTrim = 1, kFsCreate = 2, kFsDelete = 3, kFsAcl = 4 };
+  Kind kind = Kind::kTrim;
+  uint64_t seq = 0;      // assigned by AppendMeta
+  uint64_t lpn = 0;      // kTrim
+  uint32_t file_id = 0;  // kFs*
+  std::string name;      // kFsCreate
+  std::string acl_owner;
+  std::vector<std::string> acl_readers;
+  std::vector<std::string> acl_writers;
+};
+
+// One live data page with a filesystem identity, as rebuilt by Recover().
+struct RecoveredFilePage {
+  uint32_t file_id = 0;
+  uint32_t file_page = 0;
+  uint64_t lpn = 0;
+  uint64_t seq = 0;
+  uint64_t size_after = 0;
 };
 
 class Ftl {
@@ -48,6 +99,13 @@ class Ftl {
   using ReadCallback = sim::MoveFn<void(Result<std::span<const uint8_t>>), 232>;
   using WriteCallback = sim::MoveFn<void(Status), 232>;
 
+  // Filesystem identity journaled with a data page (all-zero = anonymous).
+  struct FileTag {
+    uint32_t file_id = 0;
+    uint32_t file_page = 0;
+    uint64_t size_after = 0;
+  };
+
   Ftl(sim::Simulator* simulator, NandArray* nand, FtlConfig config = {});
 
   // Host-visible logical pages.
@@ -57,29 +115,64 @@ class Ftl {
   // Reads a logical page. Unwritten pages return NotFound.
   void Read(uint64_t lpn, ReadCallback done);
 
-  // Writes a logical page out of place; old data is invalidated.
+  // Writes a logical page out of place; old data is invalidated. Writes to
+  // the same lpn are serialized in submission order (media sequence numbers
+  // must match ack order, or recovery could resurrect a superseded value).
   void Write(uint64_t lpn, std::vector<uint8_t> data, WriteCallback done);
+  void Write(uint64_t lpn, std::vector<uint8_t> data, FileTag tag, WriteCallback done);
 
-  // Discards a logical page (file deletion path).
+  // Discards a logical page (file deletion path). Applied in memory
+  // immediately; the durable tombstone rides the next meta-page flush.
   void Trim(uint64_t lpn);
+
+  // Appends a journal record (assigns its seq). Records buffer in DRAM and
+  // flush to a meta page when the buffer fills or SyncMeta is called.
+  void AppendMeta(MetaRecord record);
+  // Completes once every record appended so far is durable on media.
+  void SyncMeta(WriteCallback done);
+
+  // The power rail drops: every in-flight host op fails with Unavailable,
+  // unflushed journal records are lost, all volatile state (mapping, block
+  // accounting, cache) is dropped, and the NAND tears in-flight programs.
+  void PowerCut();
+
+  // Rebuilds mapping and block accounting from the media's OOB stream, then
+  // exposes the replayed record stream / live file pages for the filesystem
+  // layer. Charges one full OOB scan of modeled busy time to each die.
+  void Recover();
+  const std::vector<MetaRecord>& recovered_meta() const { return recovered_meta_; }
+  const std::vector<RecoveredFilePage>& recovered_file_pages() const {
+    return recovered_file_pages_;
+  }
 
   bool IsMapped(uint64_t lpn) const;
 
   uint64_t cache_hits() const { return cache_hits_; }
   uint64_t cache_misses() const { return cache_misses_; }
 
-  // nand-writes / host-writes; 0 when nothing written yet.
+  // nand-writes / host-writes; 0 when nothing written yet. Meta-page and GC
+  // programs count as nand writes (they are the amplification).
   double WriteAmplification() const;
+  uint64_t host_writes() const { return host_writes_; }
+  uint64_t nand_writes() const { return nand_writes_; }
   uint64_t gc_runs() const { return gc_runs_; }
+  uint64_t gc_relocated_pages() const { return gc_relocated_pages_; }
+  uint64_t write_stalls() const { return write_stalls_; }
+  uint64_t recoveries() const { return recoveries_; }
   sim::StatsRegistry& stats() { return stats_; }
 
  private:
+  // lpn_of_page sentinel for meta (journal) pages: live, but not mapped.
+  static constexpr int64_t kMetaPage = -2;
+
   struct BlockInfo {
-    std::vector<int64_t> lpn_of_page;  // -1 = invalid / erased
+    std::vector<int64_t> lpn_of_page;  // -1 = invalid / erased; -2 = meta
     uint32_t valid = 0;
     uint32_t next_page = 0;  // program cursor; == pages_per_block when full
+    uint32_t inflight = 0;   // programs issued but not yet completed
     bool is_active = false;
     bool is_free = true;
+    sim::SimTime last_program;  // cost-benefit GC age
   };
 
   struct DieState {
@@ -88,12 +181,51 @@ class Ftl {
     std::optional<uint32_t> active_block;
   };
 
+  // An op queued behind an in-flight write to the same lpn: either a write
+  // (data + tag, completion in pending_writes_) or a trim.
+  struct QueuedOp {
+    bool is_trim = false;
+    std::vector<uint8_t> data;
+    FileTag tag;
+    uint64_t op = 0;
+  };
+  struct LpnGate {
+    bool write_in_flight = false;
+    std::deque<QueuedOp> queue;
+  };
+
+  struct StalledWrite {
+    uint64_t lpn = 0;
+    std::vector<uint8_t> data;
+    FileTag tag;
+    uint64_t op = 0;
+  };
+
+  void InitVolatile();
+
+  // Pending-op registry: every host completion is delivered through a take,
+  // so a power cut can fail all in-flight ops exactly once and late NAND
+  // completions (already dropped by the array's generation check) can never
+  // double-deliver.
+  std::optional<ReadCallback> TakeRead(uint64_t op);
+  std::optional<WriteCallback> TakeWrite(uint64_t op);
+  void FailWriteSoon(uint64_t op, Status status);
+
   // Claims the next programmable PPA, opening a fresh block when needed.
   Result<Ppa> ClaimSlot();
 
+  void StartWrite(uint64_t lpn, std::vector<uint8_t> data, FileTag tag, uint64_t op);
+  // Releases the lpn's write gate and runs queued same-lpn ops.
+  void FinishLpnOp(uint64_t lpn);
+  void ApplyTrim(uint64_t lpn);
+
   // Records that `ppa` now holds `lpn` (and invalidates any prior location).
-  void CommitMapping(uint64_t lpn, Ppa ppa);
+  void CommitMapping(uint64_t lpn, Ppa ppa, uint64_t seq);
   void InvalidateCurrent(uint64_t lpn);
+
+  // Meta journal: group-commit flush of the DRAM record buffer.
+  void MaybeFlushMeta();
+  void FlushMeta();
 
   // Read-cache (LRU over logical pages backed by SSD DRAM). Pages are held
   // behind shared_ptr so a hit hands out a reference, not a copy — in-flight
@@ -106,21 +238,56 @@ class Ftl {
   void CacheInvalidate(uint64_t lpn);
 
   // Kicks GC if any die runs low on free blocks. One collection at a time.
+  std::optional<std::pair<uint32_t, uint32_t>> FindVictim() const;
+  bool CanGcReclaim() const;
   void MaybeStartGc();
-  void RelocateNext(uint32_t die, uint32_t block, std::vector<uint64_t> lpns, size_t index);
+  void RelocateNext(uint32_t die, uint32_t block, std::vector<uint32_t> pages, size_t index);
+  void RelocateMetaPage(uint32_t die, uint32_t block, std::vector<uint32_t> pages, size_t index,
+                        Ppa source);
   void FinishGc(uint32_t die, uint32_t block);
+  // GC cannot relocate for lack of slots: fail everything waiting on it.
+  void AbortGcWedged(const Status& why);
+  void PumpStalled();
 
   sim::Simulator* simulator_;
   NandArray* nand_;
   FtlConfig config_;
   uint64_t logical_pages_;
   std::vector<std::optional<Ppa>> mapping_;
+  // Media sequence number of the tag backing each mapping (tombstone pruning
+  // during meta-page relocation compares against this).
+  std::vector<uint64_t> mapping_seq_;
   std::vector<DieState> dies_;
   uint32_t next_die_ = 0;
   bool gc_in_progress_ = false;
+  bool powered_off_ = false;
+  uint64_t seq_ = 1;
   uint64_t host_writes_ = 0;
   uint64_t nand_writes_ = 0;
   uint64_t gc_runs_ = 0;
+  uint64_t gc_relocated_pages_ = 0;
+  uint64_t write_stalls_ = 0;
+  uint64_t recoveries_ = 0;
+
+  uint64_t next_op_ = 1;
+  std::map<uint64_t, ReadCallback> pending_reads_;
+  std::map<uint64_t, WriteCallback> pending_writes_;
+  std::map<uint64_t, LpnGate> gates_;
+  std::deque<StalledWrite> stalled_;
+
+  // Meta journal buffer and group-commit state. Waiters attached to the
+  // in-flight flush complete with it; waiters needing records buffered after
+  // the flush started ride the next one.
+  std::vector<MetaRecord> meta_buffer_;
+  size_t meta_buffer_bytes_ = 0;
+  bool meta_flush_in_flight_ = false;
+  bool meta_flush_stalled_ = false;
+  std::vector<WriteCallback> meta_waiters_inflight_;
+  std::vector<WriteCallback> meta_waiters_queued_;
+
+  std::vector<MetaRecord> recovered_meta_;
+  std::vector<RecoveredFilePage> recovered_file_pages_;
+
   // LRU read cache: list front = most recent; map lpn -> list iterator.
   std::list<std::pair<uint64_t, CachedPage>> cache_lru_;
   std::unordered_map<uint64_t, std::list<std::pair<uint64_t, CachedPage>>::iterator>

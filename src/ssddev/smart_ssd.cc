@@ -64,4 +64,25 @@ void SmartSsd::OnDoorbell(DeviceId from, uint64_t value) {
   file_service_->OnDoorbell(InstanceId(value));
 }
 
+void SmartSsd::OnPowerLoss() {
+  // Order matters: sessions first (so failure callbacks cascading out of the
+  // FTL's pending-op registry find no session and drop harmlessly), then the
+  // filesystem's queued writes, then the FTL + NAND themselves.
+  file_service_->PowerCut();
+  fs_.PowerCut();
+  ftl_.PowerCut();
+  power_lost_ = true;
+}
+
+void SmartSsd::OnReset() {
+  if (power_lost_) {
+    // Cold boot after a power cut: replay the on-media journal before
+    // serving anything.
+    ftl_.Recover();
+    fs_.Recover();
+    power_lost_ = false;
+  }
+  dev::Device::OnReset();
+}
+
 }  // namespace lastcpu::ssddev

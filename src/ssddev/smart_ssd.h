@@ -51,6 +51,12 @@ class SmartSsd : public dev::Device {
  protected:
   void OnMessage(const proto::Message& message) override;
   void OnDoorbell(DeviceId from, uint64_t value) override;
+  // Power-cut fault: sessions, queues, and all volatile FTL/FlashFs state
+  // drop; in-flight NAND programs tear their pages. The next reset pulse
+  // replays the on-media journal (Ftl::Recover + FlashFs::Recover) before
+  // the device comes back alive.
+  void OnPowerLoss() override;
+  void OnReset() override;
 
  private:
   NandArray nand_;
@@ -59,6 +65,7 @@ class SmartSsd : public dev::Device {
   FileService* file_service_ = nullptr;
   dev::LoaderService* loader_ = nullptr;
   auth::AuthService* auth_ = nullptr;
+  bool power_lost_ = false;
 };
 
 }  // namespace lastcpu::ssddev

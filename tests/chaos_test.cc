@@ -56,6 +56,15 @@ struct Schedule {
   // schedule kills it for good: its leased regions are ordinary owned
   // allocations, so quarantine reclaim must leave nothing stranded.
   bool magazine_holder = false;
+  // Power-cut schedule knobs: a tiny NAND geometry makes GC active during
+  // the workload, and the extra overwrite Puts hammer a handful of hot keys
+  // so victim blocks hold a valid/invalid mix when the rail drops.
+  bool small_ssd = false;
+  int overwrite_puts = 0;
+  // The drive is expected to come back via journal replay (Ftl::Recover),
+  // and — for the mid-GC schedule — with garbage collection having run.
+  bool expect_recovery = false;
+  bool expect_gc = false;
 };
 
 sim::CrashSpec TimeKill(uint32_t device, uint64_t at_us, Respawn respawn = Respawn::kClean,
@@ -81,6 +90,20 @@ sim::CrashSpec SelfTestKill(uint32_t device, Respawn respawn = Respawn::kClean) 
   spec.device = device;
   spec.during_self_test = true;
   spec.respawn = respawn;
+  return spec;
+}
+
+sim::CrashSpec PowerCutAt(uint32_t device, uint64_t at_us, Respawn respawn = Respawn::kClean) {
+  sim::CrashSpec spec = TimeKill(device, at_us, respawn);
+  spec.power_cut = true;
+  return spec;
+}
+
+sim::CrashSpec PowerCutOnProgram(uint32_t device, uint64_t kth) {
+  sim::CrashSpec spec;
+  spec.device = device;
+  spec.on_kth_program = kth;
+  spec.power_cut = true;
   return spec;
 }
 
@@ -156,6 +179,37 @@ std::vector<Schedule> Schedules() {
     all.push_back(s);
   }
   {
+    // The power rail drops mid-traffic: all volatile FTL/FlashFs/session
+    // state is gone, in-flight NAND programs tear, and the drive must come
+    // back by replaying its on-media mapping journal. Every acked Put must
+    // survive the replay; un-acked ones must complete (failed), not hang.
+    Schedule s{.name = "ssd-power-cut-transient"};
+    s.plan.crashes = {PowerCutAt(kSsdId, 300)};
+    s.expect_recovery = true;
+    all.push_back(s);
+  }
+  {
+    // Power cut 1ns after the Kth NAND program on a tiny drive under
+    // sustained hot-key overwrite: garbage collection is active by then, so
+    // the cut lands among GC relocations and meta flushes mid-page — the
+    // window where a mapping legitimately exists in two places at once.
+    Schedule s{.name = "ssd-power-cut-mid-gc"};
+    s.plan.crashes = {PowerCutOnProgram(kSsdId, 150)};
+    s.small_ssd = true;
+    s.overwrite_puts = 160;
+    s.expect_recovery = true;
+    s.expect_gc = true;
+    all.push_back(s);
+  }
+  {
+    // Two rail drops, the second landing inside the KVS bring-up retry
+    // window: a power cut during power-cut recovery.
+    Schedule s{.name = "ssd-power-cut-double"};
+    s.plan.crashes = {PowerCutAt(kSsdId, 300), PowerCutAt(kSsdId, 850)};
+    s.expect_recovery = true;
+    all.push_back(s);
+  }
+  {
     // A device dies for good while holding a fully stocked grant magazine.
     // The magazine's regions are leases (owned allocations in the memory
     // controller's table), so the quarantine reclaim path must free every
@@ -183,6 +237,8 @@ struct RunOutcome {
   bool stub_quarantined = false;
   uint64_t stub_stranded_allocs = 0;
   uint64_t stub_stranded_grants = 0;
+  uint64_t ftl_recoveries = 0;
+  uint64_t gc_runs = 0;
 };
 
 // When true, every schedule runs with the batching fast paths on: grant
@@ -205,6 +261,11 @@ RunOutcome RunSchedule(const Schedule& sched, bool batched) {
   auto& memctrl = machine.AddMemoryController();
   ssddev::SmartSsdConfig ssd_config;
   ssd_config.host_auth_service = false;
+  if (sched.small_ssd) {
+    ssd_config.nand.dies = 2;
+    ssd_config.nand.blocks_per_die = 8;
+    ssd_config.nand.pages_per_block = 8;
+  }
   auto& ssd = machine.AddSmartSsd(ssd_config);
   auto& nic = machine.AddSmartNic();
   EXPECT_EQ(memctrl.id().value(), kMemctrlId);
@@ -270,6 +331,24 @@ RunOutcome RunSchedule(const Schedule& sched, bool batched) {
       }
     });
   }
+  // Power-cut schedules append a sustained hot-key overwrite phase: eight
+  // keys rewritten in rotation, so the small drive's GC must relocate live
+  // pages while the crash plan cuts the rail out from under it.
+  for (int i = 0; i < sched.overwrite_puts; ++i) {
+    machine.RunFor(sim::Duration::Micros(20));
+    std::string key = "hot" + std::to_string(i % 8);
+    std::vector<uint8_t> value(48);
+    for (size_t b = 0; b < value.size(); ++b) {
+      value[b] = static_cast<uint8_t>((i * 13 + b) & 0xff);
+    }
+    ++outstanding;
+    app->engine().Put(key, value, [&out, &outstanding, key, value](Status s) {
+      --outstanding;
+      if (s.ok()) {
+        out.acked[key] = value;
+      }
+    });
+  }
   machine.RunUntilIdle();
   // Let heartbeats, watchdog sweeps, and any in-flight supervision episode
   // play out, then drain what they scheduled.
@@ -288,6 +367,8 @@ RunOutcome RunSchedule(const Schedule& sched, bool batched) {
     out.stub_stranded_allocs = memctrl.AllocationsOwnedBy(stub->id());
     out.stub_stranded_grants = memctrl.GrantsHeldBy(stub->id());
   }
+  out.ftl_recoveries = ssd.ftl().recoveries();
+  out.gc_runs = ssd.ftl().gc_runs();
   out.events = machine.simulator().events_executed();
   std::ostringstream metrics;
   machine.MetricsJson(metrics);
@@ -362,10 +443,20 @@ TEST_P(ChaosSoak, SurvivesCrashScheduleDeterministically) {
     EXPECT_EQ(first.stub_stranded_grants, 0u);
     EXPECT_EQ(second.stub_stranded_allocs, 0u);
   }
+
+  if (sched.expect_recovery) {
+    // The drive came back by replaying its on-media journal (not a clean
+    // boot): the recovery counter proves the power-loss path actually ran.
+    EXPECT_GE(first.ftl_recoveries, 1u) << sched.name;
+    EXPECT_EQ(first.ftl_recoveries, second.ftl_recoveries);
+  }
+  if (sched.expect_gc) {
+    EXPECT_GT(first.gc_runs, 0u) << sched.name;
+  }
 }
 
-// 11 schedules x {unbatched, batched}.
-INSTANTIATE_TEST_SUITE_P(Schedules, ChaosSoak, ::testing::Range<size_t>(0, 22));
+// 14 schedules x {unbatched, batched}.
+INSTANTIATE_TEST_SUITE_P(Schedules, ChaosSoak, ::testing::Range<size_t>(0, 28));
 
 }  // namespace
 }  // namespace lastcpu

@@ -189,6 +189,68 @@ TEST(MachineTest, MetricsJsonReportsCrashInjection) {
   EXPECT_EQ(recoveries->number(), 1.0);
 }
 
+TEST(MachineTest, MetricsJsonReportsStorageHealth) {
+  // A power cut lands on the 40th NAND program while host writes stream in;
+  // after the supervisor restarts the drive, the storage section must report
+  // the write-amplification, GC, wear, and recovery counters round-trippable
+  // through the JSON parser.
+  MachineConfig config;
+  sim::CrashSpec spec;
+  spec.device = 2;  // the SSD, second device added
+  spec.on_kth_program = 40;
+  spec.power_cut = true;
+  config.crash_plan.crashes = {spec};
+  Machine machine(config);
+  machine.AddMemoryController();
+  auto& ssd = machine.AddSmartSsd(NoAuthSsd());
+  ssd.ProvisionFile("t.log", {});
+  machine.Boot();
+  std::vector<uint8_t> page(4096, 0x5A);
+  for (int i = 0; i < 60; ++i) {
+    // Overwrites tolerate the mid-stream cut (Unavailable / NotFound while
+    // the drive replays its journal are expected).
+    ssd.fs().Write("t.log", static_cast<uint64_t>(i % 8) * page.size(), page, [](Status) {});
+    machine.RunFor(sim::Duration::Millis(1));
+    machine.RunUntilIdle();
+  }
+  machine.RunFor(sim::Duration::Millis(50));
+  machine.RunUntilIdle();
+
+  std::ostringstream os;
+  machine.MetricsJson(os);
+  auto parsed = sim::ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const sim::JsonValue* storage = parsed->Find("storage");
+  ASSERT_NE(storage, nullptr);
+  ASSERT_TRUE(storage->is_array());
+  ASSERT_EQ(storage->array().size(), 1u);
+  const sim::JsonValue& drive = storage->array()[0];
+  EXPECT_EQ(drive.Find("device")->number(), 2.0);
+  EXPECT_GT(drive.Find("host_writes")->number(), 0.0);
+  EXPECT_GE(drive.Find("nand_writes")->number(), drive.Find("host_writes")->number());
+  EXPECT_GE(drive.Find("write_amplification")->number(), 1.0);
+  ASSERT_NE(drive.Find("gc_runs"), nullptr);
+  ASSERT_NE(drive.Find("gc_relocated_pages"), nullptr);
+  ASSERT_NE(drive.Find("write_stalls"), nullptr);
+  EXPECT_GE(drive.Find("erase_count_max")->number(), drive.Find("erase_count_min")->number());
+  // The power cut happened and the drive replayed its journal.
+  EXPECT_EQ(drive.Find("recoveries")->number(), 1.0);
+  EXPECT_GT(drive.Find("recovered_pages")->number(), 0.0);
+  ASSERT_NE(drive.Find("torn_pages_discarded"), nullptr);
+  EXPECT_EQ(parsed->Find("crashes")->Find("injected")->number(), 1.0);
+}
+
+TEST(MachineTest, MetricsJsonOmitsStorageOnDisklessMachine) {
+  Machine machine;
+  machine.AddMemoryController();
+  machine.Boot();
+  std::ostringstream os;
+  machine.MetricsJson(os);
+  auto parsed = sim::ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->Find("storage"), nullptr);
+}
+
 TEST(MachineTest, StatsReportCoversAllComponents) {
   Machine machine;
   machine.AddMemoryController();

@@ -121,6 +121,70 @@ TEST_F(NandTest, OutOfRangeAddressRejected) {
   EXPECT_EQ(status->code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(NandTest, OobTagProgrammedAtomicallyWithPage) {
+  NandArray nand(&simulator_);
+  OobTag tag;
+  tag.kind = OobTag::Kind::kData;
+  tag.seq = 7;
+  tag.lpn = 42;
+  tag.file_id = 3;
+  tag.file_page = 1;
+  tag.size_after = 999;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({1, 2}), tag, [](Status s) { ASSERT_TRUE(s.ok()); });
+  simulator_.Run();
+  const OobTag& oob = nand.OobOf(Ppa{0, 0, 0});
+  EXPECT_EQ(oob.kind, OobTag::Kind::kData);
+  EXPECT_EQ(oob.seq, 7u);
+  EXPECT_EQ(oob.lpn, 42u);
+  EXPECT_EQ(oob.file_id, 3u);
+  EXPECT_EQ(oob.file_page, 1u);
+  EXPECT_EQ(oob.size_after, 999u);
+}
+
+TEST_F(NandTest, PowerCutTearsInflightProgram) {
+  NandArray nand(&simulator_);
+  bool completed = false;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({1}), [&](Status) { completed = true; });
+  nand.PowerCut();
+  simulator_.Run();
+  // The silicon that would have delivered the completion lost power.
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(nand.StateOf(Ppa{0, 0, 0}), NandArray::PageState::kTorn);
+  // A torn page is unreadable and unprogrammable...
+  std::optional<Status> read;
+  nand.ReadPage(Ppa{0, 0, 0}, [&](Result<std::vector<uint8_t>> r) { read = r.status(); });
+  std::optional<Status> reprogram;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({2}), [&](Status s) { reprogram = s; });
+  simulator_.Run();
+  EXPECT_FALSE(read->ok());
+  EXPECT_FALSE(reprogram->ok());
+  // ...until the block is erased.
+  nand.EraseBlock(0, 0, [](Status s) { ASSERT_TRUE(s.ok()); });
+  bool ok = false;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({2}), [&](Status s) { ok = s.ok(); });
+  simulator_.Run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(NandTest, PowerCutTearsInflightEraseAcrossWholeBlock) {
+  NandArray nand(&simulator_);
+  nand.ProgramPage(Ppa{0, 0, 3}, Bytes({1}), [](Status s) { ASSERT_TRUE(s.ok()); });
+  simulator_.Run();
+  bool erased = false;
+  nand.EraseBlock(0, 0, [&](Status) { erased = true; });
+  nand.PowerCut();
+  simulator_.Run();
+  EXPECT_FALSE(erased);
+  // An interrupted erase pulse leaves every page of the block indeterminate.
+  EXPECT_EQ(nand.StateOf(Ppa{0, 0, 0}), NandArray::PageState::kTorn);
+  EXPECT_EQ(nand.StateOf(Ppa{0, 0, 3}), NandArray::PageState::kTorn);
+  nand.EraseBlock(0, 0, [](Status s) { ASSERT_TRUE(s.ok()); });
+  bool ok = false;
+  nand.ProgramPage(Ppa{0, 0, 0}, Bytes({2}), [&](Status s) { ok = s.ok(); });
+  simulator_.Run();
+  EXPECT_TRUE(ok);
+}
+
 // --- FTL ---------------------------------------------------------------------
 
 class FtlTest : public ::testing::Test {
@@ -297,6 +361,152 @@ TEST_F(FtlTest, OutOfRangeLpnRejected) {
   EXPECT_EQ(status->code(), StatusCode::kInvalidArgument);
 }
 
+// --- FTL power loss and recovery ---------------------------------------------
+
+TEST_F(FtlTest, RecoverRebuildsMappingFromOobScan) {
+  WriteSync(1, 0x11);
+  WriteSync(2, 0x22);
+  WriteSync(1, 0x33);  // overwrite: highest sequence number must win
+  ftl_.PowerCut();
+  ftl_.Recover();
+  simulator_.Run();
+  EXPECT_TRUE(ftl_.IsMapped(1));
+  EXPECT_TRUE(ftl_.IsMapped(2));
+  EXPECT_FALSE(ftl_.IsMapped(3));
+  EXPECT_EQ(ReadSync(1), PageOf(0x33));
+  EXPECT_EQ(ReadSync(2), PageOf(0x22));
+  EXPECT_EQ(ftl_.recoveries(), 1u);
+  EXPECT_GE(ftl_.stats().GetCounter("recovered_pages").value(), 2u);
+}
+
+TEST_F(FtlTest, PowerCutFailsInflightOpsExactlyOnce) {
+  WriteSync(1, 0x11);
+  int write_cbs = 0;
+  int read_cbs = 0;
+  std::optional<Status> wrote;
+  std::optional<Status> read;
+  ftl_.Write(2, PageOf(0x22), [&](Status s) {
+    ++write_cbs;
+    wrote = s;
+  });
+  ftl_.Read(1, [&](Result<std::span<const uint8_t>> r) {
+    ++read_cbs;
+    read = r.status();
+  });
+  ftl_.PowerCut();
+  // Both fail synchronously at the cut...
+  EXPECT_EQ(write_cbs, 1);
+  EXPECT_EQ(read_cbs, 1);
+  EXPECT_EQ(wrote->code(), StatusCode::kUnavailable);
+  EXPECT_EQ(read->code(), StatusCode::kUnavailable);
+  // ...and the already-scheduled NAND completions must not double-deliver.
+  simulator_.Run();
+  EXPECT_EQ(write_cbs, 1);
+  EXPECT_EQ(read_cbs, 1);
+}
+
+TEST_F(FtlTest, RecoveryDiscardsTornTailWrite) {
+  WriteSync(1, 0x11);
+  std::optional<Status> tail;
+  ftl_.Write(1, PageOf(0x22), [&](Status s) { tail = s; });
+  ftl_.PowerCut();  // the overwrite is mid-program: its page tears
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->code(), StatusCode::kUnavailable);
+  ftl_.Recover();
+  simulator_.Run();
+  // The torn tail entry is discarded; the last *acked* value survives.
+  EXPECT_EQ(ReadSync(1), PageOf(0x11));
+  EXPECT_GE(ftl_.stats().GetCounter("torn_pages_discarded").value(), 1u);
+}
+
+TEST_F(FtlTest, TrimTombstoneDurableAfterSyncMeta) {
+  WriteSync(1, 0x11);
+  ftl_.Trim(1);
+  bool synced = false;
+  ftl_.SyncMeta([&](Status s) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    synced = true;
+  });
+  simulator_.Run();
+  ASSERT_TRUE(synced);
+  ftl_.PowerCut();
+  ftl_.Recover();
+  simulator_.Run();
+  EXPECT_FALSE(ftl_.IsMapped(1));
+}
+
+TEST_F(FtlTest, UnsyncedTrimResurrectsOnRecovery) {
+  // Contract check: Trim is applied in DRAM immediately but its tombstone is
+  // durable only after SyncMeta. A cut before the flush loses the trim and
+  // the old data legitimately comes back.
+  WriteSync(1, 0x11);
+  ftl_.Trim(1);
+  EXPECT_FALSE(ftl_.IsMapped(1));
+  ftl_.PowerCut();
+  ftl_.Recover();
+  simulator_.Run();
+  EXPECT_TRUE(ftl_.IsMapped(1));
+  EXPECT_EQ(ReadSync(1), PageOf(0x11));
+}
+
+TEST_F(FtlTest, PowerCutDuringGcRecoversAllAckedData) {
+  // Sustained random overwrite forces GC on the small geometry; the cut is
+  // armed to land one nanosecond after a NAND program issued while GC
+  // relocations are in progress — the window where a mapping exists in two
+  // places at once and recovery must pick a consistent winner.
+  uint64_t working_set = ftl_.logical_pages() * 9 / 10;
+  std::map<uint64_t, uint8_t> acked;
+  sim::Rng rng(7);
+  bool armed = false;
+  bool cut = false;
+  nand_.SetProgramObserver([&](uint64_t) {
+    if (!armed && ftl_.stats().GetCounter("gc_relocations").value() >= 4) {
+      armed = true;
+      simulator_.Schedule(sim::Duration::Nanos(1), [&] {
+        ftl_.PowerCut();
+        cut = true;
+      });
+    }
+  });
+  for (int i = 0; i < 1500 && !cut; ++i) {
+    uint64_t lpn = rng.NextBelow(working_set);
+    auto fill = static_cast<uint8_t>(rng.NextBelow(256));
+    std::optional<Status> status;
+    ftl_.Write(lpn, PageOf(fill), [&](Status s) { status = s; });
+    simulator_.Run();
+    if (status.has_value() && status->ok()) {
+      acked[lpn] = fill;
+    }
+  }
+  nand_.SetProgramObserver(nullptr);
+  ASSERT_TRUE(cut);
+  ASSERT_GT(ftl_.gc_relocated_pages(), 0u);
+  ftl_.Recover();
+  simulator_.Run();
+  for (const auto& [lpn, fill] : acked) {
+    ASSERT_EQ(ReadSync(lpn), PageOf(fill)) << "lpn " << lpn;
+  }
+}
+
+TEST_F(FtlTest, RechargedRecoveryOccupiesDies) {
+  // Recovery is not free: the full-media OOB scan charges modeled busy time
+  // to every die, so the first post-recovery read completes later than a
+  // cold read would.
+  WriteSync(1, 0x11);
+  simulator_.Run();
+  ftl_.PowerCut();
+  ftl_.Recover();
+  sim::SimTime start = simulator_.Now();
+  sim::SimTime done;
+  ftl_.Read(1, [&](Result<std::span<const uint8_t>> r) {
+    ASSERT_TRUE(r.ok());
+    done = simulator_.Now();
+  });
+  simulator_.Run();
+  // 8 blocks * 8 pages * 200ns scan = 12.8us of scan ahead of the 50us read.
+  EXPECT_GT((done - start).nanos(), NandTiming{}.read_latency.nanos());
+}
+
 // --- FlashFs ------------------------------------------------------------------
 
 class FlashFsTest : public ::testing::Test {
@@ -443,7 +653,124 @@ TEST_F(FlashFsTest, DeleteRecyclesPages) {
   WriteSync("f", 0, std::vector<uint8_t>(8 * kPageSize, 1));
   uint64_t free_after_write = fs_.free_pages();
   ASSERT_TRUE(fs_.Delete("f").ok());
+  // Freed lpns are parked until the delete record is durable on media, so the
+  // pages come back only after the journal flush completes.
+  simulator_.Run();
   EXPECT_EQ(fs_.free_pages(), free_after_write + 8);
+}
+
+// --- FlashFs power loss and recovery -----------------------------------------
+
+// Models SmartSsd::OnPowerLoss / OnReset ordering: filesystem queues drop
+// first, then the FTL (which tears the NAND), and recovery replays the FTL's
+// journal before the filesystem rebuilds its namespace from it.
+void PowerCycle(FlashFs& fs, Ftl& ftl, sim::Simulator& simulator) {
+  fs.PowerCut();
+  ftl.PowerCut();
+  ftl.Recover();
+  fs.Recover();
+  simulator.Run();
+}
+
+TEST_F(FlashFsTest, RecoverRestoresFilesDataAndAcl) {
+  FileAcl acl;
+  acl.owner = "alice";
+  acl.readers = {"bob"};
+  ASSERT_TRUE(fs_.Create("f", acl).ok());
+  std::vector<uint8_t> data(3 * kPageSize + 100);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i % 251);
+  }
+  WriteSync("f", 0, data);  // the ack implies the create record is durable too
+  PowerCycle(fs_, ftl_, simulator_);
+  ASSERT_TRUE(fs_.Exists("f"));
+  EXPECT_EQ(fs_.Stat("f")->size, data.size());
+  EXPECT_EQ(fs_.Stat("f")->acl.owner, "alice");
+  EXPECT_TRUE(fs_.Stat("f")->acl.MayRead("bob"));
+  EXPECT_FALSE(fs_.Stat("f")->acl.MayRead("mallory"));
+  EXPECT_EQ(ReadSync("f", 0, data.size()), data);
+}
+
+TEST_F(FlashFsTest, UnackedCreateAbsentAfterPowerCut) {
+  ASSERT_TRUE(fs_.Create("ghost").ok());  // record buffered in DRAM only
+  std::optional<Status> wrote;
+  fs_.Write("ghost", 0, std::vector<uint8_t>(kPageSize, 1), [&](Status s) { wrote = s; });
+  // Cut before anything flushes: the queued write must fail, not hang...
+  fs_.PowerCut();
+  ftl_.PowerCut();
+  ASSERT_TRUE(wrote.has_value());
+  EXPECT_EQ(wrote->code(), StatusCode::kUnavailable);
+  ftl_.Recover();
+  fs_.Recover();
+  simulator_.Run();
+  // ...and the never-durable file is cleanly absent.
+  EXPECT_FALSE(fs_.Exists("ghost"));
+}
+
+TEST_F(FlashFsTest, DurableDeleteStaysDeletedAfterPowerCut) {
+  ASSERT_TRUE(fs_.Create("f").ok());
+  WriteSync("f", 0, std::vector<uint8_t>(4 * kPageSize, 9));
+  ASSERT_TRUE(fs_.Delete("f").ok());
+  simulator_.Run();  // delete record + trim tombstones reach media
+  uint64_t free_before = fs_.free_pages();
+  PowerCycle(fs_, ftl_, simulator_);
+  EXPECT_FALSE(fs_.Exists("f"));
+  EXPECT_EQ(fs_.free_pages(), free_before);
+}
+
+TEST_F(FlashFsTest, RecreateAfterDeleteKeepsNewIncarnation) {
+  // Same name, two incarnations: recovery must resolve the name to the
+  // newest create record and not leak the old incarnation's pages into it.
+  ASSERT_TRUE(fs_.Create("f").ok());
+  WriteSync("f", 0, std::vector<uint8_t>(2 * kPageSize, 0xAA));
+  ASSERT_TRUE(fs_.Delete("f").ok());
+  simulator_.Run();
+  ASSERT_TRUE(fs_.Create("f").ok());
+  WriteSync("f", 0, std::vector<uint8_t>(kPageSize, 0xBB));
+  PowerCycle(fs_, ftl_, simulator_);
+  ASSERT_TRUE(fs_.Exists("f"));
+  EXPECT_EQ(fs_.Stat("f")->size, kPageSize);
+  EXPECT_EQ(ReadSync("f", 0, kPageSize), std::vector<uint8_t>(kPageSize, 0xBB));
+}
+
+// Regression for the fast-fail contract (matches the KVS engine's): a power
+// cut mid-request fails every queued and in-flight filesystem write with
+// Unavailable exactly once — nothing hangs, nothing double-completes.
+TEST_F(FlashFsTest, PowerCutFailsQueuedAndInflightWritesWithUnavailable) {
+  ASSERT_TRUE(fs_.Create("f").ok());
+  simulator_.Run();  // create barrier durable; writes queue behind nothing
+  int callbacks = 0;
+  std::vector<StatusCode> codes;
+  fs_.Write("f", 0, std::vector<uint8_t>(2 * kPageSize, 1), [&](Status s) {
+    ++callbacks;
+    codes.push_back(s.code());
+  });
+  fs_.Write("f", 2 * kPageSize, std::vector<uint8_t>(kPageSize, 2), [&](Status s) {
+    ++callbacks;
+    codes.push_back(s.code());
+  });
+  // First write is in flight at the FTL, second queued at the filesystem.
+  fs_.PowerCut();
+  ftl_.PowerCut();
+  ASSERT_EQ(callbacks, 2);
+  EXPECT_EQ(codes[0], StatusCode::kUnavailable);
+  EXPECT_EQ(codes[1], StatusCode::kUnavailable);
+  simulator_.Run();
+  EXPECT_EQ(callbacks, 2);
+}
+
+TEST_F(FlashFsTest, AckedWritesSurviveRepeatedPowerCuts) {
+  ASSERT_TRUE(fs_.Create("log").ok());
+  std::vector<uint8_t> page_a(kPageSize, 0x0A);
+  std::vector<uint8_t> page_b(kPageSize, 0x0B);
+  WriteSync("log", 0, page_a);
+  PowerCycle(fs_, ftl_, simulator_);
+  ASSERT_TRUE(fs_.Exists("log"));
+  WriteSync("log", kPageSize, page_b);
+  PowerCycle(fs_, ftl_, simulator_);
+  EXPECT_EQ(ReadSync("log", 0, kPageSize), page_a);
+  EXPECT_EQ(ReadSync("log", kPageSize, kPageSize), page_b);
+  EXPECT_EQ(fs_.Stat("log")->size, 2 * kPageSize);
 }
 
 TEST_F(FlashFsTest, AclGovernsAccess) {
@@ -704,6 +1031,21 @@ TEST_F(FileSessionTest, DeleteWithOpenSessionNotifiesConsumer) {
     }
   }
   EXPECT_TRUE(notified);
+  EXPECT_EQ(ssd_.file_service().instance_count(), 0u);
+}
+
+// Regression: a power cut mid-request must fail the in-flight session op with
+// Unavailable at the consumer — it used to be possible for the client to wait
+// forever on a completion the dead silicon would never deliver.
+TEST_F(FileSessionTest, PowerCutFailsInflightSessionOpsWithUnavailable) {
+  ASSERT_TRUE(OpenSync("kv.log").ok());
+  std::optional<Status> wrote;
+  client_.WriteAt(0, std::vector<uint8_t>(1000, 0x5A), [&](Status s) { wrote = s; });
+  ssd_.InjectPowerLoss();
+  harness_.bus.ReportDeviceFailure(ssd_.id());
+  harness_.simulator.Run();
+  ASSERT_TRUE(wrote.has_value());  // no hang
+  EXPECT_EQ(wrote->code(), StatusCode::kUnavailable);
   EXPECT_EQ(ssd_.file_service().instance_count(), 0u);
 }
 
