@@ -14,15 +14,124 @@
 //      quarantines it, peers get one DevicePermanentlyFailed notice, the
 //      memory controller reclaims whatever the corpse owned, and the KVS
 //      app fast-fails with kUnavailable instead of retrying forever.
+//   6. Control-plane shard death: a memory-controller shard restarts clean on
+//      a rack; the client rides out the blackout by retrying and re-asserts
+//      its leases into the new incarnation (epoch-fenced against stale state).
+//   7. Network partition: a segment link drops and heals; segment-local
+//      traffic proceeds, cross-segment requests fail fast with kPartitioned,
+//      and both sides reconcile on heal with no stranded state.
 //
 //   $ failure_drill
 #include <cstdio>
 #include <memory>
 
+#include "src/core/control_plane.h"
 #include "src/core/machine.h"
 #include "src/kvs/kvs_app.h"
+#include "src/memdev/shard_layout.h"
 
 using namespace lastcpu;  // NOLINT: example brevity
+
+// A bare device for issuing control-plane traffic from a rack segment.
+class DrillClientDevice : public dev::Device {
+ public:
+  DrillClientDevice(DeviceId id, const dev::DeviceContext& context, std::string name = "drill")
+      : dev::Device(id, std::move(name), context) {}
+};
+
+// Drill 6: a controller shard dies mid-run and respawns clean. The sharded
+// client must ride out the blackout (no kUnavailable surfaces) and rebuild
+// the shard's tables from its lease ledger.
+void ShardFailoverDrill() {
+  std::printf("\n[drill 6] a memory-controller shard restarts on a 2-segment rack\n");
+  core::MachineConfig config;
+  config.topology.segments = 2;
+  sim::CrashSpec kill;
+  kill.device = MakeSegmentDeviceId(1, 1).value();
+  kill.at = sim::Duration::Micros(500);
+  kill.respawn = sim::CrashSpec::Respawn::kClean;
+  config.crash_plan.crashes = {kill};
+
+  core::Machine machine(std::move(config));
+  auto shards = machine.AddMemoryControllerShards(2);
+  auto& requester = machine.EmplaceOn<DrillClientDevice>(1, "seg1-client");
+  machine.Boot();
+
+  core::ShardedControlClient client(&requester, machine.shard_infos());
+  Pasid pasid = machine.NewApplication("drill");
+  auto lease = client.AllocSync(pasid, 4 * kPageSize);
+  LASTCPU_CHECK(lease.ok(), "pre-kill allocation failed");
+  std::printf("  pre-kill lease on shard %u (home segment)\n",
+              static_cast<unsigned>(memdev::ShardForVa(*lease, 2)));
+
+  machine.RunFor(sim::Duration::Micros(520));
+  // The shard is dead or rebooting right now; this op races the recovery.
+  auto during = client.AllocSync(pasid, 4 * kPageSize);
+  std::printf("  allocation during the blackout: %s (%llu whole-op retries, %llu spills "
+              "to the surviving shard)\n",
+              during.ok() ? "OK" : during.status().ToString().c_str(),
+              static_cast<unsigned long long>(client.op_retries()),
+              static_cast<unsigned long long>(client.spills()));
+  machine.RunFor(sim::Duration::Millis(10));
+  machine.RunUntilIdle();
+  std::printf("  shard epoch %llu (was 1), leases re-asserted: %llu, lost: %llu\n",
+              static_cast<unsigned long long>(shards[1]->epoch()),
+              static_cast<unsigned long long>(client.leases_reasserted()),
+              static_cast<unsigned long long>(client.leases_lost()));
+  std::printf("  pre-kill lease survived the table wipe: %s\n",
+              shards[1]->HasAllocationAt(pasid, *lease) ? "yes" : "no");
+}
+
+// Drill 7: the inter-segment link partitions, then heals. Local traffic keeps
+// flowing, cross-segment requests fail fast with kPartitioned (not a generic
+// timeout), and the heal needs no operator intervention.
+void PartitionDrill() {
+  std::printf("\n[drill 7] the inter-segment link partitions for 2ms, then heals\n");
+  core::MachineConfig config;
+  config.topology.segments = 2;
+  sim::PartitionSpec split;
+  split.segment_a = 1;
+  split.start = sim::Duration::Micros(400);
+  split.heal = sim::Duration::Micros(2400);
+  config.fault_plan.partitions = {split};
+
+  core::Machine machine(std::move(config));
+  auto shards = machine.AddMemoryControllerShards(2);
+  auto& requester = machine.EmplaceOn<DrillClientDevice>(0, "seg0-client");
+  machine.Boot();
+
+  core::ShardedControlClient client(&requester, machine.shard_infos(),
+                                    core::AllocationPolicy::kInterleave);
+  Pasid pasid = machine.NewApplication("drill");
+  machine.RunFor(sim::Duration::Micros(450));
+
+  // Mid-partition: the interleave policy wants to spread across both shards,
+  // but segment 1 is unreachable — the client spills everything to its local
+  // shard instead of stalling.
+  for (int i = 0; i < 4; ++i) {
+    auto va = client.AllocSync(pasid, 4 * kPageSize);
+    LASTCPU_CHECK(va.ok(), "segment-local allocation failed during partition");
+    std::printf("  mid-partition alloc %d landed on shard %u\n", i,
+                static_cast<unsigned>(memdev::ShardForVa(*va, 2)));
+  }
+  std::printf("  cross-segment attempts spilled locally: %llu (fail-fast, no timeouts)\n",
+              static_cast<unsigned long long>(client.spills()));
+  std::printf("  bus fail-fast bounces: %llu, parked one-ways: %llu\n",
+              static_cast<unsigned long long>(
+                  machine.bus().stats().GetCounter("partition_fail_fast").value()),
+              static_cast<unsigned long long>(
+                  machine.bus().stats().GetCounter("partition_queued").value()));
+
+  machine.RunFor(sim::Duration::Millis(3));
+  // Healed: cross-segment placement works again, no reconciliation debt.
+  auto after = client.AllocSync(pasid, 4 * kPageSize);
+  LASTCPU_CHECK(after.ok(), "post-heal allocation failed");
+  std::printf("  post-heal alloc landed on shard %u; parked messages released: %llu\n",
+              static_cast<unsigned>(memdev::ShardForVa(*after, 2)),
+              static_cast<unsigned long long>(
+                  machine.bus().stats().GetCounter("partition_released").value()));
+  (void)shards;
+}
 
 int main() {
   core::MachineConfig config;
@@ -143,6 +252,10 @@ int main() {
     std::printf("  PUT after quarantine fast-fails: %s\n", s.ToString().c_str());
   });
   machine.RunUntilIdle();
+
+  // --- drills 6-7: rack-scale control plane -------------------------------------
+  ShardFailoverDrill();
+  PartitionDrill();
 
   std::printf("\n--- failure-handling trace ---\n");
   for (const auto& record : machine.trace().records()) {

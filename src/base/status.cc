@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kPartitioned:
+      return "PARTITIONED";
   }
   return "UNKNOWN";
 }

@@ -33,6 +33,7 @@ enum class StatusCode : uint8_t {
   kDataLoss = 10,         // uncorrectable media error
   kUnimplemented = 11,
   kInternal = 12,
+  kPartitioned = 13,      // cross-segment link down: destination segment unreachable
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -85,6 +86,9 @@ inline Status Unimplemented(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));
 }
 inline Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+inline Status Partitioned(std::string msg) {
+  return Status(StatusCode::kPartitioned, std::move(msg));
+}
 
 // Holds either a value of T or a non-OK Status. Accessing the value of a
 // failed Result is a programming error and aborts (hardware models must check

@@ -59,6 +59,29 @@ void CentralKernel::RunOnCpu(sim::Duration service, std::function<void()> handle
   });
 }
 
+void CentralKernel::SimulateKernelFailover(sim::Duration blackout, Callback<void> done) {
+  // Panic: every core stops serving. Queued and newly arriving operations
+  // wait out the reboot in the run queue (RunOnCpu naturally serializes
+  // behind the pushed-out core clocks).
+  sim::SimTime up_again = simulator_->Now() + blackout;
+  for (sim::SimTime& core : core_busy_until_) {
+    core = std::max(core, up_again);
+  }
+  stats_.GetCounter("kernel_restarts").Increment();
+  // Warm reboot: the tables survive in kernel memory, but the kernel re-walks
+  // every live entry (consistency check against the IOMMU state it also owns)
+  // before admitting syscalls — one mm_service each, serial on the boot core.
+  uint64_t entries = 0;
+  for (const auto& [pasid, table] : tables_) {
+    entries += table.size();
+  }
+  stats_.GetCounter("kernel_rebuild_entries").Increment(entries);
+  sim::Duration rebuild = config_.syscall_entry + config_.mm_service * entries;
+  core_busy_until_.front() = up_again + rebuild;
+  simulator_->ScheduleAt(up_again + rebuild,
+                         [done = std::move(done)]() mutable { done(OkStatus()); });
+}
+
 bool CentralKernel::Overlaps(const Table& table, uint64_t vpage, uint64_t pages) {
   auto next = table.lower_bound(vpage);
   if (next != table.end() && next->first < vpage + pages) {

@@ -113,6 +113,15 @@ class CentralKernel {
   // crash loop or exhausted attempts, and reclaims a quarantined device's
   // allocations and grants. Duplicate reports during an episode are no-ops.
   void ReportDeviceFailure(DeviceId device);
+
+  // The baseline's failover story: the CPU complex panics and warm-reboots.
+  // EVERY control operation machine-wide stalls for `blackout` (all cores go
+  // busy), then the kernel re-walks its allocation tables before serving
+  // again — one mm_service per live table entry, on one core. This is the
+  // centralized counterpart of one shard's lease-rebuild takeover: there, the
+  // blast radius is one VA slab; here it is the whole machine. `done` fires
+  // when the kernel is serving again.
+  void SimulateKernelFailover(sim::Duration blackout, Callback<void> done);
   // The device completed self-test; clears the episode.
   void OnDeviceAlive(DeviceId device);
   bool IsQuarantined(DeviceId device) const;

@@ -7,6 +7,38 @@
 #include "src/proto/codec.h"
 
 namespace lastcpu::bus {
+namespace {
+
+// Response-shaped message kinds: correlated replies that must never be
+// error-bounced back at their sender (the requester is on the other side of
+// the severed link; bouncing would masquerade as a reply to nothing).
+bool IsResponseMessage(proto::MessageType type) {
+  switch (type) {
+    case proto::MessageType::kDiscoverResponse:
+    case proto::MessageType::kOpenResponse:
+    case proto::MessageType::kCloseResponse:
+    case proto::MessageType::kMemAllocResponse:
+    case proto::MessageType::kMemFreeResponse:
+    case proto::MessageType::kGrantResponse:
+    case proto::MessageType::kRevokeResponse:
+    case proto::MessageType::kLoadImageResponse:
+    case proto::MessageType::kAuthResponse:
+    case proto::MessageType::kErrorResponse:
+    case proto::MessageType::kMapConfirm:
+    case proto::MessageType::kAttachQueueResponse:
+    case proto::MessageType::kFileAdminResponse:
+    case proto::MessageType::kFileListResponse:
+    case proto::MessageType::kMemAllocBatchResponse:
+    case proto::MessageType::kMemFreeBatchResponse:
+    case proto::MessageType::kShardDirectoryResponse:
+    case proto::MessageType::kLeaseReassertResponse:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 void BusPort::Send(proto::Message message) { bus_->SendFromPort(id_, std::move(message)); }
 
@@ -223,7 +255,7 @@ void SystemBus::Route(proto::Message message) {
       if (config_.segments > 1) {
         segment_counters_[SegmentIndex(id)].broadcast_copies++;
       }
-      DeliverRouted(std::move(copy));
+      DeliverRouted(std::move(copy), /*from_broadcast=*/true);
     }
     return;
   }
@@ -252,11 +284,17 @@ void SystemBus::DeliverTraced(proto::Message message, sim::SpanId parent) {
   Deliver(std::move(message));
 }
 
-void SystemBus::DeliverRouted(proto::Message message) {
+void SystemBus::DeliverRouted(proto::Message message, bool from_broadcast) {
   if (config_.segments > 1) {
     uint32_t dst_segment = SegmentIndex(message.dst);
     if (!IsReservedDevice(message.src) && SegmentIndex(message.src) != dst_segment) {
-      segment_counters_[SegmentIndex(message.src)].routed_out++;
+      uint32_t src_segment = SegmentIndex(message.src);
+      if (faults_ != nullptr &&
+          faults_->PartitionActive(src_segment, dst_segment, simulator_->Now())) {
+        HandlePartitioned(std::move(message), src_segment, dst_segment, from_broadcast);
+        return;
+      }
+      segment_counters_[src_segment].routed_out++;
       segment_counters_[dst_segment].routed_in++;
       simulator_->Schedule(
           config_.inter_segment_latency,
@@ -268,12 +306,54 @@ void SystemBus::DeliverRouted(proto::Message message) {
   Deliver(std::move(message));
 }
 
-void SystemBus::DeliverTracedRouted(proto::Message message, sim::SpanId parent) {
+void SystemBus::HandlePartitioned(proto::Message message, uint32_t src_segment,
+                                  uint32_t dst_segment, bool from_broadcast) {
+  // Segment-local traffic never reaches here: only the inter-segment hop is
+  // severed. Requests fail fast with the distinct kPartitioned status so the
+  // sender can spill to segment-local resources instead of burning a timeout.
+  bool is_request =
+      !from_broadcast && message.request_id.valid() && !IsResponseMessage(message.type());
+  if (is_request) {
+    stats_.GetCounter("partition_fail_fast").Increment();
+    tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
+                        message.trace.span);
+    proto::Message bounce = proto::MakeError(
+        message, kBusDevice,
+        Partitioned("segment " + std::to_string(dst_segment) + " unreachable"));
+    DeliverTraced(std::move(bounce), message.trace.span);
+    return;
+  }
+  // Responses, one-ways, and broadcast copies: park in the router's bounded
+  // egress buffer until the partition's deterministic heal time. Broadcast
+  // copies and overflow are dropped — fan-out senders expect no reply, and a
+  // real router buffer is finite.
+  sim::SimTime heal = faults_->PartitionHealTime(src_segment, dst_segment, simulator_->Now());
+  if (from_broadcast || heal == sim::SimTime::Max() ||
+      partition_held_ >= config_.partition_queue_limit) {
+    stats_.GetCounter("partition_dropped").Increment();
+    tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
+                        message.trace.span);
+    return;
+  }
+  ++partition_held_;
+  stats_.GetCounter("partition_queued").Increment();
+  Trace("partition-hold", std::string(proto::MessageTypeName(message.type())) + " until heal");
+  simulator_->ScheduleAt(heal, [this, message = std::move(message)]() mutable {
+    --partition_held_;
+    stats_.GetCounter("partition_released").Increment();
+    // Re-enters routing: pays the hop now, and re-parks if another partition
+    // window already covers the healed pair.
+    DeliverRouted(std::move(message));
+  });
+}
+
+void SystemBus::DeliverTracedRouted(proto::Message message, sim::SpanId parent,
+                                    bool from_broadcast) {
   if (tracer_.enabled()) {
     message.trace.span = parent;
     message.trace.flow = tracer_.FlowSend(proto::MessageTypeName(message.type()), parent);
   }
-  DeliverRouted(std::move(message));
+  DeliverRouted(std::move(message), from_broadcast);
 }
 
 void SystemBus::Deliver(proto::Message message) {
@@ -349,6 +429,22 @@ void SystemBus::HandleBusMessage(proto::Message message) {
         return;
       }
       const auto& directive = message.As<proto::MapDirective>();
+      // Epoch fence: a directive stamped with an epoch older than the shard's
+      // latest announce is a pre-failover straggler — executing it would let
+      // a superseded controller program translations behind the successor's
+      // back. Flat controllers never announce an epoch and are never fenced.
+      auto fence = shard_epochs_.find(message.src);
+      if (fence != shard_epochs_.end() && directive.epoch < fence->second) {
+        stats_.GetCounter("stale_directives_fenced").Increment();
+        tracer_.FlowReceive(proto::MessageTypeName(message.type()), message.trace.flow,
+                            message.trace.span);
+        Trace("map-fenced", "directive epoch " + std::to_string(directive.epoch) +
+                                " < shard epoch " + std::to_string(fence->second));
+        proto::Message error = proto::MakeError(
+            message, kBusDevice, FailedPrecondition("stale shard epoch"));
+        DeliverTraced(std::move(error), message.trace.span);
+        return;
+      }
       // The directive's span covers queueing on the table engine plus the
       // update itself, causally under the controller's handling span.
       sim::SpanId span = 0;
@@ -408,14 +504,24 @@ void SystemBus::HandleBusMessage(proto::Message message) {
         stats_.GetCounter("rejected_shard_announcements").Increment();
         return;
       }
+      shard_epochs_[announce.shard.device] = announce.shard.epoch;
+      // Records are keyed by VA slab, not device: after a takeover one device
+      // may own several slabs, and a re-announce must refresh its own slab
+      // without clobbering adopted ones.
       auto it = std::find_if(shard_directory_.begin(), shard_directory_.end(),
                              [&](const proto::ShardRecord& shard) {
-                               return shard.device == announce.shard.device;
+                               return shard.va_base == announce.shard.va_base;
                              });
       if (it != shard_directory_.end()) {
         *it = announce.shard;  // idempotent re-registration after a restart
       } else {
         shard_directory_.push_back(announce.shard);
+      }
+      // Every slab this device owns fences at its freshest epoch.
+      for (auto& shard : shard_directory_) {
+        if (shard.device == announce.shard.device) {
+          shard.epoch = announce.shard.epoch;
+        }
       }
       std::sort(shard_directory_.begin(), shard_directory_.end(),
                 [](const proto::ShardRecord& a, const proto::ShardRecord& b) {
@@ -475,7 +581,7 @@ void SystemBus::HandleBusMessage(proto::Message message) {
           if (config_.segments > 1) {
             segment_counters_[SegmentIndex(id)].broadcast_copies++;
           }
-          DeliverTracedRouted(std::move(copy), span);
+          DeliverTracedRouted(std::move(copy), span, /*from_broadcast=*/true);
         }
       }
       tracer_.EndSpan(span);
@@ -652,6 +758,45 @@ void SystemBus::QuarantineDevice(DeviceId device, const std::string& reason) {
     simulator_->Schedule(delay, [this, notice = std::move(notice)]() mutable {
       DeliverTraced(std::move(notice), 0);
     });
+  }
+  // Shard takeover: repoint every VA slab the quarantined shard owned at the
+  // first surviving shard (directory order = ascending va_base). The
+  // successor rebuilds the slab's allocation and grant tables from client
+  // lease re-assertion; dropping the dead device from shard_epochs_ means any
+  // of its directives still in flight fail the controller permission check.
+  if (IsShardController(device)) {
+    shard_epochs_.erase(device);
+    DeviceId successor = DeviceId::Invalid();
+    for (const auto& shard : shard_directory_) {
+      if (shard.device == device) {
+        continue;
+      }
+      Endpoint* candidate = FindEndpoint(shard.device);
+      if (candidate != nullptr && !candidate->liveness.quarantined) {
+        successor = shard.device;
+        break;
+      }
+    }
+    if (successor.valid()) {
+      auto epoch_it = shard_epochs_.find(successor);
+      uint64_t epoch = epoch_it == shard_epochs_.end() ? 0 : epoch_it->second;
+      for (auto& shard : shard_directory_) {
+        if (shard.device == device) {
+          shard.device = successor;
+          shard.epoch = epoch;
+          stats_.GetCounter("shard_takeovers").Increment();
+          Trace("shard-takeover",
+                "va_base=" + std::to_string(shard.va_base) +
+                    " -> device " + std::to_string(successor.value()));
+        }
+      }
+    } else {
+      // No surviving shard: the slabs go dark until one attaches and
+      // re-announces. Requests route to an invalid controller and bounce.
+      std::erase_if(shard_directory_, [device](const proto::ShardRecord& shard) {
+        return shard.device == device;
+      });
+    }
   }
 }
 

@@ -67,6 +67,12 @@ struct BusConfig {
   // to the bus controller itself rides the management ring (the bus has a
   // presence on every segment) and never pays it.
   sim::Duration inter_segment_latency = sim::Duration::Nanos(400);
+  // During an inter-segment partition, cross-segment responses and one-ways
+  // are held in the router's egress buffer and flushed at heal; at most this
+  // many may be parked at once (overflow is dropped, counted). Requests are
+  // never queued — they fail fast with kPartitioned so callers can retry
+  // against segment-local resources instead of blocking.
+  uint32_t partition_queue_limit = 32;
 };
 
 // Per-segment traffic accounting (only meaningful when segments > 1).
@@ -214,10 +220,19 @@ class SystemBus {
   // Unicast delivery through the segment router: a cross-segment (src, dst)
   // pair pays inter_segment_latency and bumps the routed counters; everything
   // else (same segment, flat machine, bus-originated) delivers directly.
-  void DeliverRouted(proto::Message message);
+  // `from_broadcast` marks fan-out copies, which are silently dropped (never
+  // error-bounced) when a partition severs their path.
+  void DeliverRouted(proto::Message message, bool from_broadcast = false);
+
+  // A cross-segment message hit a severed link: requests bounce kPartitioned
+  // to the sender immediately; responses and one-ways park in the bounded
+  // router buffer until the deterministic heal time.
+  void HandlePartitioned(proto::Message message, uint32_t src_segment, uint32_t dst_segment,
+                         bool from_broadcast);
 
   // DeliverTraced + DeliverRouted: stamp trace context, then route.
-  void DeliverTracedRouted(proto::Message message, sim::SpanId parent);
+  void DeliverTracedRouted(proto::Message message, sim::SpanId parent,
+                           bool from_broadcast = false);
 
   // The failed device's segment, clamped into [0, segments).
   uint32_t SegmentIndex(DeviceId device) const;
@@ -256,7 +271,17 @@ class SystemBus {
   std::unordered_map<DeviceId, Endpoint> endpoints_;
   DeviceId memory_controller_ = DeviceId::Invalid();
   // Controller shards by VA slab, sorted by va_base (see MemShardAnnounce).
+  // After a takeover, several records may name the same device (the successor
+  // serves its own slab plus the adopted ones).
   std::vector<proto::ShardRecord> shard_directory_;
+  // Current registration epoch per live shard device, updated on every
+  // MemShardAnnounce and consulted to fence stale MapDirectives. A
+  // quarantined shard is removed, so its stragglers fail the permission
+  // check instead.
+  std::map<DeviceId, uint64_t> shard_epochs_;
+  // Cross-segment messages parked during a partition (counted against
+  // BusConfig::partition_queue_limit; each flushes itself at heal time).
+  size_t partition_held_ = 0;
   std::vector<SegmentCounters> segment_counters_;
   // Serializes privileged table updates (single update engine).
   sim::SimTime table_engine_busy_until_;

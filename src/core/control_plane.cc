@@ -115,28 +115,179 @@ void BusControlClient::FreeBatch(Pasid pasid, std::vector<VirtAddr> vaddrs, uint
 }
 
 ShardedControlClient::ShardedControlClient(dev::Device* requester, std::vector<ShardInfo> shards,
-                                           AllocationPolicy policy)
-    : requester_(requester), policy_(policy) {
+                                           AllocationPolicy policy, ShardedClientConfig config)
+    : requester_(requester), policy_(policy), config_(config) {
   LASTCPU_CHECK(requester != nullptr, "sharded control client needs a device");
   LASTCPU_CHECK(!shards.empty(), "sharded control client needs at least one shard");
   shards_.reserve(shards.size());
   for (ShardInfo& info : shards) {
     shards_.push_back(Shard{info, /*alive=*/true, /*outstanding_bytes=*/0});
   }
-  // A quarantined shard never comes back; stop offering it as a candidate.
-  // Transient failures are left alone — the bus bounces kUnavailable and the
-  // per-operation spill logic already steps past them.
+  // A transiently failed shard restarts with empty tables: queue a lease
+  // re-assertion so our allocations survive the reboot. The retry loop inside
+  // ReassertLeasesFor rides out the blackout (sends bounce kUnavailable until
+  // the shard is back).
+  failed_token_ = requester_->AddPeerFailedHook([this](DeviceId device) {
+    if (config_.reassert_leases && IsShardDevice(device)) {
+      ReassertLeasesFor(device, 0);
+    }
+  });
+  // A quarantined shard never comes back: stop offering it as a candidate,
+  // then re-fetch the directory — the bus repoints the dead shard's VA slabs
+  // at a successor, and our leases there must be re-asserted to it.
   perm_failed_token_ = requester_->AddPeerPermanentlyFailedHook([this](DeviceId device) {
+    bool was_shard = false;
     for (Shard& shard : shards_) {
       if (shard.info.device == device) {
         shard.alive = false;
+        was_shard = true;
       }
+    }
+    if (was_shard) {
+      RefreshDirectory(0);
     }
   });
 }
 
 ShardedControlClient::~ShardedControlClient() {
+  requester_->RemovePeerFailedHook(failed_token_);
   requester_->RemovePeerPermanentlyFailedHook(perm_failed_token_);
+}
+
+bool ShardedControlClient::IsShardDevice(DeviceId device) const {
+  for (const Shard& shard : shards_) {
+    if (shard.info.device == device) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ShardedControlClient::Retryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kPartitioned;
+}
+
+void ShardedControlClient::RecordLease(Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                                       uint64_t first_frame) {
+  if (!config_.reassert_leases) {
+    return;
+  }
+  Lease lease;
+  lease.pasid = pasid;
+  lease.bytes = PagesForBytes(bytes) * kPageSize;
+  lease.first_frame = first_frame;
+  leases_[vaddr.raw] = std::move(lease);
+}
+
+ShardedControlClient::Lease* ShardedControlClient::LeaseCovering(VirtAddr vaddr) {
+  auto next = leases_.upper_bound(vaddr.raw);
+  if (next == leases_.begin()) {
+    return nullptr;
+  }
+  auto it = std::prev(next);
+  if (vaddr.raw < it->first + it->second.bytes) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+void ShardedControlClient::RefreshDirectory(uint32_t attempt) {
+  if (!config_.reassert_leases) {
+    return;
+  }
+  ++directory_refreshes_;
+  requester_->rpc().Call<proto::ShardDirectoryResponse>(
+      kBusDevice, proto::ShardDirectoryRequest{},
+      [this, attempt](Result<proto::ShardDirectoryResponse> response) {
+        if (!response.ok()) {
+          // The management ring is fault-free, but the RPC can still time out
+          // under extreme load; bounded retry.
+          if (attempt + 1 < config_.max_reassert_attempts) {
+            simulator()->Schedule(config_.reassert_backoff,
+                                  [this, attempt] { RefreshDirectory(attempt + 1); });
+          }
+          return;
+        }
+        AdoptDirectory(response->shards);
+      });
+}
+
+void ShardedControlClient::AdoptDirectory(const std::vector<proto::ShardRecord>& records) {
+  if (records.empty()) {
+    return;  // nothing to adopt; keep the stale view rather than no view
+  }
+  // Rebuild shards_ from the fresh directory, carrying per-slab outstanding
+  // estimates over by va_base; collect slabs whose owning device changed —
+  // our leases there must be re-asserted to the new owner.
+  std::vector<Shard> rebuilt;
+  rebuilt.reserve(records.size());
+  std::vector<DeviceId> changed_owners;
+  for (const proto::ShardRecord& record : records) {
+    Shard shard;
+    shard.info = ShardInfo{record.device, record.segment, record.va_base, record.va_limit,
+                           record.capacity_bytes};
+    for (const Shard& old : shards_) {
+      if (old.info.va_base == record.va_base) {
+        shard.outstanding_bytes = old.outstanding_bytes;
+        if (old.info.device != record.device) {
+          if (std::find(changed_owners.begin(), changed_owners.end(), record.device) ==
+              changed_owners.end()) {
+            changed_owners.push_back(record.device);
+          }
+        }
+        break;
+      }
+    }
+    rebuilt.push_back(std::move(shard));
+  }
+  shards_ = std::move(rebuilt);
+  for (DeviceId owner : changed_owners) {
+    ReassertLeasesFor(owner, 0);
+  }
+}
+
+void ShardedControlClient::ReassertLeasesFor(DeviceId target, uint32_t attempt) {
+  proto::LeaseReassertRequest request;
+  for (const auto& [raw, lease] : leases_) {
+    Shard* shard = ShardForVa(VirtAddr(raw));
+    if (shard == nullptr || shard->info.device != target) {
+      continue;
+    }
+    proto::LeaseRecord record;
+    record.pasid = lease.pasid;
+    record.vaddr = VirtAddr(raw);
+    record.bytes = lease.bytes;
+    record.first_frame = lease.first_frame;
+    record.access = lease.access;
+    record.grants = lease.grants;
+    request.leases.push_back(std::move(record));
+  }
+  if (request.leases.empty()) {
+    return;
+  }
+  ++reasserts_sent_;
+  size_t sent = request.leases.size();
+  requester_->rpc().Call<proto::LeaseReassertResponse>(
+      target, std::move(request),
+      [this, target, attempt, sent](Result<proto::LeaseReassertResponse> response) {
+        if (!response.ok()) {
+          // Shard still rebooting (kUnavailable bounce), link still down, or
+          // the request died with the shard (timeout): try again.
+          if (attempt + 1 < config_.max_reassert_attempts) {
+            simulator()->Schedule(config_.reassert_backoff, [this, target, attempt] {
+              ReassertLeasesFor(target, attempt + 1);
+            });
+          }
+          return;
+        }
+        leases_reasserted_ += response->accepted;
+        // A rejection means the region is gone for good (frames re-used or
+        // double-claimed); the leases stay in the ledger — the application
+        // discovers the loss on its next touch — but we count them.
+        leases_lost_ += response->rejected;
+        (void)sent;
+      });
 }
 
 sim::Simulator* ShardedControlClient::simulator() { return requester_->simulator(); }
@@ -206,40 +357,79 @@ std::vector<size_t> ShardedControlClient::CandidateOrder() {
     }
   }
   std::erase_if(order, [this](size_t i) { return !shards_[i].alive; });
-  return order;
+  // After a takeover one device serves several slab records; offer it once.
+  std::vector<size_t> deduped;
+  deduped.reserve(order.size());
+  for (size_t i : order) {
+    bool seen = false;
+    for (size_t j : deduped) {
+      if (shards_[j].info.device == shards_[i].info.device) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      deduped.push_back(i);
+    }
+  }
+  return deduped;
 }
 
 void ShardedControlClient::Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) {
+  AllocAttempt(pasid, bytes, 0, std::move(done));
+}
+
+void ShardedControlClient::AllocAttempt(Pasid pasid, uint64_t bytes, uint32_t retries,
+                                        Callback<VirtAddr> done) {
   auto order = CandidateOrder();
   if (order.empty()) {
+    if (retries < config_.max_op_retries) {
+      ++op_retries_;
+      simulator()->Schedule(config_.retry_backoff,
+                            [this, pasid, bytes, retries, done = std::move(done)]() mutable {
+                              AllocAttempt(pasid, bytes, retries + 1, std::move(done));
+                            });
+      return;
+    }
     simulator()->Schedule(sim::Duration::Zero(), [done = std::move(done)] {
       done(Unavailable("no live memory shards"));
     });
     return;
   }
-  TryAlloc(pasid, bytes, std::move(order), 0, std::move(done));
+  TryAlloc(pasid, bytes, std::move(order), 0, retries, std::move(done));
 }
 
 void ShardedControlClient::TryAlloc(Pasid pasid, uint64_t bytes, std::vector<size_t> order,
-                                    size_t attempt, Callback<VirtAddr> done) {
+                                    size_t attempt, uint32_t retries, Callback<VirtAddr> done) {
   size_t shard_index = order[attempt];
   requester_->rpc().Call<proto::MemAllocResponse>(
       shards_[shard_index].info.device,
       proto::MemAllocRequest{pasid, bytes, VirtAddr(0), Access::kReadWrite},
-      [this, pasid, bytes, order = std::move(order), attempt, shard_index,
+      [this, pasid, bytes, order = std::move(order), attempt, retries, shard_index,
        done = std::move(done)](Result<proto::MemAllocResponse> response) mutable {
         if (response.ok()) {
           shards_[shard_index].outstanding_bytes += PagesForBytes(bytes) * kPageSize;
+          RecordLease(pasid, response->vaddr, bytes, response->first_frame);
           done(response->vaddr);
           return;
         }
-        // A full or offline shard is not a machine-wide failure: spill to the
-        // next candidate once per shard.
+        // A full, offline, or unreachable shard is not a machine-wide
+        // failure: spill to the next candidate once per shard.
         bool spillable = response.status().code() == StatusCode::kResourceExhausted ||
-                         response.status().code() == StatusCode::kUnavailable;
+                         Retryable(response.status());
         if (spillable && attempt + 1 < order.size()) {
           ++spills_;
-          TryAlloc(pasid, bytes, std::move(order), attempt + 1, std::move(done));
+          TryAlloc(pasid, bytes, std::move(order), attempt + 1, retries, std::move(done));
+          return;
+        }
+        // Every candidate is out (failover blackout / partition window):
+        // back off, re-resolve, and retry the whole operation.
+        if (Retryable(response.status()) && retries < config_.max_op_retries) {
+          ++op_retries_;
+          simulator()->Schedule(config_.retry_backoff,
+                                [this, pasid, bytes, retries, done = std::move(done)]() mutable {
+                                  AllocAttempt(pasid, bytes, retries + 1, std::move(done));
+                                });
           return;
         }
         done(response.status());
@@ -248,19 +438,52 @@ void ShardedControlClient::TryAlloc(Pasid pasid, uint64_t bytes, std::vector<siz
 
 void ShardedControlClient::Grant(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee,
                                  Access access, Callback<void> done) {
+  GrantAttempt(pasid, vaddr, bytes, grantee, access, 0, std::move(done));
+}
+
+void ShardedControlClient::GrantAttempt(Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                                        DeviceId grantee, Access access, uint32_t retries,
+                                        Callback<void> done) {
   // The bus routes to the owning shard by address — same shape as the flat
-  // client, so authorization still runs controller-side.
-  requester_->rpc().Call<void>(kBusDevice,
-                               proto::GrantRequest{pasid, vaddr, bytes, grantee, access},
-                               std::move(done));
+  // client, so authorization still runs controller-side. kUnavailable /
+  // kPartitioned bounces mean the op never reached a controller; retrying is
+  // safe and rides out a failover window.
+  requester_->rpc().Call<void>(
+      kBusDevice, proto::GrantRequest{pasid, vaddr, bytes, grantee, access},
+      [this, pasid, vaddr, bytes, grantee, access, retries,
+       done = std::move(done)](Result<void> result) mutable {
+        if (result.ok()) {
+          if (Lease* lease = LeaseCovering(vaddr)) {
+            lease->grants.push_back(proto::LeaseGrant{grantee, access});
+          }
+          done(std::move(result));
+          return;
+        }
+        if (Retryable(result.status()) && retries < config_.max_op_retries) {
+          ++op_retries_;
+          simulator()->Schedule(
+              config_.retry_backoff,
+              [this, pasid, vaddr, bytes, grantee, access, retries,
+               done = std::move(done)]() mutable {
+                GrantAttempt(pasid, vaddr, bytes, grantee, access, retries + 1, std::move(done));
+              });
+          return;
+        }
+        done(std::move(result));
+      });
 }
 
 void ShardedControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes,
                                 Callback<void> done) {
+  FreeAttempt(pasid, vaddr, bytes, 0, std::move(done));
+}
+
+void ShardedControlClient::FreeAttempt(Pasid pasid, VirtAddr vaddr, uint64_t bytes,
+                                       uint32_t retries, Callback<void> done) {
   Shard* shard = ShardForVa(vaddr);
   requester_->rpc().Call<void>(
       kBusDevice, proto::MemFreeRequest{pasid, vaddr, bytes},
-      [this, freed_bytes = PagesForBytes(bytes) * kPageSize,
+      [this, pasid, vaddr, bytes, retries, freed_bytes = PagesForBytes(bytes) * kPageSize,
        device = shard != nullptr ? shard->info.device : DeviceId::Invalid(),
        done = std::move(done)](Result<void> result) mutable {
         if (result.ok()) {
@@ -270,6 +493,18 @@ void ShardedControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes,
                   std::min(candidate.outstanding_bytes, freed_bytes);
             }
           }
+          leases_.erase(vaddr.raw);
+          done(std::move(result));
+          return;
+        }
+        if (Retryable(result.status()) && retries < config_.max_op_retries) {
+          ++op_retries_;
+          simulator()->Schedule(config_.retry_backoff,
+                                [this, pasid, vaddr, bytes, retries,
+                                 done = std::move(done)]() mutable {
+                                  FreeAttempt(pasid, vaddr, bytes, retries + 1, std::move(done));
+                                });
+          return;
         }
         done(std::move(result));
       });
@@ -277,36 +512,66 @@ void ShardedControlClient::Free(Pasid pasid, VirtAddr vaddr, uint64_t bytes,
 
 void ShardedControlClient::AllocBatch(Pasid pasid, uint64_t bytes, uint32_t count,
                                       Callback<std::vector<VirtAddr>> done) {
+  AllocBatchAttempt(pasid, bytes, count, 0, std::move(done));
+}
+
+void ShardedControlClient::AllocBatchAttempt(Pasid pasid, uint64_t bytes, uint32_t count,
+                                             uint32_t retries,
+                                             Callback<std::vector<VirtAddr>> done) {
   auto order = CandidateOrder();
   if (order.empty()) {
+    if (retries < config_.max_op_retries) {
+      ++op_retries_;
+      simulator()->Schedule(
+          config_.retry_backoff,
+          [this, pasid, bytes, count, retries, done = std::move(done)]() mutable {
+            AllocBatchAttempt(pasid, bytes, count, retries + 1, std::move(done));
+          });
+      return;
+    }
     simulator()->Schedule(sim::Duration::Zero(), [done = std::move(done)] {
       done(Unavailable("no live memory shards"));
     });
     return;
   }
-  TryAllocBatch(pasid, bytes, count, std::move(order), 0, std::move(done));
+  TryAllocBatch(pasid, bytes, count, std::move(order), 0, retries, std::move(done));
 }
 
 void ShardedControlClient::TryAllocBatch(Pasid pasid, uint64_t bytes, uint32_t count,
                                          std::vector<size_t> order, size_t attempt,
-                                         Callback<std::vector<VirtAddr>> done) {
+                                         uint32_t retries, Callback<std::vector<VirtAddr>> done) {
   size_t shard_index = order[attempt];
   requester_->rpc().Call<proto::MemAllocBatchResponse>(
       shards_[shard_index].info.device,
       proto::MemAllocBatchRequest{pasid, bytes, count, Access::kReadWrite},
-      [this, pasid, bytes, count, order = std::move(order), attempt, shard_index,
+      [this, pasid, bytes, count, order = std::move(order), attempt, retries, shard_index,
        done = std::move(done)](Result<proto::MemAllocBatchResponse> response) mutable {
         if (response.ok()) {
           shards_[shard_index].outstanding_bytes +=
               uint64_t{count} * PagesForBytes(bytes) * kPageSize;
+          for (size_t i = 0; i < response->vaddrs.size(); ++i) {
+            uint64_t frame =
+                i < response->first_frames.size() ? response->first_frames[i] : 0;
+            RecordLease(pasid, response->vaddrs[i], bytes, frame);
+          }
           done(std::move(response->vaddrs));
           return;
         }
         bool spillable = response.status().code() == StatusCode::kResourceExhausted ||
-                         response.status().code() == StatusCode::kUnavailable;
+                         Retryable(response.status());
         if (spillable && attempt + 1 < order.size()) {
           ++spills_;
-          TryAllocBatch(pasid, bytes, count, std::move(order), attempt + 1, std::move(done));
+          TryAllocBatch(pasid, bytes, count, std::move(order), attempt + 1, retries,
+                        std::move(done));
+          return;
+        }
+        if (Retryable(response.status()) && retries < config_.max_op_retries) {
+          ++op_retries_;
+          simulator()->Schedule(
+              config_.retry_backoff,
+              [this, pasid, bytes, count, retries, done = std::move(done)]() mutable {
+                AllocBatchAttempt(pasid, bytes, count, retries + 1, std::move(done));
+              });
           return;
         }
         done(response.status());
@@ -337,15 +602,19 @@ void ShardedControlClient::FreeBatch(Pasid pasid, std::vector<VirtAddr> vaddrs, 
   }
   for (auto& [device, group] : per_shard) {
     uint64_t group_bytes = uint64_t{group.size()} * PagesForBytes(bytes) * kPageSize;
+    std::vector<VirtAddr> freed = group;
     requester_->rpc().Call<void>(
         device, proto::MemFreeBatchRequest{pasid, std::move(group), bytes},
-        [this, state, device, group_bytes](Result<void> result) {
+        [this, state, device, group_bytes, freed = std::move(freed)](Result<void> result) {
           if (result.ok()) {
             for (Shard& candidate : shards_) {
               if (candidate.info.device == device) {
                 candidate.outstanding_bytes -=
                     std::min(candidate.outstanding_bytes, group_bytes);
               }
+            }
+            for (VirtAddr vaddr : freed) {
+              leases_.erase(vaddr.raw);
             }
           } else if (state->first_error.ok()) {
             state->first_error = result.status();

@@ -100,6 +100,24 @@ struct ShardInfo {
   uint64_t capacity_bytes = 0;
 };
 
+// Failover behaviour of the sharded client. The defaults ride out a shard
+// restart (~hundreds of microseconds of blackout) without surfacing
+// kUnavailable to the application.
+struct ShardedClientConfig {
+  // Whole-operation retry: when every candidate shard answered kUnavailable /
+  // kPartitioned (a failover or partition window), the operation re-resolves
+  // and retries after this backoff, up to max_op_retries times.
+  sim::Duration retry_backoff = sim::Duration::Micros(50);
+  uint32_t max_op_retries = 20;
+  // Lease re-assertion pacing: retries while the target shard is still
+  // rebooting or the takeover has not landed yet.
+  sim::Duration reassert_backoff = sim::Duration::Micros(100);
+  uint32_t max_reassert_attempts = 40;
+  // Master switch for the lease ledger + re-assertion machinery (off turns
+  // the client back into the fail-fast PR-8 behaviour).
+  bool reassert_leases = true;
+};
+
 // Decentralized, rack-scale: allocations pick a controller shard by policy
 // and go to it directly; grant/free ride through the bus, which routes them
 // to the owning shard by virtual address (each shard bump-allocates in its
@@ -111,7 +129,8 @@ class ShardedControlClient : public ControlClient {
   // defines the deterministic round-robin sequence. The requester's segment
   // (from its device id) anchors the home-node policy.
   ShardedControlClient(dev::Device* requester, std::vector<ShardInfo> shards,
-                       AllocationPolicy policy = AllocationPolicy::kHomeNode);
+                       AllocationPolicy policy = AllocationPolicy::kHomeNode,
+                       ShardedClientConfig config = {});
   ~ShardedControlClient() override;
 
   void Alloc(Pasid pasid, uint64_t bytes, Callback<VirtAddr> done) override;
@@ -126,6 +145,12 @@ class ShardedControlClient : public ControlClient {
 
   // Introspection for tests and benches.
   uint64_t spills() const { return spills_; }
+  uint64_t op_retries() const { return op_retries_; }
+  uint64_t reasserts_sent() const { return reasserts_sent_; }
+  uint64_t leases_reasserted() const { return leases_reasserted_; }
+  uint64_t leases_lost() const { return leases_lost_; }
+  uint64_t directory_refreshes() const { return directory_refreshes_; }
+  size_t lease_count() const { return leases_.size(); }
   // Bytes this client believes are outstanding on `shard` (its own estimate;
   // capacity-aware placement runs on it, no controller round trip).
   uint64_t OutstandingBytes(DeviceId shard) const;
@@ -137,22 +162,65 @@ class ShardedControlClient : public ControlClient {
     uint64_t outstanding_bytes = 0;
   };
 
+  // The client's copy of one allocation: everything a controller needs to
+  // rebuild its table entry after losing it (see LeaseReassertRequest).
+  struct Lease {
+    Pasid pasid;
+    uint64_t bytes = 0;  // page-rounded
+    uint64_t first_frame = 0;
+    Access access = Access::kReadWrite;
+    std::vector<proto::LeaseGrant> grants;
+  };
+
   // Shard indexes in preference order under the active policy, skipping dead
-  // shards. Deterministic: round-robin state + stable tie-breaks only.
+  // shards and duplicate devices (a successor serving adopted slabs is one
+  // candidate, not several). Deterministic: round-robin state + stable
+  // tie-breaks only.
   std::vector<size_t> CandidateOrder();
   // The shard whose VA slab contains `vaddr` (for outstanding accounting).
   Shard* ShardForVa(VirtAddr vaddr);
+  bool IsShardDevice(DeviceId device) const;
+  // kUnavailable / kPartitioned: transient, worth re-resolving and retrying.
+  static bool Retryable(const Status& status);
 
+  void AllocAttempt(Pasid pasid, uint64_t bytes, uint32_t retries, Callback<VirtAddr> done);
   void TryAlloc(Pasid pasid, uint64_t bytes, std::vector<size_t> order, size_t attempt,
-                Callback<VirtAddr> done);
+                uint32_t retries, Callback<VirtAddr> done);
+  void AllocBatchAttempt(Pasid pasid, uint64_t bytes, uint32_t count, uint32_t retries,
+                         Callback<std::vector<VirtAddr>> done);
   void TryAllocBatch(Pasid pasid, uint64_t bytes, uint32_t count, std::vector<size_t> order,
-                     size_t attempt, Callback<std::vector<VirtAddr>> done);
+                     size_t attempt, uint32_t retries, Callback<std::vector<VirtAddr>> done);
+  void FreeAttempt(Pasid pasid, VirtAddr vaddr, uint64_t bytes, uint32_t retries,
+                   Callback<void> done);
+  void GrantAttempt(Pasid pasid, VirtAddr vaddr, uint64_t bytes, DeviceId grantee, Access access,
+                    uint32_t retries, Callback<void> done);
+
+  // Lease ledger maintenance.
+  void RecordLease(Pasid pasid, VirtAddr vaddr, uint64_t bytes, uint64_t first_frame);
+  Lease* LeaseCovering(VirtAddr vaddr);
+
+  // Re-fetches the shard directory from the bus (after a shard was
+  // permanently failed and its slabs repointed), rebuilds shards_, and
+  // re-asserts leases in every slab whose owner changed.
+  void RefreshDirectory(uint32_t attempt);
+  void AdoptDirectory(const std::vector<proto::ShardRecord>& records);
+  // Sends every lease whose slab `target` now owns to it, retrying while the
+  // shard is still rebooting. Idempotent on the controller side.
+  void ReassertLeasesFor(DeviceId target, uint32_t attempt);
 
   dev::Device* requester_;
   AllocationPolicy policy_;
+  ShardedClientConfig config_;
   std::vector<Shard> shards_;
+  std::map<uint64_t, Lease> leases_;  // keyed by vaddr.raw
   size_t rr_next_ = 0;
   uint64_t spills_ = 0;
+  uint64_t op_retries_ = 0;
+  uint64_t reasserts_sent_ = 0;
+  uint64_t leases_reasserted_ = 0;
+  uint64_t leases_lost_ = 0;
+  uint64_t directory_refreshes_ = 0;
+  uint64_t failed_token_ = 0;
   uint64_t perm_failed_token_ = 0;
 };
 

@@ -30,6 +30,7 @@ bool IsResponseType(proto::MessageType type) {
     case proto::MessageType::kMemAllocBatchResponse:
     case proto::MessageType::kMemFreeBatchResponse:
     case proto::MessageType::kShardDirectoryResponse:
+    case proto::MessageType::kLeaseReassertResponse:
       return true;
     default:
       return false;

@@ -94,6 +94,45 @@ Status BuddyAllocator::Free(uint64_t first_frame, uint64_t count) {
   return OkStatus();
 }
 
+Status BuddyAllocator::Reserve(uint64_t first_frame, uint64_t count) {
+  int order = OrderForCount(count);
+  uint64_t size = uint64_t{1} << order;
+  if (first_frame % size != 0 || first_frame + size > num_frames_) {
+    return InvalidArgument("reserve target misaligned or out of range");
+  }
+  // Find the free block containing the target: walk up through the orders a
+  // covering block could sit at.
+  int found = -1;
+  uint64_t found_frame = 0;
+  for (int o = order; o <= kMaxOrder; ++o) {
+    uint64_t candidate = first_frame & ~((uint64_t{1} << o) - 1);
+    if (free_lists_[static_cast<size_t>(o)].contains(candidate)) {
+      found = o;
+      found_frame = candidate;
+      break;
+    }
+  }
+  if (found < 0) {
+    return FailedPrecondition("reserve target not free");
+  }
+  free_lists_[static_cast<size_t>(found)].erase(found_frame);
+  // Split down, keeping the half that contains the target and freeing the
+  // other half, until the block is exactly the requested order.
+  while (found > order) {
+    --found;
+    uint64_t half = uint64_t{1} << found;
+    if (first_frame >= found_frame + half) {
+      free_lists_[static_cast<size_t>(found)].insert(found_frame);
+      found_frame += half;
+    } else {
+      free_lists_[static_cast<size_t>(found)].insert(found_frame + half);
+    }
+  }
+  allocated_[found_frame] = order;
+  free_frames_ -= size;
+  return OkStatus();
+}
+
 uint64_t BuddyAllocator::LargestFreeBlock() const {
   for (int order = kMaxOrder; order >= 0; --order) {
     if (!free_lists_[static_cast<size_t>(order)].empty()) {

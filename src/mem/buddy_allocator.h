@@ -28,6 +28,13 @@ class BuddyAllocator {
   // Frees a block previously returned by Allocate with the same count.
   Status Free(uint64_t first_frame, uint64_t count);
 
+  // Claims the specific block [first_frame, first_frame + 2^order(count)) —
+  // the lease-rebuild path: a restarted controller re-admits regions its
+  // clients still hold at their original addresses. `first_frame` must be
+  // naturally aligned for the rounded count (as every Allocate result is).
+  // Fails with kFailedPrecondition if any part of the block is allocated.
+  Status Reserve(uint64_t first_frame, uint64_t count);
+
   uint64_t total_frames() const { return num_frames_; }
   uint64_t free_frames() const { return free_frames_; }
   uint64_t allocated_frames() const { return num_frames_ - free_frames_; }

@@ -44,7 +44,35 @@ void MemoryController::OnAlive() {
   shard.va_base = config_.va_base;
   shard.va_limit = config_.va_limit;
   shard.capacity_bytes = capacity_bytes();
+  shard.epoch = epoch_;
   SendOneWay(kBusDevice, proto::MemShardAnnounce{shard});
+  // Coming back from a table-wiping restart: hold new allocations until the
+  // old clients have had a chance to re-assert their leases.
+  if (epoch_ > 1 && config_.recovery_window > sim::Duration::Zero()) {
+    recovering_until_ = simulator()->Now() + config_.recovery_window;
+  }
+}
+
+void MemoryController::OnReset() {
+  if (sharded()) {
+    // Shard tables are volatile (no battery-backed NVRAM in the chassis):
+    // a restart loses them, and clients rebuild the state by re-asserting
+    // their leases. Bumping the epoch makes the bus fence any directive this
+    // controller issued before it died.
+    tables_.clear();
+    next_vpage_.clear();
+    bytes_allocated_.clear();
+    foreign_frames_.clear();
+    allocator_ = mem::BuddyAllocator(config_.frame_count);
+    ++epoch_;
+    stats().GetCounter("shard_state_resets").Increment();
+    TraceEvent("shard-reset", "epoch=" + std::to_string(epoch_));
+  }
+  dev::Device::OnReset();
+}
+
+bool MemoryController::Recovering() {
+  return recovering_until_ > sim::SimTime::Zero() && simulator()->Now() < recovering_until_;
 }
 
 uint64_t MemoryController::AllocatedBytes(Pasid pasid) const {
@@ -79,6 +107,9 @@ void MemoryController::OnMessage(const proto::Message& message) {
       return;
     case proto::MessageType::kRevokeRequest:
       HandleRevoke(message);
+      return;
+    case proto::MessageType::kLeaseReassertRequest:
+      HandleLeaseReassert(message);
       return;
     default:
       dev::Device::OnMessage(message);
@@ -169,6 +200,7 @@ void MemoryController::SendDirective(DeviceId target, Pasid pasid,
   directive.pasid = pasid;
   directive.entries = std::move(entries);
   directive.unmap = unmap;
+  directive.epoch = epoch_;  // lets the bus fence directives from a past life
   dev::RpcOptions options;
   options.max_attempts = 3;
   rpc().Call<void>(kBusDevice, std::move(directive), options, std::move(done));
@@ -182,6 +214,13 @@ void MemoryController::HandleAlloc(const proto::Message& message) {
   }
   if (!request.pasid.valid()) {
     ReplyError(message, InvalidArgument("allocation without a PASID"));
+    return;
+  }
+  if (Recovering()) {
+    // Handing out frames before old leases are re-asserted could double-book
+    // memory a surviving client still has mapped.
+    stats().GetCounter("recovery_rejections").Increment();
+    ReplyError(message, Unavailable("shard recovering: leases re-asserting"));
     return;
   }
   uint64_t pages = PagesForBytes(request.bytes);
@@ -231,7 +270,7 @@ void MemoryController::HandleAlloc(const proto::Message& message) {
   VirtAddr vaddr = allocation.vaddr;
   uint64_t bytes = pages * kPageSize;
   SendDirective(message.src, request.pasid, std::move(entries), /*unmap=*/false,
-                [this, original, vaddr, bytes, vpage = *vpage,
+                [this, original, vaddr, bytes, vpage = *vpage, first_frame,
                  pasid = request.pasid](Result<void> mapped) {
                   if (!mapped.ok()) {
                     // Roll back the allocation the mapping never activated.
@@ -245,7 +284,7 @@ void MemoryController::HandleAlloc(const proto::Message& message) {
                     ReplyError(original, mapped.status());
                     return;
                   }
-                  Reply(original, proto::MemAllocResponse{vaddr, bytes});
+                  Reply(original, proto::MemAllocResponse{vaddr, bytes, first_frame});
                 });
 }
 
@@ -257,6 +296,11 @@ void MemoryController::HandleAllocBatch(const proto::Message& message) {
   }
   if (!request.pasid.valid()) {
     ReplyError(message, InvalidArgument("allocation without a PASID"));
+    return;
+  }
+  if (Recovering()) {
+    stats().GetCounter("recovery_rejections").Increment();
+    ReplyError(message, Unavailable("shard recovering: leases re-asserting"));
     return;
   }
   uint64_t pages = PagesForBytes(request.bytes);
@@ -271,8 +315,10 @@ void MemoryController::HandleAllocBatch(const proto::Message& message) {
   // Place and back every region first; the whole lease activates — or rolls
   // back — as one unit.
   std::vector<uint64_t> vpages;
+  std::vector<uint64_t> frames;
   std::vector<proto::MapEntry> entries;
   vpages.reserve(request.count);
+  frames.reserve(request.count);
   auto rollback = [this, &vpages, pasid = request.pasid] {
     for (uint64_t vpage : vpages) {
       auto table_it = tables_.find(pasid);
@@ -316,6 +362,7 @@ void MemoryController::HandleAllocBatch(const proto::Message& message) {
     auto region_entries = EntriesFor(allocation, *vpage, pages, request.access);
     entries.insert(entries.end(), region_entries.begin(), region_entries.end());
     vpages.push_back(*vpage);
+    frames.push_back(first_frame);
   }
   stats().GetCounter("batch_allocs").Increment();
   stats().GetCounter("batch_allocd_regions").Increment(request.count);
@@ -329,7 +376,7 @@ void MemoryController::HandleAllocBatch(const proto::Message& message) {
   uint64_t region_bytes = pages * kPageSize;
   SendDirective(message.src, request.pasid, std::move(entries), /*unmap=*/false,
                 [this, original, region_bytes, vpages = std::move(vpages),
-                 pasid = request.pasid](Result<void> mapped) {
+                 frames = std::move(frames), pasid = request.pasid](Result<void> mapped) {
                   if (!mapped.ok()) {
                     for (uint64_t vpage : vpages) {
                       auto table_it = tables_.find(pasid);
@@ -350,6 +397,7 @@ void MemoryController::HandleAllocBatch(const proto::Message& message) {
                   for (uint64_t vpage : vpages) {
                     response.vaddrs.push_back(VirtAddr(vpage << kPageShift));
                   }
+                  response.first_frames = frames;
                   Reply(original, std::move(response));
                 });
 }
@@ -423,9 +471,15 @@ void MemoryController::HandleFreeBatch(const proto::Message& message) {
 
 void MemoryController::ReleaseAllocation(Pasid pasid, Table::iterator it) {
   const Allocation& allocation = it->second;
-  LASTCPU_CHECK(
-      allocator_.Free(allocation.first_frame - config_.frame_base, allocation.pages).ok(),
-      "allocator table out of sync");
+  if (foreign_frames_.erase(allocation.first_frame) > 0) {
+    // An adopted range: the frames belong to a failed shard's slice, not this
+    // allocator. Dropping the adoption record is the release.
+    stats().GetCounter("foreign_frames_released").Increment();
+  } else {
+    LASTCPU_CHECK(
+        allocator_.Free(allocation.first_frame - config_.frame_base, allocation.pages).ok(),
+        "allocator table out of sync");
+  }
   bytes_allocated_[pasid] -= allocation.pages * kPageSize;
   stats().GetCounter("frees").Increment();
   tables_[pasid].erase(it);
@@ -580,14 +634,114 @@ void MemoryController::OnTeardown(Pasid pasid) {
       auto entries = EntriesFor(allocation, vpage, allocation.pages, Access::kRead);
       SendDirective(target, pasid, std::move(entries), /*unmap=*/true, [](Result<void>) {});
     }
-    LASTCPU_CHECK(
-        allocator_.Free(allocation.first_frame - config_.frame_base, allocation.pages).ok(),
-        "allocator table out of sync during teardown");
+    if (foreign_frames_.erase(allocation.first_frame) > 0) {
+      stats().GetCounter("foreign_frames_released").Increment();
+    } else {
+      LASTCPU_CHECK(
+          allocator_.Free(allocation.first_frame - config_.frame_base, allocation.pages).ok(),
+          "allocator table out of sync during teardown");
+    }
   }
   stats().GetCounter("teardowns").Increment();
   bytes_allocated_.erase(pasid);
   next_vpage_.erase(pasid);
   tables_.erase(table_it);
+}
+
+bool MemoryController::AdoptForeignFrames(uint64_t first_frame, uint64_t pages) {
+  // Overlap check against every adopted range: two clients re-asserting
+  // leases over the same frames would otherwise double-own them.
+  auto next = foreign_frames_.lower_bound(first_frame);
+  if (next != foreign_frames_.end() && next->first < first_frame + pages) {
+    return false;
+  }
+  if (next != foreign_frames_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > first_frame) {
+      return false;
+    }
+  }
+  foreign_frames_.emplace(first_frame, pages);
+  stats().GetCounter("foreign_frames_adopted").Increment();
+  return true;
+}
+
+void MemoryController::HandleLeaseReassert(const proto::Message& message) {
+  // A client re-establishing its allocations after this shard (or the shard
+  // it took over for) lost its tables. Each lease names the exact virtual
+  // placement and physical frames the client's IOMMU already maps; accepting
+  // one re-admits the region without reprogramming anything. Rejections mean
+  // the region is gone (frames already re-used or claimed by another lease)
+  // and the client must treat the allocation as lost.
+  const auto& request = message.As<proto::LeaseReassertRequest>();
+  uint32_t accepted = 0;
+  uint32_t rejected = 0;
+  for (const auto& lease : request.leases) {
+    if (!lease.pasid.valid() || lease.bytes == 0) {
+      ++rejected;
+      continue;
+    }
+    uint64_t pages = PagesForBytes(lease.bytes);
+    uint64_t vpage = lease.vaddr.page();
+    Table& table = tables_[lease.pasid];
+    if (Overlaps(table, vpage, pages)) {
+      // Idempotent if it is exactly this client's own record (a retried
+      // re-assert); otherwise the placement is taken and the lease is dead.
+      auto it = table.find(vpage);
+      if (it != table.end() && it->second.pages == pages &&
+          it->second.first_frame == lease.first_frame && it->second.owner == message.src) {
+        ++accepted;
+      } else {
+        stats().GetCounter("lease_reasserts_rejected").Increment();
+        ++rejected;
+      }
+      continue;
+    }
+    uint64_t own_begin = config_.frame_base;
+    uint64_t own_end = config_.frame_base + allocator_.total_frames();
+    bool frames_claimed;
+    if (lease.first_frame >= own_begin && lease.first_frame + pages <= own_end) {
+      frames_claimed = allocator_.Reserve(lease.first_frame - config_.frame_base, pages).ok();
+    } else {
+      frames_claimed = AdoptForeignFrames(lease.first_frame, pages);
+    }
+    if (!frames_claimed) {
+      stats().GetCounter("lease_reasserts_rejected").Increment();
+      ++rejected;
+      continue;
+    }
+    Allocation allocation;
+    allocation.vaddr = lease.vaddr;
+    allocation.pages = pages;
+    allocation.first_frame = lease.first_frame;
+    allocation.owner = message.src;
+    allocation.owner_access = lease.access;
+    for (const auto& grant : lease.grants) {
+      allocation.grants.emplace_back(grant.grantee, grant.access);
+    }
+    table.emplace(vpage, allocation);
+    bytes_allocated_[lease.pasid] += pages * kPageSize;
+    // Keep the bump pointer clear of re-admitted regions so post-recovery
+    // allocations cannot race into the same VA range. Adopted leases from a
+    // dead shard's slab live outside [va_base, va_limit) and must not drag
+    // the pointer past this shard's own slab.
+    bool in_own_slab = lease.vaddr.raw >= config_.va_base &&
+                       (config_.va_limit == 0 || lease.vaddr.raw < config_.va_limit);
+    if (in_own_slab) {
+      auto [bump, inserted] = next_vpage_.try_emplace(
+          lease.pasid, (config_.va_base + config_.va_bump_base) >> kPageShift);
+      (void)inserted;
+      bump->second = std::max(bump->second, vpage + pages);
+    }
+    stats().GetCounter("lease_reasserts_accepted").Increment();
+    ++accepted;
+  }
+  if (!request.leases.empty()) {
+    TraceEvent("lease-reassert", "from=" + std::to_string(message.src.value()) +
+                                     " accepted=" + std::to_string(accepted) +
+                                     " rejected=" + std::to_string(rejected));
+  }
+  Reply(message, proto::LeaseReassertResponse{accepted, rejected, epoch_});
 }
 
 void MemoryController::OnPeerFailed(DeviceId device) {
@@ -613,6 +767,15 @@ uint64_t MemoryController::AllocationsOwnedBy(DeviceId device) const {
     }
   }
   return count;
+}
+
+bool MemoryController::HasAllocationAt(Pasid pasid, VirtAddr vaddr) const {
+  auto table = tables_.find(pasid);
+  if (table == tables_.end()) {
+    return false;
+  }
+  auto entry = table->second.find(vaddr.raw / kPageSize);
+  return entry != table->second.end() && entry->second.vaddr == vaddr;
 }
 
 uint64_t MemoryController::GrantsHeldBy(DeviceId device) const {

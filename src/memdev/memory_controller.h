@@ -46,6 +46,12 @@ struct MemoryControllerConfig {
   uint64_t va_limit = 0;
   // The bus segment the shard sits on; recorded in its directory entry.
   uint32_t segment = 0;
+  // After a restart that wiped the shard's tables, new allocations are
+  // refused for this long so surviving clients can re-assert their leases
+  // first (their frames must be re-reserved before the allocator may hand
+  // them out again). Zero disables the window. Flat controllers keep their
+  // battery-backed tables across resets and never use it.
+  sim::Duration recovery_window = sim::Duration::Micros(300);
 };
 
 // One live allocation in the table.
@@ -71,12 +77,24 @@ class MemoryController : public dev::Device {
   // zero after the device is permanently failed (the reclamation invariant).
   uint64_t AllocationsOwnedBy(DeviceId device) const;
   uint64_t GrantsHeldBy(DeviceId device) const;
+  // True if `pasid`'s table holds an allocation starting exactly at `vaddr`
+  // (chaos-test durability probe: every acked allocation must survive on
+  // exactly one shard after a failover).
+  bool HasAllocationAt(Pasid pasid, VirtAddr vaddr) const;
   bool sharded() const { return config_.frame_count != 0; }
   uint64_t capacity_bytes() const { return allocator_.total_frames() * kPageSize; }
   const MemoryControllerConfig& controller_config() const { return config_; }
+  // Registration epoch: starts at 1, bumped on every table-wiping restart.
+  // Stamped into MapDirectives (the bus fences older epochs) and the shard's
+  // directory announce.
+  uint64_t epoch() const { return epoch_; }
+  // Frame ranges adopted from another shard's slice via lease re-assertion
+  // after a takeover (not in this shard's own allocator).
+  uint64_t foreign_frame_ranges() const { return foreign_frames_.size(); }
 
  protected:
   void OnAlive() override;
+  void OnReset() override;
   void OnMessage(const proto::Message& message) override;
   void OnTeardown(Pasid pasid) override;
   void OnPeerFailed(DeviceId device) override;
@@ -91,6 +109,16 @@ class MemoryController : public dev::Device {
   void HandleFreeBatch(const proto::Message& message);
   void HandleGrant(const proto::Message& message);
   void HandleRevoke(const proto::Message& message);
+  void HandleLeaseReassert(const proto::Message& message);
+
+  // True while the post-restart recovery window is open (new allocations are
+  // refused; lease re-assertions are always admitted).
+  bool Recovering();
+
+  // Claims [first_frame, first_frame + pages) outside this shard's own frame
+  // slice for a re-asserted lease; fails on overlap with an already-adopted
+  // range (the double-ownership guard for cross-shard takeover).
+  bool AdoptForeignFrames(uint64_t first_frame, uint64_t pages);
 
   // Picks a virtual placement for `pages` in `pasid`'s table, honoring the
   // hint when it does not overlap an existing allocation.
@@ -122,6 +150,11 @@ class MemoryController : public dev::Device {
   std::map<Pasid, Table> tables_;
   std::map<Pasid, uint64_t> next_vpage_;
   std::map<Pasid, uint64_t> bytes_allocated_;
+  // Adopted frame ranges (first_frame -> pages) backing re-asserted leases
+  // whose frames live in a failed shard's slice.
+  std::map<uint64_t, uint64_t> foreign_frames_;
+  uint64_t epoch_ = 1;
+  sim::SimTime recovering_until_;
 };
 
 }  // namespace lastcpu::memdev

@@ -95,6 +95,9 @@ Result<std::vector<VirtAddr>> GetVirtAddrs(ByteReader& r) {
   return vaddrs;
 }
 
+// Bytes one encoded ShardRecord occupies (used in count-sanity checks).
+constexpr size_t kShardRecordBytes = 40;
+
 Result<ShardRecord> GetShardRecord(ByteReader& r) {
   ShardRecord shard;
   auto device = r.GetU32();
@@ -122,6 +125,11 @@ Result<ShardRecord> GetShardRecord(ByteReader& r) {
     return capacity.status();
   }
   shard.capacity_bytes = *capacity;
+  auto epoch = r.GetU64();
+  if (!epoch.ok()) {
+    return epoch.status();
+  }
+  shard.epoch = *epoch;
   return shard;
 }
 
@@ -197,12 +205,14 @@ struct PayloadEncoder {
   void operator()(const MemAllocResponse& p) {
     w.PutU64(p.vaddr.raw);
     w.PutU64(p.bytes);
+    w.PutU64(p.first_frame);
   }
   void operator()(const MapDirective& p) {
     w.PutU32(p.target.value());
     w.PutU32(p.pasid.value());
     PutMapEntries(w, p.entries);
     w.PutU8(p.unmap ? 1 : 0);
+    w.PutU64(p.epoch);
   }
   void operator()(const MemFreeRequest& p) {
     w.PutU32(p.pasid.value());
@@ -294,6 +304,10 @@ struct PayloadEncoder {
   void operator()(const MemAllocBatchResponse& p) {
     PutVirtAddrs(w, p.vaddrs);
     w.PutU64(p.bytes);
+    w.PutU32(static_cast<uint32_t>(p.first_frames.size()));
+    for (uint64_t frame : p.first_frames) {
+      w.PutU64(frame);
+    }
   }
   void operator()(const MemFreeBatchRequest& p) {
     w.PutU32(p.pasid.value());
@@ -310,12 +324,34 @@ struct PayloadEncoder {
     }
   }
 
+  void operator()(const LeaseReassertRequest& p) {
+    w.PutU32(static_cast<uint32_t>(p.leases.size()));
+    for (const LeaseRecord& lease : p.leases) {
+      w.PutU32(lease.pasid.value());
+      w.PutU64(lease.vaddr.raw);
+      w.PutU64(lease.bytes);
+      w.PutU64(lease.first_frame);
+      PutAccess(w, lease.access);
+      w.PutU32(static_cast<uint32_t>(lease.grants.size()));
+      for (const LeaseGrant& grant : lease.grants) {
+        w.PutU32(grant.grantee.value());
+        PutAccess(w, grant.access);
+      }
+    }
+  }
+  void operator()(const LeaseReassertResponse& p) {
+    w.PutU32(p.accepted);
+    w.PutU32(p.rejected);
+    w.PutU64(p.epoch);
+  }
+
   static void PutShardRecord(ByteWriter& w, const ShardRecord& shard) {
     w.PutU32(shard.device.value());
     w.PutU32(shard.segment);
     w.PutU64(shard.va_base);
     w.PutU64(shard.va_limit);
     w.PutU64(shard.capacity_bytes);
+    w.PutU64(shard.epoch);
   }
 };
 
@@ -407,6 +443,8 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
       p.vaddr = VirtAddr(*vaddr);
       LASTCPU_READ(bytes, r.GetU64());
       p.bytes = *bytes;
+      LASTCPU_READ(frame, r.GetU64());
+      p.first_frame = *frame;
       return Payload(p);
     }
     case MessageType::kMapDirective: {
@@ -419,6 +457,8 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
       p.entries = *std::move(entries);
       LASTCPU_READ(unmap, r.GetU8());
       p.unmap = (*unmap != 0);
+      LASTCPU_READ(epoch, r.GetU64());
+      p.epoch = *epoch;
       return Payload(std::move(p));
     }
     case MessageType::kMemFreeRequest: {
@@ -522,7 +562,7 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
     case MessageType::kErrorResponse: {
       ErrorResponse p;
       LASTCPU_READ(code, r.GetU8());
-      if (*code > static_cast<uint8_t>(StatusCode::kInternal)) {
+      if (*code > static_cast<uint8_t>(StatusCode::kPartitioned)) {
         return InvalidArgument("bad status code");
       }
       p.code = static_cast<StatusCode>(*code);
@@ -612,6 +652,15 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
       p.vaddrs = *std::move(vaddrs);
       LASTCPU_READ(bytes, r.GetU64());
       p.bytes = *bytes;
+      LASTCPU_READ(nframes, r.GetU32());
+      if (static_cast<size_t>(*nframes) * 8 > r.remaining()) {
+        return InvalidArgument("frame count exceeds buffer");
+      }
+      p.first_frames.reserve(*nframes);
+      for (uint32_t i = 0; i < *nframes; ++i) {
+        LASTCPU_READ(frame, r.GetU64());
+        p.first_frames.push_back(*frame);
+      }
       return Payload(std::move(p));
     }
     case MessageType::kMemFreeBatchRequest: {
@@ -637,7 +686,7 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
     case MessageType::kShardDirectoryResponse: {
       ShardDirectoryResponse p;
       LASTCPU_READ(n, r.GetU32());
-      if (static_cast<size_t>(*n) * 32 > r.remaining()) {
+      if (static_cast<size_t>(*n) * kShardRecordBytes > r.remaining()) {
         return InvalidArgument("shard count exceeds buffer");
       }
       for (uint32_t i = 0; i < *n; ++i) {
@@ -645,6 +694,53 @@ Result<Payload> DecodePayload(MessageType type, ByteReader& r) {
         p.shards.push_back(*shard);
       }
       return Payload(std::move(p));
+    }
+    case MessageType::kLeaseReassertRequest: {
+      LeaseReassertRequest p;
+      LASTCPU_READ(n, r.GetU32());
+      // 33 bytes per lease before its (possibly empty) grant list.
+      if (static_cast<size_t>(*n) * 33 > r.remaining()) {
+        return InvalidArgument("lease count exceeds buffer");
+      }
+      p.leases.reserve(*n);
+      for (uint32_t i = 0; i < *n; ++i) {
+        LeaseRecord lease;
+        LASTCPU_READ(pasid, r.GetU32());
+        lease.pasid = Pasid(*pasid);
+        LASTCPU_READ(vaddr, r.GetU64());
+        lease.vaddr = VirtAddr(*vaddr);
+        LASTCPU_READ(bytes, r.GetU64());
+        lease.bytes = *bytes;
+        LASTCPU_READ(frame, r.GetU64());
+        lease.first_frame = *frame;
+        LASTCPU_READ(access, GetAccess(r));
+        lease.access = *access;
+        LASTCPU_READ(ngrants, r.GetU32());
+        if (static_cast<size_t>(*ngrants) * 5 > r.remaining()) {
+          return InvalidArgument("grant count exceeds buffer");
+        }
+        lease.grants.reserve(*ngrants);
+        for (uint32_t j = 0; j < *ngrants; ++j) {
+          LeaseGrant grant;
+          LASTCPU_READ(grantee, r.GetU32());
+          grant.grantee = DeviceId(*grantee);
+          LASTCPU_READ(gaccess, GetAccess(r));
+          grant.access = *gaccess;
+          lease.grants.push_back(grant);
+        }
+        p.leases.push_back(std::move(lease));
+      }
+      return Payload(std::move(p));
+    }
+    case MessageType::kLeaseReassertResponse: {
+      LeaseReassertResponse p;
+      LASTCPU_READ(accepted, r.GetU32());
+      p.accepted = *accepted;
+      LASTCPU_READ(rejected, r.GetU32());
+      p.rejected = *rejected;
+      LASTCPU_READ(epoch, r.GetU64());
+      p.epoch = *epoch;
+      return Payload(p);
     }
   }
   return InvalidArgument("unknown message type");
@@ -780,7 +876,7 @@ Result<Message> DecodeMessage(std::span<const uint8_t> wire) {
   if (!type.ok()) {
     return type.status();
   }
-  if (*type > static_cast<uint16_t>(MessageType::kShardDirectoryResponse)) {
+  if (*type > static_cast<uint16_t>(MessageType::kLeaseReassertResponse)) {
     return InvalidArgument("unknown message type");
   }
   auto src = r.GetU32();

@@ -116,6 +116,10 @@ std::string_view MessageTypeName(MessageType type) {
       return "ShardDirectoryRequest";
     case MessageType::kShardDirectoryResponse:
       return "ShardDirectoryResponse";
+    case MessageType::kLeaseReassertRequest:
+      return "LeaseReassertRequest";
+    case MessageType::kLeaseReassertResponse:
+      return "LeaseReassertResponse";
   }
   return "Unknown";
 }

@@ -131,6 +131,10 @@ struct MemAllocRequest {
 struct MemAllocResponse {
   VirtAddr vaddr;
   uint64_t bytes = 0;
+  // First physical frame backing the region. Part of the client's lease
+  // receipt: after a shard failover the owner re-asserts (vaddr, frames) so
+  // the successor can rebuild its table without re-placing memory.
+  uint64_t first_frame = 0;
 
   friend bool operator==(const MemAllocResponse&, const MemAllocResponse&) = default;
 };
@@ -144,6 +148,12 @@ struct MapDirective {
   Pasid pasid;
   std::vector<MapEntry> entries;
   bool unmap = false;
+  // The issuing controller's registration epoch (0 = unfenced, the lone
+  // flat controller). The bus rejects a directive whose epoch is older than
+  // the issuer's current directory registration: a grant computed before a
+  // shard failover cannot program IOMMUs after it (Sec. 4 error handling,
+  // extended to the control plane itself).
+  uint64_t epoch = 0;
 
   friend bool operator==(const MapDirective&, const MapDirective&) = default;
 };
@@ -364,6 +374,9 @@ struct MemAllocBatchRequest {
 struct MemAllocBatchResponse {
   std::vector<VirtAddr> vaddrs;
   uint64_t bytes = 0;  // bytes per region
+  // First physical frame per region, parallel to `vaddrs` (lease receipts;
+  // see MemAllocResponse::first_frame). Empty from pre-lease encoders.
+  std::vector<uint64_t> first_frames;
 
   friend bool operator==(const MemAllocBatchResponse&, const MemAllocBatchResponse&) = default;
 };
@@ -392,6 +405,11 @@ struct ShardRecord {
   uint64_t va_base = 0;    // first byte of the shard's VA slab
   uint64_t va_limit = 0;   // one past the last byte of the slab
   uint64_t capacity_bytes = 0;
+  // Registration epoch: bumped every time the shard's volatile tables are
+  // rebuilt (restart) and on takeover by a successor. Directives carrying an
+  // older epoch are fenced by the bus; clients treat an epoch change as "my
+  // leases must be re-asserted".
+  uint64_t epoch = 0;
 
   friend bool operator==(const ShardRecord&, const ShardRecord&) = default;
 };
@@ -421,6 +439,47 @@ struct ShardDirectoryResponse {
   friend bool operator==(const ShardDirectoryResponse&, const ShardDirectoryResponse&) = default;
 };
 
+// One grant riding inside a lease record.
+struct LeaseGrant {
+  DeviceId grantee;
+  Access access = Access::kReadWrite;
+
+  friend bool operator==(const LeaseGrant&, const LeaseGrant&) = default;
+};
+
+// One allocation as its owner remembers it: the lease receipt handed back by
+// the controller at alloc time, plus any grants the owner has made since.
+struct LeaseRecord {
+  Pasid pasid;
+  VirtAddr vaddr;
+  uint64_t bytes = 0;
+  uint64_t first_frame = 0;
+  Access access = Access::kReadWrite;
+  std::vector<LeaseGrant> grants;
+
+  friend bool operator==(const LeaseRecord&, const LeaseRecord&) = default;
+};
+
+// Owner device -> memory-controller shard: re-assert the leases this device
+// holds inside the shard's VA slabs. Sent after the shard failed (restart
+// rebuild) or was taken over by a successor (adoption). The controller
+// re-admits each lease into its table — first re-assertion wins; conflicts
+// and duplicates are rejected, not merged. No IOMMU reprogramming happens:
+// the owner's and grantees' mappings survived (only the controller died).
+struct LeaseReassertRequest {
+  std::vector<LeaseRecord> leases;
+
+  friend bool operator==(const LeaseReassertRequest&, const LeaseReassertRequest&) = default;
+};
+
+struct LeaseReassertResponse {
+  uint32_t accepted = 0;
+  uint32_t rejected = 0;
+  uint64_t epoch = 0;  // the controller's current registration epoch
+
+  friend bool operator==(const LeaseReassertResponse&, const LeaseReassertResponse&) = default;
+};
+
 using Payload =
     std::variant<AliveAnnounce, DiscoverRequest, DiscoverResponse, OpenRequest, OpenResponse,
                  CloseRequest, CloseResponse, MemAllocRequest, MemAllocResponse, MapDirective,
@@ -431,7 +490,7 @@ using Payload =
                  FileAdminResponse, FileList, FileListResponse, DevicePermanentlyFailed,
                  MemAllocBatchRequest, MemAllocBatchResponse, MemFreeBatchRequest,
                  MemFreeBatchResponse, MemShardAnnounce, ShardDirectoryRequest,
-                 ShardDirectoryResponse>;
+                 ShardDirectoryResponse, LeaseReassertRequest, LeaseReassertResponse>;
 
 // Message kind; the numeric value doubles as the variant index of Payload and
 // the on-wire type tag, so keep both in sync.
@@ -479,6 +538,8 @@ enum class MessageType : uint16_t {
   kMemShardAnnounce = 40,
   kShardDirectoryRequest = 41,
   kShardDirectoryResponse = 42,
+  kLeaseReassertRequest = 43,
+  kLeaseReassertResponse = 44,
 };
 
 std::string_view MessageTypeName(MessageType type);

@@ -1,8 +1,55 @@
 #include "src/sim/fault.h"
 
+#include <algorithm>
+
 namespace lastcpu::sim {
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+namespace {
+
+// Does `spec` sever the (a, b) segment pair? a != b is the caller's problem.
+bool Covers(const PartitionSpec& spec, uint32_t a, uint32_t b) {
+  if (spec.segment_b == kAllSegments) {
+    return a == spec.segment_a || b == spec.segment_a;
+  }
+  return (a == spec.segment_a && b == spec.segment_b) ||
+         (a == spec.segment_b && b == spec.segment_a);
+}
+
+bool ActiveAt(const PartitionSpec& spec, SimTime now) {
+  SimTime start = SimTime::Zero() + spec.start;
+  if (now < start) {
+    return false;
+  }
+  return spec.heal == Duration::Zero() || now < SimTime::Zero() + spec.heal;
+}
+
+}  // namespace
+
+bool FaultInjector::PartitionActive(uint32_t a, uint32_t b, SimTime now) const {
+  for (const PartitionSpec& spec : plan_.partitions) {
+    if (Covers(spec, a, b) && ActiveAt(spec, now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime FaultInjector::PartitionHealTime(uint32_t a, uint32_t b, SimTime now) const {
+  // The link is usable only once every covering active spec has healed.
+  SimTime heal = SimTime::Zero();
+  for (const PartitionSpec& spec : plan_.partitions) {
+    if (!Covers(spec, a, b) || !ActiveAt(spec, now)) {
+      continue;
+    }
+    if (spec.heal == Duration::Zero()) {
+      return SimTime::Max();
+    }
+    heal = std::max(heal, SimTime::Zero() + spec.heal);
+  }
+  return heal;
+}
 
 FaultDecision FaultInjector::Decide() {
   ++decisions_;

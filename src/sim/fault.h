@@ -12,11 +12,28 @@
 #define SRC_SIM_FAULT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/sim/rng.h"
 #include "src/sim/time.h"
 
 namespace lastcpu::sim {
+
+// Sentinel for PartitionSpec::segment_b: the partition isolates segment_a
+// from EVERY other segment (a dead inter-segment router port) rather than
+// severing one pairwise link.
+inline constexpr uint32_t kAllSegments = 0xFFFFFFFF;
+
+// One scheduled inter-segment link failure. Unlike the probabilistic message
+// faults below, partitions are pure schedule: active on [start, heal), with
+// heal == Zero meaning "never heals". Deterministic by construction — the
+// injector draws no randomness for them.
+struct PartitionSpec {
+  uint32_t segment_a = 0;
+  uint32_t segment_b = kAllSegments;
+  Duration start = Duration::Zero();  // absolute sim time the link drops
+  Duration heal = Duration::Zero();   // absolute sim time it returns; Zero = never
+};
 
 // Probabilities and magnitudes for injected message faults. All-zero
 // probabilities (the default) mean a perfectly healthy interconnect; the
@@ -34,10 +51,14 @@ struct FaultPlan {
   // is released early as soon as a later message overtakes it.
   Duration reorder_window = Duration::Micros(5);
   uint64_t seed = 0x1A57C0DE;
+  // Scheduled inter-segment partitions (router / segment-link loss). Only
+  // consulted by a segmented bus; a flat machine never queries them.
+  std::vector<PartitionSpec> partitions;
 
   bool enabled() const {
     return drop_probability > 0.0 || delay_probability > 0.0 ||
-           duplicate_probability > 0.0 || reorder_probability > 0.0;
+           duplicate_probability > 0.0 || reorder_probability > 0.0 ||
+           !partitions.empty();
   }
 };
 
@@ -57,6 +78,16 @@ class FaultInjector {
   // Draws the fault decision for the next message. The draw sequence depends
   // only on (plan.seed, call count), keeping runs reproducible.
   FaultDecision Decide();
+
+  // True when the link between segments `a` and `b` is severed at `now`.
+  // Pure schedule lookup: no draw, no counter, so transports may call it
+  // freely without perturbing the fault sequence.
+  bool PartitionActive(uint32_t a, uint32_t b, SimTime now) const;
+
+  // Earliest heal instant after `now` for a partition covering (a, b), or
+  // SimTime::Max() if every covering spec is permanent. Only meaningful when
+  // PartitionActive(a, b, now) is true.
+  SimTime PartitionHealTime(uint32_t a, uint32_t b, SimTime now) const;
 
   const FaultPlan& plan() const { return plan_; }
 

@@ -51,6 +51,7 @@ class SimTime {
 
   static constexpr SimTime FromNanos(uint64_t n) { return SimTime(n); }
   static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(~uint64_t{0}); }
 
   constexpr uint64_t nanos() const { return nanos_; }
   constexpr double micros() const { return static_cast<double>(nanos_) / 1e3; }
